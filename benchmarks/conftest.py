@@ -1,0 +1,40 @@
+"""Shared benchmark utilities.
+
+Every benchmark regenerates one paper artifact (table or figure),
+asserts its qualitative *shape* (who wins, where crossovers fall), and
+drops the underlying data under ``results/`` for inspection.  Timings
+come from pytest-benchmark; heavy builders run with
+``benchmark.pedantic(rounds=1)`` so the suite stays minutes, not hours.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def export_series(results_dir: Path, name: str, series_map) -> Path:
+    """Write a {label: FigureSeries} mapping to results/<name>.csv."""
+    from repro.reporting.export import write_csv
+
+    rows = []
+    for label, s in series_map.items():
+        for x, y in zip(s.x, s.y):
+            rows.append([label, float(x), float(y)])
+    return write_csv(results_dir / f"{name}.csv", ["series", "x", "y"], rows)
+
+
+def export_table(results_dir: Path, name: str, table) -> Path:
+    """Write a rendered Table to results/<name>.txt."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(table.render() + "\n")
+    return path

@@ -1,0 +1,60 @@
+"""Figure 10: job-queueing delay on the 16 ARM + 14 AMD cluster.
+
+Shape claims (Section IV-E): the sweet region survives at every
+utilization; it splits into two linear parts separated by a sharp drop
+where AMD nodes leave the configuration (their 45 W idle vs ARM's <2 W);
+the achievable response floor worsens as utilization grows; and the
+spread spans orders of magnitude once idle energy is accounted.
+"""
+
+import numpy as np
+from conftest import RESULTS_DIR
+
+from repro.reporting.export import write_csv
+from repro.reporting.figures import build_fig10
+from repro.queueing.dispatcher import sweet_region_drop
+
+
+def test_fig10_queueing(benchmark, results_dir):
+    series = benchmark.pedantic(
+        build_fig10, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    write_csv(
+        results_dir / "fig10.csv",
+        ["utilization", "response_ms", "window_energy_j", "n_arm", "n_amd"],
+        [
+            [u, p.response_s * 1e3, p.window_energy_j, p.n_a, p.n_b]
+            for u, points in sorted(series.items())
+            for p in points
+        ],
+    )
+
+    assert set(series) == {0.05, 0.25, 0.50}
+
+    floors = {}
+    for u, points in series.items():
+        energies = np.asarray([p.window_energy_j for p in points])
+        responses = np.asarray([p.response_s for p in points])
+        floors[u] = responses.min()
+
+        # Sweet region with a sharp drop at every utilization.
+        assert sweet_region_drop(points) > 0.3, u
+        # The drop happens exactly at the mixed -> ARM-only crossover.
+        drops = (energies[:-1] - energies[1:]) / energies[:-1]
+        k = int(np.argmax(drops))
+        assert points[k].n_b > 0 and points[k + 1].n_b == 0, u
+        # Orders-of-magnitude span once idle energy counts.
+        assert energies.max() / energies.min() > 50, u
+
+    # Higher utilization -> higher minimum achievable response time
+    # ("the minimal response time achievable is reduced").
+    assert floors[0.05] < floors[0.25] < floors[0.50]
+
+    # Observation 4: savings amplified as utilization increases --
+    # at a fixed response deadline the energy gap between the best
+    # feasible config and the AMD-heavy left end grows with U.
+    def span(points):
+        energies = [p.window_energy_j for p in points]
+        return max(energies) - min(energies)
+
+    assert span(series[0.50]) > span(series[0.25]) > span(series[0.05])

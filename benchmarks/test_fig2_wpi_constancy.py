@@ -1,0 +1,24 @@
+"""Figure 2: WPI and SPI_core stay constant across EP problem sizes A/B/C."""
+
+import numpy as np
+from conftest import export_series
+
+from repro.reporting.figures import build_fig2
+
+
+def test_fig2_wpi_constancy(benchmark, results_dir):
+    series = benchmark.pedantic(build_fig2, kwargs={"seed": 0}, rounds=3, iterations=1)
+    export_series(results_dir, "fig2", series)
+
+    # Four panels: {AMD, ARM} x {WPI, SPI_core}, three sizes each.
+    assert len(series) == 4
+    for label, s in series.items():
+        assert len(s.y) == 3, label
+        spread = (s.y.max() - s.y.min()) / s.y.min()
+        assert spread < 0.08, f"{label}: not scale-constant ({spread:.1%})"
+
+    # The paper's magnitude relation: ARM CPI components sit above AMD's.
+    assert (
+        series["arm-cortex-a9:wpi"].y.mean() > series["amd-k10:wpi"].y.mean()
+    )
+    assert np.all(series["amd-k10:wpi"].y > series["amd-k10:spi_core"].y)

@@ -1,0 +1,25 @@
+"""Figure 3: SPI_mem regresses linearly on core frequency, r^2 >= 0.94."""
+
+from conftest import export_series
+
+from repro.reporting.figures import build_fig3
+
+
+def test_fig3_spimem_regression(benchmark, results_dir):
+    series = benchmark.pedantic(build_fig3, kwargs={"seed": 0}, rounds=3, iterations=1)
+    export_series(results_dir, "fig3", series)
+
+    # Four panels: {AMD, ARM} x {1 core, all cores}.
+    assert len(series) == 4
+    for label, s in series.items():
+        # The paper's linearity claim.
+        assert s.meta["r2"] >= 0.94, f"{label}: r^2 {s.meta['r2']:.3f}"
+        # Positive slope: constant-time latency costs more cycles at
+        # higher clocks.
+        assert s.meta["slope"] > 0, label
+
+    # Contention: more active cores -> steeper SPI_mem growth.
+    for node, full in (("amd-k10", 6), ("arm-cortex-a9", 4)):
+        one = series[f"{node}:cores=1"]
+        many = series[f"{node}:cores={full}"]
+        assert many.meta["slope"] > one.meta["slope"], node

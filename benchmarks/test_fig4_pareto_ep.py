@@ -1,0 +1,56 @@
+"""Figure 4: EP's energy-deadline Pareto frontier on 10 ARM x 10 AMD.
+
+Shape claims reproduced: 36,380 configurations; a heterogeneous sweet
+region where energy falls ~linearly with the deadline, bounded by the
+homogeneous extremes; and -- because EP is compute-bound -- an ARM-only
+overlap region extending the frontier with a material energy drop.
+"""
+
+import numpy as np
+from conftest import RESULTS_DIR
+
+from repro.reporting.export import write_csv
+from repro.reporting.figures import build_fig4_fig5
+from repro.workloads.suite import EP
+
+
+def test_fig4_pareto_ep(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        build_fig4_fig5, args=(EP,), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    write_csv(
+        results_dir / "fig4.csv",
+        ["time_ms", "energy_j", "n_arm", "n_amd", "on_frontier"],
+        [
+            [
+                fig.space.times_s[i] * 1e3,
+                fig.space.energies_j[i],
+                int(fig.space.n_a[i]),
+                int(fig.space.n_b[i]),
+                int(i in set(fig.frontier.indices)),
+            ]
+            for i in range(len(fig.space))
+        ],
+    )
+
+    # The paper's configuration count.
+    assert len(fig.space) == 36_380
+
+    # Sweet region: heterogeneous, linear in deadline.
+    assert fig.regions.has_sweet_region
+    assert fig.regions.sweet.linearity_r2() > 0.9
+
+    # Overlap region: ARM-only tail with a real energy drop (compute-bound).
+    assert fig.regions.has_overlap_region
+    assert fig.regions.overlap_energy_drop > 0.02
+
+    # Bounds: ARM-only floor, AMD-only ceiling.
+    arm_min = fig.arm_only_frontier.min_energy_j
+    sweet_high, sweet_low = fig.regions.sweet.energy_span_j
+    assert sweet_low >= arm_min * 0.999
+    assert sweet_high <= fig.amd_only_frontier.energies_j.max() * 1.001
+
+    # AMD-only achieves the tightest deadlines at the highest energy;
+    # relaxing lets mixes descend toward the ARM-only floor.
+    assert fig.frontier.fastest_time_s < fig.arm_only_frontier.fastest_time_s
+    assert fig.frontier.min_energy_j < fig.amd_only_frontier.min_energy_j

@@ -1,0 +1,47 @@
+"""Figure 5: memcached's Pareto frontier -- sweet region, NO overlap region.
+
+The contrast with Fig. 4: for an I/O-bound program, performance only
+improves with node count, so homogeneous configurations cannot trade
+time for energy and the frontier ends where the low-power configurations
+start; homogeneous energy is flat as the deadline relaxes.
+"""
+
+from conftest import RESULTS_DIR
+
+from repro.reporting.export import write_csv
+from repro.reporting.figures import build_fig4_fig5
+from repro.workloads.suite import MEMCACHED
+
+
+def test_fig5_pareto_memcached(benchmark, results_dir):
+    fig = benchmark.pedantic(
+        build_fig4_fig5, args=(MEMCACHED,), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    write_csv(
+        results_dir / "fig5.csv",
+        ["time_ms", "energy_j", "n_arm", "n_amd"],
+        [
+            [
+                fig.space.times_s[i] * 1e3,
+                fig.space.energies_j[i],
+                int(fig.space.n_a[i]),
+                int(fig.space.n_b[i]),
+            ]
+            for i in range(len(fig.space))
+        ],
+    )
+
+    assert len(fig.space) == 36_380
+    assert fig.regions.has_sweet_region
+    assert fig.regions.sweet.linearity_r2() > 0.9
+
+    # The defining contrast with EP: no material overlap region.
+    assert not fig.regions.has_overlap_region
+    assert fig.regions.overlap_energy_drop < 0.02
+
+    # Homogeneous minimum energy is ~constant as the deadline relaxes
+    # ("the energy incurred by memcached on homogeneous systems is
+    # constant even as deadline is relaxed").
+    for homog in (fig.arm_only_frontier, fig.amd_only_frontier):
+        flat = homog.energies_j.max() / homog.energies_j.min()
+        assert flat < 1.10, f"homogeneous curve not flat: {flat:.3f}x"

@@ -1,0 +1,47 @@
+"""Figure 6: memcached under a 1 kW budget, mixes ARM 0:AMD 16 ... 128:0.
+
+Shape claims: every replacement step (at the 8:1 substitution ratio)
+lowers the achievable energy; ARM-only misses deadlines below ~30 ms; the
+achievable-deadline floor degrades monotonically as AMD nodes leave.
+"""
+
+import numpy as np
+from conftest import export_series
+
+from repro.reporting.figures import build_fig6_fig7
+from repro.workloads.suite import MEMCACHED
+
+LEGEND = [
+    "ARM 0:AMD 16",
+    "ARM 16:AMD 14",
+    "ARM 32:AMD 12",
+    "ARM 48:AMD 10",
+    "ARM 88:AMD 5",
+    "ARM 112:AMD 2",
+    "ARM 128:AMD 0",
+]
+
+
+def test_fig6_budget_memcached(benchmark, results_dir):
+    series = benchmark.pedantic(
+        build_fig6_fig7, args=(MEMCACHED,), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    export_series(results_dir, "fig6", series)
+
+    # Exactly the paper's legend.
+    assert list(series) == LEGEND
+
+    # Monotone energy ordering: more ARM -> cheaper at its best point.
+    minima = [float(np.nanmin(series[label].y)) for label in LEGEND]
+    assert all(a > b for a, b in zip(minima, minima[1:])), minima
+
+    # ARM-only cannot meet deadlines below ~30 ms (paper: "do not meet
+    # deadlines smaller than 30ms"); with AMD nodes the cluster can.
+    arm_only_floor = series["ARM 128:AMD 0"].meta["min_feasible_deadline_ms"]
+    assert 28.0 < arm_only_floor < 40.0
+    assert series["ARM 0:AMD 16"].meta["min_feasible_deadline_ms"] < arm_only_floor
+
+    # Deadline floors degrade monotonically as AMD nodes are replaced
+    # (the I/O-bound floor is set by aggregate NIC bandwidth).
+    floors = [series[label].meta["min_feasible_deadline_ms"] for label in LEGEND]
+    assert all(a <= b + 1e-9 for a, b in zip(floors, floors[1:])), floors

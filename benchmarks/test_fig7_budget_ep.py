@@ -1,0 +1,50 @@
+"""Figure 7: EP under the 1 kW budget.
+
+Shape claims: replacing even a few AMD nodes opens a sweet region, and
+-- unlike memcached -- the all-ARM configuration is globally best on both
+axes, because eight ARM nodes out-execute the one AMD node they replace.
+"""
+
+import numpy as np
+from conftest import export_series
+
+from repro.core.calibration import ground_truth_params
+from repro.core.timemodel import predict_node_time
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.reporting.figures import build_fig6_fig7
+from repro.workloads.suite import EP
+
+LEGEND = [
+    "ARM 0:AMD 16",
+    "ARM 16:AMD 14",
+    "ARM 32:AMD 12",
+    "ARM 48:AMD 10",
+    "ARM 88:AMD 5",
+    "ARM 112:AMD 2",
+    "ARM 128:AMD 0",
+]
+
+
+def test_fig7_budget_ep(benchmark, results_dir):
+    series = benchmark.pedantic(
+        build_fig6_fig7, args=(EP,), kwargs={"seed": 0}, rounds=3, iterations=1
+    )
+    export_series(results_dir, "fig7", series)
+
+    assert list(series) == LEGEND
+
+    # Energy ordering: strictly better with every replacement step.
+    minima = [float(np.nanmin(series[label].y)) for label in LEGEND]
+    assert all(a > b for a, b in zip(minima, minima[1:])), minima
+
+    # ARM-only is ALSO the fastest mix for compute-bound EP.
+    floors = [series[label].meta["min_feasible_deadline_ms"] for label in LEGEND]
+    assert floors[-1] == min(floors)
+
+    # The mechanism (Section IV-C): 8 ARM nodes execute EP faster than
+    # the 1 AMD node they replace in the power budget.
+    arm = ground_truth_params(ARM_CORTEX_A9, EP)
+    amd = ground_truth_params(AMD_K10, EP)
+    t_8arm = predict_node_time(arm, 1e6, 8, 4, 1.4).time_s
+    t_1amd = predict_node_time(amd, 1e6, 1, 6, 2.1).time_s
+    assert t_8arm < t_1amd

@@ -1,0 +1,62 @@
+"""Figure 8: scaling the memcached cluster at the fixed 8:1 ratio.
+
+Observation 3's shape: the sweet region's energy bounds stay put as the
+cluster grows ARM 8:AMD 1 -> 128:16, while the number of frontier
+configurations grows and the region shifts left (tighter deadlines).
+"""
+
+import numpy as np
+from conftest import export_series
+
+from repro.core import analysis
+from repro.core.pareto import ParetoFrontier
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.reporting.figures import build_fig8_fig9, suite_params
+from repro.workloads.suite import MEMCACHED
+
+LEGEND = [
+    "ARM 8:AMD 1",
+    "ARM 16:AMD 2",
+    "ARM 32:AMD 4",
+    "ARM 64:AMD 8",
+    "ARM 128:AMD 16",
+]
+
+
+def test_fig8_scaling_memcached(benchmark, results_dir):
+    series = benchmark.pedantic(
+        build_fig8_fig9, args=(MEMCACHED,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    export_series(results_dir, "fig8", series)
+    assert list(series) == LEGEND
+
+    params = suite_params(MEMCACHED)
+    frontiers = {}
+    for factor in (1, 2, 4, 8, 16):
+        space = analysis.subset_mix_space(
+            ARM_CORTEX_A9, 8 * factor, AMD_K10, factor, params, 50_000.0
+        )
+        frontiers[factor] = ParetoFrontier.from_points(
+            space.times_s, space.energies_j
+        )
+
+    # Energy bounds invariant (within a few percent) across scales.
+    highs = [float(f.energies_j.max()) for f in frontiers.values()]
+    lows = [f.min_energy_j for f in frontiers.values()]
+    assert max(highs) / min(highs) < 1.06, highs
+    assert max(lows) / min(lows) < 1.06, lows
+
+    # More configurations on the frontier as the cluster grows.
+    assert len(frontiers[16]) > len(frontiers[1])
+
+    # The region shifts left: bigger clusters meet tighter deadlines.
+    fastest = [f.fastest_time_s for f in frontiers.values()]
+    assert all(a > b for a, b in zip(fastest, fastest[1:])), fastest
+
+    # The paper's worked example: four jobs at 165 ms each on one shared
+    # 64+8 cluster (deadline/4) cost no more per job than on four
+    # separate 16+2 clusters.
+    e_partitioned = frontiers[2].min_energy_for_deadline(0.165)
+    e_shared = frontiers[8].min_energy_for_deadline(0.165 / 4)
+    assert e_partitioned is not None and e_shared is not None
+    assert e_shared <= e_partitioned * 1.02

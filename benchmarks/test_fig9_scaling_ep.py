@@ -1,0 +1,51 @@
+"""Figure 9: scaling the EP cluster at the fixed 8:1 ratio."""
+
+import numpy as np
+from conftest import export_series
+
+from repro.core import analysis
+from repro.core.pareto import ParetoFrontier
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.reporting.figures import build_fig8_fig9, suite_params
+from repro.workloads.suite import EP
+
+LEGEND = [
+    "ARM 8:AMD 1",
+    "ARM 16:AMD 2",
+    "ARM 32:AMD 4",
+    "ARM 64:AMD 8",
+    "ARM 128:AMD 16",
+]
+
+
+def test_fig9_scaling_ep(benchmark, results_dir):
+    series = benchmark.pedantic(
+        build_fig8_fig9, args=(EP,), kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    export_series(results_dir, "fig9", series)
+    assert list(series) == LEGEND
+
+    params = suite_params(EP)
+    frontiers = {}
+    for factor in (1, 2, 4, 8, 16):
+        space = analysis.subset_mix_space(
+            ARM_CORTEX_A9, 8 * factor, AMD_K10, factor, params, 50e6
+        )
+        frontiers[factor] = ParetoFrontier.from_points(
+            space.times_s, space.energies_j
+        )
+
+    # Observation 3 again, for the compute-bound workload.
+    highs = [float(f.energies_j.max()) for f in frontiers.values()]
+    lows = [f.min_energy_j for f in frontiers.values()]
+    assert max(highs) / min(highs) < 1.06, highs
+    assert max(lows) / min(lows) < 1.06, lows
+    assert len(frontiers[16]) > len(frontiers[1])
+    fastest = [f.fastest_time_s for f in frontiers.values()]
+    assert all(a > b for a, b in zip(fastest, fastest[1:])), fastest
+
+    # Time scales ~inversely with cluster size for the compute-bound
+    # workload (no arrival floor): 16x the nodes, ~1/16 the deadline.
+    ratio = frontiers[1].fastest_time_s / frontiers[16].fastest_time_s
+    assert ratio == np.float64(ratio)  # numeric sanity
+    assert 12.0 < ratio < 20.0

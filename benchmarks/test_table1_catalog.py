@@ -1,0 +1,16 @@
+"""Table 1: the heterogeneous node catalog."""
+
+from conftest import export_table
+
+from repro.reporting.figures import build_table1
+
+
+def test_table1_catalog(benchmark, results_dir):
+    table = benchmark(build_table1)
+    text = export_table(results_dir, "table1", table).read_text()
+
+    # Structural facts straight from the paper's Table 1.
+    assert "x86_64" in text and "armv7-a" in text
+    assert "0.8-2.1 GHz" in text and "0.2-1.4 GHz" in text
+    assert "8GB DDR3" in text and "1GB LP-DDR2" in text
+    assert "1000Mbps" in text and "100Mbps" in text

@@ -1,0 +1,29 @@
+"""Table 3: single-node validation across the full six-workload suite.
+
+The paper's bound: model error (vs testbed measurement) under 15% for
+every workload/node/metric cell, across all (cores, frequency) settings.
+"""
+
+from conftest import export_table
+
+from repro.reporting.figures import build_table3
+
+
+def test_table3_single_node_validation(benchmark, results_dir):
+    table, reports = benchmark.pedantic(
+        build_table3, kwargs={"seed": 0, "repetitions": 3}, rounds=1, iterations=1
+    )
+    export_table(results_dir, "table3", table)
+
+    # 6 workloads x 2 nodes.
+    assert len(reports) == 12
+    for report in reports:
+        cell = f"{report.workload}/{report.node}"
+        assert report.time_errors.mean < 15.0, f"{cell} time: {report.time_errors}"
+        assert report.energy_errors.mean < 15.0, f"{cell} energy: {report.energy_errors}"
+        # Validation is not a tautology: noise produces real error.
+        assert report.time_errors.mean > 0.01, cell
+
+    # Every workload/bottleneck row of the paper's table is present.
+    workloads = {r.workload for r in reports}
+    assert workloads == {"ep", "memcached", "x264", "blackscholes", "julius", "rsa-2048"}

@@ -1,0 +1,23 @@
+"""Table 4: cluster validation on 8 ARM + {1, 0} AMD nodes."""
+
+from conftest import export_table
+
+from repro.reporting.figures import build_table4
+
+
+def test_table4_cluster_validation(benchmark, results_dir):
+    table, reports = benchmark.pedantic(
+        build_table4, kwargs={"seed": 0}, rounds=1, iterations=1
+    )
+    export_table(results_dir, "table4", table)
+
+    # 6 workloads x {8+1, 8+0} compositions.
+    assert len(reports) == 12
+    compositions = {(r.n_a, r.n_b) for r in reports}
+    assert compositions == {(8, 1), (8, 0)}
+
+    for report in reports:
+        cell = f"{report.workload} ({report.n_a}:{report.n_b})"
+        # The paper's stated bound for the cluster experiments.
+        assert report.time_error_pct < 15.0, cell
+        assert report.energy_error_pct < 15.0, cell

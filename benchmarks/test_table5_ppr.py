@@ -1,0 +1,34 @@
+"""Table 5: performance-to-power ratios at the most efficient settings."""
+
+import pytest
+from conftest import export_table
+
+from repro.reporting.figures import build_table5
+
+#: The paper's published values (the calibration anchors).
+PAPER_TABLE5 = {
+    "ep": {"amd-k10": 1_414_922, "arm-cortex-a9": 6_048_057},
+    "memcached": {"amd-k10": 2_628, "arm-cortex-a9": 5_220},
+    "x264": {"amd-k10": 1.0, "arm-cortex-a9": 0.7},
+    "blackscholes": {"amd-k10": 2_902, "arm-cortex-a9": 11_413},
+    "julius": {"amd-k10": 21_390, "arm-cortex-a9": 69_654},
+    "rsa-2048": {"amd-k10": 9_346, "arm-cortex-a9": 6_877},
+}
+
+
+def test_table5_ppr(benchmark, results_dir):
+    table, rows = benchmark(build_table5)
+    export_table(results_dir, "table5", table)
+
+    for name, _, values in rows:
+        for node, target in PAPER_TABLE5[name].items():
+            assert values[node] == pytest.approx(target, rel=0.05), (name, node)
+
+    # The paper's qualitative finding: ARM wins everywhere except web
+    # security (crypto acceleration) and video encoding (memory bandwidth).
+    for name, _, values in rows:
+        arm, amd = values["arm-cortex-a9"], values["amd-k10"]
+        if name in ("rsa-2048", "x264"):
+            assert amd > arm, name
+        else:
+            assert arm > amd, name

@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Capacity planning under a rack power budget (the Section IV-C story).
+
+An operator has a 1 kW rack budget and a latency SLO, and asks: how many
+high-performance AMD nodes should be swapped for low-power ARM nodes?
+This walks the paper's substitution-ratio accounting (8 ARM : 1 AMD once
+switch power is charged), evaluates every budget-feasible mix for two
+very different workloads, and prints a per-SLO recommendation.
+
+Run:  python examples/capacity_planning.py
+"""
+
+from repro.core import analysis
+from repro.core.pareto import ParetoFrontier
+from repro.core.power_budget import budget_mixes, cluster_peak_power, substitution_ratio
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
+from repro.reporting.figures import suite_params
+from repro.reporting.tables import Table
+from repro.workloads.suite import EP, MEMCACHED
+
+BUDGET_W = 1000.0
+SLOS_MS = (30.0, 60.0, 200.0, 500.0)
+
+
+def plan(workload, units):
+    """Evaluate all budget mixes; return {mix label: frontier}."""
+    params = suite_params(workload)
+    mixes = budget_mixes(ARM_CORTEX_A9, AMD_K10, BUDGET_W, ETHERNET_SWITCH)
+    frontiers = {}
+    for mix in mixes:
+        space = analysis.fixed_mix_space(
+            ARM_CORTEX_A9, mix.n_low, AMD_K10, mix.n_high, params, units
+        )
+        peak = cluster_peak_power(
+            ARM_CORTEX_A9, mix.n_low, AMD_K10, mix.n_high, ETHERNET_SWITCH
+        )
+        frontiers[mix.label()] = (
+            ParetoFrontier.from_points(space.times_s, space.energies_j),
+            peak,
+        )
+    return frontiers
+
+
+def main() -> None:
+    ratio = substitution_ratio(ARM_CORTEX_A9, AMD_K10, ETHERNET_SWITCH)
+    print(
+        f"power budget {BUDGET_W:.0f} W; substitution ratio "
+        f"{ratio} ARM : 1 AMD (switch power charged to the ARM side)\n"
+    )
+
+    for workload, units in ((MEMCACHED, 50_000.0), (EP, 50e6)):
+        frontiers = plan(workload, units)
+        table = Table(
+            ["mix", "peak W", *(f"E @ {slo:.0f}ms [J]" for slo in SLOS_MS)],
+            title=f"{workload.name}: energy per job vs deadline SLO",
+        )
+        for label, (frontier, peak) in frontiers.items():
+            row = [label, f"{peak:.0f}"]
+            for slo in SLOS_MS:
+                energy = frontier.min_energy_for_deadline(slo / 1e3)
+                row.append("-" if energy is None else f"{energy:.1f}")
+            table.add_row(row)
+        print(table.render())
+
+        # Recommendation per SLO: cheapest feasible mix.
+        print("recommendations:")
+        for slo in SLOS_MS:
+            best = None
+            for label, (frontier, _) in frontiers.items():
+                energy = frontier.min_energy_for_deadline(slo / 1e3)
+                if energy is not None and (best is None or energy < best[1]):
+                    best = (label, energy)
+            if best is None:
+                print(f"  {slo:6.0f} ms: infeasible within the budget")
+            else:
+                print(f"  {slo:6.0f} ms: {best[0]}  ({best[1]:.1f} J/job)")
+        print()
+
+
+if __name__ == "__main__":
+    main()

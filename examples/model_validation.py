@@ -1,0 +1,75 @@
+#!/usr/bin/env python
+"""The trace-driven workflow end-to-end, against the simulated testbed.
+
+This mirrors Sections II-D and III of the paper:
+
+1. characterize one workload on each node type with the perf-style
+   counters (checking WPI/SPI_core scale-constancy, Fig. 2, and the
+   SPI_mem-vs-frequency linearity, Fig. 3);
+2. characterize power with the meter and micro-benchmarks;
+3. predict execution time and energy at full problem size;
+4. measure the same runs and report the validation error (Table 3 style).
+
+Run:  python examples/model_validation.py [workload]
+"""
+
+import sys
+
+from repro.core.calibration import calibrate_node, measure_scale_constancy
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.reporting.tables import Table
+from repro.validation.harness import validate_single_node
+from repro.workloads.suite import EP, workload_by_name
+
+
+def main() -> None:
+    workload = workload_by_name(sys.argv[1]) if len(sys.argv) > 1 else EP
+    print(f"workload: {workload}\n")
+
+    # --- Fig. 2: scale constancy of WPI / SPI_core ----------------------
+    sizes = {
+        name: workload.problem_sizes[name]
+        for name in ("A", "B", "C")
+        if name in workload.problem_sizes
+    } or {"S": workload.default_job_units / 10, "L": workload.default_job_units}
+    table = Table(
+        ["node", *(f"WPI @{s}" for s in sizes), *(f"SPIc @{s}" for s in sizes)],
+        title="scale constancy (Fig. 2): flat rows confirm the hypothesis",
+    )
+    for node in (AMD_K10, ARM_CORTEX_A9):
+        measured = measure_scale_constancy(node, workload, sizes, seed=0)
+        table.add_row(
+            [
+                node.name,
+                *(f"{measured[s]['wpi']:.3f}" for s in sizes),
+                *(f"{measured[s]['spi_core']:.3f}" for s in sizes),
+            ]
+        )
+    print(table.render(), "\n")
+
+    # --- Calibration with diagnostics (incl. Fig. 3's r^2) --------------
+    for node in (AMD_K10, ARM_CORTEX_A9):
+        params = calibrate_node(node, workload, seed=1)
+        print(
+            f"{node.name}: IPs={params.instructions_per_unit:,.0f}  "
+            f"WPI={params.wpi:.3f}  SPI_core={params.spi_core:.3f}  "
+            f"U_CPU={params.u_cpu:.2f}  "
+            f"SPI_mem worst r^2={params.diagnostics['spimem_worst_r2']:.3f}  "
+            f"P_idle={params.p_idle_w:.2f} W"
+        )
+    print()
+
+    # --- Table 3 style validation ---------------------------------------
+    table = Table(
+        ["node", "time err", "energy err"],
+        title=f"single-node validation at {workload.problem_sizes.get('table3', workload.default_job_units):g} {workload.unit_name}s",
+    )
+    for node in (AMD_K10, ARM_CORTEX_A9):
+        report = validate_single_node(node, workload, seed=2, repetitions=3)
+        table.add_row([node.name, str(report.time_errors), str(report.energy_errors)])
+    print(table.render())
+    print("\n(the paper's model stays under 15% error; so must ours)")
+
+
+if __name__ == "__main__":
+    main()

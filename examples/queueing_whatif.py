@@ -1,0 +1,102 @@
+#!/usr/bin/env python
+"""Queueing what-if: diurnal load on a 16 ARM + 14 AMD cluster (Fig. 10).
+
+A service sees a diurnal arrival pattern (night 5% utilization, day 25%,
+peak 50%).  For each period this computes the response-time / window-
+energy frontier with the M/D/1 dispatcher model, compares the paper's
+mix-and-match policy against a KnightShift-style switching baseline, and
+reports where the frontier's sharp "AMD nodes leave the mix" drop sits.
+
+Run:  python examples/queueing_whatif.py
+"""
+
+from repro.core.evaluate import evaluate_space
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.queueing.dispatcher import figure10_series, sweet_region_drop
+from repro.reporting.figures import suite_params
+from repro.reporting.tables import Table
+from repro.scheduling.switching import compare_switching_vs_mix
+from repro.workloads.suite import MEMCACHED
+
+WINDOW_S = 20.0
+PERIODS = {"night": 0.05, "day": 0.25, "peak": 0.50}
+SLO_MS = 250.0
+
+
+def main() -> None:
+    params = suite_params(MEMCACHED)
+    space = evaluate_space(ARM_CORTEX_A9, 16, AMD_K10, 14, params, 50_000.0)
+    print(f"cluster: up to 16 ARM + 14 AMD; {len(space):,} configurations\n")
+
+    series = figure10_series(
+        space,
+        ARM_CORTEX_A9.idle_power_w,
+        AMD_K10.idle_power_w,
+        utilizations=tuple(PERIODS.values()),
+        window_s=WINDOW_S,
+    )
+
+    table = Table(
+        [
+            "period",
+            "U",
+            "frontier pts",
+            "fastest resp [ms]",
+            "E span [J]",
+            "sharpest drop",
+        ],
+        title=f"window = {WINDOW_S:.0f} s of operation",
+    )
+    for name, u in PERIODS.items():
+        points = series[u]
+        energies = [p.window_energy_j for p in points]
+        table.add_row(
+            [
+                name,
+                f"{u:.0%}",
+                len(points),
+                f"{points[0].response_s * 1e3:.0f}",
+                f"{min(energies):.0f}..{max(energies):.0f}",
+                f"{sweet_region_drop(points):.0%}",
+            ]
+        )
+    print(table.render())
+
+    # Where does the frontier shed its last AMD node?
+    for name, u in PERIODS.items():
+        points = series[u]
+        crossover = next(
+            (p for p in points if p.n_b == 0), None
+        )
+        if crossover:
+            print(
+                f"{name:6s}: first ARM-only config at response "
+                f"{crossover.response_s * 1e3:.0f} ms "
+                f"({crossover.n_a} ARM nodes, {crossover.window_energy_j:.0f} J/window)"
+            )
+
+    # Policy comparison at the SLO.
+    print(f"\npolicy comparison at a {SLO_MS:.0f} ms response SLO:")
+    for name, u in PERIODS.items():
+        results = compare_switching_vs_mix(
+            space,
+            ARM_CORTEX_A9.idle_power_w,
+            AMD_K10.idle_power_w,
+            deadlines_s=[SLO_MS / 1e3],
+            utilization=u,
+            window_s=WINDOW_S,
+        )
+        row = results[SLO_MS / 1e3]
+        if row["mix"] is None:
+            print(f"  {name:6s}: SLO infeasible at this load")
+            continue
+        saving = row["saving"]
+        print(
+            f"  {name:6s}: switching {row['switching']:.0f} J, "
+            f"mix-and-match {row['mix']:.0f} J"
+            + (f"  ({saving:.0%} saved)" if saving else "")
+        )
+
+
+if __name__ == "__main__":
+    main()

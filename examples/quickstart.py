@@ -1,0 +1,76 @@
+#!/usr/bin/env python
+"""Quickstart: the paper's question in ~40 lines.
+
+"My datacenter runs memcached jobs of 50,000 requests.  I own up to 10
+low-power ARM nodes and 10 high-performance AMD nodes.  What is the
+cheapest cluster configuration that answers a job within 150 ms, and how
+should the work be split?"
+
+Run:  python examples/quickstart.py
+"""
+
+from repro import (
+    AMD_K10,
+    ARM_CORTEX_A9,
+    ParetoFrontier,
+    evaluate_space,
+    ground_truth_params,
+)
+from repro.workloads.suite import MEMCACHED
+
+DEADLINE_S = 0.150
+JOB_REQUESTS = 50_000.0
+
+
+def main() -> None:
+    # 1. Model inputs for each node type (trace-driven in the paper; the
+    #    catalog ground truth here -- see examples/model_validation.py for
+    #    the calibrated route).
+    params = {
+        node.name: ground_truth_params(node, MEMCACHED)
+        for node in (ARM_CORTEX_A9, AMD_K10)
+    }
+
+    # 2. Evaluate every configuration (node counts x cores x frequency),
+    #    with the job mix-and-match split inside each one.
+    space = evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, params, JOB_REQUESTS)
+    print(f"evaluated {len(space):,} configurations")
+
+    # 3. Pareto frontier and the deadline query.
+    frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+    print(
+        f"frontier: {len(frontier)} points, fastest deadline "
+        f"{frontier.fastest_time_s * 1e3:.1f} ms, global minimum "
+        f"{frontier.min_energy_j:.2f} J"
+    )
+
+    index = frontier.config_index_for_deadline(DEADLINE_S)
+    if index is None:
+        print(f"no configuration meets {DEADLINE_S * 1e3:.0f} ms")
+        return
+    point = space.point(index)
+    config = point.config
+
+    print(f"\ncheapest configuration meeting {DEADLINE_S * 1e3:.0f} ms:")
+    print(f"  {config.label()}")
+    print(
+        f"  split: {point.units_a:,.0f} requests -> ARM, "
+        f"{point.units_b:,.0f} requests -> AMD (both finish together)"
+    )
+    print(f"  job time  : {point.time_s * 1e3:.1f} ms")
+    print(f"  job energy: {point.energy_j:.2f} J")
+
+    # 4. What would homogeneous clusters pay for the same deadline?
+    for label, mask in (("ARM-only", space.is_only_a), ("AMD-only", space.is_only_b)):
+        subset = space.subset(mask)
+        homog = ParetoFrontier.from_points(subset.times_s, subset.energies_j)
+        energy = homog.min_energy_for_deadline(DEADLINE_S)
+        if energy is None:
+            print(f"  {label:8s}: cannot meet the deadline")
+        else:
+            saving = 100.0 * (energy - point.energy_j) / energy
+            print(f"  {label:8s}: {energy:.2f} J  (mix saves {saving:.0f}%)")
+
+
+if __name__ == "__main__":
+    main()

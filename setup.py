@@ -1,0 +1,10 @@
+"""Legacy shim so editable installs work offline (no `wheel` package).
+
+All real metadata lives in pyproject.toml; this file only enables
+``pip install -e . --no-use-pep517`` on environments without network
+access to fetch build backends.
+"""
+
+from setuptools import setup
+
+setup()

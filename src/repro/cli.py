@@ -1,0 +1,359 @@
+"""Command-line interface: regenerate any paper artifact from a terminal.
+
+Usage::
+
+    python -m repro table1
+    python -m repro table5
+    python -m repro fig4 --workload ep
+    python -m repro fig10 --seed 7 --csv out/fig10.csv
+
+Every subcommand prints a text rendering; ``--csv`` additionally exports
+the underlying data.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.reporting.export import write_csv
+from repro.reporting.figures import (
+    build_fig2,
+    build_fig3,
+    build_fig4_fig5,
+    build_fig6_fig7,
+    build_fig8_fig9,
+    build_fig10,
+    build_table1,
+    build_table3,
+    build_table4,
+    build_table5,
+)
+from repro.hardware.catalog import AMD_K10 as _AMD_NODE
+from repro.hardware.catalog import ARM_CORTEX_A9 as _ARM_NODE
+from repro.reporting.tables import Table
+from repro.util.units import seconds_to_ms
+from repro.workloads.suite import EP, MEMCACHED, workload_by_name
+
+
+def _series_table(series_map, title: str) -> Table:
+    """Summarize figure series as (label, n points, x range, y range)."""
+    table = Table(["series", "points", "x range", "y range"], title=title)
+    for label, s in series_map.items():
+        table.add_row(
+            [
+                label,
+                len(s.x),
+                f"{s.x.min():.3g}..{s.x.max():.3g} {s.x_name}",
+                f"{s.y.min():.3g}..{s.y.max():.3g} {s.y_name}",
+            ]
+        )
+    return table
+
+
+def _export_series(series_map, path: Path) -> None:
+    rows = []
+    for label, s in series_map.items():
+        for x, y in zip(s.x, s.y):
+            rows.append([label, x, y])
+    write_csv(path, ["series", "x", "y"], rows)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro-energy",
+        description=(
+            "Reproduce tables/figures of 'Modeling the Energy Efficiency of "
+            "Heterogeneous Clusters' (ICPP 2014)"
+        ),
+    )
+    parser.add_argument(
+        "artifact",
+        choices=[
+            "table1",
+            "table3",
+            "table4",
+            "table5",
+            "fig2",
+            "fig3",
+            "fig4",
+            "fig5",
+            "fig6",
+            "fig7",
+            "fig8",
+            "fig9",
+            "fig10",
+            "reduce",
+            "sensitivity",
+            "threeway",
+            "report",
+        ],
+        help="paper artifact to regenerate, or an extension analysis "
+        "(reduce = configuration-space reduction; sensitivity = parameter "
+        "elasticities; threeway = ARM+AMD+Atom k-way matching demo; "
+        "report = full Markdown reproduction report)",
+    )
+    parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
+    parser.add_argument(
+        "--workload",
+        default=None,
+        help="workload name override where the artifact allows one",
+    )
+    parser.add_argument(
+        "--csv", type=Path, default=None, help="also export data to this CSV path"
+    )
+    parser.add_argument(
+        "--plot",
+        action="store_true",
+        help="render an ASCII chart of the artifact (figures only)",
+    )
+    args = parser.parse_args(argv)
+
+    out = sys.stdout
+    csv_rows = None
+    csv_headers = None
+
+    if args.artifact == "table1":
+        print(build_table1().render(), file=out)
+    elif args.artifact == "table3":
+        table, _ = build_table3(seed=args.seed)
+        print(table.render(), file=out)
+    elif args.artifact == "table4":
+        table, _ = build_table4(seed=args.seed)
+        print(table.render(), file=out)
+    elif args.artifact == "table5":
+        table, _ = build_table5(seed=args.seed)
+        print(table.render(), file=out)
+    elif args.artifact == "fig2":
+        series = build_fig2(seed=args.seed)
+        print(_series_table(series, "Fig 2: WPI/SPI_core constancy").render(), file=out)
+        if args.csv:
+            _export_series(series, args.csv)
+            print(f"wrote {args.csv}", file=out)
+        return 0
+    elif args.artifact == "fig3":
+        series = build_fig3(seed=args.seed)
+        table = Table(
+            ["panel", "r^2", "slope", "intercept"],
+            title="Fig 3: SPI_mem linear regression over frequency",
+        )
+        for label, s in series.items():
+            table.add_row(
+                [label, f"{s.meta['r2']:.3f}", f"{s.meta['slope']:.3f}", f"{s.meta['intercept']:.3f}"]
+            )
+        print(table.render(), file=out)
+        if args.csv:
+            _export_series(series, args.csv)
+            print(f"wrote {args.csv}", file=out)
+        return 0
+    elif args.artifact in ("fig4", "fig5"):
+        workload = workload_by_name(args.workload) if args.workload else (
+            EP if args.artifact == "fig4" else MEMCACHED
+        )
+        fig = build_fig4_fig5(workload, seed=args.seed)
+        table = Table(["quantity", "value"], title=f"Fig {args.artifact[-1]}: {workload.name}")
+        table.add_row(["configurations", len(fig.space)])
+        table.add_row(["frontier points", len(fig.frontier)])
+        table.add_row(
+            ["fastest deadline [ms]", f"{seconds_to_ms(fig.frontier.fastest_time_s):.1f}"]
+        )
+        table.add_row(["min energy [J]", f"{fig.frontier.min_energy_j:.2f}"])
+        table.add_row(["sweet region", "yes" if fig.regions.has_sweet_region else "no"])
+        table.add_row(
+            ["overlap region", "yes" if fig.regions.has_overlap_region else "no"]
+        )
+        print(table.render(), file=out)
+        if args.plot:
+            from repro.reporting.plots import plot_pareto_figure
+
+            print(file=out)
+            print(plot_pareto_figure(fig), file=out)
+        csv_headers = ["time_ms", "energy_j", "n_arm", "n_amd"]
+        csv_rows = [
+            [
+                seconds_to_ms(fig.space.times_s[i]),
+                fig.space.energies_j[i],
+                int(fig.space.n_a[i]),
+                int(fig.space.n_b[i]),
+            ]
+            for i in range(len(fig.space))
+        ]
+    elif args.artifact in ("fig6", "fig7"):
+        workload = workload_by_name(args.workload) if args.workload else (
+            MEMCACHED if args.artifact == "fig6" else EP
+        )
+        series = build_fig6_fig7(workload, seed=args.seed)
+        print(
+            _series_table(
+                series, f"Fig {args.artifact[-1]}: budget mixes for {workload.name}"
+            ).render(),
+            file=out,
+        )
+        if args.plot:
+            from repro.reporting.plots import plot_series_map
+
+            print(file=out)
+            print(plot_series_map(series, x_log=True), file=out)
+        if args.csv:
+            _export_series(series, args.csv)
+            print(f"wrote {args.csv}", file=out)
+        return 0
+    elif args.artifact in ("fig8", "fig9"):
+        workload = workload_by_name(args.workload) if args.workload else (
+            MEMCACHED if args.artifact == "fig8" else EP
+        )
+        series = build_fig8_fig9(workload, seed=args.seed)
+        print(
+            _series_table(
+                series, f"Fig {args.artifact[-1]}: cluster scaling for {workload.name}"
+            ).render(),
+            file=out,
+        )
+        if args.plot:
+            from repro.reporting.plots import plot_series_map
+
+            print(file=out)
+            print(plot_series_map(series, x_log=True), file=out)
+        if args.csv:
+            _export_series(series, args.csv)
+            print(f"wrote {args.csv}", file=out)
+        return 0
+    elif args.artifact == "fig10":
+        workload = workload_by_name(args.workload) if args.workload else MEMCACHED
+        per_util = build_fig10(workload, seed=args.seed)
+        table = Table(
+            ["utilization", "points", "response range [ms]", "energy range [J]"],
+            title="Fig 10: queueing-aware window energy (16 ARM + 14 AMD)",
+        )
+        for u, points in sorted(per_util.items()):
+            responses = [seconds_to_ms(p.response_s) for p in points]
+            energies = [p.window_energy_j for p in points]
+            table.add_row(
+                [
+                    f"{u:.0%}",
+                    len(points),
+                    f"{min(responses):.1f}..{max(responses):.1f}",
+                    f"{min(energies):.1f}..{max(energies):.1f}",
+                ]
+            )
+        print(table.render(), file=out)
+        if args.plot:
+            from repro.reporting.figures import FigureSeries
+            from repro.reporting.plots import plot_series_map
+
+            series = {
+                f"U={u:.0%}": FigureSeries(
+                    label=f"U={u:.0%}",
+                    x=[seconds_to_ms(p.response_s) for p in points],
+                    y=[p.window_energy_j for p in points],
+                    x_name="response [ms]",
+                    y_name="window energy [J]",
+                )
+                for u, points in sorted(per_util.items())
+            }
+            print(file=out)
+            print(plot_series_map(series, x_log=True, y_log=True), file=out)
+        csv_headers = ["utilization", "response_ms", "energy_j", "n_arm", "n_amd"]
+        csv_rows = [
+            [u, seconds_to_ms(p.response_s), p.window_energy_j, p.n_a, p.n_b]
+            for u, points in sorted(per_util.items())
+            for p in points
+        ]
+
+    elif args.artifact == "report":
+        from repro.reporting.report import generate_report
+
+        target_dir = args.csv.parent if args.csv else Path("results")
+        path = generate_report(target_dir, seed=args.seed)
+        print(f"wrote {path}", file=out)
+    elif args.artifact == "reduce":
+        from repro.core.reduction import reduction_summary
+        from repro.reporting.figures import suite_params
+
+        workload = workload_by_name(args.workload) if args.workload else EP
+        units = workload.problem_sizes.get("analysis", workload.default_job_units)
+        summary = reduction_summary(
+            _ARM_NODE, 10, _AMD_NODE, 10, suite_params(workload), units
+        )
+        table = Table(
+            ["quantity", "value"],
+            title=f"Configuration-space reduction for {workload.name} (10x10)",
+        )
+        table.add_row(["full configurations", f"{summary['full_size']:,}"])
+        table.add_row(["reduced configurations", f"{summary['reduced_size']:,}"])
+        table.add_row(["reduction factor", f"{summary['reduction_factor']:.0f}x"])
+        table.add_row(
+            ["ARM settings kept", f"{summary['settings_a'][0]}/{summary['settings_a'][1]}"]
+        )
+        table.add_row(
+            ["AMD settings kept", f"{summary['settings_b'][0]}/{summary['settings_b'][1]}"]
+        )
+        table.add_row(
+            ["frontier preserved", "yes" if summary["frontier_preserved"] else "no"]
+        )
+        print(table.render(), file=out)
+    elif args.artifact == "sensitivity":
+        from repro.core.sensitivity import most_influential, sensitivity_table
+        from repro.reporting.figures import suite_params
+
+        workload = workload_by_name(args.workload) if args.workload else EP
+        units = workload.problem_sizes.get("analysis", workload.default_job_units)
+        rows = sensitivity_table(
+            _ARM_NODE, 4, _AMD_NODE, 4, suite_params(workload), units
+        )
+        table = Table(
+            ["node", "parameter", "min-energy elasticity", "fastest-time elasticity"],
+            title=f"Most influential model inputs for {workload.name}",
+        )
+        for row in most_influential(rows, top=8):
+            table.add_row(
+                [
+                    row.node_name,
+                    row.field,
+                    f"{row.min_energy_elasticity:+.2f}",
+                    f"{row.fastest_time_elasticity:+.2f}",
+                ]
+            )
+        print(table.render(), file=out)
+    elif args.artifact == "threeway":
+        from repro.core.calibration import ground_truth_params
+        from repro.core.matching import GroupSetting
+        from repro.core.multiway import evaluate_multiway
+        from repro.hardware.extension import INTEL_ATOM
+        from repro.workloads.extension import with_atom
+
+        workload = with_atom(
+            workload_by_name(args.workload) if args.workload else EP
+        )
+        units = workload.problem_sizes.get("analysis", workload.default_job_units)
+        groups = [
+            GroupSetting(ground_truth_params(_ARM_NODE, workload), 8, 4, 1.4),
+            GroupSetting(ground_truth_params(_AMD_NODE, workload), 2, 6, 2.1),
+            GroupSetting(ground_truth_params(INTEL_ATOM, workload), 4, 2, 1.66),
+        ]
+        outcome = evaluate_multiway(units, groups)
+        table = Table(
+            ["group", "nodes", "work share", "energy [J]"],
+            title=f"Three-way matched split for {workload.name} "
+            f"(T = {outcome.time_s * 1e3:.1f} ms, total {outcome.energy_j:.2f} J)",
+        )
+        names = ("ARM Cortex-A9 x8", "AMD K10 x2", "Intel Atom x4")
+        for name, group, w, e in zip(
+            names, groups, outcome.match.units, outcome.group_energies_j
+        ):
+            table.add_row(
+                [name, group.n_nodes, f"{w / units:.1%}", f"{e:.2f}"]
+            )
+        print(table.render(), file=out)
+
+    if args.csv and csv_rows is not None:
+        write_csv(args.csv, csv_headers, csv_rows)
+        print(f"wrote {args.csv}", file=out)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

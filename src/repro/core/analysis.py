@@ -1,0 +1,242 @@
+"""High-level analyses: PPR, heterogeneity savings, deadline series.
+
+These are the computations behind the paper's Section IV narrative:
+
+* :func:`performance_to_power` / :func:`table5_rows` -- Table 5's
+  performance-to-power ratios at each node's most energy-efficient
+  single-node setting;
+* :func:`savings_vs_homogeneous` -- the headline "up to 44% (memcached)
+  and 58% (EP)" energy reductions of the heterogeneous frontier over the
+  best homogeneous high-performance configurations;
+* :func:`min_energy_series` -- minimum energy vs deadline curves for a
+  fixed mix (the lines of Figures 6-9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.energymodel import predict_node_energy
+from repro.core.evaluate import ConfigSpaceResult, evaluate_space
+from repro.core.params import NodeModelParams
+from repro.core.pareto import ParetoFrontier
+from repro.core.timemodel import predict_node_time
+from repro.hardware.specs import NodeSpec
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class EfficientSetting:
+    """A node's most energy-efficient single-node operating point."""
+
+    cores: int
+    f_ghz: float
+    time_s: float
+    energy_j: float
+    #: Work units per second at this setting.
+    rate_units_per_s: float
+    #: Average node power at this setting, watts.
+    power_w: float
+
+    @property
+    def ppr(self) -> float:
+        """Performance-to-power ratio: work per second per watt."""
+        return self.rate_units_per_s / self.power_w
+
+
+def most_efficient_setting(
+    node: NodeSpec,
+    params: NodeModelParams,
+    units: Optional[float] = None,
+) -> EfficientSetting:
+    """Scan all (cores, frequency) settings of one node for least energy.
+
+    Energy per job is linear in the job size apart from the arrival
+    floor, so the chosen setting is size-independent for saturating
+    workloads; ``units`` defaults to 1e6 for numerical comfort.
+    """
+    units = 1e6 if units is None else units
+    if units <= 0:
+        raise ValueError("units must be positive")
+    best: Optional[EfficientSetting] = None
+    for cores in range(1, node.cores.count + 1):
+        for f in node.cores.pstates_ghz:
+            times = predict_node_time(params, units, 1, cores, f)
+            energy = predict_node_energy(params, times).energy_j
+            if times.time_s <= 0:
+                continue
+            candidate = EfficientSetting(
+                cores=cores,
+                f_ghz=f,
+                time_s=times.time_s,
+                energy_j=energy,
+                rate_units_per_s=units / times.time_s,
+                power_w=energy / times.time_s,
+            )
+            if best is None or candidate.energy_j < best.energy_j:
+                best = candidate
+    if best is None:
+        raise ValueError("node has no valid operating point")
+    return best
+
+
+def performance_to_power(
+    node: NodeSpec,
+    params: NodeModelParams,
+    units: Optional[float] = None,
+) -> float:
+    """Table 5's PPR: work/s/W at the most energy-efficient setting."""
+    return most_efficient_setting(node, params, units).ppr
+
+
+def table5_rows(
+    workloads: Sequence[WorkloadSpec],
+    nodes: Sequence[NodeSpec],
+    params_fn,
+) -> List[Tuple[str, str, Dict[str, float]]]:
+    """Build Table 5: per workload, the PPR of every node type.
+
+    ``params_fn(node, workload) -> NodeModelParams`` supplies the model
+    inputs (ground truth or calibrated).  Returns
+    ``[(workload, ppr_unit, {node_name: ppr})]``.
+    """
+    rows = []
+    for workload in workloads:
+        values: Dict[str, float] = {}
+        for node in nodes:
+            if not workload.supports(node.name):
+                continue
+            values[node.name] = performance_to_power(node, params_fn(node, workload))
+        rows.append((workload.name, workload.ppr_unit, values))
+    return rows
+
+
+@dataclass(frozen=True)
+class SavingsReport:
+    """Energy savings of the heterogeneous frontier over a homogeneous one."""
+
+    #: Max fractional saving over the evaluated deadlines (0.58 = 58%).
+    max_saving: float
+    #: Deadline at which the max saving occurs, seconds.
+    at_deadline_s: float
+    #: Per-deadline detail: (deadline_s, hetero_energy_j, homog_energy_j).
+    detail: Tuple[Tuple[float, float, float], ...]
+
+
+def savings_vs_homogeneous(
+    space: ConfigSpaceResult,
+    homogeneous_mask: np.ndarray,
+    deadlines_s: Optional[Sequence[float]] = None,
+) -> SavingsReport:
+    """Max energy saving of the full frontier vs a homogeneous sub-frontier.
+
+    ``homogeneous_mask`` selects the comparison configurations (e.g.
+    ``space.is_only_b`` for AMD-only).  Deadlines default to the
+    homogeneous frontier's own points, which is where the comparison is
+    sharpest.
+    """
+    full = ParetoFrontier.from_points(space.times_s, space.energies_j)
+    homog = space.subset(homogeneous_mask)
+    if len(homog) == 0:
+        raise ValueError("homogeneous mask selects no configurations")
+    homog_frontier = ParetoFrontier.from_points(homog.times_s, homog.energies_j)
+
+    if deadlines_s is None:
+        # Union of both frontiers' deadlines: the homogeneous curve is
+        # flat past its last point, which is exactly where relaxing the
+        # deadline lets heterogeneous mixes pull ahead (the headline
+        # "up to 44%/58%" comparisons live there).
+        deadlines_s = np.union1d(homog_frontier.times_s, full.times_s)
+    detail: List[Tuple[float, float, float]] = []
+    best = (0.0, float(deadlines_s[0]))
+    for d in deadlines_s:
+        e_full = full.min_energy_for_deadline(float(d))
+        e_homog = homog_frontier.min_energy_for_deadline(float(d))
+        if e_full is None or e_homog is None or e_homog <= 0:
+            continue
+        saving = (e_homog - e_full) / e_homog
+        detail.append((float(d), e_full, e_homog))
+        if saving > best[0]:
+            best = (saving, float(d))
+    if not detail:
+        raise ValueError("no common feasible deadline between the frontiers")
+    return SavingsReport(max_saving=best[0], at_deadline_s=best[1], detail=tuple(detail))
+
+
+def min_energy_series(
+    space: ConfigSpaceResult,
+    deadlines_s: Sequence[float],
+) -> List[Optional[float]]:
+    """Minimum energy meeting each deadline (``None`` where unmeetable).
+
+    The y-values of one line of Figures 6-9, evaluated on a shared
+    deadline grid so different mixes can be compared point-by-point.
+    """
+    frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+    return [frontier.min_energy_for_deadline(float(d)) for d in deadlines_s]
+
+
+def deadline_grid(
+    start_s: float,
+    stop_s: float,
+    points: int = 60,
+) -> np.ndarray:
+    """Log-spaced deadline grid (the figures use log-scale deadline axes)."""
+    if start_s <= 0 or stop_s <= start_s:
+        raise ValueError("need 0 < start < stop for a log grid")
+    if points < 2:
+        raise ValueError("need at least two grid points")
+    return np.logspace(np.log10(start_s), np.log10(stop_s), points)
+
+
+def fixed_mix_space(
+    spec_low: NodeSpec,
+    n_low: int,
+    spec_high: NodeSpec,
+    n_high: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+) -> ConfigSpaceResult:
+    """Configuration space of one *fixed* node-count mix (Figures 6-9).
+
+    Node counts are pinned; cores and frequencies still range over all
+    settings.  Implemented by evaluating the general space with maxima
+    equal to the pinned counts and filtering to exact-count rows.
+    """
+    if n_low == 0 and n_high == 0:
+        raise ValueError("mix needs at least one node")
+    return evaluate_space(
+        spec_low,
+        max(n_low, 1),
+        spec_high,
+        max(n_high, 1),
+        params,
+        units,
+        counts_a=[n_low],
+        counts_b=[n_high],
+    )
+
+
+def subset_mix_space(
+    spec_low: NodeSpec,
+    n_low: int,
+    spec_high: NodeSpec,
+    n_high: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+) -> ConfigSpaceResult:
+    """Configuration space of an *available* mix: any subset may be used.
+
+    This is the Figures 8-9 / Figure 10 semantics ("unused nodes are
+    turned off", Section IV-E): a cluster of 64 ARM + 8 AMD nodes admits
+    every configuration with up to those counts, which is what makes
+    Observation 3's "more configurations on the sweet region" true --
+    contrast :func:`fixed_mix_space`, where all nodes participate (the
+    Figures 6-7 budget lines).
+    """
+    if n_low == 0 and n_high == 0:
+        raise ValueError("mix needs at least one node")
+    return evaluate_space(spec_low, n_low, spec_high, n_high, params, units)

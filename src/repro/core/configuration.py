@@ -1,0 +1,148 @@
+"""Cluster configuration space (Section IV-B, footnote 2).
+
+A *configuration* fixes, for each node type: how many nodes participate,
+how many cores are active per node, and the core clock.  For a maximum of
+10 ARM and 10 AMD nodes the paper counts:
+
+* heterogeneous: 10 x 5 x 4 x 10 x 3 x 6 = 36,000
+* ARM only:      10 x 5 x 4            =    200
+* AMD only:      10 x 3 x 6            =    180
+
+total 36,380.  :func:`count_configs` reproduces that arithmetic and
+:func:`enumerate_configs` yields every point; the heavy numeric work is
+done vectorized in :mod:`repro.core.evaluate`, so enumeration here stays
+a cheap, readable generator.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional
+
+from repro.hardware.specs import NodeSpec
+
+
+@dataclass(frozen=True)
+class ClusterConfig:
+    """One point of the configuration space.
+
+    Group *a* is conventionally the low-power type (ARM) and group *b*
+    the high-performance type (AMD), matching the paper's presentation;
+    nothing in the code depends on that ordering.  A group with
+    ``n == 0`` is absent and its ``cores``/``f_ghz`` are ignored (kept at
+    the type's maxima for readability).
+    """
+
+    node_a: str
+    n_a: int
+    cores_a: int
+    f_a_ghz: float
+    node_b: str
+    n_b: int
+    cores_b: int
+    f_b_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.n_a < 0 or self.n_b < 0:
+            raise ValueError("node counts must be non-negative")
+        if self.n_a == 0 and self.n_b == 0:
+            raise ValueError("a configuration needs at least one node")
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        """Both node types present."""
+        return self.n_a > 0 and self.n_b > 0
+
+    @property
+    def homogeneous_type(self) -> Optional[str]:
+        """The single node type of a homogeneous config, else ``None``."""
+        if self.is_heterogeneous:
+            return None
+        return self.node_a if self.n_a > 0 else self.node_b
+
+    @property
+    def total_nodes(self) -> int:
+        return self.n_a + self.n_b
+
+    def label(self) -> str:
+        """Short human-readable form, e.g. ``ARM 16:AMD 14`` style."""
+        parts = []
+        if self.n_a:
+            parts.append(f"{self.node_a} x{self.n_a} (c={self.cores_a}, f={self.f_a_ghz})")
+        if self.n_b:
+            parts.append(f"{self.node_b} x{self.n_b} (c={self.cores_b}, f={self.f_b_ghz})")
+        return " + ".join(parts)
+
+
+def count_configs(spec_a: NodeSpec, max_a: int, spec_b: NodeSpec, max_b: int) -> int:
+    """Size of the configuration space, per the paper's footnote arithmetic."""
+    if max_a < 0 or max_b < 0:
+        raise ValueError("maximum node counts must be non-negative")
+    dims_a = len(spec_a.cores.pstates_ghz) * spec_a.cores.count
+    dims_b = len(spec_b.cores.pstates_ghz) * spec_b.cores.count
+    hetero = max_a * dims_a * max_b * dims_b
+    only_a = max_a * dims_a
+    only_b = max_b * dims_b
+    return hetero + only_a + only_b
+
+
+def enumerate_configs(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+) -> Iterator[ClusterConfig]:
+    """Yield every configuration with up to ``max_a``/``max_b`` nodes.
+
+    Order: heterogeneous block first (outer loops over group a), then the
+    two homogeneous blocks -- mirroring the footnote's decomposition.
+    """
+    if max_a < 0 or max_b < 0:
+        raise ValueError("maximum node counts must be non-negative")
+
+    def _settings(spec: NodeSpec):
+        for cores in range(1, spec.cores.count + 1):
+            for f in spec.cores.pstates_ghz:
+                yield cores, f
+
+    # Heterogeneous mixes.
+    for n_a in range(1, max_a + 1):
+        for cores_a, f_a in _settings(spec_a):
+            for n_b in range(1, max_b + 1):
+                for cores_b, f_b in _settings(spec_b):
+                    yield ClusterConfig(
+                        node_a=spec_a.name,
+                        n_a=n_a,
+                        cores_a=cores_a,
+                        f_a_ghz=f_a,
+                        node_b=spec_b.name,
+                        n_b=n_b,
+                        cores_b=cores_b,
+                        f_b_ghz=f_b,
+                    )
+    # Homogeneous: type a only.
+    for n_a in range(1, max_a + 1):
+        for cores_a, f_a in _settings(spec_a):
+            yield ClusterConfig(
+                node_a=spec_a.name,
+                n_a=n_a,
+                cores_a=cores_a,
+                f_a_ghz=f_a,
+                node_b=spec_b.name,
+                n_b=0,
+                cores_b=spec_b.cores.count,
+                f_b_ghz=spec_b.cores.fmax_ghz,
+            )
+    # Homogeneous: type b only.
+    for n_b in range(1, max_b + 1):
+        for cores_b, f_b in _settings(spec_b):
+            yield ClusterConfig(
+                node_a=spec_a.name,
+                n_a=0,
+                cores_a=spec_a.cores.count,
+                f_a_ghz=spec_a.cores.fmax_ghz,
+                node_b=spec_b.name,
+                n_b=n_b,
+                cores_b=cores_b,
+                f_b_ghz=f_b,
+            )

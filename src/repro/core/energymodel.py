@@ -1,0 +1,116 @@
+"""Energy model: Equations 12-19 of the paper.
+
+Per node of a group, over the job's execution time ``T``:
+
+.. math::
+
+    E_{idle} = T \\cdot P_{idle}                                   \\qquad (14)
+
+    E_{core} = (P_{act} T_{act} + P_{stall} T_{stall}) c_{act}     \\qquad (15)
+
+    E_{mem}  = P_{mem} \\cdot T_{mem}                               \\qquad (18)
+
+    E_{I/O}  = P_{I/O} \\cdot T_{I/O}                               \\qquad (19)
+
+and the group total is the per-node sum times ``n`` (Eq. 13); the job
+total adds the groups (Eq. 12) at the caller (:mod:`repro.core.evaluate`).
+
+Note a modeling subtlety the paper keeps: ``T`` in Eq. 14 is the *job*
+time, so idle power is charged for the full duration on every node --
+this is exactly the "energy wastage during the service time" that the
+matching technique minimizes by making all nodes finish together.  When
+groups are mismatched (the baseline schedulers in
+:mod:`repro.scheduling`), the idle charge for the early-finishing group
+extends to the late group's finish.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import NodeModelParams
+from repro.core.timemodel import TimeBreakdown
+
+
+@dataclass(frozen=True)
+class EnergyBreakdown:
+    """Predicted energy of one node group for one job."""
+
+    #: Group total (all ``n`` nodes), joules (Eq. 13).
+    energy_j: float
+    #: Per-node components, joules.
+    e_core_j: float
+    e_mem_j: float
+    e_io_j: float
+    e_idle_j: float
+    #: Number of nodes the per-node components were multiplied by.
+    n_nodes: int
+
+    @property
+    def per_node_j(self) -> float:
+        """Energy of one node of the group, joules."""
+        return self.e_core_j + self.e_mem_j + self.e_io_j + self.e_idle_j
+
+
+def predict_node_energy(
+    params: NodeModelParams,
+    times: TimeBreakdown,
+    job_time_s: float = None,
+) -> EnergyBreakdown:
+    """Predict the energy of the node group described by ``times``.
+
+    Parameters
+    ----------
+    params:
+        Calibrated inputs for this node type and workload.
+    times:
+        The matching :class:`TimeBreakdown` from
+        :func:`repro.core.timemodel.predict_node_time`.
+    job_time_s:
+        Completion time of the *whole job*.  Defaults to the group's own
+        time (the matched case, Eq. 1).  Pass the job's max-over-groups
+        time for unmatched schedules: the idle term then covers the wait.
+
+    Returns
+    -------
+    EnergyBreakdown
+        Component energies per node and the group total.
+    """
+    if job_time_s is None:
+        job_time_s = times.time_s
+    if job_time_s < times.time_s * (1.0 - 1e-9) - 1e-12:
+        raise ValueError(
+            f"job time {job_time_s} cannot precede this group's own "
+            f"completion at {times.time_s}"
+        )
+    # Matching solvers equalize times to ~1 ulp; absorb the dust.
+    job_time_s = max(job_time_s, times.time_s)
+
+    p_act = params.p_act(times.f_ghz)
+    p_stall = params.p_stall(times.f_ghz)
+
+    # Eq. 15-17: active-core energy over work and stall portions.
+    e_core = (p_act * times.t_act_s + p_stall * times.t_stall_s) * times.c_act
+    # Eq. 18: memory charged for the memory response time.
+    e_mem = params.p_mem_w * times.t_mem_s
+    # Eq. 19: NIC charged for the I/O response time.
+    e_io = params.p_io_w * times.t_io_s
+    # Eq. 14: idle floor for the full job duration.
+    e_idle = params.p_idle_w * job_time_s
+
+    per_node = e_core + e_mem + e_io + e_idle
+    return EnergyBreakdown(
+        energy_j=per_node * times.n_nodes,
+        e_core_j=e_core,
+        e_mem_j=e_mem,
+        e_io_j=e_io,
+        e_idle_j=e_idle,
+        n_nodes=times.n_nodes,
+    )
+
+
+def energy_per_unit(params: NodeModelParams, times: TimeBreakdown) -> float:
+    """Joules per work unit at this setting (used by PPR and efficiency scans)."""
+    if times.units <= 0:
+        raise ValueError("energy per unit needs a positive work amount")
+    return predict_node_energy(params, times).energy_j / times.units

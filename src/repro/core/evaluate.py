@@ -1,0 +1,559 @@
+"""Evaluate configurations: matched split, execution time, energy.
+
+Two implementations of the same semantics:
+
+* :func:`evaluate_config` -- scalar, readable, built directly from the
+  equation-level functions (:mod:`timemodel`, :mod:`energymodel`,
+  :mod:`matching`).  The reference.
+* :func:`evaluate_space` -- vectorized over the entire configuration
+  space with NumPy broadcasting (the 36,380-point space of Fig. 4
+  evaluates in milliseconds).  Exploits the exact linear form
+  ``T(W) = max(gamma W, floor)`` and the fact that every energy term is
+  ``n * P_idle * T + W * K + P_IO * max(W * io_slope, floor)`` with a
+  per-setting constant ``K`` (joules per unit, independent of node
+  count) -- see the derivation in this module's helpers.
+
+A property-based test pins the two against each other.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import ClusterConfig
+from repro.core.energymodel import predict_node_energy
+from repro.core.matching import GroupSetting, match_split
+from repro.core.params import NodeModelParams
+from repro.core.timemodel import predict_node_time
+from repro.hardware.specs import NodeSpec
+from repro.util.units import ghz_to_hz
+
+
+@dataclass(frozen=True)
+class ConfigPoint:
+    """One evaluated configuration: the dot on the paper's scatter plots."""
+
+    config: ClusterConfig
+    time_s: float
+    energy_j: float
+    units_a: float
+    units_b: float
+    method: str
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0 or self.energy_j < 0:
+            raise ValueError("negative time or energy for a configuration")
+
+    @property
+    def is_heterogeneous(self) -> bool:
+        return self.config.is_heterogeneous
+
+
+def evaluate_config(
+    config: ClusterConfig,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+) -> ConfigPoint:
+    """Scalar reference evaluation of one configuration.
+
+    ``params`` maps node-type name to that type's calibrated inputs for
+    the workload being analyzed.
+    """
+    if units <= 0:
+        raise ValueError(f"job must contain positive work, got {units}")
+    params_a = params[config.node_a]
+    params_b = params[config.node_b]
+    group_a = GroupSetting(params_a, config.n_a, config.cores_a, config.f_a_ghz)
+    group_b = GroupSetting(params_b, config.n_b, config.cores_b, config.f_b_ghz)
+
+    match = match_split(units, group_a, group_b)
+
+    energy = 0.0
+    if config.n_a > 0:
+        tb_a = predict_node_time(
+            params_a, match.units_a, config.n_a, config.cores_a, config.f_a_ghz
+        )
+        energy += predict_node_energy(params_a, tb_a, job_time_s=match.time_s).energy_j
+    if config.n_b > 0:
+        tb_b = predict_node_time(
+            params_b, match.units_b, config.n_b, config.cores_b, config.f_b_ghz
+        )
+        energy += predict_node_energy(params_b, tb_b, job_time_s=match.time_s).energy_j
+
+    return ConfigPoint(
+        config=config,
+        time_s=match.time_s,
+        energy_j=energy,
+        units_a=match.units_a,
+        units_b=match.units_b,
+        method=match.method,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Vectorized space evaluation
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class _SettingGrid:
+    """Per-setting coefficients for one node type (flattened (cores, f) grid)."""
+
+    cores: np.ndarray  # int, per setting
+    f_ghz: np.ndarray  # float, per setting
+    slope_node: np.ndarray  # seconds per unit for ONE node at this setting
+    k_joules_per_unit: np.ndarray  # W * K energy term, node-count independent
+    io_slope_node: float  # seconds per unit through one NIC
+    floor_job_s: float  # 1/lambda_IO (0 when arrival never binds)
+    p_idle_w: float
+    p_io_w: float
+
+
+def _setting_grid(
+    spec: NodeSpec,
+    params: NodeModelParams,
+    settings: Optional[Sequence[Tuple[int, float]]] = None,
+) -> _SettingGrid:
+    """Precompute every (cores, frequency) setting's coefficients.
+
+    Derivation of ``K`` (energy per work unit, independent of ``n``): with
+    ``I_core = W * IPs / (n c_act)`` each per-node time component is
+    ``W * X / n`` for a per-setting constant ``X``; multiplying the
+    per-node energies by ``n`` cancels the ``1/n``:
+
+    ``E_group = n P_idle T + W [c_act (P_act A + P_stall S) + P_mem M]
+      + P_IO max(W io_slope, floor)``
+
+    with ``A = IPs WPI / (c_act f)``, ``S = IPs SPI_core / (c_act f)``,
+    ``M = IPs (WPI + SPI_mem) / (c_act f)``.
+    """
+    if settings is None:
+        settings = [
+            (cores, f)
+            for cores in range(1, spec.cores.count + 1)
+            for f in spec.cores.pstates_ghz
+        ]
+    else:
+        for cores, f in settings:
+            spec.cores.validate_setting(cores, f)
+        if not settings:
+            raise ValueError(f"empty settings list for {spec.name}")
+    cores_list: List[int] = []
+    f_list: List[float] = []
+    slope_list: List[float] = []
+    k_list: List[float] = []
+    ips = params.instructions_per_unit
+    for cores, f in settings:
+        c_act = params.u_cpu * cores
+        f_hz = ghz_to_hz(f)
+        spi_mem = params.spi_mem(cores, f)
+        spi_eff = max(params.spi_core, spi_mem)
+        cpu_slope = ips * (params.wpi + spi_eff) / (c_act * f_hz)
+        io_slope = params.io_bytes_per_unit / params.io_bandwidth_bytes_s
+        a_coeff = ips * params.wpi / (c_act * f_hz)
+        s_coeff = ips * params.spi_core / (c_act * f_hz)
+        m_coeff = ips * (params.wpi + spi_mem) / (c_act * f_hz)
+        k = (
+            c_act * (params.p_act(f) * a_coeff + params.p_stall(f) * s_coeff)
+            + params.p_mem_w * m_coeff
+        )
+        cores_list.append(cores)
+        f_list.append(f)
+        slope_list.append(max(cpu_slope, io_slope))
+        k_list.append(k)
+    floor = 0.0
+    if params.io_job_arrival_rate is not None:
+        floor = 1.0 / params.io_job_arrival_rate
+    return _SettingGrid(
+        cores=np.asarray(cores_list, dtype=np.int64),
+        f_ghz=np.asarray(f_list, dtype=float),
+        slope_node=np.asarray(slope_list, dtype=float),
+        k_joules_per_unit=np.asarray(k_list, dtype=float),
+        io_slope_node=params.io_bytes_per_unit / params.io_bandwidth_bytes_s,
+        floor_job_s=floor,
+        p_idle_w=params.p_idle_w,
+        p_io_w=params.p_io_w,
+    )
+
+
+@dataclass
+class ConfigSpaceResult:
+    """Flat arrays over the evaluated configuration space.
+
+    Row ``i`` describes one configuration; use :meth:`point` to
+    materialize a :class:`ConfigPoint` (and its :class:`ClusterConfig`)
+    for reporting.
+    """
+
+    node_a: str
+    node_b: str
+    n_a: np.ndarray
+    cores_a: np.ndarray
+    f_a: np.ndarray
+    n_b: np.ndarray
+    cores_b: np.ndarray
+    f_b: np.ndarray
+    units_a: np.ndarray
+    units_b: np.ndarray
+    times_s: np.ndarray
+    energies_j: np.ndarray
+    units_total: float
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+    @property
+    def is_heterogeneous(self) -> np.ndarray:
+        return (self.n_a > 0) & (self.n_b > 0)
+
+    @property
+    def is_only_a(self) -> np.ndarray:
+        return (self.n_a > 0) & (self.n_b == 0)
+
+    @property
+    def is_only_b(self) -> np.ndarray:
+        return (self.n_a == 0) & (self.n_b > 0)
+
+    def config(self, i: int) -> ClusterConfig:
+        """Materialize row ``i``'s configuration."""
+        return ClusterConfig(
+            node_a=self.node_a,
+            n_a=int(self.n_a[i]),
+            cores_a=int(self.cores_a[i]),
+            f_a_ghz=float(self.f_a[i]),
+            node_b=self.node_b,
+            n_b=int(self.n_b[i]),
+            cores_b=int(self.cores_b[i]),
+            f_b_ghz=float(self.f_b[i]),
+        )
+
+    def point(self, i: int) -> ConfigPoint:
+        """Materialize row ``i`` as a :class:`ConfigPoint`."""
+        return ConfigPoint(
+            config=self.config(i),
+            time_s=float(self.times_s[i]),
+            energy_j=float(self.energies_j[i]),
+            units_a=float(self.units_a[i]),
+            units_b=float(self.units_b[i]),
+            method="vectorized",
+        )
+
+    def subset(self, mask: np.ndarray) -> "ConfigSpaceResult":
+        """A copy restricted to the rows where ``mask`` is true."""
+        return ConfigSpaceResult(
+            node_a=self.node_a,
+            node_b=self.node_b,
+            n_a=self.n_a[mask],
+            cores_a=self.cores_a[mask],
+            f_a=self.f_a[mask],
+            n_b=self.n_b[mask],
+            cores_b=self.cores_b[mask],
+            f_b=self.f_b[mask],
+            units_a=self.units_a[mask],
+            units_b=self.units_b[mask],
+            times_s=self.times_s[mask],
+            energies_j=self.energies_j[mask],
+            units_total=self.units_total,
+        )
+
+
+def _vector_match(
+    units: float,
+    gamma_a: np.ndarray,
+    floor_a: np.ndarray,
+    gamma_b: np.ndarray,
+    floor_b: np.ndarray,
+    iterations: int = 80,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized mix-and-match over arrays of group coefficients.
+
+    Returns ``(w_a, time)``.  Mirrors :func:`repro.core.matching.match_split`
+    case-for-case; the mixed floor regime is resolved by the same
+    canonical capacity bisection as the scalar solver (min feasible
+    deadline, proportional-to-capacity assignment), so the two paths and
+    the k-way matcher all pick identical splits even on tie intervals.
+    """
+    w_cf = units * gamma_b / (gamma_a + gamma_b)
+    t_cf = w_cf * gamma_a
+    closed_ok = (t_cf >= floor_a) & (t_cf >= floor_b) & (gamma_a > 0) & (gamma_b > 0)
+
+    t_a_all = np.maximum(gamma_a * units, floor_a)
+    t_b_all = np.maximum(gamma_b * units, floor_b)
+    excl_a = ~closed_ok & (floor_a > t_b_all)
+    excl_b = ~closed_ok & ~excl_a & (floor_b > t_a_all)
+    mixed = ~(closed_ok | excl_a | excl_b)
+
+    w_a = np.where(closed_ok, w_cf, 0.0)
+    time = np.where(closed_ok, t_cf, 0.0)
+    time = np.where(excl_a, t_b_all, time)
+    w_a = np.where(excl_b, units, w_a)
+    time = np.where(excl_b, t_a_all, time)
+
+    if np.any(mixed):
+        ga = gamma_a[mixed]
+        gb = gamma_b[mixed]
+        fa = floor_a[mixed]
+        fb = floor_b[mixed]
+        # Capacity bisection on the deadline T (see matching._capacity_match).
+        lo = np.zeros(ga.shape)
+        hi = np.minimum(np.maximum(ga * units, fa), np.maximum(gb * units, fb))
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            cap = np.where(mid >= fa, mid / ga, 0.0) + np.where(
+                mid >= fb, mid / gb, 0.0
+            )
+            feasible = cap >= units
+            hi = np.where(feasible, mid, hi)
+            lo = np.where(feasible, lo, mid)
+        t_star = hi
+        cap_a = np.where(t_star >= fa, t_star / ga, 0.0)
+        cap_b = np.where(t_star >= fb, t_star / gb, 0.0)
+        total_cap = cap_a + cap_b
+        w_mixed = units * cap_a / total_cap
+        t_mixed = np.maximum(
+            np.where(w_mixed > 0, np.maximum(ga * w_mixed, fa), 0.0),
+            np.where(
+                units - w_mixed > 0,
+                np.maximum(gb * (units - w_mixed), fb),
+                0.0,
+            ),
+        )
+        w_a[mixed] = w_mixed
+        time[mixed] = t_mixed
+    return w_a, time
+
+
+def _group_energy(
+    n: np.ndarray,
+    w: np.ndarray,
+    time: np.ndarray,
+    k: np.ndarray,
+    io_slope: float,
+    floor_job: float,
+    p_idle: float,
+    p_io: float,
+) -> np.ndarray:
+    """Group energy for vectorized settings (see :func:`_setting_grid`)."""
+    e_io = np.where(w > 0, p_io * np.maximum(w * io_slope, floor_job), 0.0)
+    return n * p_idle * time + w * k + e_io
+
+
+def evaluate_space(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    counts_a: Optional[Sequence[int]] = None,
+    counts_b: Optional[Sequence[int]] = None,
+    settings_a: Optional[Sequence[Tuple[int, float]]] = None,
+    settings_b: Optional[Sequence[Tuple[int, float]]] = None,
+) -> ConfigSpaceResult:
+    """Evaluate the full configuration space, vectorized.
+
+    Parameters mirror :func:`repro.core.configuration.enumerate_configs`;
+    row order matches its yield order exactly (heterogeneous block, then
+    a-only, then b-only), which tests rely on.
+
+    ``counts_a``/``counts_b`` pin the per-type node counts to an explicit
+    list instead of ``0..max`` (0 means "this type absent", producing the
+    other type's homogeneous block).  Used by the fixed-mix analyses of
+    Figures 6-9 to avoid enumerating every smaller cluster.
+
+    ``settings_a``/``settings_b`` restrict each type's (cores, frequency)
+    settings to an explicit list instead of the full rectangle -- the
+    hook :mod:`repro.core.reduction` uses to evaluate pruned spaces.
+    """
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    if max_a < 0 or max_b < 0:
+        raise ValueError("maximum node counts must be non-negative")
+    if max_a == 0 and max_b == 0:
+        raise ValueError("space is empty with zero nodes of both types")
+    grid_a = _setting_grid(spec_a, params[spec_a.name], settings_a)
+    grid_b = _setting_grid(spec_b, params[spec_b.name], settings_b)
+
+    counts_a_arr = _normalize_counts(counts_a, max_a)
+    counts_b_arr = _normalize_counts(counts_b, max_b)
+    pos_a = counts_a_arr[counts_a_arr > 0]
+    pos_b = counts_b_arr[counts_b_arr > 0]
+    include_a_only = 0 in counts_b_arr and pos_a.size > 0
+    include_b_only = 0 in counts_a_arr and pos_b.size > 0
+
+    blocks: List[ConfigSpaceResult] = []
+
+    # ---- heterogeneous block -------------------------------------------
+    if pos_a.size > 0 and pos_b.size > 0:
+        # Broadcast to shape (|A|, Sa, |B|, Sb), flattened C-order to
+        # match enumerate_configs' loop nesting.
+        na = pos_a[:, None, None, None]
+        sa = np.arange(grid_a.cores.size)[None, :, None, None]
+        nb = pos_b[None, None, :, None]
+        sb = np.arange(grid_b.cores.size)[None, None, None, :]
+        shape = (pos_a.size, grid_a.cores.size, pos_b.size, grid_b.cores.size)
+
+        gamma_a = grid_a.slope_node[sa] / na
+        gamma_b = grid_b.slope_node[sb] / nb
+        floor_a = grid_a.floor_job_s / na
+        floor_b = grid_b.floor_job_s / nb
+        gamma_a, gamma_b, floor_a, floor_b = np.broadcast_arrays(
+            gamma_a, gamma_b, floor_a, floor_b
+        )
+        w_a, time = _vector_match(
+            units,
+            gamma_a.reshape(-1).copy(),
+            floor_a.reshape(-1).copy(),
+            gamma_b.reshape(-1).copy(),
+            floor_b.reshape(-1).copy(),
+        )
+        w_b = units - w_a
+        na_flat = np.broadcast_to(na, shape).reshape(-1)
+        nb_flat = np.broadcast_to(nb, shape).reshape(-1)
+        sa_flat = np.broadcast_to(sa, shape).reshape(-1)
+        sb_flat = np.broadcast_to(sb, shape).reshape(-1)
+        energy = _group_energy(
+            na_flat,
+            w_a,
+            time,
+            grid_a.k_joules_per_unit[sa_flat],
+            grid_a.io_slope_node,
+            grid_a.floor_job_s,
+            grid_a.p_idle_w,
+            grid_a.p_io_w,
+        ) + _group_energy(
+            nb_flat,
+            w_b,
+            time,
+            grid_b.k_joules_per_unit[sb_flat],
+            grid_b.io_slope_node,
+            grid_b.floor_job_s,
+            grid_b.p_idle_w,
+            grid_b.p_io_w,
+        )
+        blocks.append(
+            ConfigSpaceResult(
+                node_a=spec_a.name,
+                node_b=spec_b.name,
+                n_a=na_flat,
+                cores_a=grid_a.cores[sa_flat],
+                f_a=grid_a.f_ghz[sa_flat],
+                n_b=nb_flat,
+                cores_b=grid_b.cores[sb_flat],
+                f_b=grid_b.f_ghz[sb_flat],
+                units_a=w_a,
+                units_b=w_b,
+                times_s=time,
+                energies_j=energy,
+                units_total=units,
+            )
+        )
+
+    # ---- homogeneous blocks --------------------------------------------
+    for which, spec, grid, counts, include in (
+        ("a", spec_a, grid_a, pos_a, include_a_only),
+        ("b", spec_b, grid_b, pos_b, include_b_only),
+    ):
+        if not include:
+            continue
+        n = np.repeat(counts, grid.cores.size)
+        s = np.tile(np.arange(grid.cores.size), counts.size)
+        gamma = grid.slope_node[s] / n
+        floor = grid.floor_job_s / n
+        time = np.maximum(gamma * units, floor)
+        w = np.full(n.shape, float(units))
+        energy = _group_energy(
+            n,
+            w,
+            time,
+            grid.k_joules_per_unit[s],
+            grid.io_slope_node,
+            grid.floor_job_s,
+            grid.p_idle_w,
+            grid.p_io_w,
+        )
+        zeros_i = np.zeros(n.shape, dtype=np.int64)
+        if which == "a":
+            blocks.append(
+                ConfigSpaceResult(
+                    node_a=spec_a.name,
+                    node_b=spec_b.name,
+                    n_a=n,
+                    cores_a=grid.cores[s],
+                    f_a=grid.f_ghz[s],
+                    n_b=zeros_i,
+                    cores_b=np.full(n.shape, spec_b.cores.count, dtype=np.int64),
+                    f_b=np.full(n.shape, spec_b.cores.fmax_ghz),
+                    units_a=w,
+                    units_b=np.zeros(n.shape),
+                    times_s=time,
+                    energies_j=energy,
+                    units_total=units,
+                )
+            )
+        else:
+            blocks.append(
+                ConfigSpaceResult(
+                    node_a=spec_a.name,
+                    node_b=spec_b.name,
+                    n_a=zeros_i,
+                    cores_a=np.full(n.shape, spec_a.cores.count, dtype=np.int64),
+                    f_a=np.full(n.shape, spec_a.cores.fmax_ghz),
+                    n_b=n,
+                    cores_b=grid.cores[s],
+                    f_b=grid.f_ghz[s],
+                    units_a=np.zeros(n.shape),
+                    units_b=w,
+                    times_s=time,
+                    energies_j=energy,
+                    units_total=units,
+                )
+            )
+
+    return _concat_results(blocks)
+
+
+def _normalize_counts(counts: Optional[Sequence[int]], max_n: int) -> np.ndarray:
+    """Validate/derive a node-count list; default is ``0..max_n``.
+
+    Zero in the list means configurations where this node type is absent
+    (i.e., the *other* type's homogeneous block is included).
+    """
+    if counts is None:
+        return np.arange(0, max_n + 1, dtype=np.int64)
+    arr = np.asarray(sorted(set(int(c) for c in counts)), dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("counts list cannot be empty")
+    if np.any(arr < 0):
+        raise ValueError(f"node counts must be non-negative, got {arr.tolist()}")
+    return arr
+
+
+def _concat_results(blocks: Sequence[ConfigSpaceResult]) -> ConfigSpaceResult:
+    """Concatenate evaluation blocks preserving row order."""
+    if not blocks:
+        raise ValueError(
+            "no configurations to evaluate: the count lists admit neither a "
+            "heterogeneous nor a homogeneous block"
+        )
+    if len(blocks) == 1:
+        return blocks[0]
+    first = blocks[0]
+    return ConfigSpaceResult(
+        node_a=first.node_a,
+        node_b=first.node_b,
+        n_a=np.concatenate([b.n_a for b in blocks]),
+        cores_a=np.concatenate([b.cores_a for b in blocks]),
+        f_a=np.concatenate([b.f_a for b in blocks]),
+        n_b=np.concatenate([b.n_b for b in blocks]),
+        cores_b=np.concatenate([b.cores_b for b in blocks]),
+        f_b=np.concatenate([b.f_b for b in blocks]),
+        units_a=np.concatenate([b.units_a for b in blocks]),
+        units_b=np.concatenate([b.units_b for b in blocks]),
+        times_s=np.concatenate([b.times_s for b in blocks]),
+        energies_j=np.concatenate([b.energies_j for b in blocks]),
+        units_total=first.units_total,
+    )

@@ -1,0 +1,248 @@
+"""Mix-and-match: split one job so all node groups finish simultaneously.
+
+The paper's central scheduling idea (Section I, Eq. 1): serve the job on
+both node types *concurrently*, choosing the split ``W = W_ARM + W_AMD``
+such that ``T_ARM = T_AMD``.  Finishing together eliminates the idle-wait
+energy that a mismatched split burns.
+
+Because the time model is exactly ``T(W) = max(gamma * W, floor)``
+(:func:`repro.core.timemodel.group_time_coefficients`), the matched split
+has a closed form whenever neither group's arrival floor binds:
+
+.. math::
+
+    W_a = W \\cdot \\frac{\\gamma_b}{\\gamma_a + \\gamma_b}
+
+Floor-bound corners are handled explicitly, and a bisection fallback
+(:func:`match_split_bisection`) provides an independent numerical check
+used by the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from scipy.optimize import brentq
+
+from repro.core.params import NodeModelParams
+from repro.core.timemodel import group_time_coefficients, predict_node_time
+
+
+@dataclass(frozen=True)
+class GroupSetting:
+    """One side of a match: parameters plus the group's machine setting."""
+
+    params: NodeModelParams
+    n_nodes: int
+    cores: int
+    f_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.n_nodes < 0:
+            raise ValueError(f"group size must be non-negative, got {self.n_nodes}")
+
+    def coefficients(self) -> tuple:
+        """``(gamma, floor)`` of this group's ``T(W) = max(gamma W, floor)``."""
+        if self.n_nodes == 0:
+            raise ValueError("an empty group has no time coefficients")
+        return group_time_coefficients(
+            self.params, self.n_nodes, self.cores, self.f_ghz
+        )
+
+    def time(self, units: float) -> float:
+        """Group completion time for ``units`` work."""
+        if self.n_nodes == 0:
+            if units > 0:
+                raise ValueError("cannot run work on an empty group")
+            return 0.0
+        return predict_node_time(
+            self.params, units, self.n_nodes, self.cores, self.f_ghz
+        ).time_s
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """A matched work split and the resulting common completion time."""
+
+    units_a: float
+    units_b: float
+    time_s: float
+    #: "closed-form", "floor-a", "floor-b", "degenerate-a", "degenerate-b",
+    #: or "bisection".
+    method: str
+
+    def __post_init__(self) -> None:
+        if self.units_a < 0 or self.units_b < 0:
+            raise ValueError("matched splits cannot be negative")
+        if self.time_s < 0:
+            raise ValueError("completion time cannot be negative")
+
+    @property
+    def total_units(self) -> float:
+        return self.units_a + self.units_b
+
+
+def match_split(total_units: float, a: GroupSetting, b: GroupSetting) -> MatchResult:
+    """Split ``total_units`` between groups ``a`` and ``b`` per Eq. 1.
+
+    Handles four regimes:
+
+    * one group empty -- everything goes to the other;
+    * neither arrival floor binds -- exact closed form;
+    * a floor binds -- the floored group is loaded up to (not beyond) its
+      floor, since that work is "free" under the constant arrival bound;
+    * pathological coefficient combinations fall through to bisection.
+    """
+    if total_units <= 0:
+        raise ValueError(f"job must have positive work, got {total_units}")
+    if a.n_nodes == 0 and b.n_nodes == 0:
+        raise ValueError("cannot match a job onto two empty groups")
+    if a.n_nodes == 0:
+        return MatchResult(0.0, total_units, b.time(total_units), "degenerate-a")
+    if b.n_nodes == 0:
+        return MatchResult(total_units, 0.0, a.time(total_units), "degenerate-b")
+
+    gamma_a, floor_a = a.coefficients()
+    gamma_b, floor_b = b.coefficients()
+    if gamma_a <= 0 and gamma_b <= 0:
+        # Zero service demand per unit on both sides: any split finishes at
+        # the floors; put everything on the lower-floor side (the other
+        # group, running nothing, contributes no floor).
+        if floor_a <= floor_b:
+            return MatchResult(total_units, 0.0, floor_a, "floor-a")
+        return MatchResult(0.0, total_units, floor_b, "floor-b")
+
+    # Unfloored closed form.
+    if gamma_a > 0 and gamma_b > 0:
+        w_a = total_units * gamma_b / (gamma_a + gamma_b)
+        t = w_a * gamma_a
+        if t >= floor_a and t >= floor_b:
+            return MatchResult(w_a, total_units - w_a, t, "closed-form")
+
+    # A floor binds.  A group with zero work contributes no arrival floor
+    # (nothing arrives for it), so if one group's floor strictly exceeds
+    # the other group's everything-assigned time, the time-optimal split
+    # excludes the floored group entirely.
+    t_a_all = max(gamma_a * total_units, floor_a)
+    t_b_all = max(gamma_b * total_units, floor_b)
+    if floor_a > t_b_all:
+        return MatchResult(0.0, total_units, t_b_all, "excluded-a")
+    if floor_b > t_a_all:
+        return MatchResult(total_units, 0.0, t_a_all, "excluded-b")
+
+    # Mixed regime: a floor binds partially (or the floors tie).  Solve
+    # by the canonical capacity formulation so every implementation --
+    # scalar, vectorized, k-way -- picks the same split.
+    return _capacity_match(total_units, gamma_a, floor_a, gamma_b, floor_b)
+
+
+def match_split_bisection(
+    total_units: float,
+    a: GroupSetting,
+    b: GroupSetting,
+    tolerance: float = 1e-12,
+) -> MatchResult:
+    """Numerical matching via Brent's method on ``T_a(w) - T_b(W - w)``.
+
+    Independent of the closed form; used as its cross-check in tests and
+    as the ablation baseline for the "closed-form vs root-finding" bench.
+    Floor-bound regimes (where the root can be non-unique) fall through
+    to the canonical capacity solver, like :func:`match_split`.
+    """
+    if total_units <= 0:
+        raise ValueError(f"job must have positive work, got {total_units}")
+    if a.n_nodes == 0 or b.n_nodes == 0:
+        return match_split(total_units, a, b)
+
+    gamma_a, floor_a = a.coefficients()
+    gamma_b, floor_b = b.coefficients()
+
+    def t_a(w: float) -> float:
+        return max(gamma_a * w, floor_a)
+
+    def t_b(w: float) -> float:
+        return max(gamma_b * w, floor_b)
+
+    def g(w: float) -> float:
+        return t_a(w) - t_b(total_units - w)
+
+    g0, g1 = g(0.0), g(total_units)
+    if g0 > 0.0:
+        # a is floor-bound above b-with-everything: excluding a is fastest
+        # (a zero-work group contributes no arrival floor).
+        return MatchResult(0.0, total_units, t_b(total_units), "excluded-a")
+    if g1 < 0.0:
+        return MatchResult(total_units, 0.0, t_a(total_units), "excluded-b")
+    if floor_a > 0.0 or floor_b > 0.0:
+        # A floor can make the root non-unique; use the canonical solver.
+        return _capacity_match(total_units, gamma_a, floor_a, gamma_b, floor_b)
+
+    w_a = float(
+        brentq(g, 0.0, total_units, xtol=tolerance * max(1.0, total_units))
+    )
+    return MatchResult(w_a, total_units - w_a, t_a(w_a), "bisection")
+
+
+def _capacity_match(
+    total_units: float,
+    gamma_a: float,
+    floor_a: float,
+    gamma_b: float,
+    floor_b: float,
+    iterations: int = 200,
+) -> MatchResult:
+    """Canonical floor-aware matching via the capacity formulation.
+
+    ``T* = min {T : cap_a(T) + cap_b(T) >= W}`` with
+    ``cap_i(T) = T / gamma_i`` when ``T >= floor_i`` else 0; work is then
+    assigned proportionally to capacity, which equalizes the groups'
+    realized times.  This is the two-group specialization of
+    :func:`repro.core.multiway.match_multiway` and resolves the tie
+    interval that appears when both floors bind at the same deadline --
+    every implementation (scalar, vectorized, k-way) uses the same rule.
+    """
+
+    def cap(t: float) -> float:
+        total = 0.0
+        if t >= floor_a:
+            total += t / gamma_a
+        if t >= floor_b:
+            total += t / gamma_b
+        return total
+
+    hi = min(
+        max(gamma_a * total_units, floor_a), max(gamma_b * total_units, floor_b)
+    )
+    lo = 0.0
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if cap(mid) >= total_units:
+            hi = mid
+        else:
+            lo = mid
+    t_star = hi
+    cap_a = t_star / gamma_a if t_star >= floor_a else 0.0
+    cap_b = t_star / gamma_b if t_star >= floor_b else 0.0
+    total_cap = cap_a + cap_b
+    if total_cap <= 0:
+        raise RuntimeError("no capacity at the matched deadline; solver bug")
+    w_a = total_units * cap_a / total_cap
+    w_b = total_units - w_a
+    time = max(
+        max(gamma_a * w_a, floor_a) if w_a > 0 else 0.0,
+        max(gamma_b * w_b, floor_b) if w_b > 0 else 0.0,
+    )
+    return MatchResult(w_a, w_b, time, "capacity")
+
+
+def imbalance_seconds(result: MatchResult, a: GroupSetting, b: GroupSetting) -> float:
+    """Residual |T_a - T_b| of a split -- zero for a perfect match.
+
+    Useful to quantify how much idle-wait a *baseline* splitter leaves on
+    the table; for matched splits this is bounded by solver tolerance
+    (or by a genuinely-binding arrival floor).
+    """
+    t_a = a.time(result.units_a) if a.n_nodes else 0.0
+    t_b = b.time(result.units_b) if b.n_nodes else 0.0
+    if a.n_nodes == 0 or b.n_nodes == 0:
+        return 0.0
+    return abs(t_a - t_b)

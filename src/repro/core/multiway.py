@@ -1,0 +1,180 @@
+"""K-way mix-and-match: more than two node types (paper generalization).
+
+Section II-A notes the methodology "is used to determine a generic mix
+of heterogeneous nodes" but the paper only exercises two types.  This
+module generalizes Eq. 1 to any number of groups.
+
+Formulation.  Each group's time is ``T_i(w) = max(gamma_i w, F_i)`` with
+``gamma_i > 0`` (seconds/unit) and floor ``F_i >= 0`` (its share of the
+arrival bound; a group given zero work contributes nothing).  The job
+time for an assignment ``w`` with ``sum w_i = W`` is ``max_i T_i(w_i)``.
+Define each group's *capacity at deadline T*:
+
+.. math::
+
+    cap_i(T) = T / gamma_i  \\text{ if } T \\ge F_i \\text{ else } 0
+
+(work beyond ``T/gamma_i`` blows the deadline; a group whose floor
+exceeds ``T`` cannot take any work at all).  Total capacity is
+nondecreasing in ``T``, so the minimal feasible job time is
+
+.. math::
+
+    T^* = \\min \\{ T : \\sum_i cap_i(T) \\ge W \\}
+
+found in closed form when no floor binds (``T^* = W / sum_i 1/gamma_i``,
+the harmonic-mean balance of Eq. 1) and by bisection otherwise.  Work is
+then assigned proportionally to capacity, which equalizes the active
+groups' finish times -- the k-way matching property.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.energymodel import predict_node_energy
+from repro.core.matching import GroupSetting
+from repro.core.timemodel import predict_node_time
+
+
+@dataclass(frozen=True)
+class MultiMatchResult:
+    """A matched k-way split."""
+
+    units: Tuple[float, ...]
+    time_s: float
+    method: str
+    #: Indices of groups that received work.
+    active: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if any(u < 0 for u in self.units):
+            raise ValueError("splits cannot be negative")
+        if self.time_s < 0:
+            raise ValueError("completion time cannot be negative")
+
+    @property
+    def total_units(self) -> float:
+        return float(sum(self.units))
+
+
+def match_multiway(
+    total_units: float,
+    groups: Sequence[GroupSetting],
+    iterations: int = 200,
+) -> MultiMatchResult:
+    """Split ``total_units`` across any number of groups, matched.
+
+    Empty groups (``n_nodes == 0``) are carried with zero work.  With two
+    non-empty groups this agrees with :func:`repro.core.matching.match_split`
+    (property-tested).
+    """
+    if total_units <= 0:
+        raise ValueError(f"job must have positive work, got {total_units}")
+    if not groups:
+        raise ValueError("need at least one group")
+
+    present = [i for i, g in enumerate(groups) if g.n_nodes > 0]
+    if not present:
+        raise ValueError("cannot match a job onto only empty groups")
+
+    gammas = np.zeros(len(groups))
+    floors = np.zeros(len(groups))
+    for i in present:
+        gammas[i], floors[i] = groups[i].coefficients()
+    if any(gammas[i] <= 0 for i in present):
+        raise ValueError("every non-empty group needs a positive time slope")
+
+    # Closed form: no floors anywhere.
+    inv = np.array([1.0 / gammas[i] for i in present])
+    if all(floors[i] == 0.0 for i in present):
+        t_star = total_units / float(inv.sum())
+        units = [0.0] * len(groups)
+        for pos, i in enumerate(present):
+            units[i] = total_units * float(inv[pos]) / float(inv.sum())
+        return MultiMatchResult(
+            units=tuple(units),
+            time_s=t_star,
+            method="closed-form",
+            active=tuple(present),
+        )
+
+    # Bisection on the deadline: capacity(T) is nondecreasing.
+    def capacity(t: float) -> float:
+        return float(
+            sum(t / gammas[i] for i in present if t >= floors[i])
+        )
+
+    # Upper bound: the best single group running everything.
+    hi = min(max(gammas[i] * total_units, floors[i]) for i in present)
+    lo = 0.0
+    for _ in range(iterations):
+        mid = 0.5 * (lo + hi)
+        if capacity(mid) >= total_units:
+            hi = mid
+        else:
+            lo = mid
+    t_star = hi
+
+    active = [i for i in present if t_star >= floors[i]]
+    caps = np.array([t_star / gammas[i] for i in active])
+    total_cap = float(caps.sum())
+    if total_cap <= 0:
+        raise RuntimeError("no capacity at the computed deadline; bisection bug")
+    units = [0.0] * len(groups)
+    scale = total_units / total_cap
+    for pos, i in enumerate(active):
+        units[i] = float(caps[pos]) * scale
+    return MultiMatchResult(
+        units=tuple(units),
+        time_s=t_star,
+        method="bisection",
+        active=tuple(active),
+    )
+
+
+@dataclass(frozen=True)
+class MultiwayOutcome:
+    """Time and energy of a k-way matched job."""
+
+    match: MultiMatchResult
+    time_s: float
+    energy_j: float
+    group_energies_j: Tuple[float, ...]
+
+
+def evaluate_multiway(
+    total_units: float,
+    groups: Sequence[GroupSetting],
+) -> MultiwayOutcome:
+    """Match the split and compute the job's total energy (Eqs. 12-19).
+
+    Every group -- including those receiving zero work -- idles for the
+    full job duration, as in the two-type model.
+    """
+    match = match_multiway(total_units, groups)
+    # The reported job time must reflect the realized assignment (floors
+    # of active groups can exceed the balanced time).
+    times: List[float] = []
+    for g, w in zip(groups, match.units):
+        times.append(g.time(w) if g.n_nodes > 0 else 0.0)
+    job_time = max(max(times), match.time_s)
+
+    energies: List[float] = []
+    for g, w in zip(groups, match.units):
+        if g.n_nodes == 0:
+            energies.append(0.0)
+            continue
+        tb = predict_node_time(g.params, w, g.n_nodes, g.cores, g.f_ghz)
+        energies.append(
+            predict_node_energy(g.params, tb, job_time_s=job_time).energy_j
+        )
+    return MultiwayOutcome(
+        match=match,
+        time_s=job_time,
+        energy_j=float(sum(energies)),
+        group_energies_j=tuple(energies),
+    )

@@ -1,0 +1,174 @@
+"""Trace-driven model inputs for one (node type, workload) pair.
+
+Table 2 of the paper splits notation into model-predicted values (``*``)
+and measured inputs (``+``).  :class:`NodeModelParams` is the complete
+set of ``+`` values: what a baseline characterization run plus the power
+meter gives you.  Everything the model predicts derives from these.
+
+Parameters are produced either by :func:`repro.core.calibration.calibrate_node`
+(measured off the simulated testbed, with noise -- the paper's workflow)
+or by :func:`repro.core.calibration.ground_truth_params` (directly from the
+catalog and workload specs, noiseless -- convenient for deterministic
+analyses; validated to agree with calibration within measurement noise).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Mapping, Optional, Tuple
+
+from repro.util.stats import LinearFit
+
+
+@dataclass(frozen=True)
+class SpiMemFit:
+    """``SPI_mem`` as a linear function of core frequency, per core count.
+
+    The paper measures memory stall cycles per instruction at every
+    (active cores, frequency) setting and regresses linearly over
+    frequency for each core count (Section III-C, Fig. 3; r^2 >= 0.94).
+    """
+
+    fits: Mapping[int, LinearFit]
+
+    def __post_init__(self) -> None:
+        if not self.fits:
+            raise ValueError("need at least one per-core-count fit")
+        object.__setattr__(self, "fits", dict(self.fits))
+
+    def spi_mem(self, cores: int, f_ghz: float) -> float:
+        """Predicted memory stall cycles/instruction at ``(cores, f_ghz)``.
+
+        Negative extrapolations are clamped to zero (a fitted intercept
+        can dip slightly below zero at frequencies under the measured
+        range).
+        """
+        fit = self._fit_for(cores)
+        return max(0.0, float(fit.predict(f_ghz)))
+
+    def worst_r2(self) -> float:
+        """Smallest r^2 across core counts (the paper reports >= 0.94)."""
+        return min(fit.r2 for fit in self.fits.values())
+
+    def core_counts(self) -> Tuple[int, ...]:
+        """Core counts the regression was measured at."""
+        return tuple(sorted(self.fits))
+
+    def _fit_for(self, cores: int) -> LinearFit:
+        if cores in self.fits:
+            return self.fits[cores]
+        # Nearest measured core count; calibration measures every count,
+        # so this only triggers for out-of-range requests.
+        available = sorted(self.fits)
+        nearest = min(available, key=lambda c: abs(c - cores))
+        return self.fits[nearest]
+
+
+@dataclass(frozen=True)
+class NodeModelParams:
+    """All measured (``+``) model inputs for one node type and workload.
+
+    Attributes
+    ----------
+    node_name, workload_name:
+        Identity of the characterized pair.
+    instructions_per_unit:
+        ``IPs`` -- machine instructions per work unit on this ISA.
+    wpi, spi_core:
+        Work / non-memory stall cycles per instruction (scale-constant,
+        Section III-B).
+    spimem:
+        The per-core-count linear-in-frequency ``SPI_mem`` model.
+    u_cpu:
+        ``U_CPU`` -- average fraction of cores active during CPU response.
+    io_bytes_per_unit:
+        Bytes DMA-transferred per work unit.
+    io_bandwidth_bytes_s:
+        Single-node NIC bandwidth (from the datasheet, like the paper's
+        Table 1 values).
+    io_job_arrival_rate:
+        ``lambda_I/O`` as jobs/second, or ``None`` when the generator
+        saturates and arrival never binds.
+    p_core_act_w, p_core_stall_w:
+        Per-core incremental power at each P-state, watts
+        (``P_CPU,act``/``P_CPU,stall`` measured via micro-benchmarks).
+    p_mem_w, p_io_w, p_idle_w:
+        Memory active power (from specification, as the paper does),
+        NIC active power (measured) and whole-node idle power (measured).
+    """
+
+    node_name: str
+    workload_name: str
+    instructions_per_unit: float
+    wpi: float
+    spi_core: float
+    spimem: SpiMemFit
+    u_cpu: float
+    io_bytes_per_unit: float
+    io_bandwidth_bytes_s: float
+    io_job_arrival_rate: Optional[float]
+    p_core_act_w: Mapping[float, float]
+    p_core_stall_w: Mapping[float, float]
+    p_mem_w: float
+    p_io_w: float
+    p_idle_w: float
+    #: Provenance note: "calibrated" or "ground-truth".
+    source: str = "ground-truth"
+    #: Diagnostics captured during calibration (e.g. WPI spread).
+    diagnostics: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.instructions_per_unit <= 0:
+            raise ValueError("IPs must be positive")
+        if self.wpi <= 0 or self.spi_core < 0:
+            raise ValueError("WPI must be positive and SPI_core non-negative")
+        if not 0 < self.u_cpu <= 1:
+            raise ValueError(f"U_CPU must be in (0, 1], got {self.u_cpu}")
+        if self.io_bytes_per_unit < 0:
+            raise ValueError("I/O bytes per unit must be non-negative")
+        if self.io_bandwidth_bytes_s <= 0:
+            raise ValueError("I/O bandwidth must be positive")
+        if self.io_job_arrival_rate is not None and self.io_job_arrival_rate <= 0:
+            raise ValueError("arrival rate must be positive or None")
+        if not self.p_core_act_w:
+            raise ValueError("need active-core power at every P-state")
+        if set(self.p_core_act_w) != set(self.p_core_stall_w):
+            raise ValueError("active and stall power must cover the same P-states")
+        for table_name in ("p_core_act_w", "p_core_stall_w"):
+            for f, w in getattr(self, table_name).items():
+                if w < 0:
+                    raise ValueError(f"{table_name}[{f}] is negative: {w}")
+        if min(self.p_mem_w, self.p_io_w, self.p_idle_w) < 0:
+            raise ValueError("component powers must be non-negative")
+        object.__setattr__(self, "p_core_act_w", dict(self.p_core_act_w))
+        object.__setattr__(self, "p_core_stall_w", dict(self.p_core_stall_w))
+
+    # -- lookups ----------------------------------------------------------
+
+    def pstates(self) -> Tuple[float, ...]:
+        """P-states the power characterization covers, ascending."""
+        return tuple(sorted(self.p_core_act_w))
+
+    def p_act(self, f_ghz: float) -> float:
+        """Per-core active power at P-state ``f_ghz``."""
+        return self._power_lookup(self.p_core_act_w, f_ghz, "active")
+
+    def p_stall(self, f_ghz: float) -> float:
+        """Per-core stall power at P-state ``f_ghz``."""
+        return self._power_lookup(self.p_core_stall_w, f_ghz, "stall")
+
+    def spi_mem(self, cores: int, f_ghz: float) -> float:
+        """Memory stall cycles per instruction at ``(cores, f_ghz)``."""
+        return self.spimem.spi_mem(cores, f_ghz)
+
+    def _power_lookup(
+        self, table: Mapping[float, float], f_ghz: float, kind: str
+    ) -> float:
+        try:
+            return table[f_ghz]
+        except KeyError:
+            raise KeyError(
+                f"no {kind}-power characterization at {f_ghz} GHz for "
+                f"{self.node_name}/{self.workload_name}; "
+                f"measured P-states: {sorted(table)}"
+            ) from None

@@ -1,0 +1,115 @@
+"""Energy-deadline Pareto frontier (Section IV-B).
+
+A configuration is Pareto-optimal when no other configuration is both at
+least as fast and at least as energy-frugal.  Sorted by execution time,
+the frontier is the staircase of strictly decreasing minimum energies;
+``min_energy_for_deadline(d)`` answers the paper's operational question
+-- the least energy that meets deadline ``d`` -- by looking up the last
+frontier point with time <= d.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+
+def pareto_indices(times_s: Sequence[float], energies_j: Sequence[float]) -> np.ndarray:
+    """Indices of the Pareto-optimal points, ordered by increasing time.
+
+    O(n log n): sort by (time, energy) and keep each point that strictly
+    improves the running energy minimum.  Duplicate times keep only the
+    cheapest point; a point that ties the running minimum is dominated
+    (weakly) and dropped, so frontier energies are strictly decreasing.
+    """
+    t = np.asarray(times_s, dtype=float)
+    e = np.asarray(energies_j, dtype=float)
+    if t.shape != e.shape or t.ndim != 1:
+        raise ValueError("times and energies must be equal-length 1-D arrays")
+    if t.size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((e, t))
+    keep = []
+    best = np.inf
+    for idx in order:
+        if e[idx] < best:
+            keep.append(idx)
+            best = e[idx]
+    return np.asarray(keep, dtype=np.int64)
+
+
+@dataclass(frozen=True)
+class ParetoFrontier:
+    """The frontier as parallel arrays plus the original point indices."""
+
+    times_s: np.ndarray
+    energies_j: np.ndarray
+    indices: np.ndarray  # into the arrays the frontier was built from
+
+    def __post_init__(self) -> None:
+        if not (len(self.times_s) == len(self.energies_j) == len(self.indices)):
+            raise ValueError("frontier arrays must be parallel")
+        if len(self.times_s) == 0:
+            raise ValueError("a frontier needs at least one point")
+        if np.any(np.diff(self.times_s) <= 0):
+            raise ValueError("frontier times must be strictly increasing")
+        if np.any(np.diff(self.energies_j) >= 0):
+            raise ValueError("frontier energies must be strictly decreasing")
+
+    @classmethod
+    def from_points(
+        cls,
+        times_s: Sequence[float],
+        energies_j: Sequence[float],
+    ) -> "ParetoFrontier":
+        """Build the frontier of a point cloud."""
+        idx = pareto_indices(times_s, energies_j)
+        t = np.asarray(times_s, dtype=float)[idx]
+        e = np.asarray(energies_j, dtype=float)[idx]
+        return cls(times_s=t, energies_j=e, indices=idx)
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+    @property
+    def fastest_time_s(self) -> float:
+        """The tightest deadline any configuration can meet."""
+        return float(self.times_s[0])
+
+    @property
+    def min_energy_j(self) -> float:
+        """The global energy minimum (met at the most relaxed deadline)."""
+        return float(self.energies_j[-1])
+
+    def min_energy_for_deadline(self, deadline_s: float) -> Optional[float]:
+        """Least energy meeting ``deadline_s``, or ``None`` if unmeetable."""
+        if deadline_s < self.times_s[0]:
+            return None
+        pos = int(np.searchsorted(self.times_s, deadline_s, side="right")) - 1
+        return float(self.energies_j[pos])
+
+    def config_index_for_deadline(self, deadline_s: float) -> Optional[int]:
+        """Original-point index of the config chosen for ``deadline_s``."""
+        if deadline_s < self.times_s[0]:
+            return None
+        pos = int(np.searchsorted(self.times_s, deadline_s, side="right")) - 1
+        return int(self.indices[pos])
+
+    def dominates(self, time_s: float, energy_j: float) -> bool:
+        """Whether some frontier point weakly dominates ``(time, energy)``."""
+        best = self.min_energy_for_deadline(time_s)
+        return best is not None and best <= energy_j
+
+    def savings_vs(self, other: "ParetoFrontier", deadline_s: float) -> Optional[float]:
+        """Fractional energy saving of this frontier over ``other`` at a deadline.
+
+        Returns ``None`` when either frontier cannot meet the deadline.
+        Positive means this frontier is cheaper.
+        """
+        mine = self.min_energy_for_deadline(deadline_s)
+        theirs = other.min_energy_for_deadline(deadline_s)
+        if mine is None or theirs is None or theirs == 0.0:
+            return None
+        return (theirs - mine) / theirs

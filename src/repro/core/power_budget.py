@@ -1,0 +1,187 @@
+"""Peak-power budgets and the ARM:AMD substitution ratio (Section IV-C/D).
+
+Datacenters cap peak draw.  The paper asks: within a fixed budget, how
+many high-performance nodes should be swapped for low-power ones?  Its
+accounting (footnote 5): an AMD node peaks at 60 W and an ARM node at
+5 W, so naively 12 ARM replace one AMD -- but the ARM side needs a 20 W
+Ethernet switch, so the paper conservatively charges one switch's worth
+per replaced AMD node, yielding the **8:1 substitution ratio** used by
+Figures 6-9.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.hardware.specs import NodeSpec, SwitchSpec
+
+
+@dataclass(frozen=True)
+class Mix:
+    """A (low-power count, high-performance count) cluster composition."""
+
+    n_low: int
+    n_high: int
+
+    def __post_init__(self) -> None:
+        if self.n_low < 0 or self.n_high < 0:
+            raise ValueError("node counts must be non-negative")
+        if self.n_low == 0 and self.n_high == 0:
+            raise ValueError("a mix needs at least one node")
+
+    def label(self, low_name: str = "ARM", high_name: str = "AMD") -> str:
+        """The paper's legend style: ``ARM 16:AMD 14``."""
+        return f"{low_name} {self.n_low}:{high_name} {self.n_high}"
+
+    def scaled(self, factor: int) -> "Mix":
+        """This mix multiplied by an integer factor (Figs. 8-9)."""
+        if factor < 1:
+            raise ValueError("scale factor must be >= 1")
+        return Mix(self.n_low * factor, self.n_high * factor)
+
+
+def cluster_peak_power(
+    low: NodeSpec,
+    n_low: int,
+    high: NodeSpec,
+    n_high: int,
+    switch: Optional[SwitchSpec] = None,
+) -> float:
+    """Peak cluster draw: node peaks plus switch power for the low-power side.
+
+    The paper charges switch power against the ARM group only (the AMD
+    nodes connect to existing datacenter infrastructure).
+    """
+    if n_low < 0 or n_high < 0:
+        raise ValueError("node counts must be non-negative")
+    power = n_low * low.peak_power_w + n_high * high.peak_power_w
+    if switch is not None:
+        power += switch.power_for(n_low)
+    return power
+
+
+def substitution_ratio(
+    low: NodeSpec,
+    high: NodeSpec,
+    switch: Optional[SwitchSpec] = None,
+) -> int:
+    """Low-power nodes that replace one high-performance node, switch included.
+
+    ``floor((P_peak_high - P_switch) / P_peak_low)``: each replaced
+    high-performance node's budget must fund its share of low-power nodes
+    *and* one switch allocation -- the paper's conservative accounting
+    that turns 12:1 into 8:1.
+    """
+    switch_w = switch.power_w if switch is not None else 0.0
+    available = high.peak_power_w - switch_w
+    if available <= 0:
+        raise ValueError(
+            f"switch power {switch_w} W exceeds the high-performance node's "
+            f"peak {high.peak_power_w} W; no substitution is possible"
+        )
+    ratio = int(available // low.peak_power_w)
+    if ratio < 1:
+        raise ValueError(
+            "one high-performance node's budget cannot fund even a single "
+            "low-power node"
+        )
+    return ratio
+
+
+def budget_mixes(
+    low: NodeSpec,
+    high: NodeSpec,
+    budget_w: float,
+    switch: Optional[SwitchSpec] = None,
+    replacements: Optional[Sequence[int]] = None,
+    ratio: Optional[int] = None,
+) -> List[Mix]:
+    """Mixes obtained by replacing high-performance nodes within a budget.
+
+    The baseline cluster is the largest all-high configuration fitting
+    ``budget_w``; each replacement step converts one high node into
+    ``ratio`` low nodes.  With the paper's 1 kW budget and 8:1 ratio the
+    default replacement schedule reproduces Figure 6/7's legend:
+    ARM 0:AMD 16, 16:14, 32:12, 48:10, 88:5, 112:2, 128:0.
+
+    Parameters
+    ----------
+    replacements:
+        How many high nodes to replace at each step; defaults to the
+        paper's {0, 2, 4, 6, 11, 14, all}.
+    ratio:
+        Low-per-high substitution ratio; computed from the specs and
+        switch when omitted.
+
+    Raises
+    ------
+    ValueError
+        If the budget cannot fit even one high-performance node, or a
+        produced mix exceeds the budget (a sign of an inconsistent
+        custom ratio).
+    """
+    if budget_w <= 0:
+        raise ValueError("power budget must be positive")
+    if ratio is None:
+        ratio = substitution_ratio(low, high, switch)
+    base_high = int(budget_w // high.peak_power_w)
+    if base_high < 1:
+        raise ValueError(
+            f"budget {budget_w} W cannot fit one {high.name} node "
+            f"({high.peak_power_w:.0f} W peak)"
+        )
+    if replacements is None:
+        replacements = [0, 2, 4, 6, base_high - 5, base_high - 2, base_high]
+    mixes: List[Mix] = []
+    for r in replacements:
+        if not 0 <= r <= base_high:
+            raise ValueError(
+                f"cannot replace {r} of {base_high} high-performance nodes"
+            )
+        mix = Mix(n_low=ratio * r, n_high=base_high - r)
+        peak = cluster_peak_power(low, mix.n_low, high, mix.n_high, switch)
+        if peak > budget_w + 1e-9:
+            raise ValueError(
+                f"mix {mix.label()} peaks at {peak:.1f} W, over the "
+                f"{budget_w:.1f} W budget -- substitution ratio too optimistic"
+            )
+        mixes.append(mix)
+    return mixes
+
+
+def scaled_mixes(
+    base: Mix = Mix(8, 1),
+    factors: Sequence[int] = (1, 2, 4, 8, 16),
+) -> List[Mix]:
+    """The cluster-size scaling series of Figures 8-9.
+
+    Multiplies a base mix (default ARM 8 : AMD 1, the substitution-ratio
+    unit cell) by each factor, holding the ratio constant.
+    """
+    if not factors:
+        raise ValueError("need at least one scale factor")
+    return [base.scaled(k) for k in factors]
+
+
+def max_nodes_within_budget(
+    node: NodeSpec,
+    budget_w: float,
+    switch: Optional[SwitchSpec] = None,
+) -> int:
+    """Largest homogeneous cluster of ``node`` fitting the budget.
+
+    Accounts for switch power growing stepwise with node count (each
+    ``switch.ports`` nodes need another switch).
+    """
+    if budget_w <= 0:
+        raise ValueError("power budget must be positive")
+    count = 0
+    while True:
+        candidate = count + 1
+        power = candidate * node.peak_power_w
+        if switch is not None:
+            power += switch.power_for(candidate)
+        if power > budget_w:
+            return count
+        count = candidate

@@ -1,0 +1,186 @@
+"""Parameter sensitivity of the Pareto analysis.
+
+A trace-driven model is only as good as its measured inputs.  This
+module quantifies how the analysis outputs respond to input error:
+perturb one calibrated parameter at a time by a relative amount and
+report the elasticity of
+
+* the frontier's minimum energy (the relaxed-deadline answer), and
+* the minimum energy at a mid-frontier deadline (the SLO answer)
+
+with respect to that parameter.  Elasticities near 1 mean "a 5%
+measurement error moves the answer 5%"; near 0 means the parameter
+barely matters for that workload (e.g. ``SPI_mem`` for a compute-bound
+program), telling a practitioner where to spend measurement effort.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.evaluate import evaluate_space
+from repro.core.params import NodeModelParams, SpiMemFit
+from repro.core.pareto import ParetoFrontier
+from repro.hardware.specs import NodeSpec
+from repro.util.stats import LinearFit
+
+#: Scalar parameters that can be perturbed multiplicatively.
+PERTURBABLE: Tuple[str, ...] = (
+    "instructions_per_unit",
+    "wpi",
+    "spi_core",
+    "u_cpu",
+    "io_bytes_per_unit",
+    "io_bandwidth_bytes_s",
+    "p_mem_w",
+    "p_io_w",
+    "p_idle_w",
+    "spimem",  # scales every fit's slope and intercept
+    "p_core_act_w",  # scales the whole active-power table
+    "p_core_stall_w",
+)
+
+
+def perturb(params: NodeModelParams, field: str, factor: float) -> NodeModelParams:
+    """A copy of ``params`` with one input scaled by ``factor``.
+
+    ``u_cpu`` is clamped into (0, 1]; power tables and the SPI_mem fit
+    are scaled element-wise.
+    """
+    if field not in PERTURBABLE:
+        raise ValueError(
+            f"unknown perturbable field {field!r}; options: {PERTURBABLE}"
+        )
+    if factor <= 0:
+        raise ValueError("perturbation factor must be positive")
+    if field == "spimem":
+        fits = {
+            c: LinearFit(
+                slope=f.slope * factor, intercept=f.intercept * factor, r2=f.r2
+            )
+            for c, f in params.spimem.fits.items()
+        }
+        return dataclasses.replace(params, spimem=SpiMemFit(fits))
+    if field in ("p_core_act_w", "p_core_stall_w"):
+        table = {f: w * factor for f, w in getattr(params, field).items()}
+        return dataclasses.replace(params, **{field: table})
+    if field == "u_cpu":
+        return dataclasses.replace(
+            params, u_cpu=min(1.0, max(1e-6, params.u_cpu * factor))
+        )
+    return dataclasses.replace(params, **{field: getattr(params, field) * factor})
+
+
+@dataclass(frozen=True)
+class SensitivityRow:
+    """Elasticity of the analysis outputs to one parameter of one node."""
+
+    node_name: str
+    field: str
+    #: d(min energy)/min energy per d(param)/param, central difference.
+    min_energy_elasticity: float
+    #: Same for the energy at the probe deadline (None if infeasible).
+    deadline_energy_elasticity: Optional[float]
+    #: Same for the fastest achievable deadline.
+    fastest_time_elasticity: float
+
+
+def _outputs(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    probe_deadline_s: Optional[float],
+) -> Tuple[float, Optional[float], float]:
+    space = evaluate_space(spec_a, max_a, spec_b, max_b, params, units)
+    frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+    at_deadline = (
+        frontier.min_energy_for_deadline(probe_deadline_s)
+        if probe_deadline_s is not None
+        else None
+    )
+    return frontier.min_energy_j, at_deadline, frontier.fastest_time_s
+
+
+def sensitivity_table(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    delta: float = 0.05,
+    fields: Sequence[str] = PERTURBABLE,
+    probe_deadline_s: Optional[float] = None,
+) -> List[SensitivityRow]:
+    """Central-difference elasticities for every (node, field) pair.
+
+    ``probe_deadline_s`` defaults to the midpoint of the baseline
+    frontier's deadline range.
+    """
+    if not 0 < delta < 0.5:
+        raise ValueError("delta must be a small positive fraction")
+    base_space = evaluate_space(spec_a, max_a, spec_b, max_b, params, units)
+    base_frontier = ParetoFrontier.from_points(
+        base_space.times_s, base_space.energies_j
+    )
+    if probe_deadline_s is None:
+        probe_deadline_s = float(
+            np.sqrt(base_frontier.fastest_time_s * base_frontier.times_s[-1])
+        )
+
+    rows: List[SensitivityRow] = []
+    for node_name in sorted(params):
+        for field in fields:
+            outputs = {}
+            for sign, factor in (("-", 1.0 - delta), ("+", 1.0 + delta)):
+                perturbed: Dict[str, NodeModelParams] = dict(params)
+                perturbed[node_name] = perturb(params[node_name], field, factor)
+                outputs[sign] = _outputs(
+                    spec_a,
+                    max_a,
+                    spec_b,
+                    max_b,
+                    perturbed,
+                    units,
+                    probe_deadline_s,
+                )
+
+            def elasticity(lo, hi) -> Optional[float]:
+                if lo is None or hi is None or lo <= 0:
+                    return None
+                return float((hi - lo) / ((hi + lo) / 2) / (2 * delta))
+
+            rows.append(
+                SensitivityRow(
+                    node_name=node_name,
+                    field=field,
+                    min_energy_elasticity=elasticity(
+                        outputs["-"][0], outputs["+"][0]
+                    ),
+                    deadline_energy_elasticity=elasticity(
+                        outputs["-"][1], outputs["+"][1]
+                    ),
+                    fastest_time_elasticity=elasticity(
+                        outputs["-"][2], outputs["+"][2]
+                    ),
+                )
+            )
+    return rows
+
+
+def most_influential(
+    rows: Sequence[SensitivityRow], top: int = 5
+) -> List[SensitivityRow]:
+    """The ``top`` rows by absolute min-energy elasticity."""
+    if top < 1:
+        raise ValueError("need at least one row")
+    return sorted(
+        rows, key=lambda r: abs(r.min_energy_elasticity), reverse=True
+    )[:top]

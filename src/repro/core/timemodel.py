@@ -1,0 +1,201 @@
+"""Execution-time model: Equations 2-11 of the paper.
+
+Given measured inputs (:class:`~repro.core.params.NodeModelParams`) and a
+machine setting ``(n nodes, c cores, f GHz)``, predict how long one node
+group takes to execute ``W_type`` work units:
+
+.. math::
+
+    T_{type} = \\max(T_{CPU}, T_{I/O})                    \\qquad (2)
+
+    T_{CPU}  = \\max(T_{core}, T_{mem})                   \\qquad (3)
+
+    I_{core} = \\frac{W \\cdot IPs}{n \\cdot c_{act}},\\;
+    c_{act} = U_{CPU} \\cdot c                            \\qquad (5, 6)
+
+    T_{core} = \\frac{I_{core}(WPI + SPI_{core})}{f}      \\qquad (7, 8)
+
+    T_{mem}  = \\frac{I_{core}(WPI + SPI_{mem}(c, f))}{f} \\qquad (9, 10)
+
+    T_{I/O}  = \\frac{\\max(T_{IOT}, 1/\\lambda_{I/O})}{n} \\qquad (11)
+
+``T_IOT`` is the time to move the group's whole data through a single
+node's NIC; dividing by ``n`` spreads it across the group.  All times are
+seconds; the total is *linear in W* except for the constant arrival
+floor, which is what makes the matching step solvable in closed form
+(:mod:`repro.core.matching`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.params import NodeModelParams
+from repro.util.units import ghz_to_hz
+
+
+@dataclass(frozen=True)
+class TimeBreakdown:
+    """Predicted response times of one node group for one job."""
+
+    #: Group execution time ``T_type`` (Eq. 2), seconds.
+    time_s: float
+    #: CPU response time per core (Eq. 3), seconds.
+    t_cpu_s: float
+    #: Core response time (Eq. 8), seconds.
+    t_core_s: float
+    #: Memory response time (Eq. 10), seconds.
+    t_mem_s: float
+    #: I/O response time (Eq. 11), seconds.
+    t_io_s: float
+    #: Time in work cycles (Eq. 16), seconds -- feeds the energy model.
+    t_act_s: float
+    #: Time in non-memory stalls (Eq. 17), seconds.
+    t_stall_s: float
+    #: Instructions per active core (Eq. 6).
+    instructions_per_core: float
+    #: Average active cores ``c_act``.
+    c_act: float
+    #: Echo of the evaluated setting.
+    units: float
+    n_nodes: int
+    cores: int
+    f_ghz: float
+
+    @property
+    def bottleneck(self) -> str:
+        """Which response time dominates: ``"io"``, ``"memory"`` or ``"cpu"``."""
+        if self.t_io_s >= self.t_cpu_s and self.t_io_s > 0:
+            return "io"
+        if self.t_mem_s > self.t_core_s:
+            return "memory"
+        return "cpu"
+
+
+def predict_node_time(
+    params: NodeModelParams,
+    units: float,
+    n_nodes: int,
+    cores: int,
+    f_ghz: float,
+) -> TimeBreakdown:
+    """Predict the execution time of ``units`` work on one node group.
+
+    Parameters
+    ----------
+    params:
+        Calibrated inputs for this node type and workload.
+    units:
+        ``W_type`` -- work units assigned to the whole group.
+    n_nodes:
+        Group size ``n`` (must be positive; a zero-node group has no
+        execution time -- handle that at the matching layer).
+    cores, f_ghz:
+        Per-node machine setting.  ``f_ghz`` must be a characterized
+        P-state.
+
+    Returns
+    -------
+    TimeBreakdown
+        All intermediate response times, for reporting and energy.
+    """
+    if units < 0:
+        raise ValueError(f"units must be non-negative, got {units}")
+    if n_nodes < 1:
+        raise ValueError(f"group must have at least one node, got {n_nodes}")
+    if cores < 1:
+        raise ValueError(f"need at least one core, got {cores}")
+    if f_ghz <= 0:
+        raise ValueError(f"frequency must be positive, got {f_ghz}")
+    if units == 0:
+        # A zero-work group is instantaneous: nothing executes and no I/O
+        # arrives for it, so even the arrival floor does not apply.
+        return TimeBreakdown(
+            time_s=0.0,
+            t_cpu_s=0.0,
+            t_core_s=0.0,
+            t_mem_s=0.0,
+            t_io_s=0.0,
+            t_act_s=0.0,
+            t_stall_s=0.0,
+            instructions_per_core=0.0,
+            c_act=params.u_cpu * cores,
+            units=0.0,
+            n_nodes=n_nodes,
+            cores=cores,
+            f_ghz=f_ghz,
+        )
+
+    c_act = params.u_cpu * cores
+    f_hz = ghz_to_hz(f_ghz)
+
+    # Eq. 5-6: instructions per active core.
+    instructions = units * params.instructions_per_unit
+    i_core = instructions / (n_nodes * c_act)
+
+    # Eq. 7-8: core response (work + non-memory stalls).
+    t_core = i_core * (params.wpi + params.spi_core) / f_hz
+
+    # Eq. 9-10: memory response (work + memory stalls).
+    spi_mem = params.spi_mem(cores, f_ghz)
+    t_mem = i_core * (params.wpi + spi_mem) / f_hz
+
+    # Eq. 3: out-of-order overlap.
+    t_cpu = max(t_core, t_mem)
+
+    # Eq. 11: I/O response; transfer and arrival both overlap compute.
+    t_iot = units * params.io_bytes_per_unit / params.io_bandwidth_bytes_s
+    arrival = 0.0 if params.io_job_arrival_rate is None else 1.0 / params.io_job_arrival_rate
+    t_io = max(t_iot, arrival) / n_nodes
+
+    # Eq. 2.
+    time_s = max(t_cpu, t_io)
+
+    # Eq. 16-17: split of core-busy time, used by the energy model.
+    t_act = i_core * params.wpi / f_hz
+    t_stall = i_core * params.spi_core / f_hz
+
+    return TimeBreakdown(
+        time_s=time_s,
+        t_cpu_s=t_cpu,
+        t_core_s=t_core,
+        t_mem_s=t_mem,
+        t_io_s=t_io,
+        t_act_s=t_act,
+        t_stall_s=t_stall,
+        instructions_per_core=i_core,
+        c_act=c_act,
+        units=units,
+        n_nodes=n_nodes,
+        cores=cores,
+        f_ghz=f_ghz,
+    )
+
+
+def group_time_coefficients(
+    params: NodeModelParams,
+    n_nodes: int,
+    cores: int,
+    f_ghz: float,
+) -> tuple:
+    """Linear form of the time model: ``T(W) = max(gamma * W, floor)``.
+
+    Returns ``(gamma, floor)`` with ``gamma`` in seconds/unit and
+    ``floor`` in seconds.  Exact -- every term of Eqs. 2-11 is either
+    proportional to ``W`` or constant -- and the basis of both the
+    closed-form matching and the vectorized space evaluation.
+    """
+    if n_nodes < 1:
+        raise ValueError("group must have at least one node")
+    c_act = params.u_cpu * cores
+    f_hz = ghz_to_hz(f_ghz)
+    spi_eff = max(params.spi_core, params.spi_mem(cores, f_ghz))
+    cpu_slope = params.instructions_per_unit * (params.wpi + spi_eff) / (
+        n_nodes * c_act * f_hz
+    )
+    io_slope = params.io_bytes_per_unit / (params.io_bandwidth_bytes_s * n_nodes)
+    gamma = max(cpu_slope, io_slope)
+    floor = 0.0
+    if params.io_job_arrival_rate is not None:
+        floor = (1.0 / params.io_job_arrival_rate) / n_nodes
+    return gamma, floor

@@ -1,0 +1,44 @@
+"""Hardware substrate: node specifications, DVFS tables, power profiles.
+
+This package describes the *machines* of the paper's testbed (Table 1):
+a low-power ARM Cortex-A9 node and a high-performance AMD Opteron K10
+node, plus the Ethernet switch whose power factors into the paper's
+ARM-to-AMD power substitution ratio (Section IV-C, footnote 5).
+
+The catalog values are the interface between the analytical model, the
+simulator, and the analyses: both consume the same :class:`NodeSpec`, so
+predictions and "measurements" are about the same machine.
+"""
+
+from repro.hardware.specs import (
+    CoreSpec,
+    MemorySpec,
+    IOSpec,
+    NodeSpec,
+    SwitchSpec,
+)
+from repro.hardware.power import PowerProfile, CubicPower
+from repro.hardware.catalog import (
+    ARM_CORTEX_A9,
+    AMD_K10,
+    ETHERNET_SWITCH,
+    NODE_CATALOG,
+    node_by_name,
+    table1_rows,
+)
+
+__all__ = [
+    "CoreSpec",
+    "MemorySpec",
+    "IOSpec",
+    "NodeSpec",
+    "SwitchSpec",
+    "PowerProfile",
+    "CubicPower",
+    "ARM_CORTEX_A9",
+    "AMD_K10",
+    "ETHERNET_SWITCH",
+    "NODE_CATALOG",
+    "node_by_name",
+    "table1_rows",
+]

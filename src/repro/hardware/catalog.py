@@ -1,0 +1,147 @@
+"""The paper's node catalog (Table 1) plus the cluster switch.
+
+The structural numbers (ISA, core counts, frequency ranges, cache sizes,
+memory and NIC capacities) are copied from Table 1.  The power
+coefficients are calibrated -- the paper reports only node-level
+aggregates -- to hit its stated operating points:
+
+* AMD Opteron K10 node: ~60 W peak, 45 W idle (Sections IV-C and IV-E);
+* ARM Cortex-A9 node: ~5 W peak, idles below 2 W (Section IV-E);
+* switch connecting ARM nodes: 20 W (footnote 5), which turns the naive
+  12:1 peak-power substitution ratio into the 8:1 the paper uses.
+
+Memory latencies are textbook values for DDR3-1333 (AMD) and LP-DDR2
+(ARM) with a first-order contention slope per extra active core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from repro.hardware.power import CubicPower, PowerProfile
+from repro.hardware.specs import CoreSpec, IOSpec, MemorySpec, NodeSpec, SwitchSpec
+from repro.util.units import GIB
+
+#: Low-power node: quad-core ARM Cortex-A9 (ARMv7-A), 5 P-states.
+ARM_CORTEX_A9 = NodeSpec(
+    name="arm-cortex-a9",
+    isa="armv7-a",
+    cores=CoreSpec(count=4, pstates_ghz=(0.2, 0.5, 0.8, 1.1, 1.4)),
+    memory=MemorySpec(
+        capacity_bytes=1 * GIB,
+        technology="LP-DDR2",
+        base_latency_ns=110.0,
+        contention_ns_per_core=25.0,
+        contention_quadratic_ns=3.0,
+    ),
+    io=IOSpec(bandwidth_mbps=100.0),
+    power=PowerProfile(
+        idle_w=1.2,
+        core_active=CubicPower(static_w=0.04, dynamic_w_per_ghz3=0.18),
+        # Cortex-A9 clock-gates aggressively while drained on a DRAM
+        # stall, so a stalled core draws well under half its active power.
+        core_stall=CubicPower(static_w=0.012, dynamic_w_per_ghz3=0.025),
+        mem_active_w=0.3,
+        # Dev-board NICs hang off USB/SDIO bridges and draw far more per
+        # bit than a server NIC; this is what makes ARM's memcached energy
+        # frequency-inelastic (no overlap region for I/O-bound work).
+        io_active_w=1.1,
+    ),
+    description="Low-power ARM Cortex-A9 node (Table 1, right column)",
+    caches=(
+        ("L1 data", "32KB / core"),
+        ("L2", "1MB / node"),
+        ("L3", "NA"),
+    ),
+)
+
+#: High-performance node: six-core AMD Opteron K10 (x86_64), 3 P-states.
+AMD_K10 = NodeSpec(
+    name="amd-k10",
+    isa="x86_64",
+    cores=CoreSpec(count=6, pstates_ghz=(0.8, 1.5, 2.1)),
+    memory=MemorySpec(
+        capacity_bytes=8 * GIB,
+        technology="DDR3",
+        base_latency_ns=60.0,
+        contention_ns_per_core=8.0,
+        contention_quadratic_ns=1.0,
+    ),
+    io=IOSpec(bandwidth_mbps=1000.0),
+    power=PowerProfile(
+        idle_w=45.0,
+        core_active=CubicPower(static_w=0.30, dynamic_w_per_ghz3=0.18),
+        core_stall=CubicPower(static_w=0.15, dynamic_w_per_ghz3=0.08),
+        mem_active_w=2.0,
+        io_active_w=1.0,
+    ),
+    description="High-performance AMD Opteron K10 node (Table 1, left column)",
+    caches=(
+        ("L1 data", "64KB / core"),
+        ("L2", "512KB / core"),
+        ("L3", "6MB / node"),
+    ),
+)
+
+#: 48-port switch serving the ARM side of the cluster (footnote 5).
+ETHERNET_SWITCH = SwitchSpec(name="catalyst-2960", power_w=20.0, ports=48)
+
+#: All node types, keyed by name.
+NODE_CATALOG: Dict[str, NodeSpec] = {
+    ARM_CORTEX_A9.name: ARM_CORTEX_A9,
+    AMD_K10.name: AMD_K10,
+}
+
+
+def node_by_name(name: str) -> NodeSpec:
+    """Look up a catalog node, with a helpful error for typos."""
+    try:
+        return NODE_CATALOG[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown node type {name!r}; available: {sorted(NODE_CATALOG)}"
+        ) from None
+
+
+def table1_rows() -> List[Tuple[str, str, str]]:
+    """Rows of the paper's Table 1: (attribute, AMD value, ARM value)."""
+    amd, arm = AMD_K10, ARM_CORTEX_A9
+
+    def cache(node: NodeSpec, level: str) -> str:
+        for name, value in node.caches:
+            if name == level:
+                return value
+        return "NA"
+
+    return [
+        ("ISA", amd.isa, arm.isa),
+        ("Cores/node", str(amd.cores.count), str(arm.cores.count)),
+        (
+            "Clock Freq",
+            f"{amd.cores.fmin_ghz}-{amd.cores.fmax_ghz} GHz",
+            f"{arm.cores.fmin_ghz}-{arm.cores.fmax_ghz} GHz",
+        ),
+        ("L1 data cache", cache(amd, "L1 data"), cache(arm, "L1 data")),
+        ("L2 cache", cache(amd, "L2"), cache(arm, "L2")),
+        ("L3 cache", cache(amd, "L3"), cache(arm, "L3")),
+        (
+            "Memory",
+            f"{amd.memory.capacity_bytes // GIB}GB {amd.memory.technology}",
+            f"{arm.memory.capacity_bytes // GIB}GB {arm.memory.technology}",
+        ),
+        (
+            "I/O bandwidth",
+            f"{amd.io.bandwidth_mbps:.0f}Mbps",
+            f"{arm.io.bandwidth_mbps:.0f}Mbps",
+        ),
+        (
+            "Peak power (calibrated)",
+            f"{amd.peak_power_w:.1f}W",
+            f"{arm.peak_power_w:.1f}W",
+        ),
+        (
+            "Idle power (calibrated)",
+            f"{amd.idle_power_w:.1f}W",
+            f"{arm.idle_power_w:.1f}W",
+        ),
+    ]

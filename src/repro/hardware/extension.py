@@ -1,0 +1,47 @@
+"""Extension hardware: a third node type beyond the paper's Table 1.
+
+The paper's related work (Chun et al., "An Energy Case for Hybrid
+Datacenters") studies Xeon+Atom mixes; this module adds an Intel Atom
+D510-class node so the k-way generalization in
+:mod:`repro.core.multiway` has a realistic third point between the
+Cortex-A9 and the Opteron.  Numbers follow period Atom mini-server
+boards: dual-core in-order x86 at 0.8-1.66 GHz, ~18 W system idle,
+~27 W peak.
+
+This node is **not** part of the paper's experiments; nothing in the
+reproduction benches depends on it.
+"""
+
+from __future__ import annotations
+
+from repro.hardware.power import CubicPower, PowerProfile
+from repro.hardware.specs import CoreSpec, IOSpec, MemorySpec, NodeSpec
+from repro.util.units import GIB
+
+#: Mid-power node: dual-core Intel Atom D510 (x86_64, in-order).
+INTEL_ATOM = NodeSpec(
+    name="intel-atom",
+    isa="x86_64",
+    cores=CoreSpec(count=2, pstates_ghz=(0.8, 1.2, 1.66)),
+    memory=MemorySpec(
+        capacity_bytes=2 * GIB,
+        technology="DDR2",
+        base_latency_ns=90.0,
+        contention_ns_per_core=15.0,
+        contention_quadratic_ns=2.0,
+    ),
+    io=IOSpec(bandwidth_mbps=1000.0),
+    power=PowerProfile(
+        idle_w=18.0,
+        core_active=CubicPower(static_w=0.8, dynamic_w_per_ghz3=0.7),
+        core_stall=CubicPower(static_w=0.4, dynamic_w_per_ghz3=0.3),
+        mem_active_w=1.0,
+        io_active_w=0.5,
+    ),
+    description="Extension node: Intel Atom D510 mini-server (not in Table 1)",
+    caches=(
+        ("L1 data", "24KB / core"),
+        ("L2", "512KB / core"),
+        ("L3", "NA"),
+    ),
+)

@@ -1,0 +1,97 @@
+"""Power characterization of a node's components.
+
+The paper (Section II-A) splits node power into four parts: cores, memory,
+the network I/O device, and "the rest of the system" (a fixed draw).
+Cores never sleep (C-state 0) but change P-state, so per-core power is a
+function of frequency and of activity kind (executing work cycles vs
+stalling on cache misses).
+
+Core power follows the classic CMOS law ``P = P_static + C * V^2 * f``;
+with voltage scaling roughly linear in frequency this gives a cubic
+dynamic term, so we model per-core power as ``a + b * f^3`` (GHz).  The
+cubic exponent is what creates the paper's "overlap region" on the Pareto
+frontier: below some frequency, running slower stops saving energy because
+the fixed idle power is integrated over a longer run time (Section IV-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CubicPower:
+    """Per-core power law ``P(f) = static_w + dynamic_w_per_ghz3 * f^3``.
+
+    ``f`` is the core clock in GHz.  The two coefficients correspond to
+    the leakage/static floor and the switching (dynamic) energy per cycle
+    scaled by the square of supply voltage.
+    """
+
+    static_w: float
+    dynamic_w_per_ghz3: float
+
+    def __post_init__(self) -> None:
+        if self.static_w < 0 or self.dynamic_w_per_ghz3 < 0:
+            raise ValueError(
+                f"power coefficients must be non-negative, got "
+                f"static={self.static_w}, dynamic={self.dynamic_w_per_ghz3}"
+            )
+
+    def watts(self, f_ghz) -> float:
+        """Power draw at clock ``f_ghz`` (scalar or NumPy array)."""
+        return self.static_w + self.dynamic_w_per_ghz3 * f_ghz**3
+
+
+@dataclass(frozen=True)
+class PowerProfile:
+    """Complete power characterization of one node type.
+
+    Attributes
+    ----------
+    idle_w:
+        Whole-node power with no workload: cores in their idle loop at
+        C-state 0, memory in self-refresh, NIC idle, plus the fixed
+        rest-of-system draw (PSU losses, motherboard, fans).  This is the
+        ``P_idle`` of Eq. 14 and it is burned for the *entire* job
+        duration on every powered node.
+    core_active:
+        Incremental per-core power above idle while retiring work cycles
+        (``P_CPU,act``), as a function of frequency.
+    core_stall:
+        Incremental per-core power above idle while stalled on memory
+        (``P_CPU,stall``).  Stalled pipelines clock-gate most functional
+        units, so this is well below ``core_active``.
+    mem_active_w:
+        Incremental memory-subsystem power while servicing requests
+        (``P_mem``), from DDR datasheet currents as in the paper.
+    io_active_w:
+        Incremental NIC power while transferring (``P_I/O``).
+    """
+
+    idle_w: float
+    core_active: CubicPower
+    core_stall: CubicPower
+    mem_active_w: float
+    io_active_w: float
+
+    def __post_init__(self) -> None:
+        if self.idle_w < 0:
+            raise ValueError(f"idle power must be non-negative, got {self.idle_w}")
+        if self.mem_active_w < 0 or self.io_active_w < 0:
+            raise ValueError("memory/I-O active power must be non-negative")
+
+    def peak_w(self, cores: int, fmax_ghz: float) -> float:
+        """Peak node draw: all cores active at ``fmax`` plus memory and NIC.
+
+        This is the number the paper's power-substitution ratio is built
+        from (60 W per AMD node, 5 W per ARM node).
+        """
+        if cores < 1:
+            raise ValueError(f"a node has at least one core, got {cores}")
+        return (
+            self.idle_w
+            + cores * self.core_active.watts(fmax_ghz)
+            + self.mem_active_w
+            + self.io_active_w
+        )

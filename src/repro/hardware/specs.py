@@ -1,0 +1,207 @@
+"""Structural node specifications (cores, memory, network I/O).
+
+A :class:`NodeSpec` is the single source of truth about a machine type.
+The analytical model reads its DVFS table and bandwidths; the simulator
+additionally uses the memory-latency parameters to *generate* the stall
+behaviour that the model then has to predict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.hardware.power import PowerProfile
+from repro.util.units import mbps_to_bytes_per_s
+
+
+@dataclass(frozen=True)
+class CoreSpec:
+    """CPU complex of a node: core count and available P-states.
+
+    ``pstates_ghz`` is the ascending tuple of selectable core clocks; the
+    paper enumerates 5 frequencies per ARM node and 3 per AMD node when
+    counting the 36,380-point configuration space (Section IV-B,
+    footnote 2).
+    """
+
+    count: int
+    pstates_ghz: Tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if self.count < 1:
+            raise ValueError(f"core count must be >= 1, got {self.count}")
+        if not self.pstates_ghz:
+            raise ValueError("a node needs at least one P-state")
+        if any(f <= 0 for f in self.pstates_ghz):
+            raise ValueError(f"P-states must be positive, got {self.pstates_ghz}")
+        if tuple(sorted(self.pstates_ghz)) != tuple(self.pstates_ghz):
+            raise ValueError(f"P-states must be ascending, got {self.pstates_ghz}")
+        if len(set(self.pstates_ghz)) != len(self.pstates_ghz):
+            raise ValueError(f"P-states must be distinct, got {self.pstates_ghz}")
+
+    @property
+    def fmin_ghz(self) -> float:
+        """Lowest selectable core clock."""
+        return self.pstates_ghz[0]
+
+    @property
+    def fmax_ghz(self) -> float:
+        """Highest selectable core clock."""
+        return self.pstates_ghz[-1]
+
+    def validate_setting(self, cores: int, f_ghz: float) -> None:
+        """Raise ``ValueError`` unless ``(cores, f_ghz)`` is selectable."""
+        if not 1 <= cores <= self.count:
+            raise ValueError(f"active cores must be in [1, {self.count}], got {cores}")
+        if f_ghz not in self.pstates_ghz:
+            raise ValueError(
+                f"frequency {f_ghz} GHz is not a P-state of this node "
+                f"(available: {self.pstates_ghz})"
+            )
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """Memory subsystem: capacity, technology and timing.
+
+    The paper assumes a single memory controller shared by all cores
+    (UMA).  ``base_latency_ns`` is the unloaded round-trip latency of a
+    last-level-cache miss; ``contention_ns_per_core`` is the additional
+    queueing delay contributed by each *extra* concurrently active core,
+    the first-order contention effect of [Tudor et al., ICPP'11] cited in
+    Section II-B2.  ``contention_quadratic_ns`` adds a small second-order
+    term that the *simulator* applies but the *analytical model does not
+    capture* -- it is one honest source of the model's validation error.
+    """
+
+    capacity_bytes: int
+    technology: str
+    base_latency_ns: float
+    contention_ns_per_core: float
+    contention_quadratic_ns: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        if self.base_latency_ns <= 0:
+            raise ValueError("base memory latency must be positive")
+        if self.contention_ns_per_core < 0 or self.contention_quadratic_ns < 0:
+            raise ValueError("contention terms must be non-negative")
+
+    def latency_ns(self, active_cores: float, f_ratio: float = 1.0) -> float:
+        """Average miss latency seen with ``active_cores`` loading the controller.
+
+        ``f_ratio`` is the core clock relative to ``fmax``; the quadratic
+        term scales with it because faster cores issue misses at a higher
+        rate, deepening the controller queue.  Accepts fractional
+        ``active_cores`` (the model's ``c_act = U_CPU * c`` is an average).
+        """
+        extra = max(0.0, float(active_cores) - 1.0)
+        return (
+            self.base_latency_ns
+            + self.contention_ns_per_core * extra
+            + self.contention_quadratic_ns * extra * extra * max(0.0, f_ratio)
+        )
+
+
+@dataclass(frozen=True)
+class IOSpec:
+    """Network I/O device: a single memory-mapped, DMA-driven NIC.
+
+    Transfers fully overlap with CPU activity (Section II-A).  The paper's
+    nodes have one NIC each: 1 Gbps on AMD, 100 Mbps on ARM.
+    """
+
+    bandwidth_mbps: float
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mbps <= 0:
+            raise ValueError(f"I/O bandwidth must be positive, got {self.bandwidth_mbps}")
+
+    @property
+    def bandwidth_bytes_per_s(self) -> float:
+        """Link rate in bytes/second."""
+        return mbps_to_bytes_per_s(self.bandwidth_mbps)
+
+
+@dataclass(frozen=True)
+class NodeSpec:
+    """A complete node type: identity, structure and power.
+
+    Instances are immutable and hashable so they can key dictionaries of
+    calibrated model parameters.
+    """
+
+    name: str
+    isa: str
+    cores: CoreSpec
+    memory: MemorySpec
+    io: IOSpec
+    power: PowerProfile
+    description: str = ""
+    caches: Tuple[Tuple[str, str], ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("node name must be non-empty")
+
+    @property
+    def peak_power_w(self) -> float:
+        """Peak draw with every core at fmax (the substitution-ratio input)."""
+        return self.power.peak_w(self.cores.count, self.cores.fmax_ghz)
+
+    @property
+    def idle_power_w(self) -> float:
+        """Whole-node idle draw."""
+        return self.power.idle_w
+
+    def config_count(self, max_nodes: int) -> int:
+        """Number of single-type cluster configurations with up to ``max_nodes``.
+
+        ``max_nodes * |pstates| * |cores|`` -- the per-type factor in the
+        paper's 36,380-configuration example.
+        """
+        if max_nodes < 0:
+            raise ValueError("max_nodes must be non-negative")
+        return max_nodes * len(self.cores.pstates_ghz) * self.cores.count
+
+    def __str__(self) -> str:
+        return (
+            f"{self.name} ({self.isa}): {self.cores.count} cores @ "
+            f"{self.cores.fmin_ghz}-{self.cores.fmax_ghz} GHz, "
+            f"{self.memory.capacity_bytes / 2**30:.0f} GiB {self.memory.technology}, "
+            f"{self.io.bandwidth_mbps:.0f} Mbps NIC, peak {self.peak_power_w:.1f} W"
+        )
+
+
+@dataclass(frozen=True)
+class SwitchSpec:
+    """Ethernet switch interconnecting low-power nodes.
+
+    The paper's substitution-ratio footnote charges 20 W of switch power
+    against the ARM side of the cluster; ``ports`` bounds how many nodes
+    one switch can serve.
+    """
+
+    name: str
+    power_w: float
+    ports: int
+
+    def __post_init__(self) -> None:
+        if self.power_w < 0:
+            raise ValueError("switch power must be non-negative")
+        if self.ports < 1:
+            raise ValueError("switch needs at least one port")
+
+    def switches_needed(self, nodes: int) -> int:
+        """How many switches a group of ``nodes`` nodes requires."""
+        if nodes < 0:
+            raise ValueError("node count must be non-negative")
+        if nodes == 0:
+            return 0
+        return -(-nodes // self.ports)  # ceiling division
+
+    def power_for(self, nodes: int) -> float:
+        """Total switch power attributable to ``nodes`` nodes."""
+        return self.power_w * self.switches_needed(nodes)

@@ -1,0 +1,40 @@
+"""Job-arrival queueing layer (Section IV-E).
+
+The paper extends the per-job Pareto analysis with an M/D/1 queue: jobs
+arrive Poisson at a dispatcher, service time is deterministic (fixed by
+the matched configuration), and waiting inflates the response time while
+idle gaps between jobs burn idle power.  This package provides
+
+* the analytic M/D/1 model the paper uses, plus M/M/1 and M/G/1
+  (Pollaczek-Khinchine) for the sensitivity ablation;
+* a discrete-event single-server queue simulator that validates the
+  formulas (built on :class:`repro.simulator.engine.EventLoop`);
+* the observation-window energy accounting behind Figure 10.
+"""
+
+from repro.queueing.models import MD1Queue, MM1Queue, MG1Queue, QueueModel
+from repro.queueing.simulation import QueueSimStats, simulate_queue
+from repro.queueing.dispatcher import (
+    WindowPoint,
+    window_energy,
+    figure10_series,
+)
+from repro.queueing.tail import MD1WaitDistribution, percentile_feasible_energy
+from repro.queueing.replay import WindowReplay, replay_mean, replay_window
+
+__all__ = [
+    "MD1Queue",
+    "MM1Queue",
+    "MG1Queue",
+    "QueueModel",
+    "QueueSimStats",
+    "simulate_queue",
+    "WindowPoint",
+    "window_energy",
+    "figure10_series",
+    "MD1WaitDistribution",
+    "percentile_feasible_energy",
+    "WindowReplay",
+    "replay_mean",
+    "replay_window",
+]

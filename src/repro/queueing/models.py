@@ -1,0 +1,122 @@
+"""Analytic single-server queue models: M/D/1 (the paper's), M/M/1, M/G/1.
+
+All three are special cases of the Pollaczek-Khinchine mean-waiting-time
+formula for an M/G/1 queue with Poisson arrivals at rate ``lambda`` and
+service time ``S`` (mean ``T``, squared coefficient of variation
+``c_s^2 = Var(S)/T^2``):
+
+.. math::
+
+    W_q = \\frac{\\rho T (1 + c_s^2)}{2 (1 - \\rho)}, \\quad \\rho = \\lambda T
+
+* deterministic service (``c_s^2 = 0``) gives the paper's M/D/1:
+  ``W_q = rho T / (2 (1 - rho))``;
+* exponential service (``c_s^2 = 1``) gives M/M/1:
+  ``W_q = rho T / (1 - rho)``.
+
+The paper's matched configurations have fixed service time per job,
+which is what justifies the deterministic-service choice; the M/M/1 and
+M/G/1 variants quantify how sensitive Figure 10 is to that assumption
+(an ablation bench).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class QueueModel:
+    """Base single-server queue: Poisson arrivals, general service (M/G/1).
+
+    Attributes
+    ----------
+    service_s:
+        Mean service time ``T`` per job, seconds.
+    arrival_rate:
+        Poisson arrival rate ``lambda``, jobs/second.
+    service_scv:
+        Squared coefficient of variation of the service time.
+    """
+
+    service_s: float
+    arrival_rate: float
+    service_scv: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.service_s <= 0:
+            raise ValueError(f"service time must be positive, got {self.service_s}")
+        if self.arrival_rate < 0:
+            raise ValueError(f"arrival rate must be non-negative, got {self.arrival_rate}")
+        if self.service_scv < 0:
+            raise ValueError("squared coefficient of variation must be non-negative")
+        if self.utilization >= 1.0:
+            raise ValueError(
+                f"queue is unstable: utilization {self.utilization:.3f} >= 1 "
+                f"(lambda={self.arrival_rate}, T={self.service_s})"
+            )
+
+    @property
+    def utilization(self) -> float:
+        """``rho = lambda * T`` -- the paper's cluster utilization ``U``."""
+        return self.arrival_rate * self.service_s
+
+    @property
+    def mean_wait_s(self) -> float:
+        """Mean time in queue before service starts (Pollaczek-Khinchine)."""
+        rho = self.utilization
+        if rho == 0.0:
+            return 0.0
+        return rho * self.service_s * (1.0 + self.service_scv) / (2.0 * (1.0 - rho))
+
+    @property
+    def mean_response_s(self) -> float:
+        """Mean response time: waiting plus service."""
+        return self.mean_wait_s + self.service_s
+
+    @property
+    def mean_jobs_queued(self) -> float:
+        """Mean queue length ``L_q = lambda * W_q`` (Little's law)."""
+        return self.arrival_rate * self.mean_wait_s
+
+    @property
+    def mean_jobs_in_system(self) -> float:
+        """Mean jobs present ``L = lambda * R`` (Little's law)."""
+        return self.arrival_rate * self.mean_response_s
+
+    @classmethod
+    def for_utilization(
+        cls, service_s: float, utilization: float, **kwargs
+    ) -> "QueueModel":
+        """Construct from a target utilization: ``lambda = U / T``.
+
+        This is how the paper parameterizes Figure 10 (U = 5%, 25%, 50%).
+        """
+        if not 0.0 <= utilization < 1.0:
+            raise ValueError(f"utilization must be in [0, 1), got {utilization}")
+        return cls(
+            service_s=service_s, arrival_rate=utilization / service_s, **kwargs
+        )
+
+
+@dataclass(frozen=True)
+class MD1Queue(QueueModel):
+    """Deterministic service: the paper's model (``c_s^2 = 0``)."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "service_scv", 0.0)
+        super().__post_init__()
+
+
+@dataclass(frozen=True)
+class MM1Queue(QueueModel):
+    """Exponential service (``c_s^2 = 1``): the ablation's pessimistic case."""
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "service_scv", 1.0)
+        super().__post_init__()
+
+
+@dataclass(frozen=True)
+class MG1Queue(QueueModel):
+    """General service with explicit ``service_scv`` (Pollaczek-Khinchine)."""

@@ -1,0 +1,84 @@
+"""One-call conveniences for the common analyses.
+
+These wrap the full pipeline (parameters -> space -> frontier) with the
+paper's defaults so a downstream user can get from zero to a result in a
+couple of lines; the underlying pieces remain fully composable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.core.evaluate import evaluate_space
+from repro.core.pareto import ParetoFrontier
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.util.rng import SeedLike
+from repro.workloads.base import WorkloadSpec
+from repro.workloads.suite import workload_by_name
+
+
+def _resolve(workload: Union[str, WorkloadSpec]) -> WorkloadSpec:
+    if isinstance(workload, str):
+        return workload_by_name(workload)
+    return workload
+
+
+def pareto(
+    workload: Union[str, WorkloadSpec],
+    max_arm: int = 10,
+    max_amd: int = 10,
+    units: Optional[float] = None,
+    calibrated: bool = False,
+    seed: SeedLike = 0,
+):
+    """Full Pareto analysis with the paper's defaults (Figs. 4-5).
+
+    Returns a :class:`repro.reporting.figures.ParetoFigure` carrying the
+    evaluated space, the three frontiers, and the region decomposition.
+    """
+    from repro.reporting.figures import build_fig4_fig5
+
+    return build_fig4_fig5(
+        _resolve(workload),
+        max_arm=max_arm,
+        max_amd=max_amd,
+        units=units,
+        calibrated=calibrated,
+        seed=seed,
+    )
+
+
+def min_energy_for_deadline(
+    workload: Union[str, WorkloadSpec],
+    deadline_s: float,
+    max_arm: int = 10,
+    max_amd: int = 10,
+    units: Optional[float] = None,
+) -> Optional[dict]:
+    """The operational question: cheapest configuration meeting a deadline.
+
+    Returns ``None`` when no configuration meets it, else a dict with the
+    configuration, its matched split, time and energy.
+    """
+    from repro.core.calibration import ground_truth_params
+
+    spec = _resolve(workload)
+    if units is None:
+        units = spec.problem_sizes.get("analysis", spec.default_job_units)
+    params = {
+        node.name: ground_truth_params(node, spec)
+        for node in (ARM_CORTEX_A9, AMD_K10)
+    }
+    space = evaluate_space(ARM_CORTEX_A9, max_arm, AMD_K10, max_amd, params, units)
+    frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+    idx = frontier.config_index_for_deadline(deadline_s)
+    if idx is None:
+        return None
+    point = space.point(idx)
+    return {
+        "config": point.config,
+        "time_s": point.time_s,
+        "energy_j": point.energy_j,
+        "units_arm": point.units_a,
+        "units_amd": point.units_b,
+    }

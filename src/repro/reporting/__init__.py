@@ -1,0 +1,40 @@
+"""Reporting: ASCII tables, figure data series, CSV export.
+
+Every table and figure of the paper has a builder here returning plain
+data (rows or series dictionaries); the benchmarks and the CLI render
+them.  Keeping builders pure makes them unit-testable and lets the bench
+suite assert on *shapes* (who wins, where crossovers fall) rather than on
+formatted strings.
+"""
+
+from repro.reporting.tables import Table
+from repro.reporting.figures import (
+    FigureSeries,
+    build_table1,
+    build_table3,
+    build_table4,
+    build_table5,
+    build_fig2,
+    build_fig3,
+    build_fig4_fig5,
+    build_fig6_fig7,
+    build_fig8_fig9,
+    build_fig10,
+)
+from repro.reporting.export import write_csv
+
+__all__ = [
+    "Table",
+    "FigureSeries",
+    "build_table1",
+    "build_table3",
+    "build_table4",
+    "build_table5",
+    "build_fig2",
+    "build_fig3",
+    "build_fig4_fig5",
+    "build_fig6_fig7",
+    "build_fig8_fig9",
+    "build_fig10",
+    "write_csv",
+]

@@ -1,0 +1,33 @@
+"""CSV export of report data."""
+
+from __future__ import annotations
+
+import csv
+from pathlib import Path
+from typing import Iterable, Sequence, Union
+
+
+def write_csv(
+    path: Union[str, Path],
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+) -> Path:
+    """Write ``rows`` under ``headers`` to ``path``; returns the path.
+
+    Parent directories are created.  Every row must match the header
+    width -- a mismatch is a caller bug and raises immediately rather
+    than producing a ragged file.
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(list(headers))
+        for row in rows:
+            row = list(row)
+            if len(row) != len(headers):
+                raise ValueError(
+                    f"row width {len(row)} does not match header width {len(headers)}"
+                )
+            writer.writerow(row)
+    return path

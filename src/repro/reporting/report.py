@@ -1,0 +1,210 @@
+"""One-command reproduction report.
+
+``python -m repro report`` regenerates every table, every figure's data,
+the validation campaign, and the headline observations, then writes a
+single self-contained Markdown document (plus per-artifact CSVs) -- the
+file a reviewer would skim to decide whether the reproduction holds.
+
+Runtime is dominated by the Table 3/4 validation campaigns (~10 s).
+"""
+
+from __future__ import annotations
+
+import time
+from pathlib import Path
+from typing import List, Union
+
+import numpy as np
+
+from repro.reporting.export import write_csv
+from repro.reporting.figures import (
+    build_fig2,
+    build_fig3,
+    build_fig4_fig5,
+    build_fig6_fig7,
+    build_fig8_fig9,
+    build_fig10,
+    build_table1,
+    build_table3,
+    build_table4,
+    build_table5,
+)
+from repro.util.rng import SeedLike
+from repro.util.units import seconds_to_ms
+from repro.workloads.suite import EP, MEMCACHED
+
+
+def _code_block(text: str) -> str:
+    return f"```\n{text}\n```\n"
+
+
+def generate_report(
+    output_dir: Union[str, Path],
+    seed: SeedLike = 0,
+    include_validation: bool = True,
+) -> Path:
+    """Write ``report.md`` (and CSVs) under ``output_dir``; returns its path.
+
+    ``include_validation=False`` skips the slow Table 3/4 campaigns for a
+    quick figures-only report.
+    """
+    output_dir = Path(output_dir)
+    output_dir.mkdir(parents=True, exist_ok=True)
+    started = time.time()
+    lines: List[str] = [
+        "# Reproduction report",
+        "",
+        "*Modeling the Energy Efficiency of Heterogeneous Clusters*"
+        " (ICPP 2014) -- regenerated artifacts.",
+        f"Seed: `{seed}`.",
+        "",
+    ]
+
+    # ---- Table 1 ---------------------------------------------------------
+    lines += ["## Table 1 -- node types", "", _code_block(build_table1().render())]
+
+    # ---- Fig 2 / Fig 3 ---------------------------------------------------
+    fig2 = build_fig2(seed=seed)
+    spread = max(
+        (s.y.max() - s.y.min()) / s.y.min() for s in fig2.values()
+    )
+    lines += [
+        "## Figure 2 -- WPI / SPI_core scale constancy",
+        "",
+        f"Worst relative spread across problem sizes A/B/C: **{spread:.1%}**"
+        " (the paper's constancy hypothesis).",
+        "",
+    ]
+    fig3 = build_fig3(seed=seed)
+    worst_r2 = min(s.meta["r2"] for s in fig3.values())
+    lines += [
+        "## Figure 3 -- SPI_mem linearity over frequency",
+        "",
+        f"Worst r^2 across panels: **{worst_r2:.3f}** (paper: >= 0.94).",
+        "",
+    ]
+
+    # ---- Tables 3-4 ------------------------------------------------------
+    if include_validation:
+        table3, reports3 = build_table3(seed=seed)
+        worst3 = max(
+            max(r.time_errors.mean, r.energy_errors.mean) for r in reports3
+        )
+        lines += [
+            "## Table 3 -- single-node validation",
+            "",
+            _code_block(table3.render()),
+            f"Worst cell mean error: **{worst3:.1f}%** (paper bound: 15%).",
+            "",
+        ]
+        table4, reports4 = build_table4(seed=seed)
+        worst4 = max(
+            max(r.time_error_pct, r.energy_error_pct) for r in reports4
+        )
+        lines += [
+            "## Table 4 -- cluster validation",
+            "",
+            _code_block(table4.render()),
+            f"Worst cell error: **{worst4:.1f}%**.",
+            "",
+        ]
+
+    # ---- Table 5 ---------------------------------------------------------
+    table5, _ = build_table5(seed=seed)
+    lines += ["## Table 5 -- performance-to-power ratios", "", _code_block(table5.render())]
+
+    # ---- Figures 4-5 -----------------------------------------------------
+    for workload, fig_id in ((EP, 4), (MEMCACHED, 5)):
+        fig = build_fig4_fig5(workload, seed=seed)
+        write_csv(
+            output_dir / f"fig{fig_id}.csv",
+            ["time_ms", "energy_j", "n_arm", "n_amd"],
+            [
+                [
+                    seconds_to_ms(fig.space.times_s[i]),
+                    fig.space.energies_j[i],
+                    int(fig.space.n_a[i]),
+                    int(fig.space.n_b[i]),
+                ]
+                for i in range(len(fig.space))
+            ],
+        )
+        regions = fig.regions
+        lines += [
+            f"## Figure {fig_id} -- Pareto frontier, {workload.name}",
+            "",
+            f"- configurations: {len(fig.space):,}",
+            f"- frontier: {len(fig.frontier)} points, "
+            f"{seconds_to_ms(fig.frontier.fastest_time_s):.1f} ms fastest, "
+            f"{fig.frontier.min_energy_j:.2f} J minimum",
+            f"- sweet region: {'yes' if regions.has_sweet_region else 'no'}"
+            + (
+                f" (r^2 = {regions.sweet.linearity_r2():.3f})"
+                if regions.sweet and regions.sweet.linearity_r2() is not None
+                else ""
+            ),
+            f"- overlap region: "
+            f"{'yes' if regions.has_overlap_region else 'no'} "
+            f"(energy drop {regions.overlap_energy_drop:.1%})",
+            f"- data: `fig{fig_id}.csv`",
+            "",
+        ]
+
+    # ---- Figures 6-9 -----------------------------------------------------
+    for builder, workload, fig_id in (
+        (build_fig6_fig7, MEMCACHED, 6),
+        (build_fig6_fig7, EP, 7),
+        (build_fig8_fig9, MEMCACHED, 8),
+        (build_fig8_fig9, EP, 9),
+    ):
+        series = builder(workload, seed=seed)
+        write_csv(
+            output_dir / f"fig{fig_id}.csv",
+            ["series", "deadline_ms", "min_energy_j"],
+            [
+                [label, float(x), float(y)]
+                for label, s in series.items()
+                for x, y in zip(s.x, s.y)
+            ],
+        )
+        minima = {label: float(np.nanmin(s.y)) for label, s in series.items()}
+        best = min(minima, key=minima.get)
+        lines += [
+            f"## Figure {fig_id} -- {workload.name} "
+            + ("budget mixes" if fig_id in (6, 7) else "cluster scaling"),
+            "",
+            f"- {len(series)} mixes; most efficient: **{best}** "
+            f"({minima[best]:.1f} J)",
+            f"- data: `fig{fig_id}.csv`",
+            "",
+        ]
+
+    # ---- Figure 10 -------------------------------------------------------
+    fig10 = build_fig10(seed=seed)
+    write_csv(
+        output_dir / "fig10.csv",
+        ["utilization", "response_ms", "window_energy_j", "n_arm", "n_amd"],
+        [
+            [u, seconds_to_ms(p.response_s), p.window_energy_j, p.n_a, p.n_b]
+            for u, points in sorted(fig10.items())
+            for p in points
+        ],
+    )
+    lines += ["## Figure 10 -- queueing-aware window energy", ""]
+    for u, points in sorted(fig10.items()):
+        energies = [p.window_energy_j for p in points]
+        lines.append(
+            f"- U = {u:.0%}: {len(points)} frontier points, energy "
+            f"{min(energies):.0f}..{max(energies):.0f} J "
+            f"({max(energies) / min(energies):.0f}x span)"
+        )
+    lines += ["- data: `fig10.csv`", ""]
+
+    lines += [
+        "---",
+        f"Generated in {time.time() - started:.1f} s by `python -m repro report`.",
+        "",
+    ]
+    path = output_dir / "report.md"
+    path.write_text("\n".join(lines))
+    return path

@@ -1,0 +1,57 @@
+"""Monospace table rendering for terminal reports."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence
+
+
+@dataclass
+class Table:
+    """A simple left-aligned text table.
+
+    >>> t = Table(["name", "value"], title="demo")
+    >>> t.add_row(["alpha", 1])
+    >>> print(t.render())  # doctest: +NORMALIZE_WHITESPACE
+    demo
+    name  | value
+    ------+------
+    alpha | 1
+    """
+
+    headers: Sequence[str]
+    title: Optional[str] = None
+    rows: List[List[str]] = field(default_factory=list)
+
+    def add_row(self, cells: Iterable[object]) -> None:
+        """Append a row; cells are stringified (floats get %g)."""
+        row = [self._format(c) for c in cells]
+        if len(row) != len(self.headers):
+            raise ValueError(
+                f"row has {len(row)} cells but table has {len(self.headers)} columns"
+            )
+        self.rows.append(row)
+
+    @staticmethod
+    def _format(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:g}"
+        return str(cell)
+
+    def render(self) -> str:
+        """Render the table with column-width alignment."""
+        widths = [len(h) for h in self.headers]
+        for row in self.rows:
+            for i, cell in enumerate(row):
+                widths[i] = max(widths[i], len(cell))
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append(" | ".join(h.ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("-+-".join("-" * w for w in widths))
+        for row in self.rows:
+            lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def __str__(self) -> str:
+        return self.render()

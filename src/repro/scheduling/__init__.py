@@ -1,0 +1,48 @@
+"""Scheduling baselines the paper argues against.
+
+Two families:
+
+* **Unmatched splitters** (:mod:`repro.scheduling.policies`): divide the
+  job between node types by naive rules (equal per node, equal per type,
+  nominal core*GHz rate).  Whatever finishes early idles until the whole
+  job completes, so these quantify exactly the energy that execution-time
+  matching recovers.
+* **Switching** (:mod:`repro.scheduling.switching`): the state of the art
+  the paper contrasts in Section I -- run the low-power cluster below an
+  arrival-rate threshold, switch to the high-performance cluster above
+  it, never both at once (KnightShift-style).
+"""
+
+from repro.scheduling.policies import (
+    SplitOutcome,
+    evaluate_split,
+    equal_per_node_split,
+    equal_per_type_split,
+    nominal_rate_split,
+    matched_split,
+    compare_policies,
+)
+from repro.scheduling.switching import (
+    SwitchingDecision,
+    switching_policy,
+    mix_and_match_policy,
+    compare_switching_vs_mix,
+)
+from repro.scheduling.hedging import FaultExposure, expected_imbalance, hedged_split
+
+__all__ = [
+    "SplitOutcome",
+    "evaluate_split",
+    "equal_per_node_split",
+    "equal_per_type_split",
+    "nominal_rate_split",
+    "matched_split",
+    "compare_policies",
+    "SwitchingDecision",
+    "switching_policy",
+    "mix_and_match_policy",
+    "compare_switching_vs_mix",
+    "FaultExposure",
+    "expected_imbalance",
+    "hedged_split",
+]

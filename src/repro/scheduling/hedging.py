@@ -1,0 +1,118 @@
+"""Hedged matching: splitting work when some nodes may straggle.
+
+Plain mix-and-match assumes every node runs at its calibrated speed; a
+straggler (see :mod:`repro.simulator.noise` fault injection) stretches
+its whole group and burns idle-wait energy everywhere else.  When the
+two node types have *different* fault exposure (e.g. cheap ARM boards
+throttle more often than server-grade AMD nodes), the expected-time-
+optimal split is no longer the healthy-rate match.
+
+Hedging derates each group's effective rate by its expected slowdown.
+With per-run straggler probability ``p`` and slowdown ``s``, a group of
+``n`` nodes finishes with its slowest member; the probability at least
+one straggles is ``1 - (1 - p)^n``, in which case the group's completion
+stretches by ``s``.  The expected completion of a group given work ``w``
+is therefore
+
+.. math::
+
+    E[T] = \\gamma w \\, [ (1-q) + q s ], \\quad q = 1 - (1-p)^{n}
+
+and hedged matching equalizes *expected* completions by inflating each
+group's time slope with that factor.  This is a static policy -- it
+hedges before the job starts; reactive re-balancing is out of scope.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.core.matching import GroupSetting, MatchResult, match_split
+
+
+@dataclass(frozen=True)
+class FaultExposure:
+    """Per-node straggler model for one group."""
+
+    probability: float
+    slowdown: float = 3.0
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError("straggler probability must be in [0, 1]")
+        if self.slowdown < 1.0:
+            raise ValueError("slowdown must be >= 1")
+
+    def group_stretch(self, n_nodes: int) -> float:
+        """Expected completion stretch of an ``n_nodes`` group.
+
+        The group finishes with its slowest node: if any node straggles
+        (probability ``1 - (1-p)^n``) the whole group stretches by the
+        slowdown.
+        """
+        if n_nodes < 1:
+            raise ValueError("group must have at least one node")
+        q = 1.0 - (1.0 - self.probability) ** n_nodes
+        return (1.0 - q) + q * self.slowdown
+
+
+def _derated(group: GroupSetting, exposure: FaultExposure) -> GroupSetting:
+    """A copy of ``group`` whose time slope carries the expected stretch.
+
+    Implemented by inflating the instruction count -- the one parameter
+    that scales the CPU slope without touching power or I/O.  (For I/O-
+    bound groups the NIC is derated instead, since stragglers slow DMA
+    servicing too.)
+    """
+    stretch = exposure.group_stretch(group.n_nodes)
+    params = dataclasses.replace(
+        group.params,
+        instructions_per_unit=group.params.instructions_per_unit * stretch,
+        io_bandwidth_bytes_s=group.params.io_bandwidth_bytes_s / stretch,
+    )
+    return dataclasses.replace(group, params=params)
+
+
+def hedged_split(
+    total_units: float,
+    a: GroupSetting,
+    b: GroupSetting,
+    exposure_a: FaultExposure,
+    exposure_b: FaultExposure,
+) -> MatchResult:
+    """Match on *expected* rates under the groups' fault exposures.
+
+    Returns the split computed against the derated groups; the reported
+    ``time_s`` is the expected completion time (healthy completion is
+    shorter).  With zero exposure on both sides this reduces exactly to
+    :func:`repro.core.matching.match_split`.
+    """
+    result = match_split(
+        total_units, _derated(a, exposure_a), _derated(b, exposure_b)
+    )
+    return MatchResult(
+        units_a=result.units_a,
+        units_b=result.units_b,
+        time_s=result.time_s,
+        method=f"hedged/{result.method}",
+    )
+
+
+def expected_imbalance(
+    split: Tuple[float, float],
+    a: GroupSetting,
+    b: GroupSetting,
+    exposure_a: FaultExposure,
+    exposure_b: FaultExposure,
+) -> float:
+    """Expected |E[T_a] - E[T_b]| of a split under the fault model.
+
+    Hedged splits drive this to ~0; healthy-rate matching leaves a gap
+    whenever exposures differ.
+    """
+    w_a, w_b = split
+    t_a = a.time(w_a) * exposure_a.group_stretch(max(1, a.n_nodes))
+    t_b = b.time(w_b) * exposure_b.group_stretch(max(1, b.n_nodes))
+    return abs(t_a - t_b)

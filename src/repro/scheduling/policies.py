@@ -1,0 +1,182 @@
+"""Work-splitting policies: mix-and-match vs naive baselines.
+
+Every policy maps ``(total_units, group_a, group_b)`` to a split
+``(units_a, units_b)``.  :func:`evaluate_split` then computes the job
+time (max of the groups' completion times) and the energy including the
+idle-wait of the early finisher -- the term matching is designed to
+eliminate (Section I: "by finishing at the same time, the energy
+incurred by idling in the cluster is minimized").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, Tuple
+
+from repro.core.energymodel import predict_node_energy
+from repro.core.matching import GroupSetting, match_split
+from repro.core.timemodel import predict_node_time
+
+Splitter = Callable[[float, GroupSetting, GroupSetting], Tuple[float, float]]
+
+
+@dataclass(frozen=True)
+class SplitOutcome:
+    """Job-level consequences of one split."""
+
+    units_a: float
+    units_b: float
+    time_a_s: float
+    time_b_s: float
+    job_time_s: float
+    energy_j: float
+    #: Energy burned by the early group idling until the late one finishes.
+    idle_wait_energy_j: float
+
+    @property
+    def imbalance_s(self) -> float:
+        """How far apart the two groups finish."""
+        return abs(self.time_a_s - self.time_b_s)
+
+
+def evaluate_split(
+    units_a: float,
+    units_b: float,
+    a: GroupSetting,
+    b: GroupSetting,
+    energy_proportional: bool = False,
+) -> SplitOutcome:
+    """Evaluate an arbitrary split under the analytical model.
+
+    The energy model's idle term runs to the *job* completion time on
+    both groups (Eq. 14 with the job's T), so a mismatched split pays
+    ``n * P_idle * (T_job - T_group)`` extra on the early group.
+
+    ``energy_proportional=True`` ablates the paper's C-state-0
+    assumption: nodes power off the instant their own share completes,
+    so the idle-wait term vanishes and only the per-unit energy
+    difference between groups distinguishes split policies.  This
+    isolates how much of mix-and-match's benefit comes from the
+    never-sleep idling the paper assumes for datacenter nodes.
+    """
+    if units_a < 0 or units_b < 0:
+        raise ValueError("split cannot be negative")
+    if units_a + units_b <= 0:
+        raise ValueError("job must contain positive work")
+    if units_a > 0 and a.n_nodes == 0:
+        raise ValueError("cannot assign work to an empty group a")
+    if units_b > 0 and b.n_nodes == 0:
+        raise ValueError("cannot assign work to an empty group b")
+
+    time_a = a.time(units_a) if a.n_nodes > 0 else 0.0
+    time_b = b.time(units_b) if b.n_nodes > 0 else 0.0
+    job_time = max(time_a, time_b)
+
+    energy = 0.0
+    idle_wait = 0.0
+    for units, group, own_time in ((units_a, a, time_a), (units_b, b, time_b)):
+        if group.n_nodes == 0:
+            continue
+        times = predict_node_time(
+            group.params, units, group.n_nodes, group.cores, group.f_ghz
+        )
+        charge_until = own_time if energy_proportional else job_time
+        breakdown = predict_node_energy(
+            group.params, times, job_time_s=charge_until
+        )
+        energy += breakdown.energy_j
+        if not energy_proportional:
+            idle_wait += (
+                (job_time - own_time) * group.params.p_idle_w * group.n_nodes
+            )
+    return SplitOutcome(
+        units_a=units_a,
+        units_b=units_b,
+        time_a_s=time_a,
+        time_b_s=time_b,
+        job_time_s=job_time,
+        energy_j=energy,
+        idle_wait_energy_j=idle_wait,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Splitting policies
+# ---------------------------------------------------------------------------
+
+
+def equal_per_node_split(
+    units: float, a: GroupSetting, b: GroupSetting
+) -> Tuple[float, float]:
+    """Every node gets the same share, regardless of its speed.
+
+    The "fair" heuristic of homogeneous-cluster schedulers applied
+    blindly to a heterogeneous cluster.
+    """
+    total_nodes = a.n_nodes + b.n_nodes
+    if total_nodes == 0:
+        raise ValueError("no nodes to split over")
+    units_a = units * a.n_nodes / total_nodes
+    return units_a, units - units_a
+
+
+def equal_per_type_split(
+    units: float, a: GroupSetting, b: GroupSetting
+) -> Tuple[float, float]:
+    """Half the job to each node type (when both are present)."""
+    if a.n_nodes == 0:
+        return 0.0, units
+    if b.n_nodes == 0:
+        return units, 0.0
+    return units / 2.0, units / 2.0
+
+
+def nominal_rate_split(
+    units: float, a: GroupSetting, b: GroupSetting
+) -> Tuple[float, float]:
+    """Split proportional to nominal compute capacity ``n * c * f``.
+
+    Smarter than equal shares but still ISA-blind: it ignores that the
+    same work unit costs different instructions, stalls, and I/O on each
+    node type.
+    """
+    cap_a = a.n_nodes * a.cores * a.f_ghz
+    cap_b = b.n_nodes * b.cores * b.f_ghz
+    total = cap_a + cap_b
+    if total == 0:
+        raise ValueError("no capacity to split over")
+    units_a = units * cap_a / total
+    return units_a, units - units_a
+
+
+def matched_split(
+    units: float, a: GroupSetting, b: GroupSetting
+) -> Tuple[float, float]:
+    """The paper's mix-and-match split (delegates to the core matcher)."""
+    result = match_split(units, a, b)
+    return result.units_a, result.units_b
+
+
+#: The policies compared by the matching ablation bench.
+POLICIES: Dict[str, Splitter] = {
+    "matched": matched_split,
+    "nominal-rate": nominal_rate_split,
+    "equal-per-node": equal_per_node_split,
+    "equal-per-type": equal_per_type_split,
+}
+
+
+def compare_policies(
+    units: float,
+    a: GroupSetting,
+    b: GroupSetting,
+    energy_proportional: bool = False,
+) -> Dict[str, SplitOutcome]:
+    """Evaluate every policy on the same job and cluster."""
+    outcomes: Dict[str, SplitOutcome] = {}
+    for name, splitter in POLICIES.items():
+        units_a, units_b = splitter(units, a, b)
+        outcomes[name] = evaluate_split(
+            units_a, units_b, a, b, energy_proportional=energy_proportional
+        )
+    return outcomes

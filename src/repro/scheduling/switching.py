@@ -1,0 +1,179 @@
+"""The switching baseline: low-power *or* high-performance, never both.
+
+Section I: "the state of the art currently argues that the best approach
+is to use low-power nodes when the arrival rate of requests is small, and
+then switch to high-performance nodes when arrival rate grows past a set
+threshold" (KnightShift-style).  This module implements that policy at
+the window level so it can be compared with mix-and-match on equal terms:
+
+* **switching**: at a given arrival rate, pick the cheapest *homogeneous*
+  configuration (low-power side if it meets the response deadline,
+  otherwise the high-performance side);
+* **mix-and-match**: pick the cheapest configuration from the *full*
+  heterogeneous frontier that meets the deadline.
+
+Because the heterogeneous frontier is a superset of the two homogeneous
+ones, mix-and-match can never lose; the interesting output is *by how
+much* it wins between the two homogeneous operating points -- the
+"linear reduction as the deadline is relaxed" the paper claims is
+unreachable for a switching policy.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.evaluate import ConfigSpaceResult
+from repro.core.pareto import ParetoFrontier
+from repro.queueing.dispatcher import window_energy
+
+
+@dataclass(frozen=True)
+class SwitchingDecision:
+    """Outcome of one policy invocation."""
+
+    #: "low", "high", or "mix"; None when no option meets the deadline.
+    chosen: Optional[str]
+    response_s: Optional[float]
+    window_energy_j: Optional[float]
+    service_s: Optional[float]
+
+    @property
+    def feasible(self) -> bool:
+        return self.chosen is not None
+
+
+def _best_window_choice(
+    space: ConfigSpaceResult,
+    mask: np.ndarray,
+    idle_power_a_w: float,
+    idle_power_b_w: float,
+    deadline_s: float,
+    utilization: float,
+    window_s: float,
+    label: str,
+) -> SwitchingDecision:
+    """Cheapest window energy among ``mask`` configs meeting the deadline."""
+    subset = space.subset(mask)
+    best_energy = None
+    best_response = None
+    best_service = None
+    if len(subset) > 0:
+        frontier = ParetoFrontier.from_points(subset.times_s, subset.energies_j)
+        for pos in range(len(frontier)):
+            idx = int(frontier.indices[pos])
+            service = float(subset.times_s[idx])
+            idle_w = (
+                int(subset.n_a[idx]) * idle_power_a_w
+                + int(subset.n_b[idx]) * idle_power_b_w
+            )
+            point = window_energy(
+                service,
+                float(subset.energies_j[idx]),
+                idle_w,
+                utilization,
+                window_s,
+            )
+            if point.response_s > deadline_s:
+                continue
+            if best_energy is None or point.window_energy_j < best_energy:
+                best_energy = point.window_energy_j
+                best_response = point.response_s
+                best_service = service
+    if best_energy is None:
+        return SwitchingDecision(None, None, None, None)
+    return SwitchingDecision(label, best_response, best_energy, best_service)
+
+
+def switching_policy(
+    space: ConfigSpaceResult,
+    idle_power_a_w: float,
+    idle_power_b_w: float,
+    deadline_s: float,
+    utilization: float,
+    window_s: float = 20.0,
+) -> SwitchingDecision:
+    """KnightShift-style choice: low-power side if feasible, else high side.
+
+    Group ``a`` is the low-power type throughout this library.
+    """
+    low = _best_window_choice(
+        space,
+        space.is_only_a,
+        idle_power_a_w,
+        idle_power_b_w,
+        deadline_s,
+        utilization,
+        window_s,
+        "low",
+    )
+    if low.feasible:
+        return low
+    return _best_window_choice(
+        space,
+        space.is_only_b,
+        idle_power_a_w,
+        idle_power_b_w,
+        deadline_s,
+        utilization,
+        window_s,
+        "high",
+    )
+
+
+def mix_and_match_policy(
+    space: ConfigSpaceResult,
+    idle_power_a_w: float,
+    idle_power_b_w: float,
+    deadline_s: float,
+    utilization: float,
+    window_s: float = 20.0,
+) -> SwitchingDecision:
+    """The paper's policy: cheapest configuration from the full space."""
+    all_mask = np.ones(len(space), dtype=bool)
+    decision = _best_window_choice(
+        space,
+        all_mask,
+        idle_power_a_w,
+        idle_power_b_w,
+        deadline_s,
+        utilization,
+        window_s,
+        "mix",
+    )
+    return decision
+
+
+def compare_switching_vs_mix(
+    space: ConfigSpaceResult,
+    idle_power_a_w: float,
+    idle_power_b_w: float,
+    deadlines_s: Sequence[float],
+    utilization: float,
+    window_s: float = 20.0,
+) -> Dict[float, Dict[str, Optional[float]]]:
+    """Sweep deadlines; report both policies' window energies and the saving.
+
+    Returns ``{deadline: {"switching": E, "mix": E, "saving": frac}}``
+    with ``None`` entries where a policy has no feasible configuration.
+    """
+    out: Dict[float, Dict[str, Optional[float]]] = {}
+    for d in deadlines_s:
+        sw = switching_policy(
+            space, idle_power_a_w, idle_power_b_w, float(d), utilization, window_s
+        )
+        mx = mix_and_match_policy(
+            space, idle_power_a_w, idle_power_b_w, float(d), utilization, window_s
+        )
+        saving = None
+        if sw.feasible and mx.feasible and sw.window_energy_j:
+            saving = (sw.window_energy_j - mx.window_energy_j) / sw.window_energy_j
+        out[float(d)] = {
+            "switching": sw.window_energy_j,
+            "mix": mx.window_energy_j,
+            "saving": saving,
+        }
+    return out

@@ -1,0 +1,58 @@
+"""Simulated heterogeneous-cluster testbed.
+
+The paper validates its analytical model against *measurements* of a real
+ARM + AMD cluster instrumented with ``perf`` and a Yokogawa WT210 power
+meter.  We have no hardware, so this package is the measurement
+substrate: a stochastic, phase-level simulator that produces the same
+observables a real testbed would --
+
+* wall-clock execution times per node and per job;
+* hardware-event counters (instructions, work cycles, non-memory stall
+  cycles, memory stall cycles), as ``perf`` would report them;
+* sampled node power and integrated energy, as a bench power meter would.
+
+The simulator is deliberately *richer* than the analytical model: it adds
+per-phase noise, a per-run systematic factor (thermal/OS state), job
+startup overhead, a quadratic memory-contention term, and meter error.
+Those are exactly the effects the paper blames for its <=15% validation
+error ("irregularities among different runs of the same program, and the
+power characterization"), so model-vs-simulator validation in
+:mod:`repro.validation` is a meaningful exercise, not a tautology.
+
+Performance note (per the project's HPC guides): phases are executed in
+vectorized NumPy batches with CLT-scaled noise, never one Python loop
+iteration per work unit, so simulating 2^31 EP random numbers costs the
+same as simulating 2^10.
+"""
+
+from repro.simulator.noise import NoiseModel, CALIBRATED_NOISE, NOISELESS
+from repro.simulator.counters import CounterSet
+from repro.simulator.node import NodeRunResult, NodeSimulator
+from repro.simulator.power_meter import PowerMeter, PowerSample
+from repro.simulator.cluster import (
+    ClusterSimulator,
+    GroupAssignment,
+    JobResult,
+)
+from repro.simulator.engine import Event, EventLoop
+from repro.simulator.trace import Span, Trace, trace_job, trace_node_run
+
+__all__ = [
+    "NoiseModel",
+    "CALIBRATED_NOISE",
+    "NOISELESS",
+    "CounterSet",
+    "NodeRunResult",
+    "NodeSimulator",
+    "PowerMeter",
+    "PowerSample",
+    "ClusterSimulator",
+    "GroupAssignment",
+    "JobResult",
+    "Event",
+    "EventLoop",
+    "Span",
+    "Trace",
+    "trace_job",
+    "trace_node_run",
+]

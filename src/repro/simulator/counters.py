@@ -1,0 +1,116 @@
+"""Hardware-event counters, as a ``perf``-style measurement surface.
+
+The paper's model inputs are all derived from counter readings on a
+baseline run (Section II-D1): instructions, work cycles, non-memory stall
+cycles, memory stall cycles.  :class:`CounterSet` is what our simulated
+testbed "exposes" to calibration code -- derived quantities (WPI,
+SPI_core, SPI_mem, utilization) are computed exactly the way a user of
+``perf stat`` would compute them, so calibration inherits whatever noise
+the run had.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class CounterSet:
+    """Aggregated event counts for one node over one run.
+
+    All cycle counts are summed over the active cores of the node, as the
+    paper's per-node accounting does.
+    """
+
+    instructions: float
+    work_cycles: float
+    core_stall_cycles: float
+    mem_stall_cycles: float
+    io_bytes: float
+    #: Average number of concurrently active cores during CPU response.
+    active_cores: float
+    #: Configured total cores on the node (for utilization).
+    total_cores: int
+    #: Core clock during the run, GHz.
+    f_ghz: float
+
+    def __post_init__(self) -> None:
+        if self.instructions < 0 or self.work_cycles < 0:
+            raise ValueError("counter values must be non-negative")
+        if self.core_stall_cycles < 0 or self.mem_stall_cycles < 0:
+            raise ValueError("stall counters must be non-negative")
+        if self.total_cores < 1:
+            raise ValueError("node must have at least one core")
+        if self.f_ghz <= 0:
+            raise ValueError("frequency must be positive")
+
+    # -- derived quantities, computed the way perf users compute them ----
+
+    @property
+    def wpi(self) -> float:
+        """Work cycles per instruction."""
+        self._require_instructions()
+        return self.work_cycles / self.instructions
+
+    @property
+    def spi_core(self) -> float:
+        """Non-memory stall cycles per instruction."""
+        self._require_instructions()
+        return self.core_stall_cycles / self.instructions
+
+    @property
+    def spi_mem(self) -> float:
+        """Memory stall cycles per instruction."""
+        self._require_instructions()
+        return self.mem_stall_cycles / self.instructions
+
+    @property
+    def cpi(self) -> float:
+        """Total cycles per instruction (work + all stalls)."""
+        self._require_instructions()
+        return (
+            self.work_cycles + self.core_stall_cycles + self.mem_stall_cycles
+        ) / self.instructions
+
+    @property
+    def cpu_utilization(self) -> float:
+        """Fraction of the node's cores active during CPU response (U_CPU)."""
+        return self.active_cores / self.total_cores
+
+    def _require_instructions(self) -> None:
+        if self.instructions <= 0:
+            raise ValueError("no instructions retired; derived ratios undefined")
+
+    def __add__(self, other: "CounterSet") -> "CounterSet":
+        """Merge counters of two runs at identical (cores, frequency) settings.
+
+        Used to accumulate repetitions of a baseline phase before deriving
+        ratios, which reduces per-phase noise exactly like running a
+        longer measurement would.
+        """
+        if not isinstance(other, CounterSet):
+            return NotImplemented
+        if other.total_cores != self.total_cores or other.f_ghz != self.f_ghz:
+            raise ValueError(
+                "cannot merge counters from different machine settings: "
+                f"({self.total_cores} cores, {self.f_ghz} GHz) vs "
+                f"({other.total_cores} cores, {other.f_ghz} GHz)"
+            )
+        weight_self = self.instructions
+        weight_other = other.instructions
+        total = weight_self + weight_other
+        if total <= 0:
+            raise ValueError("cannot merge two empty counter sets")
+        return CounterSet(
+            instructions=self.instructions + other.instructions,
+            work_cycles=self.work_cycles + other.work_cycles,
+            core_stall_cycles=self.core_stall_cycles + other.core_stall_cycles,
+            mem_stall_cycles=self.mem_stall_cycles + other.mem_stall_cycles,
+            io_bytes=self.io_bytes + other.io_bytes,
+            active_cores=(
+                self.active_cores * weight_self + other.active_cores * weight_other
+            )
+            / total,
+            total_cores=self.total_cores,
+            f_ghz=self.f_ghz,
+        )

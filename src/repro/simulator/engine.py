@@ -1,0 +1,105 @@
+"""A minimal discrete-event simulation kernel.
+
+Used by the queueing validation simulator (:mod:`repro.queueing.simulation`)
+and available for extensions.  Deliberately tiny: a time-ordered heap of
+events, each carrying a callback; no processes, no channels.  Determinism
+is guaranteed by (time, sequence-number) ordering, so events scheduled at
+the same instant fire in scheduling order.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+
+@dataclass(order=True)
+class Event:
+    """A scheduled callback; ordering is (time, seq)."""
+
+    time: float
+    seq: int
+    action: Callable[[], None] = field(compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when popped."""
+        self.cancelled = True
+
+
+class EventLoop:
+    """Time-ordered event executor.
+
+    Example
+    -------
+    >>> loop = EventLoop()
+    >>> seen = []
+    >>> _ = loop.schedule(2.0, lambda: seen.append("late"))
+    >>> _ = loop.schedule(1.0, lambda: seen.append("early"))
+    >>> loop.run()
+    >>> seen
+    ['early', 'late']
+    """
+
+    def __init__(self) -> None:
+        self._heap: List[Event] = []
+        self._counter = itertools.count()
+        self.now: float = 0.0
+        self._processed = 0
+
+    @property
+    def processed(self) -> int:
+        """Number of events executed so far."""
+        return self._processed
+
+    def schedule(self, time: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` at absolute ``time`` (>= now)."""
+        if time < self.now:
+            raise ValueError(
+                f"cannot schedule into the past: t={time} < now={self.now}"
+            )
+        event = Event(time=time, seq=next(self._counter), action=action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def schedule_in(self, delay: float, action: Callable[[], None]) -> Event:
+        """Schedule ``action`` ``delay`` seconds from the current time."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.schedule(self.now + delay, action)
+
+    def run(
+        self,
+        until: Optional[float] = None,
+        max_events: Optional[int] = None,
+    ) -> None:
+        """Execute events in time order.
+
+        Parameters
+        ----------
+        until:
+            Stop once the next event is strictly later than this time
+            (clock advances to ``until``).  ``None`` drains the heap.
+        max_events:
+            Safety valve against runaway self-scheduling loops.
+        """
+        executed = 0
+        while self._heap:
+            if max_events is not None and executed >= max_events:
+                raise RuntimeError(
+                    f"event budget exhausted after {executed} events at t={self.now}"
+                )
+            if until is not None and self._heap[0].time > until:
+                self.now = until
+                return
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.now = event.time
+            event.action()
+            self._processed += 1
+            executed += 1
+        if until is not None:
+            self.now = max(self.now, until)

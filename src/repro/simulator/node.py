@@ -1,0 +1,283 @@
+"""Phase-level simulation of one node executing a batch of work units.
+
+Execution semantics (Section II-A of the paper, made operational):
+
+* the node runs ``c`` cores at clock ``f``; a workload keeps on average
+  ``c_act = U_CPU * c`` of them concurrently busy;
+* each work unit retires ``IPs`` instructions costing work cycles,
+  non-memory stall cycles, and LLC misses whose service time is set by
+  the memory controller's contention-dependent latency;
+* cores are out-of-order: within a phase, memory waiting overlaps with
+  useful work, so per-phase CPU time is ``max(core time, memory time)``
+  (Eq. 3), and phases are summed;
+* the NIC moves ``io_bytes_per_unit`` per unit via DMA, fully overlapped
+  with CPU activity, so node time is ``max(CPU response, I/O response)``
+  (Eq. 2);
+* energy integrates component power over component busy times plus the
+  node's idle floor over the whole run, then passes through the meter's
+  calibration error.
+
+The simulator deliberately includes effects the analytical model does not
+capture (see :mod:`repro.simulator.noise`): summing per-phase maxima is
+not the same as taking the max of sums; the memory latency has a small
+quadratic contention term; runs carry a systematic speed factor and a
+startup overhead.  These produce the paper-sized validation errors.
+
+Vectorization: a run is simulated as ``n_batches`` phase groups in NumPy
+arrays.  Per-batch noise is scaled by the CLT so results are statistically
+identical to simulating every phase -- simulating 2^31 units costs the
+same as 2^10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.hardware.specs import NodeSpec
+from repro.simulator.counters import CounterSet
+from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
+from repro.util.rng import SeedLike, ensure_rng
+from repro.util.units import ghz_to_hz
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class NodeRunResult:
+    """Everything a testbed would let you observe about one node's run."""
+
+    #: Wall-clock job time on this node, seconds.
+    time_s: float
+    #: CPU response time (cores executing or waiting on memory), seconds.
+    t_cpu_s: float
+    #: Core-only response time (work + non-memory stalls), seconds.
+    t_core_s: float
+    #: Memory response time (work + memory stalls), seconds.
+    t_mem_s: float
+    #: I/O response time, seconds.
+    t_io_s: float
+    #: Measured energy for the run, joules (includes meter error).
+    energy_j: float
+    #: Event counters, as perf would report them.
+    counters: CounterSet
+    #: Average node power over the run, watts.
+    mean_power_w: float
+
+    def __post_init__(self) -> None:
+        if self.time_s < 0 or self.energy_j < 0:
+            raise ValueError("negative time or energy from simulator")
+
+
+class NodeSimulator:
+    """Simulates one node type executing work units.
+
+    Parameters
+    ----------
+    node:
+        The machine to simulate.
+    noise:
+        Measurement/irregularity magnitudes; default is the calibrated
+        testbed-like model.
+    n_batches:
+        Number of phase groups a run is decomposed into.  More batches
+        track per-phase variability at higher cost; 64 reproduces the
+        statistics of per-phase simulation to well under the systematic
+        noise floor.
+    """
+
+    def __init__(
+        self,
+        node: NodeSpec,
+        noise: NoiseModel = CALIBRATED_NOISE,
+        n_batches: int = 64,
+    ):
+        if n_batches < 1:
+            raise ValueError(f"need at least one batch, got {n_batches}")
+        self.node = node
+        self.noise = noise
+        self.n_batches = n_batches
+
+    def run(
+        self,
+        workload: WorkloadSpec,
+        units: float,
+        cores: int,
+        f_ghz: float,
+        seed: SeedLike = None,
+        arrival_floor_s: float = 0.0,
+    ) -> NodeRunResult:
+        """Execute ``units`` work units and return the observables.
+
+        Parameters
+        ----------
+        workload:
+            What to run; must carry a profile for this node type.
+        units:
+            Work units assigned to *this node*.
+        cores, f_ghz:
+            Machine setting; must be a valid P-state / core count.
+        seed:
+            RNG or seed for this run's noise.
+        arrival_floor_s:
+            Per-node lower bound on I/O response time contributed by the
+            external request arrival process (the ``(1/lambda_IO)/n`` term
+            of Eq. 11, already divided by the group's node count by the
+            cluster layer).
+        """
+        if units < 0:
+            raise ValueError(f"units must be non-negative, got {units}")
+        if arrival_floor_s < 0:
+            raise ValueError("arrival floor must be non-negative")
+        self.node.cores.validate_setting(cores, f_ghz)
+        profile = workload.profile_for(self.node.name)
+        rng = ensure_rng(seed)
+        noise = self.noise
+
+        if units == 0:
+            return self._empty_result(cores, f_ghz)
+
+        c_act = profile.cpu_utilization * cores
+        f_hz = ghz_to_hz(f_ghz)
+        f_ratio = f_ghz / self.node.cores.fmax_ghz
+
+        # Per-run systematic factors: one slow-down applied to all cycle
+        # costs (thermal/OS state), one meter calibration factor.
+        run_factor = float(noise.factor(rng, noise.run_systematic_sigma))
+        meter_factor = float(noise.factor(rng, noise.meter_sigma))
+        # Fault injection: a straggler (thermal throttling, background
+        # daemon) burns more cycles per instruction and sees slower
+        # memory; its instruction count is unchanged, as perf would show.
+        straggler_factor = 1.0
+        if (
+            noise.straggler_probability > 0.0
+            and rng.random() < noise.straggler_probability
+        ):
+            straggler_factor = noise.straggler_slowdown
+
+        # ---- CPU side: n_batches phase groups, vectorized -------------
+        B = self.n_batches
+        units_b = units / B  # fractional units per batch are fine: units >> B
+        instr_b = (
+            units_b
+            * profile.instructions_per_unit
+            * noise.factor(rng, noise.instructions_sigma, size=B)
+            * run_factor
+        )
+        # Instructions divide among the active cores; per-core counts set
+        # the critical path.
+        instr_core_b = instr_b / c_act
+        work_cycles_core_b = (
+            instr_core_b
+            * profile.wpi
+            * straggler_factor
+            * noise.factor(rng, noise.wpi_sigma, size=B)
+        )
+        core_stall_cycles_b = (
+            instr_core_b
+            * profile.spi_core
+            * straggler_factor
+            * noise.factor(rng, noise.spi_core_sigma, size=B)
+        )
+        latency_ns_b = (
+            self.node.memory.latency_ns(c_act, f_ratio)
+            * straggler_factor
+            * noise.factor(rng, noise.mem_latency_sigma, size=B)
+        )
+        misses_core_b = instr_core_b * profile.llc_misses_per_instr
+        mem_stall_s_b = misses_core_b * latency_ns_b * 1e-9
+
+        t_core_b = (work_cycles_core_b + core_stall_cycles_b) / f_hz
+        t_mem_b = work_cycles_core_b / f_hz + mem_stall_s_b
+        # Out-of-order overlap within each phase group (Eq. 3 at phase
+        # granularity); the job's CPU response is the sum over phases.
+        t_cpu = float(np.sum(np.maximum(t_core_b, t_mem_b)))
+        t_core = float(np.sum(t_core_b))
+        t_mem = float(np.sum(t_mem_b))
+        t_work = float(np.sum(work_cycles_core_b)) / f_hz
+
+        # ---- I/O side: DMA transfer overlapped with CPU ----------------
+        io_bytes = (
+            units
+            * workload.io_bytes_per_unit
+            * float(noise.factor(rng, noise.io_sigma, batches=B))
+        )
+        bandwidth = self.node.io.bandwidth_bytes_per_s
+        t_transfer = io_bytes / bandwidth
+        t_io = max(t_transfer, arrival_floor_s)
+
+        # ---- Node wall time (Eq. 2) plus startup overhead --------------
+        startup = noise.startup_overhead_s * float(
+            noise.factor(rng, noise.startup_sigma)
+        )
+        time_s = max(t_cpu, t_io) + startup
+
+        # ---- Energy: integrate component power over busy times ---------
+        p_act = self.node.power.core_active.watts(f_ghz)
+        p_stall = self.node.power.core_stall.watts(f_ghz)
+        t_stall_total = t_cpu - t_work  # core busy but not retiring work
+        e_cores = c_act * (p_act * t_work + p_stall * t_stall_total)
+        # DRAM sits in active-standby (banks open, periodic activates)
+        # for the whole stretch of execution that references it -- the
+        # memory response time -- not just while serving misses.  This is
+        # also the semantics of the paper's Eq. 18.  A kernel that never
+        # misses the LLC leaves DRAM in self-refresh (covered by P_idle).
+        touches_memory = profile.llc_misses_per_instr > 0
+        e_mem = (
+            self.node.power.mem_active_w * min(t_mem, time_s)
+            if touches_memory
+            else 0.0
+        )
+        e_io = self.node.power.io_active_w * min(t_transfer, time_s)
+        e_idle = self.node.power.idle_w * time_s
+        energy_j = (e_cores + e_mem + e_io + e_idle) * meter_factor
+
+        counters = CounterSet(
+            instructions=float(np.sum(instr_b)),
+            work_cycles=float(np.sum(work_cycles_core_b)) * c_act,
+            core_stall_cycles=float(np.sum(core_stall_cycles_b)) * c_act,
+            mem_stall_cycles=float(np.sum(mem_stall_s_b)) * f_hz * c_act,
+            io_bytes=io_bytes,
+            active_cores=c_act,
+            total_cores=cores,
+            f_ghz=f_ghz,
+        )
+        return NodeRunResult(
+            time_s=time_s,
+            t_cpu_s=t_cpu,
+            t_core_s=t_core,
+            t_mem_s=t_mem,
+            t_io_s=t_io,
+            energy_j=energy_j,
+            counters=counters,
+            mean_power_w=energy_j / time_s if time_s > 0 else 0.0,
+        )
+
+    def _empty_result(self, cores: int, f_ghz: float) -> NodeRunResult:
+        """Result of running zero units: instantaneous, zero energy."""
+        counters = CounterSet(
+            instructions=0.0,
+            work_cycles=0.0,
+            core_stall_cycles=0.0,
+            mem_stall_cycles=0.0,
+            io_bytes=0.0,
+            active_cores=0.0,
+            total_cores=cores,
+            f_ghz=f_ghz,
+        )
+        return NodeRunResult(
+            time_s=0.0,
+            t_cpu_s=0.0,
+            t_core_s=0.0,
+            t_mem_s=0.0,
+            t_io_s=0.0,
+            energy_j=0.0,
+            counters=counters,
+            mean_power_w=0.0,
+        )
+
+    def idle_energy(self, duration_s: float) -> float:
+        """Energy the node burns idling for ``duration_s`` seconds."""
+        if duration_s < 0:
+            raise ValueError("duration must be non-negative")
+        return self.node.power.idle_w * duration_s

@@ -1,0 +1,140 @@
+"""Noise model for the simulated testbed.
+
+Real measurements scatter.  The paper attributes its validation error to
+"irregularities among different runs of the same program, and the power
+characterization"; this module encodes those irregularities as explicit,
+independently switchable magnitudes so tests can reason about them (and
+switch them off entirely with :data:`NOISELESS` to check that the
+analytical model then agrees with the simulator almost exactly).
+
+Two kinds of randomness:
+
+* **per-phase** noise (instruction count, cycle counts, miss latency)
+  averages out over a long run by the central limit theorem -- the
+  simulator scales it by ``1/sqrt(batches)`` when aggregating;
+* **per-run systematic** factors (thermal/OS state, meter calibration)
+  do *not* average out and dominate at scale, which is why real clusters
+  show a few percent run-to-run spread even for hour-long jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class NoiseModel:
+    """Relative noise magnitudes (standard deviations of multiplicative factors).
+
+    All sigmas are dimensionless fractions; 0.02 means "2% of the mean".
+    """
+
+    #: Per-phase spread of the instruction count of one work unit.
+    instructions_sigma: float = 0.04
+    #: Per-phase spread of work cycles per instruction.
+    wpi_sigma: float = 0.025
+    #: Per-phase spread of non-memory stall cycles per instruction.
+    spi_core_sigma: float = 0.03
+    #: Per-phase spread of the average memory miss latency.
+    mem_latency_sigma: float = 0.08
+    #: Per-phase spread of I/O transfer efficiency.
+    io_sigma: float = 0.02
+    #: Per-run systematic execution-speed factor (thermal, OS jitter).
+    run_systematic_sigma: float = 0.035
+    #: Per-run power-meter calibration factor (Yokogawa-class accuracy).
+    meter_sigma: float = 0.03
+    #: Fixed job startup overhead per node (fork/exec, page faults), seconds.
+    startup_overhead_s: float = 5e-4
+    #: Spread of the startup overhead.
+    startup_sigma: float = 0.3
+    #: Fault injection: probability that a run executes on a straggler
+    #: node (background daemon, thermal throttling, failing disk).
+    straggler_probability: float = 0.0
+    #: Execution-time multiplier a straggler suffers.
+    straggler_slowdown: float = 3.0
+
+    def __post_init__(self) -> None:
+        for name in (
+            "instructions_sigma",
+            "wpi_sigma",
+            "spi_core_sigma",
+            "mem_latency_sigma",
+            "io_sigma",
+            "run_systematic_sigma",
+            "meter_sigma",
+            "startup_sigma",
+        ):
+            value = getattr(self, name)
+            if not 0.0 <= value < 0.5:
+                raise ValueError(f"{name} must be in [0, 0.5), got {value}")
+        if self.startup_overhead_s < 0:
+            raise ValueError("startup overhead must be non-negative")
+        if not 0.0 <= self.straggler_probability <= 1.0:
+            raise ValueError("straggler probability must be in [0, 1]")
+        if self.straggler_slowdown < 1.0:
+            raise ValueError("a straggler is slower, not faster: slowdown >= 1")
+
+    def factor(
+        self,
+        rng: np.random.Generator,
+        sigma: float,
+        size=None,
+        batches: float = 1.0,
+    ):
+        """Draw multiplicative factor(s) ``~ N(1, sigma/sqrt(batches))``.
+
+        ``batches`` implements CLT aggregation: the mean of ``B``
+        independent phase factors has standard deviation
+        ``sigma / sqrt(B)``.  Factors are clipped at 3 sigma to keep them
+        positive and physical.
+        """
+        if sigma == 0.0:
+            return 1.0 if size is None else np.ones(size)
+        eff = sigma / np.sqrt(max(1.0, batches))
+        draw = rng.normal(1.0, eff, size=size)
+        return np.clip(draw, 1.0 - 3.0 * eff, 1.0 + 3.0 * eff)
+
+    def scaled(self, scale: float) -> "NoiseModel":
+        """A copy with every sigma multiplied by ``scale`` (overheads kept).
+
+        Sigmas cap just below the 0.5 validity bound so large sweep
+        scales remain constructible.
+        """
+        if scale < 0:
+            raise ValueError("scale must be non-negative")
+
+        def s(value: float) -> float:
+            return min(value * scale, 0.49)
+
+        return replace(
+            self,
+            instructions_sigma=s(self.instructions_sigma),
+            wpi_sigma=s(self.wpi_sigma),
+            spi_core_sigma=s(self.spi_core_sigma),
+            mem_latency_sigma=s(self.mem_latency_sigma),
+            io_sigma=s(self.io_sigma),
+            run_systematic_sigma=s(self.run_systematic_sigma),
+            meter_sigma=s(self.meter_sigma),
+            startup_sigma=s(self.startup_sigma),
+        )
+
+
+#: Default magnitudes, calibrated so model-vs-simulator errors land in the
+#: 1-13% band the paper reports in Tables 3 and 4.
+CALIBRATED_NOISE = NoiseModel()
+
+#: Everything off: the simulator becomes deterministic (used by tests that
+#: check the analytical model against the simulator's mean behaviour).
+NOISELESS = NoiseModel(
+    instructions_sigma=0.0,
+    wpi_sigma=0.0,
+    spi_core_sigma=0.0,
+    mem_latency_sigma=0.0,
+    io_sigma=0.0,
+    run_systematic_sigma=0.0,
+    meter_sigma=0.0,
+    startup_overhead_s=0.0,
+    startup_sigma=0.0,
+)

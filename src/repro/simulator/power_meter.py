@@ -1,0 +1,149 @@
+"""A bench power meter for the simulated testbed (Yokogawa WT210 stand-in).
+
+The paper characterizes power (Section II-D2) by pointing a wall-plug
+meter at a node while it runs a micro-benchmark pinned to a given core
+count and frequency.  :class:`PowerMeter` reproduces that workflow: it
+"samples" a node's power during a simulated steady state and reports the
+average with the instrument's calibration error and sampling jitter, so
+calibration code downstream sees realistic readings rather than the
+catalog's ground-truth coefficients.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from repro.hardware.specs import NodeSpec
+from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
+from repro.util.rng import SeedLike, ensure_rng
+
+
+@dataclass(frozen=True)
+class PowerSample:
+    """One averaged meter reading."""
+
+    watts: float
+    duration_s: float
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.watts < 0:
+            raise ValueError("meter cannot read negative power")
+        if self.duration_s <= 0:
+            raise ValueError("sample duration must be positive")
+
+
+class PowerMeter:
+    """Samples a node's power in synthetic steady states.
+
+    Parameters
+    ----------
+    node:
+        Machine under the meter.
+    noise:
+        Instrument model: ``meter_sigma`` is the calibration error (one
+        draw per meter session), and per-sample jitter is taken as half
+        of it (line noise, quantization).
+    """
+
+    #: Number of one-second readings averaged per measurement.
+    SAMPLES_PER_READING = 10
+
+    def __init__(self, node: NodeSpec, noise: NoiseModel = CALIBRATED_NOISE, seed: SeedLike = None):
+        self.node = node
+        self.noise = noise
+        rng = ensure_rng(seed)
+        # Instrument calibration is fixed for the session.
+        self._calibration = float(noise.factor(rng, noise.meter_sigma))
+        self._rng = rng
+
+    # -- steady-state measurement primitives -----------------------------
+
+    def _read(self, true_watts: float, label: str) -> PowerSample:
+        jitter_sigma = self.noise.meter_sigma / 2.0
+        samples = true_watts * self.noise.factor(
+            self._rng, jitter_sigma, size=self.SAMPLES_PER_READING
+        )
+        watts = float(np.mean(samples)) * self._calibration
+        return PowerSample(
+            watts=max(0.0, watts),
+            duration_s=float(self.SAMPLES_PER_READING),
+            label=label,
+        )
+
+    def measure_idle(self) -> PowerSample:
+        """Node power with no workload (``P_idle``)."""
+        return self._read(self.node.power.idle_w, "idle")
+
+    def measure_cpu_active(self, cores: int, f_ghz: float) -> PowerSample:
+        """Node power while the CPU-max micro-benchmark runs.
+
+        True power is ``P_idle + cores * P_CPU,act(f)``; the NIC and
+        memory are quiescent under this kernel.
+        """
+        self.node.cores.validate_setting(cores, f_ghz)
+        true = self.node.power.idle_w + cores * self.node.power.core_active.watts(f_ghz)
+        return self._read(true, f"cpu-max c={cores} f={f_ghz}")
+
+    def measure_cpu_stall(self, cores: int, f_ghz: float) -> PowerSample:
+        """Node power while the cache-miss (stall) micro-benchmark runs.
+
+        True power adds the stalled-core draw and the now-busy memory.
+        """
+        self.node.cores.validate_setting(cores, f_ghz)
+        true = (
+            self.node.power.idle_w
+            + cores * self.node.power.core_stall.watts(f_ghz)
+            + self.node.power.mem_active_w
+        )
+        return self._read(true, f"stall c={cores} f={f_ghz}")
+
+    def measure_io_active(self) -> PowerSample:
+        """Node power while saturating the NIC with DMA transfers."""
+        true = self.node.power.idle_w + self.node.power.io_active_w
+        return self._read(true, "io-active")
+
+    # -- derived characterization ----------------------------------------
+
+    def characterize_core_active(self, f_ghz: float) -> float:
+        """Estimate per-core active power at ``f_ghz`` by differencing.
+
+        Measures the CPU-max kernel at every core count and regresses the
+        readings on the count -- the slope is ``P_CPU,act(f)``.  This is
+        the paper's measurement procedure, and it inherits meter error.
+        """
+        counts = list(range(1, self.node.cores.count + 1))
+        readings = [self.measure_cpu_active(c, f_ghz).watts for c in counts]
+        return _slope(counts, readings)
+
+    def characterize_core_stall(self, f_ghz: float) -> float:
+        """Estimate per-core stall power at ``f_ghz`` (slope over cores)."""
+        counts = list(range(1, self.node.cores.count + 1))
+        readings = [self.measure_cpu_stall(c, f_ghz).watts for c in counts]
+        return _slope(counts, readings)
+
+    def characterize_idle(self, repetitions: int = 3) -> float:
+        """Average several idle readings (``P_idle``)."""
+        if repetitions < 1:
+            raise ValueError("need at least one repetition")
+        return float(np.mean([self.measure_idle().watts for _ in range(repetitions)]))
+
+    def characterize_io(self) -> float:
+        """Estimate NIC active power by differencing against idle."""
+        active = self.measure_io_active().watts
+        idle = self.measure_idle().watts
+        return max(0.0, active - idle)
+
+
+def _slope(x: List[int], y: List[float]) -> float:
+    """Least-squares slope of ``y`` on ``x`` (local to avoid a util import cycle)."""
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    xbar = xa.mean()
+    denom = float(np.sum((xa - xbar) ** 2))
+    if denom == 0.0:
+        raise ValueError("cannot regress power on a single core count")
+    return float(np.sum((xa - xbar) * (ya - ya.mean())) / denom)

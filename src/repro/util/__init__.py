@@ -1,0 +1,53 @@
+"""Shared utilities: unit conversions, reproducible RNG plumbing, statistics.
+
+These helpers are deliberately small and dependency-free (NumPy only) so
+every other subpackage can import them without cycles.
+"""
+
+from repro.util.units import (
+    GHZ,
+    MBPS,
+    GBPS,
+    KIB,
+    MIB,
+    GIB,
+    ghz_to_hz,
+    hz_to_ghz,
+    mbps_to_bytes_per_s,
+    seconds_to_ms,
+    ms_to_seconds,
+)
+from repro.util.rng import RngStream, ensure_rng, spawn_rngs
+from repro.util.stats import (
+    LinearFit,
+    linear_fit,
+    pearson_r2,
+    relative_error,
+    percent_error,
+    summarize_errors,
+    ErrorSummary,
+)
+
+__all__ = [
+    "GHZ",
+    "MBPS",
+    "GBPS",
+    "KIB",
+    "MIB",
+    "GIB",
+    "ghz_to_hz",
+    "hz_to_ghz",
+    "mbps_to_bytes_per_s",
+    "seconds_to_ms",
+    "ms_to_seconds",
+    "RngStream",
+    "ensure_rng",
+    "spawn_rngs",
+    "LinearFit",
+    "linear_fit",
+    "pearson_r2",
+    "relative_error",
+    "percent_error",
+    "summarize_errors",
+    "ErrorSummary",
+]

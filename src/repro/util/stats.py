@@ -1,0 +1,130 @@
+"""Small statistics helpers: least-squares line fits, r-squared, error summaries.
+
+The paper leans on two statistical claims that this module makes checkable:
+
+* ``SPI_mem`` regresses *linearly* over core frequency with Pearson
+  r^2 >= 0.94 (Fig. 3) -- :func:`linear_fit` / :func:`pearson_r2`;
+* model-vs-measurement validation reports mean and standard deviation of
+  percentage errors (Tables 3 and 4) -- :func:`summarize_errors`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LinearFit:
+    """Result of an ordinary least-squares fit of ``y = slope * x + intercept``.
+
+    Attributes
+    ----------
+    slope, intercept:
+        Fitted coefficients.
+    r2:
+        Coefficient of determination of the fit (equals the squared
+        Pearson correlation for a simple linear regression).
+    """
+
+    slope: float
+    intercept: float
+    r2: float
+
+    def predict(self, x):
+        """Evaluate the fitted line at ``x`` (scalar or array)."""
+        return self.slope * np.asarray(x, dtype=float) + self.intercept
+
+
+def linear_fit(x: Sequence[float], y: Sequence[float]) -> LinearFit:
+    """Least-squares straight-line fit of ``y`` on ``x``.
+
+    Raises
+    ------
+    ValueError
+        If fewer than two points are supplied or all ``x`` are identical
+        (the slope would be undefined).
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.shape != ya.shape:
+        raise ValueError(f"x and y must have equal shapes, got {xa.shape} vs {ya.shape}")
+    if xa.size < 2:
+        raise ValueError(f"need at least 2 points to fit a line, got {xa.size}")
+    xbar = xa.mean()
+    ybar = ya.mean()
+    sxx = float(np.sum((xa - xbar) ** 2))
+    if sxx == 0.0:
+        raise ValueError("all x values are identical; slope is undefined")
+    sxy = float(np.sum((xa - xbar) * (ya - ybar)))
+    slope = sxy / sxx
+    intercept = ybar - slope * xbar
+    resid = ya - (slope * xa + intercept)
+    sst = float(np.sum((ya - ybar) ** 2))
+    r2 = 1.0 if sst == 0.0 else 1.0 - float(np.sum(resid**2)) / sst
+    return LinearFit(slope=slope, intercept=intercept, r2=r2)
+
+
+def pearson_r2(x: Sequence[float], y: Sequence[float]) -> float:
+    """Squared Pearson correlation coefficient between ``x`` and ``y``.
+
+    Returns 1.0 for a perfectly (anti-)correlated pair; raises
+    ``ValueError`` when either series is constant, since the correlation
+    is undefined there.
+    """
+    xa = np.asarray(x, dtype=float)
+    ya = np.asarray(y, dtype=float)
+    if xa.size != ya.size:
+        raise ValueError("series must have equal length")
+    if xa.size < 2:
+        raise ValueError("need at least two points")
+    sx = xa.std()
+    sy = ya.std()
+    if sx == 0.0 or sy == 0.0:
+        raise ValueError("correlation undefined for a constant series")
+    r = float(np.mean((xa - xa.mean()) * (ya - ya.mean())) / (sx * sy))
+    return r * r
+
+
+def relative_error(predicted: float, measured: float) -> float:
+    """Absolute relative error |predicted - measured| / |measured|."""
+    if measured == 0.0:
+        raise ValueError("measured value is zero; relative error undefined")
+    return abs(predicted - measured) / abs(measured)
+
+
+def percent_error(predicted: float, measured: float) -> float:
+    """Relative error expressed in percent, as reported in Tables 3-4."""
+    return 100.0 * relative_error(predicted, measured)
+
+
+@dataclass(frozen=True)
+class ErrorSummary:
+    """Mean and standard deviation of a sample of percentage errors."""
+
+    mean: float
+    std: float
+    count: int
+    max: float
+
+    def __str__(self) -> str:
+        return f"{self.mean:.1f}% +/- {self.std:.1f}% (n={self.count}, max={self.max:.1f}%)"
+
+
+def summarize_errors(errors_percent: Sequence[float]) -> ErrorSummary:
+    """Aggregate percentage errors the way the paper's tables do.
+
+    Mean and population standard deviation over the sample; an empty
+    sample is a caller bug and raises.
+    """
+    arr = np.asarray(list(errors_percent), dtype=float)
+    if arr.size == 0:
+        raise ValueError("cannot summarize an empty error sample")
+    return ErrorSummary(
+        mean=float(arr.mean()),
+        std=float(arr.std()),
+        count=int(arr.size),
+        max=float(arr.max()),
+    )

@@ -1,0 +1,64 @@
+"""Unit conventions and conversions used across the library.
+
+Internal conventions (documented once, applied everywhere):
+
+==============  =====================================
+Quantity        Internal unit
+==============  =====================================
+time            seconds (float)
+frequency       gigahertz (float) -- core clocks are
+                small numbers like 1.4, so GHz keeps
+                catalogs readable; convert with
+                :func:`ghz_to_hz` where cycles/second
+                are needed
+power           watts
+energy          joules
+bandwidth       bytes per second
+data            bytes
+==============  =====================================
+
+Node catalogs quote I/O bandwidth in megabits per second because that is
+how datasheets (and Table 1 of the paper) express it; use
+:func:`mbps_to_bytes_per_s` at the boundary.
+"""
+
+from __future__ import annotations
+
+#: One gigahertz expressed in hertz.
+GHZ: float = 1e9
+
+#: One megabit per second expressed in bytes per second.
+MBPS: float = 1e6 / 8.0
+
+#: One gigabit per second expressed in bytes per second.
+GBPS: float = 1e9 / 8.0
+
+#: Binary byte multiples.
+KIB: int = 1024
+MIB: int = 1024 * KIB
+GIB: int = 1024 * MIB
+
+
+def ghz_to_hz(f_ghz: float) -> float:
+    """Convert a core clock in GHz to cycles per second."""
+    return f_ghz * GHZ
+
+
+def hz_to_ghz(f_hz: float) -> float:
+    """Convert a frequency in Hz to GHz."""
+    return f_hz / GHZ
+
+
+def mbps_to_bytes_per_s(mbps: float) -> float:
+    """Convert a link rate in megabits/s to bytes/s."""
+    return mbps * MBPS
+
+
+def seconds_to_ms(t_s: float) -> float:
+    """Convert seconds to milliseconds (used by reporting only)."""
+    return t_s * 1e3
+
+
+def ms_to_seconds(t_ms: float) -> float:
+    """Convert milliseconds to seconds."""
+    return t_ms / 1e3

@@ -1,0 +1,26 @@
+"""Model-vs-testbed validation (Section III, Tables 3 and 4).
+
+Calibrates model inputs from baseline runs, predicts execution time and
+energy for full-size runs, executes the same runs on the simulated
+testbed, and aggregates percentage errors -- the exact experiment the
+paper performs against physical hardware, with our simulator standing in
+for the boards (see DESIGN.md Section 2 for why that substitution keeps
+the validation meaningful).
+"""
+
+from repro.validation.metrics import ValidationRecord, aggregate_records
+from repro.validation.harness import (
+    SingleNodeValidation,
+    ClusterValidation,
+    validate_single_node,
+    validate_cluster,
+)
+
+__all__ = [
+    "ValidationRecord",
+    "aggregate_records",
+    "SingleNodeValidation",
+    "ClusterValidation",
+    "validate_single_node",
+    "validate_cluster",
+]

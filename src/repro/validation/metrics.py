@@ -1,0 +1,51 @@
+"""Validation record-keeping and error aggregation."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Tuple
+
+from repro.util.stats import ErrorSummary, percent_error, summarize_errors
+
+
+@dataclass(frozen=True)
+class ValidationRecord:
+    """One prediction-vs-measurement comparison."""
+
+    workload: str
+    node: str
+    setting: str  # e.g. "c=4 f=1.4" or "8xARM+1xAMD"
+    predicted_time_s: float
+    measured_time_s: float
+    predicted_energy_j: float
+    measured_energy_j: float
+
+    def __post_init__(self) -> None:
+        if min(
+            self.predicted_time_s,
+            self.measured_time_s,
+            self.predicted_energy_j,
+            self.measured_energy_j,
+        ) <= 0:
+            raise ValueError("validation needs positive times and energies")
+
+    @property
+    def time_error_pct(self) -> float:
+        """|predicted - measured| / measured, percent."""
+        return percent_error(self.predicted_time_s, self.measured_time_s)
+
+    @property
+    def energy_error_pct(self) -> float:
+        return percent_error(self.predicted_energy_j, self.measured_energy_j)
+
+
+def aggregate_records(
+    records: Iterable[ValidationRecord],
+) -> Tuple[ErrorSummary, ErrorSummary]:
+    """(time errors, energy errors) summaries over a record sample."""
+    records = list(records)
+    if not records:
+        raise ValueError("no validation records to aggregate")
+    time_summary = summarize_errors(r.time_error_pct for r in records)
+    energy_summary = summarize_errors(r.energy_error_pct for r in records)
+    return time_summary, energy_summary

@@ -1,0 +1,98 @@
+"""Validation sweeps: how model error scales with testbed conditions.
+
+The paper reports one error figure per cell; a reproduction can do more.
+These sweeps re-run the Table 3 experiment while scaling a condition and
+report the error trend:
+
+* :func:`noise_sweep` -- scale every noise magnitude together.  Errors
+  should extrapolate to the small structural floor at zero noise and
+  grow ~linearly with the scale, confirming the validation measures
+  measurement irregularity rather than model brokenness.
+* :func:`problem_size_sweep` -- grow the problem size.  Per-phase noise
+  averages out (CLT) but the run-systematic factors do not, so the error
+  should *plateau*, not vanish -- the reason real clusters never
+  validate to 0% however long the runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.hardware.specs import NodeSpec
+from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
+from repro.util.rng import SeedLike
+from repro.validation.harness import validate_single_node
+from repro.workloads.base import WorkloadSpec
+
+
+@dataclass(frozen=True)
+class SweepPoint:
+    """One sweep sample."""
+
+    x: float
+    time_error_pct: float
+    energy_error_pct: float
+
+
+def noise_sweep(
+    node: NodeSpec,
+    workload: WorkloadSpec,
+    scales: Sequence[float] = (0.0, 0.5, 1.0, 2.0),
+    units: float = 1e6,
+    seed: SeedLike = 0,
+    repetitions: int = 2,
+    base: NoiseModel = CALIBRATED_NOISE,
+) -> List[SweepPoint]:
+    """Mean validation error at each overall noise scale."""
+    if not scales:
+        raise ValueError("need at least one scale")
+    points: List[SweepPoint] = []
+    for scale in scales:
+        report = validate_single_node(
+            node,
+            workload,
+            units=units,
+            noise=base.scaled(scale),
+            seed=seed,
+            repetitions=repetitions,
+        )
+        points.append(
+            SweepPoint(
+                x=float(scale),
+                time_error_pct=report.time_errors.mean,
+                energy_error_pct=report.energy_errors.mean,
+            )
+        )
+    return points
+
+
+def problem_size_sweep(
+    node: NodeSpec,
+    workload: WorkloadSpec,
+    sizes: Sequence[float] = (1e4, 1e5, 1e6, 1e8),
+    seed: SeedLike = 0,
+    repetitions: int = 2,
+    noise: NoiseModel = CALIBRATED_NOISE,
+) -> List[SweepPoint]:
+    """Mean validation error at each problem size."""
+    if not sizes:
+        raise ValueError("need at least one size")
+    points: List[SweepPoint] = []
+    for size in sizes:
+        report = validate_single_node(
+            node,
+            workload,
+            units=float(size),
+            noise=noise,
+            seed=seed,
+            repetitions=repetitions,
+        )
+        points.append(
+            SweepPoint(
+                x=float(size),
+                time_error_pct=report.time_errors.mean,
+                energy_error_pct=report.energy_errors.mean,
+            )
+        )
+    return points

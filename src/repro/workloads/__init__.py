@@ -1,0 +1,58 @@
+"""Workload substrate: scale-out workload descriptors and generators.
+
+The paper's model is *trace-driven*: it never executes application code,
+it consumes per-phase hardware-counter traces of a representative subset
+``Ps`` (one memcached GET, one encoded frame, one priced option, ...).
+This package provides:
+
+* :class:`~repro.workloads.base.ISAProfile` -- the per-node-type service
+  demand of one work unit (instructions, work cycles per instruction,
+  non-memory stall cycles, LLC miss density, CPU utilization);
+* :class:`~repro.workloads.base.WorkloadSpec` -- a whole workload: one
+  profile per node type plus I/O demand and problem sizes;
+* the six paper workloads (EP, memcached, x264, blackscholes, Julius,
+  RSA-2048), calibrated so the paper's Table 5 performance-to-power
+  ordering and figure shapes reproduce (see DESIGN.md Section 7);
+* the two power-characterization micro-benchmarks (Section II-D2);
+* a random workload generator for property-based tests.
+"""
+
+from repro.workloads.base import (
+    Bottleneck,
+    ISAProfile,
+    WorkloadSpec,
+)
+from repro.workloads.suite import (
+    EP,
+    MEMCACHED,
+    X264,
+    BLACKSCHOLES,
+    JULIUS,
+    RSA2048,
+    PAPER_WORKLOADS,
+    workload_by_name,
+)
+from repro.workloads.microbench import (
+    cpu_max_microbench,
+    stall_microbench,
+    MICROBENCHES,
+)
+from repro.workloads.generator import random_workload
+
+__all__ = [
+    "Bottleneck",
+    "ISAProfile",
+    "WorkloadSpec",
+    "EP",
+    "MEMCACHED",
+    "X264",
+    "BLACKSCHOLES",
+    "JULIUS",
+    "RSA2048",
+    "PAPER_WORKLOADS",
+    "workload_by_name",
+    "cpu_max_microbench",
+    "stall_microbench",
+    "MICROBENCHES",
+    "random_workload",
+]

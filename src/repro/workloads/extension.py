@@ -1,0 +1,38 @@
+"""Extension workload profiles for the non-paper node types.
+
+The Atom shares the AMD node's ISA, so a workload's Atom profile is
+derived from its AMD profile: identical instruction stream, but an
+in-order two-issue pipeline retires it with more work cycles and far
+more non-memory stalls (no out-of-order latency hiding).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.hardware.extension import INTEL_ATOM
+from repro.workloads.base import ISAProfile, WorkloadSpec
+
+#: In-order penalty factors relative to the out-of-order AMD K10.
+_ATOM_WPI_FACTOR = 1.25
+_ATOM_SPI_CORE_FACTOR = 2.2
+
+
+def atom_profile(amd_profile: ISAProfile) -> ISAProfile:
+    """Derive an Atom profile from the same-ISA AMD profile."""
+    return dataclasses.replace(
+        amd_profile,
+        wpi=min(1.5, amd_profile.wpi * _ATOM_WPI_FACTOR),
+        spi_core=amd_profile.spi_core * _ATOM_SPI_CORE_FACTOR,
+    )
+
+
+def with_atom(workload: WorkloadSpec, amd_name: str = "amd-k10") -> WorkloadSpec:
+    """A copy of ``workload`` additionally characterized on the Atom node.
+
+    Raises ``KeyError`` if the workload has no AMD profile to derive from.
+    """
+    base = workload.profile_for(amd_name)
+    profiles = dict(workload.profiles)
+    profiles[INTEL_ATOM.name] = atom_profile(base)
+    return dataclasses.replace(workload, profiles=profiles)

@@ -1,0 +1,90 @@
+"""Random workload generation for property-based testing.
+
+Hypothesis-driven tests need arbitrary-but-valid workloads to check model
+invariants (monotonicity in W, matching convergence, Pareto dominance).
+:func:`random_workload` draws a workload whose parameters span the
+envelope of the real suite -- from tiny CPU kernels to chunky I/O-heavy
+request services -- while always satisfying :class:`ISAProfile`'s
+validity constraints.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.util.rng import SeedLike, ensure_rng
+from repro.workloads.base import Bottleneck, ISAProfile, WorkloadSpec
+
+#: Parameter envelope: (low, high) for log-uniform draws.
+_IPS_RANGE = (50.0, 1e9)
+_WPI_RANGE = (0.2, 1.5)
+_SPI_CORE_RANGE = (0.0, 1.2)
+_MISS_RANGE = (0.0, 0.02)
+_IO_BYTES_RANGE = (0.0, 1e6)
+_JOB_UNITS_RANGE = (1e3, 1e10)
+
+
+def _log_uniform(rng: np.random.Generator, lo: float, hi: float) -> float:
+    """Sample log-uniformly on [lo, hi] (lo > 0)."""
+    return float(np.exp(rng.uniform(np.log(lo), np.log(hi))))
+
+
+def random_profile(seed: SeedLike = None) -> ISAProfile:
+    """A random valid :class:`ISAProfile`."""
+    rng = ensure_rng(seed)
+    return ISAProfile(
+        instructions_per_unit=_log_uniform(rng, *_IPS_RANGE),
+        wpi=float(rng.uniform(*_WPI_RANGE)),
+        spi_core=float(rng.uniform(*_SPI_CORE_RANGE)),
+        llc_misses_per_instr=float(rng.uniform(*_MISS_RANGE)),
+        cpu_utilization=float(rng.uniform(0.3, 1.0)),
+    )
+
+
+def random_workload(
+    node_names: Sequence[str] = ("arm-cortex-a9", "amd-k10"),
+    seed: SeedLike = None,
+    bottleneck: Optional[Bottleneck] = None,
+) -> WorkloadSpec:
+    """Draw a random valid workload characterized on ``node_names``.
+
+    Parameters
+    ----------
+    node_names:
+        Node types the workload carries profiles for.
+    seed:
+        Anything :func:`repro.util.rng.ensure_rng` accepts.
+    bottleneck:
+        Optional label to force; when ``None`` a label is drawn uniformly
+        (the label is informational -- actual bottleneck emerges from the
+        parameters).
+    """
+    rng = ensure_rng(seed)
+    if not node_names:
+        raise ValueError("need at least one node type")
+    label = bottleneck or Bottleneck(
+        rng.choice([b.value for b in Bottleneck])
+    )
+    io_heavy = label is Bottleneck.IO
+    io_bytes = (
+        _log_uniform(rng, 256.0, _IO_BYTES_RANGE[1])
+        if io_heavy
+        else float(rng.uniform(*_IO_BYTES_RANGE)) * 0.01
+    )
+    arrival = None
+    if io_heavy and rng.random() < 0.3:
+        arrival = _log_uniform(rng, 0.1, 1e4)
+    ident = int(rng.integers(0, 10**9))
+    return WorkloadSpec(
+        name=f"synthetic-{ident:09d}",
+        domain="synthetic",
+        unit_name="unit",
+        bottleneck=label,
+        profiles={name: random_profile(rng) for name in node_names},
+        io_bytes_per_unit=io_bytes,
+        io_job_arrival_rate=arrival,
+        default_job_units=_log_uniform(rng, *_JOB_UNITS_RANGE),
+        ppr_unit="(units/s)/W",
+    )

@@ -1,0 +1,77 @@
+"""Power-characterization micro-benchmarks (Section II-D2).
+
+The paper measures ``P_CPU,act`` with a micro-benchmark that pins CPU
+utilization at 100% work cycles, and ``P_CPU,stall`` with one that streams
+cache misses to maximize stall cycles.  We express both as ordinary
+:class:`WorkloadSpec` instances so the simulator runs them through the
+same code path as real workloads; :mod:`repro.core.calibration` then
+reads the power meter during their execution to extract the coefficients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.hardware.specs import NodeSpec
+from repro.workloads.base import Bottleneck, ISAProfile, WorkloadSpec
+
+
+def cpu_max_microbench(node: NodeSpec) -> WorkloadSpec:
+    """A pure-compute kernel: every cycle is a work cycle, no stalls.
+
+    Running it with ``c`` cores at frequency ``f`` makes the node's power
+    ``P_idle + c * P_CPU,act(f)`` (plus negligible memory/NIC), so a
+    single power reading isolates the active-core coefficient.
+    """
+    profile = ISAProfile(
+        instructions_per_unit=1_000.0,
+        wpi=1.0,
+        spi_core=0.0,
+        llc_misses_per_instr=0.0,
+    )
+    return WorkloadSpec(
+        name=f"ubench-cpumax-{node.name}",
+        domain="microbenchmark",
+        unit_name="iteration",
+        bottleneck=Bottleneck.CPU,
+        profiles={node.name: profile},
+        io_bytes_per_unit=0.0,
+        default_job_units=1e6,
+        ppr_unit="(iterations/s)/W",
+    )
+
+
+def stall_microbench(node: NodeSpec) -> WorkloadSpec:
+    """A pointer-chasing kernel: a dependent LLC miss every few instructions.
+
+    Nearly all core time is spent stalled on memory, so the node's power
+    is ``P_idle + c * P_CPU,stall(f) + P_mem`` and a reading isolates the
+    stall coefficient.  The miss density is chosen so the memory response
+    time dwarfs the work cycles by >50x at any catalog frequency.
+    """
+    profile = ISAProfile(
+        instructions_per_unit=1_000.0,
+        wpi=0.1,
+        spi_core=0.0,
+        # One dependent miss every 20 instructions: at >=60 ns latency and
+        # >=0.2 GHz this is >= 0.6 stall cycles/instr vs 0.1 work cycles.
+        llc_misses_per_instr=0.05,
+    )
+    return WorkloadSpec(
+        name=f"ubench-stall-{node.name}",
+        domain="microbenchmark",
+        unit_name="iteration",
+        bottleneck=Bottleneck.MEMORY,
+        profiles={node.name: profile},
+        io_bytes_per_unit=0.0,
+        default_job_units=1e6,
+        ppr_unit="(iterations/s)/W",
+    )
+
+
+def MICROBENCHES(node: NodeSpec) -> Dict[str, WorkloadSpec]:
+    """Both characterization kernels for ``node``, keyed by role."""
+    return {
+        "cpu_max": cpu_max_microbench(node),
+        "stall": stall_microbench(node),
+    }

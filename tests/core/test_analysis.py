@@ -1,0 +1,134 @@
+"""High-level analyses: efficient settings, PPR, savings, deadline series."""
+
+import numpy as np
+import pytest
+
+from repro.core import analysis
+from repro.core.calibration import ground_truth_params
+from repro.core.evaluate import evaluate_space
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.suite import EP, MEMCACHED, PAPER_WORKLOADS
+
+
+class TestEfficientSetting:
+    def test_energy_is_global_minimum_over_settings(self, ep_params):
+        params = ep_params[ARM_CORTEX_A9.name]
+        best = analysis.most_efficient_setting(ARM_CORTEX_A9, params, units=1e6)
+        from repro.core.energymodel import predict_node_energy
+        from repro.core.timemodel import predict_node_time
+
+        for cores in range(1, 5):
+            for f in ARM_CORTEX_A9.cores.pstates_ghz:
+                tb = predict_node_time(params, 1e6, 1, cores, f)
+                e = predict_node_energy(params, tb).energy_j
+                assert best.energy_j <= e + 1e-9
+
+    def test_amd_prefers_all_cores_max_frequency(self, ep_params):
+        """45 W idle: race-to-idle is optimal on the AMD node."""
+        best = analysis.most_efficient_setting(AMD_K10, ep_params[AMD_K10.name])
+        assert best.cores == 6
+        assert best.f_ghz == 2.1
+
+    def test_arm_ep_prefers_interior_frequency(self, ep_params):
+        best = analysis.most_efficient_setting(
+            ARM_CORTEX_A9, ep_params[ARM_CORTEX_A9.name]
+        )
+        assert best.cores == 4
+        assert 0.2 < best.f_ghz < 1.4
+
+    def test_ppr_consistent(self, ep_params):
+        best = analysis.most_efficient_setting(
+            ARM_CORTEX_A9, ep_params[ARM_CORTEX_A9.name]
+        )
+        assert best.ppr == pytest.approx(best.rate_units_per_s / best.power_w)
+
+    def test_invalid_units_rejected(self, ep_params):
+        with pytest.raises(ValueError):
+            analysis.most_efficient_setting(
+                ARM_CORTEX_A9, ep_params[ARM_CORTEX_A9.name], units=0.0
+            )
+
+
+class TestTable5Rows:
+    def test_rows_cover_suite(self):
+        rows = analysis.table5_rows(
+            PAPER_WORKLOADS,
+            (AMD_K10, ARM_CORTEX_A9),
+            lambda node, workload: ground_truth_params(node, workload),
+        )
+        assert [r[0] for r in rows] == [w.name for w in PAPER_WORKLOADS]
+        for _, _, values in rows:
+            assert set(values) == {"amd-k10", "arm-cortex-a9"}
+            assert all(v > 0 for v in values.values())
+
+
+class TestSavings:
+    def test_headline_savings_vs_amd_only(self, ep_params):
+        """Full frontier dominates AMD-only configurations somewhere."""
+        space = evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, ep_params, 50e6)
+        report = analysis.savings_vs_homogeneous(space, space.is_only_b)
+        assert report.max_saving > 0.3  # the paper reports up to 58%
+        assert report.at_deadline_s > 0
+        assert len(report.detail) > 0
+
+    def test_savings_never_negative(self, small_ep_space):
+        """The full frontier can never lose to its own subset."""
+        report = analysis.savings_vs_homogeneous(
+            small_ep_space, small_ep_space.is_only_b
+        )
+        for _, e_full, e_homog in report.detail:
+            assert e_full <= e_homog + 1e-9
+
+    def test_empty_mask_rejected(self, small_ep_space):
+        with pytest.raises(ValueError):
+            analysis.savings_vs_homogeneous(
+                small_ep_space, np.zeros(len(small_ep_space), dtype=bool)
+            )
+
+
+class TestSeries:
+    def test_min_energy_series_monotone(self, small_ep_space):
+        grid = analysis.deadline_grid(0.01, 10.0, 30)
+        series = analysis.min_energy_series(small_ep_space, grid)
+        values = [v for v in series if v is not None]
+        assert values == sorted(values, reverse=True)
+
+    def test_unmeetable_deadlines_are_none(self, small_ep_space):
+        series = analysis.min_energy_series(small_ep_space, [1e-9])
+        assert series == [None]
+
+    def test_deadline_grid_log_spaced(self):
+        grid = analysis.deadline_grid(0.01, 1.0, 3)
+        assert grid[0] == pytest.approx(0.01)
+        assert grid[-1] == pytest.approx(1.0)
+        assert grid[1] == pytest.approx(0.1)
+
+    def test_deadline_grid_validation(self):
+        with pytest.raises(ValueError):
+            analysis.deadline_grid(0.0, 1.0)
+        with pytest.raises(ValueError):
+            analysis.deadline_grid(1.0, 0.5)
+        with pytest.raises(ValueError):
+            analysis.deadline_grid(0.1, 1.0, points=1)
+
+
+class TestFixedMixSpace:
+    def test_counts_pinned(self, memcached_params):
+        space = analysis.fixed_mix_space(
+            ARM_CORTEX_A9, 16, AMD_K10, 14, memcached_params, 50_000.0
+        )
+        assert (space.n_a == 16).all()
+        assert (space.n_b == 14).all()
+
+    def test_homogeneous_mix(self, memcached_params):
+        space = analysis.fixed_mix_space(
+            ARM_CORTEX_A9, 0, AMD_K10, 16, memcached_params, 50_000.0
+        )
+        assert (space.n_a == 0).all()
+        assert (space.n_b == 16).all()
+
+    def test_empty_mix_rejected(self, memcached_params):
+        with pytest.raises(ValueError):
+            analysis.fixed_mix_space(
+                ARM_CORTEX_A9, 0, AMD_K10, 0, memcached_params, 50_000.0
+            )

@@ -1,0 +1,97 @@
+"""Configuration space: enumeration and the 36,380 footnote."""
+
+import pytest
+
+from repro.core.configuration import ClusterConfig, count_configs, enumerate_configs
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+
+
+class TestPaperFootnote:
+    def test_36380_configurations(self):
+        """10 ARM x 10 AMD reproduces the paper's footnote arithmetic."""
+        assert count_configs(ARM_CORTEX_A9, 10, AMD_K10, 10) == 36_380
+
+    def test_footnote_components(self):
+        # ARM-only: 10 x 5 x 4 = 200; AMD-only: 10 x 3 x 6 = 180.
+        assert ARM_CORTEX_A9.config_count(10) == 200
+        assert AMD_K10.config_count(10) == 180
+
+    def test_enumeration_matches_count(self):
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 3, AMD_K10, 2))
+        assert len(configs) == count_configs(ARM_CORTEX_A9, 3, AMD_K10, 2)
+
+    def test_enumeration_unique(self):
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 2, AMD_K10, 2))
+        assert len(set(configs)) == len(configs)
+
+
+class TestEnumerationStructure:
+    def test_block_order(self):
+        """Heterogeneous first, then ARM-only, then AMD-only."""
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 2, AMD_K10, 2))
+        kinds = [
+            "hetero" if c.is_heterogeneous else ("a" if c.n_a else "b")
+            for c in configs
+        ]
+        first_a = kinds.index("a")
+        first_b = kinds.index("b")
+        assert all(k == "hetero" for k in kinds[:first_a])
+        assert all(k == "a" for k in kinds[first_a:first_b])
+        assert all(k == "b" for k in kinds[first_b:])
+
+    def test_all_settings_covered(self):
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 1, AMD_K10, 1))
+        hetero = [c for c in configs if c.is_heterogeneous]
+        settings = {(c.cores_a, c.f_a_ghz, c.cores_b, c.f_b_ghz) for c in hetero}
+        assert len(settings) == 4 * 5 * 6 * 3
+
+    def test_zero_maxima(self):
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 0, AMD_K10, 2))
+        assert all(c.n_a == 0 for c in configs)
+        assert len(configs) == AMD_K10.config_count(2)
+
+    def test_negative_maxima_rejected(self):
+        with pytest.raises(ValueError):
+            list(enumerate_configs(ARM_CORTEX_A9, -1, AMD_K10, 2))
+        with pytest.raises(ValueError):
+            count_configs(ARM_CORTEX_A9, -1, AMD_K10, 2)
+
+
+class TestClusterConfig:
+    def _config(self, n_a=2, n_b=1):
+        return ClusterConfig(
+            node_a="arm-cortex-a9",
+            n_a=n_a,
+            cores_a=4,
+            f_a_ghz=1.4,
+            node_b="amd-k10",
+            n_b=n_b,
+            cores_b=6,
+            f_b_ghz=2.1,
+        )
+
+    def test_heterogeneous_flag(self):
+        assert self._config().is_heterogeneous
+        assert not self._config(n_b=0).is_heterogeneous
+
+    def test_homogeneous_type(self):
+        assert self._config().homogeneous_type is None
+        assert self._config(n_b=0).homogeneous_type == "arm-cortex-a9"
+        assert self._config(n_a=0).homogeneous_type == "amd-k10"
+
+    def test_total_nodes(self):
+        assert self._config(3, 2).total_nodes == 5
+
+    def test_label_mentions_present_groups(self):
+        label = self._config().label()
+        assert "arm-cortex-a9" in label and "amd-k10" in label
+        label_solo = self._config(n_b=0).label()
+        assert "amd" not in label_solo
+
+    def test_empty_config_rejected(self):
+        with pytest.raises(ValueError):
+            self._config(0, 0)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            self._config(-1, 1)

@@ -1,0 +1,125 @@
+"""Energy model: Eqs. 12-19 against hand computations."""
+
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.energymodel import energy_per_unit, predict_node_energy
+from repro.core.timemodel import predict_node_time
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.suite import EP, MEMCACHED
+
+
+@pytest.fixture
+def ep_arm():
+    return ground_truth_params(ARM_CORTEX_A9, EP)
+
+
+@pytest.fixture
+def ep_amd():
+    return ground_truth_params(AMD_K10, EP)
+
+
+class TestEquations:
+    def test_eq14_idle(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        eb = predict_node_energy(ep_arm, tb)
+        assert eb.e_idle_j == pytest.approx(ep_arm.p_idle_w * tb.time_s)
+
+    def test_eq15_core(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        eb = predict_node_energy(ep_arm, tb)
+        expected = (
+            ep_arm.p_act(1.4) * tb.t_act_s + ep_arm.p_stall(1.4) * tb.t_stall_s
+        ) * tb.c_act
+        assert eb.e_core_j == pytest.approx(expected)
+
+    def test_eq18_memory(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        eb = predict_node_energy(ep_arm, tb)
+        assert eb.e_mem_j == pytest.approx(ep_arm.p_mem_w * tb.t_mem_s)
+
+    def test_eq19_io(self):
+        params = ground_truth_params(ARM_CORTEX_A9, MEMCACHED)
+        tb = predict_node_time(params, 50_000, 1, 4, 1.4)
+        eb = predict_node_energy(params, tb)
+        assert eb.e_io_j == pytest.approx(params.p_io_w * tb.t_io_s)
+
+    def test_eq13_group_total(self, ep_amd):
+        tb = predict_node_time(ep_amd, 1e6, 3, 6, 2.1)
+        eb = predict_node_energy(ep_amd, tb)
+        assert eb.energy_j == pytest.approx(eb.per_node_j * 3)
+        assert eb.n_nodes == 3
+
+
+class TestJobTimeExtension:
+    def test_idle_extends_to_job_time(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        own = predict_node_energy(ep_arm, tb)
+        extended = predict_node_energy(ep_arm, tb, job_time_s=tb.time_s * 2)
+        extra = extended.energy_j - own.energy_j
+        assert extra == pytest.approx(ep_arm.p_idle_w * tb.time_s)
+
+    def test_job_time_before_own_rejected(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        with pytest.raises(ValueError):
+            predict_node_energy(ep_arm, tb, job_time_s=tb.time_s / 2)
+
+
+class TestScalingLaws:
+    def test_energy_linear_in_units(self, ep_amd):
+        tb1 = predict_node_time(ep_amd, 1e6, 1, 6, 2.1)
+        tb2 = predict_node_time(ep_amd, 2e6, 1, 6, 2.1)
+        e1 = predict_node_energy(ep_amd, tb1).energy_j
+        e2 = predict_node_energy(ep_amd, tb2).energy_j
+        assert e2 == pytest.approx(2 * e1)
+
+    def test_energy_per_unit_independent_of_node_count(self, ep_amd):
+        """The linear model's per-unit energy does not change with n."""
+        values = []
+        for n in (1, 2, 5):
+            tb = predict_node_time(ep_amd, 1e6, n, 6, 2.1)
+            values.append(energy_per_unit(ep_amd, tb))
+        assert values[0] == pytest.approx(values[1], rel=1e-12)
+        assert values[0] == pytest.approx(values[2], rel=1e-12)
+
+    def test_amd_energy_dominated_by_idle(self, ep_amd):
+        """45 of ~58 W is idle floor: the asymmetry driving the paper."""
+        tb = predict_node_time(ep_amd, 1e6, 1, 6, 2.1)
+        eb = predict_node_energy(ep_amd, tb)
+        assert eb.e_idle_j > 0.6 * eb.per_node_j
+
+    def test_arm_energy_not_idle_dominated(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        eb = predict_node_energy(ep_arm, tb)
+        assert eb.e_idle_j < 0.5 * eb.per_node_j
+
+
+class TestOverlapRegionPhysics:
+    def test_arm_ep_has_interior_energy_optimal_frequency(self, ep_arm):
+        """Dropping from fmax must reduce energy (the overlap region),
+        but the lowest frequency must cost more again (idle dominates)."""
+        energies = {}
+        for f in ARM_CORTEX_A9.cores.pstates_ghz:
+            tb = predict_node_time(ep_arm, 1e6, 1, 4, f)
+            energies[f] = predict_node_energy(ep_arm, tb).energy_j
+        fmax = ARM_CORTEX_A9.cores.fmax_ghz
+        fmin = ARM_CORTEX_A9.cores.fmin_ghz
+        best = min(energies, key=energies.get)
+        assert fmin < best < fmax
+        assert energies[best] < energies[fmax]
+        assert energies[fmin] > energies[best]
+
+    def test_amd_prefers_max_frequency(self, ep_amd):
+        """45 W idle means AMD should always run flat out."""
+        energies = {}
+        for f in AMD_K10.cores.pstates_ghz:
+            tb = predict_node_time(ep_amd, 1e6, 1, 6, 2.1 if False else f)
+            energies[f] = predict_node_energy(ep_amd, tb).energy_j
+        assert min(energies, key=energies.get) == AMD_K10.cores.fmax_ghz
+
+
+def test_energy_per_unit_requires_work(ep_arm=None):
+    params = ground_truth_params(ARM_CORTEX_A9, EP)
+    tb = predict_node_time(params, 0.0, 1, 4, 1.4)
+    with pytest.raises(ValueError):
+        energy_per_unit(params, tb)

@@ -1,0 +1,179 @@
+"""Configuration evaluation: scalar reference vs vectorized space."""
+
+import numpy as np
+import pytest
+
+from repro.core.configuration import enumerate_configs
+from repro.core.evaluate import evaluate_config, evaluate_space
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+
+
+class TestScalarEvaluation:
+    def test_basic_point(self, ep_params):
+        config = next(enumerate_configs(ARM_CORTEX_A9, 2, AMD_K10, 2))
+        point = evaluate_config(config, ep_params, 1e6)
+        assert point.time_s > 0
+        assert point.energy_j > 0
+        assert point.units_a + point.units_b == pytest.approx(1e6)
+
+    def test_zero_units_rejected(self, ep_params):
+        config = next(enumerate_configs(ARM_CORTEX_A9, 1, AMD_K10, 1))
+        with pytest.raises(ValueError):
+            evaluate_config(config, ep_params, 0.0)
+
+
+class TestVectorizedSpace:
+    def test_row_count_matches_enumeration(self, small_ep_space):
+        from repro.core.configuration import count_configs
+
+        assert len(small_ep_space) == count_configs(ARM_CORTEX_A9, 3, AMD_K10, 3)
+
+    def test_row_order_matches_enumeration(self, small_ep_space):
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 3, AMD_K10, 3))
+        for i in (0, 7, 100, len(configs) - 1):
+            assert small_ep_space.config(i) == configs[i]
+
+    def test_scalar_vectorized_agreement_ep(self, ep_params, small_ep_space):
+        """The core consistency check: both paths, same numbers."""
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 3, AMD_K10, 3))
+        rng = np.random.default_rng(0)
+        for i in rng.choice(len(configs), size=60, replace=False):
+            point = evaluate_config(configs[i], ep_params, 50e6)
+            assert small_ep_space.times_s[i] == pytest.approx(
+                point.time_s, rel=1e-9
+            ), configs[i]
+            assert small_ep_space.energies_j[i] == pytest.approx(
+                point.energy_j, rel=1e-9
+            ), configs[i]
+
+    def test_scalar_vectorized_agreement_memcached(
+        self, memcached_params, small_memcached_space
+    ):
+        configs = list(enumerate_configs(ARM_CORTEX_A9, 3, AMD_K10, 3))
+        rng = np.random.default_rng(1)
+        for i in rng.choice(len(configs), size=60, replace=False):
+            point = evaluate_config(configs[i], memcached_params, 50_000)
+            assert small_memcached_space.times_s[i] == pytest.approx(
+                point.time_s, rel=1e-9
+            )
+            assert small_memcached_space.energies_j[i] == pytest.approx(
+                point.energy_j, rel=1e-9
+            )
+
+    def test_split_conserved(self, small_ep_space):
+        np.testing.assert_allclose(
+            small_ep_space.units_a + small_ep_space.units_b,
+            small_ep_space.units_total,
+            rtol=1e-9,
+        )
+
+    def test_masks_partition_space(self, small_ep_space):
+        total = (
+            small_ep_space.is_heterogeneous.sum()
+            + small_ep_space.is_only_a.sum()
+            + small_ep_space.is_only_b.sum()
+        )
+        assert total == len(small_ep_space)
+
+    def test_all_positive(self, small_ep_space):
+        assert (small_ep_space.times_s > 0).all()
+        assert (small_ep_space.energies_j > 0).all()
+
+    def test_subset(self, small_ep_space):
+        hetero = small_ep_space.subset(small_ep_space.is_heterogeneous)
+        assert len(hetero) == int(small_ep_space.is_heterogeneous.sum())
+        assert (hetero.n_a > 0).all() and (hetero.n_b > 0).all()
+
+    def test_point_materialization(self, small_ep_space):
+        point = small_ep_space.point(0)
+        assert point.time_s == small_ep_space.times_s[0]
+        assert point.config.n_a == small_ep_space.n_a[0]
+
+
+class TestPinnedCounts:
+    def test_exact_mix_only(self, ep_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9,
+            16,
+            AMD_K10,
+            2,
+            ep_params,
+            1e6,
+            counts_a=[16],
+            counts_b=[2],
+        )
+        assert (space.n_a == 16).all()
+        assert (space.n_b == 2).all()
+        # settings: (4 cores x 5 f) x (6 cores x 3 f)
+        assert len(space) == 20 * 18
+
+    def test_homogeneous_pin(self, ep_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9,
+            8,
+            AMD_K10,
+            1,
+            ep_params,
+            1e6,
+            counts_a=[8],
+            counts_b=[0],
+        )
+        assert (space.n_b == 0).all()
+        assert len(space) == 20
+
+    def test_pinned_agrees_with_full_space(self, ep_params, small_ep_space):
+        pinned = evaluate_space(
+            ARM_CORTEX_A9,
+            3,
+            AMD_K10,
+            3,
+            ep_params,
+            50e6,
+            counts_a=[2],
+            counts_b=[3],
+        )
+        mask = (small_ep_space.n_a == 2) & (small_ep_space.n_b == 3)
+        reference = small_ep_space.subset(mask)
+        order = np.lexsort(
+            (pinned.f_b, pinned.cores_b, pinned.f_a, pinned.cores_a)
+        )
+        ref_order = np.lexsort(
+            (reference.f_b, reference.cores_b, reference.f_a, reference.cores_a)
+        )
+        np.testing.assert_allclose(
+            pinned.times_s[order], reference.times_s[ref_order], rtol=1e-12
+        )
+        np.testing.assert_allclose(
+            pinned.energies_j[order], reference.energies_j[ref_order], rtol=1e-12
+        )
+
+    def test_invalid_counts_rejected(self, ep_params):
+        with pytest.raises(ValueError):
+            evaluate_space(
+                ARM_CORTEX_A9, 2, AMD_K10, 2, ep_params, 1e6, counts_a=[-1]
+            )
+        with pytest.raises(ValueError):
+            evaluate_space(
+                ARM_CORTEX_A9, 2, AMD_K10, 2, ep_params, 1e6, counts_a=[]
+            )
+        with pytest.raises(ValueError):
+            evaluate_space(
+                ARM_CORTEX_A9,
+                2,
+                AMD_K10,
+                2,
+                ep_params,
+                1e6,
+                counts_a=[0],
+                counts_b=[0],
+            )
+
+
+class TestSpaceValidation:
+    def test_empty_space_rejected(self, ep_params):
+        with pytest.raises(ValueError):
+            evaluate_space(ARM_CORTEX_A9, 0, AMD_K10, 0, ep_params, 1e6)
+
+    def test_non_positive_units_rejected(self, ep_params):
+        with pytest.raises(ValueError):
+            evaluate_space(ARM_CORTEX_A9, 1, AMD_K10, 1, ep_params, 0.0)

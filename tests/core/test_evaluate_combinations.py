@@ -1,0 +1,97 @@
+"""Evaluator corner combinations: pinned counts x restricted settings."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import evaluate_space
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+
+
+class TestCountsTimesSettings:
+    def test_pinned_counts_and_settings_together(self, ep_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9,
+            4,
+            AMD_K10,
+            2,
+            ep_params,
+            1e6,
+            counts_a=[4],
+            counts_b=[2],
+            settings_a=[(4, 1.4), (4, 0.8)],
+            settings_b=[(6, 2.1)],
+        )
+        assert len(space) == 2 * 1
+        assert set(np.unique(space.f_a)) == {0.8, 1.4}
+        assert (space.n_a == 4).all() and (space.n_b == 2).all()
+
+    def test_rows_agree_with_full_space(self, ep_params):
+        full = evaluate_space(ARM_CORTEX_A9, 4, AMD_K10, 2, ep_params, 1e6)
+        narrow = evaluate_space(
+            ARM_CORTEX_A9,
+            4,
+            AMD_K10,
+            2,
+            ep_params,
+            1e6,
+            counts_a=[4],
+            counts_b=[2],
+            settings_a=[(4, 1.4)],
+            settings_b=[(6, 2.1)],
+        )
+        assert len(narrow) == 1
+        mask = (
+            (full.n_a == 4)
+            & (full.cores_a == 4)
+            & (full.f_a == 1.4)
+            & (full.n_b == 2)
+            & (full.cores_b == 6)
+            & (full.f_b == 2.1)
+        )
+        reference = full.subset(mask)
+        assert reference.times_s[0] == pytest.approx(narrow.times_s[0], rel=1e-12)
+        assert reference.energies_j[0] == pytest.approx(
+            narrow.energies_j[0], rel=1e-12
+        )
+
+    def test_homogeneous_blocks_respect_settings(self, ep_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9,
+            3,
+            AMD_K10,
+            3,
+            ep_params,
+            1e6,
+            counts_a=[0, 3],
+            counts_b=[0, 3],
+            settings_a=[(2, 0.5)],
+            settings_b=[(3, 1.5)],
+        )
+        # 1 hetero + 1 arm-only + 1 amd-only row.
+        assert len(space) == 3
+        arm_rows = space.subset(space.n_a > 0)
+        assert set(np.unique(arm_rows.cores_a)) == {2}
+
+    def test_duplicate_counts_deduplicated(self, ep_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9,
+            2,
+            AMD_K10,
+            1,
+            ep_params,
+            1e6,
+            counts_a=[2, 2, 2],
+            counts_b=[1],
+        )
+        assert len(space) == 20 * 18  # one count pair, full settings grid
+
+
+class TestSubsetPreservesMetadata:
+    def test_units_total_carried(self, small_ep_space):
+        subset = small_ep_space.subset(small_ep_space.is_heterogeneous)
+        assert subset.units_total == small_ep_space.units_total
+        assert subset.node_a == small_ep_space.node_a
+
+    def test_empty_subset_is_len_zero(self, small_ep_space):
+        empty = small_ep_space.subset(np.zeros(len(small_ep_space), dtype=bool))
+        assert len(empty) == 0

@@ -1,0 +1,158 @@
+"""Mix-and-match work splitting (Eq. 1)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.matching import (
+    GroupSetting,
+    MatchResult,
+    imbalance_seconds,
+    match_split,
+    match_split_bisection,
+)
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.suite import EP, MEMCACHED
+
+
+@pytest.fixture
+def ep_groups():
+    arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, EP), 8, 4, 1.4)
+    amd = GroupSetting(ground_truth_params(AMD_K10, EP), 2, 6, 2.1)
+    return arm, amd
+
+
+@pytest.fixture
+def mc_groups():
+    arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, MEMCACHED), 8, 4, 1.4)
+    amd = GroupSetting(ground_truth_params(AMD_K10, MEMCACHED), 2, 6, 2.1)
+    return arm, amd
+
+
+class TestClosedForm:
+    def test_split_conserves_work(self, ep_groups):
+        arm, amd = ep_groups
+        result = match_split(50e6, arm, amd)
+        assert result.units_a + result.units_b == pytest.approx(50e6)
+        assert result.units_a > 0 and result.units_b > 0
+
+    def test_times_match(self, ep_groups):
+        arm, amd = ep_groups
+        result = match_split(50e6, arm, amd)
+        t_arm = arm.time(result.units_a)
+        t_amd = amd.time(result.units_b)
+        assert t_arm == pytest.approx(t_amd, rel=1e-9)
+        assert result.time_s == pytest.approx(t_arm, rel=1e-9)
+        assert result.method == "closed-form"
+
+    def test_imbalance_zero(self, ep_groups):
+        arm, amd = ep_groups
+        result = match_split(50e6, arm, amd)
+        assert imbalance_seconds(result, arm, amd) == pytest.approx(0.0, abs=1e-9)
+
+    def test_matched_time_beats_both_homogeneous(self, ep_groups):
+        """Concurrent service is faster than either group alone."""
+        arm, amd = ep_groups
+        result = match_split(50e6, arm, amd)
+        assert result.time_s < arm.time(50e6)
+        assert result.time_s < amd.time(50e6)
+
+    def test_faster_side_gets_more_work(self, ep_groups):
+        arm, amd = ep_groups
+        result = match_split(50e6, arm, amd)
+        # 8 ARM nodes at 1.4 GHz outrate 2 AMD at 2.1 for EP.
+        rate_arm = result.units_a / result.time_s
+        rate_amd = result.units_b / result.time_s
+        assert rate_arm / rate_amd == pytest.approx(
+            result.units_a / result.units_b, rel=1e-9
+        )
+
+    def test_io_bound_split(self, mc_groups):
+        arm, amd = mc_groups
+        result = match_split(50_000, arm, amd)
+        t_arm = arm.time(result.units_a)
+        t_amd = amd.time(result.units_b)
+        assert t_arm == pytest.approx(t_amd, rel=1e-9)
+        # AMD's 10x NIC bandwidth on 2 nodes vs 8 ARM NICs: AMD gets more.
+        assert result.units_b > result.units_a
+
+
+class TestDegenerateGroups:
+    def test_empty_a(self, ep_groups):
+        _, amd = ep_groups
+        empty = dataclasses.replace(ep_groups[0], n_nodes=0)
+        result = match_split(1e6, empty, amd)
+        assert result.units_a == 0.0
+        assert result.units_b == 1e6
+        assert result.method == "degenerate-a"
+
+    def test_empty_b(self, ep_groups):
+        arm, _ = ep_groups
+        empty = dataclasses.replace(ep_groups[1], n_nodes=0)
+        result = match_split(1e6, arm, empty)
+        assert result.units_b == 0.0
+        assert result.method == "degenerate-b"
+
+    def test_both_empty_rejected(self, ep_groups):
+        empty_a = dataclasses.replace(ep_groups[0], n_nodes=0)
+        empty_b = dataclasses.replace(ep_groups[1], n_nodes=0)
+        with pytest.raises(ValueError):
+            match_split(1e6, empty_a, empty_b)
+
+    def test_non_positive_work_rejected(self, ep_groups):
+        with pytest.raises(ValueError):
+            match_split(0.0, *ep_groups)
+
+
+class TestArrivalFloors:
+    def _floored(self, group, rate):
+        params = dataclasses.replace(group.params, io_job_arrival_rate=rate)
+        return dataclasses.replace(group, params=params)
+
+    def test_floor_binding_excludes_group(self, mc_groups):
+        """A group whose arrival floor exceeds the other group's total
+        time receives no work (zero-work groups have no floor)."""
+        arm, amd = mc_groups
+        # 1/lambda = 1000 s, vastly above any service time here.
+        slow_arm = self._floored(arm, 1e-3)
+        result = match_split(1_000, slow_arm, amd)
+        assert result.units_a == 0.0
+        assert result.method == "excluded-a"
+        assert result.time_s == pytest.approx(amd.time(1_000), rel=1e-9)
+
+    def test_mild_floor_still_matches(self, mc_groups):
+        arm, amd = mc_groups
+        mild = self._floored(arm, 50.0)  # 20 ms job arrival: tiny
+        result = match_split(50_000, mild, amd)
+        t_arm = mild.time(result.units_a)
+        t_amd = amd.time(result.units_b)
+        assert t_arm == pytest.approx(t_amd, rel=1e-6)
+
+
+class TestBisectionAgreement:
+    @pytest.mark.parametrize("units", [1e3, 50e3, 50e6])
+    def test_bisection_matches_closed_form(self, ep_groups, units):
+        arm, amd = ep_groups
+        closed = match_split(units, arm, amd)
+        numeric = match_split_bisection(units, arm, amd)
+        assert numeric.units_a == pytest.approx(closed.units_a, rel=1e-6)
+        assert numeric.time_s == pytest.approx(closed.time_s, rel=1e-6)
+
+    def test_bisection_io_bound(self, mc_groups):
+        arm, amd = mc_groups
+        closed = match_split(50_000, arm, amd)
+        numeric = match_split_bisection(50_000, arm, amd)
+        assert numeric.units_a == pytest.approx(closed.units_a, rel=1e-6)
+
+
+class TestMatchResult:
+    def test_total_units(self):
+        result = MatchResult(2.0, 3.0, 1.0, "closed-form")
+        assert result.total_units == 5.0
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            MatchResult(-1.0, 3.0, 1.0, "x")
+        with pytest.raises(ValueError):
+            MatchResult(1.0, 3.0, -1.0, "x")

@@ -1,0 +1,126 @@
+"""K-way mix-and-match (the paper's 'generic mix' generalization)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.matching import GroupSetting, match_split
+from repro.core.multiway import evaluate_multiway, match_multiway
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.hardware.extension import INTEL_ATOM
+from repro.workloads.extension import with_atom
+from repro.workloads.suite import EP, MEMCACHED
+
+
+@pytest.fixture(scope="module")
+def ep3():
+    return with_atom(EP)
+
+
+@pytest.fixture(scope="module")
+def groups3(ep3):
+    return [
+        GroupSetting(ground_truth_params(ARM_CORTEX_A9, ep3), 8, 4, 1.4),
+        GroupSetting(ground_truth_params(AMD_K10, ep3), 2, 6, 2.1),
+        GroupSetting(ground_truth_params(INTEL_ATOM, ep3), 4, 2, 1.66),
+    ]
+
+
+class TestTwoWayAgreement:
+    @pytest.mark.parametrize("units", [1e4, 1e6, 50e6])
+    def test_matches_pairwise_matcher(self, groups3, units):
+        arm, amd, _ = groups3
+        pairwise = match_split(units, arm, amd)
+        multi = match_multiway(units, [arm, amd])
+        assert multi.units[0] == pytest.approx(pairwise.units_a, rel=1e-9)
+        assert multi.time_s == pytest.approx(pairwise.time_s, rel=1e-9)
+
+    def test_io_bound_agreement(self):
+        arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, MEMCACHED), 8, 4, 1.4)
+        amd = GroupSetting(ground_truth_params(AMD_K10, MEMCACHED), 2, 6, 2.1)
+        pairwise = match_split(50_000, arm, amd)
+        multi = match_multiway(50_000, [arm, amd])
+        assert multi.units[0] == pytest.approx(pairwise.units_a, rel=1e-6)
+
+
+class TestThreeWay:
+    def test_work_conserved(self, groups3):
+        result = match_multiway(50e6, groups3)
+        assert sum(result.units) == pytest.approx(50e6, rel=1e-9)
+        assert all(u > 0 for u in result.units)
+
+    def test_all_groups_finish_together(self, groups3):
+        result = match_multiway(50e6, groups3)
+        times = [g.time(w) for g, w in zip(groups3, result.units)]
+        for t in times:
+            assert t == pytest.approx(result.time_s, rel=1e-6)
+
+    def test_three_way_faster_than_any_pair(self, groups3):
+        triple = match_multiway(50e6, groups3)
+        for drop in range(3):
+            pair = [g for i, g in enumerate(groups3) if i != drop]
+            pair_result = match_multiway(50e6, pair)
+            assert triple.time_s < pair_result.time_s
+
+    def test_empty_groups_carried_with_zero(self, groups3):
+        arm, amd, atom = groups3
+        empty = dataclasses.replace(atom, n_nodes=0)
+        result = match_multiway(1e6, [arm, empty, amd])
+        assert result.units[1] == 0.0
+        pairwise = match_split(1e6, arm, amd)
+        assert result.time_s == pytest.approx(pairwise.time_s, rel=1e-9)
+
+    def test_single_group(self, groups3):
+        arm = groups3[0]
+        result = match_multiway(1e6, [arm])
+        assert result.units == (1e6,)
+        assert result.time_s == pytest.approx(arm.time(1e6))
+
+
+class TestFloors:
+    def _floored(self, group, rate):
+        params = dataclasses.replace(group.params, io_job_arrival_rate=rate)
+        return dataclasses.replace(group, params=params)
+
+    def test_floored_group_excluded_when_too_slow(self):
+        arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, MEMCACHED), 8, 4, 1.4)
+        amd = GroupSetting(ground_truth_params(AMD_K10, MEMCACHED), 2, 6, 2.1)
+        slow = self._floored(arm, 1e-3)  # 1000 s arrival floor
+        result = match_multiway(1_000, [slow, amd])
+        assert result.units[0] == 0.0
+        assert 0 not in result.active
+
+    def test_mild_floor_still_balances(self):
+        arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, MEMCACHED), 8, 4, 1.4)
+        amd = GroupSetting(ground_truth_params(AMD_K10, MEMCACHED), 2, 6, 2.1)
+        mild = self._floored(arm, 100.0)
+        result = match_multiway(50_000, [mild, amd])
+        assert result.units[0] > 0 and result.units[1] > 0
+
+
+class TestEvaluateMultiway:
+    def test_energy_positive_and_split_consistent(self, groups3):
+        outcome = evaluate_multiway(50e6, groups3)
+        assert outcome.energy_j > 0
+        assert outcome.time_s == pytest.approx(outcome.match.time_s, rel=1e-6)
+        assert len(outcome.group_energies_j) == 3
+        assert all(e > 0 for e in outcome.group_energies_j)
+
+    def test_adding_a_type_can_reduce_energy_for_deadline(self, groups3, ep3):
+        """The point of generalizing: a third type adds frontier room."""
+        arm, amd, atom = groups3
+        two = evaluate_multiway(50e6, [arm, amd])
+        three = evaluate_multiway(50e6, groups3)
+        # With more hardware the job finishes sooner; per-deadline energy
+        # comparisons happen at the space level, here we check sanity.
+        assert three.time_s < two.time_s
+
+    def test_validation(self, groups3):
+        with pytest.raises(ValueError):
+            match_multiway(0.0, groups3)
+        with pytest.raises(ValueError):
+            match_multiway(1.0, [])
+        empty = dataclasses.replace(groups3[0], n_nodes=0)
+        with pytest.raises(ValueError):
+            match_multiway(1.0, [empty])

@@ -1,0 +1,108 @@
+"""Model-input containers: SpiMemFit and NodeModelParams."""
+
+import pytest
+
+from repro.core.params import NodeModelParams, SpiMemFit
+from repro.util.stats import LinearFit
+
+
+def _fit(slope=0.5, intercept=0.1, r2=0.99):
+    return LinearFit(slope=slope, intercept=intercept, r2=r2)
+
+
+class TestSpiMemFit:
+    def test_prediction(self):
+        fit = SpiMemFit({1: _fit(slope=1.0, intercept=0.0)})
+        assert fit.spi_mem(1, 2.0) == pytest.approx(2.0)
+
+    def test_negative_extrapolation_clamped(self):
+        fit = SpiMemFit({1: _fit(slope=1.0, intercept=-0.5)})
+        assert fit.spi_mem(1, 0.1) == 0.0
+
+    def test_nearest_core_count_fallback(self):
+        fit = SpiMemFit({1: _fit(slope=1.0), 4: _fit(slope=2.0)})
+        # 3 is closer to 4.
+        assert fit.spi_mem(3, 1.0) == fit.spi_mem(4, 1.0)
+
+    def test_worst_r2(self):
+        fit = SpiMemFit({1: _fit(r2=0.99), 2: _fit(r2=0.95)})
+        assert fit.worst_r2() == pytest.approx(0.95)
+
+    def test_core_counts_sorted(self):
+        fit = SpiMemFit({4: _fit(), 1: _fit(), 2: _fit()})
+        assert fit.core_counts() == (1, 2, 4)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            SpiMemFit({})
+
+
+def _params(**overrides):
+    kwargs = dict(
+        node_name="n",
+        workload_name="w",
+        instructions_per_unit=100.0,
+        wpi=0.8,
+        spi_core=0.5,
+        spimem=SpiMemFit({1: _fit(), 4: _fit()}),
+        u_cpu=1.0,
+        io_bytes_per_unit=10.0,
+        io_bandwidth_bytes_s=1e6,
+        io_job_arrival_rate=None,
+        p_core_act_w={1.0: 0.5, 2.0: 1.5},
+        p_core_stall_w={1.0: 0.2, 2.0: 0.6},
+        p_mem_w=0.3,
+        p_io_w=0.2,
+        p_idle_w=1.0,
+    )
+    kwargs.update(overrides)
+    return NodeModelParams(**kwargs)
+
+
+class TestNodeModelParams:
+    def test_power_lookup(self):
+        p = _params()
+        assert p.p_act(2.0) == 1.5
+        assert p.p_stall(1.0) == 0.2
+
+    def test_unknown_pstate_helpful_error(self):
+        with pytest.raises(KeyError, match="P-states"):
+            _params().p_act(1.5)
+
+    def test_pstates_sorted(self):
+        assert _params().pstates() == (1.0, 2.0)
+
+    def test_spi_mem_delegates(self):
+        p = _params()
+        assert p.spi_mem(1, 1.0) == p.spimem.spi_mem(1, 1.0)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("instructions_per_unit", 0.0),
+            ("wpi", 0.0),
+            ("spi_core", -1.0),
+            ("u_cpu", 0.0),
+            ("u_cpu", 1.1),
+            ("io_bytes_per_unit", -1.0),
+            ("io_bandwidth_bytes_s", 0.0),
+            ("io_job_arrival_rate", 0.0),
+            ("p_mem_w", -0.1),
+            ("p_idle_w", -0.1),
+        ],
+    )
+    def test_invalid_values_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            _params(**{field: value})
+
+    def test_power_tables_must_align(self):
+        with pytest.raises(ValueError):
+            _params(p_core_stall_w={1.0: 0.2})
+
+    def test_negative_power_rejected(self):
+        with pytest.raises(ValueError):
+            _params(p_core_act_w={1.0: -0.5, 2.0: 1.0})
+
+    def test_empty_power_table_rejected(self):
+        with pytest.raises(ValueError):
+            _params(p_core_act_w={}, p_core_stall_w={})

@@ -1,0 +1,110 @@
+"""Pareto frontier construction and queries."""
+
+import numpy as np
+import pytest
+
+from repro.core.pareto import ParetoFrontier, pareto_indices
+
+
+class TestParetoIndices:
+    def test_simple_staircase(self):
+        times = [1.0, 2.0, 3.0]
+        energies = [30.0, 20.0, 10.0]
+        idx = pareto_indices(times, energies)
+        assert list(idx) == [0, 1, 2]
+
+    def test_dominated_point_dropped(self):
+        times = [1.0, 2.0, 3.0]
+        energies = [10.0, 20.0, 5.0]  # middle point dominated by first
+        idx = pareto_indices(times, energies)
+        assert list(idx) == [0, 2]
+
+    def test_duplicate_time_keeps_cheapest(self):
+        times = [1.0, 1.0, 2.0]
+        energies = [10.0, 8.0, 5.0]
+        idx = pareto_indices(times, energies)
+        assert list(idx) == [1, 2]
+
+    def test_equal_energy_later_point_dropped(self):
+        times = [1.0, 2.0]
+        energies = [10.0, 10.0]
+        assert list(pareto_indices(times, energies)) == [0]
+
+    def test_empty_input(self):
+        assert pareto_indices([], []).size == 0
+
+    def test_single_point(self):
+        assert list(pareto_indices([1.0], [2.0])) == [0]
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            pareto_indices([1.0], [1.0, 2.0])
+
+
+class TestFrontier:
+    @pytest.fixture
+    def frontier(self):
+        times = [3.0, 1.0, 2.0, 4.0, 2.5]
+        energies = [12.0, 40.0, 20.0, 35.0, 15.0]
+        return ParetoFrontier.from_points(times, energies)
+
+    def test_strictly_monotone(self, frontier):
+        assert (np.diff(frontier.times_s) > 0).all()
+        assert (np.diff(frontier.energies_j) < 0).all()
+
+    def test_extremes(self, frontier):
+        assert frontier.fastest_time_s == 1.0
+        assert frontier.min_energy_j == 12.0
+
+    def test_min_energy_for_deadline(self, frontier):
+        assert frontier.min_energy_for_deadline(1.0) == 40.0
+        assert frontier.min_energy_for_deadline(2.2) == 20.0
+        assert frontier.min_energy_for_deadline(100.0) == 12.0
+
+    def test_unmeetable_deadline(self, frontier):
+        assert frontier.min_energy_for_deadline(0.5) is None
+        assert frontier.config_index_for_deadline(0.5) is None
+
+    def test_config_index_points_into_source(self, frontier):
+        idx = frontier.config_index_for_deadline(2.2)
+        # Source index 2 had (2.0, 20.0).
+        assert idx == 2
+
+    def test_dominates(self, frontier):
+        assert frontier.dominates(2.5, 30.0)
+        assert not frontier.dominates(0.5, 100.0)
+
+    def test_savings_vs(self, frontier):
+        other = ParetoFrontier.from_points([1.0, 2.0], [80.0, 40.0])
+        saving = frontier.savings_vs(other, 2.0)
+        assert saving == pytest.approx((40.0 - 20.0) / 40.0)
+
+    def test_savings_vs_infeasible(self, frontier):
+        other = ParetoFrontier.from_points([10.0], [5.0])
+        assert frontier.savings_vs(other, 2.0) is None
+
+    def test_invalid_frontier_rejected(self):
+        with pytest.raises(ValueError):
+            ParetoFrontier(
+                times_s=np.array([1.0, 0.5]),
+                energies_j=np.array([2.0, 1.0]),
+                indices=np.array([0, 1]),
+            )
+        with pytest.raises(ValueError):
+            ParetoFrontier(
+                times_s=np.array([1.0, 2.0]),
+                energies_j=np.array([1.0, 2.0]),
+                indices=np.array([0, 1]),
+            )
+
+    def test_frontier_on_real_space(self, small_ep_space):
+        frontier = ParetoFrontier.from_points(
+            small_ep_space.times_s, small_ep_space.energies_j
+        )
+        assert len(frontier) >= 3
+        # No point in the space strictly dominates the frontier.
+        for t, e in zip(frontier.times_s, frontier.energies_j):
+            better = (small_ep_space.times_s <= t) & (
+                small_ep_space.energies_j < e
+            )
+            assert not better.any()

@@ -1,0 +1,160 @@
+"""Operational planner: SLO -> deployable plan."""
+
+import pytest
+
+from repro.core.planner import SLO, Plan, plan_cluster
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
+from repro.workloads.suite import EP, MEMCACHED
+
+
+class TestSLO:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SLO(deadline_s=0.0)
+        with pytest.raises(ValueError):
+            SLO(deadline_s=1.0, percentile=1.0)
+        with pytest.raises(ValueError):
+            SLO(deadline_s=1.0, utilization=1.0)
+
+
+class TestPlanCluster:
+    def test_basic_plan_feasible(self, memcached_params):
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=0.4, utilization=0.25),
+            max_low=8,
+            max_high=4,
+        )
+        assert plan is not None
+        assert plan.response_s <= 0.4
+        assert plan.units_low + plan.units_high == pytest.approx(50_000.0)
+        assert plan.window_energy_j > 0
+        assert "ms" in plan.describe()
+
+    def test_impossible_deadline_returns_none(self, memcached_params):
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=1e-6),
+            max_low=4,
+            max_high=2,
+        )
+        assert plan is None
+
+    def test_budget_respected(self, memcached_params):
+        budget = 200.0  # fits 3 AMD nodes (59.8 W each) or many ARM
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=1.0, utilization=0.25),
+            budget_w=budget,
+            switch=ETHERNET_SWITCH,
+            max_low=16,
+            max_high=8,
+        )
+        assert plan is not None
+        assert plan.peak_power_w <= budget + 1e-9
+
+    def test_tighter_percentile_never_cheaper(self, memcached_params):
+        common = dict(
+            spec_low=ARM_CORTEX_A9,
+            spec_high=AMD_K10,
+            params=memcached_params,
+            units=50_000.0,
+            max_low=8,
+            max_high=4,
+        )
+        mean_plan = plan_cluster(
+            slo=SLO(deadline_s=0.4, percentile=0.5, utilization=0.5), **common
+        )
+        tail_plan = plan_cluster(
+            slo=SLO(deadline_s=0.4, percentile=0.99, utilization=0.5), **common
+        )
+        assert mean_plan is not None and tail_plan is not None
+        assert tail_plan.window_energy_j >= mean_plan.window_energy_j
+        assert tail_plan.response_s <= 0.4
+
+    def test_relaxed_deadline_prefers_low_power(self, memcached_params):
+        """With a loose SLO the plan sheds the 45 W AMD idles."""
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=2.0, utilization=0.25),
+            max_low=8,
+            max_high=4,
+        )
+        assert plan is not None
+        assert plan.n_high == 0
+
+    def test_tight_deadline_needs_amd(self, memcached_params):
+        """Below the ARM NIC floor only AMD-bearing plans qualify."""
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=0.12, utilization=0.05),
+            max_low=8,
+            max_high=4,
+        )
+        assert plan is not None
+        assert plan.n_high > 0
+
+    def test_reduction_matches_full_search(self, memcached_params):
+        common = dict(
+            spec_low=ARM_CORTEX_A9,
+            spec_high=AMD_K10,
+            params=memcached_params,
+            units=50_000.0,
+            slo=SLO(deadline_s=0.4, utilization=0.25),
+            max_low=6,
+            max_high=3,
+        )
+        fast = plan_cluster(use_reduction=True, **common)
+        full = plan_cluster(use_reduction=False, **common)
+        assert fast is not None and full is not None
+        assert fast.window_energy_j == pytest.approx(
+            full.window_energy_j, rel=1e-9
+        )
+
+    def test_zero_utilization_plans_single_job(self, ep_params):
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            ep_params,
+            50e6,
+            SLO(deadline_s=0.5, utilization=0.0),
+            max_low=6,
+            max_high=3,
+        )
+        assert plan is not None
+        assert plan.response_s == pytest.approx(plan.service_s)
+
+    def test_validation(self, ep_params):
+        with pytest.raises(ValueError):
+            plan_cluster(
+                ARM_CORTEX_A9,
+                AMD_K10,
+                ep_params,
+                0.0,
+                SLO(deadline_s=1.0),
+            )
+        with pytest.raises(ValueError):
+            plan_cluster(
+                ARM_CORTEX_A9,
+                AMD_K10,
+                ep_params,
+                1e6,
+                SLO(deadline_s=1.0),
+                max_low=0,
+                max_high=0,
+            )

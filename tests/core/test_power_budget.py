@@ -1,0 +1,150 @@
+"""Power budgets, substitution ratio, and the Figures 6-9 mix schedules."""
+
+import pytest
+
+from repro.core.power_budget import (
+    Mix,
+    budget_mixes,
+    cluster_peak_power,
+    max_nodes_within_budget,
+    scaled_mixes,
+    substitution_ratio,
+)
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
+from repro.hardware.specs import SwitchSpec
+
+
+class TestSubstitutionRatio:
+    def test_paper_ratio_is_8(self):
+        """60 W AMD, 5 W ARM, 20 W switch -> 8 ARM per AMD (footnote 5)."""
+        assert substitution_ratio(ARM_CORTEX_A9, AMD_K10, ETHERNET_SWITCH) == 8
+
+    def test_without_switch_is_12(self):
+        assert substitution_ratio(ARM_CORTEX_A9, AMD_K10, None) == 12
+
+    def test_oversized_switch_rejected(self):
+        big = SwitchSpec("big", 100.0, 48)
+        with pytest.raises(ValueError):
+            substitution_ratio(ARM_CORTEX_A9, AMD_K10, big)
+
+
+class TestPeakPower:
+    def test_nodes_only(self):
+        power = cluster_peak_power(ARM_CORTEX_A9, 2, AMD_K10, 1)
+        expected = 2 * ARM_CORTEX_A9.peak_power_w + AMD_K10.peak_power_w
+        assert power == pytest.approx(expected)
+
+    def test_switch_charged_to_low_power_side(self):
+        with_switch = cluster_peak_power(
+            ARM_CORTEX_A9, 10, AMD_K10, 1, ETHERNET_SWITCH
+        )
+        without = cluster_peak_power(ARM_CORTEX_A9, 10, AMD_K10, 1)
+        assert with_switch - without == pytest.approx(20.0)
+
+    def test_no_arm_no_switch_power(self):
+        with_switch = cluster_peak_power(ARM_CORTEX_A9, 0, AMD_K10, 4, ETHERNET_SWITCH)
+        without = cluster_peak_power(ARM_CORTEX_A9, 0, AMD_K10, 4)
+        assert with_switch == pytest.approx(without)
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            cluster_peak_power(ARM_CORTEX_A9, -1, AMD_K10, 1)
+
+
+class TestBudgetMixes:
+    def test_paper_legend_reproduced(self):
+        """1 kW at 8:1 gives the exact Fig. 6/7 legend."""
+        mixes = budget_mixes(ARM_CORTEX_A9, AMD_K10, 1000.0, ETHERNET_SWITCH)
+        assert [(m.n_low, m.n_high) for m in mixes] == [
+            (0, 16),
+            (16, 14),
+            (32, 12),
+            (48, 10),
+            (88, 5),
+            (112, 2),
+            (128, 0),
+        ]
+
+    def test_all_mixes_within_budget(self):
+        mixes = budget_mixes(ARM_CORTEX_A9, AMD_K10, 1000.0, ETHERNET_SWITCH)
+        for mix in mixes:
+            peak = cluster_peak_power(
+                ARM_CORTEX_A9, mix.n_low, AMD_K10, mix.n_high, ETHERNET_SWITCH
+            )
+            assert peak <= 1000.0 + 1e-9, mix.label()
+
+    def test_custom_replacements(self):
+        mixes = budget_mixes(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            1000.0,
+            ETHERNET_SWITCH,
+            replacements=[0, 16],
+        )
+        assert [(m.n_low, m.n_high) for m in mixes] == [(0, 16), (128, 0)]
+
+    def test_invalid_replacement_rejected(self):
+        with pytest.raises(ValueError):
+            budget_mixes(
+                ARM_CORTEX_A9,
+                AMD_K10,
+                1000.0,
+                ETHERNET_SWITCH,
+                replacements=[17],
+            )
+
+    def test_budget_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            budget_mixes(ARM_CORTEX_A9, AMD_K10, 30.0, ETHERNET_SWITCH)
+
+
+class TestScaledMixes:
+    def test_paper_series(self):
+        mixes = scaled_mixes()
+        assert [(m.n_low, m.n_high) for m in mixes] == [
+            (8, 1),
+            (16, 2),
+            (32, 4),
+            (64, 8),
+            (128, 16),
+        ]
+
+    def test_ratio_constant(self):
+        for mix in scaled_mixes():
+            assert mix.n_low == 8 * mix.n_high
+
+    def test_empty_factors_rejected(self):
+        with pytest.raises(ValueError):
+            scaled_mixes(factors=())
+
+
+class TestMix:
+    def test_label_matches_figure_legend_style(self):
+        assert Mix(16, 14).label() == "ARM 16:AMD 14"
+
+    def test_scaled(self):
+        assert Mix(8, 1).scaled(4) == Mix(32, 4)
+        with pytest.raises(ValueError):
+            Mix(8, 1).scaled(0)
+
+    def test_empty_mix_rejected(self):
+        with pytest.raises(ValueError):
+            Mix(0, 0)
+
+
+class TestMaxNodes:
+    def test_homogeneous_amd(self):
+        assert max_nodes_within_budget(AMD_K10, 1000.0) == 16
+
+    def test_homogeneous_arm_with_switch(self):
+        count = max_nodes_within_budget(ARM_CORTEX_A9, 1000.0, ETHERNET_SWITCH)
+        power = count * ARM_CORTEX_A9.peak_power_w + ETHERNET_SWITCH.power_for(count)
+        assert power <= 1000.0
+        next_power = (count + 1) * ARM_CORTEX_A9.peak_power_w + ETHERNET_SWITCH.power_for(
+            count + 1
+        )
+        assert next_power > 1000.0
+
+    def test_zero_budget_rejected(self):
+        with pytest.raises(ValueError):
+            max_nodes_within_budget(AMD_K10, 0.0)

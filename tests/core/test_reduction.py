@@ -1,0 +1,121 @@
+"""Configuration-space reduction: pruning must preserve the frontier."""
+
+import numpy as np
+import pytest
+
+from repro.core.evaluate import evaluate_space
+from repro.core.reduction import (
+    frontier_preserved,
+    reduced_space,
+    reduction_summary,
+    undominated_settings,
+)
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.reporting.figures import suite_params
+from repro.workloads.suite import EP, MEMCACHED, PAPER_WORKLOADS, X264
+
+
+class TestUndominatedSettings:
+    def test_nonempty_and_bounded(self, ep_params):
+        report = undominated_settings(ARM_CORTEX_A9, ep_params[ARM_CORTEX_A9.name])
+        assert 1 <= report.kept_count <= report.total_settings
+        assert report.total_settings == 20  # 4 cores x 5 pstates
+
+    def test_kept_settings_are_valid(self, ep_params):
+        report = undominated_settings(AMD_K10, ep_params[AMD_K10.name])
+        for cores, f in report.kept:
+            AMD_K10.cores.validate_setting(cores, f)
+
+    def test_substantial_reduction_on_paper_workloads(self):
+        for workload in PAPER_WORKLOADS:
+            params = suite_params(workload)
+            for node in (ARM_CORTEX_A9, AMD_K10):
+                report = undominated_settings(node, params[node.name])
+                assert report.reduction_factor >= 3, (workload.name, node.name)
+
+    def test_fastest_setting_always_survives(self, ep_params):
+        """max cores at fmax minimizes the time slope; it cannot be
+        dominated on the time axis."""
+        report = undominated_settings(AMD_K10, ep_params[AMD_K10.name])
+        assert (6, 2.1) in report.kept
+
+
+class TestReducedSpace:
+    @pytest.mark.parametrize(
+        "workload,units",
+        [(EP, 50e6), (MEMCACHED, 50_000.0), (X264, 600.0)],
+        ids=lambda x: getattr(x, "name", x),
+    )
+    def test_frontier_exactly_preserved(self, workload, units):
+        params = suite_params(workload)
+        full = evaluate_space(ARM_CORTEX_A9, 6, AMD_K10, 6, params, units)
+        reduced, _, _ = reduced_space(ARM_CORTEX_A9, 6, AMD_K10, 6, params, units)
+        assert frontier_preserved(full, reduced)
+
+    def test_reduced_is_a_subset(self, ep_params):
+        full = evaluate_space(ARM_CORTEX_A9, 3, AMD_K10, 3, ep_params, 50e6)
+        reduced, _, _ = reduced_space(ARM_CORTEX_A9, 3, AMD_K10, 3, ep_params, 50e6)
+        assert len(reduced) < len(full)
+        # Every reduced point exists in the full space (same time+energy).
+        full_pairs = set(
+            zip(np.round(full.times_s, 12), np.round(full.energies_j, 9))
+        )
+        for t, e in zip(
+            np.round(reduced.times_s, 12), np.round(reduced.energies_j, 9)
+        ):
+            assert (t, e) in full_pairs
+
+    def test_summary_structure(self, ep_params):
+        summary = reduction_summary(ARM_CORTEX_A9, 4, AMD_K10, 4, ep_params, 50e6)
+        assert summary["reduced_size"] < summary["full_size"]
+        assert summary["reduction_factor"] > 10
+        assert summary["frontier_preserved"] is True
+
+    def test_paper_scale_reduction(self, ep_params):
+        """On the 10x10 space: >50x fewer configurations, same frontier."""
+        summary = reduction_summary(
+            ARM_CORTEX_A9, 10, AMD_K10, 10, ep_params, 50e6
+        )
+        assert summary["full_size"] == 36_380
+        assert summary["reduction_factor"] > 50
+        assert summary["frontier_preserved"] is True
+
+
+class TestExplicitSettingsEvaluator:
+    def test_restricted_settings_subset_of_full(self, ep_params):
+        full = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, ep_params, 1e6)
+        restricted = evaluate_space(
+            ARM_CORTEX_A9,
+            2,
+            AMD_K10,
+            2,
+            ep_params,
+            1e6,
+            settings_a=[(4, 1.4)],
+            settings_b=[(6, 2.1)],
+        )
+        assert len(restricted) == (2 * 2) + 2 + 2  # hetero + two homogeneous
+        assert set(np.unique(restricted.cores_a[restricted.n_a > 0])) == {4}
+        assert set(np.unique(restricted.f_b[restricted.n_b > 0])) == {2.1}
+
+    def test_invalid_setting_rejected(self, ep_params):
+        with pytest.raises(ValueError):
+            evaluate_space(
+                ARM_CORTEX_A9,
+                2,
+                AMD_K10,
+                2,
+                ep_params,
+                1e6,
+                settings_a=[(9, 1.4)],
+            )
+        with pytest.raises(ValueError):
+            evaluate_space(
+                ARM_CORTEX_A9,
+                2,
+                AMD_K10,
+                2,
+                ep_params,
+                1e6,
+                settings_a=[],
+            )

@@ -1,0 +1,102 @@
+"""Sweet/overlap region decomposition (Section IV-B shapes)."""
+
+import pytest
+
+from repro.core.evaluate import evaluate_space
+from repro.core.pareto import ParetoFrontier
+from repro.core.regions import analyze_regions
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+
+
+@pytest.fixture
+def ep_space(ep_params):
+    return evaluate_space(ARM_CORTEX_A9, 6, AMD_K10, 6, ep_params, 50e6)
+
+
+@pytest.fixture
+def mc_space(memcached_params):
+    # The paper's Fig. 5 scale (10 ARM x 10 AMD).  At much smaller
+    # clusters memcached picks up a slight CPU-bound tail and a genuine
+    # mini-overlap appears; the "no overlap for I/O-bound" claim is about
+    # this scale.
+    return evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, memcached_params, 50_000.0)
+
+
+class TestEPRegions:
+    """Compute-bound: sweet region AND a material overlap region (Fig. 4)."""
+
+    def test_sweet_region_exists(self, ep_space):
+        report = analyze_regions(ep_space)
+        assert report.has_sweet_region
+
+    def test_sweet_region_is_heterogeneous(self, ep_space):
+        report = analyze_regions(ep_space)
+        lo, hi = report.sweet.start, report.sweet.stop
+        assert all(c == "hetero" for c in report.composition[lo:hi])
+
+    def test_sweet_region_linear(self, ep_space):
+        """Energy reduces ~linearly as the deadline relaxes."""
+        report = analyze_regions(ep_space)
+        r2 = report.sweet.linearity_r2()
+        assert r2 is not None and r2 > 0.9
+
+    def test_overlap_region_exists_and_is_arm_only(self, ep_space):
+        report = analyze_regions(ep_space)
+        assert report.has_overlap_region
+        lo, hi = report.overlap.start, report.overlap.stop
+        assert all(c == "only-a" for c in report.composition[lo:hi])
+        assert hi == len(report.frontier)  # trailing
+
+    def test_overlap_drop_material(self, ep_space):
+        report = analyze_regions(ep_space)
+        assert report.overlap_energy_drop > 0.02
+
+    def test_sweet_bounded_by_homogeneous_extremes(self, ep_space):
+        """ARM-only is the energy lower bound, AMD-only the upper bound."""
+        report = analyze_regions(ep_space)
+        arm_only = ep_space.subset(ep_space.is_only_a)
+        amd_only = ep_space.subset(ep_space.is_only_b)
+        arm_min = arm_only.energies_j.min()
+        amd_min_frontier = ParetoFrontier.from_points(
+            amd_only.times_s, amd_only.energies_j
+        )
+        sweet_high, sweet_low = report.sweet.energy_span_j
+        assert sweet_low >= arm_min * 0.999
+        assert sweet_high <= amd_min_frontier.energies_j.max() * 1.001
+
+
+class TestMemcachedRegions:
+    """I/O-bound: sweet region but NO material overlap region (Fig. 5)."""
+
+    def test_sweet_region_exists(self, mc_space):
+        assert analyze_regions(mc_space).has_sweet_region
+
+    def test_no_material_overlap(self, mc_space):
+        report = analyze_regions(mc_space)
+        assert not report.has_overlap_region
+        assert report.overlap_energy_drop < 0.02
+
+
+class TestMechanics:
+    def test_accepts_prebuilt_frontier(self, ep_space):
+        frontier = ParetoFrontier.from_points(ep_space.times_s, ep_space.energies_j)
+        report = analyze_regions(ep_space, frontier)
+        assert report.frontier is frontier
+
+    def test_low_power_side_validated(self, ep_space):
+        with pytest.raises(ValueError):
+            analyze_regions(ep_space, low_power_side="c")
+
+    def test_composition_parallel_to_frontier(self, ep_space):
+        report = analyze_regions(ep_space)
+        assert len(report.composition) == len(report.frontier)
+
+    def test_region_spans_consistent(self, ep_space):
+        report = analyze_regions(ep_space)
+        for region in (report.sweet, report.overlap):
+            if region is None:
+                continue
+            t0, t1 = region.deadline_span_s
+            assert t0 <= t1
+            e0, e1 = region.energy_span_j
+            assert e0 >= e1

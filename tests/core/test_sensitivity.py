@@ -1,0 +1,140 @@
+"""Parameter-sensitivity analysis."""
+
+import pytest
+
+from repro.core.sensitivity import (
+    PERTURBABLE,
+    SensitivityRow,
+    most_influential,
+    perturb,
+    sensitivity_table,
+)
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+
+
+class TestPerturb:
+    def test_scalar_field(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]
+        up = perturb(base, "wpi", 1.1)
+        assert up.wpi == pytest.approx(base.wpi * 1.1)
+        assert up.spi_core == base.spi_core  # others untouched
+
+    def test_power_table_scaled(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]
+        up = perturb(base, "p_core_act_w", 1.2)
+        for f in base.pstates():
+            assert up.p_act(f) == pytest.approx(base.p_act(f) * 1.2)
+
+    def test_spimem_scaled(self, ep_params):
+        base = ep_params[AMD_K10.name]
+        up = perturb(base, "spimem", 2.0)
+        assert up.spi_mem(6, 2.1) == pytest.approx(base.spi_mem(6, 2.1) * 2.0)
+
+    def test_u_cpu_clamped(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]  # u_cpu = 1.0
+        up = perturb(base, "u_cpu", 1.2)
+        assert up.u_cpu == 1.0
+
+    def test_original_untouched(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]
+        wpi = base.wpi
+        perturb(base, "wpi", 1.5)
+        assert base.wpi == wpi
+
+    def test_invalid_field_rejected(self, ep_params):
+        with pytest.raises(ValueError):
+            perturb(ep_params[ARM_CORTEX_A9.name], "nonsense", 1.1)
+        with pytest.raises(ValueError):
+            perturb(ep_params[ARM_CORTEX_A9.name], "wpi", 0.0)
+
+
+class TestSensitivityTable:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        from repro.core.calibration import ground_truth_params
+        from repro.workloads.suite import EP
+
+        params = {
+            n.name: ground_truth_params(n, EP) for n in (ARM_CORTEX_A9, AMD_K10)
+        }
+        return sensitivity_table(
+            ARM_CORTEX_A9, 3, AMD_K10, 3, params, 50e6, delta=0.05
+        )
+
+    def test_covers_all_pairs(self, rows):
+        assert len(rows) == 2 * len(PERTURBABLE)
+        nodes = {r.node_name for r in rows}
+        assert nodes == {"arm-cortex-a9", "amd-k10"}
+
+    def test_compute_bound_insensitive_to_io(self, rows):
+        """EP does no I/O: its frontier cannot care about I/O inputs."""
+        for r in rows:
+            if r.field in ("io_bytes_per_unit", "io_bandwidth_bytes_s", "p_io_w"):
+                assert abs(r.min_energy_elasticity) < 1e-9, r
+
+    def test_spimem_negligible_for_ep(self, rows):
+        """Compute-bound: memory stalls never the bottleneck."""
+        for r in rows:
+            if r.field == "spimem":
+                assert abs(r.min_energy_elasticity) < 0.05, r
+
+    def test_arm_ips_is_load_bearing(self, rows):
+        """EP's min-energy config is ARM-heavy: ARM instruction count is
+        (near-)unit-elastic, AMD's barely matters."""
+        arm_ips = next(
+            r
+            for r in rows
+            if r.node_name == "arm-cortex-a9" and r.field == "instructions_per_unit"
+        )
+        amd_ips = next(
+            r
+            for r in rows
+            if r.node_name == "amd-k10" and r.field == "instructions_per_unit"
+        )
+        assert arm_ips.min_energy_elasticity > 0.5
+        assert abs(amd_ips.min_energy_elasticity) < abs(
+            arm_ips.min_energy_elasticity
+        )
+
+    def test_fastest_time_sensitive_to_both_ips(self, rows):
+        """The tightest deadline uses ALL nodes, so both types matter."""
+        for node in ("arm-cortex-a9", "amd-k10"):
+            row = next(
+                r
+                for r in rows
+                if r.node_name == node and r.field == "instructions_per_unit"
+            )
+            assert row.fastest_time_elasticity > 0.05, node
+
+    def test_most_influential(self, rows):
+        top = most_influential(rows, top=3)
+        assert len(top) == 3
+        values = [abs(r.min_energy_elasticity) for r in top]
+        assert values == sorted(values, reverse=True)
+
+    def test_validation(self, rows):
+        with pytest.raises(ValueError):
+            most_influential(rows, top=0)
+        from repro.core.calibration import ground_truth_params
+        from repro.workloads.suite import EP
+
+        params = {
+            n.name: ground_truth_params(n, EP) for n in (ARM_CORTEX_A9, AMD_K10)
+        }
+        with pytest.raises(ValueError):
+            sensitivity_table(ARM_CORTEX_A9, 2, AMD_K10, 2, params, 1e6, delta=0.9)
+
+
+class TestIoBoundSensitivity:
+    def test_memcached_cares_about_bandwidth(self, memcached_params):
+        rows = sensitivity_table(
+            ARM_CORTEX_A9,
+            3,
+            AMD_K10,
+            3,
+            memcached_params,
+            50_000.0,
+            fields=("io_bandwidth_bytes_s", "io_bytes_per_unit", "spimem"),
+        )
+        bw = [r for r in rows if r.field == "io_bandwidth_bytes_s"]
+        assert any(abs(r.fastest_time_elasticity) > 0.5 for r in bw)

@@ -1,0 +1,143 @@
+"""Execution-time model: Eqs. 2-11 against hand computations."""
+
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.timemodel import group_time_coefficients, predict_node_time
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.suite import EP, MEMCACHED, X264
+
+
+@pytest.fixture
+def ep_arm():
+    return ground_truth_params(ARM_CORTEX_A9, EP)
+
+
+@pytest.fixture
+def ep_amd():
+    return ground_truth_params(AMD_K10, EP)
+
+
+@pytest.fixture
+def mc_arm():
+    return ground_truth_params(ARM_CORTEX_A9, MEMCACHED)
+
+
+class TestEquations:
+    def test_eq6_instructions_per_core(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 2, 4, 1.4)
+        expected = 1e6 * ep_arm.instructions_per_unit / (2 * 4 * ep_arm.u_cpu)
+        assert tb.instructions_per_core == pytest.approx(expected)
+
+    def test_eq8_core_time(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        expected = (
+            tb.instructions_per_core
+            * (ep_arm.wpi + ep_arm.spi_core)
+            / 1.4e9
+        )
+        assert tb.t_core_s == pytest.approx(expected)
+
+    def test_eq10_memory_time(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        spi_mem = ep_arm.spi_mem(4, 1.4)
+        expected = tb.instructions_per_core * (ep_arm.wpi + spi_mem) / 1.4e9
+        assert tb.t_mem_s == pytest.approx(expected)
+
+    def test_eq3_cpu_is_max_of_core_and_memory(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        assert tb.t_cpu_s == max(tb.t_core_s, tb.t_mem_s)
+
+    def test_eq11_io_transfer(self, mc_arm):
+        tb = predict_node_time(mc_arm, 10_000, 2, 4, 1.4)
+        expected = 10_000 * 1024 / 12.5e6 / 2
+        assert tb.t_io_s == pytest.approx(expected)
+
+    def test_eq2_node_time_is_max(self, mc_arm):
+        tb = predict_node_time(mc_arm, 10_000, 2, 4, 1.4)
+        assert tb.time_s == max(tb.t_cpu_s, tb.t_io_s)
+
+    def test_eq16_17_energy_times(self, ep_arm):
+        tb = predict_node_time(ep_arm, 1e6, 1, 4, 1.4)
+        assert tb.t_act_s == pytest.approx(
+            tb.instructions_per_core * ep_arm.wpi / 1.4e9
+        )
+        assert tb.t_stall_s == pytest.approx(
+            tb.instructions_per_core * ep_arm.spi_core / 1.4e9
+        )
+        assert tb.t_act_s + tb.t_stall_s == pytest.approx(tb.t_core_s)
+
+
+class TestScalingLaws:
+    def test_linear_in_units(self, ep_amd):
+        t1 = predict_node_time(ep_amd, 1e6, 1, 6, 2.1).time_s
+        t2 = predict_node_time(ep_amd, 3e6, 1, 6, 2.1).time_s
+        assert t2 == pytest.approx(3 * t1)
+
+    def test_inverse_in_nodes(self, ep_amd):
+        t1 = predict_node_time(ep_amd, 1e6, 1, 6, 2.1).time_s
+        t4 = predict_node_time(ep_amd, 1e6, 4, 6, 2.1).time_s
+        assert t1 == pytest.approx(4 * t4)
+
+    def test_more_cores_never_slower_cpu_bound(self, ep_amd):
+        times = [
+            predict_node_time(ep_amd, 1e6, 1, c, 2.1).time_s for c in range(1, 7)
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_higher_frequency_never_slower(self, ep_arm):
+        times = [
+            predict_node_time(ep_arm, 1e6, 1, 4, f).time_s
+            for f in ARM_CORTEX_A9.cores.pstates_ghz
+        ]
+        assert all(a >= b for a, b in zip(times, times[1:]))
+
+    def test_io_bound_insensitive_to_frequency(self, mc_arm):
+        # At 1.1 and 1.4 GHz the ARM NIC is the bottleneck; the clock is
+        # irrelevant.  (Below ~0.8 GHz memcached turns CPU-bound.)
+        slow = predict_node_time(mc_arm, 50_000, 1, 4, 1.1).time_s
+        fast = predict_node_time(mc_arm, 50_000, 1, 4, 1.4).time_s
+        assert slow == pytest.approx(fast)
+
+    def test_zero_units_zero_time(self, ep_arm):
+        tb = predict_node_time(ep_arm, 0.0, 2, 4, 1.4)
+        assert tb.time_s == 0.0
+        assert tb.t_io_s == 0.0
+
+
+class TestBottleneckLabel:
+    def test_ep_cpu(self, ep_amd):
+        assert predict_node_time(ep_amd, 1e6, 1, 6, 2.1).bottleneck == "cpu"
+
+    def test_memcached_io_on_arm(self, mc_arm):
+        assert predict_node_time(mc_arm, 50_000, 1, 4, 1.4).bottleneck == "io"
+
+    def test_x264_memory(self):
+        params = ground_truth_params(ARM_CORTEX_A9, X264)
+        assert predict_node_time(params, 600, 1, 4, 1.4).bottleneck == "memory"
+
+
+class TestCoefficients:
+    def test_linear_form_matches_model(self, mc_arm):
+        """T(W) = max(gamma W, floor) must equal predict_node_time."""
+        for n, c, f in [(1, 4, 1.4), (3, 2, 0.8), (2, 1, 0.2)]:
+            gamma, floor = group_time_coefficients(mc_arm, n, c, f)
+            for units in (10.0, 1e3, 1e6):
+                direct = predict_node_time(mc_arm, units, n, c, f).time_s
+                assert direct == pytest.approx(max(gamma * units, floor), rel=1e-12)
+
+    def test_floor_zero_without_arrival(self, ep_arm):
+        _, floor = group_time_coefficients(ep_arm, 2, 4, 1.4)
+        assert floor == 0.0
+
+
+class TestValidation:
+    def test_invalid_inputs_rejected(self, ep_arm):
+        with pytest.raises(ValueError):
+            predict_node_time(ep_arm, -1.0, 1, 4, 1.4)
+        with pytest.raises(ValueError):
+            predict_node_time(ep_arm, 1.0, 0, 4, 1.4)
+        with pytest.raises(ValueError):
+            predict_node_time(ep_arm, 1.0, 1, 0, 1.4)
+        with pytest.raises(ValueError):
+            predict_node_time(ep_arm, 1.0, 1, 4, 0.0)

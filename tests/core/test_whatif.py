@@ -1,0 +1,173 @@
+"""What-if hardware analysis."""
+
+import pytest
+
+from repro.core.whatif import (
+    better_isa,
+    cheaper_idle,
+    compose,
+    faster_memory,
+    faster_nic,
+    what_if,
+)
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.suite import MEMCACHED, RSA2048, X264
+
+
+class TestFactories:
+    def test_faster_nic(self, memcached_params):
+        base = memcached_params[ARM_CORTEX_A9.name]
+        upgraded = faster_nic(10.0)(base)
+        assert upgraded.io_bandwidth_bytes_s == pytest.approx(
+            base.io_bandwidth_bytes_s * 10
+        )
+
+    def test_cheaper_idle(self, ep_params):
+        base = ep_params[AMD_K10.name]
+        assert cheaper_idle(0.1)(base).p_idle_w == pytest.approx(4.5)
+
+    def test_faster_memory(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]
+        halved = faster_memory(0.5)(base)
+        assert halved.spi_mem(4, 1.4) == pytest.approx(
+            base.spi_mem(4, 1.4) * 0.5
+        )
+
+    def test_better_isa(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]
+        assert better_isa(0.25)(base).instructions_per_unit == pytest.approx(
+            base.instructions_per_unit / 4
+        )
+
+    def test_compose(self, ep_params):
+        base = ep_params[ARM_CORTEX_A9.name]
+        combo = compose(cheaper_idle(0.5), better_isa(0.5))(base)
+        assert combo.p_idle_w == pytest.approx(base.p_idle_w / 2)
+        assert combo.instructions_per_unit == pytest.approx(
+            base.instructions_per_unit / 2
+        )
+
+    def test_invalid_factors_rejected(self):
+        with pytest.raises(ValueError):
+            faster_nic(0.0)
+        with pytest.raises(ValueError):
+            cheaper_idle(-1.0)
+        with pytest.raises(ValueError):
+            better_isa(0.0)
+        with pytest.raises(ValueError):
+            compose()
+
+
+class TestWhatIfReports:
+    def test_gigabit_arm_nic_fixes_memcached(self, memcached_params):
+        """The ARM NIC is memcached's bottleneck; a 1 Gbps upgrade must
+        slash both the deadline floor and the energy."""
+        report = what_if(
+            ARM_CORTEX_A9,
+            4,
+            AMD_K10,
+            4,
+            memcached_params,
+            50_000.0,
+            change_node=ARM_CORTEX_A9.name,
+            change=faster_nic(10.0),
+            label="ARM 1Gbps NIC",
+        )
+        assert report.fastest_time_change < -0.3
+        assert report.best_saving > 0.10
+
+    def test_amd_idle_power_is_the_lever(self, memcached_params):
+        """Cutting AMD's 45 W idle makes AMD-bearing configs competitive."""
+        report = what_if(
+            ARM_CORTEX_A9,
+            4,
+            AMD_K10,
+            4,
+            memcached_params,
+            50_000.0,
+            change_node=AMD_K10.name,
+            change=cheaper_idle(0.1),
+        )
+        assert report.best_saving > 0.2
+
+    def test_arm_crypto_unit_for_rsa(self):
+        """Giving the ARM node AMD-like crypto density (~10x fewer
+        instructions) flips RSA's economics toward ARM."""
+        from repro.core.calibration import ground_truth_params
+
+        params = {
+            n.name: ground_truth_params(n, RSA2048)
+            for n in (ARM_CORTEX_A9, AMD_K10)
+        }
+        report = what_if(
+            ARM_CORTEX_A9,
+            4,
+            AMD_K10,
+            4,
+            params,
+            5_000.0,
+            change_node=ARM_CORTEX_A9.name,
+            change=better_isa(0.1),
+        )
+        assert report.min_energy_change < -0.3
+
+    def test_faster_memory_helps_x264_only_modestly_on_amd(self):
+        from repro.core.calibration import ground_truth_params
+
+        params = {
+            n.name: ground_truth_params(n, X264)
+            for n in (ARM_CORTEX_A9, AMD_K10)
+        }
+        report = what_if(
+            ARM_CORTEX_A9,
+            2,
+            AMD_K10,
+            2,
+            params,
+            600.0,
+            change_node=AMD_K10.name,
+            change=faster_memory(0.5),
+        )
+        # Memory-bound on AMD: halving latency buys real speed.
+        assert report.fastest_time_change < -0.05
+
+    def test_null_change_is_identity(self, ep_params):
+        report = what_if(
+            ARM_CORTEX_A9,
+            2,
+            AMD_K10,
+            2,
+            ep_params,
+            50e6,
+            change_node=ARM_CORTEX_A9.name,
+            change=lambda p: p,
+        )
+        assert report.min_energy_change == pytest.approx(0.0, abs=1e-12)
+        assert report.best_saving == pytest.approx(0.0, abs=1e-12)
+
+    def test_unknown_node_rejected(self, ep_params):
+        with pytest.raises(KeyError):
+            what_if(
+                ARM_CORTEX_A9,
+                2,
+                AMD_K10,
+                2,
+                ep_params,
+                50e6,
+                change_node="riscv",
+                change=lambda p: p,
+            )
+
+    def test_str_summary(self, ep_params):
+        report = what_if(
+            ARM_CORTEX_A9,
+            2,
+            AMD_K10,
+            2,
+            ep_params,
+            50e6,
+            change_node=ARM_CORTEX_A9.name,
+            change=cheaper_idle(0.5),
+            label="half ARM idle",
+        )
+        assert "half ARM idle" in str(report)

@@ -1,0 +1,110 @@
+"""The Table 1 catalog: structural facts and calibrated power anchors."""
+
+import pytest
+
+from repro.hardware.catalog import (
+    AMD_K10,
+    ARM_CORTEX_A9,
+    ETHERNET_SWITCH,
+    NODE_CATALOG,
+    node_by_name,
+    table1_rows,
+)
+
+
+class TestTable1Structure:
+    """Facts copied verbatim from the paper's Table 1."""
+
+    def test_isas(self):
+        assert AMD_K10.isa == "x86_64"
+        assert ARM_CORTEX_A9.isa == "armv7-a"
+
+    def test_core_counts(self):
+        assert AMD_K10.cores.count == 6
+        assert ARM_CORTEX_A9.cores.count == 4
+
+    def test_frequency_ranges(self):
+        assert AMD_K10.cores.fmin_ghz == 0.8
+        assert AMD_K10.cores.fmax_ghz == 2.1
+        assert ARM_CORTEX_A9.cores.fmin_ghz == 0.2
+        assert ARM_CORTEX_A9.cores.fmax_ghz == 1.4
+
+    def test_pstate_counts_match_footnote(self):
+        # The 36,380-configuration footnote needs 3 AMD and 5 ARM pstates.
+        assert len(AMD_K10.cores.pstates_ghz) == 3
+        assert len(ARM_CORTEX_A9.cores.pstates_ghz) == 5
+
+    def test_memory_sizes(self):
+        assert AMD_K10.memory.capacity_bytes == 8 * 2**30
+        assert ARM_CORTEX_A9.memory.capacity_bytes == 1 * 2**30
+
+    def test_io_bandwidths(self):
+        assert AMD_K10.io.bandwidth_mbps == 1000.0
+        assert ARM_CORTEX_A9.io.bandwidth_mbps == 100.0
+
+
+class TestPowerAnchors:
+    """Operating points the paper states in Sections IV-C and IV-E."""
+
+    def test_amd_peak_near_60w(self):
+        assert AMD_K10.peak_power_w == pytest.approx(60.0, rel=0.02)
+
+    def test_arm_peak_near_5w(self):
+        assert ARM_CORTEX_A9.peak_power_w == pytest.approx(5.0, rel=0.08)
+
+    def test_amd_idle_45w(self):
+        assert AMD_K10.idle_power_w == pytest.approx(45.0)
+
+    def test_arm_idles_below_2w(self):
+        assert ARM_CORTEX_A9.idle_power_w < 2.0
+
+    def test_switch_20w(self):
+        assert ETHERNET_SWITCH.power_w == pytest.approx(20.0)
+
+    def test_arm_memory_latency_higher_than_amd(self):
+        # LP-DDR2 is slower than DDR3.
+        assert (
+            ARM_CORTEX_A9.memory.base_latency_ns > AMD_K10.memory.base_latency_ns
+        )
+
+    def test_arm_energy_optimum_below_fmax(self):
+        """The cubic law must place ARM's energy-optimal frequency inside
+        the P-state range -- that is what creates the overlap region."""
+        idle_share = ARM_CORTEX_A9.power.idle_w
+        c = ARM_CORTEX_A9.cores.count
+        a = ARM_CORTEX_A9.power.core_active.static_w
+        b = ARM_CORTEX_A9.power.core_active.dynamic_w_per_ghz3
+        f_star = ((idle_share + c * a) / (2 * c * b)) ** (1.0 / 3.0)
+        assert ARM_CORTEX_A9.cores.fmin_ghz < f_star < ARM_CORTEX_A9.cores.fmax_ghz
+
+
+class TestCatalogAccess:
+    def test_node_by_name(self):
+        assert node_by_name("amd-k10") is AMD_K10
+        assert node_by_name("arm-cortex-a9") is ARM_CORTEX_A9
+
+    def test_unknown_name_helpful_error(self):
+        with pytest.raises(KeyError, match="available"):
+            node_by_name("intel-atom")
+
+    def test_catalog_contains_both(self):
+        assert set(NODE_CATALOG) == {"amd-k10", "arm-cortex-a9"}
+
+    def test_table1_rows_cover_paper_attributes(self):
+        attributes = [row[0] for row in table1_rows()]
+        for expected in (
+            "ISA",
+            "Cores/node",
+            "Clock Freq",
+            "L1 data cache",
+            "L2 cache",
+            "L3 cache",
+            "Memory",
+            "I/O bandwidth",
+        ):
+            assert expected in attributes
+
+    def test_table1_cache_values(self):
+        rows = {r[0]: (r[1], r[2]) for r in table1_rows()}
+        assert rows["L3 cache"] == ("6MB / node", "NA")
+        assert rows["L1 data cache"] == ("64KB / core", "32KB / core")

@@ -1,0 +1,63 @@
+"""Extension node (Intel Atom) and derived workload profiles."""
+
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, NODE_CATALOG
+from repro.hardware.extension import INTEL_ATOM
+from repro.workloads.extension import atom_profile, with_atom
+from repro.workloads.suite import EP, MEMCACHED
+
+
+class TestAtomNode:
+    def test_not_in_paper_catalog(self):
+        assert INTEL_ATOM.name not in NODE_CATALOG
+
+    def test_sits_between_the_paper_nodes_in_power(self):
+        assert (
+            ARM_CORTEX_A9.peak_power_w
+            < INTEL_ATOM.peak_power_w
+            < AMD_K10.peak_power_w
+        )
+        assert (
+            ARM_CORTEX_A9.idle_power_w
+            < INTEL_ATOM.idle_power_w
+            < AMD_K10.idle_power_w
+        )
+
+    def test_plausible_atom_board(self):
+        assert INTEL_ATOM.cores.count == 2
+        assert INTEL_ATOM.cores.fmax_ghz == pytest.approx(1.66)
+        assert 25.0 < INTEL_ATOM.peak_power_w < 30.0
+        assert INTEL_ATOM.isa == "x86_64"
+
+
+class TestDerivedProfiles:
+    def test_in_order_penalties(self):
+        amd = EP.profile_for(AMD_K10.name)
+        atom = atom_profile(amd)
+        assert atom.wpi > amd.wpi
+        assert atom.spi_core > amd.spi_core
+        assert atom.instructions_per_unit == amd.instructions_per_unit  # same ISA
+
+    def test_with_atom_adds_profile(self):
+        extended = with_atom(EP)
+        assert extended.supports(INTEL_ATOM.name)
+        assert extended.supports(ARM_CORTEX_A9.name)
+        # Original untouched.
+        assert not EP.supports(INTEL_ATOM.name)
+
+    def test_runs_on_the_simulator(self):
+        from repro.simulator.node import NodeSimulator
+        from repro.simulator.noise import NOISELESS
+
+        extended = with_atom(MEMCACHED)
+        sim = NodeSimulator(INTEL_ATOM, noise=NOISELESS)
+        result = sim.run(extended, 10_000, 2, 1.66, seed=0)
+        assert result.time_s > 0 and result.energy_j > 0
+
+    def test_calibration_works(self):
+        from repro.core.calibration import ground_truth_params
+
+        params = ground_truth_params(INTEL_ATOM, with_atom(EP))
+        assert params.node_name == "intel-atom"
+        assert params.pstates() == (0.8, 1.2, 1.66)

@@ -1,0 +1,67 @@
+"""Power profiles and the cubic core-power law."""
+
+import pytest
+
+from repro.hardware.power import CubicPower, PowerProfile
+
+
+class TestCubicPower:
+    def test_static_at_zero(self):
+        assert CubicPower(0.1, 0.2).watts(0.0) == pytest.approx(0.1)
+
+    def test_cubic_growth(self):
+        law = CubicPower(0.0, 1.0)
+        assert law.watts(2.0) == pytest.approx(8.0)
+        # Doubling frequency multiplies dynamic power by 8.
+        assert law.watts(2.0) / law.watts(1.0) == pytest.approx(8.0)
+
+    def test_negative_coefficients_rejected(self):
+        with pytest.raises(ValueError):
+            CubicPower(-0.1, 0.2)
+        with pytest.raises(ValueError):
+            CubicPower(0.1, -0.2)
+
+    def test_vectorized(self):
+        import numpy as np
+
+        law = CubicPower(1.0, 2.0)
+        out = law.watts(np.array([0.0, 1.0]))
+        np.testing.assert_allclose(out, [1.0, 3.0])
+
+
+def _profile(idle=2.0):
+    return PowerProfile(
+        idle_w=idle,
+        core_active=CubicPower(0.1, 0.3),
+        core_stall=CubicPower(0.05, 0.1),
+        mem_active_w=0.4,
+        io_active_w=0.2,
+    )
+
+
+class TestPowerProfile:
+    def test_peak_includes_all_components(self):
+        p = _profile()
+        expected = 2.0 + 4 * (0.1 + 0.3 * 1.0**3) + 0.4 + 0.2
+        assert p.peak_w(4, 1.0) == pytest.approx(expected)
+
+    def test_peak_monotone_in_cores(self):
+        p = _profile()
+        assert p.peak_w(2, 1.0) < p.peak_w(4, 1.0)
+
+    def test_peak_monotone_in_frequency(self):
+        p = _profile()
+        assert p.peak_w(4, 0.5) < p.peak_w(4, 1.5)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            _profile().peak_w(0, 1.0)
+
+    def test_negative_idle_rejected(self):
+        with pytest.raises(ValueError):
+            _profile(idle=-1.0)
+
+    def test_stall_power_below_active(self):
+        p = _profile()
+        for f in (0.5, 1.0, 2.0):
+            assert p.core_stall.watts(f) < p.core_active.watts(f)

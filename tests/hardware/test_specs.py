@@ -1,0 +1,155 @@
+"""Structural node specs: cores, memory, I/O, switch."""
+
+import pytest
+
+from repro.hardware.power import CubicPower, PowerProfile
+from repro.hardware.specs import CoreSpec, IOSpec, MemorySpec, NodeSpec, SwitchSpec
+
+
+class TestCoreSpec:
+    def test_fmin_fmax(self):
+        cores = CoreSpec(4, (0.2, 0.8, 1.4))
+        assert cores.fmin_ghz == 0.2
+        assert cores.fmax_ghz == 1.4
+
+    def test_validate_setting_accepts_valid(self):
+        CoreSpec(4, (0.2, 1.4)).validate_setting(4, 1.4)
+
+    def test_validate_setting_rejects_bad_cores(self):
+        with pytest.raises(ValueError):
+            CoreSpec(4, (1.0,)).validate_setting(5, 1.0)
+        with pytest.raises(ValueError):
+            CoreSpec(4, (1.0,)).validate_setting(0, 1.0)
+
+    def test_validate_setting_rejects_unknown_frequency(self):
+        with pytest.raises(ValueError):
+            CoreSpec(4, (1.0, 1.4)).validate_setting(2, 1.2)
+
+    @pytest.mark.parametrize(
+        "pstates",
+        [(), (0.0,), (-1.0,), (1.4, 0.2), (1.0, 1.0)],
+    )
+    def test_invalid_pstates_rejected(self, pstates):
+        with pytest.raises(ValueError):
+            CoreSpec(4, pstates)
+
+    def test_zero_cores_rejected(self):
+        with pytest.raises(ValueError):
+            CoreSpec(0, (1.0,))
+
+
+class TestMemorySpec:
+    def _mem(self, quad=0.0):
+        return MemorySpec(
+            capacity_bytes=2**30,
+            technology="DDR3",
+            base_latency_ns=60.0,
+            contention_ns_per_core=8.0,
+            contention_quadratic_ns=quad,
+        )
+
+    def test_unloaded_latency(self):
+        assert self._mem().latency_ns(1) == pytest.approx(60.0)
+
+    def test_contention_grows_with_cores(self):
+        mem = self._mem()
+        assert mem.latency_ns(4) == pytest.approx(60.0 + 3 * 8.0)
+        assert mem.latency_ns(6) > mem.latency_ns(2)
+
+    def test_fractional_active_cores(self):
+        # The model's c_act = U_CPU * c is fractional.
+        mem = self._mem()
+        assert mem.latency_ns(2.5) == pytest.approx(60.0 + 1.5 * 8.0)
+
+    def test_quadratic_term_scales_with_frequency(self):
+        mem = self._mem(quad=2.0)
+        slow = mem.latency_ns(4, f_ratio=0.5)
+        fast = mem.latency_ns(4, f_ratio=1.0)
+        assert fast > slow
+
+    def test_below_one_core_clamps(self):
+        assert self._mem().latency_ns(0.5) == pytest.approx(60.0)
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            MemorySpec(0, "x", 60.0, 1.0)
+        with pytest.raises(ValueError):
+            MemorySpec(1, "x", 0.0, 1.0)
+        with pytest.raises(ValueError):
+            MemorySpec(1, "x", 60.0, -1.0)
+
+
+class TestIOSpec:
+    def test_bandwidth_conversion(self):
+        assert IOSpec(100.0).bandwidth_bytes_per_s == pytest.approx(12.5e6)
+
+    def test_non_positive_rejected(self):
+        with pytest.raises(ValueError):
+            IOSpec(0.0)
+
+
+def _node():
+    return NodeSpec(
+        name="test-node",
+        isa="test",
+        cores=CoreSpec(2, (0.5, 1.0)),
+        memory=MemorySpec(2**30, "DDR", 50.0, 5.0),
+        io=IOSpec(100.0),
+        power=PowerProfile(
+            idle_w=1.0,
+            core_active=CubicPower(0.1, 0.2),
+            core_stall=CubicPower(0.05, 0.1),
+            mem_active_w=0.2,
+            io_active_w=0.1,
+        ),
+    )
+
+
+class TestNodeSpec:
+    def test_peak_power(self):
+        node = _node()
+        expected = 1.0 + 2 * (0.1 + 0.2) + 0.2 + 0.1
+        assert node.peak_power_w == pytest.approx(expected)
+
+    def test_config_count(self):
+        # 3 nodes x 2 pstates x 2 cores = 12 single-type configurations.
+        assert _node().config_count(3) == 12
+        assert _node().config_count(0) == 0
+
+    def test_config_count_negative_rejected(self):
+        with pytest.raises(ValueError):
+            _node().config_count(-1)
+
+    def test_str_mentions_key_facts(self):
+        text = str(_node())
+        assert "test-node" in text and "2 cores" in text
+
+    def test_empty_name_rejected(self):
+        import dataclasses
+
+        with pytest.raises(ValueError):
+            dataclasses.replace(_node(), name="")
+
+
+class TestSwitchSpec:
+    def test_switches_needed_ceiling(self):
+        switch = SwitchSpec("sw", 20.0, 48)
+        assert switch.switches_needed(0) == 0
+        assert switch.switches_needed(1) == 1
+        assert switch.switches_needed(48) == 1
+        assert switch.switches_needed(49) == 2
+        assert switch.switches_needed(128) == 3
+
+    def test_power_for(self):
+        switch = SwitchSpec("sw", 20.0, 48)
+        assert switch.power_for(96) == pytest.approx(40.0)
+
+    def test_negative_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchSpec("sw", 20.0, 48).switches_needed(-1)
+
+    def test_invalid_spec_rejected(self):
+        with pytest.raises(ValueError):
+            SwitchSpec("sw", -1.0, 48)
+        with pytest.raises(ValueError):
+            SwitchSpec("sw", 20.0, 0)

@@ -1,0 +1,171 @@
+"""The paper's headline qualitative claims, asserted end-to-end.
+
+Each test corresponds to a numbered observation or a stated result in
+Sections IV and VI.  These run at reduced cluster scale where the claim
+is scale-free; the full-scale reproductions are in benchmarks/.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import analysis
+from repro.core.evaluate import evaluate_space
+from repro.core.pareto import ParetoFrontier
+from repro.core.regions import analyze_regions
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.queueing.dispatcher import figure10_series, sweet_region_drop
+from repro.reporting.figures import build_fig6_fig7, suite_params
+from repro.workloads.suite import EP, MEMCACHED
+
+
+class TestObservation1:
+    """Heterogeneity allows larger energy savings than homogeneous
+    systems at the same deadline."""
+
+    @pytest.mark.parametrize("workload,units", [(EP, 50e6), (MEMCACHED, 50_000.0)])
+    def test_hetero_frontier_dominates_both_homogeneous(self, workload, units):
+        params = suite_params(workload)
+        space = evaluate_space(ARM_CORTEX_A9, 6, AMD_K10, 6, params, units)
+        report = analysis.savings_vs_homogeneous(space, space.is_only_b)
+        assert report.max_saving > 0.2
+
+
+class TestObservation2:
+    """Replacing even a few high-performance nodes under the power budget
+    opens a sweet region."""
+
+    def test_first_replacement_step_already_saves(self):
+        series = build_fig6_fig7(MEMCACHED, deadline_points=24)
+        base = series["ARM 0:AMD 16"]
+        first = series["ARM 16:AMD 14"]
+        # Compare at deadlines both mixes can meet.
+        common = np.intersect1d(base.x, first.x)
+        assert common.size > 0
+        base_at = {x: y for x, y in zip(base.x, base.y)}
+        first_at = {x: y for x, y in zip(first.x, first.y)}
+        savings = [(base_at[d] - first_at[d]) / base_at[d] for d in common]
+        assert max(savings) > 0.03
+
+    def test_arm_only_most_efficient_for_ep(self):
+        """For compute-bound EP, replacing ALL AMD nodes is optimal:
+        8 ARM nodes outrate 1 AMD node."""
+        series = build_fig6_fig7(EP, deadline_points=24)
+        minima = {label: np.nanmin(s.y) for label, s in series.items()}
+        assert minima["ARM 128:AMD 0"] == min(minima.values())
+
+
+class TestObservation3:
+    """Scaling the cluster at fixed ratio preserves the sweet region's
+    energy bounds while adding configurations and shifting it left."""
+
+    def test_energy_bounds_invariant_under_scaling(self):
+        params = suite_params(MEMCACHED)
+        spans = []
+        for factor in (1, 2, 4):
+            space = analysis.subset_mix_space(
+                ARM_CORTEX_A9, 8 * factor, AMD_K10, factor, params, 50_000.0
+            )
+            frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+            spans.append(
+                (
+                    float(frontier.energies_j.max()),
+                    float(frontier.min_energy_j),
+                    frontier.fastest_time_s,
+                    len(frontier),
+                )
+            )
+        # Energy bounds move by < ~5% across scales...
+        highs = [s[0] for s in spans]
+        lows = [s[1] for s in spans]
+        assert max(highs) / min(highs) < 1.05
+        assert max(lows) / min(lows) < 1.05
+        # ...while the achievable deadline shrinks with scale.
+        fastest = [s[2] for s in spans]
+        assert fastest[2] < fastest[1] < fastest[0]
+
+    def test_shared_cluster_beats_partitioning(self):
+        """n jobs on one big cluster need no more energy per job than one
+        job on a 1/n-size cluster at 1/n-deadline (Section IV-D)."""
+        params = suite_params(MEMCACHED)
+        small = analysis.subset_mix_space(
+            ARM_CORTEX_A9, 16, AMD_K10, 2, params, 50_000.0
+        )
+        big = analysis.subset_mix_space(
+            ARM_CORTEX_A9, 64, AMD_K10, 8, params, 50_000.0
+        )
+        small_frontier = ParetoFrontier.from_points(small.times_s, small.energies_j)
+        big_frontier = ParetoFrontier.from_points(big.times_s, big.energies_j)
+        deadline = 0.165  # the paper's worked example: 165 ms per job
+        e_small = small_frontier.min_energy_for_deadline(deadline)
+        e_big = big_frontier.min_energy_for_deadline(deadline / 4.0)
+        assert e_small is not None and e_big is not None
+        assert e_big <= e_small * 1.02
+
+
+class TestObservation4:
+    """Utilization amplifies the savings of mix-and-match."""
+
+    def test_savings_grow_with_utilization(self, memcached_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9, 16, AMD_K10, 14, memcached_params, 50_000.0
+        )
+        series = figure10_series(
+            space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        spans = {}
+        for u, points in series.items():
+            energies = [p.window_energy_j for p in points]
+            spans[u] = max(energies) - min(energies)
+        # Absolute savings across the frontier grow with utilization.
+        assert spans[0.50] > spans[0.25] > spans[0.05]
+
+    def test_sweet_region_survives_queueing(self, memcached_params):
+        space = evaluate_space(
+            ARM_CORTEX_A9, 16, AMD_K10, 14, memcached_params, 50_000.0
+        )
+        series = figure10_series(
+            space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        for u, points in series.items():
+            assert sweet_region_drop(points) > 0.2, u
+
+
+class TestHeadlineNumbers:
+    """Conclusion: 'reduces energy by up to 44% for memcached and 58% for
+    EP' (homogeneous AMD -> heterogeneous, same deadline, 1 kW budget).
+    Our calibrated substrate lands in the same regime; we assert the
+    savings are large and of the right order (exact percentages are
+    testbed-specific -- see EXPERIMENTS.md)."""
+
+    @pytest.mark.parametrize(
+        "workload,floor,units",
+        [(MEMCACHED, 0.30, 50_000.0), (EP, 0.45, 50e6)],
+    )
+    def test_budget_mix_savings(self, workload, floor, units):
+        series = build_fig6_fig7(workload, deadline_points=32)
+        base = series["ARM 0:AMD 16"]
+        base_at = dict(zip(base.x, base.y))
+        best_saving = 0.0
+        for label, s in series.items():
+            if label == "ARM 0:AMD 16":
+                continue
+            s_at = dict(zip(s.x, s.y))
+            for d in np.intersect1d(base.x, s.x):
+                saving = (base_at[d] - s_at[d]) / base_at[d]
+                best_saving = max(best_saving, saving)
+        assert best_saving > floor
+
+
+class TestSweetRegionShapes:
+    def test_ep_has_overlap_memcached_does_not(self, ep_params, memcached_params):
+        ep_space = evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, ep_params, 50e6)
+        mc_space = evaluate_space(
+            ARM_CORTEX_A9, 10, AMD_K10, 10, memcached_params, 50_000.0
+        )
+        assert analyze_regions(ep_space).has_overlap_region
+        assert not analyze_regions(mc_space).has_overlap_region
+
+    def test_sweet_region_linearity(self, ep_params):
+        space = evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, ep_params, 50e6)
+        report = analyze_regions(space)
+        assert report.sweet.linearity_r2() > 0.9

@@ -1,0 +1,96 @@
+"""End-to-end pipeline: calibrate -> predict -> enumerate -> select -> verify.
+
+This is the paper's Fig. 1 methodology executed in one flow, including
+the final check the paper performs on hardware: deploy the selected
+configuration on the (simulated) testbed and confirm it behaves as
+predicted.
+"""
+
+import pytest
+
+from repro.core.calibration import calibrate_node
+from repro.core.evaluate import evaluate_space
+from repro.core.pareto import ParetoFrontier
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.simulator.cluster import ClusterSimulator, GroupAssignment
+from repro.workloads.suite import EP, MEMCACHED
+
+
+@pytest.fixture(scope="module")
+def calibrated_ep_params():
+    return {
+        node.name: calibrate_node(node, EP, seed=11)
+        for node in (ARM_CORTEX_A9, AMD_K10)
+    }
+
+
+class TestCalibratedPipeline:
+    def test_calibrated_space_close_to_ground_truth(self, calibrated_ep_params, ep_params):
+        cal = evaluate_space(
+            ARM_CORTEX_A9, 3, AMD_K10, 3, calibrated_ep_params, 50e6
+        )
+        truth = evaluate_space(ARM_CORTEX_A9, 3, AMD_K10, 3, ep_params, 50e6)
+        # Point-by-point agreement within calibration noise.
+        rel_t = abs(cal.times_s - truth.times_s) / truth.times_s
+        rel_e = abs(cal.energies_j - truth.energies_j) / truth.energies_j
+        assert rel_t.max() < 0.15
+        assert rel_e.max() < 0.15
+
+    def test_selected_config_performs_as_predicted(self, calibrated_ep_params):
+        """Deploy the deadline-selected configuration on the testbed."""
+        space = evaluate_space(
+            ARM_CORTEX_A9, 4, AMD_K10, 2, calibrated_ep_params, 10e6
+        )
+        frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+        deadline = float(frontier.times_s[len(frontier) // 2]) * 1.01
+        idx = frontier.config_index_for_deadline(deadline)
+        assert idx is not None
+        point = space.point(idx)
+        config = point.config
+
+        assignments = []
+        if config.n_a:
+            assignments.append(
+                GroupAssignment(
+                    ARM_CORTEX_A9, config.n_a, config.cores_a, config.f_a_ghz,
+                    point.units_a,
+                )
+            )
+        if config.n_b:
+            assignments.append(
+                GroupAssignment(
+                    AMD_K10, config.n_b, config.cores_b, config.f_b_ghz,
+                    point.units_b,
+                )
+            )
+        result = ClusterSimulator().run_job(EP, assignments, seed=99)
+        # The deployed job lands near the prediction...
+        assert result.time_s == pytest.approx(point.time_s, rel=0.15)
+        assert result.energy_j == pytest.approx(point.energy_j, rel=0.15)
+        # ...and the matched schedule wastes almost nothing on idling.
+        assert result.imbalance_energy_j < 0.05 * result.energy_j
+
+
+class TestCrossWorkloadSanity:
+    def test_io_bound_frontier_faster_with_amd(self, memcached_params):
+        """AMD's 1 Gbps NIC sets the achievable deadline floor."""
+        space = evaluate_space(
+            ARM_CORTEX_A9, 4, AMD_K10, 4, memcached_params, 50_000.0
+        )
+        frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+        arm_only = space.subset(space.is_only_a)
+        arm_frontier = ParetoFrontier.from_points(
+            arm_only.times_s, arm_only.energies_j
+        )
+        assert frontier.fastest_time_s < arm_frontier.fastest_time_s
+
+    def test_job_size_scales_both_axes_linearly(self, ep_params):
+        """Section IV-B: input size does not change the analysis."""
+        small = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, ep_params, 10e6)
+        large = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, ep_params, 20e6)
+        ratio_t = large.times_s / small.times_s
+        ratio_e = large.energies_j / small.energies_j
+        assert ratio_t.min() == pytest.approx(2.0, rel=1e-9)
+        assert ratio_t.max() == pytest.approx(2.0, rel=1e-9)
+        assert ratio_e.min() == pytest.approx(2.0, rel=1e-9)
+        assert ratio_e.max() == pytest.approx(2.0, rel=1e-9)

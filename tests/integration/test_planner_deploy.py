@@ -1,0 +1,100 @@
+"""Planner-to-testbed integration: plans must survive deployment.
+
+The strongest end-to-end statement the library can make: a plan produced
+from an SLO, when actually executed on the (noisy) simulated cluster,
+behaves as promised.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.planner import SLO, plan_cluster
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
+from repro.simulator.cluster import ClusterSimulator, GroupAssignment
+from repro.workloads.suite import EP, MEMCACHED
+
+
+def _deploy(plan, workload, seed):
+    assignments = []
+    if plan.n_low:
+        assignments.append(
+            GroupAssignment(
+                ARM_CORTEX_A9, plan.n_low, plan.cores_low, plan.f_low_ghz,
+                plan.units_low,
+            )
+        )
+    if plan.n_high:
+        assignments.append(
+            GroupAssignment(
+                AMD_K10, plan.n_high, plan.cores_high, plan.f_high_ghz,
+                plan.units_high,
+            )
+        )
+    return ClusterSimulator().run_job(workload, assignments, seed=seed)
+
+
+class TestPlannedJobsOnTheTestbed:
+    @pytest.mark.parametrize(
+        "workload,units,deadline",
+        [(MEMCACHED, 50_000.0, 0.3), (EP, 20e6, 0.2)],
+        ids=["memcached", "ep"],
+    )
+    def test_deployed_plan_tracks_predictions(self, workload, units, deadline, memcached_params, ep_params):
+        params = memcached_params if workload is MEMCACHED else ep_params
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            params,
+            units,
+            SLO(deadline_s=deadline, utilization=0.25),
+            budget_w=600.0,
+            switch=ETHERNET_SWITCH,
+            max_low=16,
+            max_high=8,
+        )
+        assert plan is not None
+        times = []
+        energies = []
+        for seed in range(8):
+            result = _deploy(plan, workload, seed)
+            times.append(result.time_s)
+            energies.append(result.energy_j)
+        assert float(np.mean(times)) == pytest.approx(plan.service_s, rel=0.10)
+        assert float(np.mean(energies)) == pytest.approx(
+            plan.job_energy_j, rel=0.10
+        )
+
+    def test_deployed_plan_mostly_meets_the_deadline(self, memcached_params):
+        """Service-time jitter is a few percent; a plan chosen with the
+        M/D/1 mean leaves enough headroom that the testbed rarely
+        breaches the raw service deadline."""
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=0.3, utilization=0.25),
+            max_low=16,
+            max_high=8,
+        )
+        assert plan is not None
+        breaches = sum(
+            1
+            for seed in range(12)
+            if _deploy(plan, MEMCACHED, seed).time_s > 0.3
+        )
+        assert breaches <= 2
+
+    def test_matched_deployment_wastes_little_idle(self, memcached_params):
+        plan = plan_cluster(
+            ARM_CORTEX_A9,
+            AMD_K10,
+            memcached_params,
+            50_000.0,
+            SLO(deadline_s=0.2, utilization=0.25),
+            max_low=16,
+            max_high=8,
+        )
+        assert plan is not None
+        result = _deploy(plan, MEMCACHED, seed=4)
+        assert result.imbalance_energy_j < 0.08 * result.energy_j

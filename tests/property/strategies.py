@@ -1,0 +1,56 @@
+"""Shared Hypothesis strategies for model objects."""
+
+from __future__ import annotations
+
+from hypothesis import strategies as st
+
+from repro.core.params import NodeModelParams, SpiMemFit
+from repro.util.stats import LinearFit
+
+#: The catalog's two P-state tables, to keep params machine-compatible.
+ARM_PSTATES = (0.2, 0.5, 0.8, 1.1, 1.4)
+AMD_PSTATES = (0.8, 1.5, 2.1)
+
+
+@st.composite
+def model_params(draw, pstates=ARM_PSTATES, node_name="arm-cortex-a9"):
+    """Arbitrary-but-valid NodeModelParams over a given P-state table."""
+    slope = draw(st.floats(0.0, 3.0))
+    intercept = draw(st.floats(0.0, 0.5))
+    fits = {
+        c: LinearFit(slope=slope * (1 + 0.2 * (c - 1)), intercept=intercept, r2=0.99)
+        for c in range(1, 7)
+    }
+    arrival = draw(
+        st.one_of(st.none(), st.floats(0.01, 1e4))
+    )
+    return NodeModelParams(
+        node_name=node_name,
+        workload_name="synthetic",
+        instructions_per_unit=draw(st.floats(10.0, 1e7)),
+        wpi=draw(st.floats(0.2, 1.5)),
+        spi_core=draw(st.floats(0.0, 1.2)),
+        spimem=SpiMemFit(fits),
+        u_cpu=draw(st.floats(0.2, 1.0)),
+        io_bytes_per_unit=draw(st.floats(0.0, 1e5)),
+        io_bandwidth_bytes_s=draw(st.floats(1e6, 1e9)),
+        io_job_arrival_rate=arrival,
+        p_core_act_w={f: 0.05 + 0.3 * f**3 for f in pstates},
+        p_core_stall_w={f: 0.02 + 0.1 * f**3 for f in pstates},
+        p_mem_w=draw(st.floats(0.0, 5.0)),
+        p_io_w=draw(st.floats(0.0, 5.0)),
+        p_idle_w=draw(st.floats(0.1, 60.0)),
+    )
+
+
+def machine_setting(pstates=ARM_PSTATES, max_cores=4):
+    """(n_nodes, cores, f_ghz) tuples valid for the given table."""
+    return st.tuples(
+        st.integers(1, 32),
+        st.integers(1, max_cores),
+        st.sampled_from(pstates),
+    )
+
+
+def work_amounts():
+    return st.floats(1.0, 1e10)

@@ -1,0 +1,116 @@
+"""Property-based tests pinning the vectorized evaluator to the scalar one.
+
+The vectorized path re-derives the model algebraically (linear form,
+case-split matching, energy coefficients); any slip in that derivation
+would silently skew every figure.  These tests hammer the two paths with
+random workloads, random spaces and random configurations.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.calibration import ground_truth_params
+from repro.core.configuration import count_configs, enumerate_configs
+from repro.core.evaluate import evaluate_config, evaluate_space
+from repro.core.pareto import ParetoFrontier
+from repro.core.regions import analyze_regions
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.generator import random_workload
+
+
+@st.composite
+def random_params_pair(draw):
+    """Ground-truth params for a random workload on both catalog nodes."""
+    seed = draw(st.integers(0, 10**6))
+    workload = random_workload((ARM_CORTEX_A9.name, AMD_K10.name), seed=seed)
+    return {
+        ARM_CORTEX_A9.name: ground_truth_params(ARM_CORTEX_A9, workload),
+        AMD_K10.name: ground_truth_params(AMD_K10, workload),
+    }
+
+
+class TestVectorizedAgainstScalar:
+    @given(
+        params=random_params_pair(),
+        units=st.floats(1e2, 1e9),
+        max_a=st.integers(1, 3),
+        max_b=st.integers(1, 3),
+        sample_seed=st.integers(0, 2**31 - 1),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_pointwise_agreement(self, params, units, max_a, max_b, sample_seed):
+        space = evaluate_space(ARM_CORTEX_A9, max_a, AMD_K10, max_b, params, units)
+        configs = list(enumerate_configs(ARM_CORTEX_A9, max_a, AMD_K10, max_b))
+        assert len(space) == len(configs)
+        rng = np.random.default_rng(sample_seed)
+        for i in rng.choice(len(configs), size=min(12, len(configs)), replace=False):
+            point = evaluate_config(configs[i], params, units)
+            assert space.times_s[i] == pytest.approx(point.time_s, rel=1e-7), configs[i]
+            assert space.energies_j[i] == pytest.approx(
+                point.energy_j, rel=1e-7
+            ), configs[i]
+
+    @given(params=random_params_pair(), units=st.floats(1e2, 1e9))
+    @settings(max_examples=40, deadline=None)
+    def test_space_invariants(self, params, units):
+        space = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, params, units)
+        assert (space.times_s > 0).all()
+        assert (space.energies_j > 0).all()
+        np.testing.assert_allclose(
+            space.units_a + space.units_b, units, rtol=1e-9
+        )
+        # Count formula matches.
+        assert len(space) == count_configs(ARM_CORTEX_A9, 2, AMD_K10, 2)
+
+    @given(params=random_params_pair(), units=st.floats(1e2, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_regions_never_crash(self, params, units):
+        """Region decomposition is total: any space decomposes."""
+        space = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, params, units)
+        report = analyze_regions(space)
+        assert len(report.composition) == len(report.frontier)
+
+    @given(params=random_params_pair(), units=st.floats(1e2, 1e9))
+    @settings(max_examples=30, deadline=None)
+    def test_frontier_dominates_homogeneous_subsets(self, params, units):
+        space = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, params, units)
+        full = ParetoFrontier.from_points(space.times_s, space.energies_j)
+        for mask in (space.is_only_a, space.is_only_b):
+            subset = space.subset(mask)
+            for t, e in zip(subset.times_s, subset.energies_j):
+                best = full.min_energy_for_deadline(float(t))
+                assert best is not None and best <= e * (1 + 1e-9)
+
+
+class TestReductionProperty:
+    @given(params=random_params_pair(), units=st.floats(1e2, 1e9))
+    @settings(max_examples=25, deadline=None)
+    def test_reduction_covers_frontier_within_tolerance(self, params, units):
+        """The reducer is a heuristic in general: under matching, a slower
+        setting on the expensive node can shed work onto the cheap node
+        and genuinely lower energy, so per-type (s, k) pruning may trim
+        true frontier points on adversarial workloads.  The guarantee we
+        can property-test: every pruned frontier point is covered by a
+        surviving point that is at least as fast and within a modest
+        energy margin -- and the exactness certificate never lies."""
+        from repro.core.reduction import frontier_preserved, reduced_space
+
+        full = evaluate_space(ARM_CORTEX_A9, 2, AMD_K10, 2, params, units)
+        reduced, _, _ = reduced_space(ARM_CORTEX_A9, 2, AMD_K10, 2, params, units)
+
+        f_full = ParetoFrontier.from_points(full.times_s, full.energies_j)
+        f_reduced = ParetoFrontier.from_points(
+            reduced.times_s, reduced.energies_j
+        )
+        worst_gap = 0.0
+        for t, e in zip(f_full.times_s, f_full.energies_j):
+            covered = f_reduced.min_energy_for_deadline(float(t))
+            assert covered is not None, "reduced space lost a deadline entirely"
+            worst_gap = max(worst_gap, covered / e - 1.0)
+        assert worst_gap < 0.25, f"coverage gap {worst_gap:.1%}"
+
+        # Certificate soundness: if it says preserved, the frontiers match.
+        if frontier_preserved(full, reduced):
+            assert len(f_full) == len(f_reduced)

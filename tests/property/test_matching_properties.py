@@ -1,0 +1,76 @@
+"""Property-based tests of mix-and-match."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import GroupSetting, match_split, match_split_bisection
+
+from tests.property.strategies import (
+    AMD_PSTATES,
+    ARM_PSTATES,
+    machine_setting,
+    model_params,
+    work_amounts,
+)
+
+
+@st.composite
+def group_pair(draw):
+    """Two compatible group settings over the catalog's P-state tables."""
+    params_a = draw(model_params(ARM_PSTATES, "arm-cortex-a9"))
+    params_b = draw(model_params(AMD_PSTATES, "amd-k10"))
+    n_a, c_a, f_a = draw(machine_setting(ARM_PSTATES, 4))
+    n_b, c_b, f_b = draw(machine_setting(AMD_PSTATES, 6))
+    return (
+        GroupSetting(params_a, n_a, c_a, f_a),
+        GroupSetting(params_b, n_b, c_b, f_b),
+    )
+
+
+class TestMatchInvariants:
+    @given(groups=group_pair(), units=work_amounts())
+    @settings(max_examples=80, deadline=None)
+    def test_work_conserved(self, groups, units):
+        a, b = groups
+        result = match_split(units, a, b)
+        assert result.units_a + result.units_b == pytest.approx(units, rel=1e-9)
+        assert result.units_a >= 0 and result.units_b >= 0
+
+    @given(groups=group_pair(), units=work_amounts())
+    @settings(max_examples=80, deadline=None)
+    def test_completion_time_is_the_max_group_time(self, groups, units):
+        a, b = groups
+        result = match_split(units, a, b)
+        t_a = a.time(result.units_a)
+        t_b = b.time(result.units_b)
+        assert result.time_s == pytest.approx(max(t_a, t_b), rel=1e-6)
+
+    @given(groups=group_pair(), units=work_amounts())
+    @settings(max_examples=80, deadline=None)
+    def test_matched_time_never_exceeds_single_group(self, groups, units):
+        """Splitting across both groups cannot be slower than either
+        group taking the whole job."""
+        a, b = groups
+        result = match_split(units, a, b)
+        assert result.time_s <= a.time(units) * (1 + 1e-9)
+        assert result.time_s <= b.time(units) * (1 + 1e-9)
+
+    @given(groups=group_pair(), units=work_amounts())
+    @settings(max_examples=80, deadline=None)
+    def test_no_arbitrage(self, groups, units):
+        """No 10%-shifted split finishes sooner: the match minimizes T."""
+        a, b = groups
+        result = match_split(units, a, b)
+        for shift in (-0.1, 0.1):
+            w_a = min(max(result.units_a + shift * units, 0.0), units)
+            t_alt = max(a.time(w_a), b.time(units - w_a))
+            assert t_alt >= result.time_s * (1 - 1e-9)
+
+    @given(groups=group_pair(), units=work_amounts())
+    @settings(max_examples=80, deadline=None)
+    def test_bisection_agrees_with_closed_form(self, groups, units):
+        a, b = groups
+        closed = match_split(units, a, b)
+        numeric = match_split_bisection(units, a, b)
+        assert numeric.time_s == pytest.approx(closed.time_s, rel=1e-6)

@@ -1,0 +1,89 @@
+"""Property-based tests of the time/energy model invariants."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.energymodel import predict_node_energy
+from repro.core.timemodel import group_time_coefficients, predict_node_time
+
+from tests.property.strategies import machine_setting, model_params, work_amounts
+
+
+class TestTimeModelProperties:
+    @given(params=model_params(), setting=machine_setting(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_times_non_negative_and_consistent(self, params, setting, units):
+        n, cores, f = setting
+        tb = predict_node_time(params, units, n, cores, f)
+        assert tb.time_s >= 0
+        assert tb.t_cpu_s == max(tb.t_core_s, tb.t_mem_s)
+        assert tb.time_s == max(tb.t_cpu_s, tb.t_io_s)
+        assert tb.t_act_s + tb.t_stall_s == pytest.approx(tb.t_core_s, rel=1e-9)
+
+    @given(params=model_params(), setting=machine_setting(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_monotone_in_work(self, params, setting, units):
+        n, cores, f = setting
+        t1 = predict_node_time(params, units, n, cores, f).time_s
+        t2 = predict_node_time(params, units * 2, n, cores, f).time_s
+        assert t2 >= t1
+
+    @given(params=model_params(), setting=machine_setting(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_more_nodes_never_slower(self, params, setting, units):
+        n, cores, f = setting
+        t1 = predict_node_time(params, units, n, cores, f).time_s
+        t2 = predict_node_time(params, units, n + 1, cores, f).time_s
+        assert t2 <= t1 + 1e-15
+
+    @given(params=model_params(), setting=machine_setting(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_linear_coefficients_exact(self, params, setting, units):
+        """T(W) = max(gamma W, floor) is an exact refactoring, not a bound."""
+        n, cores, f = setting
+        gamma, floor = group_time_coefficients(params, n, cores, f)
+        direct = predict_node_time(params, units, n, cores, f).time_s
+        assert direct == pytest.approx(max(gamma * units, floor), rel=1e-9)
+
+
+class TestEnergyModelProperties:
+    @given(params=model_params(), setting=machine_setting(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_non_negative_and_additive(self, params, setting, units):
+        n, cores, f = setting
+        tb = predict_node_time(params, units, n, cores, f)
+        eb = predict_node_energy(params, tb)
+        assert eb.energy_j >= 0
+        assert eb.energy_j == pytest.approx(eb.per_node_j * n, rel=1e-9)
+        for component in (eb.e_core_j, eb.e_mem_j, eb.e_io_j, eb.e_idle_j):
+            assert component >= 0
+
+    @given(params=model_params(), setting=machine_setting(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_energy_monotone_in_work(self, params, setting, units):
+        n, cores, f = setting
+        tb1 = predict_node_time(params, units, n, cores, f)
+        tb2 = predict_node_time(params, units * 2, n, cores, f)
+        e1 = predict_node_energy(params, tb1).energy_j
+        e2 = predict_node_energy(params, tb2).energy_j
+        assert e2 >= e1 - 1e-12
+
+    @given(
+        params=model_params(),
+        setting=machine_setting(),
+        units=work_amounts(),
+        stretch=st.floats(1.0, 10.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_extending_job_time_adds_exactly_idle(self, params, setting, units, stretch):
+        n, cores, f = setting
+        tb = predict_node_time(params, units, n, cores, f)
+        own = predict_node_energy(params, tb).energy_j
+        stretched = predict_node_energy(
+            params, tb, job_time_s=tb.time_s * stretch
+        ).energy_j
+        expected_extra = params.p_idle_w * tb.time_s * (stretch - 1.0) * n
+        # Compare totals, not differences: subtracting nearly-equal large
+        # energies amplifies float round-off beyond any fixed abs tolerance.
+        assert stretched == pytest.approx(own + expected_extra, rel=1e-9)

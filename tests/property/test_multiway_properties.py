@@ -1,0 +1,102 @@
+"""Property-based tests of k-way matching."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.matching import GroupSetting, match_split
+from repro.core.multiway import match_multiway
+
+from tests.property.strategies import (
+    AMD_PSTATES,
+    ARM_PSTATES,
+    machine_setting,
+    model_params,
+    work_amounts,
+)
+
+
+@st.composite
+def group_list(draw, min_groups=1, max_groups=5):
+    """1-5 groups over alternating catalog-compatible P-state tables."""
+    count = draw(st.integers(min_groups, max_groups))
+    groups = []
+    for i in range(count):
+        pstates = ARM_PSTATES if i % 2 == 0 else AMD_PSTATES
+        max_cores = 4 if i % 2 == 0 else 6
+        params = draw(model_params(pstates, f"type-{i}"))
+        n, c, f = draw(machine_setting(pstates, max_cores))
+        groups.append(GroupSetting(params, n, c, f))
+    return groups
+
+
+class TestMultiwayInvariants:
+    @given(groups=group_list(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_work_conserved_and_non_negative(self, groups, units):
+        result = match_multiway(units, groups)
+        assert sum(result.units) == pytest.approx(units, rel=1e-9)
+        assert all(u >= 0 for u in result.units)
+        assert len(result.units) == len(groups)
+
+    @given(groups=group_list(), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_no_group_exceeds_the_deadline(self, groups, units):
+        result = match_multiway(units, groups)
+        for group, w in zip(groups, result.units):
+            if group.n_nodes == 0:
+                assert w == 0.0
+                continue
+            assert group.time(w) <= result.time_s * (1 + 1e-9)
+
+    @given(groups=group_list(min_groups=2), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_work_bound_groups_finish_together(self, groups, units):
+        """Equal finish holds for groups whose time is set by their work;
+        a group pinned at its arrival floor legitimately takes longer
+        (its requests simply haven't all arrived sooner)."""
+        result = match_multiway(units, groups)
+        work_bound_times = []
+        for i in result.active:
+            w = result.units[i]
+            if w <= 0:
+                continue
+            gamma, floor = groups[i].coefficients()
+            if gamma * w >= floor:
+                work_bound_times.append(groups[i].time(w))
+        if len(work_bound_times) >= 2:
+            spread = max(work_bound_times) - min(work_bound_times)
+            assert spread <= 1e-6 * max(work_bound_times)
+
+    @given(groups=group_list(min_groups=2), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_never_slower_than_best_single_group(self, groups, units):
+        result = match_multiway(units, groups)
+        solo_best = min(
+            g.time(units) for g in groups if g.n_nodes > 0
+        )
+        assert result.time_s <= solo_best * (1 + 1e-9)
+
+    @given(groups=group_list(min_groups=3), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_adding_a_group_never_hurts(self, groups, units):
+        """More hardware cannot slow the matched job."""
+        subset = groups[:-1]
+        if not any(g.n_nodes > 0 for g in subset):
+            return
+        with_all = match_multiway(units, groups)
+        with_fewer = match_multiway(units, subset)
+        assert with_all.time_s <= with_fewer.time_s * (1 + 1e-9)
+
+    @given(groups=group_list(min_groups=2, max_groups=2), units=work_amounts())
+    @settings(max_examples=60, deadline=None)
+    def test_two_group_case_matches_pairwise_solver(self, groups, units):
+        a, b = groups
+        if a.n_nodes == 0 or b.n_nodes == 0:
+            return
+        pairwise = match_split(units, a, b)
+        multi = match_multiway(units, [a, b])
+        assert multi.time_s == pytest.approx(pairwise.time_s, rel=1e-6)
+        assert multi.units[0] == pytest.approx(
+            pairwise.units_a, rel=1e-6, abs=units * 1e-6
+        )

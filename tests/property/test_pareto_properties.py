@@ -1,0 +1,71 @@
+"""Property-based tests of the Pareto frontier."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.pareto import ParetoFrontier, pareto_indices
+
+points = st.lists(
+    st.tuples(st.floats(1e-3, 1e3), st.floats(1e-3, 1e3)),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestFrontierProperties:
+    @given(data=points)
+    @settings(max_examples=100, deadline=None)
+    def test_frontier_points_are_undominated(self, data):
+        times = [t for t, _ in data]
+        energies = [e for _, e in data]
+        idx = pareto_indices(times, energies)
+        for i in idx:
+            dominated = any(
+                (times[j] <= times[i] and energies[j] < energies[i])
+                or (times[j] < times[i] and energies[j] <= energies[i])
+                for j in range(len(data))
+            )
+            assert not dominated
+
+    @given(data=points)
+    @settings(max_examples=100, deadline=None)
+    def test_every_point_is_weakly_dominated_by_frontier(self, data):
+        times = [t for t, _ in data]
+        energies = [e for _, e in data]
+        frontier = ParetoFrontier.from_points(times, energies)
+        for t, e in data:
+            best = frontier.min_energy_for_deadline(t)
+            assert best is not None
+            assert best <= e + 1e-12
+
+    @given(data=points)
+    @settings(max_examples=100, deadline=None)
+    def test_staircase_shape(self, data):
+        frontier = ParetoFrontier.from_points(
+            [t for t, _ in data], [e for _, e in data]
+        )
+        assert (np.diff(frontier.times_s) > 0).all()
+        assert (np.diff(frontier.energies_j) < 0).all()
+
+    @given(data=points, deadline=st.floats(1e-3, 1e3))
+    @settings(max_examples=100, deadline=None)
+    def test_query_monotone_in_deadline(self, data, deadline):
+        frontier = ParetoFrontier.from_points(
+            [t for t, _ in data], [e for _, e in data]
+        )
+        early = frontier.min_energy_for_deadline(deadline)
+        late = frontier.min_energy_for_deadline(deadline * 2)
+        if early is not None:
+            assert late is not None and late <= early
+
+    @given(data=points)
+    @settings(max_examples=50, deadline=None)
+    def test_frontier_of_frontier_is_identity(self, data):
+        frontier = ParetoFrontier.from_points(
+            [t for t, _ in data], [e for _, e in data]
+        )
+        again = ParetoFrontier.from_points(frontier.times_s, frontier.energies_j)
+        np.testing.assert_array_equal(again.times_s, frontier.times_s)
+        np.testing.assert_array_equal(again.energies_j, frontier.energies_j)

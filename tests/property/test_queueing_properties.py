@@ -1,0 +1,93 @@
+"""Property-based tests of the queueing layer."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.queueing.models import MD1Queue, MG1Queue, MM1Queue
+from repro.queueing.dispatcher import window_energy
+
+service = st.floats(1e-4, 100.0)
+utilization = st.floats(0.0, 0.95)
+scv = st.floats(0.0, 4.0)
+
+
+class TestQueueModelProperties:
+    @given(s=service, u=st.floats(0.01, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_wait_non_negative_and_response_exceeds_service(self, s, u):
+        q = MD1Queue.for_utilization(s, u)
+        assert q.mean_wait_s >= 0
+        assert q.mean_response_s >= s
+
+    @given(s=service, u1=st.floats(0.01, 0.5), u2=st.floats(0.5, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_wait_monotone_in_utilization(self, s, u1, u2):
+        q1 = MD1Queue.for_utilization(s, u1)
+        q2 = MD1Queue.for_utilization(s, u2)
+        assert q2.mean_wait_s >= q1.mean_wait_s
+
+    @given(s=service, u=st.floats(0.01, 0.95), c=scv)
+    @settings(max_examples=100, deadline=None)
+    def test_variance_always_hurts(self, s, u, c):
+        """Pollaczek-Khinchine: M/D/1 is the best case for a given rho."""
+        det = MD1Queue.for_utilization(s, u)
+        gen = MG1Queue.for_utilization(s, u, service_scv=c)
+        assert gen.mean_wait_s >= det.mean_wait_s
+
+    @given(s=service, u=st.floats(0.01, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_md1_wait_is_half_mm1(self, s, u):
+        md1 = MD1Queue.for_utilization(s, u)
+        mm1 = MM1Queue.for_utilization(s, u)
+        assert md1.mean_wait_s == pytest.approx(mm1.mean_wait_s / 2)
+
+    @given(s=service, u=st.floats(0.01, 0.95))
+    @settings(max_examples=100, deadline=None)
+    def test_littles_law_consistency(self, s, u):
+        q = MD1Queue.for_utilization(s, u)
+        assert q.mean_jobs_in_system == pytest.approx(
+            q.mean_jobs_queued + q.utilization, rel=1e-9
+        )
+
+
+class TestWindowEnergyProperties:
+    @given(
+        s=st.floats(1e-3, 10.0),
+        e_job=st.floats(0.0, 1e4),
+        idle=st.floats(0.0, 1e3),
+        u=utilization,
+        window=st.floats(1.0, 1e3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_energy_non_negative(self, s, e_job, idle, u, window):
+        point = window_energy(s, e_job, idle, u, window)
+        assert point.window_energy_j >= 0
+        assert point.response_s >= s
+
+    @given(
+        s=st.floats(1e-3, 10.0),
+        e_job=st.floats(0.1, 1e4),
+        idle=st.floats(0.0, 1e3),
+        window=st.floats(1.0, 1e3),
+        u1=st.floats(0.01, 0.5),
+        u2=st.floats(0.5, 0.95),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_response_monotone_in_utilization(self, s, e_job, idle, window, u1, u2):
+        p1 = window_energy(s, e_job, idle, u1, window)
+        p2 = window_energy(s, e_job, idle, u2, window)
+        assert p2.response_s >= p1.response_s
+
+    @given(
+        s=st.floats(1e-3, 10.0),
+        e_job=st.floats(0.1, 1e4),
+        idle=st.floats(0.0, 1e3),
+        u=st.floats(0.01, 0.95),
+        window=st.floats(1.0, 1e3),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_window_energy_linear_in_window(self, s, e_job, idle, u, window):
+        p1 = window_energy(s, e_job, idle, u, window)
+        p2 = window_energy(s, e_job, idle, u, window * 2)
+        assert p2.window_energy_j == pytest.approx(2 * p1.window_energy_j, rel=1e-9)

@@ -1,0 +1,160 @@
+"""Window-level energy accounting (Figure 10 machinery)."""
+
+import pytest
+
+from repro.core.evaluate import evaluate_space
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.queueing.dispatcher import (
+    figure10_series,
+    sweet_region_drop,
+    window_energy,
+)
+
+
+class TestWindowEnergy:
+    def test_components(self):
+        """jobs * E_job + (1-U) * window * P_idle."""
+        point = window_energy(
+            service_s=0.1,
+            job_energy_j=2.0,
+            idle_power_w=50.0,
+            utilization=0.25,
+            window_s=20.0,
+        )
+        jobs = 0.25 * 20.0 / 0.1
+        expected = jobs * 2.0 + 0.75 * 20.0 * 50.0
+        assert point.window_energy_j == pytest.approx(expected)
+        assert point.jobs_in_window == pytest.approx(jobs)
+
+    def test_response_includes_md1_wait(self):
+        point = window_energy(0.1, 2.0, 50.0, 0.5, 20.0)
+        # M/D/1 at rho=0.5: wait = T/2.
+        assert point.response_s == pytest.approx(0.1 * 1.5)
+
+    def test_zero_utilization_pure_idle(self):
+        point = window_energy(0.1, 2.0, 50.0, 0.0, 20.0)
+        assert point.window_energy_j == pytest.approx(20.0 * 50.0)
+        assert point.response_s == pytest.approx(0.1)
+        assert point.jobs_in_window == 0.0
+
+    def test_scv_inflates_response_only(self):
+        md1 = window_energy(0.1, 2.0, 50.0, 0.5, 20.0, service_scv=0.0)
+        mm1 = window_energy(0.1, 2.0, 50.0, 0.5, 20.0, service_scv=1.0)
+        assert mm1.response_s > md1.response_s
+        assert mm1.window_energy_j == pytest.approx(md1.window_energy_j)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            window_energy(0.0, 2.0, 50.0, 0.5, 20.0)
+        with pytest.raises(ValueError):
+            window_energy(0.1, 2.0, -1.0, 0.5, 20.0)
+        with pytest.raises(ValueError):
+            window_energy(0.1, 2.0, 50.0, 1.0, 20.0)
+        with pytest.raises(ValueError):
+            window_energy(0.1, 2.0, 50.0, 0.5, 0.0)
+
+
+@pytest.fixture
+def mc_1614_space(memcached_params):
+    """The paper's Fig. 10 cluster: up to 16 ARM + 14 AMD."""
+    return evaluate_space(
+        ARM_CORTEX_A9, 16, AMD_K10, 14, memcached_params, 50_000.0
+    )
+
+
+class TestFigure10Series:
+    def test_three_utilization_profiles(self, mc_1614_space):
+        series = figure10_series(
+            mc_1614_space,
+            ARM_CORTEX_A9.idle_power_w,
+            AMD_K10.idle_power_w,
+        )
+        assert set(series) == {0.05, 0.25, 0.50}
+        for points in series.values():
+            assert len(points) > 10
+
+    def test_frontier_monotone(self, mc_1614_space):
+        series = figure10_series(
+            mc_1614_space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        for points in series.values():
+            responses = [p.response_s for p in points]
+            energies = [p.window_energy_j for p in points]
+            assert responses == sorted(responses)
+            assert energies == sorted(energies, reverse=True)
+
+    def test_sweet_region_present_at_all_utilizations(self, mc_1614_space):
+        """Observation 4 setup: the sweet region survives queueing."""
+        series = figure10_series(
+            mc_1614_space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        for u, points in series.items():
+            drop = sweet_region_drop(points)
+            assert drop is not None and drop > 0.2, f"no sharp drop at U={u}"
+
+    def test_sharp_drop_at_arm_only_crossover(self, mc_1614_space):
+        """The paper's two-part sweet region: the big drop happens where
+        AMD nodes leave the configuration."""
+        series = figure10_series(
+            mc_1614_space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        points = series[0.05]
+        energies = [p.window_energy_j for p in points]
+        drops = [
+            (energies[i] - energies[i + 1]) / energies[i]
+            for i in range(len(energies) - 1)
+        ]
+        k = max(range(len(drops)), key=drops.__getitem__)
+        assert points[k].n_b > 0
+        assert points[k + 1].n_b == 0
+
+    def test_energy_span_orders_of_magnitude(self, mc_1614_space):
+        """Section IV-E: savings span ~two orders of magnitude."""
+        series = figure10_series(
+            mc_1614_space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        points = series[0.05]
+        energies = [p.window_energy_j for p in points]
+        assert max(energies) / min(energies) > 50
+
+    def test_higher_utilization_costs_more_at_same_deadline(self, mc_1614_space):
+        series = figure10_series(
+            mc_1614_space, ARM_CORTEX_A9.idle_power_w, AMD_K10.idle_power_w
+        )
+        lo, hi = series[0.05], series[0.50]
+
+        def energy_at(points, deadline):
+            feasible = [p for p in points if p.response_s <= deadline]
+            return min(p.window_energy_j for p in feasible) if feasible else None
+
+        # At a deadline both can meet, U=50% needs at least as much energy
+        # per the same window (more jobs served + faster configs needed).
+        deadline = 0.2
+        e_lo = energy_at(lo, deadline)
+        e_hi = energy_at(hi, deadline)
+        assert e_lo is not None and e_hi is not None
+        assert e_hi > e_lo
+
+    def test_unpruned_returns_full_space(self, mc_1614_space):
+        series = figure10_series(
+            mc_1614_space,
+            ARM_CORTEX_A9.idle_power_w,
+            AMD_K10.idle_power_w,
+            utilizations=(0.25,),
+            prune_to_frontier=False,
+        )
+        assert len(series[0.25]) == len(mc_1614_space)
+
+    def test_invalid_utilization_rejected(self, mc_1614_space):
+        with pytest.raises(ValueError):
+            figure10_series(
+                mc_1614_space,
+                1.0,
+                45.0,
+                utilizations=(1.0,),
+            )
+
+
+class TestSweetRegionDrop:
+    def test_too_few_points(self):
+        assert sweet_region_drop([]) is None

@@ -1,0 +1,88 @@
+"""Analytic queue models: M/D/1, M/M/1, M/G/1."""
+
+import pytest
+
+from repro.queueing.models import MD1Queue, MG1Queue, MM1Queue, QueueModel
+
+
+class TestMD1:
+    def test_paper_formula(self):
+        """W_q = rho T / (2 (1 - rho)) for deterministic service."""
+        q = MD1Queue(service_s=0.1, arrival_rate=5.0)  # rho = 0.5
+        assert q.utilization == pytest.approx(0.5)
+        assert q.mean_wait_s == pytest.approx(0.5 * 0.1 / (2 * 0.5))
+        assert q.mean_response_s == pytest.approx(0.1 + 0.05)
+
+    def test_zero_arrivals_no_wait(self):
+        q = MD1Queue(service_s=0.1, arrival_rate=0.0)
+        assert q.mean_wait_s == 0.0
+        assert q.mean_response_s == pytest.approx(0.1)
+
+    def test_wait_explodes_near_saturation(self):
+        light = MD1Queue(service_s=0.1, arrival_rate=1.0)
+        heavy = MD1Queue(service_s=0.1, arrival_rate=9.9)
+        assert heavy.mean_wait_s > 40 * light.mean_wait_s
+
+    def test_unstable_rejected(self):
+        with pytest.raises(ValueError, match="unstable"):
+            MD1Queue(service_s=0.1, arrival_rate=10.0)
+
+    def test_for_utilization(self):
+        q = MD1Queue.for_utilization(0.2, 0.25)
+        assert q.arrival_rate == pytest.approx(1.25)
+        assert q.utilization == pytest.approx(0.25)
+
+    def test_for_utilization_validation(self):
+        with pytest.raises(ValueError):
+            MD1Queue.for_utilization(0.2, 1.0)
+        with pytest.raises(ValueError):
+            MD1Queue.for_utilization(0.2, -0.1)
+
+
+class TestMM1:
+    def test_exponential_service_doubles_md1_wait(self):
+        md1 = MD1Queue(service_s=0.1, arrival_rate=5.0)
+        mm1 = MM1Queue(service_s=0.1, arrival_rate=5.0)
+        assert mm1.mean_wait_s == pytest.approx(2 * md1.mean_wait_s)
+
+    def test_classic_formula(self):
+        # M/M/1: W = rho/(mu - lambda) -> wait = rho T/(1-rho).
+        q = MM1Queue(service_s=0.1, arrival_rate=5.0)
+        assert q.mean_wait_s == pytest.approx(0.5 * 0.1 / 0.5)
+
+
+class TestMG1:
+    def test_pollaczek_khinchine_interpolates(self):
+        md1 = MD1Queue(service_s=0.1, arrival_rate=5.0)
+        mm1 = MM1Queue(service_s=0.1, arrival_rate=5.0)
+        mid = MG1Queue(service_s=0.1, arrival_rate=5.0, service_scv=0.5)
+        assert md1.mean_wait_s < mid.mean_wait_s < mm1.mean_wait_s
+
+    def test_scv_zero_equals_md1(self):
+        md1 = MD1Queue(service_s=0.1, arrival_rate=5.0)
+        mg1 = MG1Queue(service_s=0.1, arrival_rate=5.0, service_scv=0.0)
+        assert mg1.mean_wait_s == pytest.approx(md1.mean_wait_s)
+
+    def test_negative_scv_rejected(self):
+        with pytest.raises(ValueError):
+            MG1Queue(service_s=0.1, arrival_rate=1.0, service_scv=-0.5)
+
+
+class TestLittlesLaw:
+    def test_jobs_queued(self):
+        q = MD1Queue(service_s=0.1, arrival_rate=5.0)
+        assert q.mean_jobs_queued == pytest.approx(5.0 * q.mean_wait_s)
+
+    def test_jobs_in_system(self):
+        q = MM1Queue(service_s=0.05, arrival_rate=4.0)
+        assert q.mean_jobs_in_system == pytest.approx(4.0 * q.mean_response_s)
+
+
+class TestValidation:
+    def test_non_positive_service_rejected(self):
+        with pytest.raises(ValueError):
+            QueueModel(service_s=0.0, arrival_rate=1.0)
+
+    def test_negative_arrival_rejected(self):
+        with pytest.raises(ValueError):
+            QueueModel(service_s=0.1, arrival_rate=-1.0)

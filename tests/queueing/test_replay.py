@@ -1,0 +1,57 @@
+"""DES replay of the window-energy accounting."""
+
+import pytest
+
+from repro.queueing.dispatcher import window_energy
+from repro.queueing.replay import replay_mean, replay_window
+
+
+class TestReplayMechanics:
+    def test_reproducible(self):
+        a = replay_window(0.05, 10.0, 600.0, 0.25, 20.0, seed=3)
+        b = replay_window(0.05, 10.0, 600.0, 0.25, 20.0, seed=3)
+        assert a.energy_j == b.energy_j
+        assert a.jobs_arrived == b.jobs_arrived
+
+    def test_zero_utilization_pure_idle(self):
+        replay = replay_window(0.05, 10.0, 600.0, 0.0, 20.0, seed=0)
+        assert replay.jobs_arrived == 0
+        assert replay.busy_time_s == 0.0
+        assert replay.energy_j == pytest.approx(20.0 * 600.0)
+
+    def test_busy_plus_idle_covers_window(self):
+        replay = replay_window(0.05, 10.0, 600.0, 0.5, 20.0, seed=1)
+        assert replay.busy_time_s + replay.idle_time_s == pytest.approx(20.0)
+        assert 0 < replay.measured_utilization < 1
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            replay_window(0.0, 10.0, 600.0, 0.5, 20.0)
+        with pytest.raises(ValueError):
+            replay_window(0.05, 10.0, 600.0, 1.0, 20.0)
+        with pytest.raises(ValueError):
+            replay_mean(0.05, 10.0, 600.0, 0.5, 20.0, repetitions=0)
+
+
+class TestFormulaCertification:
+    """The analytic window accounting vs its event-by-event replay."""
+
+    @pytest.mark.parametrize("u", [0.05, 0.25, 0.50])
+    def test_energy_matches_formula(self, u):
+        formula = window_energy(0.05, 10.0, 600.0, u, 20.0)
+        replay = replay_mean(0.05, 10.0, 600.0, u, 20.0, repetitions=40, seed=0)
+        assert replay.energy_j == pytest.approx(
+            formula.window_energy_j, rel=0.02
+        )
+
+    @pytest.mark.parametrize("u", [0.25, 0.50])
+    def test_response_matches_md1(self, u):
+        formula = window_energy(0.05, 10.0, 600.0, u, 60.0)
+        replay = replay_mean(0.05, 10.0, 600.0, u, 60.0, repetitions=60, seed=1)
+        assert replay.mean_response_s == pytest.approx(
+            formula.response_s, rel=0.05
+        )
+
+    def test_utilization_tracks_target(self):
+        replay = replay_mean(0.05, 10.0, 600.0, 0.25, 60.0, repetitions=40, seed=2)
+        assert replay.measured_utilization == pytest.approx(0.25, abs=0.02)

@@ -1,0 +1,70 @@
+"""Queue DES vs the analytic formulas."""
+
+import pytest
+
+from repro.queueing.models import MD1Queue, MM1Queue
+from repro.queueing.simulation import (
+    deterministic_service,
+    exponential_service,
+    simulate_queue,
+)
+
+
+class TestAgainstAnalytics:
+    def test_md1_mean_wait(self):
+        """Simulated M/D/1 wait matches Pollaczek-Khinchine."""
+        model = MD1Queue(service_s=0.05, arrival_rate=10.0)  # rho = 0.5
+        stats = simulate_queue(
+            10.0, deterministic_service(0.05), n_jobs=30_000, seed=0
+        )
+        assert stats.mean_wait_s == pytest.approx(model.mean_wait_s, rel=0.08)
+        assert stats.mean_response_s == pytest.approx(model.mean_response_s, rel=0.05)
+
+    def test_mm1_mean_wait(self):
+        model = MM1Queue(service_s=0.05, arrival_rate=10.0)
+        stats = simulate_queue(
+            10.0, exponential_service(0.05), n_jobs=40_000, seed=1
+        )
+        assert stats.mean_wait_s == pytest.approx(model.mean_wait_s, rel=0.10)
+
+    def test_md1_waits_less_than_mm1(self):
+        md1 = simulate_queue(10.0, deterministic_service(0.05), 20_000, seed=2)
+        mm1 = simulate_queue(10.0, exponential_service(0.05), 20_000, seed=2)
+        assert md1.mean_wait_s < mm1.mean_wait_s
+
+    def test_utilization_tracks_rho(self):
+        stats = simulate_queue(5.0, deterministic_service(0.05), 20_000, seed=3)
+        assert stats.utilization == pytest.approx(0.25, rel=0.1)
+
+    def test_light_load_barely_waits(self):
+        stats = simulate_queue(0.5, deterministic_service(0.05), 5_000, seed=4)
+        assert stats.mean_wait_s < 0.01 * stats.mean_response_s + 1e-3
+
+
+class TestMechanics:
+    def test_reproducible(self):
+        a = simulate_queue(10.0, deterministic_service(0.05), 1_000, seed=5)
+        b = simulate_queue(10.0, deterministic_service(0.05), 1_000, seed=5)
+        assert a.mean_wait_s == b.mean_wait_s
+
+    def test_job_count_respected(self):
+        stats = simulate_queue(10.0, deterministic_service(0.01), 500, seed=6)
+        assert stats.jobs_completed == 500
+
+    def test_invalid_args_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_queue(0.0, deterministic_service(0.05), 100)
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, deterministic_service(0.05), 0)
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, deterministic_service(0.05), 100, warmup_fraction=1.0)
+
+    def test_bad_sampler_rejected(self):
+        with pytest.raises(ValueError):
+            simulate_queue(1.0, lambda rng: 0.0, 100, seed=0)
+
+    def test_sampler_factories_validate(self):
+        with pytest.raises(ValueError):
+            deterministic_service(0.0)
+        with pytest.raises(ValueError):
+            exponential_service(-1.0)

@@ -1,0 +1,31 @@
+"""CSV export."""
+
+import csv
+
+import pytest
+
+from repro.reporting.export import write_csv
+
+
+class TestWriteCsv:
+    def test_roundtrip(self, tmp_path):
+        path = write_csv(
+            tmp_path / "out.csv", ["a", "b"], [[1, 2], ["x", "y"]]
+        )
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a", "b"], ["1", "2"], ["x", "y"]]
+
+    def test_creates_parent_dirs(self, tmp_path):
+        path = write_csv(tmp_path / "deep" / "nested" / "out.csv", ["a"], [[1]])
+        assert path.exists()
+
+    def test_ragged_row_rejected(self, tmp_path):
+        with pytest.raises(ValueError):
+            write_csv(tmp_path / "bad.csv", ["a", "b"], [[1]])
+
+    def test_empty_rows_ok(self, tmp_path):
+        path = write_csv(tmp_path / "empty.csv", ["a"], [])
+        with path.open() as handle:
+            rows = list(csv.reader(handle))
+        assert rows == [["a"]]

@@ -1,0 +1,153 @@
+"""Figure/table builders: structure and key shapes.
+
+Full-fidelity reproductions (paper-size inputs) live in benchmarks/;
+these tests exercise the builders at reduced cost and assert the
+structural facts reports rely on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import (
+    FigureSeries,
+    ParetoFigure,
+    build_fig2,
+    build_fig3,
+    build_fig4_fig5,
+    build_fig6_fig7,
+    build_fig10,
+    build_table1,
+    build_table5,
+    suite_params,
+)
+from repro.workloads.suite import EP, MEMCACHED
+
+
+class TestFigureSeries:
+    def test_parallel_arrays_required(self):
+        with pytest.raises(ValueError):
+            FigureSeries(label="x", x=[1, 2], y=[1])
+
+    def test_arrays_coerced(self):
+        s = FigureSeries(label="x", x=[1, 2], y=[3, 4])
+        assert isinstance(s.x, np.ndarray)
+
+
+class TestSuiteParams:
+    def test_ground_truth_default(self):
+        params = suite_params(EP)
+        assert set(params) == {"arm-cortex-a9", "amd-k10"}
+        assert all(p.source == "ground-truth" for p in params.values())
+
+    def test_calibrated(self):
+        params = suite_params(EP, calibrated=True, seed=1)
+        assert all(p.source == "calibrated" for p in params.values())
+
+
+class TestTables:
+    def test_table1_renders(self):
+        text = build_table1().render()
+        assert "x86_64" in text and "armv7-a" in text
+
+    def test_table5_winners(self):
+        table, rows = build_table5()
+        text = table.render()
+        assert text.count("ARM") >= 4  # four ARM wins
+        names = [r[0] for r in rows]
+        assert names == [
+            "ep",
+            "memcached",
+            "x264",
+            "blackscholes",
+            "julius",
+            "rsa-2048",
+        ]
+
+
+class TestFig2:
+    def test_series_structure(self):
+        series = build_fig2(seed=0)
+        assert len(series) == 4  # 2 nodes x {wpi, spi_core}
+        for s in series.values():
+            assert len(s.x) == 3  # classes A, B, C
+
+    def test_constancy(self):
+        series = build_fig2(seed=0)
+        for s in series.values():
+            spread = (s.y.max() - s.y.min()) / s.y.min()
+            assert spread < 0.1, s.label
+
+
+class TestFig3:
+    def test_r2_meets_paper_bound(self):
+        series = build_fig3(seed=0)
+        assert len(series) == 4  # 2 nodes x {1, max} cores
+        for s in series.values():
+            assert s.meta["r2"] >= 0.94, s.label
+
+    def test_spimem_grows_with_cores(self):
+        series = build_fig3(seed=0)
+        one = series["amd-k10:cores=1"].y.mean()
+        six = series["amd-k10:cores=6"].y.mean()
+        assert six > one
+
+
+class TestFig4Fig5:
+    def test_small_pareto_figure(self):
+        fig = build_fig4_fig5(EP, max_arm=4, max_amd=4)
+        assert isinstance(fig, ParetoFigure)
+        assert len(fig.space) > 0
+        assert fig.regions.has_sweet_region
+        cloud = fig.cloud_series()
+        assert len(cloud.x) == len(fig.space)
+        frontier = fig.frontier_series()
+        assert (np.diff(frontier.y) < 0).all()
+
+    def test_frontier_bounded_by_homogeneous(self):
+        fig = build_fig4_fig5(EP, max_arm=4, max_amd=4)
+        # Full frontier is at least as good as either homogeneous one.
+        for d in fig.amd_only_frontier.times_s:
+            full = fig.frontier.min_energy_for_deadline(float(d))
+            homog = fig.amd_only_frontier.min_energy_for_deadline(float(d))
+            assert full is not None and full <= homog + 1e-9
+
+
+class TestFig6Fig7:
+    def test_mix_ordering_memcached(self):
+        """More ARM nodes -> lower energy for the I/O-bound workload."""
+        series = build_fig6_fig7(MEMCACHED, deadline_points=24)
+        assert len(series) == 7
+        # Compare each mix's minimum achievable energy.
+        minima = {label: np.nanmin(s.y) for label, s in series.items()}
+        assert minima["ARM 128:AMD 0"] < minima["ARM 48:AMD 10"]
+        assert minima["ARM 48:AMD 10"] < minima["ARM 0:AMD 16"]
+
+    def test_arm_only_cannot_meet_tight_memcached_deadlines(self):
+        """Fig. 6's observation: ARM-only misses deadlines < ~30 ms."""
+        series = build_fig6_fig7(MEMCACHED, deadline_points=24)
+        arm_only = series["ARM 128:AMD 0"]
+        amd_only = series["ARM 0:AMD 16"]
+        assert arm_only.meta["min_feasible_deadline_ms"] > 28.0
+        assert (
+            amd_only.meta["min_feasible_deadline_ms"]
+            < arm_only.meta["min_feasible_deadline_ms"]
+        )
+
+    def test_ep_arm_only_is_fastest_and_cheapest(self):
+        """Fig. 7: eight ARM nodes outrun one AMD node on EP."""
+        series = build_fig6_fig7(EP, deadline_points=24)
+        arm_only = series["ARM 128:AMD 0"]
+        amd_only = series["ARM 0:AMD 16"]
+        assert (
+            arm_only.meta["min_feasible_deadline_ms"]
+            < amd_only.meta["min_feasible_deadline_ms"]
+        )
+        assert np.nanmin(arm_only.y) < np.nanmin(amd_only.y)
+
+
+class TestFig10:
+    def test_structure(self):
+        series = build_fig10(n_arm=8, n_amd=7)
+        assert set(series) == {0.05, 0.25, 0.50}
+        for points in series.values():
+            assert len(points) > 5

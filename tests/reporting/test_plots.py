@@ -1,0 +1,104 @@
+"""ASCII plotting."""
+
+import numpy as np
+import pytest
+
+from repro.reporting.figures import FigureSeries, build_fig4_fig5, build_fig6_fig7
+from repro.reporting.plots import AsciiCanvas, plot_pareto_figure, plot_series_map
+from repro.workloads.suite import EP, MEMCACHED
+
+
+def plot_area(text: str) -> str:
+    """Concatenated plot rows only (between the | borders), no legend."""
+    rows = []
+    for line in text.splitlines():
+        if line.rstrip().endswith("|") and "|" in line[:-1]:
+            rows.append(line[line.index("|") + 1 : line.rindex("|")])
+    return "\n".join(rows)
+
+
+class TestCanvas:
+    def test_scatter_places_points(self):
+        canvas = AsciiCanvas(width=20, height=8)
+        canvas.fit([0, 10], [0, 10])
+        canvas.scatter([0, 10], [0, 10], "pts")
+        text = canvas.render()
+        assert plot_area(text).count("o") == 2
+        # Extremes land at opposite corners.
+        rows = [line for line in text.splitlines() if "|" in line]
+        assert "o" in rows[0]  # (10, 10) top
+        assert "o" in rows[-1]  # (0, 0) bottom
+
+    def test_line_is_continuous(self):
+        canvas = AsciiCanvas(width=40, height=10)
+        canvas.fit([0, 10], [0, 10])
+        canvas.line([0, 10], [0, 10], "diag")
+        assert plot_area(canvas.render()).count("o") > 20  # interpolated
+
+    def test_log_axis_rejects_nonpositive_silently(self):
+        canvas = AsciiCanvas(width=20, height=8, x_log=True)
+        canvas.fit([1, 100], [0, 1])
+        canvas.scatter([0.0, 1.0, 100.0], [0.5, 0.5, 0.5], "pts")
+        assert plot_area(canvas.render()).count("o") == 2  # x=0 skipped
+
+    def test_axis_labels_present(self):
+        canvas = AsciiCanvas(width=20, height=8, x_name="ms", y_name="J")
+        canvas.fit([1, 2], [3, 4])
+        canvas.scatter([1, 2], [3, 4])
+        text = canvas.render("title")
+        assert text.startswith("title")
+        assert "ms vs J" in text
+        assert "3" in text and "4" in text  # y range labels
+
+    def test_legend_glyph_cycle(self):
+        canvas = AsciiCanvas(width=20, height=8)
+        canvas.fit([0, 1], [0, 1])
+        canvas.scatter([0.1], [0.1], "first")
+        canvas.scatter([0.9], [0.9], "second")
+        text = canvas.render()
+        assert "o first" in text
+        assert "x second" in text
+
+    def test_too_small_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas(width=4, height=3)
+
+    def test_render_before_plot_rejected(self):
+        with pytest.raises(ValueError):
+            AsciiCanvas().render()
+
+    def test_constant_series_centered(self):
+        canvas = AsciiCanvas(width=20, height=9)
+        canvas.fit([1, 1], [2, 2])
+        canvas.scatter([1], [2])
+        assert "o" in canvas.render()
+
+
+class TestFigurePlots:
+    def test_pareto_plot_contains_cloud_and_frontier(self):
+        fig = build_fig4_fig5(EP, max_arm=3, max_amd=3)
+        text = plot_pareto_figure(fig)
+        assert "all configurations" in text
+        assert "Pareto frontier" in text
+        assert plot_area(text).count("o") > 50
+
+    def test_series_map_plot(self):
+        series = build_fig6_fig7(MEMCACHED, deadline_points=16)
+        text = plot_series_map(series, title="fig6", x_log=True)
+        assert "fig6" in text
+        assert "log x" in text
+        for label in series:
+            assert label in text
+
+    def test_empty_map_rejected(self):
+        with pytest.raises(ValueError):
+            plot_series_map({})
+
+    def test_nan_values_skipped(self):
+        series = {
+            "s": FigureSeries(
+                label="s", x=[1.0, 2.0, 3.0], y=[1.0, float("nan"), 3.0]
+            )
+        }
+        text = plot_series_map(series, as_lines=False)
+        assert plot_area(text).count("o") == 2

@@ -1,0 +1,54 @@
+"""One-command reproduction report."""
+
+import pytest
+
+from repro.reporting.report import generate_report
+
+
+class TestGenerateReport:
+    @pytest.fixture(scope="class")
+    def report_dir(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("report")
+        generate_report(path, seed=0, include_validation=False)
+        return path
+
+    def test_report_written(self, report_dir):
+        report = report_dir / "report.md"
+        assert report.exists()
+        text = report.read_text()
+        assert "# Reproduction report" in text
+        assert "Table 5" in text
+        assert "Figure 10" in text
+
+    def test_figure_csvs_written(self, report_dir):
+        for fig_id in (4, 5, 6, 7, 8, 9, 10):
+            csv = report_dir / f"fig{fig_id}.csv"
+            assert csv.exists(), fig_id
+            assert len(csv.read_text().splitlines()) > 2, fig_id
+
+    def test_key_claims_in_report(self, report_dir):
+        text = (report_dir / "report.md").read_text()
+        assert "36,380" in text
+        assert "sweet region: yes" in text
+        # memcached (fig 5) has no overlap region.
+        fig5_section = text.split("## Figure 5")[1].split("## Figure 6")[0]
+        assert "overlap region: no" in fig5_section
+
+    def test_validation_skipped_when_asked(self, report_dir):
+        text = (report_dir / "report.md").read_text()
+        assert "Table 3" not in text
+
+    def test_validation_included_by_default(self, tmp_path):
+        path = generate_report(tmp_path, seed=1)
+        text = path.read_text()
+        assert "Table 3" in text and "Table 4" in text
+        assert "Worst cell mean error" in text
+
+    def test_cli_report(self, tmp_path, capsys, monkeypatch):
+        monkeypatch.chdir(tmp_path)
+        from repro.cli import main
+
+        assert main(["report"]) == 0
+        out = capsys.readouterr().out
+        assert "report.md" in out
+        assert (tmp_path / "results" / "report.md").exists()

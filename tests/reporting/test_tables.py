@@ -1,0 +1,41 @@
+"""Text table rendering."""
+
+import pytest
+
+from repro.reporting.tables import Table
+
+
+class TestTable:
+    def test_alignment(self):
+        t = Table(["name", "v"])
+        t.add_row(["alpha", 1])
+        t.add_row(["b", 22])
+        lines = t.render().splitlines()
+        # All lines equally wide.
+        assert len({len(line) for line in lines}) == 1
+
+    def test_title(self):
+        t = Table(["a"], title="My Table")
+        t.add_row([1])
+        assert t.render().splitlines()[0] == "My Table"
+
+    def test_float_formatting(self):
+        t = Table(["x"])
+        t.add_row([1.5])
+        assert "1.5" in t.render()
+
+    def test_wrong_width_rejected(self):
+        t = Table(["a", "b"])
+        with pytest.raises(ValueError):
+            t.add_row([1])
+
+    def test_str_is_render(self):
+        t = Table(["a"])
+        t.add_row(["x"])
+        assert str(t) == t.render()
+
+    def test_header_separator(self):
+        t = Table(["col"])
+        t.add_row(["value"])
+        lines = t.render().splitlines()
+        assert set(lines[1]) <= {"-", "+"}

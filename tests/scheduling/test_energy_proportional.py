@@ -1,0 +1,58 @@
+"""Energy-proportionality ablation of the C-state-0 assumption."""
+
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.matching import GroupSetting
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.scheduling.policies import compare_policies, evaluate_split, matched_split
+from repro.workloads.suite import EP
+
+
+@pytest.fixture
+def groups():
+    arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, EP), 16, 4, 1.4)
+    amd = GroupSetting(ground_truth_params(AMD_K10, EP), 4, 6, 2.1)
+    return arm, amd
+
+
+class TestEnergyProportionalAblation:
+    def test_no_idle_wait_when_nodes_power_off(self, groups):
+        outcome = evaluate_split(1e6, 49e6, *groups, energy_proportional=True)
+        assert outcome.idle_wait_energy_j == 0.0
+
+    def test_proportional_never_costs_more(self, groups):
+        """Powering off early finishers can only save energy."""
+        for split in ((1e6, 49e6), (25e6, 25e6), (49e6, 1e6)):
+            on = evaluate_split(*split, *groups)
+            off = evaluate_split(*split, *groups, energy_proportional=True)
+            assert off.energy_j <= on.energy_j + 1e-9
+
+    def test_matching_benefit_shrinks_without_idling(self, groups):
+        """The ablation's point: most of matching's energy advantage over
+        naive splits comes from the never-sleep idling the paper assumes.
+        With energy-proportional nodes the gap collapses."""
+        with_idle = compare_policies(50e6, *groups)
+        without_idle = compare_policies(50e6, *groups, energy_proportional=True)
+
+        def gap(outcomes):
+            matched = outcomes["matched"].energy_j
+            worst = max(o.energy_j for o in outcomes.values())
+            return (worst - matched) / matched
+
+        assert gap(with_idle) > 3 * gap(without_idle)
+
+    def test_matched_split_itself_unchanged(self, groups):
+        """The ablation changes accounting, not the matching math."""
+        w_a, w_b = matched_split(50e6, *groups)
+        on = evaluate_split(w_a, w_b, *groups)
+        off = evaluate_split(w_a, w_b, *groups, energy_proportional=True)
+        # A perfectly matched split has no idle wait either way.
+        assert on.energy_j == pytest.approx(off.energy_j, rel=1e-9)
+
+    def test_matched_still_fastest_either_way(self, groups):
+        for flag in (False, True):
+            outcomes = compare_policies(50e6, *groups, energy_proportional=flag)
+            matched = outcomes["matched"]
+            for name, outcome in outcomes.items():
+                assert matched.job_time_s <= outcome.job_time_s + 1e-12, (flag, name)

@@ -1,0 +1,122 @@
+"""Hedged (fault-aware) matching."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.matching import GroupSetting, match_split
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.scheduling.hedging import FaultExposure, expected_imbalance, hedged_split
+from repro.simulator.cluster import ClusterSimulator, GroupAssignment
+from repro.simulator.noise import CALIBRATED_NOISE
+from repro.workloads.suite import EP
+
+
+@pytest.fixture
+def groups():
+    arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, EP), 8, 4, 1.4)
+    amd = GroupSetting(ground_truth_params(AMD_K10, EP), 2, 6, 2.1)
+    return arm, amd
+
+
+NONE = FaultExposure(0.0)
+FLAKY = FaultExposure(0.25, slowdown=3.0)
+
+
+class TestFaultExposure:
+    def test_zero_probability_no_stretch(self):
+        assert NONE.group_stretch(16) == pytest.approx(1.0)
+
+    def test_stretch_grows_with_group_size(self):
+        assert FLAKY.group_stretch(8) > FLAKY.group_stretch(1)
+
+    def test_certain_fault_full_slowdown(self):
+        assert FaultExposure(1.0, 4.0).group_stretch(3) == pytest.approx(4.0)
+
+    def test_formula(self):
+        exp = FaultExposure(0.1, slowdown=2.0)
+        q = 1 - 0.9**4
+        assert exp.group_stretch(4) == pytest.approx((1 - q) + 2 * q)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FaultExposure(1.5)
+        with pytest.raises(ValueError):
+            FaultExposure(0.5, slowdown=0.9)
+        with pytest.raises(ValueError):
+            NONE.group_stretch(0)
+
+
+class TestHedgedSplit:
+    def test_reduces_to_plain_matching_without_faults(self, groups):
+        arm, amd = groups
+        plain = match_split(50e6, arm, amd)
+        hedged = hedged_split(50e6, arm, amd, NONE, NONE)
+        assert hedged.units_a == pytest.approx(plain.units_a, rel=1e-9)
+        assert hedged.time_s == pytest.approx(plain.time_s, rel=1e-9)
+        assert hedged.method.startswith("hedged/")
+
+    def test_flaky_side_gets_less_work(self, groups):
+        arm, amd = groups
+        plain = match_split(50e6, arm, amd)
+        hedged = hedged_split(50e6, arm, amd, FLAKY, NONE)
+        assert hedged.units_a < plain.units_a
+
+    def test_equalizes_expected_times(self, groups):
+        arm, amd = groups
+        hedged = hedged_split(50e6, arm, amd, FLAKY, NONE)
+        gap = expected_imbalance(
+            (hedged.units_a, hedged.units_b), arm, amd, FLAKY, NONE
+        )
+        assert gap < 1e-6 * hedged.time_s
+
+    def test_plain_matching_leaves_expected_imbalance(self, groups):
+        arm, amd = groups
+        plain = match_split(50e6, arm, amd)
+        gap = expected_imbalance(
+            (plain.units_a, plain.units_b), arm, amd, FLAKY, NONE
+        )
+        assert gap > 0.1 * plain.time_s
+
+    def test_expected_time_exceeds_healthy(self, groups):
+        arm, amd = groups
+        plain = match_split(50e6, arm, amd)
+        hedged = hedged_split(50e6, arm, amd, FLAKY, FLAKY)
+        assert hedged.time_s > plain.time_s
+
+
+class TestAgainstTheFaultyTestbed:
+    def test_hedging_cuts_mean_job_time_on_asymmetric_faults(self, groups):
+        """Monte-Carlo on the simulator: when only the ARM side is
+        flaky, the hedged split finishes sooner in expectation than the
+        healthy-rate matched split."""
+        arm, amd = groups
+        plain = match_split(20e6, arm, amd)
+        hedged = hedged_split(20e6, arm, amd, FLAKY, NONE)
+
+        arm_noise = dataclasses.replace(
+            CALIBRATED_NOISE, straggler_probability=0.25, straggler_slowdown=3.0
+        )
+
+        def mean_time(units_a, units_b, reps=25):
+            times = []
+            for seed in range(reps):
+                # ARM group faulty, AMD group healthy: simulate separately.
+                arm_result = ClusterSimulator(noise=arm_noise).run_job(
+                    EP,
+                    [GroupAssignment(ARM_CORTEX_A9, 8, 4, 1.4, units_a)],
+                    seed=seed,
+                )
+                amd_result = ClusterSimulator(noise=CALIBRATED_NOISE).run_job(
+                    EP,
+                    [GroupAssignment(AMD_K10, 2, 6, 2.1, units_b)],
+                    seed=seed + 1000,
+                )
+                times.append(max(arm_result.time_s, amd_result.time_s))
+            return float(np.mean(times))
+
+        t_plain = mean_time(plain.units_a, plain.units_b)
+        t_hedged = mean_time(hedged.units_a, hedged.units_b)
+        assert t_hedged < t_plain

@@ -1,0 +1,117 @@
+"""Split policies: matching vs the naive baselines."""
+
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.matching import GroupSetting
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.scheduling.policies import (
+    POLICIES,
+    compare_policies,
+    equal_per_node_split,
+    equal_per_type_split,
+    evaluate_split,
+    matched_split,
+    nominal_rate_split,
+)
+from repro.workloads.suite import EP, MEMCACHED
+
+
+@pytest.fixture
+def groups():
+    arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, EP), 8, 4, 1.4)
+    amd = GroupSetting(ground_truth_params(AMD_K10, EP), 2, 6, 2.1)
+    return arm, amd
+
+
+class TestSplitters:
+    def test_equal_per_node(self, groups):
+        a, b = groups
+        units_a, units_b = equal_per_node_split(100.0, a, b)
+        assert units_a == pytest.approx(80.0)
+        assert units_b == pytest.approx(20.0)
+
+    def test_equal_per_type(self, groups):
+        units_a, units_b = equal_per_type_split(100.0, *groups)
+        assert units_a == units_b == 50.0
+
+    def test_equal_per_type_degenerate(self, groups):
+        import dataclasses
+
+        empty = dataclasses.replace(groups[0], n_nodes=0)
+        assert equal_per_type_split(100.0, empty, groups[1]) == (0.0, 100.0)
+
+    def test_nominal_rate(self, groups):
+        a, b = groups
+        units_a, units_b = nominal_rate_split(100.0, a, b)
+        cap_a = 8 * 4 * 1.4
+        cap_b = 2 * 6 * 2.1
+        assert units_a == pytest.approx(100 * cap_a / (cap_a + cap_b))
+        assert units_a + units_b == pytest.approx(100.0)
+
+    def test_matched_conserves(self, groups):
+        units_a, units_b = matched_split(1e6, *groups)
+        assert units_a + units_b == pytest.approx(1e6)
+
+
+class TestEvaluateSplit:
+    def test_matched_split_has_no_idle_wait(self, groups):
+        units_a, units_b = matched_split(1e6, *groups)
+        outcome = evaluate_split(units_a, units_b, *groups)
+        assert outcome.idle_wait_energy_j == pytest.approx(0.0, abs=1e-6)
+        assert outcome.imbalance_s == pytest.approx(0.0, abs=1e-9)
+
+    def test_lopsided_split_pays_idle_wait(self, groups):
+        outcome = evaluate_split(1e6 - 1.0, 1.0, *groups)
+        assert outcome.idle_wait_energy_j > 0
+        assert outcome.job_time_s == pytest.approx(outcome.time_a_s)
+
+    def test_validation(self, groups):
+        with pytest.raises(ValueError):
+            evaluate_split(-1.0, 2.0, *groups)
+        with pytest.raises(ValueError):
+            evaluate_split(0.0, 0.0, *groups)
+        import dataclasses
+
+        empty = dataclasses.replace(groups[0], n_nodes=0)
+        with pytest.raises(ValueError):
+            evaluate_split(1.0, 1.0, empty, groups[1])
+
+
+class TestMatchingWinsTheAblation:
+    """The design-choice ablation the paper's Section I motivates."""
+
+    def test_matched_is_fastest(self, groups):
+        outcomes = compare_policies(1e6, *groups)
+        matched = outcomes["matched"]
+        for name, outcome in outcomes.items():
+            assert matched.job_time_s <= outcome.job_time_s + 1e-12, name
+
+    def test_matched_is_cheapest(self, groups):
+        outcomes = compare_policies(1e6, *groups)
+        matched = outcomes["matched"]
+        for name, outcome in outcomes.items():
+            assert matched.energy_j <= outcome.energy_j + 1e-9, name
+
+    def test_baselines_strictly_worse_on_ep(self, groups):
+        """On this skewed cluster the naive splits genuinely lose."""
+        outcomes = compare_policies(1e6, *groups)
+        matched = outcomes["matched"]
+        for name in ("equal-per-node", "equal-per-type", "nominal-rate"):
+            assert outcomes[name].energy_j > matched.energy_j * 1.001, name
+
+    def test_io_bound_cluster(self):
+        arm = GroupSetting(ground_truth_params(ARM_CORTEX_A9, MEMCACHED), 8, 4, 1.4)
+        amd = GroupSetting(ground_truth_params(AMD_K10, MEMCACHED), 2, 6, 2.1)
+        outcomes = compare_policies(50_000, arm, amd)
+        matched = outcomes["matched"]
+        for name, outcome in outcomes.items():
+            assert matched.energy_j <= outcome.energy_j + 1e-9, name
+
+    def test_policy_registry_complete(self):
+        assert set(POLICIES) == {
+            "matched",
+            "nominal-rate",
+            "equal-per-node",
+            "equal-per-type",
+        }

@@ -1,0 +1,75 @@
+"""Switching baseline vs mix-and-match."""
+
+import pytest
+
+from repro.core.evaluate import evaluate_space
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.scheduling.switching import (
+    compare_switching_vs_mix,
+    mix_and_match_policy,
+    switching_policy,
+)
+
+
+@pytest.fixture
+def space(memcached_params):
+    return evaluate_space(ARM_CORTEX_A9, 8, AMD_K10, 4, memcached_params, 50_000.0)
+
+
+IDLE_A = ARM_CORTEX_A9.idle_power_w
+IDLE_B = AMD_K10.idle_power_w
+
+
+class TestSwitchingPolicy:
+    def test_relaxed_deadline_picks_low_power(self, space):
+        decision = switching_policy(space, IDLE_A, IDLE_B, 10.0, 0.25)
+        assert decision.chosen == "low"
+
+    def test_tight_deadline_switches_high(self, space):
+        # ARM-only on 8 nodes cannot serve 50k requests under ~400 ms.
+        decision = switching_policy(space, IDLE_A, IDLE_B, 0.2, 0.25)
+        assert decision.chosen == "high"
+
+    def test_impossible_deadline_infeasible(self, space):
+        decision = switching_policy(space, IDLE_A, IDLE_B, 1e-6, 0.25)
+        assert not decision.feasible
+        assert decision.window_energy_j is None
+
+
+class TestMixAndMatch:
+    def test_feasible_when_switching_is(self, space):
+        for deadline in (0.2, 1.0, 10.0):
+            sw = switching_policy(space, IDLE_A, IDLE_B, deadline, 0.25)
+            mx = mix_and_match_policy(space, IDLE_A, IDLE_B, deadline, 0.25)
+            if sw.feasible:
+                assert mx.feasible
+
+    def test_never_loses_to_switching(self, space):
+        """Mix-and-match searches a superset of configurations."""
+        for deadline in (0.2, 0.5, 1.0, 5.0):
+            sw = switching_policy(space, IDLE_A, IDLE_B, deadline, 0.25)
+            mx = mix_and_match_policy(space, IDLE_A, IDLE_B, deadline, 0.25)
+            if sw.feasible:
+                assert mx.window_energy_j <= sw.window_energy_j + 1e-9
+
+    def test_wins_between_the_homogeneous_operating_points(self, space):
+        """Where ARM-only misses the deadline, switching jumps all the way
+        to AMD-only; the heterogeneous middle is strictly cheaper."""
+        results = compare_switching_vs_mix(
+            space, IDLE_A, IDLE_B, deadlines_s=[0.25, 0.35], utilization=0.25
+        )
+        best = max(
+            (v["saving"] for v in results.values() if v["saving"] is not None),
+            default=None,
+        )
+        assert best is not None and best > 0.05
+
+
+class TestCompare:
+    def test_sweep_structure(self, space):
+        results = compare_switching_vs_mix(
+            space, IDLE_A, IDLE_B, deadlines_s=[0.1, 1.0], utilization=0.1
+        )
+        assert set(results) == {0.1, 1.0}
+        for row in results.values():
+            assert set(row) == {"switching", "mix", "saving"}

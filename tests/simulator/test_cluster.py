@@ -1,0 +1,120 @@
+"""Cluster simulator: group semantics, imbalance idling, energy accounting."""
+
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.simulator.cluster import ClusterSimulator, GroupAssignment, JobResult
+from repro.simulator.noise import CALIBRATED_NOISE, NOISELESS
+from repro.workloads.suite import EP, MEMCACHED
+
+
+def _arm_group(n=4, units=1e6):
+    return GroupAssignment(ARM_CORTEX_A9, n, 4, 1.4, units)
+
+
+def _amd_group(n=1, units=1e6):
+    return GroupAssignment(AMD_K10, n, 6, 2.1, units)
+
+
+class TestGroupAssignment:
+    def test_empty_group_with_work_rejected(self):
+        with pytest.raises(ValueError):
+            GroupAssignment(ARM_CORTEX_A9, 0, 4, 1.4, 10.0)
+
+    def test_empty_group_without_work_allowed(self):
+        GroupAssignment(ARM_CORTEX_A9, 0, 4, 1.4, 0.0)
+
+    def test_invalid_setting_rejected(self):
+        with pytest.raises(ValueError):
+            GroupAssignment(ARM_CORTEX_A9, 2, 8, 1.4, 10.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            GroupAssignment(ARM_CORTEX_A9, -1, 4, 1.4, 0.0)
+        with pytest.raises(ValueError):
+            GroupAssignment(ARM_CORTEX_A9, 1, 4, 1.4, -5.0)
+
+
+class TestRunJob:
+    def test_job_time_is_slowest_node(self):
+        sim = ClusterSimulator(noise=NOISELESS)
+        result = sim.run_job(EP, [_arm_group(4, 4e6)], seed=0)
+        times = [r.time_s for r in result.node_results.values()]
+        assert result.time_s == pytest.approx(max(times))
+
+    def test_equal_distribution_within_group(self):
+        sim = ClusterSimulator(noise=NOISELESS)
+        result = sim.run_job(EP, [_arm_group(4, 4e6)], seed=0)
+        instr = [r.counters.instructions for r in result.node_results.values()]
+        assert max(instr) == pytest.approx(min(instr), rel=1e-9)
+
+    def test_reproducible(self):
+        sim = ClusterSimulator()
+        a = sim.run_job(EP, [_arm_group(), _amd_group()], seed=5)
+        b = sim.run_job(EP, [_arm_group(), _amd_group()], seed=5)
+        assert a.time_s == b.time_s
+        assert a.energy_j == b.energy_j
+
+    def test_noiseless_has_no_imbalance_within_group(self):
+        sim = ClusterSimulator(noise=NOISELESS)
+        result = sim.run_job(EP, [_arm_group(8, 8e6)], seed=0)
+        assert result.imbalance_energy_j == pytest.approx(0.0, abs=1e-9)
+
+    def test_noisy_run_has_imbalance(self):
+        sim = ClusterSimulator(noise=CALIBRATED_NOISE)
+        result = sim.run_job(EP, [_arm_group(8, 8e6)], seed=0)
+        assert result.imbalance_energy_j > 0.0
+
+    def test_mismatched_groups_idle_expensively(self):
+        """An AMD group with almost no work idles at 45 W until the ARM
+        group finishes -- the energy mix-and-match eliminates."""
+        sim = ClusterSimulator(noise=NOISELESS)
+        lopsided = sim.run_job(
+            EP, [_arm_group(4, 8e6), _amd_group(1, 1.0)], seed=0
+        )
+        assert lopsided.imbalance_energy_j > 0.1 * lopsided.energy_j
+
+    def test_energy_sums_groups(self):
+        sim = ClusterSimulator(noise=NOISELESS)
+        result = sim.run_job(EP, [_arm_group(2, 1e6), _amd_group(1, 1e6)], seed=0)
+        assert result.energy_j == pytest.approx(sum(result.group_energies_j))
+
+    def test_empty_groups_skipped(self):
+        sim = ClusterSimulator(noise=NOISELESS)
+        result = sim.run_job(
+            EP, [_arm_group(2, 1e6), GroupAssignment(AMD_K10, 0, 6, 2.1, 0.0)], seed=0
+        )
+        assert len(result.group_times_s) == 1
+
+    def test_no_work_rejected(self):
+        sim = ClusterSimulator()
+        with pytest.raises(ValueError):
+            sim.run_job(EP, [GroupAssignment(ARM_CORTEX_A9, 0, 4, 1.4, 0.0)], seed=0)
+        with pytest.raises(ValueError):
+            sim.run_job(EP, [_arm_group(2, 0.0)], seed=0)
+
+    def test_arrival_floor_divided_by_group_size(self):
+        """Eq. 11: the (1/lambda) bound spreads across the group."""
+        import dataclasses
+
+        wl = dataclasses.replace(
+            MEMCACHED.scaled("memcached-arrival", 100.0),
+            io_job_arrival_rate=2.0,  # 0.5 s for the whole job's requests
+        )
+        sim = ClusterSimulator(noise=NOISELESS)
+        two = sim.run_job(wl, [GroupAssignment(ARM_CORTEX_A9, 2, 4, 1.4, 100.0)], seed=0)
+        four = sim.run_job(wl, [GroupAssignment(ARM_CORTEX_A9, 4, 4, 1.4, 100.0)], seed=0)
+        assert two.time_s == pytest.approx(0.25, rel=1e-6)
+        assert four.time_s == pytest.approx(0.125, rel=1e-6)
+
+
+class TestJobResult:
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            JobResult(
+                time_s=-1.0,
+                energy_j=1.0,
+                group_times_s=(1.0,),
+                group_energies_j=(1.0,),
+                imbalance_energy_j=0.0,
+            )

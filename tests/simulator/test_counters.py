@@ -1,0 +1,83 @@
+"""perf-style counter arithmetic."""
+
+import pytest
+
+from repro.simulator.counters import CounterSet
+
+
+def _counters(**overrides):
+    kwargs = dict(
+        instructions=1000.0,
+        work_cycles=800.0,
+        core_stall_cycles=500.0,
+        mem_stall_cycles=200.0,
+        io_bytes=4096.0,
+        active_cores=3.0,
+        total_cores=4,
+        f_ghz=1.4,
+    )
+    kwargs.update(overrides)
+    return CounterSet(**kwargs)
+
+
+class TestDerived:
+    def test_wpi(self):
+        assert _counters().wpi == pytest.approx(0.8)
+
+    def test_spi_core(self):
+        assert _counters().spi_core == pytest.approx(0.5)
+
+    def test_spi_mem(self):
+        assert _counters().spi_mem == pytest.approx(0.2)
+
+    def test_cpi_sums_components(self):
+        c = _counters()
+        assert c.cpi == pytest.approx(c.wpi + c.spi_core + c.spi_mem)
+
+    def test_cpu_utilization(self):
+        assert _counters().cpu_utilization == pytest.approx(0.75)
+
+    def test_zero_instructions_rejected_for_ratios(self):
+        empty = _counters(instructions=0.0, work_cycles=0.0)
+        with pytest.raises(ValueError):
+            _ = empty.wpi
+
+
+class TestMerge:
+    def test_counts_add(self):
+        merged = _counters() + _counters()
+        assert merged.instructions == 2000.0
+        assert merged.work_cycles == 1600.0
+        assert merged.io_bytes == 8192.0
+
+    def test_ratios_preserved_for_identical_runs(self):
+        c = _counters()
+        merged = c + c
+        assert merged.wpi == pytest.approx(c.wpi)
+        assert merged.spi_mem == pytest.approx(c.spi_mem)
+
+    def test_active_cores_weighted_mean(self):
+        a = _counters(active_cores=2.0, instructions=1000.0)
+        b = _counters(active_cores=4.0, instructions=3000.0, work_cycles=2400.0)
+        merged = a + b
+        assert merged.active_cores == pytest.approx((2 * 1000 + 4 * 3000) / 4000)
+
+    def test_mismatched_settings_rejected(self):
+        with pytest.raises(ValueError):
+            _counters() + _counters(f_ghz=0.8)
+        with pytest.raises(ValueError):
+            _counters() + _counters(total_cores=6)
+
+
+class TestValidation:
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            _counters(instructions=-1.0)
+        with pytest.raises(ValueError):
+            _counters(mem_stall_cycles=-1.0)
+
+    def test_bad_machine_rejected(self):
+        with pytest.raises(ValueError):
+            _counters(total_cores=0)
+        with pytest.raises(ValueError):
+            _counters(f_ghz=0.0)

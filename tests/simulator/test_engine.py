@@ -1,0 +1,95 @@
+"""Discrete-event kernel."""
+
+import pytest
+
+from repro.simulator.engine import EventLoop
+
+
+class TestOrdering:
+    def test_time_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(2.0, lambda: seen.append("b"))
+        loop.schedule(1.0, lambda: seen.append("a"))
+        loop.schedule(3.0, lambda: seen.append("c"))
+        loop.run()
+        assert seen == ["a", "b", "c"]
+
+    def test_fifo_at_equal_times(self):
+        loop = EventLoop()
+        seen = []
+        for i in range(5):
+            loop.schedule(1.0, lambda i=i: seen.append(i))
+        loop.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_clock_advances(self):
+        loop = EventLoop()
+        stamps = []
+        loop.schedule(1.5, lambda: stamps.append(loop.now))
+        loop.schedule(4.0, lambda: stamps.append(loop.now))
+        loop.run()
+        assert stamps == [1.5, 4.0]
+        assert loop.now == 4.0
+
+
+class TestScheduling:
+    def test_schedule_in_relative(self):
+        loop = EventLoop()
+        seen = []
+
+        def first():
+            loop.schedule_in(2.0, lambda: seen.append(loop.now))
+
+        loop.schedule(1.0, first)
+        loop.run()
+        assert seen == [3.0]
+
+    def test_past_scheduling_rejected(self):
+        loop = EventLoop()
+        loop.schedule(5.0, lambda: loop.schedule(1.0, lambda: None))
+        with pytest.raises(ValueError):
+            loop.run()
+
+    def test_negative_delay_rejected(self):
+        with pytest.raises(ValueError):
+            EventLoop().schedule_in(-1.0, lambda: None)
+
+
+class TestControl:
+    def test_run_until(self):
+        loop = EventLoop()
+        seen = []
+        loop.schedule(1.0, lambda: seen.append(1))
+        loop.schedule(10.0, lambda: seen.append(10))
+        loop.run(until=5.0)
+        assert seen == [1]
+        assert loop.now == 5.0
+        loop.run()  # drain the rest
+        assert seen == [1, 10]
+
+    def test_cancel(self):
+        loop = EventLoop()
+        seen = []
+        event = loop.schedule(1.0, lambda: seen.append("x"))
+        event.cancel()
+        loop.run()
+        assert seen == []
+        assert loop.processed == 0
+
+    def test_max_events_guard(self):
+        loop = EventLoop()
+
+        def rearm():
+            loop.schedule_in(1.0, rearm)
+
+        loop.schedule(0.0, rearm)
+        with pytest.raises(RuntimeError, match="budget"):
+            loop.run(max_events=100)
+
+    def test_processed_counter(self):
+        loop = EventLoop()
+        for t in (1.0, 2.0):
+            loop.schedule(t, lambda: None)
+        loop.run()
+        assert loop.processed == 2

@@ -1,0 +1,107 @@
+"""Fault injection: stragglers and their effect on the matched schedule."""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.simulator.cluster import ClusterSimulator, GroupAssignment
+from repro.simulator.node import NodeSimulator
+from repro.simulator.noise import CALIBRATED_NOISE, NOISELESS, NoiseModel
+from repro.workloads.suite import EP
+
+
+def _with_stragglers(noise: NoiseModel, p: float, slowdown: float = 3.0) -> NoiseModel:
+    return dataclasses.replace(
+        noise, straggler_probability=p, straggler_slowdown=slowdown
+    )
+
+
+class TestNodeLevel:
+    def test_straggler_runs_slower_not_more_instructions(self):
+        clean = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        always = NodeSimulator(
+            ARM_CORTEX_A9, noise=_with_stragglers(NOISELESS, 1.0, 3.0)
+        )
+        a = clean.run(EP, 1e6, 4, 1.4, seed=0)
+        b = always.run(EP, 1e6, 4, 1.4, seed=0)
+        assert b.time_s == pytest.approx(3.0 * a.time_s, rel=1e-6)
+        # perf counters: same retired instructions, more cycles.
+        assert b.counters.instructions == pytest.approx(
+            a.counters.instructions, rel=1e-9
+        )
+        assert b.counters.wpi == pytest.approx(3.0 * a.counters.wpi, rel=1e-9)
+
+    def test_probability_zero_is_noop(self):
+        base = NodeSimulator(ARM_CORTEX_A9, noise=CALIBRATED_NOISE)
+        wrapped = NodeSimulator(
+            ARM_CORTEX_A9, noise=_with_stragglers(CALIBRATED_NOISE, 0.0)
+        )
+        # Same seed must give identical draws when injection is off.
+        assert base.run(EP, 1e5, 4, 1.4, seed=5).time_s == pytest.approx(
+            wrapped.run(EP, 1e5, 4, 1.4, seed=5).time_s, rel=0.05
+        )
+
+    def test_straggler_frequency_matches_probability(self):
+        sim = NodeSimulator(
+            ARM_CORTEX_A9, noise=_with_stragglers(NOISELESS, 0.3, 5.0)
+        )
+        base = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        t0 = base.run(EP, 1e5, 4, 1.4, seed=0).time_s
+        slow = sum(
+            1
+            for i in range(300)
+            if sim.run(EP, 1e5, 4, 1.4, seed=i).time_s > 2 * t0
+        )
+        assert slow / 300 == pytest.approx(0.3, abs=0.08)
+
+    def test_invalid_injection_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_probability=1.5)
+        with pytest.raises(ValueError):
+            NoiseModel(straggler_slowdown=0.5)
+
+
+class TestClusterLevel:
+    def test_stragglers_create_imbalance_energy(self):
+        """A matched schedule's zero-idle property is fragile to
+        stragglers: one slow node makes everyone else wait at P_idle."""
+        clean = ClusterSimulator(noise=NOISELESS)
+        faulty = ClusterSimulator(noise=_with_stragglers(NOISELESS, 0.2, 3.0))
+        assignments = [GroupAssignment(ARM_CORTEX_A9, 8, 4, 1.4, 8e6)]
+        base = clean.run_job(EP, assignments, seed=0)
+        hit = faulty.run_job(EP, assignments, seed=0)
+        assert base.imbalance_energy_j == pytest.approx(0.0, abs=1e-9)
+        assert hit.imbalance_energy_j > 0.0
+        assert hit.time_s > base.time_s
+
+    def test_straggler_stretches_job_to_slowest_node(self):
+        faulty = ClusterSimulator(noise=_with_stragglers(NOISELESS, 0.2, 4.0))
+        assignments = [GroupAssignment(ARM_CORTEX_A9, 8, 4, 1.4, 8e6)]
+        result = faulty.run_job(EP, assignments, seed=0)
+        times = [r.time_s for r in result.node_results.values()]
+        # Bimodal: the job finishes with the stragglers.
+        assert max(times) > 3.0 * min(times)
+        assert result.time_s == pytest.approx(max(times))
+
+    def test_model_prediction_degrades_gracefully(self, ep_params):
+        """Against a straggler-injected testbed the model underpredicts
+        time (it knows nothing of faults) -- but the healthy-cluster
+        prediction is still a lower bound."""
+        from repro.core.matching import GroupSetting, match_split
+
+        arm = GroupSetting(ep_params[ARM_CORTEX_A9.name], 8, 4, 1.4)
+        amd = GroupSetting(ep_params[AMD_K10.name], 2, 6, 2.1)
+        match = match_split(10e6, arm, amd)
+
+        faulty = ClusterSimulator(noise=_with_stragglers(CALIBRATED_NOISE, 0.3, 3.0))
+        result = faulty.run_job(
+            EP,
+            [
+                GroupAssignment(ARM_CORTEX_A9, 8, 4, 1.4, match.units_a),
+                GroupAssignment(AMD_K10, 2, 6, 2.1, match.units_b),
+            ],
+            seed=1,
+        )
+        assert result.time_s > match.time_s

@@ -1,0 +1,175 @@
+"""Node simulator: execution semantics, counters, energy, noise behaviour."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.simulator.node import NodeSimulator
+from repro.simulator.noise import CALIBRATED_NOISE, NOISELESS
+from repro.workloads.microbench import cpu_max_microbench, stall_microbench
+from repro.workloads.suite import EP, MEMCACHED, X264
+
+
+class TestDeterministicSemantics:
+    """With noise off, the simulator is an exact executable spec."""
+
+    def test_reproducible_with_seed(self):
+        sim = NodeSimulator(ARM_CORTEX_A9)
+        a = sim.run(EP, 1e6, 4, 1.4, seed=3)
+        b = sim.run(EP, 1e6, 4, 1.4, seed=3)
+        assert a.time_s == b.time_s
+        assert a.energy_j == b.energy_j
+
+    def test_noiseless_counters_exact(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        units = 1e5
+        result = sim.run(EP, units, 4, 1.4, seed=0)
+        profile = EP.profile_for(ARM_CORTEX_A9.name)
+        assert result.counters.instructions == pytest.approx(
+            units * profile.instructions_per_unit, rel=1e-9
+        )
+        assert result.counters.wpi == pytest.approx(profile.wpi, rel=1e-9)
+        assert result.counters.spi_core == pytest.approx(profile.spi_core, rel=1e-9)
+
+    def test_cpu_bound_time_scales_inverse_frequency(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        slow = sim.run(EP, 1e6, 4, 0.2, seed=0).time_s
+        fast = sim.run(EP, 1e6, 4, 0.8, seed=0).time_s
+        assert slow / fast == pytest.approx(4.0, rel=0.01)
+
+    def test_cpu_bound_time_scales_inverse_cores(self):
+        sim = NodeSimulator(AMD_K10, noise=NOISELESS)
+        one = sim.run(EP, 1e6, 1, 2.1, seed=0).time_s
+        six = sim.run(EP, 1e6, 6, 2.1, seed=0).time_s
+        # Not exactly 6x: memory contention grows slightly with cores.
+        assert one / six == pytest.approx(6.0, rel=0.05)
+
+    def test_time_linear_in_units(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        t1 = sim.run(EP, 1e6, 4, 1.4, seed=0).time_s
+        t2 = sim.run(EP, 2e6, 4, 1.4, seed=0).time_s
+        assert t2 / t1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_zero_units_instantaneous(self):
+        sim = NodeSimulator(ARM_CORTEX_A9)
+        result = sim.run(EP, 0.0, 4, 1.4, seed=0)
+        assert result.time_s == 0.0
+        assert result.energy_j == 0.0
+
+
+class TestBottlenecks:
+    def test_memcached_io_bound_on_arm(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        result = sim.run(MEMCACHED, 10_000, 4, 1.4, seed=0)
+        assert result.t_io_s > result.t_cpu_s
+        # Wall time is the I/O time (plus startup, zero here).
+        assert result.time_s == pytest.approx(result.t_io_s, rel=1e-9)
+        # 10k KiB over 12.5 MB/s.
+        expected = 10_000 * 1024 / 12.5e6
+        assert result.t_io_s == pytest.approx(expected, rel=1e-9)
+
+    def test_x264_memory_bound(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        result = sim.run(X264, 60, 4, 1.4, seed=0)
+        assert result.t_mem_s > result.t_core_s
+        assert result.t_cpu_s == pytest.approx(result.t_mem_s, rel=1e-9)
+
+    def test_ep_core_bound(self):
+        sim = NodeSimulator(AMD_K10, noise=NOISELESS)
+        result = sim.run(EP, 1e6, 6, 2.1, seed=0)
+        assert result.t_core_s > result.t_mem_s
+
+    def test_arrival_floor_binds(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        free = sim.run(MEMCACHED, 100, 4, 1.4, seed=0)
+        floored = sim.run(MEMCACHED, 100, 4, 1.4, seed=0, arrival_floor_s=1.0)
+        assert floored.t_io_s == pytest.approx(1.0)
+        assert floored.time_s > free.time_s
+
+
+class TestEnergy:
+    def test_energy_positive_and_scales_with_units(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        e1 = sim.run(EP, 1e6, 4, 1.4, seed=0).energy_j
+        e2 = sim.run(EP, 2e6, 4, 1.4, seed=0).energy_j
+        assert e1 > 0
+        assert e2 / e1 == pytest.approx(2.0, rel=1e-6)
+
+    def test_mean_power_between_idle_and_peak(self):
+        sim = NodeSimulator(AMD_K10, noise=NOISELESS)
+        result = sim.run(EP, 1e6, 6, 2.1, seed=0)
+        assert AMD_K10.idle_power_w < result.mean_power_w <= AMD_K10.peak_power_w * 1.01
+
+    def test_cpu_max_power_matches_closed_form(self):
+        """Running the CPU-max kernel, mean power = idle + c*P_act(f)."""
+        node = ARM_CORTEX_A9
+        sim = NodeSimulator(node, noise=NOISELESS)
+        bench = cpu_max_microbench(node)
+        result = sim.run(bench, 1e6, 4, 1.4, seed=0)
+        expected = node.power.idle_w + 4 * node.power.core_active.watts(1.4)
+        assert result.mean_power_w == pytest.approx(expected, rel=1e-6)
+
+    def test_idle_energy(self):
+        sim = NodeSimulator(AMD_K10)
+        assert sim.idle_energy(2.0) == pytest.approx(90.0)
+        with pytest.raises(ValueError):
+            sim.idle_energy(-1.0)
+
+
+class TestStallKernelCounters:
+    def test_spi_mem_linear_in_frequency(self):
+        """The physical origin of Fig. 3: constant-time latency."""
+        node = ARM_CORTEX_A9
+        sim = NodeSimulator(node, noise=NOISELESS)
+        bench = stall_microbench(node)
+        spis = []
+        for f in node.cores.pstates_ghz:
+            result = sim.run(bench, 1e4, 1, f, seed=0)
+            spis.append(result.counters.spi_mem)
+        ratios = np.asarray(spis) / np.asarray(node.cores.pstates_ghz)
+        np.testing.assert_allclose(ratios, ratios[0], rtol=1e-9)
+
+    def test_spi_mem_grows_with_active_cores(self):
+        node = AMD_K10
+        sim = NodeSimulator(node, noise=NOISELESS)
+        bench = stall_microbench(node)
+        one = sim.run(bench, 1e4, 1, 2.1, seed=0).counters.spi_mem
+        six = sim.run(bench, 1e4, 6, 2.1, seed=0).counters.spi_mem
+        assert six > one
+
+
+class TestNoiseBehaviour:
+    def test_run_to_run_spread_is_a_few_percent(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=CALIBRATED_NOISE)
+        times = [sim.run(EP, 1e6, 4, 1.4, seed=i).time_s for i in range(30)]
+        cv = np.std(times) / np.mean(times)
+        assert 0.005 < cv < 0.10
+
+    def test_systematic_noise_survives_scale(self):
+        """Bigger jobs do not average the run-systematic factor away."""
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=CALIBRATED_NOISE)
+        times = [sim.run(EP, 1e8, 4, 1.4, seed=i).time_s for i in range(20)]
+        cv = np.std(times) / np.mean(times)
+        assert cv > 0.005
+
+
+class TestValidationErrors:
+    def test_invalid_setting_rejected(self):
+        sim = NodeSimulator(ARM_CORTEX_A9)
+        with pytest.raises(ValueError):
+            sim.run(EP, 1e3, 5, 1.4, seed=0)  # only 4 cores
+        with pytest.raises(ValueError):
+            sim.run(EP, 1e3, 4, 1.3, seed=0)  # not a P-state
+
+    def test_negative_units_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSimulator(ARM_CORTEX_A9).run(EP, -1.0, 4, 1.4, seed=0)
+
+    def test_missing_profile_rejected(self):
+        bench = cpu_max_microbench(ARM_CORTEX_A9)  # ARM-only profile
+        with pytest.raises(KeyError):
+            NodeSimulator(AMD_K10).run(bench, 1e3, 6, 2.1, seed=0)
+
+    def test_bad_batches_rejected(self):
+        with pytest.raises(ValueError):
+            NodeSimulator(ARM_CORTEX_A9, n_batches=0)

@@ -1,0 +1,61 @@
+"""Noise model: factor statistics and CLT scaling."""
+
+import numpy as np
+import pytest
+
+from repro.simulator.noise import CALIBRATED_NOISE, NOISELESS, NoiseModel
+
+
+class TestFactor:
+    def test_zero_sigma_is_exactly_one(self):
+        rng = np.random.default_rng(0)
+        assert CALIBRATED_NOISE.factor(rng, 0.0) == 1.0
+        out = CALIBRATED_NOISE.factor(rng, 0.0, size=5)
+        np.testing.assert_array_equal(out, np.ones(5))
+
+    def test_mean_near_one(self):
+        rng = np.random.default_rng(1)
+        draws = CALIBRATED_NOISE.factor(rng, 0.05, size=20000)
+        assert np.mean(draws) == pytest.approx(1.0, abs=0.002)
+
+    def test_sigma_respected(self):
+        rng = np.random.default_rng(2)
+        draws = CALIBRATED_NOISE.factor(rng, 0.05, size=20000)
+        assert np.std(draws) == pytest.approx(0.05, rel=0.05)
+
+    def test_clipped_at_three_sigma(self):
+        rng = np.random.default_rng(3)
+        draws = CALIBRATED_NOISE.factor(rng, 0.1, size=50000)
+        assert draws.min() >= 1.0 - 0.3 - 1e-12
+        assert draws.max() <= 1.0 + 0.3 + 1e-12
+
+    def test_clt_batch_scaling(self):
+        """sigma/sqrt(batches): 100 batches -> 10x narrower."""
+        rng = np.random.default_rng(4)
+        wide = np.std(CALIBRATED_NOISE.factor(rng, 0.1, size=20000, batches=1))
+        narrow = np.std(CALIBRATED_NOISE.factor(rng, 0.1, size=20000, batches=100))
+        assert wide / narrow == pytest.approx(10.0, rel=0.1)
+
+
+class TestModel:
+    def test_noiseless_is_all_zero(self):
+        assert NOISELESS.instructions_sigma == 0.0
+        assert NOISELESS.run_systematic_sigma == 0.0
+        assert NOISELESS.startup_overhead_s == 0.0
+
+    def test_scaled(self):
+        half = CALIBRATED_NOISE.scaled(0.5)
+        assert half.instructions_sigma == pytest.approx(
+            CALIBRATED_NOISE.instructions_sigma / 2
+        )
+        assert half.startup_overhead_s == CALIBRATED_NOISE.startup_overhead_s
+
+    def test_scaled_negative_rejected(self):
+        with pytest.raises(ValueError):
+            CALIBRATED_NOISE.scaled(-1.0)
+
+    def test_out_of_range_sigma_rejected(self):
+        with pytest.raises(ValueError):
+            NoiseModel(instructions_sigma=0.6)
+        with pytest.raises(ValueError):
+            NoiseModel(startup_overhead_s=-1.0)

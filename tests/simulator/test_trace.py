@@ -1,0 +1,129 @@
+"""Execution tracing: derived timelines must match the run's accounting."""
+
+import json
+
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.simulator.cluster import ClusterSimulator, GroupAssignment
+from repro.simulator.node import NodeSimulator
+from repro.simulator.noise import CALIBRATED_NOISE, NOISELESS
+from repro.simulator.trace import Span, Trace, trace_job, trace_node_run
+from repro.workloads.suite import EP, MEMCACHED
+
+
+class TestSpanAndTrace:
+    def test_span_end(self):
+        assert Span("t", "n", 1.0, 2.0).end_s == 3.0
+
+    def test_invalid_span_rejected(self):
+        with pytest.raises(ValueError):
+            Span("t", "n", -1.0, 2.0)
+        with pytest.raises(ValueError):
+            Span("t", "n", 1.0, -2.0)
+
+    def test_busy_time_per_track(self):
+        trace = Trace()
+        trace.add(Span("a", "x", 0.0, 1.0))
+        trace.add(Span("a", "y", 2.0, 0.5))
+        trace.add(Span("b", "z", 0.0, 3.0))
+        assert trace.busy_time("a") == pytest.approx(1.5)
+        assert trace.busy_time("b") == pytest.approx(3.0)
+        assert trace.end_s() == pytest.approx(3.0)
+
+    def test_tracks_in_first_appearance_order(self):
+        trace = Trace()
+        trace.add(Span("b", "x", 0.0, 1.0))
+        trace.add(Span("a", "y", 0.0, 1.0))
+        trace.add(Span("b", "z", 1.0, 1.0))
+        assert trace.tracks() == ["b", "a"]
+
+    def test_empty_trace(self):
+        assert Trace().end_s() == 0.0
+        assert Trace().render_ascii() == "(empty trace)"
+
+
+class TestNodeTrace:
+    def test_totals_match_run(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        result = sim.run(EP, 1e6, 4, 1.4, seed=0)
+        trace = trace_node_run(result, label="arm0")
+        assert trace.busy_time("arm0/cpu") == pytest.approx(result.t_cpu_s)
+        assert trace.end_s() == pytest.approx(result.time_s)
+
+    def test_io_bound_run_has_dma_track(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        result = sim.run(MEMCACHED, 10_000, 4, 1.4, seed=0)
+        trace = trace_node_run(result)
+        assert trace.busy_time("node/io") == pytest.approx(result.t_io_s)
+        # I/O dominates: the io track outlasts the cpu track.
+        assert trace.busy_time("node/io") > trace.busy_time("node/cpu")
+
+    def test_overhead_tail_present_with_noise(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=CALIBRATED_NOISE)
+        result = sim.run(EP, 1e5, 4, 1.4, seed=0)
+        trace = trace_node_run(result)
+        assert "node/overhead" in trace.tracks()
+        assert trace.end_s() == pytest.approx(result.time_s)
+
+
+class TestJobTrace:
+    def _job(self, noise):
+        sim = ClusterSimulator(noise=noise)
+        return sim.run_job(
+            EP,
+            [
+                GroupAssignment(ARM_CORTEX_A9, 2, 4, 1.4, 2e6),
+                GroupAssignment(AMD_K10, 1, 6, 2.1, 3e6),
+            ],
+            seed=0,
+        )
+
+    def test_every_node_has_a_track(self):
+        result = self._job(NOISELESS)
+        trace = trace_job(result, group_names=("arm", "amd"))
+        tracks = trace.tracks()
+        assert any(t.startswith("arm/n0/") for t in tracks)
+        assert any(t.startswith("arm/n1/") for t in tracks)
+        assert any(t.startswith("amd/n0/") for t in tracks)
+
+    def test_idle_wait_matches_imbalance_accounting(self):
+        result = self._job(CALIBRATED_NOISE)
+        trace = trace_job(result, group_names=("arm", "amd"))
+        total_wait = sum(
+            s.duration_s for s in trace.spans if s.track.endswith("idle-wait")
+        )
+        # Imbalance energy = sum over nodes of wait * idle power; check the
+        # wait seconds line up via reconstruction.
+        expected_wait = sum(
+            result.time_s - r.time_s for r in result.node_results.values()
+        )
+        assert total_wait == pytest.approx(expected_wait, rel=1e-9)
+
+    def test_trace_horizon_is_job_time(self):
+        result = self._job(CALIBRATED_NOISE)
+        trace = trace_job(result)
+        assert trace.end_s() == pytest.approx(result.time_s, rel=1e-9)
+
+
+class TestExports:
+    def test_chrome_trace_roundtrip(self, tmp_path):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        result = sim.run(EP, 1e5, 4, 1.4, seed=0)
+        trace = trace_node_run(result)
+        path = trace.write_chrome_trace(tmp_path / "run.json")
+        payload = json.loads(path.read_text())
+        events = payload["traceEvents"]
+        assert len(events) == len(trace.spans)
+        assert all(e["ph"] == "X" for e in events)
+        # Microsecond timestamps.
+        cpu_events = [e for e in events if e["cat"] == "node/cpu"]
+        assert cpu_events[0]["dur"] == pytest.approx(result.t_cpu_s * 1e6)
+
+    def test_ascii_gantt(self):
+        sim = NodeSimulator(ARM_CORTEX_A9, noise=NOISELESS)
+        result = sim.run(MEMCACHED, 10_000, 4, 1.4, seed=0)
+        text = trace_node_run(result).render_ascii(width=40)
+        assert "node/io" in text
+        assert "#" in text
+        assert "ms" in text

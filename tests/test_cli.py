@@ -1,0 +1,94 @@
+"""Command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+class TestArtifacts:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "x86_64" in out and "armv7-a" in out
+
+    def test_table5(self, capsys):
+        assert main(["table5"]) == 0
+        out = capsys.readouterr().out
+        assert "rsa-2048" in out and "AMD" in out
+
+    def test_fig4_summary(self, capsys):
+        assert main(["fig4"]) == 0
+        out = capsys.readouterr().out
+        assert "sweet region" in out
+        assert "36380" in out.replace(",", "")
+
+    def test_fig5_no_overlap(self, capsys):
+        assert main(["fig5"]) == 0
+        out = capsys.readouterr().out
+        overlap_line = next(
+            line for line in out.splitlines() if "overlap region" in line
+        )
+        assert "| no" in overlap_line
+
+    def test_fig3_r2(self, capsys):
+        assert main(["fig3"]) == 0
+        out = capsys.readouterr().out
+        assert "r^2" in out
+
+    def test_fig10(self, capsys):
+        assert main(["fig10"]) == 0
+        out = capsys.readouterr().out
+        assert "5%" in out and "50%" in out
+
+    def test_workload_override(self, capsys):
+        assert main(["fig4", "--workload", "blackscholes"]) == 0
+        assert "blackscholes" in capsys.readouterr().out
+
+
+class TestCsvExport:
+    def test_fig4_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig4.csv"
+        assert main(["fig4", "--csv", str(target)]) == 0
+        assert target.exists()
+        header = target.read_text().splitlines()[0]
+        assert header == "time_ms,energy_j,n_arm,n_amd"
+
+    def test_fig6_csv(self, tmp_path, capsys):
+        target = tmp_path / "fig6.csv"
+        assert main(["fig6", "--csv", str(target)]) == 0
+        assert target.exists()
+        assert "ARM 128:AMD 0" in target.read_text()
+
+
+class TestErrors:
+    def test_unknown_artifact_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["table9"])
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(KeyError):
+            main(["fig4", "--workload", "nope"])
+
+
+class TestExtensionCommands:
+    def test_reduce(self, capsys):
+        assert main(["reduce"]) == 0
+        out = capsys.readouterr().out
+        assert "36,380" in out
+        assert "frontier preserved" in out
+
+    def test_sensitivity(self, capsys):
+        assert main(["sensitivity", "--workload", "memcached"]) == 0
+        out = capsys.readouterr().out
+        assert "io_bandwidth_bytes_s" in out
+
+    def test_threeway(self, capsys):
+        assert main(["threeway"]) == 0
+        out = capsys.readouterr().out
+        assert "Atom" in out and "work share" in out
+
+    def test_plot_flag(self, capsys):
+        assert main(["fig4", "--plot"]) == 0
+        out = capsys.readouterr().out
+        assert "Pareto frontier" in out
+        assert "|" in out  # a canvas was drawn

@@ -1,0 +1,63 @@
+"""Top-level package surface: what a downstream user imports."""
+
+import pytest
+
+import repro
+
+
+class TestExports:
+    def test_version(self):
+        assert repro.__version__
+
+    def test_all_names_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_catalog_shortcuts(self):
+        assert repro.ARM_CORTEX_A9.name == "arm-cortex-a9"
+        assert repro.AMD_K10.name == "amd-k10"
+        assert len(repro.PAPER_WORKLOADS) == 6
+
+
+class TestQuick:
+    def test_pareto_by_name(self):
+        fig = repro.quick.pareto("ep", max_arm=3, max_amd=3)
+        assert len(fig.frontier) >= 2
+
+    def test_pareto_by_spec(self):
+        from repro.workloads.suite import MEMCACHED
+
+        fig = repro.quick.pareto(MEMCACHED, max_arm=2, max_amd=2)
+        assert fig.workload == "memcached"
+
+    def test_min_energy_for_deadline(self):
+        result = repro.quick.min_energy_for_deadline(
+            "ep", deadline_s=1.0, max_arm=3, max_amd=3
+        )
+        assert result is not None
+        assert result["time_s"] <= 1.0
+        assert result["energy_j"] > 0
+        assert result["units_arm"] + result["units_amd"] == pytest.approx(50e6)
+
+    def test_impossible_deadline_returns_none(self):
+        result = repro.quick.min_energy_for_deadline(
+            "ep", deadline_s=1e-9, max_arm=2, max_amd=2
+        )
+        assert result is None
+
+
+class TestEndToEndThreeLiner:
+    def test_readme_snippet(self):
+        """The exact flow the README advertises."""
+        from repro import ARM_CORTEX_A9, AMD_K10, evaluate_space, ground_truth_params
+        from repro.workloads.suite import EP
+
+        params = {
+            node.name: ground_truth_params(node, EP)
+            for node in (ARM_CORTEX_A9, AMD_K10)
+        }
+        space = evaluate_space(ARM_CORTEX_A9, 3, AMD_K10, 3, params, 50e6)
+        from repro import ParetoFrontier
+
+        frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+        assert frontier.min_energy_j > 0

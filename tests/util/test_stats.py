@@ -1,0 +1,99 @@
+"""Statistics helpers: fits, r-squared, error summaries."""
+
+import numpy as np
+import pytest
+
+from repro.util.stats import (
+    ErrorSummary,
+    linear_fit,
+    pearson_r2,
+    percent_error,
+    relative_error,
+    summarize_errors,
+)
+
+
+class TestLinearFit:
+    def test_exact_line_recovered(self):
+        x = np.linspace(0, 10, 20)
+        fit = linear_fit(x, 3.0 * x + 2.0)
+        assert fit.slope == pytest.approx(3.0)
+        assert fit.intercept == pytest.approx(2.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_noisy_line_high_r2(self):
+        rng = np.random.default_rng(0)
+        x = np.linspace(0, 5, 50)
+        y = 2.0 * x + 1.0 + rng.normal(0, 0.05, 50)
+        fit = linear_fit(x, y)
+        assert fit.r2 > 0.99
+        assert fit.slope == pytest.approx(2.0, rel=0.05)
+
+    def test_predict(self):
+        fit = linear_fit([0, 1, 2], [1, 3, 5])
+        assert fit.predict(10) == pytest.approx(21.0)
+        np.testing.assert_allclose(fit.predict([0, 1]), [1.0, 3.0])
+
+    def test_constant_y_r2_one(self):
+        fit = linear_fit([0, 1, 2], [4, 4, 4])
+        assert fit.slope == pytest.approx(0.0)
+        assert fit.r2 == pytest.approx(1.0)
+
+    def test_single_point_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1.0], [2.0])
+
+    def test_constant_x_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 1, 1], [1, 2, 3])
+
+    def test_shape_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            linear_fit([1, 2], [1, 2, 3])
+
+
+class TestPearson:
+    def test_perfect_anticorrelation(self):
+        assert pearson_r2([1, 2, 3], [3, 2, 1]) == pytest.approx(1.0)
+
+    def test_uncorrelated_low(self):
+        rng = np.random.default_rng(3)
+        assert pearson_r2(rng.random(500), rng.random(500)) < 0.05
+
+    def test_constant_series_rejected(self):
+        with pytest.raises(ValueError):
+            pearson_r2([1, 1, 1], [1, 2, 3])
+
+    def test_matches_linear_fit_r2(self):
+        rng = np.random.default_rng(7)
+        x = np.linspace(0, 1, 30)
+        y = x * 0.7 + rng.normal(0, 0.1, 30)
+        assert pearson_r2(x, y) == pytest.approx(linear_fit(x, y).r2, rel=1e-9)
+
+
+class TestErrors:
+    def test_relative_error(self):
+        assert relative_error(11.0, 10.0) == pytest.approx(0.1)
+        assert relative_error(9.0, 10.0) == pytest.approx(0.1)
+
+    def test_percent_error(self):
+        assert percent_error(11.0, 10.0) == pytest.approx(10.0)
+
+    def test_zero_measured_rejected(self):
+        with pytest.raises(ValueError):
+            relative_error(1.0, 0.0)
+
+    def test_summary(self):
+        summary = summarize_errors([1.0, 2.0, 3.0])
+        assert summary.mean == pytest.approx(2.0)
+        assert summary.std == pytest.approx(np.std([1, 2, 3]))
+        assert summary.count == 3
+        assert summary.max == pytest.approx(3.0)
+
+    def test_summary_str(self):
+        text = str(ErrorSummary(mean=1.5, std=0.5, count=4, max=2.0))
+        assert "1.5%" in text and "n=4" in text
+
+    def test_empty_sample_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_errors([])

@@ -1,0 +1,32 @@
+"""Unit-conversion helpers."""
+
+import pytest
+
+from repro.util import units
+
+
+def test_ghz_roundtrip():
+    assert units.ghz_to_hz(1.4) == pytest.approx(1.4e9)
+    assert units.hz_to_ghz(units.ghz_to_hz(2.1)) == pytest.approx(2.1)
+
+
+def test_mbps_to_bytes():
+    # 100 Mbps NIC moves 12.5 MB/s.
+    assert units.mbps_to_bytes_per_s(100.0) == pytest.approx(12.5e6)
+    assert units.mbps_to_bytes_per_s(1000.0) == pytest.approx(125e6)
+
+
+def test_gbps_constant_consistent():
+    assert units.GBPS == pytest.approx(units.mbps_to_bytes_per_s(1000.0))
+
+
+def test_time_conversions():
+    assert units.seconds_to_ms(0.25) == pytest.approx(250.0)
+    assert units.ms_to_seconds(250.0) == pytest.approx(0.25)
+    assert units.ms_to_seconds(units.seconds_to_ms(1.23)) == pytest.approx(1.23)
+
+
+def test_byte_multiples():
+    assert units.KIB == 1024
+    assert units.MIB == 1024**2
+    assert units.GIB == 1024**3

@@ -1,0 +1,85 @@
+"""Model-vs-testbed validation: the Tables 3-4 machinery.
+
+These are the library's most important correctness checks: the analytic
+model must track the (noisy, richer) simulator within paper-like error
+bands.  We run reduced problem sizes to keep the suite fast; the full
+Table 3/4 reproduction lives in benchmarks/.
+"""
+
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.simulator.noise import NOISELESS
+from repro.validation.harness import validate_cluster, validate_single_node
+from repro.workloads.suite import EP, MEMCACHED, X264
+
+
+class TestSingleNode:
+    def test_noiseless_validation_nearly_exact(self):
+        """With noise off, model vs simulator differs only by structural
+        effects (phase-max vs max-of-sums, linear SPI_mem fit)."""
+        report = validate_single_node(
+            ARM_CORTEX_A9, EP, units=1e6, noise=NOISELESS, seed=0, repetitions=1
+        )
+        assert report.time_errors.mean < 1.0
+        # The residual is structural: Eq. 18 charges memory for the whole
+        # memory response time, the simulator only for miss service.
+        assert report.energy_errors.mean < 4.0
+
+    @pytest.mark.parametrize("workload", [EP, MEMCACHED, X264], ids=lambda w: w.name)
+    @pytest.mark.parametrize("node", [ARM_CORTEX_A9, AMD_K10], ids=lambda n: n.name)
+    def test_noisy_validation_within_paper_band(self, workload, node):
+        """Table 3's bound: model error under 15%."""
+        units = workload.default_job_units
+        report = validate_single_node(
+            node, workload, units=units, seed=42, repetitions=2
+        )
+        assert report.time_errors.mean < 15.0, report.time_errors
+        assert report.energy_errors.mean < 15.0, report.energy_errors
+
+    def test_errors_nontrivial_with_noise(self):
+        """The validation must not be a tautology: noise makes errors > 0."""
+        report = validate_single_node(
+            ARM_CORTEX_A9, EP, units=1e6, seed=3, repetitions=2
+        )
+        assert report.time_errors.mean > 0.1
+
+    def test_covers_all_settings(self):
+        report = validate_single_node(
+            ARM_CORTEX_A9, EP, units=1e5, seed=0, repetitions=1
+        )
+        # 4 cores x 5 pstates x 1 repetition.
+        assert len(report.records) == 20
+
+    def test_reproducible(self):
+        a = validate_single_node(ARM_CORTEX_A9, EP, units=1e5, seed=9, repetitions=1)
+        b = validate_single_node(ARM_CORTEX_A9, EP, units=1e5, seed=9, repetitions=1)
+        assert a.time_errors.mean == b.time_errors.mean
+
+
+class TestCluster:
+    def test_paper_composition_8arm_1amd(self):
+        report = validate_cluster(
+            ARM_CORTEX_A9, 8, AMD_K10, 1, EP, units=5e6, seed=0
+        )
+        assert report.n_a == 8 and report.n_b == 1
+        assert report.time_error_pct < 15.0
+        assert report.energy_error_pct < 15.0
+
+    def test_arm_only_cluster(self):
+        report = validate_cluster(
+            ARM_CORTEX_A9, 8, AMD_K10, 0, MEMCACHED, units=50_000, seed=1
+        )
+        assert report.time_error_pct < 15.0
+        assert report.energy_error_pct < 15.0
+
+    def test_noiseless_cluster_nearly_exact(self):
+        report = validate_cluster(
+            ARM_CORTEX_A9, 4, AMD_K10, 1, EP, units=1e6, noise=NOISELESS, seed=0
+        )
+        assert report.time_error_pct < 1.0
+        assert report.energy_error_pct < 4.0
+
+    def test_empty_cluster_rejected(self):
+        with pytest.raises(ValueError):
+            validate_cluster(ARM_CORTEX_A9, 0, AMD_K10, 0, EP)

@@ -1,0 +1,48 @@
+"""Validation record arithmetic."""
+
+import pytest
+
+from repro.validation.metrics import ValidationRecord, aggregate_records
+
+
+def _record(pt=1.1, mt=1.0, pe=22.0, me=20.0):
+    return ValidationRecord(
+        workload="ep",
+        node="arm",
+        setting="c=4 f=1.4",
+        predicted_time_s=pt,
+        measured_time_s=mt,
+        predicted_energy_j=pe,
+        measured_energy_j=me,
+    )
+
+
+class TestRecord:
+    def test_time_error_pct(self):
+        assert _record().time_error_pct == pytest.approx(10.0)
+
+    def test_energy_error_pct(self):
+        assert _record().energy_error_pct == pytest.approx(10.0)
+
+    def test_underprediction_also_positive(self):
+        record = _record(pt=0.9)
+        assert record.time_error_pct == pytest.approx(10.0)
+
+    def test_non_positive_values_rejected(self):
+        with pytest.raises(ValueError):
+            _record(mt=0.0)
+        with pytest.raises(ValueError):
+            _record(pe=-1.0)
+
+
+class TestAggregate:
+    def test_summaries(self):
+        records = [_record(pt=1.1), _record(pt=1.2), _record(pt=1.3)]
+        time_summary, energy_summary = aggregate_records(records)
+        assert time_summary.mean == pytest.approx(20.0)
+        assert time_summary.count == 3
+        assert energy_summary.mean == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            aggregate_records([])

@@ -1,0 +1,59 @@
+"""Validation sweeps: error scaling with noise and problem size."""
+
+import pytest
+
+from repro.hardware.catalog import ARM_CORTEX_A9
+from repro.validation.sweeps import noise_sweep, problem_size_sweep
+from repro.workloads.suite import EP
+
+
+class TestNoiseSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return noise_sweep(
+            ARM_CORTEX_A9, EP, scales=(0.0, 0.5, 1.0, 2.0), seed=3
+        )
+
+    def test_zero_noise_hits_structural_floor(self, points):
+        zero = points[0]
+        assert zero.x == 0.0
+        assert zero.time_error_pct < 0.5
+        assert zero.energy_error_pct < 1.0
+
+    def test_error_grows_with_noise(self, points):
+        times = [p.time_error_pct for p in points]
+        energies = [p.energy_error_pct for p in points]
+        assert times[-1] > 2 * times[1]
+        assert energies[-1] > 2 * energies[1]
+
+    def test_monotone_trend(self, points):
+        times = [p.time_error_pct for p in points]
+        # Allow small non-monotonic wiggles from finite repetitions.
+        assert times[0] < times[2] < times[3] * 1.5
+
+    def test_empty_scales_rejected(self):
+        with pytest.raises(ValueError):
+            noise_sweep(ARM_CORTEX_A9, EP, scales=())
+
+
+class TestProblemSizeSweep:
+    def test_error_plateaus_not_vanishes(self):
+        """Tiny runs are startup-dominated; long runs plateau at the
+        run-systematic noise floor instead of averaging to zero."""
+        points = problem_size_sweep(
+            ARM_CORTEX_A9, EP, sizes=(1e4, 1e6, 1e8), seed=5
+        )
+        tiny, mid, large = points
+        # A 1e4-unit EP run lasts under a millisecond: the fixed startup
+        # overhead swamps it (the reason the paper uses large inputs).
+        assert tiny.time_error_pct > 2 * mid.time_error_pct
+        # 100x more work changes the error by almost nothing: systematic
+        # factors, unlike per-phase noise, do not average out.
+        assert large.time_error_pct == pytest.approx(
+            mid.time_error_pct, rel=0.25
+        )
+        assert large.time_error_pct > 0.5  # never averages to zero
+
+    def test_empty_sizes_rejected(self):
+        with pytest.raises(ValueError):
+            problem_size_sweep(ARM_CORTEX_A9, EP, sizes=())

@@ -1,0 +1,116 @@
+"""Workload descriptors: validation, derived quantities, scaling."""
+
+import math
+
+import pytest
+
+from repro.workloads.base import Bottleneck, ISAProfile, WorkloadSpec
+
+
+def _profile(**overrides):
+    kwargs = dict(
+        instructions_per_unit=1000.0,
+        wpi=0.8,
+        spi_core=0.5,
+        llc_misses_per_instr=1e-3,
+        cpu_utilization=1.0,
+    )
+    kwargs.update(overrides)
+    return ISAProfile(**kwargs)
+
+
+class TestISAProfile:
+    def test_spi_mem_is_latency_times_frequency(self):
+        profile = _profile(llc_misses_per_instr=0.002)
+        # 100 ns at 1 GHz = 100 cycles; 0.002 misses/instr -> 0.2 SPI_mem.
+        assert profile.spi_mem(100.0, 1.0) == pytest.approx(0.2)
+
+    def test_spi_mem_linear_in_frequency(self):
+        profile = _profile()
+        assert profile.spi_mem(100.0, 2.0) == pytest.approx(
+            2.0 * profile.spi_mem(100.0, 1.0)
+        )
+
+    def test_cycles_per_unit_core(self):
+        profile = _profile(wpi=0.8, spi_core=0.5)
+        assert profile.cycles_per_unit_core() == pytest.approx(1000.0 * 1.3)
+
+    @pytest.mark.parametrize(
+        "field,value",
+        [
+            ("instructions_per_unit", 0.0),
+            ("wpi", 0.0),
+            ("spi_core", -0.1),
+            ("llc_misses_per_instr", -1e-3),
+            ("cpu_utilization", 0.0),
+            ("cpu_utilization", 1.5),
+        ],
+    )
+    def test_invalid_fields_rejected(self, field, value):
+        with pytest.raises(ValueError):
+            _profile(**{field: value})
+
+    def test_spi_mem_invalid_inputs(self):
+        with pytest.raises(ValueError):
+            _profile().spi_mem(-1.0, 1.0)
+        with pytest.raises(ValueError):
+            _profile().spi_mem(100.0, 0.0)
+
+
+def _workload(**overrides):
+    kwargs = dict(
+        name="wl",
+        domain="test",
+        unit_name="unit",
+        bottleneck=Bottleneck.CPU,
+        profiles={"node-x": _profile()},
+        io_bytes_per_unit=10.0,
+        default_job_units=1e6,
+    )
+    kwargs.update(overrides)
+    return WorkloadSpec(**kwargs)
+
+
+class TestWorkloadSpec:
+    def test_profile_lookup(self):
+        w = _workload()
+        assert w.profile_for("node-x").instructions_per_unit == 1000.0
+
+    def test_missing_profile_helpful_error(self):
+        with pytest.raises(KeyError, match="available"):
+            _workload().profile_for("node-y")
+
+    def test_supports(self):
+        w = _workload()
+        assert w.supports("node-x")
+        assert not w.supports("node-y")
+
+    def test_scaled_copies_and_changes_units(self):
+        w = _workload()
+        bigger = w.scaled("wl-big", 5e6)
+        assert bigger.default_job_units == 5e6
+        assert bigger.name == "wl-big"
+        assert bigger.profiles == w.profiles
+        assert w.default_job_units == 1e6  # original untouched
+
+    def test_size_names_order(self):
+        w = _workload(problem_sizes={"A": 1.0, "B": 2.0})
+        assert w.size_names() == ("A", "B")
+
+    def test_invalid_specs_rejected(self):
+        with pytest.raises(ValueError):
+            _workload(profiles={})
+        with pytest.raises(ValueError):
+            _workload(io_bytes_per_unit=-1.0)
+        with pytest.raises(ValueError):
+            _workload(io_job_arrival_rate=0.0)
+        with pytest.raises(ValueError):
+            _workload(default_job_units=0.0)
+        with pytest.raises(ValueError):
+            _workload(problem_sizes={"A": -1.0})
+        with pytest.raises(ValueError):
+            _workload(problem_sizes={"A": math.inf})
+
+    def test_str_mentions_name_and_bottleneck(self):
+        text = str(_workload())
+        assert "wl" in text and "cpu" in text

@@ -1,0 +1,55 @@
+"""Synthetic workload generator (the property-test fuel)."""
+
+import numpy as np
+import pytest
+
+from repro.workloads.base import Bottleneck
+from repro.workloads.generator import random_profile, random_workload
+
+
+class TestRandomProfile:
+    def test_deterministic_under_seed(self):
+        a = random_profile(seed=5)
+        b = random_profile(seed=5)
+        assert a == b
+
+    def test_always_valid(self):
+        # Construction itself validates; draw many.
+        rng = np.random.default_rng(0)
+        for _ in range(200):
+            profile = random_profile(rng)
+            assert profile.instructions_per_unit > 0
+            assert 0 < profile.cpu_utilization <= 1
+
+
+class TestRandomWorkload:
+    def test_profiles_for_requested_nodes(self):
+        w = random_workload(("a", "b", "c"), seed=1)
+        assert set(w.profiles) == {"a", "b", "c"}
+
+    def test_deterministic_under_seed(self):
+        a = random_workload(seed=9)
+        b = random_workload(seed=9)
+        assert a.name == b.name
+        assert a.profiles == b.profiles
+        assert a.io_bytes_per_unit == b.io_bytes_per_unit
+
+    def test_forced_bottleneck_label(self):
+        w = random_workload(seed=2, bottleneck=Bottleneck.IO)
+        assert w.bottleneck is Bottleneck.IO
+        assert w.io_bytes_per_unit > 0
+
+    def test_no_nodes_rejected(self):
+        with pytest.raises(ValueError):
+            random_workload((), seed=0)
+
+    def test_many_draws_all_valid(self):
+        rng = np.random.default_rng(7)
+        seen_arrival = False
+        for _ in range(100):
+            w = random_workload(seed=rng)
+            assert w.default_job_units > 0
+            if w.io_job_arrival_rate is not None:
+                seen_arrival = True
+                assert w.io_job_arrival_rate > 0
+        assert seen_arrival, "arrival-bound workloads should occur sometimes"

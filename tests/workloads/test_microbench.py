@@ -1,0 +1,42 @@
+"""Power-characterization micro-benchmarks."""
+
+import pytest
+
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.microbench import MICROBENCHES, cpu_max_microbench, stall_microbench
+
+
+class TestCpuMax:
+    @pytest.mark.parametrize("node", (ARM_CORTEX_A9, AMD_K10), ids=lambda n: n.name)
+    def test_pure_work_cycles(self, node):
+        bench = cpu_max_microbench(node)
+        profile = bench.profile_for(node.name)
+        assert profile.wpi == 1.0
+        assert profile.spi_core == 0.0
+        assert profile.llc_misses_per_instr == 0.0
+
+    def test_no_io(self):
+        assert cpu_max_microbench(ARM_CORTEX_A9).io_bytes_per_unit == 0.0
+
+
+class TestStall:
+    @pytest.mark.parametrize("node", (ARM_CORTEX_A9, AMD_K10), ids=lambda n: n.name)
+    def test_memory_dominates_at_every_pstate(self, node):
+        """Stall kernel must be memory-bound at any catalog frequency."""
+        bench = stall_microbench(node)
+        profile = bench.profile_for(node.name)
+        for f in node.cores.pstates_ghz:
+            for cores in (1, node.cores.count):
+                lat = node.memory.latency_ns(cores)
+                spi_mem = profile.spi_mem(lat, f)
+                assert spi_mem > 3 * profile.wpi, (f, cores)
+
+    def test_named_after_node(self):
+        assert ARM_CORTEX_A9.name in stall_microbench(ARM_CORTEX_A9).name
+
+
+def test_microbenches_mapping():
+    benches = MICROBENCHES(AMD_K10)
+    assert set(benches) == {"cpu_max", "stall"}
+    for bench in benches.values():
+        assert bench.supports(AMD_K10.name)

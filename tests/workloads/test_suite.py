@@ -1,0 +1,146 @@
+"""The six paper workloads: coverage, calibration anchors, Table 5 ordering."""
+
+import pytest
+
+from repro.core.analysis import performance_to_power
+from repro.core.calibration import ground_truth_params
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.base import Bottleneck
+from repro.workloads.suite import (
+    BLACKSCHOLES,
+    EP,
+    JULIUS,
+    MEMCACHED,
+    PAPER_WORKLOADS,
+    RSA2048,
+    X264,
+    workload_by_name,
+)
+
+#: Paper Table 5 values, used as calibration anchors.
+TABLE5_TARGETS = {
+    "ep": {"amd-k10": 1_414_922, "arm-cortex-a9": 6_048_057},
+    "memcached": {"amd-k10": 2_628, "arm-cortex-a9": 5_220},
+    "x264": {"amd-k10": 1.0, "arm-cortex-a9": 0.7},
+    "blackscholes": {"amd-k10": 2_902, "arm-cortex-a9": 11_413},
+    "julius": {"amd-k10": 21_390, "arm-cortex-a9": 69_654},
+    "rsa-2048": {"amd-k10": 9_346, "arm-cortex-a9": 6_877},
+}
+
+
+class TestSuiteShape:
+    def test_six_workloads_in_table3_order(self):
+        assert [w.name for w in PAPER_WORKLOADS] == [
+            "ep",
+            "memcached",
+            "x264",
+            "blackscholes",
+            "julius",
+            "rsa-2048",
+        ]
+
+    def test_every_workload_supports_both_nodes(self):
+        for w in PAPER_WORKLOADS:
+            assert w.supports(ARM_CORTEX_A9.name)
+            assert w.supports(AMD_K10.name)
+
+    def test_bottleneck_labels_match_table3(self):
+        assert EP.bottleneck is Bottleneck.CPU
+        assert MEMCACHED.bottleneck is Bottleneck.IO
+        assert X264.bottleneck is Bottleneck.MEMORY
+        assert BLACKSCHOLES.bottleneck is Bottleneck.CPU
+        assert JULIUS.bottleneck is Bottleneck.CPU
+        assert RSA2048.bottleneck is Bottleneck.CPU
+
+    def test_table3_problem_sizes(self):
+        assert EP.problem_sizes["table3"] == 2.0**31
+        assert MEMCACHED.problem_sizes["table3"] == 600_000
+        assert X264.problem_sizes["table3"] == 600
+        assert BLACKSCHOLES.problem_sizes["table3"] == 500_000
+        assert JULIUS.problem_sizes["table3"] == 2_310_559
+        assert RSA2048.problem_sizes["table3"] == 5_000
+
+    def test_ep_has_npb_classes(self):
+        assert {"A", "B", "C"} <= set(EP.problem_sizes)
+        assert EP.problem_sizes["A"] < EP.problem_sizes["B"] < EP.problem_sizes["C"]
+
+    def test_lookup_by_name(self):
+        assert workload_by_name("ep") is EP
+        with pytest.raises(KeyError, match="available"):
+            workload_by_name("redis")
+
+    def test_analysis_job_sizes(self):
+        # Section IV uses 50M random numbers and 50k requests per job.
+        assert EP.problem_sizes["analysis"] == 50e6
+        assert MEMCACHED.problem_sizes["analysis"] == 50_000
+
+
+class TestTable5Calibration:
+    """PPR at the most efficient setting must land on the paper's Table 5."""
+
+    @pytest.mark.parametrize("workload", PAPER_WORKLOADS, ids=lambda w: w.name)
+    @pytest.mark.parametrize("node", (AMD_K10, ARM_CORTEX_A9), ids=lambda n: n.name)
+    def test_ppr_matches_paper(self, workload, node):
+        params = ground_truth_params(node, workload)
+        ppr = performance_to_power(node, params)
+        target = TABLE5_TARGETS[workload.name][node.name]
+        assert ppr == pytest.approx(target, rel=0.05)
+
+    def test_arm_wins_except_rsa_and_x264(self):
+        for w in PAPER_WORKLOADS:
+            arm = performance_to_power(
+                ARM_CORTEX_A9, ground_truth_params(ARM_CORTEX_A9, w)
+            )
+            amd = performance_to_power(AMD_K10, ground_truth_params(AMD_K10, w))
+            if w.name in ("rsa-2048", "x264"):
+                assert amd > arm, f"paper says AMD wins {w.name}"
+            else:
+                assert arm > amd, f"paper says ARM wins {w.name}"
+
+
+class TestServiceDemandStructure:
+    def test_rsa_arm_instruction_penalty(self):
+        """No crypto extensions on Cortex-A9: far more instructions/verify."""
+        arm = RSA2048.profile_for(ARM_CORTEX_A9.name)
+        amd = RSA2048.profile_for(AMD_K10.name)
+        assert arm.instructions_per_unit / amd.instructions_per_unit > 5
+
+    def test_memcached_partial_utilization(self):
+        for node in (ARM_CORTEX_A9.name, AMD_K10.name):
+            assert MEMCACHED.profile_for(node).cpu_utilization < 1.0
+
+    def test_x264_is_memory_bound_on_both_nodes(self):
+        """SPI_mem must exceed SPI_core at fmax and full cores."""
+        for node in (ARM_CORTEX_A9, AMD_K10):
+            profile = X264.profile_for(node.name)
+            lat = node.memory.latency_ns(node.cores.count)
+            spi_mem = profile.spi_mem(lat, node.cores.fmax_ghz)
+            assert spi_mem > profile.spi_core
+
+    def test_cpu_workloads_are_not_memory_bound(self):
+        for w in (EP, BLACKSCHOLES, JULIUS, RSA2048):
+            for node in (ARM_CORTEX_A9, AMD_K10):
+                profile = w.profile_for(node.name)
+                lat = node.memory.latency_ns(node.cores.count)
+                spi_mem = profile.spi_mem(lat, node.cores.fmax_ghz)
+                assert spi_mem < profile.spi_core, (w.name, node.name)
+
+    def test_memcached_io_bound_on_arm_at_fmax(self):
+        """CPU service rate must exceed the NIC rate (the I/O bottleneck)."""
+        node = ARM_CORTEX_A9
+        profile = MEMCACHED.profile_for(node.name)
+        c_act = profile.cpu_utilization * node.cores.count
+        cpu_rate = (
+            c_act
+            * node.cores.fmax_ghz
+            * 1e9
+            / (profile.instructions_per_unit * (profile.wpi + profile.spi_core))
+        )
+        io_rate = node.io.bandwidth_bytes_per_s / MEMCACHED.io_bytes_per_unit
+        assert cpu_rate > io_rate
+
+    def test_wpi_magnitudes_match_fig2(self):
+        """AMD around 0.6, ARM around 0.9 (Fig. 2's y-range)."""
+        for w in PAPER_WORKLOADS:
+            assert 0.5 <= w.profile_for(AMD_K10.name).wpi <= 0.8
+            assert 0.8 <= w.profile_for(ARM_CORTEX_A9.name).wpi <= 1.0
