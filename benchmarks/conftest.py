@@ -22,6 +22,19 @@ def results_dir() -> Path:
     return RESULTS_DIR
 
 
+@pytest.fixture(scope="session")
+def engine_ctx():
+    """One engine context shared by the whole benchmark session.
+
+    Benchmarks that thread this through the figure builders share its
+    content-addressed cache, so a calibration or configuration space
+    needed by several artifacts is computed once per session.
+    """
+    from repro.engine import RunContext
+
+    return RunContext(seed=0)
+
+
 def export_series(results_dir: Path, name: str, series_map) -> Path:
     """Write a {label: FigureSeries} mapping to results/<name>.csv."""
     from repro.reporting.export import write_csv

@@ -1,0 +1,50 @@
+"""Engine cache: a warm Fig. 4 scenario must beat the cold run outright.
+
+The acceptance property of the experiment engine: running the same
+declarative scenario twice on one context performs calibration and the
+36,380-configuration space evaluation exactly once -- the second run is
+a pure cache hit, orders of magnitude faster, and bit-identical.
+"""
+
+import time
+
+import numpy as np
+
+from repro.engine import RunContext, Scenario, run_scenario
+
+FIG4_SCENARIO = Scenario(
+    workload="ep",
+    max_a=10,
+    max_b=10,
+    stages=("frontier", "regions"),
+    seed=0,
+    name="fig4-ep",
+)
+
+
+def test_engine_cache_warm_vs_cold(benchmark, results_dir):
+    ctx = RunContext(seed=0)
+
+    start = time.perf_counter()
+    cold = run_scenario(FIG4_SCENARIO, ctx)
+    cold_s = time.perf_counter() - start
+
+    warm = benchmark.pedantic(
+        run_scenario, args=(FIG4_SCENARIO, ctx), rounds=5, iterations=1
+    )
+
+    # The warm run is a pure cache hit: nothing recomputed, ...
+    assert warm.cache_stats["misses"] == cold.cache_stats["misses"]
+    assert warm.cache_stats["hits"] > cold.cache_stats["hits"]
+
+    # ... bit-identical, ...
+    assert len(warm.space) == len(cold.space) == 36_380
+    np.testing.assert_array_equal(warm.space.times_s, cold.space.times_s)
+    np.testing.assert_array_equal(warm.space.energies_j, cold.space.energies_j)
+    assert list(warm.frontier.indices) == list(cold.frontier.indices)
+
+    # ... and measurably faster than the cold run.
+    start = time.perf_counter()
+    run_scenario(FIG4_SCENARIO, ctx)
+    warm_s = time.perf_counter() - start
+    assert warm_s < cold_s / 2, f"warm {warm_s:.4f}s vs cold {cold_s:.4f}s"

@@ -6,17 +6,19 @@ homogeneous extremes; and -- because EP is compute-bound -- an ARM-only
 overlap region extending the frontier with a material energy drop.
 """
 
-import numpy as np
-from conftest import RESULTS_DIR
 
 from repro.reporting.export import write_csv
 from repro.reporting.figures import build_fig4_fig5
 from repro.workloads.suite import EP
 
 
-def test_fig4_pareto_ep(benchmark, results_dir):
+def test_fig4_pareto_ep(benchmark, results_dir, engine_ctx):
     fig = benchmark.pedantic(
-        build_fig4_fig5, args=(EP,), kwargs={"seed": 0}, rounds=3, iterations=1
+        build_fig4_fig5,
+        args=(EP,),
+        kwargs={"seed": 0, "ctx": engine_ctx},
+        rounds=3,
+        iterations=1,
     )
     write_csv(
         results_dir / "fig4.csv",

@@ -6,16 +6,19 @@ time for energy and the frontier ends where the low-power configurations
 start; homogeneous energy is flat as the deadline relaxes.
 """
 
-from conftest import RESULTS_DIR
 
 from repro.reporting.export import write_csv
 from repro.reporting.figures import build_fig4_fig5
 from repro.workloads.suite import MEMCACHED
 
 
-def test_fig5_pareto_memcached(benchmark, results_dir):
+def test_fig5_pareto_memcached(benchmark, results_dir, engine_ctx):
     fig = benchmark.pedantic(
-        build_fig4_fig5, args=(MEMCACHED,), kwargs={"seed": 0}, rounds=3, iterations=1
+        build_fig4_fig5,
+        args=(MEMCACHED,),
+        kwargs={"seed": 0, "ctx": engine_ctx},
+        rounds=3,
+        iterations=1,
     )
     write_csv(
         results_dir / "fig5.csv",

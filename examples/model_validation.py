@@ -1,29 +1,37 @@
 #!/usr/bin/env python
 """The trace-driven workflow end-to-end, against the simulated testbed.
 
-This mirrors Sections II-D and III of the paper:
+This mirrors Sections II-D and III of the paper, running through the
+experiment engine's :class:`RunContext` (cached calibrations, pooled
+replication fan-out):
 
 1. characterize one workload on each node type with the perf-style
    counters (checking WPI/SPI_core scale-constancy, Fig. 2, and the
    SPI_mem-vs-frequency linearity, Fig. 3);
-2. characterize power with the meter and micro-benchmarks;
+2. characterize power with the meter and micro-benchmarks -- each
+   (node, workload) campaign is content-addressed in the context cache,
+   so asking again is free;
 3. predict execution time and energy at full problem size;
-4. measure the same runs and report the validation error (Table 3 style).
+4. measure the same runs and report the validation error (Table 3 style),
+   plus a noise sweep fanned across the engine's process pool.
 
 Run:  python examples/model_validation.py [workload]
 """
 
 import sys
 
-from repro.core.calibration import calibrate_node, measure_scale_constancy
+from repro.core.calibration import measure_scale_constancy
+from repro.engine import RunContext
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
 from repro.reporting.tables import Table
 from repro.validation.harness import validate_single_node
+from repro.validation.sweeps import noise_sweep
 from repro.workloads.suite import EP, workload_by_name
 
 
 def main() -> None:
     workload = workload_by_name(sys.argv[1]) if len(sys.argv) > 1 else EP
+    ctx = RunContext(seed=0)
     print(f"workload: {workload}\n")
 
     # --- Fig. 2: scale constancy of WPI / SPI_core ----------------------
@@ -48,8 +56,11 @@ def main() -> None:
     print(table.render(), "\n")
 
     # --- Calibration with diagnostics (incl. Fig. 3's r^2) --------------
+    # ctx.params memoizes on content: calibrating the same (node,
+    # workload, seed) pair twice anywhere in this process runs the
+    # campaign once.
     for node in (AMD_K10, ARM_CORTEX_A9):
-        params = calibrate_node(node, workload, seed=1)
+        params = ctx.params(node, workload, calibrated=True, seed=1)
         print(
             f"{node.name}: IPs={params.instructions_per_unit:,.0f}  "
             f"WPI={params.wpi:.3f}  SPI_core={params.spi_core:.3f}  "
@@ -57,7 +68,8 @@ def main() -> None:
             f"SPI_mem worst r^2={params.diagnostics['spimem_worst_r2']:.3f}  "
             f"P_idle={params.p_idle_w:.2f} W"
         )
-    print()
+    stats = ctx.cache.stats
+    print(f"(engine cache: {stats.misses} calibrations run, {stats.hits} hits)\n")
 
     # --- Table 3 style validation ---------------------------------------
     table = Table(
@@ -68,7 +80,24 @@ def main() -> None:
         report = validate_single_node(node, workload, seed=2, repetitions=3)
         table.add_row([node.name, str(report.time_errors), str(report.energy_errors)])
     print(table.render())
-    print("\n(the paper's model stays under 15% error; so must ours)")
+    print("\n(the paper's model stays under 15% error; so must ours)\n")
+
+    # --- Noise sweep, replications fanned across the process pool -------
+    points = noise_sweep(
+        ARM_CORTEX_A9,
+        workload,
+        scales=(0.0, 0.5, 1.0, 2.0),
+        repetitions=2,
+        map_fn=ctx.map,
+    )
+    table = Table(
+        ["noise scale", "time err%", "energy err%"],
+        title="validation error vs testbed noise (engine-parallel sweep)",
+    )
+    for p in points:
+        table.add_row([f"{p.x:.1f}x", f"{p.time_error_pct:.1f}", f"{p.energy_error_pct:.1f}"])
+    print(table.render())
+    print("\n(errors extrapolate to the structural floor at zero noise)")
 
 
 if __name__ == "__main__":

@@ -1,49 +1,51 @@
 #!/usr/bin/env python
-"""Quickstart: the paper's question in ~40 lines.
+"""Quickstart: the paper's question in ~40 lines, via the experiment engine.
 
 "My datacenter runs memcached jobs of 50,000 requests.  I own up to 10
 low-power ARM nodes and 10 high-performance AMD nodes.  What is the
 cheapest cluster configuration that answers a job within 150 ms, and how
 should the work be split?"
 
+The whole pipeline -- model inputs, configuration-space evaluation,
+Pareto frontier -- is one declarative :class:`Scenario` run through the
+engine; re-running the same scenario in this process would be a pure
+cache hit.
+
 Run:  python examples/quickstart.py
 """
 
-from repro import (
-    AMD_K10,
-    ARM_CORTEX_A9,
-    ParetoFrontier,
-    evaluate_space,
-    ground_truth_params,
-)
-from repro.workloads.suite import MEMCACHED
+from repro import Scenario, run_scenario
 
 DEADLINE_S = 0.150
 JOB_REQUESTS = 50_000.0
 
 
 def main() -> None:
-    # 1. Model inputs for each node type (trace-driven in the paper; the
-    #    catalog ground truth here -- see examples/model_validation.py for
-    #    the calibrated route).
-    params = {
-        node.name: ground_truth_params(node, MEMCACHED)
-        for node in (ARM_CORTEX_A9, AMD_K10)
-    }
+    # 1. Declare the experiment: workload, hardware bounds, job size,
+    #    analysis stages, seed.  (Scenario.to_json() round-trips this to
+    #    a file runnable with `python -m repro scenario --file ...`.)
+    scenario = Scenario(
+        workload="memcached",
+        max_a=10,            # up to 10 ARM Cortex-A9 nodes
+        max_b=10,            # up to 10 AMD Opteron K10 nodes
+        units=JOB_REQUESTS,
+        stages=("frontier",),
+        seed=0,
+    )
 
-    # 2. Evaluate every configuration (node counts x cores x frequency),
-    #    with the job mix-and-match split inside each one.
-    space = evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, params, JOB_REQUESTS)
+    # 2. Run it: ground-truth model inputs, every configuration
+    #    (node counts x cores x frequency) with the mix-and-match split
+    #    inside each, then the energy-deadline Pareto frontier.
+    result = run_scenario(scenario)
+    space, frontier = result.space, result.frontier
     print(f"evaluated {len(space):,} configurations")
-
-    # 3. Pareto frontier and the deadline query.
-    frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
     print(
         f"frontier: {len(frontier)} points, fastest deadline "
         f"{frontier.fastest_time_s * 1e3:.1f} ms, global minimum "
         f"{frontier.min_energy_j:.2f} J"
     )
 
+    # 3. The deadline query.
     index = frontier.config_index_for_deadline(DEADLINE_S)
     if index is None:
         print(f"no configuration meets {DEADLINE_S * 1e3:.0f} ms")
@@ -61,9 +63,11 @@ def main() -> None:
     print(f"  job energy: {point.energy_j:.2f} J")
 
     # 4. What would homogeneous clusters pay for the same deadline?
-    for label, mask in (("ARM-only", space.is_only_a), ("AMD-only", space.is_only_b)):
-        subset = space.subset(mask)
-        homog = ParetoFrontier.from_points(subset.times_s, subset.energies_j)
+    #    The runner already derived both homogeneous frontiers.
+    for label, homog in (
+        ("ARM-only", result.only_a_frontier),
+        ("AMD-only", result.only_b_frontier),
+    ):
         energy = homog.min_energy_for_deadline(DEADLINE_S)
         if energy is None:
             print(f"  {label:8s}: cannot meet the deadline")

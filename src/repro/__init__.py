@@ -38,6 +38,11 @@ Subpackages
     Tables 3-4 model-vs-testbed validation harness.
 ``repro.reporting``
     Builders for every table and figure, text rendering, CSV export.
+``repro.engine``
+    The experiment engine: declarative :class:`Scenario` descriptions,
+    a :class:`RunContext` with content-addressed caching and a process
+    pool, and :func:`run_scenario` gluing calibration -> configuration
+    space -> analyses together.
 """
 
 from repro import quick
@@ -48,6 +53,14 @@ from repro.core.pareto import ParetoFrontier
 from repro.core.params import NodeModelParams
 from repro.core.timemodel import predict_node_time
 from repro.core.energymodel import predict_node_energy
+from repro.engine import (
+    ResultCache,
+    RunContext,
+    Scenario,
+    ScenarioResult,
+    default_context,
+    run_scenario,
+)
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
 from repro.workloads.suite import PAPER_WORKLOADS, workload_by_name
 
@@ -63,6 +76,12 @@ __all__ = [
     "match_split",
     "ParetoFrontier",
     "NodeModelParams",
+    "ResultCache",
+    "RunContext",
+    "Scenario",
+    "ScenarioResult",
+    "default_context",
+    "run_scenario",
     "predict_node_time",
     "predict_node_energy",
     "AMD_K10",

@@ -6,9 +6,14 @@ Usage::
     python -m repro table5
     python -m repro fig4 --workload ep
     python -m repro fig10 --seed 7 --csv out/fig10.csv
+    python -m repro scenario --file my_experiment.json --verbose
 
 Every subcommand prints a text rendering; ``--csv`` additionally exports
-the underlying data.
+the underlying data.  All figure pipelines run through one
+:class:`repro.engine.RunContext`, so a single invocation that needs the
+same calibration or configuration space twice computes it once;
+``--cache-dir`` adds an on-disk result cache that also warms later
+invocations, and ``--workers`` widens the engine's process pool.
 """
 
 from __future__ import annotations
@@ -18,6 +23,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from repro.engine import ResultCache, RunContext, Scenario, run_scenario
 from repro.reporting.export import write_csv
 from repro.reporting.figures import (
     build_fig2,
@@ -90,11 +96,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             "sensitivity",
             "threeway",
             "report",
+            "scenario",
         ],
         help="paper artifact to regenerate, or an extension analysis "
         "(reduce = configuration-space reduction; sensitivity = parameter "
         "elasticities; threeway = ARM+AMD+Atom k-way matching demo; "
-        "report = full Markdown reproduction report)",
+        "report = full Markdown reproduction report; scenario = run a "
+        "declarative experiment from --file through the engine)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(
@@ -110,11 +118,45 @@ def main(argv: Optional[List[str]] = None) -> int:
         action="store_true",
         help="render an ASCII chart of the artifact (figures only)",
     )
+    parser.add_argument(
+        "--file",
+        type=Path,
+        default=None,
+        help="scenario JSON file (scenario artifact only)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        help="engine process-pool width (default: auto; 1 = serial)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        type=Path,
+        default=None,
+        help="directory for the on-disk result cache "
+        "(e.g. results/.cache; default: in-memory only)",
+    )
+    parser.add_argument(
+        "--verbose",
+        action="store_true",
+        help="print engine progress events (stages, cache hits, timings)",
+    )
     args = parser.parse_args(argv)
 
     out = sys.stdout
     csv_rows = None
     csv_headers = None
+
+    def _sink(event: str, payload: dict) -> None:
+        print(f"[engine] {event}: {payload}", file=sys.stderr)
+
+    ctx = RunContext(
+        seed=args.seed,
+        cache=ResultCache(disk_dir=args.cache_dir) if args.cache_dir else None,
+        sinks=(_sink,) if args.verbose else (),
+        max_workers=args.workers,
+    )
 
     if args.artifact == "table1":
         print(build_table1().render(), file=out)
@@ -153,7 +195,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload = workload_by_name(args.workload) if args.workload else (
             EP if args.artifact == "fig4" else MEMCACHED
         )
-        fig = build_fig4_fig5(workload, seed=args.seed)
+        fig = build_fig4_fig5(workload, seed=args.seed, ctx=ctx)
         table = Table(["quantity", "value"], title=f"Fig {args.artifact[-1]}: {workload.name}")
         table.add_row(["configurations", len(fig.space)])
         table.add_row(["frontier points", len(fig.frontier)])
@@ -185,7 +227,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload = workload_by_name(args.workload) if args.workload else (
             MEMCACHED if args.artifact == "fig6" else EP
         )
-        series = build_fig6_fig7(workload, seed=args.seed)
+        series = build_fig6_fig7(workload, seed=args.seed, ctx=ctx)
         print(
             _series_table(
                 series, f"Fig {args.artifact[-1]}: budget mixes for {workload.name}"
@@ -205,7 +247,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload = workload_by_name(args.workload) if args.workload else (
             MEMCACHED if args.artifact == "fig8" else EP
         )
-        series = build_fig8_fig9(workload, seed=args.seed)
+        series = build_fig8_fig9(workload, seed=args.seed, ctx=ctx)
         print(
             _series_table(
                 series, f"Fig {args.artifact[-1]}: cluster scaling for {workload.name}"
@@ -223,7 +265,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     elif args.artifact == "fig10":
         workload = workload_by_name(args.workload) if args.workload else MEMCACHED
-        per_util = build_fig10(workload, seed=args.seed)
+        per_util = build_fig10(workload, seed=args.seed, ctx=ctx)
         table = Table(
             ["utilization", "points", "response range [ms]", "energy range [J]"],
             title="Fig 10: queueing-aware window energy (16 ARM + 14 AMD)",
@@ -263,6 +305,52 @@ def main(argv: Optional[List[str]] = None) -> int:
             for p in points
         ]
 
+    elif args.artifact == "scenario":
+        if args.file is None:
+            print("scenario requires --file <scenario.json>", file=sys.stderr)
+            return 2
+        scenario = Scenario.from_file(args.file)
+        result = run_scenario(scenario, ctx)
+        table = Table(
+            ["quantity", "value"],
+            title=f"Scenario: {scenario.name or scenario.workload} "
+            f"({scenario.node_a} x{scenario.max_a} + {scenario.node_b} x{scenario.max_b})",
+        )
+        table.add_row(["stages", ", ".join(scenario.stages)])
+        table.add_row(["configurations", f"{len(result.space):,}"])
+        if result.frontier is not None:
+            table.add_row(["frontier points", len(result.frontier)])
+            table.add_row(
+                ["fastest deadline [ms]", f"{seconds_to_ms(result.frontier.fastest_time_s):.1f}"]
+            )
+            table.add_row(["min energy [J]", f"{result.frontier.min_energy_j:.2f}"])
+        if result.regions is not None:
+            table.add_row(["sweet region", "yes" if result.regions.has_sweet_region else "no"])
+            table.add_row(
+                ["overlap region", "yes" if result.regions.has_overlap_region else "no"]
+            )
+        if result.queueing is not None:
+            table.add_row(
+                ["queueing utilizations", ", ".join(f"{u:.0%}" for u in sorted(result.queueing))]
+            )
+        for stage, elapsed in result.timings_s.items():
+            table.add_row([f"{stage} time [ms]", f"{elapsed * 1e3:.1f}"])
+        stats = result.cache_stats
+        table.add_row(
+            ["cache", f"{stats['hits']} hits, {stats['misses']} misses, "
+             f"{stats['disk_hits']} disk hits"]
+        )
+        print(table.render(), file=out)
+        csv_headers = ["time_ms", "energy_j", "n_a", "n_b"]
+        csv_rows = [
+            [
+                seconds_to_ms(result.space.times_s[i]),
+                result.space.energies_j[i],
+                int(result.space.n_a[i]),
+                int(result.space.n_b[i]),
+            ]
+            for i in range(len(result.space))
+        ]
     elif args.artifact == "report":
         from repro.reporting.report import generate_report
 

@@ -19,10 +19,12 @@ import numpy as np
 def pareto_indices(times_s: Sequence[float], energies_j: Sequence[float]) -> np.ndarray:
     """Indices of the Pareto-optimal points, ordered by increasing time.
 
-    O(n log n): sort by (time, energy) and keep each point that strictly
-    improves the running energy minimum.  Duplicate times keep only the
-    cheapest point; a point that ties the running minimum is dominated
-    (weakly) and dropped, so frontier energies are strictly decreasing.
+    O(n log n), fully vectorized: lexsort by (time, energy), take the
+    running energy minimum with ``np.minimum.accumulate``, and keep each
+    point that strictly improves on the minimum *before* it.  Duplicate
+    times keep only the cheapest point; a point that ties the running
+    minimum is dominated (weakly) and dropped, so frontier energies are
+    strictly decreasing.
     """
     t = np.asarray(times_s, dtype=float)
     e = np.asarray(energies_j, dtype=float)
@@ -31,13 +33,12 @@ def pareto_indices(times_s: Sequence[float], energies_j: Sequence[float]) -> np.
     if t.size == 0:
         return np.empty(0, dtype=np.int64)
     order = np.lexsort((e, t))
-    keep = []
-    best = np.inf
-    for idx in order:
-        if e[idx] < best:
-            keep.append(idx)
-            best = e[idx]
-    return np.asarray(keep, dtype=np.int64)
+    e_sorted = e[order]
+    running_min = np.minimum.accumulate(e_sorted)
+    keep = np.empty(order.size, dtype=bool)
+    keep[0] = True
+    keep[1:] = e_sorted[1:] < running_min[:-1]
+    return order[keep]
 
 
 @dataclass(frozen=True)

@@ -1,0 +1,46 @@
+"""The experiment engine: one cached, parallel path through the pipeline.
+
+The paper's workflow is a single pipeline -- calibrate per-node model
+inputs from simulator traces, evaluate the configuration space, derive
+the energy-deadline Pareto frontier, layer region and queueing analysis
+on top.  This package is the one place that pipeline is wired:
+
+* :class:`Scenario` -- a whole experiment as declarative, JSON
+  round-trippable data;
+* :class:`RunContext` -- seed discipline, the content-addressed result
+  cache, hardware/workload resolution, reporting sinks, and the parallel
+  executor, threaded through every stage;
+* :func:`run_scenario` -- execute a scenario end-to-end into a
+  :class:`ScenarioResult`;
+* :func:`evaluate_space_chunked` / :func:`parallel_map` -- the executor
+  primitives, usable directly;
+* :class:`ResultCache` -- the memoization layer, with an optional
+  on-disk tier (conventionally ``results/.cache/``).
+
+The CLI, the reporting builders, the examples, and the benchmarks all run
+through :func:`default_context`, so one process performs each distinct
+calibration and space evaluation exactly once however many artifacts it
+builds.
+"""
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.context import RunContext, default_context, set_default_context
+from repro.engine.executor import evaluate_space_chunked, parallel_map
+from repro.engine.hashing import stable_hash
+from repro.engine.runner import ScenarioResult, run_scenario
+from repro.engine.scenario import STAGES, Scenario
+
+__all__ = [
+    "CacheStats",
+    "ResultCache",
+    "RunContext",
+    "STAGES",
+    "Scenario",
+    "ScenarioResult",
+    "default_context",
+    "evaluate_space_chunked",
+    "parallel_map",
+    "run_scenario",
+    "set_default_context",
+    "stable_hash",
+]

@@ -1,0 +1,138 @@
+"""Content-addressed result cache: memory first, optional disk layer.
+
+The engine caches the two expensive pipeline stages -- per-node
+calibration and configuration-space evaluation -- keyed by a
+:func:`~repro.engine.hashing.stable_hash` of *everything* that determines
+the result (node spec, workload spec, noise model, seed, space bounds,
+model parameters).  Identical requests in one process are answered from a
+dict; an optional on-disk layer under ``results/.cache/`` carries results
+across processes (pickle, written atomically).
+
+The cache returns the *same object* on a memory hit -- cached values are
+treated as immutable, which every engine-cached type satisfies
+(``NodeModelParams`` is frozen; ``ConfigSpaceResult`` arrays are never
+mutated by library code).
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Optional
+
+from repro.engine.hashing import stable_hash
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters, exposed for tests and reporting sinks."""
+
+    hits: int = 0
+    misses: int = 0
+    disk_hits: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.hits + self.misses + self.disk_hits
+
+    def as_dict(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "disk_hits": self.disk_hits,
+        }
+
+
+@dataclass
+class ResultCache:
+    """Memoization table keyed by stable content hashes.
+
+    Parameters
+    ----------
+    disk_dir:
+        When set, results are also pickled under this directory
+        (conventionally ``results/.cache/``) and later processes can warm
+        from it.  Disk failures (unreadable entry, full disk) degrade to
+        recomputation, never to an exception.
+    """
+
+    disk_dir: Optional[Path] = None
+    stats: CacheStats = field(default_factory=CacheStats)
+    _memory: Dict[str, Any] = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        if self.disk_dir is not None:
+            self.disk_dir = Path(self.disk_dir)
+            self.disk_dir.mkdir(parents=True, exist_ok=True)
+
+    def __len__(self) -> int:
+        return len(self._memory)
+
+    def key(self, kind: str, key_obj: Any) -> str:
+        """The cache key for a (kind, content) pair."""
+        return f"{kind}-{stable_hash(key_obj)}"
+
+    def get_or_compute(
+        self,
+        kind: str,
+        key_obj: Any,
+        compute: Callable[[], Any],
+    ) -> Any:
+        """Return the cached value for ``(kind, key_obj)``, computing on miss.
+
+        ``kind`` namespaces the key (``"params"``, ``"space"``, ...) so
+        unrelated stages can never collide even on equal content.
+        """
+        key = self.key(kind, key_obj)
+        if key in self._memory:
+            self.stats.hits += 1
+            return self._memory[key]
+        value = self._disk_read(key)
+        if value is not None:
+            self.stats.disk_hits += 1
+            self._memory[key] = value
+            return value
+        self.stats.misses += 1
+        value = compute()
+        self._memory[key] = value
+        self._disk_write(key, value)
+        return value
+
+    def clear(self) -> None:
+        """Drop every in-memory entry (the disk layer is left alone)."""
+        self._memory.clear()
+
+    # ---- disk layer ----------------------------------------------------
+
+    def _disk_path(self, key: str) -> Path:
+        assert self.disk_dir is not None
+        return self.disk_dir / f"{key}.pkl"
+
+    def _disk_read(self, key: str) -> Optional[Any]:
+        if self.disk_dir is None:
+            return None
+        path = self._disk_path(key)
+        try:
+            with path.open("rb") as fh:
+                return pickle.load(fh)
+        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            return None
+
+    def _disk_write(self, key: str, value: Any) -> None:
+        if self.disk_dir is None:
+            return
+        path = self._disk_path(key)
+        try:
+            fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
+            try:
+                with os.fdopen(fd, "wb") as fh:
+                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, path)
+            except BaseException:
+                os.unlink(tmp)
+                raise
+        except (OSError, pickle.PicklingError, AttributeError, TypeError):
+            pass  # a cold disk cache is always acceptable

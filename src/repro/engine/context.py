@@ -1,0 +1,259 @@
+"""The run context: one object threading seed, cache, catalog, and sinks.
+
+Every pipeline stage -- simulator-backed calibration, vectorized space
+evaluation, frontier/region/queueing analysis -- runs *through* a
+:class:`RunContext`.  The context owns:
+
+* **RNG discipline**: a :class:`~repro.util.rng.RngStream` tree rooted at
+  the context seed, with the exact child-derivation convention the
+  reporting layer has always used (``"params-<node>"`` children for
+  calibration campaigns), so engine-routed runs reproduce pre-engine
+  outputs bit-for-bit;
+* **the result cache**: calibrations and :class:`ConfigSpaceResult`s are
+  memoized content-addressed (see :mod:`repro.engine.cache`), so a
+  process that builds Fig. 4, Fig. 10, and three examples performs each
+  distinct calibration and space evaluation exactly once;
+* **the hardware/workload registries**: catalog lookups plus
+  per-context extension registration (an Atom-class third node type, a
+  synthetic workload) without touching global state;
+* **reporting sinks**: callables receiving ``(event, payload)`` pairs as
+  stages start and finish, for progress lines, logging, or test capture;
+* **the executor knobs**: worker counts for chunked space evaluation and
+  replication fan-out.
+
+Use :func:`default_context` for the shared process-wide context (what the
+CLI, the figure builders, and the benchmarks share), or construct an
+isolated one in tests.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core import calibration as _calibration
+from repro.core.evaluate import ConfigSpaceResult
+from repro.core.params import NodeModelParams
+from repro.engine import executor as _executor
+from repro.engine.cache import ResultCache
+from repro.hardware import catalog as _catalog
+from repro.hardware.specs import NodeSpec
+from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
+from repro.util.rng import RngStream, SeedLike
+from repro.workloads import suite as _suite
+from repro.workloads.base import WorkloadSpec
+
+Sink = Callable[[str, Dict[str, Any]], None]
+
+
+class RunContext:
+    """Shared state for one family of engine runs.
+
+    Parameters
+    ----------
+    seed:
+        Default root seed when a call does not bring its own.
+    cache:
+        Result cache; defaults to a fresh in-memory one.  Pass
+        ``ResultCache(disk_dir=Path("results/.cache"))`` for the on-disk
+        layer.
+    sinks:
+        Reporting callbacks ``sink(event, payload)``.
+    max_workers:
+        Process-pool width for chunked evaluation and replication
+        fan-out; ``None`` auto-sizes, ``1`` forces serial.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        cache: Optional[ResultCache] = None,
+        sinks: Sequence[Sink] = (),
+        max_workers: Optional[int] = None,
+    ):
+        self.seed = seed
+        self.cache = cache if cache is not None else ResultCache()
+        self.sinks: List[Sink] = list(sinks)
+        self.max_workers = max_workers
+        self._extra_nodes: Dict[str, NodeSpec] = {}
+        self._extra_workloads: Dict[str, WorkloadSpec] = {}
+
+    # ---- reporting -----------------------------------------------------
+
+    def emit(self, event: str, **payload: Any) -> None:
+        """Publish a progress/reporting event to every sink."""
+        for sink in self.sinks:
+            sink(event, payload)
+
+    # ---- registries ----------------------------------------------------
+
+    def register_node(self, spec: NodeSpec) -> None:
+        """Make an extension node type resolvable by name in this context."""
+        self._extra_nodes[spec.name] = spec
+
+    def register_workload(self, spec: WorkloadSpec) -> None:
+        """Make an extension workload resolvable by name in this context."""
+        self._extra_workloads[spec.name] = spec
+
+    def resolve_node(self, name: str) -> NodeSpec:
+        if name in self._extra_nodes:
+            return self._extra_nodes[name]
+        return _catalog.node_by_name(name)
+
+    def resolve_workload(self, name: str) -> WorkloadSpec:
+        if name in self._extra_workloads:
+            return self._extra_workloads[name]
+        return _suite.workload_by_name(name)
+
+    # ---- RNG discipline ------------------------------------------------
+
+    def rng_stream(self, seed: Optional[SeedLike] = None) -> RngStream:
+        """The reproducible stream tree rooted at ``seed`` (context default)."""
+        return RngStream(self.seed if seed is None else seed)
+
+    # ---- cached pipeline stages ----------------------------------------
+
+    def params(
+        self,
+        node: NodeSpec,
+        workload: WorkloadSpec,
+        calibrated: bool = False,
+        noise: NoiseModel = CALIBRATED_NOISE,
+        seed: Optional[SeedLike] = None,
+        label: Optional[str] = None,
+        index: int = 0,
+        baseline_units: float = 5_000.0,
+        repetitions: int = 3,
+    ) -> NodeModelParams:
+        """Model inputs for one (node, workload) pair, memoized.
+
+        Ground truth is derived from the specs; ``calibrated=True`` runs
+        the trace-driven campaign on the simulated testbed, seeding it
+        from ``RngStream(seed).child(label, index)`` with
+        ``label="params-<node>"`` by default -- the exact derivation the
+        reporting layer used pre-engine, so figures are unchanged.
+        """
+        if not calibrated:
+            key = ("ground-truth", node, workload)
+            return self.cache.get_or_compute(
+                "params", key, lambda: _calibration.ground_truth_params(node, workload)
+            )
+        seed = self.seed if seed is None else seed
+        label = label if label is not None else f"params-{node.name}"
+
+        def compute() -> NodeModelParams:
+            rng = RngStream(seed).child(label, index).rng
+            return _calibration.calibrate_node(
+                node,
+                workload,
+                noise=noise,
+                seed=rng,
+                baseline_units=baseline_units,
+                repetitions=repetitions,
+            )
+
+        if not isinstance(seed, int):
+            # Generator/SeedSequence seeds are stateful: not content-addressable.
+            return compute()
+        key = (
+            "calibrated", node, workload, noise, seed, label, index,
+            baseline_units, repetitions,
+        )
+        return self.cache.get_or_compute("params", key, compute)
+
+    def params_for(
+        self,
+        nodes: Iterable[NodeSpec],
+        workload: WorkloadSpec,
+        calibrated: bool = False,
+        noise: NoiseModel = CALIBRATED_NOISE,
+        seed: Optional[SeedLike] = None,
+    ) -> Dict[str, NodeModelParams]:
+        """Model inputs for several node types, keyed by node name."""
+        return {
+            node.name: self.params(
+                node, workload, calibrated=calibrated, noise=noise,
+                seed=seed, index=index,
+            )
+            for index, node in enumerate(nodes)
+        }
+
+    def space(
+        self,
+        spec_a: NodeSpec,
+        max_a: int,
+        spec_b: NodeSpec,
+        max_b: int,
+        params: Mapping[str, NodeModelParams],
+        units: float,
+        counts_a: Optional[Sequence[int]] = None,
+        counts_b: Optional[Sequence[int]] = None,
+        settings_a: Optional[Sequence[Tuple[int, float]]] = None,
+        settings_b: Optional[Sequence[Tuple[int, float]]] = None,
+    ) -> ConfigSpaceResult:
+        """Evaluate a configuration space, memoized and chunk-parallel.
+
+        Signature mirrors :func:`repro.core.evaluate.evaluate_space`; the
+        result is cached on the full content of every argument, so two
+        identical requests anywhere in the process evaluate once.
+        """
+        key = (
+            spec_a, max_a, spec_b, max_b,
+            {name: params[name] for name in sorted(params)},
+            units,
+            None if counts_a is None else tuple(int(c) for c in counts_a),
+            None if counts_b is None else tuple(int(c) for c in counts_b),
+            None if settings_a is None else tuple((int(c), float(f)) for c, f in settings_a),
+            None if settings_b is None else tuple((int(c), float(f)) for c, f in settings_b),
+        )
+
+        def compute() -> ConfigSpaceResult:
+            start = time.perf_counter()
+            result = _executor.evaluate_space_chunked(
+                spec_a, max_a, spec_b, max_b, params, units,
+                counts_a=counts_a, counts_b=counts_b,
+                settings_a=settings_a, settings_b=settings_b,
+                max_workers=self.max_workers,
+            )
+            self.emit(
+                "space.evaluated",
+                rows=len(result),
+                elapsed_s=time.perf_counter() - start,
+            )
+            return result
+
+        return self.cache.get_or_compute("space", key, compute)
+
+    # ---- replication fan-out -------------------------------------------
+
+    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+        """Order-preserving parallel map over independent replications.
+
+        ``fn`` must be a picklable top-level callable (process pools
+        cannot ship closures); execution degrades to a serial map when
+        pooling is unavailable.
+        """
+        return _executor.parallel_map(fn, items, max_workers=self.max_workers)
+
+
+_DEFAULT_CONTEXT: Optional[RunContext] = None
+
+
+def default_context() -> RunContext:
+    """The process-wide shared context (created on first use).
+
+    The CLI, the reporting builders, and the benchmark fixtures all share
+    this context, which is what lets one process build many artifacts
+    while performing each distinct calibration and space evaluation once.
+    """
+    global _DEFAULT_CONTEXT
+    if _DEFAULT_CONTEXT is None:
+        _DEFAULT_CONTEXT = RunContext()
+    return _DEFAULT_CONTEXT
+
+
+def set_default_context(ctx: Optional[RunContext]) -> Optional[RunContext]:
+    """Swap the process-wide context (pass ``None`` to reset); returns the old one."""
+    global _DEFAULT_CONTEXT
+    old, _DEFAULT_CONTEXT = _DEFAULT_CONTEXT, ctx
+    return old

@@ -1,0 +1,199 @@
+"""Parallel execution: chunked space evaluation and replication fan-out.
+
+Two fan-out shapes cover the engine's needs:
+
+* :func:`evaluate_space_chunked` splits a configuration space into
+  node-count blocks -- the heterogeneous block partitioned over the
+  type-a counts, then each homogeneous block -- evaluates the blocks
+  independently (optionally on a process pool), and concatenates in
+  exactly :func:`repro.core.evaluate.evaluate_space`'s row order, which
+  downstream code and tests rely on.  A property test pins the chunked
+  result against the whole-space evaluation bit-for-bit.
+* :func:`parallel_map` fans independent replications (validation sweep
+  points, noise replicates) across a process pool.
+
+Process pools pay a fork + pickle toll, so both helpers run serially for
+small inputs (below :data:`PARALLEL_THRESHOLD_ROWS` rows / fewer than two
+tasks) and degrade to serial execution if a pool cannot be created at all
+(restricted sandboxes) -- parallelism here is an optimization, never a
+semantic.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core import evaluate as _evaluate
+from repro.core.evaluate import ConfigSpaceResult, _concat_results, _normalize_counts
+from repro.core.params import NodeModelParams
+from repro.hardware.specs import NodeSpec
+
+#: Below this many estimated rows the fork+pickle toll outweighs the win.
+PARALLEL_THRESHOLD_ROWS = 100_000
+
+
+def default_max_workers() -> int:
+    """Worker count when the caller does not pin one."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def _chunk(values: np.ndarray, n_chunks: int) -> List[np.ndarray]:
+    """Split ``values`` into up to ``n_chunks`` contiguous, order-preserving parts."""
+    n_chunks = max(1, min(int(n_chunks), values.size))
+    return [c for c in np.array_split(values, n_chunks) if c.size]
+
+
+def _evaluate_block(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    counts_a: Sequence[int],
+    counts_b: Sequence[int],
+    settings_a: Optional[Sequence[Tuple[int, float]]],
+    settings_b: Optional[Sequence[Tuple[int, float]]],
+) -> ConfigSpaceResult:
+    """One node-count block (top-level so process pools can pickle it)."""
+    return _evaluate.evaluate_space(
+        spec_a,
+        max_a,
+        spec_b,
+        max_b,
+        params,
+        units,
+        counts_a=counts_a,
+        counts_b=counts_b,
+        settings_a=settings_a,
+        settings_b=settings_b,
+    )
+
+
+def evaluate_space_chunked(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    counts_a: Optional[Sequence[int]] = None,
+    counts_b: Optional[Sequence[int]] = None,
+    settings_a: Optional[Sequence[Tuple[int, float]]] = None,
+    settings_b: Optional[Sequence[Tuple[int, float]]] = None,
+    max_workers: Optional[int] = None,
+    n_chunks: Optional[int] = None,
+) -> ConfigSpaceResult:
+    """Evaluate a configuration space in node-count blocks, optionally parallel.
+
+    Semantics and row order are identical to
+    :func:`repro.core.evaluate.evaluate_space`; only the execution shape
+    differs.  ``max_workers`` caps the process pool (``<= 1`` forces
+    in-process execution); ``n_chunks`` pins the number of type-a blocks
+    (defaults to the worker count).  Small spaces take the direct path --
+    chunking is pure overhead below :data:`PARALLEL_THRESHOLD_ROWS` rows.
+    """
+    counts_a_arr = _normalize_counts(counts_a, max_a)
+    counts_b_arr = _normalize_counts(counts_b, max_b)
+    pos_a = counts_a_arr[counts_a_arr > 0]
+    pos_b = counts_b_arr[counts_b_arr > 0]
+
+    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    chunks = workers if n_chunks is None else max(1, int(n_chunks))
+    rows = _estimate_rows(spec_a, pos_a, spec_b, pos_b)
+    small = rows < PARALLEL_THRESHOLD_ROWS and n_chunks is None
+    if chunks == 1 or pos_a.size < 2 or small:
+        return _evaluate.evaluate_space(
+            spec_a,
+            max_a,
+            spec_b,
+            max_b,
+            params,
+            units,
+            counts_a=counts_a,
+            counts_b=counts_b,
+            settings_a=settings_a,
+            settings_b=settings_b,
+        )
+
+    # Block decomposition mirroring evaluate_space's row order: the
+    # heterogeneous block partitioned over type-a counts, then the a-only
+    # block (again over type-a counts), then the b-only block.
+    tasks: List[Tuple[List[int], List[int]]] = []
+    if pos_a.size > 0 and pos_b.size > 0:
+        for part in _chunk(pos_a, chunks):
+            tasks.append((part.tolist(), pos_b.tolist()))
+    if 0 in counts_b_arr and pos_a.size > 0:
+        for part in _chunk(pos_a, chunks):
+            tasks.append((part.tolist(), [0]))
+    if 0 in counts_a_arr and pos_b.size > 0:
+        tasks.append(([0], pos_b.tolist()))
+    if not tasks:
+        # Degenerate count lists; let the reference path raise its error.
+        return _evaluate.evaluate_space(
+            spec_a, max_a, spec_b, max_b, params, units,
+            counts_a=counts_a, counts_b=counts_b,
+            settings_a=settings_a, settings_b=settings_b,
+        )
+
+    arg_sets = [
+        (spec_a, max_a, spec_b, max_b, params, units, ca, cb, settings_a, settings_b)
+        for ca, cb in tasks
+    ]
+    blocks = _run_tasks(_evaluate_block, arg_sets, workers)
+    return _concat_results(blocks)
+
+
+def _estimate_rows(
+    spec_a: NodeSpec, pos_a: np.ndarray, spec_b: NodeSpec, pos_b: np.ndarray
+) -> int:
+    dims_a = spec_a.cores.count * len(spec_a.cores.pstates_ghz)
+    dims_b = spec_b.cores.count * len(spec_b.cores.pstates_ghz)
+    return int(
+        pos_a.size * dims_a * pos_b.size * dims_b
+        + pos_a.size * dims_a
+        + pos_b.size * dims_b
+    )
+
+
+def _run_tasks(
+    fn: Callable[..., Any],
+    arg_sets: Sequence[Tuple],
+    max_workers: int,
+) -> List[Any]:
+    """Run ``fn(*args)`` for each arg tuple, pooled when it pays off."""
+    if max_workers <= 1 or len(arg_sets) < 2:
+        return [fn(*args) for args in arg_sets]
+    try:
+        with ProcessPoolExecutor(max_workers=min(max_workers, len(arg_sets))) as pool:
+            futures = [pool.submit(fn, *args) for args in arg_sets]
+            return [f.result() for f in futures]
+    except (OSError, PermissionError, RuntimeError):
+        # No fork / no semaphores available: correctness over speed.
+        return [fn(*args) for args in arg_sets]
+
+
+def parallel_map(
+    fn: Callable[[Any], Any],
+    items: Iterable[Any],
+    max_workers: Optional[int] = None,
+) -> List[Any]:
+    """Map a picklable top-level function over items, pooled when possible.
+
+    Order is preserved.  Used to fan sweep replications
+    (:mod:`repro.validation.sweeps`) and noise replicates across cores;
+    falls back to a serial map when pooling is unavailable or pointless.
+    """
+    items = list(items)
+    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    if workers <= 1 or len(items) < 2:
+        return [fn(item) for item in items]
+    try:
+        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError, RuntimeError):
+        return [fn(item) for item in items]

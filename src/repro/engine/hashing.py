@@ -1,0 +1,101 @@
+"""Stable content hashing for cache keys.
+
+The result cache is *content-addressed*: two requests with equal inputs
+must map to the same key in every process, on every platform, in every
+run.  That rules out ``hash()`` (salted per process) and ``pickle``
+(protocol- and memo-order dependent); instead we feed a canonical token
+stream into SHA-256.
+
+Supported value shapes -- everything a :class:`~repro.engine.scenario.Scenario`
+or a model-input object is made of:
+
+* ``None``, ``bool``, ``int``, ``str``, ``bytes``;
+* ``float`` via ``repr`` (shortest round-trip representation, stable
+  across CPython versions >= 3.1);
+* ``list`` / ``tuple`` (ordered), ``dict`` / ``Mapping`` (sorted by the
+  hash of each key so insertion order is irrelevant), ``set`` /
+  ``frozenset`` (sorted likewise);
+* NumPy arrays and scalars via dtype + shape + raw bytes;
+* enums via class name + value;
+* dataclasses via class name + field name/value pairs, recursively --
+  which covers :class:`NodeSpec`, :class:`WorkloadSpec`,
+  :class:`NodeModelParams`, :class:`NoiseModel`, and the engine's own
+  declarative objects.
+
+Anything else raises :class:`TypeError` loudly: silently hashing an
+unstable ``repr`` would poison the cache with false hits or misses.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+from typing import Any, Mapping
+
+import numpy as np
+
+#: Bump when the hashing scheme (or the semantics of cached values)
+#: changes, so stale on-disk entries can never be mistaken for current.
+HASH_SCHEME_VERSION = 1
+
+
+def stable_hash(obj: Any) -> str:
+    """Hex digest of ``obj``'s canonical content, stable across processes."""
+    h = hashlib.sha256()
+    h.update(f"v{HASH_SCHEME_VERSION}|".encode())
+    _feed(h, obj)
+    return h.hexdigest()
+
+
+def _feed(h, obj: Any) -> None:
+    """Append ``obj``'s canonical token stream to hasher ``h``."""
+    if obj is None:
+        h.update(b"N|")
+    elif isinstance(obj, bool):  # before int: bool is an int subclass
+        h.update(b"b1|" if obj else b"b0|")
+    elif isinstance(obj, enum.Enum):
+        h.update(f"e{type(obj).__name__}|".encode())
+        _feed(h, obj.value)
+    elif isinstance(obj, np.generic):
+        # Before int/float: np.float64 subclasses float but reprs differently.
+        _feed(h, obj.item())
+    elif isinstance(obj, int):
+        h.update(f"i{obj}|".encode())
+    elif isinstance(obj, float):
+        h.update(f"f{obj!r}|".encode())
+    elif isinstance(obj, str):
+        h.update(f"s{len(obj)}|".encode())
+        h.update(obj.encode("utf-8"))
+    elif isinstance(obj, bytes):
+        h.update(f"y{len(obj)}|".encode())
+        h.update(obj)
+    elif isinstance(obj, np.ndarray):
+        h.update(f"a{obj.dtype.str}{obj.shape}|".encode())
+        h.update(np.ascontiguousarray(obj).tobytes())
+    elif isinstance(obj, (list, tuple)):
+        h.update(f"l{len(obj)}|".encode())
+        for item in obj:
+            _feed(h, item)
+    elif isinstance(obj, (set, frozenset)):
+        h.update(f"S{len(obj)}|".encode())
+        for digest in sorted(stable_hash(item) for item in obj):
+            h.update(digest.encode())
+    elif isinstance(obj, Mapping):
+        h.update(f"m{len(obj)}|".encode())
+        entries = sorted(
+            (stable_hash(key), key, value) for key, value in obj.items()
+        )
+        for _, key, value in entries:
+            _feed(h, key)
+            _feed(h, value)
+    elif dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        h.update(f"d{type(obj).__name__}|".encode())
+        for f in dataclasses.fields(obj):
+            _feed(h, f.name)
+            _feed(h, getattr(obj, f.name))
+    else:
+        raise TypeError(
+            f"cannot stably hash {type(obj).__name__!r}: add explicit support "
+            "or key the cache on a hashable summary of this value"
+        )

@@ -1,0 +1,151 @@
+"""Execute a :class:`~repro.engine.scenario.Scenario` end-to-end.
+
+One call runs the paper's whole pipeline -- simulator-backed calibration
+(or catalog ground truth), vectorized configuration-space evaluation,
+the energy-deadline Pareto frontier, sweet/overlap region decomposition,
+and the Fig. 10 queueing extension -- through a cached, parallel
+:class:`~repro.engine.context.RunContext`.  Re-running the same scenario
+on the same context is a pure cache hit: calibration and space
+evaluation each execute exactly once per distinct content.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.evaluate import ConfigSpaceResult
+from repro.core.params import NodeModelParams
+from repro.core.pareto import ParetoFrontier
+from repro.core.regions import RegionReport, analyze_regions
+from repro.engine.context import RunContext, default_context
+from repro.engine.scenario import Scenario
+from repro.queueing.dispatcher import WindowPoint, figure10_series
+from repro.simulator.noise import CALIBRATED_NOISE
+
+
+@dataclass
+class ScenarioResult:
+    """Everything a scenario produced, stage by stage.
+
+    Stages the scenario did not request are ``None``.  ``timings_s``
+    records wall time per stage (cache hits show up as ~0), and
+    ``cache_stats`` snapshots the context cache counters after the run.
+    """
+
+    scenario: Scenario
+    params: Dict[str, NodeModelParams]
+    space: ConfigSpaceResult
+    frontier: Optional[ParetoFrontier] = None
+    only_a_frontier: Optional[ParetoFrontier] = None
+    only_b_frontier: Optional[ParetoFrontier] = None
+    regions: Optional[RegionReport] = None
+    queueing: Optional[Dict[float, List[WindowPoint]]] = None
+    timings_s: Dict[str, float] = field(default_factory=dict)
+    cache_stats: Dict[str, int] = field(default_factory=dict)
+
+    def min_energy_for_deadline(self, deadline_s: float) -> Optional[float]:
+        """Frontier lookup sugar (requires the ``frontier`` stage)."""
+        if self.frontier is None:
+            raise ValueError("scenario did not run the 'frontier' stage")
+        return self.frontier.min_energy_for_deadline(deadline_s)
+
+    def summary(self) -> Dict[str, object]:
+        """Small plain-data digest for reporting sinks and CLIs."""
+        out: Dict[str, object] = {
+            "workload": self.scenario.workload,
+            "configurations": len(self.space),
+            "timings_s": dict(self.timings_s),
+        }
+        if self.frontier is not None:
+            out["frontier_points"] = len(self.frontier)
+            out["fastest_time_s"] = self.frontier.fastest_time_s
+            out["min_energy_j"] = self.frontier.min_energy_j
+        if self.regions is not None:
+            out["has_sweet_region"] = self.regions.has_sweet_region
+            out["has_overlap_region"] = self.regions.has_overlap_region
+        if self.queueing is not None:
+            out["queueing_utilizations"] = sorted(self.queueing)
+        return out
+
+
+def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> ScenarioResult:
+    """Run ``scenario`` through ``ctx`` (the shared default when omitted)."""
+    ctx = ctx if ctx is not None else default_context()
+    timings: Dict[str, float] = {}
+    ctx.emit("scenario.start", scenario=scenario.cache_identity())
+
+    workload = ctx.resolve_workload(scenario.workload)
+    spec_a = ctx.resolve_node(scenario.node_a)
+    spec_b = ctx.resolve_node(scenario.node_b)
+    units = scenario.units
+    if units is None:
+        units = workload.problem_sizes.get("analysis", workload.default_job_units)
+
+    # ---- calibrate -----------------------------------------------------
+    start = time.perf_counter()
+    params = ctx.params_for(
+        (spec_a, spec_b),
+        workload,
+        calibrated=scenario.calibrated,
+        noise=CALIBRATED_NOISE.scaled(scenario.noise_scale),
+        seed=scenario.seed,
+    )
+    timings["calibrate"] = time.perf_counter() - start
+
+    # ---- space ---------------------------------------------------------
+    start = time.perf_counter()
+    space = ctx.space(
+        spec_a,
+        scenario.max_a,
+        spec_b,
+        scenario.max_b,
+        params,
+        units,
+        counts_a=scenario.counts_a,
+        counts_b=scenario.counts_b,
+    )
+    timings["space"] = time.perf_counter() - start
+    result = ScenarioResult(scenario=scenario, params=params, space=space)
+
+    # ---- frontier ------------------------------------------------------
+    if scenario.wants("frontier"):
+        start = time.perf_counter()
+        result.frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
+        result.only_a_frontier = _subset_frontier(space, space.is_only_a)
+        result.only_b_frontier = _subset_frontier(space, space.is_only_b)
+        timings["frontier"] = time.perf_counter() - start
+
+    # ---- regions -------------------------------------------------------
+    if scenario.wants("regions") and result.frontier is not None:
+        start = time.perf_counter()
+        result.regions = analyze_regions(space, result.frontier)
+        timings["regions"] = time.perf_counter() - start
+
+    # ---- queueing ------------------------------------------------------
+    if scenario.wants("queueing"):
+        start = time.perf_counter()
+        result.queueing = figure10_series(
+            space,
+            spec_a.idle_power_w,
+            spec_b.idle_power_w,
+            utilizations=scenario.utilizations,
+            window_s=scenario.window_s,
+        )
+        timings["queueing"] = time.perf_counter() - start
+
+    result.timings_s = timings
+    result.cache_stats = ctx.cache.stats.as_dict()
+    ctx.emit("scenario.done", summary=result.summary())
+    return result
+
+
+def _subset_frontier(space: ConfigSpaceResult, mask: np.ndarray) -> Optional[ParetoFrontier]:
+    """Frontier of a masked subset, or ``None`` when the mask is empty."""
+    if not bool(np.any(mask)):
+        return None
+    subset = space.subset(mask)
+    return ParetoFrontier.from_points(subset.times_s, subset.energies_j)

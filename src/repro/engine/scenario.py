@@ -1,0 +1,159 @@
+"""Declarative experiment descriptions.
+
+A :class:`Scenario` is the paper's whole workflow as one value: which
+workload, which two node types from the hardware catalog, the bounds of
+the configuration space, which analysis stages to run, and the root RNG
+seed.  It is plain data -- ``to_dict``/``from_dict`` round-trip through
+JSON -- so scenarios can live in files, travel to worker processes, and
+serve as content-addressed cache keys.
+
+The imperative twin lives in :mod:`repro.engine.context` (call the
+pipeline stages yourself, still cached); :func:`repro.engine.runner.run_scenario`
+executes a scenario end-to-end.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, fields, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+#: Analysis stages, in pipeline order.  ``calibrate`` and ``space`` always
+#: run (nothing downstream exists without them); the rest are opt-in.
+STAGES = ("calibrate", "space", "frontier", "regions", "queueing")
+
+#: Stages implied by later ones: regions needs the frontier.
+_STAGE_IMPLIES = {"regions": ("frontier",), "queueing": ()}
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One reproducible experiment, declaratively.
+
+    Attributes
+    ----------
+    workload:
+        Workload name, resolved through :func:`repro.workloads.suite.workload_by_name`
+        (or a workload registered on the :class:`~repro.engine.context.RunContext`).
+    node_a, node_b:
+        Node-type names, resolved through the hardware catalog; ``a`` is
+        conventionally the low-power type, as in the paper.
+    max_a, max_b, counts_a, counts_b:
+        Configuration-space bounds, mirroring
+        :func:`repro.core.evaluate.evaluate_space`: node counts range over
+        ``0..max`` unless pinned to an explicit ``counts`` list.
+    units:
+        Job size in work units; ``None`` selects the workload's
+        ``"analysis"`` problem size (the paper's Section IV default).
+    calibrated:
+        ``False`` uses catalog ground truth; ``True`` runs the
+        trace-driven calibration campaign against the simulated testbed.
+    noise_scale:
+        Multiplier on the calibrated noise model (only meaningful with
+        ``calibrated=True``; 0 gives noiseless calibration).
+    seed:
+        Root of the scenario's reproducible RNG tree.
+    stages:
+        Analysis stages to run on top of calibrate+space, any subset of
+        ``("frontier", "regions", "queueing")``; implied prerequisites are
+        added automatically.
+    utilizations, window_s:
+        Queueing-stage knobs (Fig. 10 semantics).
+    name:
+        Optional human label; excluded from the cache identity so naming
+        a scenario never invalidates its results.
+    """
+
+    workload: str
+    node_a: str = "arm-cortex-a9"
+    node_b: str = "amd-k10"
+    max_a: int = 10
+    max_b: int = 10
+    counts_a: Optional[Tuple[int, ...]] = None
+    counts_b: Optional[Tuple[int, ...]] = None
+    units: Optional[float] = None
+    calibrated: bool = False
+    noise_scale: float = 1.0
+    seed: int = 0
+    stages: Tuple[str, ...] = ("frontier", "regions")
+    utilizations: Tuple[float, ...] = (0.05, 0.25, 0.50)
+    window_s: float = 20.0
+    name: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.max_a < 0 or self.max_b < 0:
+            raise ValueError("maximum node counts must be non-negative")
+        if self.max_a == 0 and self.max_b == 0:
+            raise ValueError("a scenario needs at least one node of some type")
+        if self.units is not None and self.units <= 0:
+            raise ValueError(f"units must be positive, got {self.units}")
+        if self.noise_scale < 0:
+            raise ValueError("noise scale must be non-negative")
+        if self.window_s <= 0:
+            raise ValueError("queueing window must be positive")
+        for tup_field in ("counts_a", "counts_b", "stages", "utilizations"):
+            value = getattr(self, tup_field)
+            if value is not None and not isinstance(value, tuple):
+                object.__setattr__(self, tup_field, tuple(value))
+        unknown = set(self.stages) - set(STAGES)
+        if unknown:
+            raise ValueError(
+                f"unknown stages {sorted(unknown)}; available: {list(STAGES[2:])}"
+            )
+        # Normalize: implied prerequisites in, pipeline order, no dupes.
+        wanted = set(self.stages)
+        for stage in self.stages:
+            wanted.update(_STAGE_IMPLIES.get(stage, ()))
+        wanted.update(("calibrate", "space"))
+        object.__setattr__(
+            self, "stages", tuple(s for s in STAGES if s in wanted)
+        )
+
+    def wants(self, stage: str) -> bool:
+        """Whether ``stage`` is part of this scenario's pipeline."""
+        return stage in self.stages
+
+    # ---- serialization -------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain JSON-able dict (tuples become lists)."""
+        raw = asdict(self)
+        for key, value in raw.items():
+            if isinstance(value, tuple):
+                raw[key] = list(value)
+        return raw
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
+        """Inverse of :meth:`to_dict`; unknown keys raise for typo safety."""
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown scenario fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), indent=2, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "Scenario":
+        return cls.from_dict(json.loads(text))
+
+    @classmethod
+    def from_file(cls, path) -> "Scenario":
+        return cls.from_json(Path(path).read_text())
+
+    # ---- identity ------------------------------------------------------
+
+    def cache_identity(self) -> Dict[str, Any]:
+        """The fields that determine results (drops the cosmetic name)."""
+        raw = self.to_dict()
+        raw.pop("name")
+        return raw
+
+    def with_(self, **changes: Any) -> "Scenario":
+        """A copy with ``changes`` applied (``dataclasses.replace`` sugar)."""
+        return replace(self, **changes)

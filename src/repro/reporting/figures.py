@@ -25,8 +25,9 @@ from repro.core.calibration import (
     ground_truth_params,
     measure_scale_constancy,
 )
-from repro.core.evaluate import ConfigSpaceResult, evaluate_space
+from repro.core.evaluate import ConfigSpaceResult
 from repro.core.pareto import ParetoFrontier
+from repro.engine.context import RunContext, default_context
 from repro.core.power_budget import Mix, budget_mixes, scaled_mixes
 from repro.core.regions import RegionReport, analyze_regions
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH, table1_rows
@@ -65,20 +66,23 @@ def suite_params(
     calibrated: bool = False,
     noise: NoiseModel = CALIBRATED_NOISE,
     seed: SeedLike = 0,
+    ctx: Optional[RunContext] = None,
 ):
-    """Model inputs for the paper's two node types, keyed by node name."""
-    params = {}
-    for index, node in enumerate((ARM_CORTEX_A9, AMD_K10)):
-        if calibrated:
-            params[node.name] = calibrate_node(
-                node,
-                workload,
-                noise=noise,
-                seed=RngStream(seed).child(f"params-{node.name}", index).rng,
-            )
-        else:
-            params[node.name] = ground_truth_params(node, workload)
-    return params
+    """Model inputs for the paper's two node types, keyed by node name.
+
+    Routed through the engine's :class:`RunContext` (the shared default
+    when ``ctx`` is omitted), so repeated figure builds in one process
+    calibrate each (node, workload, seed) pair exactly once.  The RNG
+    derivation matches the pre-engine one child-for-child.
+    """
+    ctx = ctx if ctx is not None else default_context()
+    return ctx.params_for(
+        (ARM_CORTEX_A9, AMD_K10),
+        workload,
+        calibrated=calibrated,
+        noise=noise,
+        seed=seed,
+    )
 
 
 # ---------------------------------------------------------------------------
@@ -336,12 +340,19 @@ def build_fig4_fig5(
     units: Optional[float] = None,
     calibrated: bool = False,
     seed: SeedLike = 0,
+    ctx: Optional[RunContext] = None,
 ) -> ParetoFigure:
-    """Figs. 4 (EP) and 5 (memcached): the 10x10 Pareto analysis."""
+    """Figs. 4 (EP) and 5 (memcached): the 10x10 Pareto analysis.
+
+    Calibration and space evaluation run through the engine context, so
+    rebuilding the same figure (or running the equivalent
+    :class:`~repro.engine.Scenario`) in one process is a cache hit.
+    """
+    ctx = ctx if ctx is not None else default_context()
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
-    params = suite_params(workload, calibrated=calibrated, seed=seed)
-    space = evaluate_space(ARM_CORTEX_A9, max_arm, AMD_K10, max_amd, params, units)
+    params = suite_params(workload, calibrated=calibrated, seed=seed, ctx=ctx)
+    space = ctx.space(ARM_CORTEX_A9, max_arm, AMD_K10, max_amd, params, units)
     frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
     arm_only = space.subset(space.is_only_a)
     amd_only = space.subset(space.is_only_b)
@@ -366,17 +377,19 @@ def build_fig6_fig7(
     calibrated: bool = False,
     seed: SeedLike = 0,
     deadline_points: int = 48,
+    ctx: Optional[RunContext] = None,
 ) -> Dict[str, FigureSeries]:
     """Figs. 6 (memcached) and 7 (EP): budget-constrained mixes.
 
     One min-energy-vs-deadline line per mix of the paper's legend
     (ARM 0:AMD 16 ... ARM 128:AMD 0 under 1 kW at 8:1).
     """
+    ctx = ctx if ctx is not None else default_context()
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
-    params = suite_params(workload, calibrated=calibrated, seed=seed)
+    params = suite_params(workload, calibrated=calibrated, seed=seed, ctx=ctx)
     mixes = budget_mixes(ARM_CORTEX_A9, AMD_K10, budget_w, ETHERNET_SWITCH)
-    return _mix_series(workload, mixes, params, units, deadline_points)
+    return _mix_series(workload, mixes, params, units, deadline_points, ctx=ctx)
 
 
 def build_fig8_fig9(
@@ -386,17 +399,19 @@ def build_fig8_fig9(
     calibrated: bool = False,
     seed: SeedLike = 0,
     deadline_points: int = 48,
+    ctx: Optional[RunContext] = None,
 ) -> Dict[str, FigureSeries]:
     """Figs. 8 (memcached) and 9 (EP): scaling the cluster at fixed ratio."""
+    ctx = ctx if ctx is not None else default_context()
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
-    params = suite_params(workload, calibrated=calibrated, seed=seed)
+    params = suite_params(workload, calibrated=calibrated, seed=seed, ctx=ctx)
     mixes = scaled_mixes(Mix(8, 1), factors)
     # Figures 8-9 treat a mix as the *available* cluster: configurations
     # may power off unused nodes, which is what grows the sweet region's
     # configuration count with scale (Observation 3).
     return _mix_series(
-        workload, mixes, params, units, deadline_points, pinned=False
+        workload, mixes, params, units, deadline_points, pinned=False, ctx=ctx
     )
 
 
@@ -407,20 +422,38 @@ def _mix_series(
     units: float,
     deadline_points: int,
     pinned: bool = True,
+    ctx: Optional[RunContext] = None,
 ) -> Dict[str, FigureSeries]:
     """Shared Fig. 6-9 machinery: per-mix min-energy over a common grid.
 
     ``pinned=True`` (Figures 6-7): every node of the mix participates in
     every job -- the budget lines stay distinct per mix.  ``pinned=False``
-    (Figures 8-9): any subset may be used, unused nodes off.
+    (Figures 8-9): any subset may be used, unused nodes off.  Per-mix
+    spaces mirror :func:`repro.core.analysis.fixed_mix_space` /
+    :func:`~repro.core.analysis.subset_mix_space`, evaluated through the
+    engine context's cache.
     """
-    build = analysis.fixed_mix_space if pinned else analysis.subset_mix_space
+    ctx = ctx if ctx is not None else default_context()
     spaces: Dict[str, ConfigSpaceResult] = {}
     fastest, slowest = np.inf, 0.0
     for mix in mixes:
-        space = build(
-            ARM_CORTEX_A9, mix.n_low, AMD_K10, mix.n_high, params, units
-        )
+        if mix.n_low == 0 and mix.n_high == 0:
+            raise ValueError("mix needs at least one node")
+        if pinned:
+            space = ctx.space(
+                ARM_CORTEX_A9,
+                max(mix.n_low, 1),
+                AMD_K10,
+                max(mix.n_high, 1),
+                params,
+                units,
+                counts_a=[mix.n_low],
+                counts_b=[mix.n_high],
+            )
+        else:
+            space = ctx.space(
+                ARM_CORTEX_A9, mix.n_low, AMD_K10, mix.n_high, params, units
+            )
         spaces[mix.label()] = space
         frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
         fastest = min(fastest, frontier.fastest_time_s)
@@ -460,16 +493,18 @@ def build_fig10(
     units: Optional[float] = None,
     calibrated: bool = False,
     seed: SeedLike = 0,
+    ctx: Optional[RunContext] = None,
 ) -> Dict[float, List[WindowPoint]]:
     """Fig. 10: queueing-aware window energy on the 16 ARM + 14 AMD cluster.
 
     Configurations may use any subset of the nodes (unused nodes are off),
     so the space spans all counts up to the cluster size.
     """
+    ctx = ctx if ctx is not None else default_context()
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
-    params = suite_params(workload, calibrated=calibrated, seed=seed)
-    space = evaluate_space(ARM_CORTEX_A9, n_arm, AMD_K10, n_amd, params, units)
+    params = suite_params(workload, calibrated=calibrated, seed=seed, ctx=ctx)
+    space = ctx.space(ARM_CORTEX_A9, n_arm, AMD_K10, n_amd, params, units)
     return figure10_series(
         space,
         ARM_CORTEX_A9.idle_power_w,

@@ -17,13 +17,19 @@ report the error trend:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import Callable, Iterable, List, Optional, Sequence, Tuple
 
 from repro.hardware.specs import NodeSpec
 from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
 from repro.util.rng import SeedLike
 from repro.validation.harness import validate_single_node
 from repro.workloads.base import WorkloadSpec
+
+#: Order-preserving map over independent sweep points.  The default is
+#: the builtin serial map; pass ``RunContext.map`` (or
+#: :func:`repro.engine.parallel_map`) to fan replications across a
+#: process pool -- every worker payload here is top-level and picklable.
+MapFn = Callable[[Callable, Iterable], Iterable]
 
 
 @dataclass(frozen=True)
@@ -35,6 +41,26 @@ class SweepPoint:
     energy_error_pct: float
 
 
+def _sweep_point(
+    args: Tuple[NodeSpec, WorkloadSpec, float, float, NoiseModel, SeedLike, int],
+) -> SweepPoint:
+    """Evaluate one sweep sample (top-level so process pools can pickle it)."""
+    node, workload, x, units, noise, seed, repetitions = args
+    report = validate_single_node(
+        node,
+        workload,
+        units=units,
+        noise=noise,
+        seed=seed,
+        repetitions=repetitions,
+    )
+    return SweepPoint(
+        x=float(x),
+        time_error_pct=report.time_errors.mean,
+        energy_error_pct=report.energy_errors.mean,
+    )
+
+
 def noise_sweep(
     node: NodeSpec,
     workload: WorkloadSpec,
@@ -43,28 +69,16 @@ def noise_sweep(
     seed: SeedLike = 0,
     repetitions: int = 2,
     base: NoiseModel = CALIBRATED_NOISE,
+    map_fn: Optional[MapFn] = None,
 ) -> List[SweepPoint]:
     """Mean validation error at each overall noise scale."""
     if not scales:
         raise ValueError("need at least one scale")
-    points: List[SweepPoint] = []
-    for scale in scales:
-        report = validate_single_node(
-            node,
-            workload,
-            units=units,
-            noise=base.scaled(scale),
-            seed=seed,
-            repetitions=repetitions,
-        )
-        points.append(
-            SweepPoint(
-                x=float(scale),
-                time_error_pct=report.time_errors.mean,
-                energy_error_pct=report.energy_errors.mean,
-            )
-        )
-    return points
+    tasks = [
+        (node, workload, float(scale), units, base.scaled(scale), seed, repetitions)
+        for scale in scales
+    ]
+    return list((map_fn or map)(_sweep_point, tasks))
 
 
 def problem_size_sweep(
@@ -74,25 +88,13 @@ def problem_size_sweep(
     seed: SeedLike = 0,
     repetitions: int = 2,
     noise: NoiseModel = CALIBRATED_NOISE,
+    map_fn: Optional[MapFn] = None,
 ) -> List[SweepPoint]:
     """Mean validation error at each problem size."""
     if not sizes:
         raise ValueError("need at least one size")
-    points: List[SweepPoint] = []
-    for size in sizes:
-        report = validate_single_node(
-            node,
-            workload,
-            units=float(size),
-            noise=noise,
-            seed=seed,
-            repetitions=repetitions,
-        )
-        points.append(
-            SweepPoint(
-                x=float(size),
-                time_error_pct=report.time_errors.mean,
-                energy_error_pct=report.energy_errors.mean,
-            )
-        )
-    return points
+    tasks = [
+        (node, workload, float(size), float(size), noise, seed, repetitions)
+        for size in sizes
+    ]
+    return list((map_fn or map)(_sweep_point, tasks))

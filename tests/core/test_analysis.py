@@ -7,7 +7,7 @@ from repro.core import analysis
 from repro.core.calibration import ground_truth_params
 from repro.core.evaluate import evaluate_space
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
-from repro.workloads.suite import EP, MEMCACHED, PAPER_WORKLOADS
+from repro.workloads.suite import PAPER_WORKLOADS
 
 
 class TestEfficientSetting:

@@ -108,3 +108,54 @@ class TestFrontier:
                 small_ep_space.energies_j < e
             )
             assert not better.any()
+
+
+def _reference_pareto_indices(times_s, energies_j) -> np.ndarray:
+    """The pre-vectorization Python keep-loop, kept verbatim as the oracle."""
+    t = np.asarray(times_s, dtype=float)
+    e = np.asarray(energies_j, dtype=float)
+    if t.size == 0:
+        return np.empty(0, dtype=np.int64)
+    order = np.lexsort((e, t))
+    keep = []
+    best = np.inf
+    for idx in order:
+        if e[idx] < best:
+            keep.append(idx)
+            best = e[idx]
+    return np.asarray(keep, dtype=np.int64)
+
+
+class TestVectorizedPin:
+    """Pin the np.minimum.accumulate version to the original keep-loop."""
+
+    @pytest.mark.parametrize("n", [1, 2, 3, 10, 100, 5_000])
+    @pytest.mark.parametrize("trial", range(3))
+    def test_matches_reference_on_random_clouds(self, n, trial):
+        rng = np.random.default_rng(1000 * n + trial)
+        times = rng.uniform(1e-3, 1e3, size=n)
+        energies = rng.uniform(1e-3, 1e3, size=n)
+        np.testing.assert_array_equal(
+            pareto_indices(times, energies),
+            _reference_pareto_indices(times, energies),
+        )
+
+    @pytest.mark.parametrize("trial", range(3))
+    def test_matches_reference_with_heavy_ties(self, trial):
+        # Quantized coordinates force duplicate times, duplicate energies,
+        # and fully duplicated points -- the lexsort tie-break territory.
+        rng = np.random.default_rng(trial)
+        times = rng.integers(0, 8, size=500).astype(float)
+        energies = rng.integers(0, 8, size=500).astype(float)
+        np.testing.assert_array_equal(
+            pareto_indices(times, energies),
+            _reference_pareto_indices(times, energies),
+        )
+
+    def test_matches_reference_on_constant_cloud(self):
+        times = np.full(32, 2.5)
+        energies = np.full(32, 7.0)
+        np.testing.assert_array_equal(
+            pareto_indices(times, energies),
+            _reference_pareto_indices(times, energies),
+        )

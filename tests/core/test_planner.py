@@ -2,9 +2,8 @@
 
 import pytest
 
-from repro.core.planner import SLO, Plan, plan_cluster
+from repro.core.planner import SLO, plan_cluster
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
-from repro.workloads.suite import EP, MEMCACHED
 
 
 class TestSLO:

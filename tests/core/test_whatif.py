@@ -11,7 +11,7 @@ from repro.core.whatif import (
     what_if,
 )
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
-from repro.workloads.suite import MEMCACHED, RSA2048, X264
+from repro.workloads.suite import RSA2048, X264
 
 
 class TestFactories:

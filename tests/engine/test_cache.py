@@ -1,0 +1,87 @@
+"""Result cache: memoization semantics, stats, and the on-disk layer."""
+
+import pickle
+
+from repro.engine.cache import ResultCache
+
+
+class TestMemoryLayer:
+    def test_computes_once_per_content(self):
+        cache = ResultCache()
+        calls = []
+        for _ in range(3):
+            value = cache.get_or_compute("params", ("a", 1), lambda: calls.append(1) or "v")
+        assert value == "v"
+        assert len(calls) == 1
+        assert cache.stats.misses == 1
+        assert cache.stats.hits == 2
+
+    def test_hit_returns_same_object(self):
+        cache = ResultCache()
+        first = cache.get_or_compute("space", "k", lambda: {"big": "result"})
+        second = cache.get_or_compute("space", "k", lambda: {"big": "result"})
+        assert first is second
+
+    def test_kind_namespaces_equal_content(self):
+        cache = ResultCache()
+        a = cache.get_or_compute("params", "same", lambda: "A")
+        b = cache.get_or_compute("space", "same", lambda: "B")
+        assert (a, b) == ("A", "B")
+        assert cache.stats.misses == 2
+
+    def test_content_addressing_ignores_dict_order(self):
+        cache = ResultCache()
+        cache.get_or_compute("k", {"x": 1, "y": 2}, lambda: "v")
+        assert cache.get_or_compute("k", {"y": 2, "x": 1}, lambda: "other") == "v"
+
+    def test_clear_drops_memory(self):
+        cache = ResultCache()
+        cache.get_or_compute("k", 1, lambda: "v")
+        cache.clear()
+        assert len(cache) == 0
+        cache.get_or_compute("k", 1, lambda: "v2")
+        assert cache.stats.misses == 2
+
+
+class TestDiskLayer:
+    def test_second_process_warms_from_disk(self, tmp_path):
+        writer = ResultCache(disk_dir=tmp_path / "cache")
+        writer.get_or_compute("space", ("fig4", 0), lambda: [1.0, 2.0])
+
+        reader = ResultCache(disk_dir=tmp_path / "cache")  # a "new process"
+        value = reader.get_or_compute(
+            "space", ("fig4", 0), lambda: pytest_fail_never()
+        )
+        assert value == [1.0, 2.0]
+        assert reader.stats.disk_hits == 1
+        assert reader.stats.misses == 0
+        # Now in memory: no second disk read needed.
+        reader.get_or_compute("space", ("fig4", 0), lambda: None)
+        assert reader.stats.hits == 1
+
+    def test_corrupt_entry_degrades_to_recompute(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        key = cache.key("space", "k")
+        (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
+        assert cache.get_or_compute("space", "k", lambda: "fresh") == "fresh"
+        assert cache.stats.misses == 1
+        # The recomputed value replaced the corrupt entry atomically.
+        with (tmp_path / f"{key}.pkl").open("rb") as fh:
+            assert pickle.load(fh) == "fresh"
+
+    def test_clear_leaves_disk_alone(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.get_or_compute("k", 1, lambda: "v")
+        cache.clear()
+        assert cache.get_or_compute("k", 1, lambda: None) == "v"
+        assert cache.stats.disk_hits == 1
+
+    def test_unpicklable_value_still_served_from_memory(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        value = cache.get_or_compute("k", 1, lambda: lambda: 42)  # pickling fails
+        assert value() == 42
+        assert cache.get_or_compute("k", 1, lambda: None) is value
+
+
+def pytest_fail_never():
+    raise AssertionError("compute() must not run on a disk hit")

@@ -1,0 +1,87 @@
+"""Executor: chunk decomposition, pooled execution, serial fallbacks."""
+
+import numpy as np
+
+from repro.core.calibration import ground_truth_params
+from repro.core.evaluate import evaluate_space
+from repro.engine.executor import (
+    PARALLEL_THRESHOLD_ROWS,
+    _chunk,
+    _estimate_rows,
+    default_max_workers,
+    evaluate_space_chunked,
+    parallel_map,
+)
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.workloads.suite import EP
+
+PARAMS = {
+    spec.name: ground_truth_params(spec, EP) for spec in (ARM_CORTEX_A9, AMD_K10)
+}
+
+
+def _double(x: float) -> float:  # top-level so process pools can pickle it
+    return 2.0 * x
+
+
+class TestChunkHelper:
+    def test_preserves_order_and_content(self):
+        values = np.array([1, 2, 3, 4, 5])
+        parts = _chunk(values, 2)
+        np.testing.assert_array_equal(np.concatenate(parts), values)
+
+    def test_never_more_chunks_than_values(self):
+        assert len(_chunk(np.array([1, 2]), 10)) == 2
+
+    def test_at_least_one_chunk(self):
+        assert len(_chunk(np.array([7]), 0)) == 1
+
+
+class TestChunkedEvaluation:
+    def test_pooled_run_matches_whole_space(self):
+        whole = evaluate_space(ARM_CORTEX_A9, 6, AMD_K10, 4, PARAMS, 1e6)
+        pooled = evaluate_space_chunked(
+            ARM_CORTEX_A9, 6, AMD_K10, 4, PARAMS, 1e6, max_workers=4, n_chunks=4
+        )
+        np.testing.assert_array_equal(whole.times_s, pooled.times_s)
+        np.testing.assert_array_equal(whole.energies_j, pooled.energies_j)
+        np.testing.assert_array_equal(whole.n_a, pooled.n_a)
+        np.testing.assert_array_equal(whole.n_b, pooled.n_b)
+
+    def test_small_space_takes_direct_path(self):
+        # The full paper space is ~36k rows, far below the pooling
+        # threshold: without an explicit chunk count the direct path runs.
+        assert _estimate_rows(
+            ARM_CORTEX_A9, np.arange(1, 11), AMD_K10, np.arange(1, 11)
+        ) < PARALLEL_THRESHOLD_ROWS
+        result = evaluate_space_chunked(ARM_CORTEX_A9, 3, AMD_K10, 3, PARAMS, 1e6)
+        direct = evaluate_space(ARM_CORTEX_A9, 3, AMD_K10, 3, PARAMS, 1e6)
+        np.testing.assert_array_equal(result.times_s, direct.times_s)
+
+    def test_single_type_space(self):
+        only_a = evaluate_space_chunked(
+            ARM_CORTEX_A9, 5, AMD_K10, 5, PARAMS, 1e6,
+            counts_b=[0], max_workers=1, n_chunks=3,
+        )
+        direct = evaluate_space(
+            ARM_CORTEX_A9, 5, AMD_K10, 5, PARAMS, 1e6, counts_b=[0]
+        )
+        np.testing.assert_array_equal(only_a.times_s, direct.times_s)
+        assert (only_a.n_b == 0).all()
+
+
+class TestParallelMap:
+    def test_preserves_order(self):
+        items = list(range(20))
+        assert parallel_map(_double, items, max_workers=4) == [2.0 * i for i in items]
+
+    def test_serial_path_matches(self):
+        items = [3.0, 1.0, 2.0]
+        assert parallel_map(_double, items, max_workers=1) == [6.0, 2.0, 4.0]
+
+    def test_empty_and_singleton(self):
+        assert parallel_map(_double, [], max_workers=4) == []
+        assert parallel_map(_double, [5.0], max_workers=4) == [10.0]
+
+    def test_default_worker_count_sane(self):
+        assert 1 <= default_max_workers() <= 8

@@ -1,0 +1,68 @@
+"""Stable content hashing: same content, same key -- everywhere, always."""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.engine.hashing import stable_hash
+from repro.engine.scenario import Scenario
+from repro.hardware.catalog import ARM_CORTEX_A9
+from repro.workloads.suite import EP
+
+
+class TestStability:
+    def test_deterministic_across_calls(self):
+        obj = {"a": [1, 2.5, "x"], "b": (None, True)}
+        assert stable_hash(obj) == stable_hash(obj)
+
+    def test_dict_insertion_order_irrelevant(self):
+        assert stable_hash({"a": 1, "b": 2}) == stable_hash({"b": 2, "a": 1})
+
+    def test_set_iteration_order_irrelevant(self):
+        assert stable_hash({3, 1, 2}) == stable_hash({2, 3, 1})
+
+    def test_equal_dataclasses_hash_equal(self):
+        a = Scenario(workload="ep", seed=3, name="x")
+        b = Scenario(workload="ep", seed=3, name="x")
+        assert a is not b
+        assert stable_hash(a) == stable_hash(b)
+
+    def test_model_objects_are_hashable(self):
+        params = ground_truth_params(ARM_CORTEX_A9, EP)
+        assert len(stable_hash((ARM_CORTEX_A9, EP, params))) == 64
+
+
+class TestDiscrimination:
+    def test_type_distinctions(self):
+        # Values that compare equal across types must still key separately.
+        digests = {stable_hash(v) for v in (1, 1.0, True, "1", b"1", None)}
+        assert len(digests) == 6
+
+    def test_container_shape_matters(self):
+        assert stable_hash([1, 2]) != stable_hash([2, 1])
+        assert stable_hash([1, 2]) != stable_hash([1, 2, 0])
+
+    def test_array_content_dtype_and_shape_matter(self):
+        base = np.arange(6, dtype=np.float64)
+        assert stable_hash(base) != stable_hash(base + 1)
+        assert stable_hash(base) != stable_hash(base.astype(np.float32))
+        assert stable_hash(base) != stable_hash(base.reshape(2, 3))
+
+    def test_noncontiguous_array_equals_contiguous_copy(self):
+        arr = np.arange(12, dtype=float).reshape(3, 4)
+        view = arr[:, ::2]
+        assert stable_hash(view) == stable_hash(view.copy())
+
+    def test_numpy_scalars_match_python_scalars(self):
+        assert stable_hash(np.int64(7)) == stable_hash(7)
+        assert stable_hash(np.float64(2.5)) == stable_hash(2.5)
+
+
+class TestRejection:
+    def test_unsupported_type_raises(self):
+        with pytest.raises(TypeError, match="stably hash"):
+            stable_hash(object())
+
+    def test_unsupported_nested_type_raises(self):
+        with pytest.raises(TypeError):
+            stable_hash({"fn": lambda: None})

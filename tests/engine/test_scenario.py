@@ -1,0 +1,106 @@
+"""Scenario: declarative experiment descriptions and their serialization."""
+
+import pytest
+
+from repro.engine.hashing import stable_hash
+from repro.engine.scenario import STAGES, Scenario
+
+
+class TestValidation:
+    def test_minimal_scenario(self):
+        s = Scenario(workload="ep")
+        assert s.node_a == "arm-cortex-a9"
+        assert s.node_b == "amd-k10"
+        assert s.wants("calibrate") and s.wants("space")
+
+    def test_negative_counts_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(workload="ep", max_a=-1)
+
+    def test_empty_space_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(workload="ep", max_a=0, max_b=0)
+
+    def test_nonpositive_units_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(workload="ep", units=0.0)
+
+    def test_negative_noise_scale_rejected(self):
+        with pytest.raises(ValueError):
+            Scenario(workload="ep", noise_scale=-0.1)
+
+    def test_unknown_stage_rejected(self):
+        with pytest.raises(ValueError, match="unknown stages"):
+            Scenario(workload="ep", stages=("fronteer",))
+
+    def test_lists_coerced_to_tuples(self):
+        s = Scenario(workload="ep", counts_a=[1, 2], stages=["frontier"])
+        assert s.counts_a == (1, 2)
+        assert isinstance(s.stages, tuple)
+
+
+class TestStageNormalization:
+    def test_regions_implies_frontier(self):
+        s = Scenario(workload="ep", stages=("regions",))
+        assert s.stages == ("calibrate", "space", "frontier", "regions")
+
+    def test_stages_come_out_in_pipeline_order(self):
+        s = Scenario(workload="ep", stages=("queueing", "regions", "frontier"))
+        assert s.stages == STAGES
+
+    def test_empty_stages_mean_space_only(self):
+        s = Scenario(workload="ep", stages=())
+        assert s.stages == ("calibrate", "space")
+        assert not s.wants("frontier")
+
+
+class TestSerialization:
+    def test_dict_round_trip(self):
+        s = Scenario(
+            workload="memcached",
+            counts_a=(2, 4),
+            units=5e4,
+            calibrated=True,
+            noise_scale=0.5,
+            seed=7,
+            stages=("frontier", "queueing"),
+            name="fig5-ish",
+        )
+        assert Scenario.from_dict(s.to_dict()) == s
+
+    def test_json_round_trip(self):
+        s = Scenario(workload="ep", utilizations=(0.1, 0.9))
+        assert Scenario.from_json(s.to_json()) == s
+
+    def test_file_round_trip(self, tmp_path):
+        s = Scenario(workload="ep", seed=3)
+        path = tmp_path / "scenario.json"
+        path.write_text(s.to_json())
+        assert Scenario.from_file(path) == s
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(ValueError, match="unknown scenario fields"):
+            Scenario.from_dict({"workload": "ep", "max_arm": 3})
+
+    def test_to_dict_is_json_plain(self):
+        raw = Scenario(workload="ep").to_dict()
+        assert not any(isinstance(v, tuple) for v in raw.values())
+
+
+class TestIdentity:
+    def test_name_is_cosmetic(self):
+        a = Scenario(workload="ep", name="monday")
+        b = Scenario(workload="ep", name="tuesday")
+        assert a.cache_identity() == b.cache_identity()
+        assert stable_hash(a.cache_identity()) == stable_hash(b.cache_identity())
+
+    def test_seed_changes_identity(self):
+        a = Scenario(workload="ep", seed=0)
+        b = Scenario(workload="ep", seed=1)
+        assert stable_hash(a.cache_identity()) != stable_hash(b.cache_identity())
+
+    def test_with_applies_changes(self):
+        s = Scenario(workload="ep", seed=0)
+        t = s.with_(seed=9, name="sweep")
+        assert (t.seed, t.name) == (9, "sweep")
+        assert s.seed == 0  # original untouched (frozen)

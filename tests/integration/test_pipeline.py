@@ -13,7 +13,7 @@ from repro.core.evaluate import evaluate_space
 from repro.core.pareto import ParetoFrontier
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
 from repro.simulator.cluster import ClusterSimulator, GroupAssignment
-from repro.workloads.suite import EP, MEMCACHED
+from repro.workloads.suite import EP
 
 
 @pytest.fixture(scope="module")

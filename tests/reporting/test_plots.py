@@ -1,6 +1,5 @@
 """ASCII plotting."""
 
-import numpy as np
 import pytest
 
 from repro.reporting.figures import FigureSeries, build_fig4_fig5, build_fig6_fig7

@@ -2,7 +2,6 @@
 
 import dataclasses
 
-import numpy as np
 import pytest
 
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9

@@ -92,3 +92,45 @@ class TestExtensionCommands:
         out = capsys.readouterr().out
         assert "Pareto frontier" in out
         assert "|" in out  # a canvas was drawn
+
+
+class TestScenarioArtifact:
+    def test_scenario_from_file(self, tmp_path, capsys):
+        from repro.engine import Scenario
+
+        path = tmp_path / "exp.json"
+        path.write_text(
+            Scenario(
+                workload="ep", max_a=2, max_b=2, stages=("frontier",), name="mini"
+            ).to_json()
+        )
+        assert main(["scenario", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "mini" in out
+        assert "frontier" in out
+
+    def test_scenario_requires_file(self, capsys):
+        assert main(["scenario"]) == 2
+        assert "--file" in capsys.readouterr().err
+
+    def test_scenario_csv_and_cache_dir(self, tmp_path, capsys):
+        from repro.engine import Scenario
+
+        path = tmp_path / "exp.json"
+        path.write_text(Scenario(workload="ep", max_a=2, max_b=2).to_json())
+        csv = tmp_path / "space.csv"
+        cache_dir = tmp_path / "cache"
+        assert main(
+            ["scenario", "--file", str(path), "--csv", str(csv),
+             "--cache-dir", str(cache_dir)]
+        ) == 0
+        assert csv.exists() and csv.read_text().startswith("time_ms")
+        assert any(cache_dir.iterdir())  # results persisted for later runs
+
+    def test_scenario_verbose_emits_engine_events(self, tmp_path, capsys):
+        from repro.engine import Scenario
+
+        path = tmp_path / "exp.json"
+        path.write_text(Scenario(workload="ep", max_a=2, max_b=2).to_json())
+        assert main(["scenario", "--file", str(path), "--verbose"]) == 0
+        assert "[engine]" in capsys.readouterr().err

@@ -61,3 +61,30 @@ class TestEndToEndThreeLiner:
 
         frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
         assert frontier.min_energy_j > 0
+
+
+class TestEngineExports:
+    def test_engine_names_exported(self):
+        for name in (
+            "Scenario",
+            "ScenarioResult",
+            "RunContext",
+            "ResultCache",
+            "run_scenario",
+            "default_context",
+        ):
+            assert name in repro.__all__, name
+            assert hasattr(repro, name), name
+
+    def test_declarative_three_liner(self):
+        """The engine-era equivalent of the README snippet."""
+        scenario = repro.Scenario(workload="ep", max_a=3, max_b=3, stages=("frontier",))
+        result = repro.run_scenario(scenario, repro.RunContext(seed=0))
+        assert result.frontier.min_energy_j > 0
+
+    def test_scenario_survives_json(self):
+        scenario = repro.Scenario(workload="memcached", units=5e4, name="readme")
+        assert repro.Scenario.from_json(scenario.to_json()) == scenario
+
+    def test_default_context_is_shared(self):
+        assert repro.default_context() is repro.default_context()
