@@ -1,0 +1,176 @@
+"""Record the measurement-layer speedups into ``BENCH_PR2.json``.
+
+Times the three hot paths this PR vectorized, each against its retained
+scalar reference, and writes the wall-clock ratios to a JSON file at the
+repository root (committed so the numbers travel with the code, and
+uploaded as a CI artifact so every run re-measures them):
+
+* **Table 3 validation** -- the full single-node validation campaign
+  (six workloads x two node types) at ``repetitions=10``, batched
+  :meth:`NodeSimulator.run_batch` vs one scalar ``run`` per repetition;
+* **Fig. 10 queueing** -- the M/D/1 window-response sample path at
+  50k jobs, vectorized Lindley recursion vs the event-loop reference;
+* **calibration** -- one trace-driven ``calibrate_node`` campaign,
+  batched counter grid vs the scalar loop.
+
+Every pair is checked for *equality of results* before it is timed, so
+a recorded speedup can never come from computing something different.
+Timings are best-of-``repeats`` to shrug off machine noise.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/record.py [--output BENCH_PR2.json]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict
+
+import numpy as np
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def _best_of(fn: Callable[[], object], repeats: int) -> float:
+    """Best wall-clock seconds over ``repeats`` full passes."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _pair(label: str, reference_s: float, fast_s: float, detail: str) -> Dict:
+    return {
+        "label": label,
+        "reference_s": reference_s,
+        "batched_s": fast_s,
+        "speedup": reference_s / fast_s,
+        "detail": detail,
+    }
+
+
+def bench_table3_validation(repeats: int) -> Dict:
+    """The Table 3 campaign at repetitions=10, batched vs scalar."""
+    from repro.reporting.figures import build_table3
+
+    def run(batched: bool):
+        _, results = build_table3(seed=0, repetitions=10, batched=batched)
+        return results
+
+    # Results must agree bit-for-bit before timing means anything.
+    for ref, new in zip(run(False), run(True)):
+        assert ref.time_errors == new.time_errors
+        assert ref.energy_errors == new.energy_errors
+    reference = _best_of(lambda: run(False), repeats)
+    batched = _best_of(lambda: run(True), repeats)
+    return _pair(
+        "Table 3 single-node validation (6 workloads x 2 nodes, reps=10)",
+        reference,
+        batched,
+        "validate_single_node batched=True vs batched=False",
+    )
+
+
+def bench_fig10_queueing(repeats: int, n_jobs: int = 50_000) -> Dict:
+    """The M/D/1 sample path behind Fig. 10 checks: Lindley vs event loop."""
+    from repro.queueing.simulation import (
+        deterministic_service,
+        simulate_queue,
+        simulate_queue_lindley,
+    )
+
+    service = deterministic_service(0.05)
+    arrival_rate = 0.5 / 0.05  # utilization 0.5
+
+    # Same draws, but the event loop and the recursion accumulate floats
+    # in different orders; agreement is to rounding, not bit-exact.
+    ref = simulate_queue(arrival_rate, service, n_jobs, seed=0)
+    fast = simulate_queue_lindley(arrival_rate, service, n_jobs, seed=0)
+    assert abs(ref.mean_wait_s - fast.mean_wait_s) < 1e-9 * ref.mean_wait_s
+    assert abs(ref.utilization - fast.utilization) < 1e-9
+    reference = _best_of(
+        lambda: simulate_queue(arrival_rate, service, n_jobs, seed=0), repeats
+    )
+    lindley = _best_of(
+        lambda: simulate_queue_lindley(arrival_rate, service, n_jobs, seed=0),
+        repeats,
+    )
+    return _pair(
+        f"Fig. 10 M/D/1 queue simulation ({n_jobs} jobs, U=0.5)",
+        reference,
+        lindley,
+        "simulate_queue_lindley vs simulate_queue (same sample path)",
+    )
+
+
+def bench_calibration(repeats: int) -> Dict:
+    """One trace-driven calibration campaign, batched vs scalar grid."""
+    from repro.core.calibration import calibrate_node
+    from repro.hardware.catalog import AMD_K10
+    from repro.workloads.suite import MEMCACHED
+
+    def run(batched: bool):
+        return calibrate_node(AMD_K10, MEMCACHED, seed=0, batched=batched)
+
+    assert run(False) == run(True)
+    reference = _best_of(lambda: run(False), repeats)
+    batched = _best_of(lambda: run(True), repeats)
+    return _pair(
+        "calibrate_node (AMD K10 / memcached, full counter grid)",
+        reference,
+        batched,
+        "calibrate_node batched=True vs batched=False",
+    )
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--output",
+        type=Path,
+        default=REPO_ROOT / "BENCH_PR2.json",
+        help="where to write the JSON record",
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=5,
+        help="full passes per measurement; best-of wins",
+    )
+    args = parser.parse_args(argv)
+
+    benchmarks = {
+        "table3_validation": bench_table3_validation(args.repeats),
+        "fig10_queueing": bench_fig10_queueing(args.repeats),
+        "calibration": bench_calibration(args.repeats),
+    }
+    record = {
+        "pr": "vectorized measurement layer",
+        "python": platform.python_version(),
+        "numpy": np.__version__,
+        "machine": platform.machine(),
+        "repeats": args.repeats,
+        "timing": "best-of-repeats wall clock, results equality-checked first",
+        "benchmarks": benchmarks,
+    }
+    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    for name, bench in benchmarks.items():
+        print(
+            f"{name}: {bench['reference_s'] * 1e3:.1f} ms -> "
+            f"{bench['batched_s'] * 1e3:.1f} ms "
+            f"({bench['speedup']:.1f}x)"
+        )
+    print(f"wrote {args.output}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

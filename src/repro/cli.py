@@ -138,11 +138,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(e.g. results/.cache; default: in-memory only)",
     )
     parser.add_argument(
+        "--simulation",
+        choices=["batched", "reference"],
+        default=None,
+        help="measurement-layer implementation: 'batched' (vectorized "
+        "NumPy runs, the default) or 'reference' (scalar per-run loop); "
+        "the two are bit-identical, so this is a performance knob",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print engine progress events (stages, cache hits, timings)",
     )
     args = parser.parse_args(argv)
+    batched = args.simulation != "reference"
 
     out = sys.stdout
     csv_rows = None
@@ -161,10 +170,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.artifact == "table1":
         print(build_table1().render(), file=out)
     elif args.artifact == "table3":
-        table, _ = build_table3(seed=args.seed)
+        table, _ = build_table3(seed=args.seed, batched=batched)
         print(table.render(), file=out)
     elif args.artifact == "table4":
-        table, _ = build_table4(seed=args.seed)
+        table, _ = build_table4(seed=args.seed, batched=batched)
         print(table.render(), file=out)
     elif args.artifact == "table5":
         table, _ = build_table5(seed=args.seed)
@@ -177,7 +186,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"wrote {args.csv}", file=out)
         return 0
     elif args.artifact == "fig3":
-        series = build_fig3(seed=args.seed)
+        series = build_fig3(seed=args.seed, batched=batched)
         table = Table(
             ["panel", "r^2", "slope", "intercept"],
             title="Fig 3: SPI_mem linear regression over frequency",
@@ -310,6 +319,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             print("scenario requires --file <scenario.json>", file=sys.stderr)
             return 2
         scenario = Scenario.from_file(args.file)
+        if args.simulation is not None:
+            scenario = scenario.with_(simulation=args.simulation)
         result = run_scenario(scenario, ctx)
         table = Table(
             ["quantity", "value"],

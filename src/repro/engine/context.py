@@ -124,6 +124,7 @@ class RunContext:
         index: int = 0,
         baseline_units: float = 5_000.0,
         repetitions: int = 3,
+        batched: bool = True,
     ) -> NodeModelParams:
         """Model inputs for one (node, workload) pair, memoized.
 
@@ -132,6 +133,10 @@ class RunContext:
         from ``RngStream(seed).child(label, index)`` with
         ``label="params-<node>"`` by default -- the exact derivation the
         reporting layer used pre-engine, so figures are unchanged.
+
+        ``batched`` selects the measurement-layer implementation (see
+        :func:`repro.core.calibration.calibrate_node`); both paths are
+        bit-identical, so it deliberately stays out of the cache key.
         """
         if not calibrated:
             key = ("ground-truth", node, workload)
@@ -150,6 +155,7 @@ class RunContext:
                 seed=rng,
                 baseline_units=baseline_units,
                 repetitions=repetitions,
+                batched=batched,
             )
 
         if not isinstance(seed, int):
@@ -168,12 +174,13 @@ class RunContext:
         calibrated: bool = False,
         noise: NoiseModel = CALIBRATED_NOISE,
         seed: Optional[SeedLike] = None,
+        batched: bool = True,
     ) -> Dict[str, NodeModelParams]:
         """Model inputs for several node types, keyed by node name."""
         return {
             node.name: self.params(
                 node, workload, calibrated=calibrated, noise=noise,
-                seed=seed, index=index,
+                seed=seed, index=index, batched=batched,
             )
             for index, node in enumerate(nodes)
         }

@@ -93,6 +93,7 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
         calibrated=scenario.calibrated,
         noise=CALIBRATED_NOISE.scaled(scenario.noise_scale),
         seed=scenario.seed,
+        batched=scenario.simulation == "batched",
     )
     timings["calibrate"] = time.perf_counter() - start
 

@@ -60,6 +60,13 @@ class Scenario:
         added automatically.
     utilizations, window_s:
         Queueing-stage knobs (Fig. 10 semantics).
+    simulation:
+        Measurement-layer implementation for calibration campaigns:
+        ``"batched"`` runs the counter grid through
+        :meth:`~repro.simulator.node.NodeSimulator.run_batch`,
+        ``"reference"`` keeps the scalar per-run loop.  Both draw from
+        the same seed tree and produce bit-identical results, so the
+        choice is excluded from the cache identity.
     name:
         Optional human label; excluded from the cache identity so naming
         a scenario never invalidates its results.
@@ -79,6 +86,7 @@ class Scenario:
     stages: Tuple[str, ...] = ("frontier", "regions")
     utilizations: Tuple[float, ...] = (0.05, 0.25, 0.50)
     window_s: float = 20.0
+    simulation: str = "batched"
     name: Optional[str] = None
 
     def __post_init__(self) -> None:
@@ -92,6 +100,11 @@ class Scenario:
             raise ValueError("noise scale must be non-negative")
         if self.window_s <= 0:
             raise ValueError("queueing window must be positive")
+        if self.simulation not in ("batched", "reference"):
+            raise ValueError(
+                f"simulation must be 'batched' or 'reference', got "
+                f"{self.simulation!r}"
+            )
         for tup_field in ("counts_a", "counts_b", "stages", "utilizations"):
             value = getattr(self, tup_field)
             if value is not None and not isinstance(value, tuple):
@@ -149,9 +162,15 @@ class Scenario:
     # ---- identity ------------------------------------------------------
 
     def cache_identity(self) -> Dict[str, Any]:
-        """The fields that determine results (drops the cosmetic name)."""
+        """The fields that determine results.
+
+        Drops the cosmetic ``name`` and the ``simulation`` implementation
+        choice -- batched and reference runs are bit-identical, so they
+        share cache entries.
+        """
         raw = self.to_dict()
         raw.pop("name")
+        raw.pop("simulation")
         return raw
 
     def with_(self, **changes: Any) -> "Scenario":

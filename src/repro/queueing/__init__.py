@@ -8,16 +8,29 @@ idle gaps between jobs burn idle power.  This package provides
 * the analytic M/D/1 model the paper uses, plus M/M/1 and M/G/1
   (Pollaczek-Khinchine) for the sensitivity ablation;
 * a discrete-event single-server queue simulator that validates the
-  formulas (built on :class:`repro.simulator.engine.EventLoop`);
-* the observation-window energy accounting behind Figure 10.
+  formulas (built on :class:`repro.simulator.engine.EventLoop`), and its
+  vectorized Lindley-recursion twin for large sample sizes;
+* the observation-window energy accounting behind Figure 10, with a
+  simulation cross-check of the analytic responses.
 """
 
 from repro.queueing.models import MD1Queue, MM1Queue, MG1Queue, QueueModel
-from repro.queueing.simulation import QueueSimStats, simulate_queue
+from repro.queueing.simulation import (
+    DeterministicService,
+    ExponentialService,
+    QueueSimStats,
+    ServiceDistribution,
+    deterministic_service,
+    exponential_service,
+    queue_wait_samples,
+    simulate_queue,
+    simulate_queue_lindley,
+)
 from repro.queueing.dispatcher import (
     WindowPoint,
     window_energy,
     figure10_series,
+    verify_points_against_simulation,
 )
 from repro.queueing.tail import MD1WaitDistribution, percentile_feasible_energy
 from repro.queueing.replay import WindowReplay, replay_mean, replay_window
@@ -28,10 +41,18 @@ __all__ = [
     "MG1Queue",
     "QueueModel",
     "QueueSimStats",
+    "ServiceDistribution",
+    "DeterministicService",
+    "ExponentialService",
+    "deterministic_service",
+    "exponential_service",
     "simulate_queue",
+    "simulate_queue_lindley",
+    "queue_wait_samples",
     "WindowPoint",
     "window_energy",
     "figure10_series",
+    "verify_points_against_simulation",
     "MD1WaitDistribution",
     "percentile_feasible_energy",
     "WindowReplay",

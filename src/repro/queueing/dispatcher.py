@@ -27,6 +27,8 @@ import numpy as np
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.pareto import pareto_indices
 from repro.queueing.models import QueueModel
+from repro.queueing.simulation import deterministic_service, simulate_queue_lindley
+from repro.util.rng import RngStream, SeedLike
 
 
 @dataclass(frozen=True)
@@ -166,6 +168,50 @@ def figure10_series(
         points.sort(key=lambda p: p.response_s)
         result[u] = points
     return result
+
+
+def verify_points_against_simulation(
+    points: Sequence[WindowPoint],
+    n_jobs: int = 20_000,
+    seed: SeedLike = 0,
+    max_points: Optional[int] = None,
+) -> Dict[str, float]:
+    """Cross-check a window frontier's analytic responses by simulation.
+
+    Each point's M/D/1 mean response (the Pollaczek-Khinchine closed form
+    behind :func:`figure10_series`) is re-derived empirically with the
+    vectorized Lindley queue at the point's service time and
+    utilization-implied arrival rate.  Returns the worst relative error
+    over the checked points plus bookkeeping -- the Fig. 10 benchmark and
+    ``benchmarks/record.py`` assert it stays within Monte-Carlo noise.
+
+    ``max_points`` caps the work by sub-sampling the frontier evenly
+    (``None`` checks every point with ``utilization > 0``).
+    """
+    if n_jobs < 1:
+        raise ValueError("need at least one job per check")
+    busy = [p for p in points if p.utilization > 0.0]
+    if max_points is not None and max_points < len(busy):
+        if max_points < 1:
+            raise ValueError("max_points must be at least 1")
+        picks = np.linspace(0, len(busy) - 1, max_points).round().astype(int)
+        busy = [busy[i] for i in np.unique(picks)]
+    worst = 0.0
+    stream = RngStream(seed)
+    for index, point in enumerate(busy):
+        stats = simulate_queue_lindley(
+            point.utilization / point.service_s,
+            deterministic_service(point.service_s),
+            n_jobs,
+            seed=stream.child("fig10-verify", index),
+        )
+        error = abs(stats.mean_response_s - point.response_s) / point.response_s
+        worst = max(worst, error)
+    return {
+        "points_checked": float(len(busy)),
+        "jobs_per_point": float(n_jobs),
+        "max_rel_response_error": worst,
+    }
 
 
 def sweet_region_drop(points: Sequence[WindowPoint]) -> Optional[float]:

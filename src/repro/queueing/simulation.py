@@ -1,16 +1,33 @@
-"""Discrete-event validation of the analytic queue formulas.
+"""Queue simulation: event-loop reference and vectorized Lindley fast path.
 
-A single-server FIFO queue driven by :class:`repro.simulator.engine.EventLoop`:
-Poisson arrivals, pluggable service-time sampler.  Tests compare the
-simulated mean wait against Pollaczek-Khinchine within sampling error --
-the standard way to certify a queueing implementation before trusting it
-in an analysis (here, Figure 10).
+A single-server FIFO queue with Poisson arrivals and a pluggable service
+distribution, in two implementations:
+
+* :func:`simulate_queue` -- the readable reference, driven by
+  :class:`repro.simulator.engine.EventLoop`: one heap event per arrival.
+* :func:`simulate_queue_lindley` -- the fast path: waiting times obey the
+  Lindley recursion ``W_{i+1} = max(0, W_i + S_i - A_i)``, whose running
+  maximum has the closed vectorized form ``W = C - min.accumulate(C)``
+  over the cumulative service-minus-interarrival sums ``C``.  One
+  ``cumsum`` and one ``minimum.accumulate`` replace the whole event loop.
+
+Both paths consume the RNG in the same order (per job: service draw, then
+the gap to the next arrival), so given the same seed they simulate the
+*same* sample path; ``tests/property/test_queueing_properties.py`` pins
+their statistics against each other and both against Pollaczek-Khinchine.
+
+Aggregate semantics (both paths): statistics describe the post-warmup
+jobs only.  ``utilization`` is the post-warmup service time divided by
+the post-warmup window (first post-warmup service start to horizon), so
+it describes the same jobs as the wait/response means -- earlier versions
+divided all-jobs busy time by the full horizon, mixing warmup into one
+aggregate but not the others.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List
+from typing import Callable, List, Tuple
 
 import numpy as np
 
@@ -20,19 +37,105 @@ from repro.util.rng import SeedLike, ensure_rng
 
 @dataclass(frozen=True)
 class QueueSimStats:
-    """Aggregates from one queue simulation run."""
+    """Aggregates from one queue simulation run (post-warmup jobs)."""
 
     jobs_completed: int
     mean_wait_s: float
     mean_response_s: float
     mean_service_s: float
+    #: Post-warmup busy time over the post-warmup window.
     utilization: float
-    #: Busy time of the server divided by the simulated horizon.
+    #: End of the simulated timeline, seconds.
     horizon_s: float
 
     def __post_init__(self) -> None:
         if self.jobs_completed < 0:
             raise ValueError("negative completion count")
+
+
+class ServiceDistribution:
+    """A service-time distribution usable by both queue paths.
+
+    Instances are callable as ``dist(rng) -> float`` (the historical
+    sampler protocol, used by the event loop one job at a time) and
+    provide :meth:`sample_jobs`, which draws ``n`` jobs' (service, gap)
+    pairs at once *in the event loop's interleaved draw order*, so the
+    Lindley path walks the same sample path as the reference.
+    """
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        raise NotImplementedError
+
+    def sample_jobs(
+        self, rng: np.random.Generator, n: int, arrival_rate: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Draw ``(services, gaps)`` for ``n`` jobs, RNG-compatible with
+        ``n`` interleaved ``dist(rng)`` / exponential-gap scalar draws."""
+        raise NotImplementedError
+
+
+class DeterministicService(ServiceDistribution):
+    """M/D/1 service: every job takes exactly ``service_s``."""
+
+    def __init__(self, service_s: float):
+        if service_s <= 0:
+            raise ValueError("service time must be positive")
+        self.service_s = float(service_s)
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return self.service_s
+
+    def sample_jobs(
+        self, rng: np.random.Generator, n: int, arrival_rate: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # The sampler consumes no randomness, so the interleaved sequence
+        # is just n sequential gap draws.
+        services = np.full(n, self.service_s)
+        gaps = rng.exponential(1.0 / arrival_rate, size=n)
+        return services, gaps
+
+
+class ExponentialService(ServiceDistribution):
+    """M/M/1 service: exponential with mean ``mean_s``."""
+
+    def __init__(self, mean_s: float):
+        if mean_s <= 0:
+            raise ValueError("mean service time must be positive")
+        self.mean_s = float(mean_s)
+
+    def __call__(self, rng: np.random.Generator) -> float:
+        return float(rng.exponential(self.mean_s))
+
+    def sample_jobs(
+        self, rng: np.random.Generator, n: int, arrival_rate: float
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        # rng.exponential(scale) is standard_exponential() * scale, so the
+        # interleaved (service, gap, service, gap, ...) scalar sequence is
+        # one standard-exponential block of 2n draws, de-interleaved.
+        draws = rng.standard_exponential(2 * n)
+        services = draws[0::2] * self.mean_s
+        gaps = draws[1::2] * (1.0 / arrival_rate)
+        return services, gaps
+
+
+def deterministic_service(service_s: float) -> DeterministicService:
+    """Sampler for M/D/1: every job takes exactly ``service_s``."""
+    return DeterministicService(service_s)
+
+
+def exponential_service(mean_s: float) -> ExponentialService:
+    """Sampler for M/M/1: exponential service with mean ``mean_s``."""
+    return ExponentialService(mean_s)
+
+
+def _check_args(arrival_rate: float, n_jobs: int, warmup_fraction: float) -> int:
+    if arrival_rate <= 0:
+        raise ValueError("arrival rate must be positive")
+    if n_jobs < 1:
+        raise ValueError("need at least one job")
+    if not 0.0 <= warmup_fraction < 1.0:
+        raise ValueError("warmup fraction must be in [0, 1)")
+    return n_jobs + int(np.ceil(n_jobs * warmup_fraction / (1 - warmup_fraction)))
 
 
 def simulate_queue(
@@ -42,7 +145,7 @@ def simulate_queue(
     seed: SeedLike = 0,
     warmup_fraction: float = 0.1,
 ) -> QueueSimStats:
-    """Simulate an M/G/1 FIFO queue for ``n_jobs`` completions.
+    """Simulate an M/G/1 FIFO queue for ``n_jobs`` completions (reference).
 
     Parameters
     ----------
@@ -50,26 +153,24 @@ def simulate_queue(
         Poisson arrival rate, jobs/second (must keep the queue stable for
         the sampler's mean service time, or waits grow without bound).
     service_sampler:
-        Draws one service time; e.g. ``lambda rng: 0.05`` for M/D/1 or
-        ``lambda rng: rng.exponential(0.05)`` for M/M/1.
+        Draws one service time; a :class:`ServiceDistribution` or any
+        ``rng -> float`` callable.
     n_jobs:
         Completions to simulate (post-warmup statistics).
     warmup_fraction:
-        Leading fraction of jobs excluded from the averages so the
+        Leading fraction of jobs excluded from the aggregates so the
         initial empty-queue transient does not bias them.
 
     Notes
     -----
     The simulation is event-driven: one arrival event chain and one
-    departure event per job, so the run costs O(n log n) regardless of
-    the time scale.
+    departure per job, so the run costs O(n log n) regardless of the
+    time scale.  :func:`simulate_queue_lindley` computes the same sample
+    path in a handful of array operations; this loop is retained as the
+    executable specification it is pinned against.
     """
-    if arrival_rate <= 0:
-        raise ValueError("arrival rate must be positive")
-    if n_jobs < 1:
-        raise ValueError("need at least one job")
-    if not 0.0 <= warmup_fraction < 1.0:
-        raise ValueError("warmup fraction must be in [0, 1)")
+    target = _check_args(arrival_rate, n_jobs, warmup_fraction)
+    warmup = target - n_jobs
 
     rng = ensure_rng(seed)
     loop = EventLoop()
@@ -78,13 +179,11 @@ def simulate_queue(
     responses: List[float] = []
     services: List[float] = []
     busy_until = 0.0
-    busy_time = 0.0
     completed = 0
-    target = n_jobs + int(np.ceil(n_jobs * warmup_fraction / (1 - warmup_fraction)))
-    warmup = target - n_jobs
+    window_start = 0.0
 
     def arrive() -> None:
-        nonlocal busy_until, busy_time, completed
+        nonlocal busy_until, completed, window_start
         if completed >= target:
             return
         now = loop.now
@@ -94,9 +193,10 @@ def simulate_queue(
         start = max(now, busy_until)
         finish = start + service
         busy_until = finish
-        busy_time += service
         completed += 1
         if completed > warmup:
+            if completed == warmup + 1:
+                window_start = start
             waits.append(start - now)
             responses.append(finish - now)
             services.append(service)
@@ -110,25 +210,100 @@ def simulate_queue(
     horizon = max(loop.now, busy_until)
     if not waits:
         raise RuntimeError("simulation produced no post-warmup completions")
+    window = horizon - window_start
     return QueueSimStats(
         jobs_completed=len(waits),
         mean_wait_s=float(np.mean(waits)),
         mean_response_s=float(np.mean(responses)),
         mean_service_s=float(np.mean(services)),
-        utilization=busy_time / horizon if horizon > 0 else 0.0,
+        utilization=sum(services) / window if window > 0 else 0.0,
         horizon_s=horizon,
     )
 
 
-def deterministic_service(service_s: float) -> Callable[[np.random.Generator], float]:
-    """Sampler for M/D/1: every job takes exactly ``service_s``."""
-    if service_s <= 0:
-        raise ValueError("service time must be positive")
-    return lambda rng: service_s
+def _lindley_path(
+    arrival_rate: float,
+    service_sampler: Callable[[np.random.Generator], float],
+    target: int,
+    seed: SeedLike,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Sample ``target`` jobs and solve the waits; returns (W, S, gaps)."""
+    rng = ensure_rng(seed)
+    if isinstance(service_sampler, ServiceDistribution):
+        services, gaps = service_sampler.sample_jobs(rng, target, arrival_rate)
+    else:
+        # Arbitrary callable: keep the reference draw order job by job.
+        services = np.empty(target)
+        gaps = np.empty(target)
+        for i in range(target):
+            services[i] = float(service_sampler(rng))
+            gaps[i] = rng.exponential(1.0 / arrival_rate)
+    if np.any(services <= 0):
+        bad = float(services[services <= 0][0])
+        raise ValueError(f"service sampler produced non-positive time {bad}")
+
+    # Lindley: W_1 = 0, W_{i+1} = max(0, W_i + S_i - gap_i).  With
+    # X_i = S_i - gap_i and C the zero-prefixed cumulative sum of X,
+    # the recursion's running reset-to-zero is the running minimum of C.
+    x = services[:-1] - gaps[:-1]
+    c = np.concatenate(([0.0], np.cumsum(x)))
+    waits = c - np.minimum.accumulate(c)
+    return waits, services, gaps
 
 
-def exponential_service(mean_s: float) -> Callable[[np.random.Generator], float]:
-    """Sampler for M/M/1: exponential service with mean ``mean_s``."""
-    if mean_s <= 0:
-        raise ValueError("mean service time must be positive")
-    return lambda rng: float(rng.exponential(mean_s))
+def queue_wait_samples(
+    arrival_rate: float,
+    service_sampler: Callable[[np.random.Generator], float],
+    n_jobs: int,
+    seed: SeedLike = 0,
+    warmup_fraction: float = 0.1,
+) -> np.ndarray:
+    """Post-warmup waiting times of the Lindley path, one per job.
+
+    The raw-sample twin of :func:`simulate_queue_lindley`, for empirical
+    distribution work (tail percentiles, CDF pinning).
+    """
+    target = _check_args(arrival_rate, n_jobs, warmup_fraction)
+    waits, _, _ = _lindley_path(arrival_rate, service_sampler, target, seed)
+    return waits[target - n_jobs:]
+
+
+def simulate_queue_lindley(
+    arrival_rate: float,
+    service_sampler: Callable[[np.random.Generator], float],
+    n_jobs: int,
+    seed: SeedLike = 0,
+    warmup_fraction: float = 0.1,
+) -> QueueSimStats:
+    """Vectorized M/G/1 FIFO simulation via the Lindley recursion.
+
+    Same contract, aggregates, and (given a :class:`ServiceDistribution`
+    and the same seed) same sample path as :func:`simulate_queue`, at
+    array speed: the event loop is replaced by a ``cumsum`` and a
+    ``minimum.accumulate``.
+    """
+    target = _check_args(arrival_rate, n_jobs, warmup_fraction)
+    warmup = target - n_jobs
+    waits, services, gaps = _lindley_path(
+        arrival_rate, service_sampler, target, seed
+    )
+
+    # Arrival times: first job arrives at t=0, then one gap per job.
+    arrivals = np.concatenate(([0.0], np.cumsum(gaps[:-1])))
+    starts = arrivals + waits
+    finish_last = starts[-1] + services[-1]
+    # The reference's final (no-op) arrival event advances its clock by
+    # one more gap; the horizon is whichever ends later.
+    horizon = max(arrivals[-1] + gaps[-1], finish_last)
+
+    post_waits = waits[warmup:]
+    post_services = services[warmup:]
+    window = horizon - starts[warmup]
+    return QueueSimStats(
+        jobs_completed=int(post_waits.size),
+        mean_wait_s=float(np.mean(post_waits)),
+        mean_response_s=float(np.mean(post_waits + post_services)),
+        mean_service_s=float(np.mean(post_services)),
+        utilization=float(np.sum(post_services)) / window if window > 0 else 0.0,
+        horizon_s=float(horizon),
+    )

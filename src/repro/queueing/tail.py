@@ -27,6 +27,12 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
+from typing import Dict, Sequence
+
+import numpy as np
+
+from repro.queueing.simulation import deterministic_service, queue_wait_samples
+from repro.util.rng import SeedLike
 
 #: Largest lambda*t the alternating Erlang sum evaluates accurately in
 #: float64 (empirically ~1e-8 absolute error at the boundary).
@@ -142,6 +148,41 @@ class MD1WaitDistribution:
     def response_percentile(self, q: float) -> float:
         """q-quantile of the *response* time (wait + deterministic service)."""
         return self.percentile(q) + self.service_s
+
+    def wait_samples(
+        self,
+        n_jobs: int,
+        seed: SeedLike = 0,
+        warmup_fraction: float = 0.1,
+    ) -> np.ndarray:
+        """``n_jobs`` post-warmup waits of this queue, Lindley-simulated.
+
+        The empirical twin of :meth:`cdf`: the samples come from
+        :func:`repro.queueing.simulation.queue_wait_samples` with a
+        deterministic service at ``service_s``, so their empirical CDF
+        converges on the analytic one (property-tested).
+        """
+        if self.arrival_rate == 0.0:
+            return np.zeros(n_jobs)
+        return queue_wait_samples(
+            self.arrival_rate,
+            deterministic_service(self.service_s),
+            n_jobs,
+            seed=seed,
+            warmup_fraction=warmup_fraction,
+        )
+
+    def empirical_quantiles(
+        self,
+        quantiles: Sequence[float],
+        n_jobs: int = 20_000,
+        seed: SeedLike = 0,
+    ) -> Dict[float, float]:
+        """Simulated wait quantiles, keyed by ``q`` (cross-check aid)."""
+        samples = self.wait_samples(n_jobs, seed=seed)
+        return {
+            float(q): float(np.quantile(samples, q)) for q in quantiles
+        }
 
 
 def percentile_feasible_energy(

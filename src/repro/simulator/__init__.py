@@ -26,6 +26,7 @@ same as simulating 2^10.
 """
 
 from repro.simulator.noise import NoiseModel, CALIBRATED_NOISE, NOISELESS
+from repro.simulator.batch import BatchRunResult, repeat_settings, run_batch
 from repro.simulator.counters import CounterSet
 from repro.simulator.node import NodeRunResult, NodeSimulator
 from repro.simulator.power_meter import PowerMeter, PowerSample
@@ -41,6 +42,9 @@ __all__ = [
     "NoiseModel",
     "CALIBRATED_NOISE",
     "NOISELESS",
+    "BatchRunResult",
+    "repeat_settings",
+    "run_batch",
     "CounterSet",
     "NodeRunResult",
     "NodeSimulator",

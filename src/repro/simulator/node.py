@@ -253,6 +253,28 @@ class NodeSimulator:
             mean_power_w=energy_j / time_s if time_s > 0 else 0.0,
         )
 
+    def run_batch(
+        self,
+        workload: WorkloadSpec,
+        units: float,
+        settings,
+        seeds,
+        arrival_floor_s: float = 0.0,
+    ):
+        """Execute many runs in one NumPy pass; rows are bit-identical to
+        :meth:`run` with the matching seed.
+
+        ``settings`` is one ``(cores, f_ghz)`` pair per row and ``seeds``
+        one RNG/seed per row; see :func:`repro.simulator.batch.run_batch`
+        for the full contract.  Returns a
+        :class:`~repro.simulator.batch.BatchRunResult`.
+        """
+        from repro.simulator.batch import run_batch
+
+        return run_batch(
+            self, workload, units, settings, seeds, arrival_floor_s
+        )
+
     def _empty_result(self, cores: int, f_ghz: float) -> NodeRunResult:
         """Result of running zero units: instantaneous, zero energy."""
         counters = CounterSet(

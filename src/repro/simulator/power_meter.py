@@ -59,20 +59,75 @@ class PowerMeter:
         # Instrument calibration is fixed for the session.
         self._calibration = float(noise.factor(rng, noise.meter_sigma))
         self._rng = rng
+        self._prefetch: np.ndarray = np.empty((0, self.SAMPLES_PER_READING))
+        self._prefetch_used = 0
 
     # -- steady-state measurement primitives -----------------------------
 
-    def _read(self, true_watts: float, label: str) -> PowerSample:
+    def prefetch_readings(self, n_reads: int) -> None:
+        """Draw the jitter factors for the next ``n_reads`` readings at once.
+
+        One fused ``standard_normal`` block replaces ``n_reads`` sequential
+        per-reading draws; readings that consume it are bit-identical to
+        unprefetched ones because ``normal(1, s, k)`` consumes the bit
+        stream exactly like ``1 + s * standard_normal(k)``.  Prefetching
+        more readings than are then taken only discards tail draws the
+        session would never observe.
+        """
+        if n_reads < 1:
+            raise ValueError("need at least one reading to prefetch")
+        if self.noise.meter_sigma == 0.0:
+            return  # factor() draws nothing at zero sigma
+        self._prefetch = self._jitter_factors(n_reads)
+        self._prefetch_used = 0
+
+    def _jitter_factors(self, n_reads: int) -> np.ndarray:
+        """``(n_reads, SAMPLES_PER_READING)`` jitter factors, one fused draw.
+
+        Must consume the meter's RNG exactly like ``n_reads`` sequential
+        ``noise.factor(rng, jitter, size=SAMPLES_PER_READING)`` calls.
+        """
         jitter_sigma = self.noise.meter_sigma / 2.0
-        samples = true_watts * self.noise.factor(
-            self._rng, jitter_sigma, size=self.SAMPLES_PER_READING
+        shape = (n_reads, self.SAMPLES_PER_READING)
+        if jitter_sigma == 0.0:
+            return np.ones(shape)
+        z = self._rng.standard_normal(n_reads * self.SAMPLES_PER_READING)
+        factors = np.clip(
+            1.0 + jitter_sigma * z,
+            1.0 - 3.0 * jitter_sigma,
+            1.0 + 3.0 * jitter_sigma,
         )
+        return factors.reshape(shape)
+
+    def _next_factors(self, n_reads: int) -> np.ndarray:
+        """The next ``n_reads`` readings' factors, prefetched or fresh."""
+        remaining = self._prefetch.shape[0] - self._prefetch_used
+        if remaining >= n_reads:
+            out = self._prefetch[self._prefetch_used:self._prefetch_used + n_reads]
+            self._prefetch_used += n_reads
+            return out
+        return self._jitter_factors(n_reads)
+
+    def _read(self, true_watts: float, label: str) -> PowerSample:
+        samples = true_watts * self._next_factors(1)[0]
         watts = float(np.mean(samples)) * self._calibration
         return PowerSample(
             watts=max(0.0, watts),
             duration_s=float(self.SAMPLES_PER_READING),
             label=label,
         )
+
+    def _read_many(self, true_watts: np.ndarray) -> np.ndarray:
+        """Average meter readings for several steady states in one pass.
+
+        Row ``i`` is bit-identical to ``_read(true_watts[i], ...)``: the
+        factors come off the same stream and the row-wise mean reduces 10
+        contiguous samples exactly like the scalar read's 1-D mean.
+        """
+        factors = self._next_factors(len(true_watts))
+        samples = true_watts[:, np.newaxis] * factors
+        watts = np.mean(samples, axis=1) * self._calibration
+        return np.maximum(0.0, watts)
 
     def measure_idle(self) -> PowerSample:
         """Node power with no workload (``P_idle``)."""
@@ -115,27 +170,41 @@ class PowerMeter:
         readings on the count -- the slope is ``P_CPU,act(f)``.  This is
         the paper's measurement procedure, and it inherits meter error.
         """
-        counts = list(range(1, self.node.cores.count + 1))
-        readings = [self.measure_cpu_active(c, f_ghz).watts for c in counts]
+        self.node.cores.validate_setting(self.node.cores.count, f_ghz)
+        counts = np.arange(1, self.node.cores.count + 1)
+        per_core = self.node.power.core_active.watts(f_ghz)
+        readings = self._read_many(self.node.power.idle_w + counts * per_core)
         return _slope(counts, readings)
 
     def characterize_core_stall(self, f_ghz: float) -> float:
         """Estimate per-core stall power at ``f_ghz`` (slope over cores)."""
-        counts = list(range(1, self.node.cores.count + 1))
-        readings = [self.measure_cpu_stall(c, f_ghz).watts for c in counts]
+        self.node.cores.validate_setting(self.node.cores.count, f_ghz)
+        counts = np.arange(1, self.node.cores.count + 1)
+        per_core = self.node.power.core_stall.watts(f_ghz)
+        # Term order matches measure_cpu_stall: (idle + c*stall) + mem.
+        readings = self._read_many(
+            self.node.power.idle_w + counts * per_core + self.node.power.mem_active_w
+        )
         return _slope(counts, readings)
 
     def characterize_idle(self, repetitions: int = 3) -> float:
         """Average several idle readings (``P_idle``)."""
         if repetitions < 1:
             raise ValueError("need at least one repetition")
-        return float(np.mean([self.measure_idle().watts for _ in range(repetitions)]))
+        readings = self._read_many(np.full(repetitions, self.node.power.idle_w))
+        return float(np.mean(readings))
 
     def characterize_io(self) -> float:
         """Estimate NIC active power by differencing against idle."""
-        active = self.measure_io_active().watts
-        idle = self.measure_idle().watts
-        return max(0.0, active - idle)
+        active, idle = self._read_many(
+            np.asarray(
+                [
+                    self.node.power.idle_w + self.node.power.io_active_w,
+                    self.node.power.idle_w,
+                ]
+            )
+        )
+        return max(0.0, float(active) - float(idle))
 
 
 def _slope(x: List[int], y: List[float]) -> float:

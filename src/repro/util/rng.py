@@ -12,22 +12,30 @@ a component never perturbs the draws of another.
 from __future__ import annotations
 
 import zlib
-from typing import Iterable, List, Optional, Union
+from functools import lru_cache
+from typing import Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
-SeedLike = Union[None, int, np.random.Generator, np.random.SeedSequence]
+from repro.util.seedtree import entropy_words, padded_entropy_words
+
+SeedLike = Union[
+    None, int, np.random.Generator, np.random.SeedSequence, "RngStream"
+]
 
 
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Return a :class:`numpy.random.Generator` for ``seed``.
 
     Accepts ``None`` (fresh OS entropy), an integer seed, a
-    ``SeedSequence``, or an existing ``Generator`` (returned unchanged so
-    callers can thread one stream through a call chain).
+    ``SeedSequence``, an :class:`RngStream` (its generator is used), or an
+    existing ``Generator`` (returned unchanged so callers can thread one
+    stream through a call chain).
     """
     if isinstance(seed, np.random.Generator):
         return seed
+    if isinstance(seed, RngStream):
+        return seed.rng
     return np.random.default_rng(seed)
 
 
@@ -42,13 +50,23 @@ def spawn_rngs(rng: np.random.Generator, n: int) -> List[np.random.Generator]:
     return list(rng.spawn(n))
 
 
+@lru_cache(maxsize=1024)
+def _label_crc(label: str) -> int:
+    return zlib.crc32(label.encode("utf-8"))
+
+
+@lru_cache(maxsize=1024)
+def _padded_prefix(entropy: int) -> tuple:
+    return padded_entropy_words(entropy)
+
+
 def _stable_key(label: str, index: int) -> int:
     """Process-independent 31-bit key for a (label, index) pair.
 
     ``hash(str)`` is salted per interpreter process, so it must not feed a
     seed; CRC32 is stable across runs and platforms.
     """
-    return (zlib.crc32(label.encode("utf-8")) ^ (index * 0x9E3779B1)) & 0x7FFFFFFF
+    return (_label_crc(label) ^ (index * 0x9E3779B1)) & 0x7FFFFFFF
 
 
 class RngStream:
@@ -68,24 +86,71 @@ class RngStream:
     True
     """
 
-    def __init__(self, seed: SeedLike = 0, _path: Optional[tuple] = None):
+    def __init__(
+        self,
+        seed: SeedLike = 0,
+        _path: Optional[tuple] = None,
+        _spawn_key: Optional[Tuple[int, ...]] = None,
+    ):
         if isinstance(seed, np.random.Generator):
             # Derive a deterministic integer from the generator so children
             # remain reproducible relative to that generator's state.
             seed = int(seed.integers(0, 2**63 - 1))
+        if isinstance(seed, int) and seed < 0:
+            raise ValueError("seed must be a non-negative integer")
         self._seed = seed
         self._path: tuple = _path or ()
-        entropy = seed if isinstance(seed, int) else None
-        ss = np.random.SeedSequence(
-            entropy=entropy,
-            spawn_key=tuple(_stable_key(lbl, idx) for lbl, idx in self._path),
+        self._spawn_key = (
+            _spawn_key
+            if _spawn_key is not None
+            else tuple(_stable_key(lbl, idx) for lbl, idx in self._path)
         )
-        self.rng = np.random.default_rng(ss)
+        # The generator is built lazily: deriving a deep seed tree (one
+        # child per batched run) must stay cheap, and batched consumers
+        # re-derive the same stream vectorized via `entropy_words()`
+        # without ever touching numpy's SeedSequence machinery.
+        self._rng: Optional[np.random.Generator] = None
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The stream's generator, constructed on first use."""
+        if self._rng is None:
+            entropy = self._seed if isinstance(self._seed, int) else None
+            ss = np.random.SeedSequence(
+                entropy=entropy,
+                spawn_key=self._spawn_key,
+            )
+            self._rng = np.random.default_rng(ss)
+        return self._rng
+
+    @property
+    def spawn_key(self) -> Tuple[int, ...]:
+        """The ``SeedSequence`` spawn key encoding this stream's path."""
+        return self._spawn_key
+
+    def entropy_words(self) -> Optional[Tuple[int, ...]]:
+        """Assembled 32-bit entropy words, or ``None`` for non-int seeds.
+
+        Batched consumers feed these rows to
+        :func:`repro.util.seedtree.pcg64_states` to derive many sibling
+        streams in one vectorized pass, bit-identical to :attr:`rng`.
+        """
+        if not isinstance(self._seed, int):
+            return None
+        if not self._spawn_key:
+            return entropy_words(self._seed)
+        # Spawn keys are 31-bit, so each contributes exactly one word;
+        # the padded prefix is cached per root entropy.
+        return _padded_prefix(self._seed) + self._spawn_key
 
     def child(self, label: str, index: int = 0) -> "RngStream":
         """Return the deterministic child stream at ``(label, index)``."""
         seed = self._seed if isinstance(self._seed, int) else 0
-        return RngStream(seed, _path=self._path + ((label, index),))
+        return RngStream(
+            seed,
+            _path=self._path + ((label, index),),
+            _spawn_key=self._spawn_key + (_stable_key(label, index),),
+        )
 
     def children(self, label: str, count: int) -> Iterable["RngStream"]:
         """Yield ``count`` sibling child streams sharing ``label``."""

@@ -1,0 +1,219 @@
+"""Vectorized seed-tree derivation for batched simulator runs.
+
+:class:`~repro.util.rng.RngStream` children are defined as
+``SeedSequence(entropy, spawn_key)`` streams, and a batched run needs one
+per row -- thousands of them for a large campaign.  Constructing a numpy
+``SeedSequence`` + ``PCG64`` + ``Generator`` per child costs ~20us each
+and dominates the batched hot path, so this module re-derives the exact
+same generator states with array arithmetic:
+
+* :func:`entropy_words` assembles a stream's 32-bit entropy words the way
+  ``SeedSequence`` does (little-endian split, pool-size padding before
+  the spawn key);
+* :func:`pcg64_states` runs SeedSequence's entropy-pool mixing and
+  ``generate_state`` across all rows at once (the per-word loops have
+  constant trip counts, so the row axis vectorizes), then applies the
+  PCG64 ``srandom`` seeding step;
+* :class:`GeneratorSeat` owns a single ``PCG64`` + ``Generator`` pair and
+  re-seats the state per row, so a whole batch shares one allocation.
+
+Bit-identity with ``default_rng(SeedSequence(entropy, spawn_key))`` is
+property-tested in ``tests/property/test_batch_properties.py``; the
+constants and mixing structure follow the generator's published
+reference implementation (O'Neill's ``seed_seq_fe``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+#: SeedSequence pool size in 32-bit words (numpy default).
+POOL_SIZE = 4
+
+_INIT_A = np.uint32(0x43B0D7E5)
+_MULT_A = np.uint32(0x931E8875)
+_INIT_B = np.uint32(0x8B51F9DD)
+_MULT_B = np.uint32(0x58F38DED)
+_MIX_MULT_L = np.uint32(0xCA01F9DD)
+_MIX_MULT_R = np.uint32(0x4973F715)
+_XSHIFT = np.uint32(16)
+
+#: PCG64's default 128-bit LCG multiplier.
+_PCG_MULT = 0x2360ED051FC65DA44385DF649FCCF645
+_MASK_128 = (1 << 128) - 1
+
+
+def _uint32_words(value: int) -> List[int]:
+    """Split a non-negative int into little-endian 32-bit words (min one)."""
+    if value < 0:
+        raise ValueError("entropy must be non-negative")
+    words = []
+    while True:
+        words.append(value & 0xFFFFFFFF)
+        value >>= 32
+        if value == 0:
+            return words
+
+
+def entropy_words(entropy: int, spawn_key: Tuple[int, ...] = ()) -> Tuple[int, ...]:
+    """Assembled 32-bit entropy words for ``SeedSequence(entropy, spawn_key)``.
+
+    Matches ``SeedSequence.get_assembled_entropy``: the entropy int is
+    split little-endian; when a spawn key is present the entropy words
+    are zero-padded to the pool size first so spawned trees can never
+    collide with larger plain entropies.
+    """
+    words = _uint32_words(entropy)
+    if spawn_key:
+        if len(words) < POOL_SIZE:
+            words += [0] * (POOL_SIZE - len(words))
+        for key in spawn_key:
+            words += _uint32_words(key)
+    return tuple(words)
+
+
+def padded_entropy_words(entropy: int) -> Tuple[int, ...]:
+    """The entropy's words zero-padded to the pool size.
+
+    This is the assembled-entropy *prefix* of any stream spawned from
+    ``entropy``: appending one word per 31-bit spawn key reproduces
+    :func:`entropy_words` exactly, which lets seed-tree consumers cache
+    the prefix per root instead of re-splitting the entropy per child.
+    """
+    words = _uint32_words(entropy)
+    if len(words) < POOL_SIZE:
+        words += [0] * (POOL_SIZE - len(words))
+    return tuple(words)
+
+
+def _mix_pools(rows: np.ndarray) -> np.ndarray:
+    """SeedSequence entropy-pool mixing, vectorized over rows.
+
+    ``rows`` is ``(n, k)`` uint32 assembled entropy; returns ``(n, 4)``
+    pools.  Rows shorter than the pool may be zero-padded to width 4:
+    the fill loop hashes an explicit 0 for missing words, so padding up
+    to the pool size does not change the result (beyond it does, which
+    is why callers group rows by exact width).
+    """
+    n, width = rows.shape
+    mixer = np.zeros((n, POOL_SIZE), dtype=np.uint32)
+    hash_const = np.full(n, _INIT_A, dtype=np.uint32)
+    zero = np.zeros(n, dtype=np.uint32)
+
+    def hashmix(column: np.ndarray) -> np.ndarray:
+        nonlocal hash_const
+        value = column ^ hash_const
+        hash_const = hash_const * _MULT_A
+        value = value * hash_const
+        return value ^ (value >> _XSHIFT)
+
+    def mix(x: np.ndarray, y: np.ndarray) -> np.ndarray:
+        result = x * _MIX_MULT_L - y * _MIX_MULT_R
+        return result ^ (result >> _XSHIFT)
+
+    for i in range(POOL_SIZE):
+        mixer[:, i] = hashmix(rows[:, i] if i < width else zero)
+    for i_src in range(POOL_SIZE):
+        for i_dst in range(POOL_SIZE):
+            if i_src != i_dst:
+                mixer[:, i_dst] = mix(mixer[:, i_dst], hashmix(mixer[:, i_src]))
+    for i_src in range(POOL_SIZE, width):
+        for i_dst in range(POOL_SIZE):
+            mixer[:, i_dst] = mix(mixer[:, i_dst], hashmix(rows[:, i_src]))
+    return mixer
+
+
+def _generate_words(pools: np.ndarray, n_words: int) -> np.ndarray:
+    """``SeedSequence.generate_state`` over ``(n, 4)`` pools, vectorized."""
+    n = pools.shape[0]
+    hash_const = np.full(n, _INIT_B, dtype=np.uint32)
+    out = np.empty((n, n_words), dtype=np.uint32)
+    for i in range(n_words):
+        value = pools[:, i % POOL_SIZE] ^ hash_const
+        hash_const = hash_const * _MULT_B
+        value = value * hash_const
+        out[:, i] = value ^ (value >> _XSHIFT)
+    return out
+
+
+def pcg64_states(
+    word_rows: Sequence[Tuple[int, ...]],
+) -> List[Tuple[int, int]]:
+    """PCG64 ``(state, inc)`` pairs for assembled entropy rows.
+
+    Equivalent to ``PCG64(SeedSequence(...)).state`` for each row: the
+    pool is mixed, eight 32-bit words are generated, paired little-endian
+    into four 64-bit values, and fed through ``pcg64_srandom`` (the first
+    64-bit value is the *high* half of the 128-bit seed).  Rows of any
+    mix of widths are accepted; they are grouped by width so the padding
+    rule stays exact.
+    """
+    states: List[Tuple[int, int]] = [(0, 0)] * len(word_rows)
+    by_width = {}
+    for index, row in enumerate(word_rows):
+        by_width.setdefault(max(len(row), POOL_SIZE), []).append(index)
+    for width, indices in by_width.items():
+        group = [word_rows[i] for i in indices]
+        if all(len(row) == width for row in group):
+            # The overwhelmingly common shape (sibling streams, equal
+            # spawn-key depth): one C-level conversion for the group.
+            rows = np.asarray(group, dtype=np.uint32)
+        else:
+            rows = np.zeros((len(indices), width), dtype=np.uint32)
+            for r, row in enumerate(group):
+                rows[r, : len(row)] = row
+        # tolist() converts to plain Python ints in one C pass; per-item
+        # numpy-scalar unboxing in the loop would dominate otherwise.
+        words = _generate_words(_mix_pools(rows), 8).tolist()
+        for r, index in enumerate(indices):
+            w0, w1, w2, w3, w4, w5, w6, w7 = words[r]
+            initstate = (w1 << 96) | (w0 << 64) | (w3 << 32) | w2
+            initseq = (w5 << 96) | (w4 << 64) | (w7 << 32) | w6
+            inc = ((initseq << 1) | 1) & _MASK_128
+            state = ((inc + initstate) * _PCG_MULT + inc) & _MASK_128
+            states[index] = (state, inc)
+    return states
+
+
+class GeneratorSeat:
+    """One shared ``PCG64`` + ``Generator`` re-seated per stream state.
+
+    ``seat(state, inc)`` points the shared generator at a fresh PCG64
+    state and returns it; draws then match a newly constructed
+    ``default_rng(SeedSequence(...))`` bit for bit.  Only the most
+    recently seated stream is valid -- callers must finish drawing a
+    row before seating the next, which is exactly how
+    :func:`repro.simulator.batch.run_batch` consumes it.
+    """
+
+    def __init__(self) -> None:
+        self._bit_generator = np.random.PCG64(0)
+        self._rng = np.random.Generator(self._bit_generator)
+        self._inner = {"state": 0, "inc": 0}
+        self._template = {
+            "bit_generator": "PCG64",
+            "state": self._inner,
+            "has_uint32": 0,
+            "uinteger": 0,
+        }
+
+    def seat(self, state: int, inc: int) -> np.random.Generator:
+        self._inner["state"] = state
+        self._inner["inc"] = inc
+        self._bit_generator.state = self._template
+        return self._rng
+
+
+def seat_generators(
+    word_rows: Sequence[Tuple[int, ...]],
+) -> Iterator[np.random.Generator]:
+    """Yield a bit-identical generator per assembled entropy row.
+
+    All yielded generators are the same object re-seated; consume them
+    strictly in order, finishing each row's draws before advancing.
+    """
+    seat = GeneratorSeat()
+    for state, inc in pcg64_states(word_rows):
+        yield seat.seat(state, inc)

@@ -23,6 +23,7 @@ from repro.core.matching import GroupSetting, match_split
 from repro.core.params import NodeModelParams
 from repro.core.timemodel import predict_node_time
 from repro.hardware.specs import NodeSpec
+from repro.simulator.batch import repeat_settings
 from repro.simulator.cluster import ClusterSimulator, GroupAssignment
 from repro.simulator.node import NodeSimulator
 from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
@@ -64,44 +65,72 @@ def validate_single_node(
     seed: SeedLike = 0,
     repetitions: int = 3,
     params: Optional[NodeModelParams] = None,
+    batched: bool = True,
 ) -> SingleNodeValidation:
     """Validate time/energy predictions on one node across all settings.
 
     ``units`` defaults to the workload's Table 3 problem size when one is
     declared, else its default job size.  ``repetitions`` independent
     measured runs per setting feed the error statistics (the paper's
-    mean +/- std per cell).
+    mean +/- std per cell).  ``batched`` routes both the calibration and
+    the measurement campaign through :meth:`NodeSimulator.run_batch`;
+    records are bit-identical either way (same seed tree).
     """
     if units is None:
         units = workload.problem_sizes.get("table3", workload.default_job_units)
     stream = RngStream(seed)
     if params is None:
         params = calibrate_node(
-            node, workload, noise=noise, seed=stream.child("calibration").rng
+            node,
+            workload,
+            noise=noise,
+            seed=stream.child("calibration").rng,
+            batched=batched,
         )
 
     sim = NodeSimulator(node, noise=noise)
+    grid = [
+        (cores, f)
+        for cores in range(1, node.cores.count + 1)
+        for f in node.cores.pstates_ghz
+    ]
+    predictions = {}
+    for cores, f in grid:
+        times = predict_node_time(params, units, 1, cores, f)
+        predictions[(cores, f)] = (
+            times.time_s,
+            predict_node_energy(params, times).energy_j,
+        )
+
+    def record(cores, f, measured_time_s, measured_energy_j) -> ValidationRecord:
+        predicted_time, predicted_energy = predictions[(cores, f)]
+        return ValidationRecord(
+            workload=workload.name,
+            node=node.name,
+            setting=f"c={cores} f={f}",
+            predicted_time_s=predicted_time,
+            measured_time_s=measured_time_s,
+            predicted_energy_j=predicted_energy,
+            measured_energy_j=measured_energy_j,
+        )
+
     records: List[ValidationRecord] = []
-    run_index = 0
-    for cores in range(1, node.cores.count + 1):
-        for f in node.cores.pstates_ghz:
-            times = predict_node_time(params, units, 1, cores, f)
-            energy = predict_node_energy(params, times).energy_j
+    if batched:
+        rows = repeat_settings(grid, repetitions)
+        seeds = [stream.child("measure", i) for i in range(len(rows))]
+        batch = sim.run_batch(workload, units, rows, seeds)
+        for i, (cores, f) in enumerate(rows):
+            records.append(
+                record(cores, f, float(batch.time_s[i]), float(batch.energy_j[i]))
+            )
+    else:
+        run_index = 0
+        for cores, f in grid:
             for _ in range(repetitions):
                 rng = stream.child("measure", run_index).rng
                 run_index += 1
                 measured = sim.run(workload, units, cores, f, seed=rng)
-                records.append(
-                    ValidationRecord(
-                        workload=workload.name,
-                        node=node.name,
-                        setting=f"c={cores} f={f}",
-                        predicted_time_s=times.time_s,
-                        measured_time_s=measured.time_s,
-                        predicted_energy_j=energy,
-                        measured_energy_j=measured.energy_j,
-                    )
-                )
+                records.append(record(cores, f, measured.time_s, measured.energy_j))
     time_summary, energy_summary = aggregate_records(records)
     return SingleNodeValidation(
         workload=workload.name,
@@ -123,6 +152,7 @@ def validate_cluster(
     noise: NoiseModel = CALIBRATED_NOISE,
     seed: SeedLike = 0,
     params: Optional[Dict[str, NodeModelParams]] = None,
+    batched: bool = True,
 ) -> ClusterValidation:
     """Validate one cluster composition (Table 4 uses 8 ARM + {0,1} AMD).
 
@@ -140,7 +170,11 @@ def validate_cluster(
         params = {}
         for label, node in (("a", node_a), ("b", node_b)):
             params[node.name] = calibrate_node(
-                node, workload, noise=noise, seed=stream.child(f"cal-{label}").rng
+                node,
+                workload,
+                noise=noise,
+                seed=stream.child(f"cal-{label}").rng,
+                batched=batched,
             )
 
     cores_a, f_a = node_a.cores.count, node_a.cores.fmax_ghz
@@ -170,7 +204,9 @@ def validate_cluster(
             GroupAssignment(node_b, n_b, cores_b, f_b, match.units_b)
         )
     cluster = ClusterSimulator(noise=noise)
-    measured = cluster.run_job(workload, assignments, seed=stream.child("job").rng)
+    measured = cluster.run_job(
+        workload, assignments, seed=stream.child("job").rng, batched=batched
+    )
 
     record = ValidationRecord(
         workload=workload.name,

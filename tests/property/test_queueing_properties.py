@@ -1,11 +1,20 @@
 """Property-based tests of the queueing layer."""
 
+import numpy as np
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.queueing.models import MD1Queue, MG1Queue, MM1Queue
-from repro.queueing.dispatcher import window_energy
+from repro.queueing.dispatcher import verify_points_against_simulation, window_energy
+from repro.queueing.simulation import (
+    deterministic_service,
+    exponential_service,
+    queue_wait_samples,
+    simulate_queue,
+    simulate_queue_lindley,
+)
+from repro.queueing.tail import MD1WaitDistribution
 
 service = st.floats(1e-4, 100.0)
 utilization = st.floats(0.0, 0.95)
@@ -91,3 +100,126 @@ class TestWindowEnergyProperties:
         p1 = window_energy(s, e_job, idle, u, window)
         p2 = window_energy(s, e_job, idle, u, window * 2)
         assert p2.window_energy_j == pytest.approx(2 * p1.window_energy_j, rel=1e-9)
+
+
+class TestLindleyMatchesEventLoop:
+    """The vectorized Lindley recursion walks the reference sample path.
+
+    Both consume the same draws in the same order, so every aggregate
+    agrees -- but the event loop sums floats one job at a time while the
+    recursion uses ``cumsum``, so agreement is to rounding (relative
+    1e-9), not bit-exact.
+    """
+
+    @given(
+        s=st.floats(1e-3, 10.0),
+        u=st.floats(0.05, 0.9),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_deterministic_service_same_path(self, s, u, seed):
+        ref = simulate_queue(u / s, deterministic_service(s), 400, seed=seed)
+        fast = simulate_queue_lindley(u / s, deterministic_service(s), 400, seed=seed)
+        assert fast.jobs_completed == ref.jobs_completed
+        assert fast.mean_wait_s == pytest.approx(ref.mean_wait_s, rel=1e-9, abs=1e-12)
+        assert fast.mean_response_s == pytest.approx(ref.mean_response_s, rel=1e-9)
+        assert fast.mean_service_s == pytest.approx(ref.mean_service_s, rel=1e-9)
+        assert fast.utilization == pytest.approx(ref.utilization, rel=1e-9)
+        assert fast.horizon_s == pytest.approx(ref.horizon_s, rel=1e-9)
+
+    @given(
+        s=st.floats(1e-3, 10.0),
+        u=st.floats(0.05, 0.8),
+        seed=st.integers(0, 2**32 - 1),
+    )
+    @settings(max_examples=25, deadline=None)
+    def test_exponential_service_same_path(self, s, u, seed):
+        ref = simulate_queue(u / s, exponential_service(s), 400, seed=seed)
+        fast = simulate_queue_lindley(u / s, exponential_service(s), 400, seed=seed)
+        assert fast.mean_wait_s == pytest.approx(ref.mean_wait_s, rel=1e-9, abs=1e-12)
+        assert fast.mean_response_s == pytest.approx(ref.mean_response_s, rel=1e-9)
+        assert fast.horizon_s == pytest.approx(ref.horizon_s, rel=1e-9)
+
+    def test_utilization_is_post_warmup_busy_fraction(self):
+        stats = simulate_queue_lindley(
+            10.0, deterministic_service(0.05), 30_000, seed=3
+        )
+        assert 0.0 < stats.utilization < 1.0
+        assert stats.utilization == pytest.approx(0.5, abs=0.02)
+
+
+class TestLindleyPinsAnalytics:
+    """Large-sample Lindley runs converge on the closed forms."""
+
+    @pytest.mark.parametrize("u", [0.25, 0.5, 0.75])
+    def test_md1_mean_wait(self, u):
+        s = 0.05
+        q = MD1Queue.for_utilization(s, u)
+        stats = simulate_queue_lindley(
+            u / s, deterministic_service(s), 60_000, seed=1
+        )
+        assert stats.mean_wait_s == pytest.approx(q.mean_wait_s, rel=0.08)
+        assert stats.mean_response_s == pytest.approx(q.mean_response_s, rel=0.05)
+
+    @pytest.mark.parametrize("u", [0.25, 0.5])
+    def test_mm1_mean_wait(self, u):
+        s = 0.05
+        q = MM1Queue.for_utilization(s, u)
+        stats = simulate_queue_lindley(
+            u / s, exponential_service(s), 60_000, seed=2
+        )
+        assert stats.mean_wait_s == pytest.approx(q.mean_wait_s, rel=0.08)
+
+    def test_empirical_cdf_matches_md1_tail(self):
+        s, u = 0.05, 0.5
+        dist = MD1WaitDistribution(arrival_rate=u / s, service_s=s)
+        samples = dist.wait_samples(40_000, seed=0)
+        # The atom at zero is the no-wait probability...
+        assert np.mean(samples == 0.0) == pytest.approx(
+            dist.no_wait_probability, abs=0.02
+        )
+        # ...and upper percentiles pin the transform-derived CDF.  (The
+        # median is skipped: at u=0.5 it sits exactly on the zero atom's
+        # boundary, where the empirical quantile is unstable.)
+        for q in (0.75, 0.9, 0.99):
+            assert np.quantile(samples, q) == pytest.approx(
+                dist.percentile(q), rel=0.1, abs=1e-4
+            )
+        quantiles = dist.empirical_quantiles((0.9,), n_jobs=40_000, seed=0)
+        assert quantiles[0.9] == pytest.approx(dist.percentile(0.9), rel=0.1)
+
+    def test_wait_samples_zero_arrival_rate(self):
+        dist = MD1WaitDistribution(arrival_rate=0.0, service_s=0.05)
+        assert not dist.wait_samples(100).any()
+
+    def test_raw_samples_mean_matches_stats(self):
+        s, u, n = 0.05, 0.5, 20_000
+        waits = queue_wait_samples(u / s, deterministic_service(s), n, seed=7)
+        stats = simulate_queue_lindley(u / s, deterministic_service(s), n, seed=7)
+        assert waits.size == n
+        assert float(np.mean(waits)) == pytest.approx(stats.mean_wait_s, rel=1e-12)
+
+
+class TestFrontierSimulationCrossCheck:
+    def _points(self, utilizations):
+        return [
+            window_energy(0.05, 10.0, 5.0, u, 20.0) for u in utilizations
+        ]
+
+    def test_analytic_frontier_survives_simulation(self):
+        report = verify_points_against_simulation(
+            self._points([0.1, 0.3, 0.5, 0.7]), n_jobs=20_000, seed=0
+        )
+        assert report["points_checked"] == 4.0
+        assert report["max_rel_response_error"] < 0.05
+
+    def test_idle_points_are_skipped_and_subsampling_caps_work(self):
+        points = self._points([0.0, 0.2, 0.4, 0.6, 0.8])
+        report = verify_points_against_simulation(
+            points, n_jobs=2_000, max_points=2
+        )
+        assert report["points_checked"] == 2.0
+        with pytest.raises(ValueError):
+            verify_points_against_simulation(points, max_points=0)
+        with pytest.raises(ValueError):
+            verify_points_against_simulation(points, n_jobs=0)
