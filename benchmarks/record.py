@@ -1,9 +1,12 @@
-"""Record the measurement-layer speedups into ``BENCH_PR2.json``.
+"""Record performance snapshots into ``BENCH_PR<N>.json`` files.
 
-Times the three hot paths this PR vectorized, each against its retained
-scalar reference, and writes the wall-clock ratios to a JSON file at the
-repository root (committed so the numbers travel with the code, and
-uploaded as a CI artifact so every run re-measures them):
+Each record is committed so the numbers travel with the code, and also
+re-measured as a CI artifact on every run.  Every timed pair is checked
+for *equality of results* before it is timed, so a recorded speedup (or
+no-regression claim) can never come from computing something different.
+Timings are best-of-``repeats`` to shrug off machine noise.
+
+``--pr 2`` (the measurement-layer vectorization) times:
 
 * **Table 3 validation** -- the full single-node validation campaign
   (six workloads x two node types) at ``repetitions=10``, batched
@@ -13,13 +16,19 @@ uploaded as a CI artifact so every run re-measures them):
 * **calibration** -- one trace-driven ``calibrate_node`` campaign,
   batched counter grid vs the scalar loop.
 
-Every pair is checked for *equality of results* before it is timed, so
-a recorded speedup can never come from computing something different.
-Timings are best-of-``repeats`` to shrug off machine noise.
+``--pr 3`` (the N-group cluster-table refactor) times:
+
+* **two-type no-regression** -- the paper's full 10x10 memcached space
+  through the group-table ``evaluate_space`` vs the frozen pre-refactor
+  snapshot (``core/_evaluate_pair.py``), bit-for-bit equality-checked
+  first; the refactor must stay within noise of the old layout;
+* **three-type throughput** -- an ARM + AMD + Atom space through
+  ``evaluate_space_groups`` (rows/second; no pre-refactor reference
+  exists for k=3).
 
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py [--output BENCH_PR2.json]
+    PYTHONPATH=src python benchmarks/record.py --pr 3 [--output BENCH_PR3.json]
 """
 
 from __future__ import annotations
@@ -131,13 +140,112 @@ def bench_calibration(repeats: int) -> Dict:
     )
 
 
+def bench_two_type_no_regression(repeats: int) -> Dict:
+    """The paper's 10x10 memcached space: group-table vs frozen pair layout."""
+    from repro.core._evaluate_pair import evaluate_space_pair
+    from repro.core.calibration import ground_truth_params
+    from repro.core.evaluate import evaluate_space
+    from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+    from repro.workloads.suite import MEMCACHED
+
+    params = {
+        spec.name: ground_truth_params(spec, MEMCACHED)
+        for spec in (ARM_CORTEX_A9, AMD_K10)
+    }
+    units = 50_000.0
+    new = evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, params, units)
+    old = evaluate_space_pair(ARM_CORTEX_A9, 10, AMD_K10, 10, params, units)
+    for name in (
+        "n_a", "cores_a", "f_a", "n_b", "cores_b", "f_b",
+        "units_a", "units_b", "times_s", "energies_j",
+    ):
+        assert np.array_equal(
+            np.asarray(getattr(new, name)), np.asarray(getattr(old, name))
+        ), name
+    reference = _best_of(
+        lambda: evaluate_space_pair(ARM_CORTEX_A9, 10, AMD_K10, 10, params, units),
+        repeats,
+    )
+    grouped = _best_of(
+        lambda: evaluate_space(ARM_CORTEX_A9, 10, AMD_K10, 10, params, units),
+        repeats,
+    )
+    return _pair(
+        f"two-type evaluate_space, {len(new)} rows (memcached 10x10)",
+        reference,
+        grouped,
+        "group-table evaluate_space vs frozen _evaluate_pair snapshot, "
+        "bit-for-bit equality-checked first",
+    )
+
+
+def bench_three_type_throughput(repeats: int) -> Dict:
+    """An ARM + AMD + Atom space through the k-group evaluator."""
+    from repro.core.calibration import ground_truth_params
+    from repro.core.configuration import GroupSpec
+    from repro.core.evaluate import evaluate_space_groups
+    from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+    from repro.hardware.extension import INTEL_ATOM
+    from repro.workloads.extension import with_atom
+    from repro.workloads.suite import EP
+
+    workload = with_atom(EP)
+    params = {
+        spec.name: ground_truth_params(spec, workload)
+        for spec in (ARM_CORTEX_A9, AMD_K10, INTEL_ATOM)
+    }
+    specs = (
+        GroupSpec(ARM_CORTEX_A9, 5),
+        GroupSpec(AMD_K10, 4),
+        GroupSpec(INTEL_ATOM, 4),
+    )
+    units = 50e6
+    rows = len(evaluate_space_groups(specs, params, units))
+    elapsed = _best_of(lambda: evaluate_space_groups(specs, params, units), repeats)
+    return {
+        "label": f"three-type evaluate_space_groups, {rows} rows (EP, 5x4x4)",
+        "elapsed_s": elapsed,
+        "rows": rows,
+        "rows_per_s": rows / elapsed,
+        "detail": "ARM + AMD + Atom k-group space, no pre-refactor reference",
+    }
+
+
+_PR_RECORDS = {
+    2: {
+        "pr": "vectorized measurement layer",
+        "default_output": "BENCH_PR2.json",
+        "benches": {
+            "table3_validation": bench_table3_validation,
+            "fig10_queueing": bench_fig10_queueing,
+            "calibration": bench_calibration,
+        },
+    },
+    3: {
+        "pr": "N-group cluster table",
+        "default_output": "BENCH_PR3.json",
+        "benches": {
+            "two_type_no_regression": bench_two_type_no_regression,
+            "three_type_throughput": bench_three_type_throughput,
+        },
+    },
+}
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
+        "--pr",
+        type=int,
+        choices=sorted(_PR_RECORDS),
+        default=2,
+        help="which PR's benchmark set to record",
+    )
+    parser.add_argument(
         "--output",
         type=Path,
-        default=REPO_ROOT / "BENCH_PR2.json",
-        help="where to write the JSON record",
+        default=None,
+        help="where to write the JSON record (default: BENCH_PR<N>.json)",
     )
     parser.add_argument(
         "--repeats",
@@ -146,14 +254,14 @@ def main(argv=None) -> int:
         help="full passes per measurement; best-of wins",
     )
     args = parser.parse_args(argv)
+    spec = _PR_RECORDS[args.pr]
+    output = args.output or REPO_ROOT / spec["default_output"]
 
     benchmarks = {
-        "table3_validation": bench_table3_validation(args.repeats),
-        "fig10_queueing": bench_fig10_queueing(args.repeats),
-        "calibration": bench_calibration(args.repeats),
+        name: bench(args.repeats) for name, bench in spec["benches"].items()
     }
     record = {
-        "pr": "vectorized measurement layer",
+        "pr": spec["pr"],
         "python": platform.python_version(),
         "numpy": np.__version__,
         "machine": platform.machine(),
@@ -161,14 +269,20 @@ def main(argv=None) -> int:
         "timing": "best-of-repeats wall clock, results equality-checked first",
         "benchmarks": benchmarks,
     }
-    args.output.write_text(json.dumps(record, indent=2) + "\n")
+    output.write_text(json.dumps(record, indent=2) + "\n")
     for name, bench in benchmarks.items():
-        print(
-            f"{name}: {bench['reference_s'] * 1e3:.1f} ms -> "
-            f"{bench['batched_s'] * 1e3:.1f} ms "
-            f"({bench['speedup']:.1f}x)"
-        )
-    print(f"wrote {args.output}")
+        if "speedup" in bench:
+            print(
+                f"{name}: {bench['reference_s'] * 1e3:.1f} ms -> "
+                f"{bench['batched_s'] * 1e3:.1f} ms "
+                f"({bench['speedup']:.1f}x)"
+            )
+        else:
+            print(
+                f"{name}: {bench['elapsed_s'] * 1e3:.1f} ms "
+                f"({bench['rows_per_s']:,.0f} rows/s)"
+            )
+    print(f"wrote {output}")
     return 0
 
 

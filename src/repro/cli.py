@@ -322,10 +322,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.simulation is not None:
             scenario = scenario.with_(simulation=args.simulation)
         result = run_scenario(scenario, ctx)
+        mix = " + ".join(f"{g.node} x{g.max_nodes}" for g in scenario.groups)
         table = Table(
             ["quantity", "value"],
-            title=f"Scenario: {scenario.name or scenario.workload} "
-            f"({scenario.node_a} x{scenario.max_a} + {scenario.node_b} x{scenario.max_b})",
+            title=f"Scenario: {scenario.name or scenario.workload} ({mix})",
         )
         table.add_row(["stages", ", ".join(scenario.stages)])
         table.add_row(["configurations", f"{len(result.space):,}"])
@@ -352,15 +352,14 @@ def main(argv: Optional[List[str]] = None) -> int:
              f"{stats['disk_hits']} disk hits"]
         )
         print(table.render(), file=out)
-        csv_headers = ["time_ms", "energy_j", "n_a", "n_b"]
+        space = result.space
+        csv_headers = ["time_ms", "energy_j"] + [
+            f"n_{chr(ord('a') + g)}" for g in range(space.num_groups)
+        ]
         csv_rows = [
-            [
-                seconds_to_ms(result.space.times_s[i]),
-                result.space.energies_j[i],
-                int(result.space.n_a[i]),
-                int(result.space.n_b[i]),
-            ]
-            for i in range(len(result.space))
+            [seconds_to_ms(space.times_s[i]), space.energies_j[i]]
+            + [int(space.n[g, i]) for g in range(space.num_groups)]
+            for i in range(len(space))
         ]
     elif args.artifact == "report":
         from repro.reporting.report import generate_report

@@ -1,0 +1,373 @@
+"""Frozen pre-refactor two-type ``evaluate_space`` (reference only).
+
+This module is a verbatim snapshot of the paired-scalar vectorized
+evaluator as it stood before the group-table refactor.  It exists so the
+refactored :func:`repro.core.evaluate.evaluate_space` can be pinned
+bit-for-bit against the exact code it replaced -- by the property tests
+in ``tests/property/test_group_match_properties.py`` and by
+``benchmarks/record.py`` (the ``BENCH_PR3.json`` no-regression entry).
+
+Do not import it from production code; it deliberately duplicates the
+settings-grid and match math instead of sharing helpers, because its
+whole value is being immune to future edits of the live path.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.params import NodeModelParams
+from repro.hardware.specs import NodeSpec
+from repro.util.units import ghz_to_hz
+
+
+@dataclass(frozen=True)
+class _PairSettingGrid:
+    cores: np.ndarray
+    f_ghz: np.ndarray
+    slope_node: np.ndarray
+    k_joules_per_unit: np.ndarray
+    io_slope_node: float
+    floor_job_s: float
+    p_idle_w: float
+    p_io_w: float
+
+
+@dataclass
+class PairSpaceResult:
+    """The pre-refactor flat-array layout, for equality pinning."""
+
+    node_a: str
+    node_b: str
+    n_a: np.ndarray
+    cores_a: np.ndarray
+    f_a: np.ndarray
+    n_b: np.ndarray
+    cores_b: np.ndarray
+    f_b: np.ndarray
+    units_a: np.ndarray
+    units_b: np.ndarray
+    times_s: np.ndarray
+    energies_j: np.ndarray
+    units_total: float
+
+    def __len__(self) -> int:
+        return int(self.times_s.size)
+
+
+def _setting_grid(
+    spec: NodeSpec,
+    params: NodeModelParams,
+    settings: Optional[Sequence[Tuple[int, float]]] = None,
+) -> _PairSettingGrid:
+    if settings is None:
+        settings = [
+            (cores, f)
+            for cores in range(1, spec.cores.count + 1)
+            for f in spec.cores.pstates_ghz
+        ]
+    else:
+        for cores, f in settings:
+            spec.cores.validate_setting(cores, f)
+        if not settings:
+            raise ValueError(f"empty settings list for {spec.name}")
+    cores_list: List[int] = []
+    f_list: List[float] = []
+    slope_list: List[float] = []
+    k_list: List[float] = []
+    ips = params.instructions_per_unit
+    for cores, f in settings:
+        c_act = params.u_cpu * cores
+        f_hz = ghz_to_hz(f)
+        spi_mem = params.spi_mem(cores, f)
+        spi_eff = max(params.spi_core, spi_mem)
+        cpu_slope = ips * (params.wpi + spi_eff) / (c_act * f_hz)
+        io_slope = params.io_bytes_per_unit / params.io_bandwidth_bytes_s
+        a_coeff = ips * params.wpi / (c_act * f_hz)
+        s_coeff = ips * params.spi_core / (c_act * f_hz)
+        m_coeff = ips * (params.wpi + spi_mem) / (c_act * f_hz)
+        k = (
+            c_act * (params.p_act(f) * a_coeff + params.p_stall(f) * s_coeff)
+            + params.p_mem_w * m_coeff
+        )
+        cores_list.append(cores)
+        f_list.append(f)
+        slope_list.append(max(cpu_slope, io_slope))
+        k_list.append(k)
+    floor = 0.0
+    if params.io_job_arrival_rate is not None:
+        floor = 1.0 / params.io_job_arrival_rate
+    return _PairSettingGrid(
+        cores=np.asarray(cores_list, dtype=np.int64),
+        f_ghz=np.asarray(f_list, dtype=float),
+        slope_node=np.asarray(slope_list, dtype=float),
+        k_joules_per_unit=np.asarray(k_list, dtype=float),
+        io_slope_node=params.io_bytes_per_unit / params.io_bandwidth_bytes_s,
+        floor_job_s=floor,
+        p_idle_w=params.p_idle_w,
+        p_io_w=params.p_io_w,
+    )
+
+
+def _vector_match(
+    units: float,
+    gamma_a: np.ndarray,
+    floor_a: np.ndarray,
+    gamma_b: np.ndarray,
+    floor_b: np.ndarray,
+    iterations: int = 80,
+) -> Tuple[np.ndarray, np.ndarray]:
+    w_cf = units * gamma_b / (gamma_a + gamma_b)
+    t_cf = w_cf * gamma_a
+    closed_ok = (t_cf >= floor_a) & (t_cf >= floor_b) & (gamma_a > 0) & (gamma_b > 0)
+
+    t_a_all = np.maximum(gamma_a * units, floor_a)
+    t_b_all = np.maximum(gamma_b * units, floor_b)
+    excl_a = ~closed_ok & (floor_a > t_b_all)
+    excl_b = ~closed_ok & ~excl_a & (floor_b > t_a_all)
+    mixed = ~(closed_ok | excl_a | excl_b)
+
+    w_a = np.where(closed_ok, w_cf, 0.0)
+    time = np.where(closed_ok, t_cf, 0.0)
+    time = np.where(excl_a, t_b_all, time)
+    w_a = np.where(excl_b, units, w_a)
+    time = np.where(excl_b, t_a_all, time)
+
+    if np.any(mixed):
+        ga = gamma_a[mixed]
+        gb = gamma_b[mixed]
+        fa = floor_a[mixed]
+        fb = floor_b[mixed]
+        lo = np.zeros(ga.shape)
+        hi = np.minimum(np.maximum(ga * units, fa), np.maximum(gb * units, fb))
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            cap = np.where(mid >= fa, mid / ga, 0.0) + np.where(
+                mid >= fb, mid / gb, 0.0
+            )
+            feasible = cap >= units
+            hi = np.where(feasible, mid, hi)
+            lo = np.where(feasible, lo, mid)
+        t_star = hi
+        cap_a = np.where(t_star >= fa, t_star / ga, 0.0)
+        cap_b = np.where(t_star >= fb, t_star / gb, 0.0)
+        total_cap = cap_a + cap_b
+        w_mixed = units * cap_a / total_cap
+        t_mixed = np.maximum(
+            np.where(w_mixed > 0, np.maximum(ga * w_mixed, fa), 0.0),
+            np.where(
+                units - w_mixed > 0,
+                np.maximum(gb * (units - w_mixed), fb),
+                0.0,
+            ),
+        )
+        w_a[mixed] = w_mixed
+        time[mixed] = t_mixed
+    return w_a, time
+
+
+def _group_energy(
+    n: np.ndarray,
+    w: np.ndarray,
+    time: np.ndarray,
+    k: np.ndarray,
+    io_slope: float,
+    floor_job: float,
+    p_idle: float,
+    p_io: float,
+) -> np.ndarray:
+    e_io = np.where(w > 0, p_io * np.maximum(w * io_slope, floor_job), 0.0)
+    return n * p_idle * time + w * k + e_io
+
+
+def _normalize_counts(counts: Optional[Sequence[int]], max_n: int) -> np.ndarray:
+    if counts is None:
+        return np.arange(0, max_n + 1, dtype=np.int64)
+    arr = np.asarray(sorted(set(int(c) for c in counts)), dtype=np.int64)
+    if arr.size == 0:
+        raise ValueError("counts list cannot be empty")
+    if np.any(arr < 0):
+        raise ValueError(f"node counts must be non-negative, got {arr.tolist()}")
+    return arr
+
+
+def evaluate_space_pair(
+    spec_a: NodeSpec,
+    max_a: int,
+    spec_b: NodeSpec,
+    max_b: int,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    counts_a: Optional[Sequence[int]] = None,
+    counts_b: Optional[Sequence[int]] = None,
+    settings_a: Optional[Sequence[Tuple[int, float]]] = None,
+    settings_b: Optional[Sequence[Tuple[int, float]]] = None,
+) -> PairSpaceResult:
+    """The pre-refactor two-type space evaluation, verbatim."""
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    if max_a < 0 or max_b < 0:
+        raise ValueError("maximum node counts must be non-negative")
+    if max_a == 0 and max_b == 0:
+        raise ValueError("space is empty with zero nodes of both types")
+    grid_a = _setting_grid(spec_a, params[spec_a.name], settings_a)
+    grid_b = _setting_grid(spec_b, params[spec_b.name], settings_b)
+
+    counts_a_arr = _normalize_counts(counts_a, max_a)
+    counts_b_arr = _normalize_counts(counts_b, max_b)
+    pos_a = counts_a_arr[counts_a_arr > 0]
+    pos_b = counts_b_arr[counts_b_arr > 0]
+    include_a_only = 0 in counts_b_arr and pos_a.size > 0
+    include_b_only = 0 in counts_a_arr and pos_b.size > 0
+
+    blocks: List[PairSpaceResult] = []
+
+    if pos_a.size > 0 and pos_b.size > 0:
+        na = pos_a[:, None, None, None]
+        sa = np.arange(grid_a.cores.size)[None, :, None, None]
+        nb = pos_b[None, None, :, None]
+        sb = np.arange(grid_b.cores.size)[None, None, None, :]
+        shape = (pos_a.size, grid_a.cores.size, pos_b.size, grid_b.cores.size)
+
+        gamma_a = grid_a.slope_node[sa] / na
+        gamma_b = grid_b.slope_node[sb] / nb
+        floor_a = grid_a.floor_job_s / na
+        floor_b = grid_b.floor_job_s / nb
+        gamma_a, gamma_b, floor_a, floor_b = np.broadcast_arrays(
+            gamma_a, gamma_b, floor_a, floor_b
+        )
+        w_a, time = _vector_match(
+            units,
+            gamma_a.reshape(-1).copy(),
+            floor_a.reshape(-1).copy(),
+            gamma_b.reshape(-1).copy(),
+            floor_b.reshape(-1).copy(),
+        )
+        w_b = units - w_a
+        na_flat = np.broadcast_to(na, shape).reshape(-1)
+        nb_flat = np.broadcast_to(nb, shape).reshape(-1)
+        sa_flat = np.broadcast_to(sa, shape).reshape(-1)
+        sb_flat = np.broadcast_to(sb, shape).reshape(-1)
+        energy = _group_energy(
+            na_flat,
+            w_a,
+            time,
+            grid_a.k_joules_per_unit[sa_flat],
+            grid_a.io_slope_node,
+            grid_a.floor_job_s,
+            grid_a.p_idle_w,
+            grid_a.p_io_w,
+        ) + _group_energy(
+            nb_flat,
+            w_b,
+            time,
+            grid_b.k_joules_per_unit[sb_flat],
+            grid_b.io_slope_node,
+            grid_b.floor_job_s,
+            grid_b.p_idle_w,
+            grid_b.p_io_w,
+        )
+        blocks.append(
+            PairSpaceResult(
+                node_a=spec_a.name,
+                node_b=spec_b.name,
+                n_a=na_flat,
+                cores_a=grid_a.cores[sa_flat],
+                f_a=grid_a.f_ghz[sa_flat],
+                n_b=nb_flat,
+                cores_b=grid_b.cores[sb_flat],
+                f_b=grid_b.f_ghz[sb_flat],
+                units_a=w_a,
+                units_b=w_b,
+                times_s=time,
+                energies_j=energy,
+                units_total=units,
+            )
+        )
+
+    for which, spec, grid, counts, include in (
+        ("a", spec_a, grid_a, pos_a, include_a_only),
+        ("b", spec_b, grid_b, pos_b, include_b_only),
+    ):
+        if not include:
+            continue
+        n = np.repeat(counts, grid.cores.size)
+        s = np.tile(np.arange(grid.cores.size), counts.size)
+        gamma = grid.slope_node[s] / n
+        floor = grid.floor_job_s / n
+        time = np.maximum(gamma * units, floor)
+        w = np.full(n.shape, float(units))
+        energy = _group_energy(
+            n,
+            w,
+            time,
+            grid.k_joules_per_unit[s],
+            grid.io_slope_node,
+            grid.floor_job_s,
+            grid.p_idle_w,
+            grid.p_io_w,
+        )
+        zeros_i = np.zeros(n.shape, dtype=np.int64)
+        if which == "a":
+            blocks.append(
+                PairSpaceResult(
+                    node_a=spec_a.name,
+                    node_b=spec_b.name,
+                    n_a=n,
+                    cores_a=grid.cores[s],
+                    f_a=grid.f_ghz[s],
+                    n_b=zeros_i,
+                    cores_b=np.full(n.shape, spec_b.cores.count, dtype=np.int64),
+                    f_b=np.full(n.shape, spec_b.cores.fmax_ghz),
+                    units_a=w,
+                    units_b=np.zeros(n.shape),
+                    times_s=time,
+                    energies_j=energy,
+                    units_total=units,
+                )
+            )
+        else:
+            blocks.append(
+                PairSpaceResult(
+                    node_a=spec_a.name,
+                    node_b=spec_b.name,
+                    n_a=zeros_i,
+                    cores_a=np.full(n.shape, spec_a.cores.count, dtype=np.int64),
+                    f_a=np.full(n.shape, spec_a.cores.fmax_ghz),
+                    n_b=n,
+                    cores_b=grid.cores[s],
+                    f_b=grid.f_ghz[s],
+                    units_a=np.zeros(n.shape),
+                    units_b=w,
+                    times_s=time,
+                    energies_j=energy,
+                    units_total=units,
+                )
+            )
+
+    if not blocks:
+        raise ValueError(
+            "no configurations to evaluate: the count lists admit neither a "
+            "heterogeneous nor a homogeneous block"
+        )
+    if len(blocks) == 1:
+        return blocks[0]
+    first = blocks[0]
+    return PairSpaceResult(
+        node_a=first.node_a,
+        node_b=first.node_b,
+        n_a=np.concatenate([b.n_a for b in blocks]),
+        cores_a=np.concatenate([b.cores_a for b in blocks]),
+        f_a=np.concatenate([b.f_a for b in blocks]),
+        n_b=np.concatenate([b.n_b for b in blocks]),
+        cores_b=np.concatenate([b.cores_b for b in blocks]),
+        f_b=np.concatenate([b.f_b for b in blocks]),
+        units_a=np.concatenate([b.units_a for b in blocks]),
+        units_b=np.concatenate([b.units_b for b in blocks]),
+        times_s=np.concatenate([b.times_s for b in blocks]),
+        energies_j=np.concatenate([b.energies_j for b in blocks]),
+        units_total=first.units_total,
+    )

@@ -19,6 +19,7 @@ from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core.configuration import node_settings
 from repro.core.energymodel import predict_node_energy
 from repro.core.evaluate import ConfigSpaceResult, evaluate_space
 from repro.core.params import NodeModelParams
@@ -62,22 +63,21 @@ def most_efficient_setting(
     if units <= 0:
         raise ValueError("units must be positive")
     best: Optional[EfficientSetting] = None
-    for cores in range(1, node.cores.count + 1):
-        for f in node.cores.pstates_ghz:
-            times = predict_node_time(params, units, 1, cores, f)
-            energy = predict_node_energy(params, times).energy_j
-            if times.time_s <= 0:
-                continue
-            candidate = EfficientSetting(
-                cores=cores,
-                f_ghz=f,
-                time_s=times.time_s,
-                energy_j=energy,
-                rate_units_per_s=units / times.time_s,
-                power_w=energy / times.time_s,
-            )
-            if best is None or candidate.energy_j < best.energy_j:
-                best = candidate
+    for cores, f in node_settings(node):
+        times = predict_node_time(params, units, 1, cores, f)
+        energy = predict_node_energy(params, times).energy_j
+        if times.time_s <= 0:
+            continue
+        candidate = EfficientSetting(
+            cores=cores,
+            f_ghz=f,
+            time_s=times.time_s,
+            energy_j=energy,
+            rate_units_per_s=units / times.time_s,
+            power_w=energy / times.time_s,
+        )
+        if best is None or candidate.energy_j < best.energy_j:
+            best = candidate
     if best is None:
         raise ValueError("node has no valid operating point")
     return best

@@ -1,89 +1,344 @@
-"""Cluster configuration space (Section IV-B, footnote 2).
+"""Cluster configuration space (Section IV-B, footnote 2), N-group form.
 
-A *configuration* fixes, for each node type: how many nodes participate,
-how many cores are active per node, and the core clock.  For a maximum of
-10 ARM and 10 AMD nodes the paper counts:
+A *configuration* fixes, for each node type (a *group*): how many nodes
+participate, how many cores are active per node, and the core clock.
+The paper exercises two groups; Section II-A's "generic mix of
+heterogeneous nodes" admits any number, so the representation here is a
+group table -- an ordered tuple of :class:`GroupConfig` -- of which the
+paper's A/B pair is the two-entry case.
+
+For a maximum of 10 ARM and 10 AMD nodes the paper counts:
 
 * heterogeneous: 10 x 5 x 4 x 10 x 3 x 6 = 36,000
 * ARM only:      10 x 5 x 4            =    200
 * AMD only:      10 x 3 x 6            =    180
 
 total 36,380.  :func:`count_configs` reproduces that arithmetic and
-:func:`enumerate_configs` yields every point; the heavy numeric work is
-done vectorized in :mod:`repro.core.evaluate`, so enumeration here stays
-a cheap, readable generator.
+:func:`enumerate_configs` yields every point; their k-group
+generalizations (:func:`count_configs_groups`,
+:func:`enumerate_configs_groups`) sum over every non-empty subset of
+present groups.  The heavy numeric work is done vectorized in
+:mod:`repro.core.evaluate`, so enumeration here stays a cheap, readable
+generator.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterator, Optional
+from typing import Iterator, List, Optional, Sequence, Tuple
 
 from repro.hardware.specs import NodeSpec
 
+_LEGACY_FIELDS = (
+    "node_a", "n_a", "cores_a", "f_a_ghz", "node_b", "n_b", "cores_b", "f_b_ghz",
+)
+
+
+def node_settings(
+    spec: NodeSpec,
+    settings: Optional[Sequence[Tuple[int, float]]] = None,
+) -> List[Tuple[int, float]]:
+    """The (cores, frequency) settings of one node type, validated.
+
+    ``None`` yields the full rectangle -- every active-core count from 1
+    to the spec's core count crossed with every P-state, cores outer and
+    frequencies inner (the enumeration order the whole pipeline shares).
+    An explicit list restricts the settings (the hook
+    :mod:`repro.core.reduction` uses for pruned spaces); each entry is
+    validated against the spec and an empty list is rejected.
+    """
+    if settings is None:
+        return [
+            (cores, f)
+            for cores in range(1, spec.cores.count + 1)
+            for f in spec.cores.pstates_ghz
+        ]
+    out: List[Tuple[int, float]] = []
+    for cores, f in settings:
+        spec.cores.validate_setting(cores, f)
+        out.append((int(cores), float(f)))
+    if not out:
+        raise ValueError(f"empty settings list for {spec.name}")
+    return out
+
 
 @dataclass(frozen=True)
-class ClusterConfig:
-    """One point of the configuration space.
+class GroupConfig:
+    """One group's slice of a configuration: node type, count, setting."""
 
-    Group *a* is conventionally the low-power type (ARM) and group *b*
-    the high-performance type (AMD), matching the paper's presentation;
-    nothing in the code depends on that ordering.  A group with
-    ``n == 0`` is absent and its ``cores``/``f_ghz`` are ignored (kept at
-    the type's maxima for readability).
-    """
-
-    node_a: str
-    n_a: int
-    cores_a: int
-    f_a_ghz: float
-    node_b: str
-    n_b: int
-    cores_b: int
-    f_b_ghz: float
+    node: str
+    n: int
+    cores: int
+    f_ghz: float
 
     def __post_init__(self) -> None:
-        if self.n_a < 0 or self.n_b < 0:
+        if self.n < 0:
             raise ValueError("node counts must be non-negative")
-        if self.n_a == 0 and self.n_b == 0:
+
+    @property
+    def present(self) -> bool:
+        return self.n > 0
+
+
+@dataclass(frozen=True)
+class GroupSpec:
+    """One group's axis of a configuration *space*.
+
+    ``counts`` pins the node counts to an explicit list instead of
+    ``0..max_nodes`` (0 means "this group absent"); ``settings`` pins
+    the (cores, frequency) settings instead of the full rectangle.
+    """
+
+    spec: NodeSpec
+    max_nodes: int
+    counts: Optional[Tuple[int, ...]] = None
+    settings: Optional[Tuple[Tuple[int, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 0:
+            raise ValueError("maximum node counts must be non-negative")
+        if self.counts is not None:
+            object.__setattr__(
+                self, "counts", tuple(int(c) for c in self.counts)
+            )
+        if self.settings is not None:
+            object.__setattr__(
+                self,
+                "settings",
+                tuple((int(c), float(f)) for c, f in self.settings),
+            )
+
+
+@dataclass(frozen=True, init=False)
+class ClusterConfig:
+    """One point of the configuration space: an ordered group table.
+
+    Constructible either from ``groups=(GroupConfig, ...)`` or -- for the
+    paper's two-type case -- from the legacy pair fields
+    (``node_a, n_a, cores_a, f_a_ghz, node_b, ...``).  Group *a*
+    (index 0) is conventionally the low-power type (ARM) and group *b*
+    (index 1) the high-performance type (AMD), matching the paper's
+    presentation; nothing in the code depends on that ordering.  A group
+    with ``n == 0`` is absent and its ``cores``/``f_ghz`` are ignored
+    (kept at the type's maxima for readability).
+    """
+
+    groups: Tuple[GroupConfig, ...]
+
+    def __init__(self, groups: Optional[Sequence[GroupConfig]] = None, **legacy):
+        if groups is None:
+            missing = [f for f in _LEGACY_FIELDS if f not in legacy]
+            unknown = set(legacy) - set(_LEGACY_FIELDS)
+            if missing or unknown:
+                raise TypeError(
+                    "pass groups=(GroupConfig, ...) or all of "
+                    f"{_LEGACY_FIELDS}; missing {missing}, unknown {sorted(unknown)}"
+                )
+            groups = (
+                GroupConfig(
+                    legacy["node_a"], legacy["n_a"],
+                    legacy["cores_a"], legacy["f_a_ghz"],
+                ),
+                GroupConfig(
+                    legacy["node_b"], legacy["n_b"],
+                    legacy["cores_b"], legacy["f_b_ghz"],
+                ),
+            )
+        elif legacy:
+            raise TypeError("pass either groups or the legacy pair fields, not both")
+        groups = tuple(groups)
+        if not groups:
+            raise ValueError("a configuration needs at least one group")
+        if all(g.n == 0 for g in groups):
             raise ValueError("a configuration needs at least one node")
+        object.__setattr__(self, "groups", groups)
+
+    # ---- group-table introspection -------------------------------------
+
+    @property
+    def num_groups(self) -> int:
+        return len(self.groups)
+
+    @property
+    def present(self) -> Tuple[int, ...]:
+        """Indices of groups with at least one node."""
+        return tuple(i for i, g in enumerate(self.groups) if g.n > 0)
 
     @property
     def is_heterogeneous(self) -> bool:
-        """Both node types present."""
-        return self.n_a > 0 and self.n_b > 0
+        """At least two node types present."""
+        return len(self.present) >= 2
 
     @property
     def homogeneous_type(self) -> Optional[str]:
         """The single node type of a homogeneous config, else ``None``."""
-        if self.is_heterogeneous:
+        present = self.present
+        if len(present) != 1:
             return None
-        return self.node_a if self.n_a > 0 else self.node_b
+        return self.groups[present[0]].node
 
     @property
     def total_nodes(self) -> int:
-        return self.n_a + self.n_b
+        return sum(g.n for g in self.groups)
 
     def label(self) -> str:
         """Short human-readable form, e.g. ``ARM 16:AMD 14`` style."""
         parts = []
-        if self.n_a:
-            parts.append(f"{self.node_a} x{self.n_a} (c={self.cores_a}, f={self.f_a_ghz})")
-        if self.n_b:
-            parts.append(f"{self.node_b} x{self.n_b} (c={self.cores_b}, f={self.f_b_ghz})")
+        for g in self.groups:
+            if g.n:
+                parts.append(f"{g.node} x{g.n} (c={g.cores}, f={g.f_ghz})")
         return " + ".join(parts)
+
+    # ---- legacy pair accessors (two-group configurations only) ---------
+
+    def _pair(self, index: int) -> GroupConfig:
+        if len(self.groups) != 2:
+            raise ValueError(
+                "pair accessors (node_a/n_a/...) need exactly two groups; "
+                f"this configuration has {len(self.groups)} -- use .groups"
+            )
+        return self.groups[index]
+
+    @property
+    def node_a(self) -> str:
+        return self._pair(0).node
+
+    @property
+    def n_a(self) -> int:
+        return self._pair(0).n
+
+    @property
+    def cores_a(self) -> int:
+        return self._pair(0).cores
+
+    @property
+    def f_a_ghz(self) -> float:
+        return self._pair(0).f_ghz
+
+    @property
+    def node_b(self) -> str:
+        return self._pair(1).node
+
+    @property
+    def n_b(self) -> int:
+        return self._pair(1).n
+
+    @property
+    def cores_b(self) -> int:
+        return self._pair(1).cores
+
+    @property
+    def f_b_ghz(self) -> float:
+        return self._pair(1).f_ghz
+
+
+# ---------------------------------------------------------------------------
+# Space enumeration
+# ---------------------------------------------------------------------------
+
+
+def _count_lists(group_specs: Sequence[GroupSpec]) -> List[List[int]]:
+    """Each group's admissible node counts (default ``0..max_nodes``)."""
+    out: List[List[int]] = []
+    for gs in group_specs:
+        if gs.counts is None:
+            out.append(list(range(0, gs.max_nodes + 1)))
+        else:
+            counts = sorted(set(gs.counts))
+            if not counts:
+                raise ValueError("counts list cannot be empty")
+            if counts[0] < 0:
+                raise ValueError(f"node counts must be non-negative, got {counts}")
+            out.append(counts)
+    return out
+
+
+def presence_masks(group_specs: Sequence[GroupSpec]) -> Iterator[Tuple[int, ...]]:
+    """Admissible present-group index tuples, in canonical block order.
+
+    Masks run from all-groups-present down to each single group, with
+    group 0 as the most significant bit -- for two groups that is the
+    footnote's decomposition: heterogeneous, then a-only, then b-only.
+    A mask is admissible when every present group has a positive count
+    available and every absent group admits a count of 0.
+    """
+    k = len(group_specs)
+    counts = _count_lists(group_specs)
+    for mask in range(2 ** k - 1, 0, -1):
+        present = tuple(g for g in range(k) if mask >> (k - 1 - g) & 1)
+        absent = tuple(g for g in range(k) if g not in present)
+        if any(not any(c > 0 for c in counts[g]) for g in present):
+            continue
+        if any(0 not in counts[g] for g in absent):
+            continue
+        yield present
+
+
+def count_configs_groups(group_specs: Sequence[GroupSpec]) -> int:
+    """Size of a k-group configuration space (footnote arithmetic, k-way)."""
+    counts = _count_lists(group_specs)
+    settings = [node_settings(gs.spec, gs.settings) for gs in group_specs]
+    pos = [sum(1 for c in cl if c > 0) for cl in counts]
+    total = 0
+    for present in presence_masks(group_specs):
+        block = 1
+        for g in present:
+            block *= pos[g] * len(settings[g])
+        total += block
+    return total
+
+
+def enumerate_configs_groups(
+    group_specs: Sequence[GroupSpec],
+) -> Iterator[ClusterConfig]:
+    """Yield every configuration of a k-group space.
+
+    Block order follows :func:`presence_masks`; within a block the loops
+    nest count-then-setting per present group, groups in order -- exactly
+    the two-type generator's historical order when k = 2.  Absent groups
+    are pinned at their spec's maxima for readability.
+    """
+    counts = _count_lists(group_specs)
+    settings = [node_settings(gs.spec, gs.settings) for gs in group_specs]
+    pos = [[c for c in cl if c > 0] for cl in counts]
+
+    def _block(present: Tuple[int, ...], chosen: List[GroupConfig], depth: int):
+        if depth == len(present):
+            groups = []
+            it = iter(chosen)
+            for g, gs in enumerate(group_specs):
+                if g in present:
+                    groups.append(next(it))
+                else:
+                    groups.append(
+                        GroupConfig(
+                            gs.spec.name, 0,
+                            gs.spec.cores.count, gs.spec.cores.fmax_ghz,
+                        )
+                    )
+            yield ClusterConfig(groups=tuple(groups))
+            return
+        g = present[depth]
+        for n in pos[g]:
+            for cores, f in settings[g]:
+                chosen.append(GroupConfig(group_specs[g].spec.name, n, cores, f))
+                yield from _block(present, chosen, depth + 1)
+                chosen.pop()
+
+    for present in presence_masks(group_specs):
+        yield from _block(present, [], 0)
+
+
+# ---------------------------------------------------------------------------
+# Legacy two-type entry points
+# ---------------------------------------------------------------------------
 
 
 def count_configs(spec_a: NodeSpec, max_a: int, spec_b: NodeSpec, max_b: int) -> int:
-    """Size of the configuration space, per the paper's footnote arithmetic."""
-    if max_a < 0 or max_b < 0:
-        raise ValueError("maximum node counts must be non-negative")
-    dims_a = len(spec_a.cores.pstates_ghz) * spec_a.cores.count
-    dims_b = len(spec_b.cores.pstates_ghz) * spec_b.cores.count
-    hetero = max_a * dims_a * max_b * dims_b
-    only_a = max_a * dims_a
-    only_b = max_b * dims_b
-    return hetero + only_a + only_b
+    """Size of the two-type configuration space, per the paper's footnote."""
+    return count_configs_groups(
+        (GroupSpec(spec_a, max_a), GroupSpec(spec_b, max_b))
+    )
 
 
 def enumerate_configs(
@@ -97,52 +352,6 @@ def enumerate_configs(
     Order: heterogeneous block first (outer loops over group a), then the
     two homogeneous blocks -- mirroring the footnote's decomposition.
     """
-    if max_a < 0 or max_b < 0:
-        raise ValueError("maximum node counts must be non-negative")
-
-    def _settings(spec: NodeSpec):
-        for cores in range(1, spec.cores.count + 1):
-            for f in spec.cores.pstates_ghz:
-                yield cores, f
-
-    # Heterogeneous mixes.
-    for n_a in range(1, max_a + 1):
-        for cores_a, f_a in _settings(spec_a):
-            for n_b in range(1, max_b + 1):
-                for cores_b, f_b in _settings(spec_b):
-                    yield ClusterConfig(
-                        node_a=spec_a.name,
-                        n_a=n_a,
-                        cores_a=cores_a,
-                        f_a_ghz=f_a,
-                        node_b=spec_b.name,
-                        n_b=n_b,
-                        cores_b=cores_b,
-                        f_b_ghz=f_b,
-                    )
-    # Homogeneous: type a only.
-    for n_a in range(1, max_a + 1):
-        for cores_a, f_a in _settings(spec_a):
-            yield ClusterConfig(
-                node_a=spec_a.name,
-                n_a=n_a,
-                cores_a=cores_a,
-                f_a_ghz=f_a,
-                node_b=spec_b.name,
-                n_b=0,
-                cores_b=spec_b.cores.count,
-                f_b_ghz=spec_b.cores.fmax_ghz,
-            )
-    # Homogeneous: type b only.
-    for n_b in range(1, max_b + 1):
-        for cores_b, f_b in _settings(spec_b):
-            yield ClusterConfig(
-                node_a=spec_a.name,
-                n_a=0,
-                cores_a=spec_a.cores.count,
-                f_a_ghz=spec_a.cores.fmax_ghz,
-                node_b=spec_b.name,
-                n_b=n_b,
-                cores_b=cores_b,
-                f_b_ghz=f_b,
-            )
+    yield from enumerate_configs_groups(
+        (GroupSpec(spec_a, max_a), GroupSpec(spec_b, max_b))
+    )

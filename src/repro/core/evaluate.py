@@ -4,16 +4,28 @@ Two implementations of the same semantics:
 
 * :func:`evaluate_config` -- scalar, readable, built directly from the
   equation-level functions (:mod:`timemodel`, :mod:`energymodel`,
-  :mod:`matching`).  The reference.
-* :func:`evaluate_space` -- vectorized over the entire configuration
-  space with NumPy broadcasting (the 36,380-point space of Fig. 4
-  evaluates in milliseconds).  Exploits the exact linear form
-  ``T(W) = max(gamma W, floor)`` and the fact that every energy term is
-  ``n * P_idle * T + W * K + P_IO * max(W * io_slope, floor)`` with a
-  per-setting constant ``K`` (joules per unit, independent of node
-  count) -- see the derivation in this module's helpers.
+  :mod:`matching`, :mod:`multiway`).  The reference.
+* :func:`evaluate_space_groups` -- vectorized over the entire
+  configuration space of any number of node-type groups with NumPy
+  broadcasting (the 36,380-point space of Fig. 4 evaluates in
+  milliseconds); :func:`evaluate_space` is its two-type entry point,
+  bit-for-bit identical to the pre-refactor paired evaluator (pinned
+  against the frozen copy in :mod:`repro.core._evaluate_pair`).
 
-A property-based test pins the two against each other.
+The space is evaluated block-by-block over presence masks (which subset
+of groups participates); within a block the matched split uses the
+closed form when no floor binds, the historical two-group
+:func:`_vector_match` when exactly two groups are present, and the
+k-way capacity bisection of :mod:`repro.core.multiway` -- vectorized in
+:func:`_vector_match_groups` -- for three or more.  Everything exploits
+the exact linear form ``T(W) = max(gamma W, floor)`` and the fact that
+every energy term is ``n * P_idle * T + W * K + P_IO * max(W *
+io_slope, floor)`` with a per-setting constant ``K`` (joules per unit,
+independent of node count) -- see the derivation in this module's
+helpers.
+
+Property-based tests pin the scalar and vectorized paths against each
+other and against the scalar k-way solver.
 """
 
 from __future__ import annotations
@@ -23,33 +35,98 @@ from typing import List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.core.configuration import ClusterConfig
+from repro.core.configuration import (
+    ClusterConfig,
+    GroupConfig,
+    GroupSpec,
+    node_settings,
+    presence_masks,
+)
 from repro.core.energymodel import predict_node_energy
 from repro.core.matching import GroupSetting, match_split
+from repro.core.multiway import evaluate_multiway
 from repro.core.params import NodeModelParams
 from repro.core.timemodel import predict_node_time
 from repro.hardware.specs import NodeSpec
 from repro.util.units import ghz_to_hz
 
 
-@dataclass(frozen=True)
+def _params_for(params: Mapping[str, NodeModelParams], name: str) -> NodeModelParams:
+    """Look up one node type's model inputs, with a helpful error.
+
+    A missing entry is a configuration mistake (the caller calibrated a
+    different set of node types than the space references), so the error
+    names both the missing type and what *is* available instead of
+    surfacing a bare ``KeyError``.
+    """
+    try:
+        return params[name]
+    except KeyError:
+        available = ", ".join(sorted(params)) or "none"
+        raise ValueError(
+            f"no model parameters for node type {name!r}; "
+            f"available: {available}"
+        ) from None
+
+
+@dataclass(frozen=True, init=False)
 class ConfigPoint:
     """One evaluated configuration: the dot on the paper's scatter plots."""
 
     config: ClusterConfig
     time_s: float
     energy_j: float
-    units_a: float
-    units_b: float
+    units: Tuple[float, ...]
     method: str
 
-    def __post_init__(self) -> None:
-        if self.time_s < 0 or self.energy_j < 0:
+    def __init__(
+        self,
+        config: ClusterConfig,
+        time_s: float,
+        energy_j: float,
+        units: Optional[Sequence[float]] = None,
+        method: str = "scalar",
+        *,
+        units_a: Optional[float] = None,
+        units_b: Optional[float] = None,
+    ):
+        if units is None:
+            if units_a is None or units_b is None:
+                raise TypeError("pass units=(...) or both units_a and units_b")
+            units = (units_a, units_b)
+        elif units_a is not None or units_b is not None:
+            raise TypeError("pass either units or the units_a/units_b pair")
+        units = tuple(float(u) for u in units)
+        if len(units) != config.num_groups:
+            raise ValueError(
+                f"{len(units)} unit splits for {config.num_groups} groups"
+            )
+        if time_s < 0 or energy_j < 0:
             raise ValueError("negative time or energy for a configuration")
+        object.__setattr__(self, "config", config)
+        object.__setattr__(self, "time_s", float(time_s))
+        object.__setattr__(self, "energy_j", float(energy_j))
+        object.__setattr__(self, "units", units)
+        object.__setattr__(self, "method", method)
 
     @property
     def is_heterogeneous(self) -> bool:
         return self.config.is_heterogeneous
+
+    def _pair_units(self, index: int) -> float:
+        if len(self.units) != 2:
+            raise ValueError(
+                "units_a/units_b need exactly two groups; use .units"
+            )
+        return self.units[index]
+
+    @property
+    def units_a(self) -> float:
+        return self._pair_units(0)
+
+    @property
+    def units_b(self) -> float:
+        return self._pair_units(1)
 
 
 def evaluate_config(
@@ -60,35 +137,49 @@ def evaluate_config(
     """Scalar reference evaluation of one configuration.
 
     ``params`` maps node-type name to that type's calibrated inputs for
-    the workload being analyzed.
+    the workload being analyzed.  Two-group configurations go through
+    the paper's pairwise :func:`~repro.core.matching.match_split`; any
+    other group count uses the k-way solver
+    (:func:`~repro.core.multiway.evaluate_multiway`).
     """
     if units <= 0:
         raise ValueError(f"job must contain positive work, got {units}")
-    params_a = params[config.node_a]
-    params_b = params[config.node_b]
-    group_a = GroupSetting(params_a, config.n_a, config.cores_a, config.f_a_ghz)
-    group_b = GroupSetting(params_b, config.n_b, config.cores_b, config.f_b_ghz)
+    group_params = [_params_for(params, g.node) for g in config.groups]
+
+    if config.num_groups != 2:
+        settings = [
+            GroupSetting(p, g.n, g.cores, g.f_ghz)
+            for p, g in zip(group_params, config.groups)
+        ]
+        outcome = evaluate_multiway(units, settings)
+        return ConfigPoint(
+            config=config,
+            time_s=outcome.time_s,
+            energy_j=outcome.energy_j,
+            units=outcome.match.units,
+            method=outcome.match.method,
+        )
+
+    params_a, params_b = group_params
+    ga, gb = config.groups
+    group_a = GroupSetting(params_a, ga.n, ga.cores, ga.f_ghz)
+    group_b = GroupSetting(params_b, gb.n, gb.cores, gb.f_ghz)
 
     match = match_split(units, group_a, group_b)
 
     energy = 0.0
-    if config.n_a > 0:
-        tb_a = predict_node_time(
-            params_a, match.units_a, config.n_a, config.cores_a, config.f_a_ghz
-        )
+    if ga.n > 0:
+        tb_a = predict_node_time(params_a, match.units_a, ga.n, ga.cores, ga.f_ghz)
         energy += predict_node_energy(params_a, tb_a, job_time_s=match.time_s).energy_j
-    if config.n_b > 0:
-        tb_b = predict_node_time(
-            params_b, match.units_b, config.n_b, config.cores_b, config.f_b_ghz
-        )
+    if gb.n > 0:
+        tb_b = predict_node_time(params_b, match.units_b, gb.n, gb.cores, gb.f_ghz)
         energy += predict_node_energy(params_b, tb_b, job_time_s=match.time_s).energy_j
 
     return ConfigPoint(
         config=config,
         time_s=match.time_s,
         energy_j=energy,
-        units_a=match.units_a,
-        units_b=match.units_b,
+        units=(match.units_a, match.units_b),
         method=match.method,
     )
 
@@ -130,17 +221,7 @@ def _setting_grid(
     with ``A = IPs WPI / (c_act f)``, ``S = IPs SPI_core / (c_act f)``,
     ``M = IPs (WPI + SPI_mem) / (c_act f)``.
     """
-    if settings is None:
-        settings = [
-            (cores, f)
-            for cores in range(1, spec.cores.count + 1)
-            for f in spec.cores.pstates_ghz
-        ]
-    else:
-        for cores, f in settings:
-            spec.cores.validate_setting(cores, f)
-        if not settings:
-            raise ValueError(f"empty settings list for {spec.name}")
+    settings = node_settings(spec, settings)
     cores_list: List[int] = []
     f_list: List[float] = []
     slope_list: List[float] = []
@@ -181,53 +262,121 @@ def _setting_grid(
 
 @dataclass
 class ConfigSpaceResult:
-    """Flat arrays over the evaluated configuration space.
+    """Column stacks over the evaluated configuration space.
 
-    Row ``i`` describes one configuration; use :meth:`point` to
-    materialize a :class:`ConfigPoint` (and its :class:`ClusterConfig`)
-    for reporting.
+    Per-group arrays are stacked ``(G, N)`` -- ``n[g, i]`` is group
+    ``g``'s node count in configuration ``i`` -- and ``times_s``/
+    ``energies_j`` are flat ``(N,)``.  Row ``i`` describes one
+    configuration; use :meth:`point` to materialize a
+    :class:`ConfigPoint` (and its :class:`ClusterConfig`) for reporting.
+    Two-group spaces keep the historical ``node_a``/``n_a``-style
+    accessors as thin views onto the group table.
     """
 
-    node_a: str
-    node_b: str
-    n_a: np.ndarray
-    cores_a: np.ndarray
-    f_a: np.ndarray
-    n_b: np.ndarray
-    cores_b: np.ndarray
-    f_b: np.ndarray
-    units_a: np.ndarray
-    units_b: np.ndarray
-    times_s: np.ndarray
-    energies_j: np.ndarray
+    nodes: Tuple[str, ...]
+    n: np.ndarray  # (G, N) int
+    cores: np.ndarray  # (G, N) int
+    f: np.ndarray  # (G, N) float
+    units: np.ndarray  # (G, N) float
+    times_s: np.ndarray  # (N,)
+    energies_j: np.ndarray  # (N,)
     units_total: float
+
+    def __post_init__(self) -> None:
+        self.nodes = tuple(self.nodes)
 
     def __len__(self) -> int:
         return int(self.times_s.size)
 
     @property
+    def num_groups(self) -> int:
+        return len(self.nodes)
+
+    @property
+    def present_count(self) -> np.ndarray:
+        """How many groups participate in each configuration."""
+        return (self.n > 0).sum(axis=0)
+
+    @property
     def is_heterogeneous(self) -> np.ndarray:
-        return (self.n_a > 0) & (self.n_b > 0)
+        return self.present_count >= 2
+
+    def is_only(self, group: int) -> np.ndarray:
+        """Configurations where exactly ``group`` participates."""
+        return (self.n[group] > 0) & (self.present_count == 1)
+
+    # ---- legacy pair accessors (two-group spaces only) -----------------
+
+    def _pair(self, index: int) -> int:
+        if len(self.nodes) != 2:
+            raise ValueError(
+                "pair accessors (node_a/n_a/...) need exactly two groups; "
+                f"this space has {len(self.nodes)} -- use the group table"
+            )
+        return index
+
+    @property
+    def node_a(self) -> str:
+        return self.nodes[self._pair(0)]
+
+    @property
+    def node_b(self) -> str:
+        return self.nodes[self._pair(1)]
+
+    @property
+    def n_a(self) -> np.ndarray:
+        return self.n[self._pair(0)]
+
+    @property
+    def n_b(self) -> np.ndarray:
+        return self.n[self._pair(1)]
+
+    @property
+    def cores_a(self) -> np.ndarray:
+        return self.cores[self._pair(0)]
+
+    @property
+    def cores_b(self) -> np.ndarray:
+        return self.cores[self._pair(1)]
+
+    @property
+    def f_a(self) -> np.ndarray:
+        return self.f[self._pair(0)]
+
+    @property
+    def f_b(self) -> np.ndarray:
+        return self.f[self._pair(1)]
+
+    @property
+    def units_a(self) -> np.ndarray:
+        return self.units[self._pair(0)]
+
+    @property
+    def units_b(self) -> np.ndarray:
+        return self.units[self._pair(1)]
 
     @property
     def is_only_a(self) -> np.ndarray:
-        return (self.n_a > 0) & (self.n_b == 0)
+        return self.is_only(self._pair(0))
 
     @property
     def is_only_b(self) -> np.ndarray:
-        return (self.n_a == 0) & (self.n_b > 0)
+        return self.is_only(self._pair(1))
+
+    # ---- row materialization -------------------------------------------
 
     def config(self, i: int) -> ClusterConfig:
         """Materialize row ``i``'s configuration."""
         return ClusterConfig(
-            node_a=self.node_a,
-            n_a=int(self.n_a[i]),
-            cores_a=int(self.cores_a[i]),
-            f_a_ghz=float(self.f_a[i]),
-            node_b=self.node_b,
-            n_b=int(self.n_b[i]),
-            cores_b=int(self.cores_b[i]),
-            f_b_ghz=float(self.f_b[i]),
+            groups=tuple(
+                GroupConfig(
+                    node=self.nodes[g],
+                    n=int(self.n[g, i]),
+                    cores=int(self.cores[g, i]),
+                    f_ghz=float(self.f[g, i]),
+                )
+                for g in range(self.num_groups)
+            )
         )
 
     def point(self, i: int) -> ConfigPoint:
@@ -236,24 +385,18 @@ class ConfigSpaceResult:
             config=self.config(i),
             time_s=float(self.times_s[i]),
             energy_j=float(self.energies_j[i]),
-            units_a=float(self.units_a[i]),
-            units_b=float(self.units_b[i]),
+            units=tuple(float(self.units[g, i]) for g in range(self.num_groups)),
             method="vectorized",
         )
 
     def subset(self, mask: np.ndarray) -> "ConfigSpaceResult":
         """A copy restricted to the rows where ``mask`` is true."""
         return ConfigSpaceResult(
-            node_a=self.node_a,
-            node_b=self.node_b,
-            n_a=self.n_a[mask],
-            cores_a=self.cores_a[mask],
-            f_a=self.f_a[mask],
-            n_b=self.n_b[mask],
-            cores_b=self.cores_b[mask],
-            f_b=self.f_b[mask],
-            units_a=self.units_a[mask],
-            units_b=self.units_b[mask],
+            nodes=self.nodes,
+            n=self.n[:, mask],
+            cores=self.cores[:, mask],
+            f=self.f[:, mask],
+            units=self.units[:, mask],
             times_s=self.times_s[mask],
             energies_j=self.energies_j[mask],
             units_total=self.units_total,
@@ -268,7 +411,7 @@ def _vector_match(
     floor_b: np.ndarray,
     iterations: int = 80,
 ) -> Tuple[np.ndarray, np.ndarray]:
-    """Vectorized mix-and-match over arrays of group coefficients.
+    """Vectorized mix-and-match over arrays of two-group coefficients.
 
     Returns ``(w_a, time)``.  Mirrors :func:`repro.core.matching.match_split`
     case-for-case; the mixed floor regime is resolved by the same
@@ -326,6 +469,63 @@ def _vector_match(
     return w_a, time
 
 
+def _vector_match_groups(
+    units: float,
+    gammas: np.ndarray,
+    floors: np.ndarray,
+    iterations: int = 200,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Vectorized k-way mix-and-match over ``(P, N)`` coefficient stacks.
+
+    Returns ``(w, time)`` with ``w[p, i]`` the work assigned to present
+    group ``p`` in configuration ``i``.  Mirrors the scalar
+    :func:`repro.core.multiway.match_multiway` arithmetic: the
+    harmonic-mean closed form where no group has a floor, and the
+    canonical capacity bisection (min feasible deadline, work
+    proportional to capacity) elsewhere -- property-tested against the
+    scalar solver on random gamma/floor clouds.
+    """
+    if gammas.ndim != 2 or gammas.shape != floors.shape:
+        raise ValueError("gammas and floors must be matching (P, N) stacks")
+    if np.any(gammas <= 0):
+        raise ValueError("every present group needs a positive time slope")
+    n_rows = gammas.shape[1]
+    w = np.zeros_like(gammas)
+    time = np.zeros(n_rows)
+
+    inv = 1.0 / gammas
+    closed = (floors == 0.0).all(axis=0)
+    if np.any(closed):
+        inv_c = inv[:, closed]
+        inv_sum = inv_c.sum(axis=0)
+        w[:, closed] = units * inv_c / inv_sum
+        time[closed] = units / inv_sum
+
+    mixed = ~closed
+    if np.any(mixed):
+        g = gammas[:, mixed]
+        fl = floors[:, mixed]
+        # Upper bound: the best single group running everything.
+        hi = np.min(np.maximum(g * units, fl), axis=0)
+        lo = np.zeros_like(hi)
+        for _ in range(iterations):
+            mid = 0.5 * (lo + hi)
+            cap = np.where(mid >= fl, mid / g, 0.0).sum(axis=0)
+            feasible = cap >= units
+            hi = np.where(feasible, mid, hi)
+            lo = np.where(feasible, lo, mid)
+        t_star = hi
+        caps = np.where(t_star >= fl, t_star / g, 0.0)
+        total_cap = caps.sum(axis=0)
+        w_mixed = caps * (units / total_cap)
+        # Realized job time of the proportional assignment (floors of
+        # active groups can sit above the balanced time).
+        t_mixed = np.where(w_mixed > 0, np.maximum(g * w_mixed, fl), 0.0).max(axis=0)
+        w[:, mixed] = w_mixed
+        time[mixed] = t_mixed
+    return w, time
+
+
 def _group_energy(
     n: np.ndarray,
     w: np.ndarray,
@@ -341,6 +541,146 @@ def _group_energy(
     return n * p_idle * time + w * k + e_io
 
 
+def _axis_view(arr: np.ndarray, axis: int, naxes: int) -> np.ndarray:
+    """``arr`` reshaped to broadcast along one of ``naxes`` axes."""
+    shape = [1] * naxes
+    shape[axis] = arr.size
+    return arr.reshape(shape)
+
+
+def _evaluate_mask_block(
+    group_specs: Sequence[GroupSpec],
+    grids: Sequence[_SettingGrid],
+    pos: Sequence[np.ndarray],
+    present: Tuple[int, ...],
+    units: float,
+) -> ConfigSpaceResult:
+    """Evaluate one presence-mask block of the space, vectorized.
+
+    The block's axes interleave (count, setting) per present group in
+    group order and flatten C-order -- the exact nesting of
+    :func:`repro.core.configuration.enumerate_configs_groups` (and, for
+    two groups, of the historical paired evaluator).
+    """
+    n_present = len(present)
+    naxes = 2 * n_present
+    n_views = [_axis_view(pos[g], 2 * i, naxes) for i, g in enumerate(present)]
+    s_views = [
+        _axis_view(np.arange(grids[g].cores.size), 2 * i + 1, naxes)
+        for i, g in enumerate(present)
+    ]
+    shape = tuple(
+        size
+        for i, g in enumerate(present)
+        for size in (pos[g].size, grids[g].cores.size)
+    )
+
+    n_flat = [np.broadcast_to(v, shape).reshape(-1) for v in n_views]
+    s_flat = [np.broadcast_to(v, shape).reshape(-1) for v in s_views]
+
+    gammas = [
+        np.broadcast_to(
+            grids[g].slope_node[s_views[i]] / n_views[i], shape
+        ).reshape(-1).copy()
+        for i, g in enumerate(present)
+    ]
+    floors = [
+        np.broadcast_to(
+            grids[g].floor_job_s / n_views[i], shape
+        ).reshape(-1).copy()
+        for i, g in enumerate(present)
+    ]
+
+    if n_present == 1:
+        time = np.maximum(gammas[0] * units, floors[0])
+        w = [np.full(time.shape, float(units))]
+    elif n_present == 2:
+        w_a, time = _vector_match(units, gammas[0], floors[0], gammas[1], floors[1])
+        w = [w_a, units - w_a]
+    else:
+        w_stack, time = _vector_match_groups(
+            units, np.stack(gammas), np.stack(floors)
+        )
+        w = list(w_stack)
+
+    energy: Optional[np.ndarray] = None
+    for i, g in enumerate(present):
+        e = _group_energy(
+            n_flat[i],
+            w[i],
+            time,
+            grids[g].k_joules_per_unit[s_flat[i]],
+            grids[g].io_slope_node,
+            grids[g].floor_job_s,
+            grids[g].p_idle_w,
+            grids[g].p_io_w,
+        )
+        energy = e if energy is None else energy + e
+
+    n_configs = time.size
+    k_groups = len(group_specs)
+    n_out = np.zeros((k_groups, n_configs), dtype=np.int64)
+    cores_out = np.empty((k_groups, n_configs), dtype=np.int64)
+    f_out = np.empty((k_groups, n_configs), dtype=float)
+    units_out = np.zeros((k_groups, n_configs), dtype=float)
+    pos_of = {g: i for i, g in enumerate(present)}
+    for g, gs in enumerate(group_specs):
+        if g in pos_of:
+            i = pos_of[g]
+            n_out[g] = n_flat[i]
+            cores_out[g] = grids[g].cores[s_flat[i]]
+            f_out[g] = grids[g].f_ghz[s_flat[i]]
+            units_out[g] = w[i]
+        else:
+            cores_out[g] = gs.spec.cores.count
+            f_out[g] = gs.spec.cores.fmax_ghz
+    return ConfigSpaceResult(
+        nodes=tuple(gs.spec.name for gs in group_specs),
+        n=n_out,
+        cores=cores_out,
+        f=f_out,
+        units=units_out,
+        times_s=time,
+        energies_j=energy,
+        units_total=units,
+    )
+
+
+def evaluate_space_groups(
+    group_specs: Sequence[GroupSpec],
+    params: Mapping[str, NodeModelParams],
+    units: float,
+) -> ConfigSpaceResult:
+    """Evaluate a k-group configuration space, vectorized.
+
+    ``group_specs`` is an ordered sequence of
+    :class:`~repro.core.configuration.GroupSpec`; row order matches
+    :func:`repro.core.configuration.enumerate_configs_groups` exactly
+    (presence-mask blocks from all-present down to each single group),
+    which tests rely on.  ``params`` maps node-type name to model
+    inputs; a missing type raises a :class:`ValueError` naming it.
+    """
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    group_specs = tuple(group_specs)
+    if not group_specs:
+        raise ValueError("need at least one node-type group")
+    if all(gs.max_nodes == 0 and gs.counts is None for gs in group_specs):
+        raise ValueError("space is empty with zero nodes of every type")
+    grids = [
+        _setting_grid(gs.spec, _params_for(params, gs.spec.name), gs.settings)
+        for gs in group_specs
+    ]
+    counts = [_normalize_counts(gs.counts, gs.max_nodes) for gs in group_specs]
+    pos = [c[c > 0] for c in counts]
+
+    blocks = [
+        _evaluate_mask_block(group_specs, grids, pos, present, units)
+        for present in presence_masks(group_specs)
+    ]
+    return _concat_results(blocks)
+
+
 def evaluate_space(
     spec_a: NodeSpec,
     max_a: int,
@@ -353,11 +693,13 @@ def evaluate_space(
     settings_a: Optional[Sequence[Tuple[int, float]]] = None,
     settings_b: Optional[Sequence[Tuple[int, float]]] = None,
 ) -> ConfigSpaceResult:
-    """Evaluate the full configuration space, vectorized.
+    """Evaluate the paper's two-type configuration space, vectorized.
 
     Parameters mirror :func:`repro.core.configuration.enumerate_configs`;
     row order matches its yield order exactly (heterogeneous block, then
-    a-only, then b-only), which tests rely on.
+    a-only, then b-only), which tests rely on.  Bit-for-bit identical to
+    the pre-refactor paired evaluator (see
+    :mod:`repro.core._evaluate_pair`).
 
     ``counts_a``/``counts_b`` pin the per-type node counts to an explicit
     list instead of ``0..max`` (0 means "this type absent", producing the
@@ -368,159 +710,25 @@ def evaluate_space(
     settings to an explicit list instead of the full rectangle -- the
     hook :mod:`repro.core.reduction` uses to evaluate pruned spaces.
     """
-    if units <= 0:
-        raise ValueError("job must contain positive work")
     if max_a < 0 or max_b < 0:
         raise ValueError("maximum node counts must be non-negative")
     if max_a == 0 and max_b == 0:
         raise ValueError("space is empty with zero nodes of both types")
-    grid_a = _setting_grid(spec_a, params[spec_a.name], settings_a)
-    grid_b = _setting_grid(spec_b, params[spec_b.name], settings_b)
-
-    counts_a_arr = _normalize_counts(counts_a, max_a)
-    counts_b_arr = _normalize_counts(counts_b, max_b)
-    pos_a = counts_a_arr[counts_a_arr > 0]
-    pos_b = counts_b_arr[counts_b_arr > 0]
-    include_a_only = 0 in counts_b_arr and pos_a.size > 0
-    include_b_only = 0 in counts_a_arr and pos_b.size > 0
-
-    blocks: List[ConfigSpaceResult] = []
-
-    # ---- heterogeneous block -------------------------------------------
-    if pos_a.size > 0 and pos_b.size > 0:
-        # Broadcast to shape (|A|, Sa, |B|, Sb), flattened C-order to
-        # match enumerate_configs' loop nesting.
-        na = pos_a[:, None, None, None]
-        sa = np.arange(grid_a.cores.size)[None, :, None, None]
-        nb = pos_b[None, None, :, None]
-        sb = np.arange(grid_b.cores.size)[None, None, None, :]
-        shape = (pos_a.size, grid_a.cores.size, pos_b.size, grid_b.cores.size)
-
-        gamma_a = grid_a.slope_node[sa] / na
-        gamma_b = grid_b.slope_node[sb] / nb
-        floor_a = grid_a.floor_job_s / na
-        floor_b = grid_b.floor_job_s / nb
-        gamma_a, gamma_b, floor_a, floor_b = np.broadcast_arrays(
-            gamma_a, gamma_b, floor_a, floor_b
-        )
-        w_a, time = _vector_match(
-            units,
-            gamma_a.reshape(-1).copy(),
-            floor_a.reshape(-1).copy(),
-            gamma_b.reshape(-1).copy(),
-            floor_b.reshape(-1).copy(),
-        )
-        w_b = units - w_a
-        na_flat = np.broadcast_to(na, shape).reshape(-1)
-        nb_flat = np.broadcast_to(nb, shape).reshape(-1)
-        sa_flat = np.broadcast_to(sa, shape).reshape(-1)
-        sb_flat = np.broadcast_to(sb, shape).reshape(-1)
-        energy = _group_energy(
-            na_flat,
-            w_a,
-            time,
-            grid_a.k_joules_per_unit[sa_flat],
-            grid_a.io_slope_node,
-            grid_a.floor_job_s,
-            grid_a.p_idle_w,
-            grid_a.p_io_w,
-        ) + _group_energy(
-            nb_flat,
-            w_b,
-            time,
-            grid_b.k_joules_per_unit[sb_flat],
-            grid_b.io_slope_node,
-            grid_b.floor_job_s,
-            grid_b.p_idle_w,
-            grid_b.p_io_w,
-        )
-        blocks.append(
-            ConfigSpaceResult(
-                node_a=spec_a.name,
-                node_b=spec_b.name,
-                n_a=na_flat,
-                cores_a=grid_a.cores[sa_flat],
-                f_a=grid_a.f_ghz[sa_flat],
-                n_b=nb_flat,
-                cores_b=grid_b.cores[sb_flat],
-                f_b=grid_b.f_ghz[sb_flat],
-                units_a=w_a,
-                units_b=w_b,
-                times_s=time,
-                energies_j=energy,
-                units_total=units,
-            )
-        )
-
-    # ---- homogeneous blocks --------------------------------------------
-    for which, spec, grid, counts, include in (
-        ("a", spec_a, grid_a, pos_a, include_a_only),
-        ("b", spec_b, grid_b, pos_b, include_b_only),
-    ):
-        if not include:
-            continue
-        n = np.repeat(counts, grid.cores.size)
-        s = np.tile(np.arange(grid.cores.size), counts.size)
-        gamma = grid.slope_node[s] / n
-        floor = grid.floor_job_s / n
-        time = np.maximum(gamma * units, floor)
-        w = np.full(n.shape, float(units))
-        energy = _group_energy(
-            n,
-            w,
-            time,
-            grid.k_joules_per_unit[s],
-            grid.io_slope_node,
-            grid.floor_job_s,
-            grid.p_idle_w,
-            grid.p_io_w,
-        )
-        zeros_i = np.zeros(n.shape, dtype=np.int64)
-        if which == "a":
-            blocks.append(
-                ConfigSpaceResult(
-                    node_a=spec_a.name,
-                    node_b=spec_b.name,
-                    n_a=n,
-                    cores_a=grid.cores[s],
-                    f_a=grid.f_ghz[s],
-                    n_b=zeros_i,
-                    cores_b=np.full(n.shape, spec_b.cores.count, dtype=np.int64),
-                    f_b=np.full(n.shape, spec_b.cores.fmax_ghz),
-                    units_a=w,
-                    units_b=np.zeros(n.shape),
-                    times_s=time,
-                    energies_j=energy,
-                    units_total=units,
-                )
-            )
-        else:
-            blocks.append(
-                ConfigSpaceResult(
-                    node_a=spec_a.name,
-                    node_b=spec_b.name,
-                    n_a=zeros_i,
-                    cores_a=np.full(n.shape, spec_a.cores.count, dtype=np.int64),
-                    f_a=np.full(n.shape, spec_a.cores.fmax_ghz),
-                    n_b=n,
-                    cores_b=grid.cores[s],
-                    f_b=grid.f_ghz[s],
-                    units_a=np.zeros(n.shape),
-                    units_b=w,
-                    times_s=time,
-                    energies_j=energy,
-                    units_total=units,
-                )
-            )
-
-    return _concat_results(blocks)
+    return evaluate_space_groups(
+        (
+            GroupSpec(spec_a, max_a, counts=counts_a, settings=settings_a),
+            GroupSpec(spec_b, max_b, counts=counts_b, settings=settings_b),
+        ),
+        params,
+        units,
+    )
 
 
 def _normalize_counts(counts: Optional[Sequence[int]], max_n: int) -> np.ndarray:
     """Validate/derive a node-count list; default is ``0..max_n``.
 
     Zero in the list means configurations where this node type is absent
-    (i.e., the *other* type's homogeneous block is included).
+    (i.e., the *other* types' blocks without it are included).
     """
     if counts is None:
         return np.arange(0, max_n + 1, dtype=np.int64)
@@ -542,17 +750,14 @@ def _concat_results(blocks: Sequence[ConfigSpaceResult]) -> ConfigSpaceResult:
     if len(blocks) == 1:
         return blocks[0]
     first = blocks[0]
+    if any(b.nodes != first.nodes for b in blocks):
+        raise ValueError("cannot concatenate spaces over different group tables")
     return ConfigSpaceResult(
-        node_a=first.node_a,
-        node_b=first.node_b,
-        n_a=np.concatenate([b.n_a for b in blocks]),
-        cores_a=np.concatenate([b.cores_a for b in blocks]),
-        f_a=np.concatenate([b.f_a for b in blocks]),
-        n_b=np.concatenate([b.n_b for b in blocks]),
-        cores_b=np.concatenate([b.cores_b for b in blocks]),
-        f_b=np.concatenate([b.f_b for b in blocks]),
-        units_a=np.concatenate([b.units_a for b in blocks]),
-        units_b=np.concatenate([b.units_b for b in blocks]),
+        nodes=first.nodes,
+        n=np.concatenate([b.n for b in blocks], axis=1),
+        cores=np.concatenate([b.cores for b in blocks], axis=1),
+        f=np.concatenate([b.f for b in blocks], axis=1),
+        units=np.concatenate([b.units for b in blocks], axis=1),
         times_s=np.concatenate([b.times_s for b in blocks]),
         energies_j=np.concatenate([b.energies_j for b in blocks]),
         units_total=first.units_total,

@@ -163,8 +163,8 @@ def _cheapest_feasible(
         service = float(space.times_s[i])
         if service > slo.deadline_s:
             break  # sorted: nothing further can qualify
-        n_low = int(space.n_a[i])
-        n_high = int(space.n_b[i])
+        n_low = int(space.n[0, i])
+        n_high = int(space.n[1, i])
         peak = cluster_peak_power(spec_low, n_low, spec_high, n_high, switch)
         if budget_w is not None and peak > budget_w + 1e-9:
             continue
@@ -191,13 +191,13 @@ def _cheapest_feasible(
         if best is None or window_energy < best.window_energy_j:
             best = Plan(
                 n_low=n_low,
-                cores_low=int(space.cores_a[i]),
-                f_low_ghz=float(space.f_a[i]),
+                cores_low=int(space.cores[0, i]),
+                f_low_ghz=float(space.f[0, i]),
                 n_high=n_high,
-                cores_high=int(space.cores_b[i]),
-                f_high_ghz=float(space.f_b[i]),
-                units_low=float(space.units_a[i]),
-                units_high=float(space.units_b[i]),
+                cores_high=int(space.cores[1, i]),
+                f_high_ghz=float(space.f[1, i]),
+                units_low=float(space.units[0, i]),
+                units_high=float(space.units[1, i]),
                 service_s=service,
                 response_s=float(response),
                 job_energy_j=float(space.energies_j[i]),

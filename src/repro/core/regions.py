@@ -78,7 +78,9 @@ class RegionReport:
     """Frontier decomposition: sweet region, overlap region, composition."""
 
     frontier: ParetoFrontier
-    #: Per-frontier-point composition: "hetero", "only-a" or "only-b".
+    #: Per-frontier-point composition: "hetero" for mixes, or
+    #: "only-<letter>" for single-group points ("only-a", "only-b",
+    #: "only-c", ... -- one letter per node-type group, in group order).
     composition: Tuple[str, ...]
     sweet: Optional[Region]
     overlap: Optional[Region]
@@ -126,32 +128,37 @@ def analyze_regions(
     frontier:
         Pre-computed frontier of ``space``; built here when omitted.
     low_power_side:
-        Which group ("a" or "b") is the low-power type whose homogeneous
-        configurations can form the overlap region.  The paper's ARM is
-        group a throughout this library.
+        Which group is the low-power type whose homogeneous
+        configurations can form the overlap region, as its letter in
+        group order ("a" for group 0, "b" for group 1, ...).  The
+        paper's ARM is group a throughout this library.
     """
-    if low_power_side not in ("a", "b"):
-        raise ValueError(f"low_power_side must be 'a' or 'b', got {low_power_side!r}")
+    letters = [_group_letter(g) for g in range(space.num_groups)]
+    if low_power_side not in letters:
+        raise ValueError(
+            f"low_power_side must be one of {letters}, got {low_power_side!r}"
+        )
     if frontier is None:
         frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
 
     hetero = space.is_heterogeneous
-    only_low = space.is_only_a if low_power_side == "a" else space.is_only_b
+    only = [space.is_only(g) for g in range(space.num_groups)]
 
     composition = []
     for idx in frontier.indices:
         if hetero[idx]:
             composition.append("hetero")
-        elif space.is_only_a[idx]:
-            composition.append("only-a")
         else:
-            composition.append("only-b")
+            for g in range(space.num_groups):
+                if only[g][idx]:
+                    composition.append(f"only-{letters[g]}")
+                    break
     composition = tuple(composition)
 
     # Sweet region: the (first) maximal run of heterogeneous points.
     sweet = _longest_run(frontier, composition, lambda c: c == "hetero")
     # Overlap region: the trailing run of homogeneous low-power points.
-    low_label = "only-a" if low_power_side == "a" else "only-b"
+    low_label = f"only-{low_power_side}"
     overlap = _trailing_run(frontier, composition, lambda c: c == low_label)
 
     return RegionReport(
@@ -160,6 +167,11 @@ def analyze_regions(
         sweet=sweet,
         overlap=overlap,
     )
+
+
+def _group_letter(g: int) -> str:
+    """The composition letter of group ``g`` ("a" for 0, "b" for 1, ...)."""
+    return chr(ord("a") + g)
 
 
 def _longest_run(frontier: ParetoFrontier, composition, pred) -> Optional[Region]:

@@ -151,8 +151,9 @@ def what_if(
         The transformation (one of the factories above, or any callable).
     """
     if change_node not in params:
-        raise KeyError(
-            f"unknown node {change_node!r}; available: {sorted(params)}"
+        raise ValueError(
+            f"no model parameters for node type {change_node!r}; "
+            f"available: {sorted(params)}"
         )
     base_space = evaluate_space(spec_a, max_a, spec_b, max_b, params, units)
     baseline = ParetoFrontier.from_points(base_space.times_s, base_space.energies_j)

@@ -32,6 +32,7 @@ import time
 from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core import calibration as _calibration
+from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
 from repro.engine import executor as _executor
@@ -185,6 +186,47 @@ class RunContext:
             for index, node in enumerate(nodes)
         }
 
+    def space_groups(
+        self,
+        group_specs: Sequence[GroupSpec],
+        params: Mapping[str, NodeModelParams],
+        units: float,
+    ) -> ConfigSpaceResult:
+        """Evaluate a k-group configuration space, memoized, chunk-parallel.
+
+        Signature mirrors :func:`repro.core.evaluate.evaluate_space_groups`;
+        the result is cached on the full content of every group axis and
+        every model parameter, so two identical requests anywhere in the
+        process evaluate once -- whether they arrive through this method
+        or through the two-type :meth:`space` sugar.
+        """
+        group_specs = tuple(
+            gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
+            for gs in group_specs
+        )
+        key = (
+            tuple(
+                (gs.spec, int(gs.max_nodes), gs.counts, gs.settings)
+                for gs in group_specs
+            ),
+            {name: params[name] for name in sorted(params)},
+            units,
+        )
+
+        def compute() -> ConfigSpaceResult:
+            start = time.perf_counter()
+            result = _executor.evaluate_space_groups_chunked(
+                group_specs, params, units, max_workers=self.max_workers,
+            )
+            self.emit(
+                "space.evaluated",
+                rows=len(result),
+                elapsed_s=time.perf_counter() - start,
+            )
+            return result
+
+        return self.cache.get_or_compute("space", key, compute)
+
     def space(
         self,
         spec_a: NodeSpec,
@@ -198,38 +240,19 @@ class RunContext:
         settings_a: Optional[Sequence[Tuple[int, float]]] = None,
         settings_b: Optional[Sequence[Tuple[int, float]]] = None,
     ) -> ConfigSpaceResult:
-        """Evaluate a configuration space, memoized and chunk-parallel.
+        """Two-type sugar for :meth:`space_groups`.
 
-        Signature mirrors :func:`repro.core.evaluate.evaluate_space`; the
-        result is cached on the full content of every argument, so two
-        identical requests anywhere in the process evaluate once.
+        Signature mirrors :func:`repro.core.evaluate.evaluate_space`;
+        delegates to the group-table path (sharing its cache entries).
         """
-        key = (
-            spec_a, max_a, spec_b, max_b,
-            {name: params[name] for name in sorted(params)},
+        return self.space_groups(
+            (
+                GroupSpec(spec_a, max_a, counts=counts_a, settings=settings_a),
+                GroupSpec(spec_b, max_b, counts=counts_b, settings=settings_b),
+            ),
+            params,
             units,
-            None if counts_a is None else tuple(int(c) for c in counts_a),
-            None if counts_b is None else tuple(int(c) for c in counts_b),
-            None if settings_a is None else tuple((int(c), float(f)) for c, f in settings_a),
-            None if settings_b is None else tuple((int(c), float(f)) for c, f in settings_b),
         )
-
-        def compute() -> ConfigSpaceResult:
-            start = time.perf_counter()
-            result = _executor.evaluate_space_chunked(
-                spec_a, max_a, spec_b, max_b, params, units,
-                counts_a=counts_a, counts_b=counts_b,
-                settings_a=settings_a, settings_b=settings_b,
-                max_workers=self.max_workers,
-            )
-            self.emit(
-                "space.evaluated",
-                rows=len(result),
-                elapsed_s=time.perf_counter() - start,
-            )
-            return result
-
-        return self.cache.get_or_compute("space", key, compute)
 
     # ---- replication fan-out -------------------------------------------
 

@@ -2,13 +2,15 @@
 
 Two fan-out shapes cover the engine's needs:
 
-* :func:`evaluate_space_chunked` splits a configuration space into
-  node-count blocks -- the heterogeneous block partitioned over the
-  type-a counts, then each homogeneous block -- evaluates the blocks
+* :func:`evaluate_space_groups_chunked` splits a k-group configuration
+  space into node-count blocks -- each presence-mask block partitioned
+  over its first present group's counts -- evaluates the blocks
   independently (optionally on a process pool), and concatenates in
-  exactly :func:`repro.core.evaluate.evaluate_space`'s row order, which
-  downstream code and tests rely on.  A property test pins the chunked
-  result against the whole-space evaluation bit-for-bit.
+  exactly :func:`repro.core.evaluate.evaluate_space_groups`'s row order,
+  which downstream code and tests rely on.
+  :func:`evaluate_space_chunked` is the two-type entry point.  A
+  property test pins the chunked result against the whole-space
+  evaluation bit-for-bit.
 * :func:`parallel_map` fans independent replications (validation sweep
   points, noise replicates) across a process pool.
 
@@ -21,6 +23,7 @@ semantic.
 
 from __future__ import annotations
 
+import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
 from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
@@ -28,6 +31,7 @@ from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, T
 import numpy as np
 
 from repro.core import evaluate as _evaluate
+from repro.core.configuration import GroupSpec, node_settings, presence_masks
 from repro.core.evaluate import ConfigSpaceResult, _concat_results, _normalize_counts
 from repro.core.params import NodeModelParams
 from repro.hardware.specs import NodeSpec
@@ -48,30 +52,69 @@ def _chunk(values: np.ndarray, n_chunks: int) -> List[np.ndarray]:
 
 
 def _evaluate_block(
-    spec_a: NodeSpec,
-    max_a: int,
-    spec_b: NodeSpec,
-    max_b: int,
+    group_specs: Tuple[GroupSpec, ...],
     params: Mapping[str, NodeModelParams],
     units: float,
-    counts_a: Sequence[int],
-    counts_b: Sequence[int],
-    settings_a: Optional[Sequence[Tuple[int, float]]],
-    settings_b: Optional[Sequence[Tuple[int, float]]],
+    task_counts: Tuple[Tuple[int, ...], ...],
 ) -> ConfigSpaceResult:
     """One node-count block (top-level so process pools can pickle it)."""
-    return _evaluate.evaluate_space(
-        spec_a,
-        max_a,
-        spec_b,
-        max_b,
-        params,
-        units,
-        counts_a=counts_a,
-        counts_b=counts_b,
-        settings_a=settings_a,
-        settings_b=settings_b,
+    adjusted = tuple(
+        dataclasses.replace(gs, counts=counts)
+        for gs, counts in zip(group_specs, task_counts)
     )
+    return _evaluate.evaluate_space_groups(adjusted, params, units)
+
+
+def evaluate_space_groups_chunked(
+    group_specs: Sequence[GroupSpec],
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    max_workers: Optional[int] = None,
+    n_chunks: Optional[int] = None,
+) -> ConfigSpaceResult:
+    """Evaluate a k-group space in node-count blocks, optionally parallel.
+
+    Semantics and row order are identical to
+    :func:`repro.core.evaluate.evaluate_space_groups`; only the execution
+    shape differs.  ``max_workers`` caps the process pool (``<= 1``
+    forces in-process execution); ``n_chunks`` pins the number of chunks
+    per presence-mask block (defaults to the worker count).  Small
+    spaces take the direct path -- chunking is pure overhead below
+    :data:`PARALLEL_THRESHOLD_ROWS` rows.
+    """
+    group_specs = tuple(group_specs)
+    counts = [_normalize_counts(gs.counts, gs.max_nodes) for gs in group_specs]
+    pos = [c[c > 0] for c in counts]
+
+    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    chunks = workers if n_chunks is None else max(1, int(n_chunks))
+    masks = list(presence_masks(group_specs))
+    rows = _estimate_rows(group_specs, pos, masks)
+    lead_width = max((pos[present[0]].size for present in masks), default=0)
+    small = rows < PARALLEL_THRESHOLD_ROWS and n_chunks is None
+    if chunks == 1 or lead_width < 2 or small or not masks:
+        # Degenerate count lists also land here; the reference path
+        # raises its own error for them.
+        return _evaluate.evaluate_space_groups(group_specs, params, units)
+
+    # Block decomposition mirroring evaluate_space_groups' row order:
+    # every presence-mask block partitioned over its first present
+    # group's counts, mask blocks in canonical (descending) order.
+    tasks: List[Tuple[Tuple[int, ...], ...]] = []
+    for present in masks:
+        lead = present[0]
+        for part in _chunk(pos[lead], chunks):
+            task_counts = tuple(
+                tuple(int(c) for c in part)
+                if g == lead
+                else (tuple(int(c) for c in pos[g]) if g in present else (0,))
+                for g in range(len(group_specs))
+            )
+            tasks.append(task_counts)
+
+    arg_sets = [(group_specs, params, units, tc) for tc in tasks]
+    blocks = _run_tasks(_evaluate_block, arg_sets, workers)
+    return _concat_results(blocks)
 
 
 def evaluate_space_chunked(
@@ -88,76 +131,41 @@ def evaluate_space_chunked(
     max_workers: Optional[int] = None,
     n_chunks: Optional[int] = None,
 ) -> ConfigSpaceResult:
-    """Evaluate a configuration space in node-count blocks, optionally parallel.
+    """Two-type entry point of :func:`evaluate_space_groups_chunked`.
 
-    Semantics and row order are identical to
-    :func:`repro.core.evaluate.evaluate_space`; only the execution shape
-    differs.  ``max_workers`` caps the process pool (``<= 1`` forces
-    in-process execution); ``n_chunks`` pins the number of type-a blocks
-    (defaults to the worker count).  Small spaces take the direct path --
-    chunking is pure overhead below :data:`PARALLEL_THRESHOLD_ROWS` rows.
+    Signature mirrors :func:`repro.core.evaluate.evaluate_space`.
     """
-    counts_a_arr = _normalize_counts(counts_a, max_a)
-    counts_b_arr = _normalize_counts(counts_b, max_b)
-    pos_a = counts_a_arr[counts_a_arr > 0]
-    pos_b = counts_b_arr[counts_b_arr > 0]
-
-    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
-    chunks = workers if n_chunks is None else max(1, int(n_chunks))
-    rows = _estimate_rows(spec_a, pos_a, spec_b, pos_b)
-    small = rows < PARALLEL_THRESHOLD_ROWS and n_chunks is None
-    if chunks == 1 or pos_a.size < 2 or small:
-        return _evaluate.evaluate_space(
-            spec_a,
-            max_a,
-            spec_b,
-            max_b,
-            params,
-            units,
-            counts_a=counts_a,
-            counts_b=counts_b,
-            settings_a=settings_a,
-            settings_b=settings_b,
-        )
-
-    # Block decomposition mirroring evaluate_space's row order: the
-    # heterogeneous block partitioned over type-a counts, then the a-only
-    # block (again over type-a counts), then the b-only block.
-    tasks: List[Tuple[List[int], List[int]]] = []
-    if pos_a.size > 0 and pos_b.size > 0:
-        for part in _chunk(pos_a, chunks):
-            tasks.append((part.tolist(), pos_b.tolist()))
-    if 0 in counts_b_arr and pos_a.size > 0:
-        for part in _chunk(pos_a, chunks):
-            tasks.append((part.tolist(), [0]))
-    if 0 in counts_a_arr and pos_b.size > 0:
-        tasks.append(([0], pos_b.tolist()))
-    if not tasks:
-        # Degenerate count lists; let the reference path raise its error.
-        return _evaluate.evaluate_space(
-            spec_a, max_a, spec_b, max_b, params, units,
-            counts_a=counts_a, counts_b=counts_b,
-            settings_a=settings_a, settings_b=settings_b,
-        )
-
-    arg_sets = [
-        (spec_a, max_a, spec_b, max_b, params, units, ca, cb, settings_a, settings_b)
-        for ca, cb in tasks
-    ]
-    blocks = _run_tasks(_evaluate_block, arg_sets, workers)
-    return _concat_results(blocks)
+    if max_a < 0 or max_b < 0:
+        raise ValueError("maximum node counts must be non-negative")
+    if max_a == 0 and max_b == 0:
+        raise ValueError("space is empty with zero nodes of both types")
+    return evaluate_space_groups_chunked(
+        (
+            GroupSpec(spec_a, max_a, counts=counts_a, settings=settings_a),
+            GroupSpec(spec_b, max_b, counts=counts_b, settings=settings_b),
+        ),
+        params,
+        units,
+        max_workers=max_workers,
+        n_chunks=n_chunks,
+    )
 
 
 def _estimate_rows(
-    spec_a: NodeSpec, pos_a: np.ndarray, spec_b: NodeSpec, pos_b: np.ndarray
+    group_specs: Sequence[GroupSpec],
+    pos: Sequence[np.ndarray],
+    masks: Sequence[Tuple[int, ...]],
 ) -> int:
-    dims_a = spec_a.cores.count * len(spec_a.cores.pstates_ghz)
-    dims_b = spec_b.cores.count * len(spec_b.cores.pstates_ghz)
-    return int(
-        pos_a.size * dims_a * pos_b.size * dims_b
-        + pos_a.size * dims_a
-        + pos_b.size * dims_b
-    )
+    dims = [
+        len(node_settings(gs.spec, gs.settings)) for gs in group_specs
+    ]
+    total = 0
+    for present in masks:
+        block = 1
+        for g in present:
+            block *= int(pos[g].size) * dims[g]
+        total += block
+    return total
 
 
 def _run_tasks(

@@ -1,11 +1,12 @@
 """Execute a :class:`~repro.engine.scenario.Scenario` end-to-end.
 
 One call runs the paper's whole pipeline -- simulator-backed calibration
-(or catalog ground truth), vectorized configuration-space evaluation,
-the energy-deadline Pareto frontier, sweet/overlap region decomposition,
-and the Fig. 10 queueing extension -- through a cached, parallel
-:class:`~repro.engine.context.RunContext`.  Re-running the same scenario
-on the same context is a pure cache hit: calibration and space
+(or catalog ground truth), vectorized configuration-space evaluation
+over any number of node-type groups, the energy-deadline Pareto
+frontier (whole-space and per-group homogeneous), sweet/overlap region
+decomposition, and the Fig. 10 queueing extension -- through a cached,
+parallel :class:`~repro.engine.context.RunContext`.  Re-running the same
+scenario on the same context is a pure cache hit: calibration and space
 evaluation each execute exactly once per distinct content.
 """
 
@@ -13,10 +14,11 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
 from repro.core.pareto import ParetoFrontier
@@ -34,12 +36,16 @@ class ScenarioResult:
     Stages the scenario did not request are ``None``.  ``timings_s``
     records wall time per stage (cache hits show up as ~0), and
     ``cache_stats`` snapshots the context cache counters after the run.
+    ``group_frontiers`` holds one homogeneous frontier per node-type
+    group (``None`` where that group alone never appears);
+    ``only_a_frontier``/``only_b_frontier`` mirror its first two entries.
     """
 
     scenario: Scenario
     params: Dict[str, NodeModelParams]
     space: ConfigSpaceResult
     frontier: Optional[ParetoFrontier] = None
+    group_frontiers: Optional[Tuple[Optional[ParetoFrontier], ...]] = None
     only_a_frontier: Optional[ParetoFrontier] = None
     only_b_frontier: Optional[ParetoFrontier] = None
     regions: Optional[RegionReport] = None
@@ -57,6 +63,7 @@ class ScenarioResult:
         """Small plain-data digest for reporting sinks and CLIs."""
         out: Dict[str, object] = {
             "workload": self.scenario.workload,
+            "node_types": [g.node for g in self.scenario.groups],
             "configurations": len(self.space),
             "timings_s": dict(self.timings_s),
         }
@@ -79,8 +86,8 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
     ctx.emit("scenario.start", scenario=scenario.cache_identity())
 
     workload = ctx.resolve_workload(scenario.workload)
-    spec_a = ctx.resolve_node(scenario.node_a)
-    spec_b = ctx.resolve_node(scenario.node_b)
+    groups = scenario.groups
+    specs = [ctx.resolve_node(g.node) for g in groups]
     units = scenario.units
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
@@ -88,7 +95,7 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
     # ---- calibrate -----------------------------------------------------
     start = time.perf_counter()
     params = ctx.params_for(
-        (spec_a, spec_b),
+        tuple(specs),
         workload,
         calibrated=scenario.calibrated,
         noise=CALIBRATED_NOISE.scaled(scenario.noise_scale),
@@ -99,15 +106,13 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
 
     # ---- space ---------------------------------------------------------
     start = time.perf_counter()
-    space = ctx.space(
-        spec_a,
-        scenario.max_a,
-        spec_b,
-        scenario.max_b,
+    space = ctx.space_groups(
+        tuple(
+            GroupSpec(spec, g.max_nodes, counts=g.counts, settings=g.settings)
+            for spec, g in zip(specs, groups)
+        ),
         params,
         units,
-        counts_a=scenario.counts_a,
-        counts_b=scenario.counts_b,
     )
     timings["space"] = time.perf_counter() - start
     result = ScenarioResult(scenario=scenario, params=params, space=space)
@@ -116,8 +121,13 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
     if scenario.wants("frontier"):
         start = time.perf_counter()
         result.frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
-        result.only_a_frontier = _subset_frontier(space, space.is_only_a)
-        result.only_b_frontier = _subset_frontier(space, space.is_only_b)
+        result.group_frontiers = tuple(
+            _subset_frontier(space, space.is_only(g))
+            for g in range(space.num_groups)
+        )
+        result.only_a_frontier = result.group_frontiers[0]
+        if space.num_groups >= 2:
+            result.only_b_frontier = result.group_frontiers[1]
         timings["frontier"] = time.perf_counter() - start
 
     # ---- regions -------------------------------------------------------
@@ -131,8 +141,7 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
         start = time.perf_counter()
         result.queueing = figure10_series(
             space,
-            spec_a.idle_power_w,
-            spec_b.idle_power_w,
+            idle_powers_w=tuple(spec.idle_power_w for spec in specs),
             utilizations=scenario.utilizations,
             window_s=scenario.window_s,
         )

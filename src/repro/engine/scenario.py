@@ -1,11 +1,18 @@
 """Declarative experiment descriptions.
 
 A :class:`Scenario` is the paper's whole workflow as one value: which
-workload, which two node types from the hardware catalog, the bounds of
-the configuration space, which analysis stages to run, and the root RNG
+workload, which node types from the hardware catalog, the bounds of the
+configuration space, which analysis stages to run, and the root RNG
 seed.  It is plain data -- ``to_dict``/``from_dict`` round-trip through
 JSON -- so scenarios can live in files, travel to worker processes, and
 serve as content-addressed cache keys.
+
+Node types come in two spellings.  The paper's two-type case uses the
+historical pair fields (``node_a``/``max_a``/``counts_a`` and the b
+twins); any number of types uses ``node_types``, an ordered list of
+:class:`NodeGroup` entries.  The two spellings are interchangeable for
+two groups: ``cache_identity`` canonicalizes both to the group list, so
+an A/B scenario written either way shares cache entries.
 
 The imperative twin lives in :mod:`repro.engine.context` (call the
 pipeline stages yourself, still cached); :func:`repro.engine.runner.run_scenario`
@@ -17,7 +24,7 @@ from __future__ import annotations
 import json
 from dataclasses import asdict, dataclass, fields, replace
 from pathlib import Path
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Mapping, Optional, Tuple
 
 #: Analysis stages, in pipeline order.  ``calibrate`` and ``space`` always
 #: run (nothing downstream exists without them); the rest are opt-in.
@@ -25,6 +32,60 @@ STAGES = ("calibrate", "space", "frontier", "regions", "queueing")
 
 #: Stages implied by later ones: regions needs the frontier.
 _STAGE_IMPLIES = {"regions": ("frontier",), "queueing": ()}
+
+#: The historical two-type spelling of the group axes.
+_PAIR_FIELDS = ("node_a", "node_b", "max_a", "max_b", "counts_a", "counts_b")
+
+
+def _plain(value: Any) -> Any:
+    """Recursively turn tuples into lists for JSON-plain dicts."""
+    if isinstance(value, (tuple, list)):
+        return [_plain(v) for v in value]
+    if isinstance(value, dict):
+        return {k: _plain(v) for k, v in value.items()}
+    return value
+
+
+@dataclass(frozen=True)
+class NodeGroup:
+    """One node-type axis of a scenario's configuration space.
+
+    Mirrors :class:`repro.core.configuration.GroupSpec` with the node
+    referenced by catalog name instead of spec object, so it stays plain
+    data: ``max_nodes`` bounds the count range ``0..max_nodes``,
+    ``counts`` pins explicit counts, ``settings`` pins explicit
+    (cores, frequency) settings.
+    """
+
+    node: str
+    max_nodes: int = 10
+    counts: Optional[Tuple[int, ...]] = None
+    settings: Optional[Tuple[Tuple[int, float], ...]] = None
+
+    def __post_init__(self) -> None:
+        if self.max_nodes < 0:
+            raise ValueError("maximum node counts must be non-negative")
+        if self.counts is not None:
+            object.__setattr__(self, "counts", tuple(int(c) for c in self.counts))
+        if self.settings is not None:
+            object.__setattr__(
+                self,
+                "settings",
+                tuple((int(c), float(f)) for c, f in self.settings),
+            )
+
+    def to_dict(self) -> Dict[str, Any]:
+        return _plain(asdict(self))
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "NodeGroup":
+        known = {f.name for f in fields(cls)}
+        unknown = set(data) - known
+        if unknown:
+            raise ValueError(
+                f"unknown node group fields {sorted(unknown)}; known: {sorted(known)}"
+            )
+        return cls(**data)
 
 
 @dataclass(frozen=True)
@@ -43,6 +104,12 @@ class Scenario:
         Configuration-space bounds, mirroring
         :func:`repro.core.evaluate.evaluate_space`: node counts range over
         ``0..max`` unless pinned to an explicit ``counts`` list.
+    node_types:
+        The k-group generalization: an ordered list of
+        :class:`NodeGroup` entries (dicts are coerced).  When set it is
+        authoritative and the pair fields above become read-only mirrors
+        of the first two groups; when ``None`` the pair fields define a
+        two-group scenario.
     units:
         Job size in work units; ``None`` selects the workload's
         ``"analysis"`` problem size (the paper's Section IV default).
@@ -88,11 +155,36 @@ class Scenario:
     window_s: float = 20.0
     simulation: str = "batched"
     name: Optional[str] = None
+    node_types: Optional[Tuple[NodeGroup, ...]] = None
 
     def __post_init__(self) -> None:
+        if self.node_types is not None:
+            groups = tuple(
+                g if isinstance(g, NodeGroup) else NodeGroup.from_dict(g)
+                for g in self.node_types
+            )
+            if not groups:
+                raise ValueError("node_types cannot be empty")
+            object.__setattr__(self, "node_types", groups)
+            # The pair fields become read-only mirrors of the first two
+            # groups, so legacy consumers keep working on k >= 2 and the
+            # two spellings cannot drift apart.
+            object.__setattr__(self, "node_a", groups[0].node)
+            object.__setattr__(self, "max_a", groups[0].max_nodes)
+            object.__setattr__(self, "counts_a", groups[0].counts)
+            if len(groups) >= 2:
+                object.__setattr__(self, "node_b", groups[1].node)
+                object.__setattr__(self, "max_b", groups[1].max_nodes)
+                object.__setattr__(self, "counts_b", groups[1].counts)
+            else:
+                object.__setattr__(self, "max_b", 0)
+                object.__setattr__(self, "counts_b", None)
         if self.max_a < 0 or self.max_b < 0:
             raise ValueError("maximum node counts must be non-negative")
-        if self.max_a == 0 and self.max_b == 0:
+        if self.node_types is not None:
+            if all(g.max_nodes == 0 for g in self.node_types):
+                raise ValueError("a scenario needs at least one node of some type")
+        elif self.max_a == 0 and self.max_b == 0:
             raise ValueError("a scenario needs at least one node of some type")
         if self.units is not None and self.units <= 0:
             raise ValueError(f"units must be positive, got {self.units}")
@@ -127,15 +219,21 @@ class Scenario:
         """Whether ``stage`` is part of this scenario's pipeline."""
         return stage in self.stages
 
+    @property
+    def groups(self) -> Tuple[NodeGroup, ...]:
+        """The scenario's node-type groups, whichever spelling defined them."""
+        if self.node_types is not None:
+            return self.node_types
+        return (
+            NodeGroup(self.node_a, self.max_a, self.counts_a),
+            NodeGroup(self.node_b, self.max_b, self.counts_b),
+        )
+
     # ---- serialization -------------------------------------------------
 
     def to_dict(self) -> Dict[str, Any]:
-        """Plain JSON-able dict (tuples become lists)."""
-        raw = asdict(self)
-        for key, value in raw.items():
-            if isinstance(value, tuple):
-                raw[key] = list(value)
-        return raw
+        """Plain JSON-able dict (tuples become lists, groups become dicts)."""
+        return _plain(asdict(self))
 
     @classmethod
     def from_dict(cls, data: Dict[str, Any]) -> "Scenario":
@@ -166,13 +264,35 @@ class Scenario:
 
         Drops the cosmetic ``name`` and the ``simulation`` implementation
         choice -- batched and reference runs are bit-identical, so they
-        share cache entries.
+        share cache entries.  The node-type axes are canonicalized to the
+        group list, so a two-type scenario written with the pair fields
+        and the same one written with ``node_types`` share entries too.
         """
         raw = self.to_dict()
         raw.pop("name")
         raw.pop("simulation")
+        for key in _PAIR_FIELDS:
+            raw.pop(key)
+        raw["node_types"] = [g.to_dict() for g in self.groups]
         return raw
 
     def with_(self, **changes: Any) -> "Scenario":
-        """A copy with ``changes`` applied (``dataclasses.replace`` sugar)."""
+        """A copy with ``changes`` applied (``dataclasses.replace`` sugar).
+
+        Changing a pair field (``max_a=5``) on a scenario defined via
+        ``node_types`` re-derives the groups from the (synced) pair
+        mirrors, which only makes sense for two groups -- scenarios with
+        more must be changed through ``node_types``.
+        """
+        if (
+            self.node_types is not None
+            and "node_types" not in changes
+            and set(changes) & set(_PAIR_FIELDS)
+        ):
+            if len(self.node_types) != 2:
+                raise ValueError(
+                    "cannot change pair fields on a scenario with "
+                    f"{len(self.node_types)} node types; pass node_types=..."
+                )
+            changes["node_types"] = None
         return replace(self, **changes)

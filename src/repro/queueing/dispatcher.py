@@ -20,7 +20,7 @@ frontier crosses from mixed to ARM-only compositions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -33,7 +33,12 @@ from repro.util.rng import RngStream, SeedLike
 
 @dataclass(frozen=True)
 class WindowPoint:
-    """One configuration's window-level outcome at a given utilization."""
+    """One configuration's window-level outcome at a given utilization.
+
+    ``n_nodes`` carries the full per-group node counts of the
+    configuration (one entry per node-type group); ``n_a``/``n_b``
+    mirror its first two entries for the paper's two-type case.
+    """
 
     response_s: float
     window_energy_j: float
@@ -42,10 +47,13 @@ class WindowPoint:
     jobs_in_window: float
     n_a: int
     n_b: int
+    n_nodes: Tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if self.response_s < 0 or self.window_energy_j < 0:
             raise ValueError("negative response or energy")
+        if not self.n_nodes:
+            object.__setattr__(self, "n_nodes", (self.n_a, self.n_b))
 
 
 def window_energy(
@@ -105,12 +113,13 @@ def window_energy(
 
 def figure10_series(
     space: ConfigSpaceResult,
-    idle_power_a_w: float,
-    idle_power_b_w: float,
+    idle_power_a_w: Optional[float] = None,
+    idle_power_b_w: Optional[float] = None,
     utilizations: Sequence[float] = (0.05, 0.25, 0.50),
     window_s: float = 20.0,
     service_scv: float = 0.0,
     prune_to_frontier: bool = True,
+    idle_powers_w: Optional[Sequence[float]] = None,
 ) -> Dict[float, List[WindowPoint]]:
     """Figure 10: response-time / window-energy curves per utilization.
 
@@ -120,10 +129,27 @@ def figure10_series(
     pruned to its own response-energy Pareto frontier -- "extending the
     Pareto frontier to model job arrivals" (Section IV-E).
 
+    Per-node idle powers come either as the two-type pair
+    ``idle_power_a_w``/``idle_power_b_w`` or as ``idle_powers_w``, one
+    entry per node-type group of ``space`` (the k-group form).
+
     Returns ``{utilization: [WindowPoint, ...]}`` sorted by response time.
     """
-    if idle_power_a_w < 0 or idle_power_b_w < 0:
+    if idle_powers_w is None:
+        if idle_power_a_w is None or idle_power_b_w is None:
+            raise ValueError(
+                "pass idle_power_a_w and idle_power_b_w, or idle_powers_w"
+            )
+        idle_powers_w = (idle_power_a_w, idle_power_b_w)
+    elif idle_power_a_w is not None or idle_power_b_w is not None:
+        raise ValueError("pass either the idle power pair or idle_powers_w")
+    idle_powers = [float(p) for p in idle_powers_w]
+    if any(p < 0 for p in idle_powers):
         raise ValueError("idle powers must be non-negative")
+    if len(idle_powers) != space.num_groups:
+        raise ValueError(
+            f"{len(idle_powers)} idle powers for {space.num_groups} node groups"
+        )
 
     # Vectorized over the *entire* space: a configuration dominated per
     # job (same job energy, fewer nodes, slower) can still win at the
@@ -132,7 +158,9 @@ def figure10_series(
     # "unused nodes turned off".
     service = np.asarray(space.times_s, dtype=float)
     e_job = np.asarray(space.energies_j, dtype=float)
-    idle_w = space.n_a * idle_power_a_w + space.n_b * idle_power_b_w
+    idle_w = space.n[0] * idle_powers[0]
+    for g in range(1, space.num_groups):
+        idle_w = idle_w + space.n[g] * idle_powers[g]
 
     result: Dict[float, List[WindowPoint]] = {}
     for u in utilizations:
@@ -160,8 +188,9 @@ def figure10_series(
                 utilization=u,
                 service_s=float(service[i]),
                 jobs_in_window=float(jobs[i]),
-                n_a=int(space.n_a[i]),
-                n_b=int(space.n_b[i]),
+                n_a=int(space.n[0, i]),
+                n_b=int(space.n[1, i]) if space.num_groups >= 2 else 0,
+                n_nodes=tuple(int(space.n[g, i]) for g in range(space.num_groups)),
             )
             for i in keep
         ]

@@ -27,7 +27,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import Dict, Sequence
+from typing import Dict, Optional, Sequence
 
 import numpy as np
 
@@ -187,21 +187,39 @@ class MD1WaitDistribution:
 
 def percentile_feasible_energy(
     space,
-    idle_power_a_w: float,
-    idle_power_b_w: float,
-    deadline_s: float,
-    quantile: float,
-    utilization: float,
+    idle_power_a_w: Optional[float] = None,
+    idle_power_b_w: Optional[float] = None,
+    deadline_s: float = 0.0,
+    quantile: float = 0.95,
+    utilization: float = 0.0,
     window_s: float = 20.0,
+    idle_powers_w: Optional[Sequence[float]] = None,
 ):
     """Cheapest window energy whose q-quantile response meets a deadline.
 
     The percentile analogue of the mean-response policies in
     :mod:`repro.scheduling.switching`: a configuration qualifies only if
-    ``P(response <= deadline) >= quantile`` under M/D/1.  Returns
+    ``P(response <= deadline) >= quantile`` under M/D/1.  Per-node idle
+    powers come either as the two-type pair or as ``idle_powers_w``, one
+    entry per node-type group of ``space``.  Returns
     ``(energy_j, row_index)`` or ``None`` when no configuration
     qualifies.
     """
+    if idle_powers_w is None:
+        if idle_power_a_w is None or idle_power_b_w is None:
+            raise ValueError(
+                "pass idle_power_a_w and idle_power_b_w, or idle_powers_w"
+            )
+        idle_powers_w = (idle_power_a_w, idle_power_b_w)
+    elif idle_power_a_w is not None or idle_power_b_w is not None:
+        raise ValueError("pass either the idle power pair or idle_powers_w")
+    idle_powers = [float(p) for p in idle_powers_w]
+    if any(p < 0 for p in idle_powers):
+        raise ValueError("idle powers must be non-negative")
+    if len(idle_powers) != space.num_groups:
+        raise ValueError(
+            f"{len(idle_powers)} idle powers for {space.num_groups} node groups"
+        )
     best = None
     for idx in range(len(space)):
         service = float(space.times_s[idx])
@@ -218,9 +236,9 @@ def percentile_feasible_energy(
             jobs = utilization * window_s / service
         else:
             jobs = 0.0
-        idle_w = (
-            int(space.n_a[idx]) * idle_power_a_w
-            + int(space.n_b[idx]) * idle_power_b_w
+        idle_w = sum(
+            int(space.n[g, idx]) * idle_powers[g]
+            for g in range(space.num_groups)
         )
         energy = jobs * float(space.energies_j[idx]) + (
             1.0 - utilization

@@ -146,7 +146,7 @@ class TestWhatIfReports:
         assert report.best_saving == pytest.approx(0.0, abs=1e-12)
 
     def test_unknown_node_rejected(self, ep_params):
-        with pytest.raises(KeyError):
+        with pytest.raises(ValueError, match=r"'riscv'.*amd-k10.*arm-cortex-a9"):
             what_if(
                 ARM_CORTEX_A9,
                 2,

@@ -25,7 +25,7 @@ class TestCallCounting:
     def test_scenario_rerun_is_pure_cache_hit(self, monkeypatch):
         calibrate_calls, space_calls = [], []
         real_calibrate = calibration_mod.calibrate_node
-        real_space = evaluate_mod.evaluate_space
+        real_space = evaluate_mod.evaluate_space_groups
 
         def counting_calibrate(*args, **kwargs):
             calibrate_calls.append(args[0].name)
@@ -36,7 +36,7 @@ class TestCallCounting:
             return real_space(*args, **kwargs)
 
         monkeypatch.setattr(calibration_mod, "calibrate_node", counting_calibrate)
-        monkeypatch.setattr(evaluate_mod, "evaluate_space", counting_space)
+        monkeypatch.setattr(evaluate_mod, "evaluate_space_groups", counting_space)
 
         scenario = Scenario(
             workload="ep", max_a=2, max_b=2, calibrated=True, stages=("frontier",)

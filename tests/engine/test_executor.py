@@ -3,6 +3,7 @@
 import numpy as np
 
 from repro.core.calibration import ground_truth_params
+from repro.core.configuration import GroupSpec, presence_masks
 from repro.core.evaluate import evaluate_space
 from repro.engine.executor import (
     PARALLEL_THRESHOLD_ROWS,
@@ -51,9 +52,10 @@ class TestChunkedEvaluation:
     def test_small_space_takes_direct_path(self):
         # The full paper space is ~36k rows, far below the pooling
         # threshold: without an explicit chunk count the direct path runs.
-        assert _estimate_rows(
-            ARM_CORTEX_A9, np.arange(1, 11), AMD_K10, np.arange(1, 11)
-        ) < PARALLEL_THRESHOLD_ROWS
+        group_specs = (GroupSpec(ARM_CORTEX_A9, 10), GroupSpec(AMD_K10, 10))
+        pos = [np.arange(1, 11), np.arange(1, 11)]
+        masks = list(presence_masks(group_specs))
+        assert _estimate_rows(group_specs, pos, masks) < PARALLEL_THRESHOLD_ROWS
         result = evaluate_space_chunked(ARM_CORTEX_A9, 3, AMD_K10, 3, PARAMS, 1e6)
         direct = evaluate_space(ARM_CORTEX_A9, 3, AMD_K10, 3, PARAMS, 1e6)
         np.testing.assert_array_equal(result.times_s, direct.times_s)

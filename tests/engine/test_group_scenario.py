@@ -1,0 +1,133 @@
+"""Three-type scenarios through the declarative engine.
+
+The acceptance path for the group-table generalization: a scenario with
+``node_types`` listing ARM + AMD + the Atom extension runs the whole
+pipeline -- calibrate, space, frontier, regions, queueing -- through
+:func:`repro.engine.runner.run_scenario`, and the two spellings of a
+two-type scenario (pair fields vs ``node_types``) are interchangeable
+for caching.
+"""
+
+import pytest
+
+from repro.core.configuration import count_configs_groups, GroupSpec
+from repro.engine import RunContext, Scenario, run_scenario
+from repro.engine.scenario import NodeGroup
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.hardware.extension import INTEL_ATOM
+from repro.workloads.extension import with_atom
+from repro.workloads.suite import EP
+
+
+@pytest.fixture
+def ctx():
+    context = RunContext(seed=0)
+    context.register_node(INTEL_ATOM)
+    context.register_workload(with_atom(EP))
+    return context
+
+
+def three_type_scenario(**overrides):
+    base = dict(
+        workload="ep",
+        node_types=(
+            NodeGroup("arm-cortex-a9", 2),
+            NodeGroup("amd-k10", 2),
+            NodeGroup("intel-atom", 2),
+        ),
+        stages=("frontier", "regions", "queueing"),
+        utilizations=(0.25,),
+        name="three-type",
+    )
+    base.update(overrides)
+    return Scenario(**base)
+
+
+class TestThreeTypeEndToEnd:
+    def test_full_pipeline(self, ctx):
+        result = run_scenario(three_type_scenario(), ctx)
+
+        expected_rows = count_configs_groups(
+            (
+                GroupSpec(ARM_CORTEX_A9, 2),
+                GroupSpec(AMD_K10, 2),
+                GroupSpec(INTEL_ATOM, 2),
+            )
+        )
+        assert len(result.space) == expected_rows
+        assert result.space.num_groups == 3
+        assert set(result.params) == {"arm-cortex-a9", "amd-k10", "intel-atom"}
+
+        assert result.frontier is not None and len(result.frontier) > 0
+        assert result.group_frontiers is not None
+        assert len(result.group_frontiers) == 3
+        assert all(f is not None for f in result.group_frontiers)
+        assert result.only_a_frontier is result.group_frontiers[0]
+        assert result.only_b_frontier is result.group_frontiers[1]
+
+        assert result.regions is not None
+        assert set(result.regions.composition) <= {
+            "hetero", "only-a", "only-b", "only-c"
+        }
+        assert set(result.queueing) == {0.25}
+        for point in result.queueing[0.25]:
+            assert len(point.n_nodes) == 3
+
+        assert result.summary()["node_types"] == [
+            "arm-cortex-a9", "amd-k10", "intel-atom"
+        ]
+
+    def test_rerun_is_cache_hit(self, ctx):
+        first = run_scenario(three_type_scenario(), ctx)
+        second = run_scenario(three_type_scenario(name="renamed"), ctx)
+        assert second.space is first.space
+
+
+class TestScenarioSpellings:
+    def test_node_types_json_round_trip(self):
+        scenario = three_type_scenario()
+        again = Scenario.from_json(scenario.to_json())
+        assert again == scenario
+        assert again.groups == scenario.groups
+
+    def test_pair_and_group_spellings_share_identity(self):
+        pair = Scenario(workload="ep", node_a="arm-cortex-a9", node_b="amd-k10",
+                        max_a=3, max_b=2)
+        grouped = Scenario(
+            workload="ep",
+            node_types=(
+                NodeGroup("arm-cortex-a9", 3),
+                NodeGroup("amd-k10", 2),
+            ),
+        )
+        assert pair.cache_identity() == grouped.cache_identity()
+
+    def test_pair_mirrors_track_first_two_groups(self):
+        scenario = three_type_scenario()
+        assert scenario.node_a == "arm-cortex-a9"
+        assert scenario.node_b == "amd-k10"
+        assert scenario.max_a == 2 and scenario.max_b == 2
+
+    def test_single_group_scenario(self):
+        scenario = Scenario(
+            workload="ep", node_types=(NodeGroup("arm-cortex-a9", 3),)
+        )
+        assert len(scenario.groups) == 1
+        assert scenario.max_b == 0
+
+    def test_with_pair_field_on_three_types_rejected(self):
+        with pytest.raises(ValueError, match="node types"):
+            three_type_scenario().with_(max_a=5)
+
+    def test_with_pair_field_on_two_group_spelling_works(self):
+        scenario = Scenario(
+            workload="ep",
+            node_types=(NodeGroup("arm-cortex-a9", 3), NodeGroup("amd-k10", 2)),
+        )
+        changed = scenario.with_(max_a=5)
+        assert changed.groups[0].max_nodes == 5
+        assert changed.groups[1].max_nodes == 2
+
+    def test_empty_node_types_rejected(self):
+        with pytest.raises(ValueError, match="empty"):
+            Scenario(workload="ep", node_types=())
