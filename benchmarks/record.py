@@ -26,9 +26,17 @@ Timings are best-of-``repeats`` to shrug off machine noise.
   ``evaluate_space_groups`` (rows/second; no pre-refactor reference
   exists for k=3).
 
+``--pr 4`` (the streaming config-space pipeline) records:
+
+* **four-type streaming** -- a ~1.6M-row ARM + AMD + 2x Atom space whose
+  materialized footprint is far beyond the 32 MiB block budget:
+  rows/second and tracemalloc peak memory in both modes, with the
+  reduced artifacts (frontier + per-group frontiers, indices included)
+  equality-checked between modes before timing.
+
 Usage::
 
-    PYTHONPATH=src python benchmarks/record.py --pr 3 [--output BENCH_PR3.json]
+    PYTHONPATH=src python benchmarks/record.py --pr 4 [--output BENCH_PR4.json]
 """
 
 from __future__ import annotations
@@ -211,6 +219,117 @@ def bench_three_type_throughput(repeats: int) -> Dict:
     }
 
 
+def bench_four_type_streaming(repeats: int, budget_mb: float = 32.0) -> Dict:
+    """A four-group space far over the block budget: both modes, one truth.
+
+    The space (ARM + AMD + Atom + a second Atom bin) holds ~1.6M rows --
+    hundreds of MiB materialized, far beyond ``budget_mb``.  Streaming
+    folds it through the block reducers under the budget; the reduced
+    artifacts (whole-space frontier with original indices, per-group
+    homogeneous frontiers) are equality-checked against the materialized
+    pass before anything is timed.  Peak memory is tracemalloc-traced in
+    one extra pass per mode (kept out of the timed passes).
+    """
+    import dataclasses
+    import tracemalloc
+
+    from repro.core.calibration import ground_truth_params
+    from repro.core.configuration import GroupSpec
+    from repro.core.evaluate import evaluate_space_groups
+    from repro.core.pareto import ParetoFrontier
+    from repro.core.streaming import (
+        block_row_bytes,
+        count_space_rows,
+        iter_space_blocks,
+        reduce_space_blocks,
+    )
+    from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+    from repro.hardware.extension import INTEL_ATOM
+    from repro.workloads.extension import with_atom
+    from repro.workloads.suite import EP
+
+    atom2 = dataclasses.replace(INTEL_ATOM, name="intel-atom-d525")
+    workload = with_atom(EP)
+    profiles = dict(workload.profiles)
+    profiles[atom2.name] = profiles[INTEL_ATOM.name]
+    workload = dataclasses.replace(workload, profiles=profiles)
+    specs = (
+        GroupSpec(ARM_CORTEX_A9, 4),
+        GroupSpec(AMD_K10, 3),
+        GroupSpec(INTEL_ATOM, 3),
+        GroupSpec(atom2, 3),
+    )
+    params = {
+        gs.spec.name: ground_truth_params(gs.spec, workload) for gs in specs
+    }
+    units = 50e6
+    rows = count_space_rows(specs)
+    full_estimate_mb = rows * block_row_bytes(len(specs)) / (1 << 20)
+    assert full_estimate_mb > 4 * budget_mb  # genuinely over budget
+
+    def materialized():
+        space = evaluate_space_groups(specs, params, units)
+        return space, ParetoFrontier.from_points(space.times_s, space.energies_j)
+
+    def streaming():
+        return reduce_space_blocks(
+            iter_space_blocks(specs, params, units, memory_budget_mb=budget_mb)
+        )
+
+    # Reduced artifacts must agree bit-for-bit before timing means anything.
+    space, frontier = materialized()
+    reduced = streaming()
+    assert reduced.total_rows == rows == len(space)
+    assert np.array_equal(frontier.times_s, reduced.frontier.times_s)
+    assert np.array_equal(frontier.energies_j, reduced.frontier.energies_j)
+    assert np.array_equal(frontier.indices, reduced.frontier.indices)
+    for g in range(len(specs)):
+        sub = space.subset(space.is_only(g))
+        homog = ParetoFrontier.from_points(sub.times_s, sub.energies_j)
+        assert np.array_equal(homog.times_s, reduced.group_frontiers[g].times_s)
+        assert np.array_equal(
+            homog.energies_j, reduced.group_frontiers[g].energies_j
+        )
+    blocks = reduced.num_blocks
+    del space, frontier, reduced
+
+    def traced_peak(fn) -> int:
+        tracemalloc.start()
+        try:
+            fn()
+            _, peak = tracemalloc.get_traced_memory()
+        finally:
+            tracemalloc.stop()
+        return peak
+
+    materialized_s = _best_of(materialized, repeats)
+    streaming_s = _best_of(streaming, repeats)
+    materialized_peak = traced_peak(materialized)
+    streaming_peak = traced_peak(streaming)
+    return {
+        "label": (
+            f"four-type space, {rows} rows (EP, 4x3x3x3), "
+            f"budget {budget_mb:.0f} MiB vs ~{full_estimate_mb:.0f} MiB full"
+        ),
+        "rows": rows,
+        "blocks": blocks,
+        "memory_budget_mb": budget_mb,
+        "full_estimate_mb": full_estimate_mb,
+        "materialized_s": materialized_s,
+        "materialized_rows_per_s": rows / materialized_s,
+        "materialized_peak_mb": materialized_peak / (1 << 20),
+        "streaming_s": streaming_s,
+        "streaming_rows_per_s": rows / streaming_s,
+        "streaming_peak_mb": streaming_peak / (1 << 20),
+        "peak_memory_ratio": materialized_peak / streaming_peak,
+        "detail": (
+            "evaluate_space_groups + from_points vs reduce_space_blocks over "
+            "iter_space_blocks; frontier, indices, and per-group frontiers "
+            "equality-checked first; peaks tracemalloc-traced out-of-band"
+        ),
+    }
+
+
 _PR_RECORDS = {
     2: {
         "pr": "vectorized measurement layer",
@@ -227,6 +346,13 @@ _PR_RECORDS = {
         "benches": {
             "two_type_no_regression": bench_two_type_no_regression,
             "three_type_throughput": bench_three_type_throughput,
+        },
+    },
+    4: {
+        "pr": "streaming config-space pipeline",
+        "default_output": "BENCH_PR4.json",
+        "benches": {
+            "four_type_streaming": bench_four_type_streaming,
         },
     },
 }
@@ -276,6 +402,14 @@ def main(argv=None) -> int:
                 f"{name}: {bench['reference_s'] * 1e3:.1f} ms -> "
                 f"{bench['batched_s'] * 1e3:.1f} ms "
                 f"({bench['speedup']:.1f}x)"
+            )
+        elif "streaming_s" in bench:
+            print(
+                f"{name}: materialized {bench['materialized_rows_per_s']:,.0f} "
+                f"rows/s @ {bench['materialized_peak_mb']:.0f} MiB peak, "
+                f"streaming {bench['streaming_rows_per_s']:,.0f} rows/s @ "
+                f"{bench['streaming_peak_mb']:.0f} MiB peak "
+                f"({bench['peak_memory_ratio']:.1f}x less memory)"
             )
         else:
             print(

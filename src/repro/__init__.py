@@ -51,6 +51,7 @@ from repro.core.evaluate import evaluate_config, evaluate_space
 from repro.core.matching import GroupSetting, match_split
 from repro.core.pareto import ParetoFrontier
 from repro.core.params import NodeModelParams
+from repro.core.streaming import ReducedSpace, streaming_frontier
 from repro.core.timemodel import predict_node_time
 from repro.core.energymodel import predict_node_energy
 from repro.engine import (
@@ -76,6 +77,8 @@ __all__ = [
     "match_split",
     "ParetoFrontier",
     "NodeModelParams",
+    "ReducedSpace",
+    "streaming_frontier",
     "ResultCache",
     "RunContext",
     "Scenario",

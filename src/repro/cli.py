@@ -138,6 +138,29 @@ def main(argv: Optional[List[str]] = None) -> int:
         "(e.g. results/.cache; default: in-memory only)",
     )
     parser.add_argument(
+        "--space-mode",
+        choices=["materialized", "streaming"],
+        default=None,
+        help="configuration-space pipeline: 'materialized' evaluates the "
+        "whole space in RAM; 'streaming' folds memory-bounded blocks "
+        "through online reducers (bit-identical frontiers/regions/"
+        "queueing, no point cloud)",
+    )
+    parser.add_argument(
+        "--memory-budget-mb",
+        type=float,
+        default=None,
+        help="streaming block budget in MiB (caps rows held at once; "
+        "default 256)",
+    )
+    parser.add_argument(
+        "--spill-dir",
+        type=Path,
+        default=None,
+        help="with --space-mode streaming, also spill the full space to "
+        "memory-mapped .npy columns in this directory (scenario only)",
+    )
+    parser.add_argument(
         "--simulation",
         choices=["batched", "reference"],
         default=None,
@@ -152,6 +175,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     args = parser.parse_args(argv)
     batched = args.simulation != "reference"
+    space_mode = args.space_mode or "materialized"
 
     out = sys.stdout
     csv_rows = None
@@ -165,6 +189,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         cache=ResultCache(disk_dir=args.cache_dir) if args.cache_dir else None,
         sinks=(_sink,) if args.verbose else (),
         max_workers=args.workers,
+        memory_budget_mb=args.memory_budget_mb,
     )
 
     if args.artifact == "table1":
@@ -204,9 +229,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload = workload_by_name(args.workload) if args.workload else (
             EP if args.artifact == "fig4" else MEMCACHED
         )
-        fig = build_fig4_fig5(workload, seed=args.seed, ctx=ctx)
+        fig = build_fig4_fig5(
+            workload,
+            seed=args.seed,
+            ctx=ctx,
+            space_mode=space_mode,
+            memory_budget_mb=args.memory_budget_mb,
+        )
         table = Table(["quantity", "value"], title=f"Fig {args.artifact[-1]}: {workload.name}")
-        table.add_row(["configurations", len(fig.space)])
+        n_configs = len(fig.space) if fig.space is not None else fig.reduced.total_rows
+        table.add_row(["configurations", n_configs])
         table.add_row(["frontier points", len(fig.frontier)])
         table.add_row(
             ["fastest deadline [ms]", f"{seconds_to_ms(fig.frontier.fastest_time_s):.1f}"]
@@ -223,15 +255,27 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(file=out)
             print(plot_pareto_figure(fig), file=out)
         csv_headers = ["time_ms", "energy_j", "n_arm", "n_amd"]
-        csv_rows = [
-            [
-                seconds_to_ms(fig.space.times_s[i]),
-                fig.space.energies_j[i],
-                int(fig.space.n_a[i]),
-                int(fig.space.n_b[i]),
+        if fig.space is not None:
+            csv_rows = [
+                [
+                    seconds_to_ms(fig.space.times_s[i]),
+                    fig.space.energies_j[i],
+                    int(fig.space.n_a[i]),
+                    int(fig.space.n_b[i]),
+                ]
+                for i in range(len(fig.space))
             ]
-            for i in range(len(fig.space))
-        ]
+        else:
+            # Streaming keeps no point cloud; export the frontier rows.
+            csv_rows = [
+                [
+                    seconds_to_ms(fig.frontier.times_s[i]),
+                    fig.frontier.energies_j[i],
+                    int(fig.reduced.frontier_n[0, i]),
+                    int(fig.reduced.frontier_n[1, i]),
+                ]
+                for i in range(len(fig.frontier))
+            ]
     elif args.artifact in ("fig6", "fig7"):
         workload = workload_by_name(args.workload) if args.workload else (
             MEMCACHED if args.artifact == "fig6" else EP
@@ -274,7 +318,13 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
     elif args.artifact == "fig10":
         workload = workload_by_name(args.workload) if args.workload else MEMCACHED
-        per_util = build_fig10(workload, seed=args.seed, ctx=ctx)
+        per_util = build_fig10(
+            workload,
+            seed=args.seed,
+            ctx=ctx,
+            space_mode=space_mode,
+            memory_budget_mb=args.memory_budget_mb,
+        )
         table = Table(
             ["utilization", "points", "response range [ms]", "energy range [J]"],
             title="Fig 10: queueing-aware window energy (16 ARM + 14 AMD)",
@@ -321,14 +371,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         scenario = Scenario.from_file(args.file)
         if args.simulation is not None:
             scenario = scenario.with_(simulation=args.simulation)
-        result = run_scenario(scenario, ctx)
+        if args.space_mode is not None:
+            scenario = scenario.with_(space_mode=args.space_mode)
+        if args.memory_budget_mb is not None:
+            scenario = scenario.with_(memory_budget_mb=args.memory_budget_mb)
+        result = run_scenario(scenario, ctx, spill_dir=args.spill_dir)
         mix = " + ".join(f"{g.node} x{g.max_nodes}" for g in scenario.groups)
         table = Table(
             ["quantity", "value"],
             title=f"Scenario: {scenario.name or scenario.workload} ({mix})",
         )
         table.add_row(["stages", ", ".join(scenario.stages)])
-        table.add_row(["configurations", f"{len(result.space):,}"])
+        table.add_row(["space mode", scenario.space_mode])
+        table.add_row(["configurations", f"{result.num_configurations:,}"])
         if result.frontier is not None:
             table.add_row(["frontier points", len(result.frontier)])
             table.add_row(
@@ -353,14 +408,28 @@ def main(argv: Optional[List[str]] = None) -> int:
         )
         print(table.render(), file=out)
         space = result.space
-        csv_headers = ["time_ms", "energy_j"] + [
-            f"n_{chr(ord('a') + g)}" for g in range(space.num_groups)
-        ]
-        csv_rows = [
-            [seconds_to_ms(space.times_s[i]), space.energies_j[i]]
-            + [int(space.n[g, i]) for g in range(space.num_groups)]
-            for i in range(len(space))
-        ]
+        if space is not None:
+            csv_headers = ["time_ms", "energy_j"] + [
+                f"n_{chr(ord('a') + g)}" for g in range(space.num_groups)
+            ]
+            csv_rows = [
+                [seconds_to_ms(space.times_s[i]), space.energies_j[i]]
+                + [int(space.n[g, i]) for g in range(space.num_groups)]
+                for i in range(len(space))
+            ]
+        elif result.reduced is not None and result.reduced.frontier is not None:
+            # Streaming without spill: the cloud was never held; export
+            # the reduced artifact (frontier rows with node counts).
+            reduced = result.reduced
+            frontier = reduced.frontier
+            csv_headers = ["time_ms", "energy_j"] + [
+                f"n_{chr(ord('a') + g)}" for g in range(reduced.num_groups)
+            ]
+            csv_rows = [
+                [seconds_to_ms(frontier.times_s[i]), frontier.energies_j[i]]
+                + [int(reduced.frontier_n[g, i]) for g in range(reduced.num_groups)]
+                for i in range(len(frontier))
+            ]
     elif args.artifact == "report":
         from repro.reporting.report import generate_report
 
@@ -374,7 +443,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         workload = workload_by_name(args.workload) if args.workload else EP
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
         summary = reduction_summary(
-            _ARM_NODE, 10, _AMD_NODE, 10, suite_params(workload), units
+            _ARM_NODE, 10, _AMD_NODE, 10, suite_params(workload), units,
+            space_mode=space_mode, memory_budget_mb=args.memory_budget_mb,
         )
         table = Table(
             ["quantity", "value"],

@@ -13,7 +13,9 @@ Pipeline (Fig. 1 of the paper):
    types so all nodes finish simultaneously (Eq. 1).
 4. **Enumerate** (:mod:`repro.core.configuration`,
    :mod:`repro.core.evaluate`): the full configuration space (36,380
-   points for 10 ARM x 10 AMD), evaluated vectorized.
+   points for 10 ARM x 10 AMD), evaluated vectorized -- either
+   materialized whole or streamed as memory-bounded blocks through the
+   incremental reducers of :mod:`repro.core.streaming`.
 5. **Select** (:mod:`repro.core.pareto`, :mod:`repro.core.regions`):
    the energy-deadline Pareto frontier, its heterogeneous "sweet region"
    and homogeneous "overlap region".
@@ -50,7 +52,18 @@ from repro.core.multiway import (
     match_multiway,
 )
 from repro.core import analysis, planner, sensitivity, whatif
-from repro.core.planner import SLO, Plan, plan_cluster
+from repro.core.planner import SLO, Plan, plan_cluster, plan_candidates
+from repro.core.streaming import (
+    FrontierReducer,
+    ReducedSpace,
+    SpaceBlock,
+    SpaceSpill,
+    TopKReducer,
+    iter_space_blocks,
+    load_spilled_space,
+    reduce_space_blocks,
+    streaming_frontier,
+)
 
 __all__ = [
     "NodeModelParams",
@@ -95,4 +108,14 @@ __all__ = [
     "SLO",
     "Plan",
     "plan_cluster",
+    "plan_candidates",
+    "FrontierReducer",
+    "ReducedSpace",
+    "SpaceBlock",
+    "SpaceSpill",
+    "TopKReducer",
+    "iter_space_blocks",
+    "load_spilled_space",
+    "reduce_space_blocks",
+    "streaming_frontier",
 ]

@@ -143,7 +143,21 @@ def savings_vs_homogeneous(
     if len(homog) == 0:
         raise ValueError("homogeneous mask selects no configurations")
     homog_frontier = ParetoFrontier.from_points(homog.times_s, homog.energies_j)
+    return savings_from_frontiers(full, homog_frontier, deadlines_s)
 
+
+def savings_from_frontiers(
+    full: ParetoFrontier,
+    homog_frontier: ParetoFrontier,
+    deadlines_s: Optional[Sequence[float]] = None,
+) -> SavingsReport:
+    """The frontier-only half of :func:`savings_vs_homogeneous`.
+
+    Takes the two frontiers directly, which is all the comparison ever
+    reads -- the streaming pipeline hands in its whole-space and
+    per-group frontiers (both frontier-sized) without materializing any
+    space.
+    """
     if deadlines_s is None:
         # Union of both frontiers' deadlines: the homogeneous curve is
         # flat past its last point, which is exactly where relaxing the

@@ -293,6 +293,18 @@ class ConfigSpaceResult:
         return len(self.nodes)
 
     @property
+    def nbytes(self) -> int:
+        """Bytes held by the column stacks (what streaming mode avoids)."""
+        return int(
+            self.n.nbytes
+            + self.cores.nbytes
+            + self.f.nbytes
+            + self.units.nbytes
+            + self.times_s.nbytes
+            + self.energies_j.nbytes
+        )
+
+    @property
     def present_count(self) -> np.ndarray:
         """How many groups participate in each configuration."""
         return (self.n > 0).sum(axis=0)

@@ -18,13 +18,15 @@ the pipeline into a single call:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Optional
+from typing import Iterator, List, Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult, evaluate_space
 from repro.core.params import NodeModelParams
 from repro.core.power_budget import cluster_peak_power, max_nodes_within_budget
+from repro.core.streaming import TopKReducer, iter_space_blocks
 from repro.hardware.specs import NodeSpec, SwitchSpec
 from repro.queueing.tail import MD1WaitDistribution
 
@@ -148,6 +150,176 @@ def plan_cluster(
     )
 
 
+def _feasible_plan_for_row(
+    space: ConfigSpaceResult,
+    i: int,
+    spec_low: NodeSpec,
+    spec_high: NodeSpec,
+    slo: SLO,
+    budget_w: Optional[float],
+    switch: Optional[SwitchSpec],
+    window_s: float,
+) -> Optional[Plan]:
+    """Row ``i``'s plan if it meets the SLO and budget, else ``None``.
+
+    The single feasibility/cost computation shared by the sorted scan
+    (:func:`_cheapest_feasible`) and the streaming top-k selection --
+    one implementation is what makes the two paths' plans identical.
+    """
+    service = float(space.times_s[i])
+    if service > slo.deadline_s:
+        return None
+    u = slo.utilization
+    n_low = int(space.n[0, i])
+    n_high = int(space.n[1, i])
+    peak = cluster_peak_power(spec_low, n_low, spec_high, n_high, switch)
+    if budget_w is not None and peak > budget_w + 1e-9:
+        return None
+    if u > 0:
+        dist = MD1WaitDistribution(service, u / service)
+        try:
+            response = (
+                dist.response_percentile(slo.percentile)
+                if slo.percentile > dist.no_wait_probability
+                else service
+            )
+        except ValueError:
+            return None  # beyond the stable tail domain: treat infeasible
+        if response > slo.deadline_s:
+            return None
+        jobs = u * window_s / service
+    else:
+        response = service
+        jobs = 0.0
+    idle_w = n_low * spec_low.idle_power_w + n_high * spec_high.idle_power_w
+    window_energy = jobs * float(space.energies_j[i]) + (
+        1.0 - u
+    ) * window_s * idle_w
+    return Plan(
+        n_low=n_low,
+        cores_low=int(space.cores[0, i]),
+        f_low_ghz=float(space.f[0, i]),
+        n_high=n_high,
+        cores_high=int(space.cores[1, i]),
+        f_high_ghz=float(space.f[1, i]),
+        units_low=float(space.units[0, i]),
+        units_high=float(space.units[1, i]),
+        service_s=service,
+        response_s=float(response),
+        job_energy_j=float(space.energies_j[i]),
+        window_energy_j=float(window_energy),
+        peak_power_w=peak,
+    )
+
+
+def _candidate_items(
+    space: ConfigSpaceResult,
+    start_row: int,
+    spec_low: NodeSpec,
+    spec_high: NodeSpec,
+    slo: SLO,
+    budget_w: Optional[float],
+    switch: Optional[SwitchSpec],
+    window_s: float,
+) -> Iterator[Tuple[Tuple[float, float, int], Plan]]:
+    """Keyed feasible plans of one space (or block of one).
+
+    Keys are ``(window_energy, service, global_row)`` -- total order
+    with the global row index as the final tiebreak, so top-k selection
+    is deterministic and identical whether rows arrive whole or in
+    blocks (``start_row`` offsets block-local rows to global ones).
+    """
+    within = np.flatnonzero(
+        np.asarray(space.times_s, dtype=float) <= slo.deadline_s
+    )
+    for i in within:
+        plan = _feasible_plan_for_row(
+            space, int(i), spec_low, spec_high, slo, budget_w, switch, window_s
+        )
+        if plan is not None:
+            yield (
+                (plan.window_energy_j, plan.service_s, start_row + int(i)),
+                plan,
+            )
+
+
+def plan_candidates(
+    spec_low: NodeSpec,
+    spec_high: NodeSpec,
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    slo: SLO,
+    k: int = 3,
+    budget_w: Optional[float] = None,
+    switch: Optional[SwitchSpec] = None,
+    max_low: int = 32,
+    max_high: int = 16,
+    window_s: float = 20.0,
+    use_reduction: bool = True,
+    space_mode: str = "materialized",
+    memory_budget_mb: Optional[float] = None,
+) -> List[Plan]:
+    """The ``k`` cheapest feasible plans, best first (possibly fewer).
+
+    The top-k generalization of :func:`plan_cluster`, with a total
+    deterministic order -- candidates rank by
+    ``(window_energy, service, row)`` -- so the result is bit-identical
+    between ``space_mode="materialized"`` (evaluate, then select) and
+    ``space_mode="streaming"`` (fold blocks through a
+    :class:`~repro.core.streaming.TopKReducer` under the
+    ``memory_budget_mb`` cap, never materializing the space).
+    """
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    if max_low < 0 or max_high < 0 or (max_low == 0 and max_high == 0):
+        raise ValueError("need some nodes to plan with")
+    if space_mode not in ("materialized", "streaming"):
+        raise ValueError(
+            f"space_mode must be 'materialized' or 'streaming', got "
+            f"{space_mode!r}"
+        )
+
+    if budget_w is not None:
+        max_low = min(max_low, max_nodes_within_budget(spec_low, budget_w, switch))
+        max_high = min(max_high, max_nodes_within_budget(spec_high, budget_w))
+        if max_low == 0 and max_high == 0:
+            return []
+
+    settings_low = settings_high = None
+    if use_reduction:
+        from repro.core.reduction import undominated_settings
+
+        settings_low = list(undominated_settings(spec_low, params[spec_low.name]).kept)
+        settings_high = list(undominated_settings(spec_high, params[spec_high.name]).kept)
+
+    topk: TopKReducer = TopKReducer(k)
+    if space_mode == "streaming":
+        group_specs = (
+            GroupSpec(spec_low, max_low, settings=settings_low),
+            GroupSpec(spec_high, max_high, settings=settings_high),
+        )
+        for block in iter_space_blocks(
+            group_specs, params, units, memory_budget_mb=memory_budget_mb
+        ):
+            topk.update(
+                _candidate_items(
+                    block.data, block.start_row, spec_low, spec_high,
+                    slo, budget_w, switch, window_s,
+                )
+            )
+    else:
+        space = evaluate_space(
+            spec_low, max_low, spec_high, max_high, params, units,
+            settings_a=settings_low, settings_b=settings_high,
+        )
+        topk.update(
+            _candidate_items(
+                space, 0, spec_low, spec_high, slo, budget_w, switch, window_s
+            )
+        )
+    return [plan for _, plan in topk.finish()]
+
+
 def _cheapest_feasible(
     space: ConfigSpaceResult,
     spec_low: NodeSpec,
@@ -158,50 +330,14 @@ def _cheapest_feasible(
     window_s: float,
 ) -> Optional[Plan]:
     best: Optional[Plan] = None
-    u = slo.utilization
     for i in np.argsort(space.times_s):
-        service = float(space.times_s[i])
-        if service > slo.deadline_s:
+        if float(space.times_s[i]) > slo.deadline_s:
             break  # sorted: nothing further can qualify
-        n_low = int(space.n[0, i])
-        n_high = int(space.n[1, i])
-        peak = cluster_peak_power(spec_low, n_low, spec_high, n_high, switch)
-        if budget_w is not None and peak > budget_w + 1e-9:
+        plan = _feasible_plan_for_row(
+            space, int(i), spec_low, spec_high, slo, budget_w, switch, window_s
+        )
+        if plan is None:
             continue
-        if u > 0:
-            dist = MD1WaitDistribution(service, u / service)
-            try:
-                response = (
-                    dist.response_percentile(slo.percentile)
-                    if slo.percentile > dist.no_wait_probability
-                    else service
-                )
-            except ValueError:
-                continue  # beyond the stable tail domain: treat infeasible
-            if response > slo.deadline_s:
-                continue
-            jobs = u * window_s / service
-        else:
-            response = service
-            jobs = 0.0
-        idle_w = n_low * spec_low.idle_power_w + n_high * spec_high.idle_power_w
-        window_energy = jobs * float(space.energies_j[i]) + (
-            1.0 - u
-        ) * window_s * idle_w
-        if best is None or window_energy < best.window_energy_j:
-            best = Plan(
-                n_low=n_low,
-                cores_low=int(space.cores[0, i]),
-                f_low_ghz=float(space.f[0, i]),
-                n_high=n_high,
-                cores_high=int(space.cores[1, i]),
-                f_high_ghz=float(space.f[1, i]),
-                units_low=float(space.units[0, i]),
-                units_high=float(space.units[1, i]),
-                service_s=service,
-                response_s=float(response),
-                job_energy_j=float(space.energies_j[i]),
-                window_energy_j=float(window_energy),
-                peak_power_w=peak,
-            )
+        if best is None or plan.window_energy_j < best.window_energy_j:
+            best = plan
     return best

@@ -37,13 +37,15 @@ magnitude with an identical frontier.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Mapping, Tuple
+from typing import Mapping, Optional, Tuple
 
 import numpy as np
 
+from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult, _setting_grid, evaluate_space
 from repro.core.params import NodeModelParams
 from repro.core.pareto import ParetoFrontier
+from repro.core.streaming import count_space_rows, streaming_frontier
 from repro.hardware.specs import NodeSpec
 
 
@@ -122,18 +124,30 @@ def reduced_space(
     return space, report_a, report_b
 
 
-def frontier_preserved(
-    full: ConfigSpaceResult, reduced: ConfigSpaceResult, rtol: float = 1e-9
+def frontier_preserved_frontiers(
+    f_full: ParetoFrontier, f_reduced: ParetoFrontier, rtol: float = 1e-9
 ) -> bool:
-    """Whether the reduced space's Pareto frontier equals the full one's."""
-    f_full = ParetoFrontier.from_points(full.times_s, full.energies_j)
-    f_reduced = ParetoFrontier.from_points(reduced.times_s, reduced.energies_j)
+    """Whether two already-built frontiers coincide (up to ``rtol``).
+
+    The comparison core of :func:`frontier_preserved`, split out so the
+    streaming certificate can hand in frontiers computed without ever
+    materializing the spaces behind them.
+    """
     if len(f_full) != len(f_reduced):
         return False
     return bool(
         np.allclose(f_full.times_s, f_reduced.times_s, rtol=rtol)
         and np.allclose(f_full.energies_j, f_reduced.energies_j, rtol=rtol)
     )
+
+
+def frontier_preserved(
+    full: ConfigSpaceResult, reduced: ConfigSpaceResult, rtol: float = 1e-9
+) -> bool:
+    """Whether the reduced space's Pareto frontier equals the full one's."""
+    f_full = ParetoFrontier.from_points(full.times_s, full.energies_j)
+    f_reduced = ParetoFrontier.from_points(reduced.times_s, reduced.energies_j)
+    return frontier_preserved_frontiers(f_full, f_reduced, rtol=rtol)
 
 
 def reduction_summary(
@@ -143,17 +157,41 @@ def reduction_summary(
     max_b: int,
     params: Mapping[str, NodeModelParams],
     units: float,
+    space_mode: str = "materialized",
+    memory_budget_mb: Optional[float] = None,
 ) -> dict:
-    """Sizes plus the per-space exactness certificate (needs a full pass)."""
-    full = evaluate_space(spec_a, max_a, spec_b, max_b, params, units)
+    """Sizes plus the per-space exactness certificate (needs a full pass).
+
+    ``space_mode="streaming"`` runs the certificate's full-space pass
+    through the online frontier under ``memory_budget_mb`` -- the one
+    place the summary ever touched the unreduced space -- so certifying
+    a reduction no longer costs a full-space allocation.  The verdict is
+    bit-identical to the materialized certificate.
+    """
+    if space_mode not in ("materialized", "streaming"):
+        raise ValueError(
+            f"space_mode must be 'materialized' or 'streaming', got "
+            f"{space_mode!r}"
+        )
     reduced, report_a, report_b = reduced_space(
         spec_a, max_a, spec_b, max_b, params, units
     )
+    f_reduced = ParetoFrontier.from_points(reduced.times_s, reduced.energies_j)
+    if space_mode == "streaming":
+        group_specs = (GroupSpec(spec_a, max_a), GroupSpec(spec_b, max_b))
+        full_size = count_space_rows(group_specs)
+        f_full = streaming_frontier(
+            group_specs, params, units, memory_budget_mb=memory_budget_mb
+        )
+    else:
+        full = evaluate_space(spec_a, max_a, spec_b, max_b, params, units)
+        full_size = len(full)
+        f_full = ParetoFrontier.from_points(full.times_s, full.energies_j)
     return {
-        "full_size": len(full),
+        "full_size": full_size,
         "reduced_size": len(reduced),
-        "reduction_factor": len(full) / max(1, len(reduced)),
+        "reduction_factor": full_size / max(1, len(reduced)),
         "settings_a": (report_a.kept_count, report_a.total_settings),
         "settings_b": (report_b.kept_count, report_b.total_settings),
-        "frontier_preserved": frontier_preserved(full, reduced),
+        "frontier_preserved": frontier_preserved_frontiers(f_full, f_reduced),
     }

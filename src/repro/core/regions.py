@@ -133,16 +133,12 @@ def analyze_regions(
         group order ("a" for group 0, "b" for group 1, ...).  The
         paper's ARM is group a throughout this library.
     """
-    letters = [_group_letter(g) for g in range(space.num_groups)]
-    if low_power_side not in letters:
-        raise ValueError(
-            f"low_power_side must be one of {letters}, got {low_power_side!r}"
-        )
     if frontier is None:
         frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
 
     hetero = space.is_heterogeneous
     only = [space.is_only(g) for g in range(space.num_groups)]
+    letters = [_group_letter(g) for g in range(space.num_groups)]
 
     composition = []
     for idx in frontier.indices:
@@ -155,6 +151,36 @@ def analyze_regions(
                     break
     composition = tuple(composition)
 
+    return regions_from_composition(
+        frontier, composition, space.num_groups, low_power_side
+    )
+
+
+def regions_from_composition(
+    frontier: ParetoFrontier,
+    composition: Tuple[str, ...],
+    num_groups: int,
+    low_power_side: str = "a",
+) -> RegionReport:
+    """Region decomposition from per-point composition labels alone.
+
+    The space-free half of :func:`analyze_regions`: everything the
+    region analysis needs is the frontier plus each point's composition
+    label, both of which the streaming pipeline carries at
+    frontier-size.  ``composition`` must be one label per frontier
+    point, in frontier order.
+    """
+    letters = [_group_letter(g) for g in range(num_groups)]
+    if low_power_side not in letters:
+        raise ValueError(
+            f"low_power_side must be one of {letters}, got {low_power_side!r}"
+        )
+    if len(composition) != len(frontier):
+        raise ValueError(
+            f"{len(composition)} composition labels for "
+            f"{len(frontier)} frontier points"
+        )
+
     # Sweet region: the (first) maximal run of heterogeneous points.
     sweet = _longest_run(frontier, composition, lambda c: c == "hetero")
     # Overlap region: the trailing run of homogeneous low-power points.
@@ -166,6 +192,30 @@ def analyze_regions(
         composition=composition,
         sweet=sweet,
         overlap=overlap,
+    )
+
+
+def analyze_regions_reduced(
+    reduced, low_power_side: str = "a"
+) -> RegionReport:
+    """Region decomposition of a streamed
+    :class:`~repro.core.streaming.ReducedSpace`.
+
+    Duck-typed on the reduced artifact's ``frontier``/``composition``/
+    ``num_groups`` so this module needs no import of the streaming
+    layer; the labels were computed block-by-block during the reduction
+    pass and match :func:`analyze_regions`'s exactly.
+    """
+    if reduced.frontier is None or reduced.composition is None:
+        raise ValueError(
+            "reduced space carries no frontier/composition; run the "
+            "reduction with composition=True"
+        )
+    return regions_from_composition(
+        reduced.frontier,
+        tuple(reduced.composition),
+        reduced.num_groups,
+        low_power_side,
     )
 
 

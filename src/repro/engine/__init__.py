@@ -25,7 +25,11 @@ builds.
 
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.context import RunContext, default_context, set_default_context
-from repro.engine.executor import evaluate_space_chunked, parallel_map
+from repro.engine.executor import (
+    evaluate_space_chunked,
+    iter_space_groups_chunked,
+    parallel_map,
+)
 from repro.engine.hashing import stable_hash
 from repro.engine.runner import ScenarioResult, run_scenario
 from repro.engine.scenario import STAGES, Scenario
@@ -39,6 +43,7 @@ __all__ = [
     "ScenarioResult",
     "default_context",
     "evaluate_space_chunked",
+    "iter_space_groups_chunked",
     "parallel_map",
     "run_scenario",
     "set_default_context",

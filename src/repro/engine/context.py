@@ -35,6 +35,7 @@ from repro.core import calibration as _calibration
 from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
+from repro.core.streaming import ReducedSpace, SpaceBlock, reduce_space_blocks
 from repro.engine import executor as _executor
 from repro.engine.cache import ResultCache
 from repro.hardware import catalog as _catalog
@@ -45,6 +46,18 @@ from repro.workloads import suite as _suite
 from repro.workloads.base import WorkloadSpec
 
 Sink = Callable[[str, Dict[str, Any]], None]
+
+
+def _plain_queueing_key(queue_kw: Optional[Mapping[str, Any]]) -> Any:
+    """Queueing knobs as a deterministic, content-addressable tuple."""
+    if queue_kw is None:
+        return None
+    return tuple(
+        sorted(
+            (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+            for k, v in queue_kw.items()
+        )
+    )
 
 
 class RunContext:
@@ -63,6 +76,10 @@ class RunContext:
     max_workers:
         Process-pool width for chunked evaluation and replication
         fan-out; ``None`` auto-sizes, ``1`` forces serial.
+    memory_budget_mb:
+        Default peak-memory budget for streaming/chunked space
+        evaluation; ``None`` uses
+        :data:`repro.core.streaming.DEFAULT_MEMORY_BUDGET_MB`.
     """
 
     def __init__(
@@ -71,11 +88,13 @@ class RunContext:
         cache: Optional[ResultCache] = None,
         sinks: Sequence[Sink] = (),
         max_workers: Optional[int] = None,
+        memory_budget_mb: Optional[float] = None,
     ):
         self.seed = seed
         self.cache = cache if cache is not None else ResultCache()
         self.sinks: List[Sink] = list(sinks)
         self.max_workers = max_workers
+        self.memory_budget_mb = memory_budget_mb
         self._extra_nodes: Dict[str, NodeSpec] = {}
         self._extra_workloads: Dict[str, WorkloadSpec] = {}
 
@@ -204,14 +223,7 @@ class RunContext:
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
             for gs in group_specs
         )
-        key = (
-            tuple(
-                (gs.spec, int(gs.max_nodes), gs.counts, gs.settings)
-                for gs in group_specs
-            ),
-            {name: params[name] for name in sorted(params)},
-            units,
-        )
+        key = self._space_key(group_specs, params, units)
 
         def compute() -> ConfigSpaceResult:
             start = time.perf_counter()
@@ -226,6 +238,119 @@ class RunContext:
             return result
 
         return self.cache.get_or_compute("space", key, compute)
+
+    @staticmethod
+    def _space_key(
+        group_specs: Sequence[GroupSpec],
+        params: Mapping[str, NodeModelParams],
+        units: float,
+    ) -> Tuple:
+        """Content key of one space evaluation (shared by both modes)."""
+        return (
+            tuple(
+                (gs.spec, int(gs.max_nodes), gs.counts, gs.settings)
+                for gs in group_specs
+            ),
+            {name: params[name] for name in sorted(params)},
+            units,
+        )
+
+    def space_blocks(
+        self,
+        group_specs: Sequence[GroupSpec],
+        params: Mapping[str, NodeModelParams],
+        units: float,
+        memory_budget_mb: Optional[float] = None,
+    ) -> Iterable[SpaceBlock]:
+        """Stream a k-group space as memory-bounded blocks, in row order.
+
+        The streaming twin of :meth:`space_groups`: blocks come from the
+        pool-backed :func:`repro.engine.executor.iter_space_groups_chunked`
+        (deterministically re-ordered), sized so that in-flight blocks
+        stay under ``memory_budget_mb`` (context default when omitted).
+        The stream itself is not cached -- cache the *reductions* via
+        :meth:`space_reduced`.
+        """
+        group_specs = tuple(
+            gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
+            for gs in group_specs
+        )
+        budget = (
+            self.memory_budget_mb if memory_budget_mb is None
+            else memory_budget_mb
+        )
+        return _executor.iter_space_groups_chunked(
+            group_specs,
+            params,
+            units,
+            max_workers=self.max_workers,
+            memory_budget_mb=budget,
+        )
+
+    def space_reduced(
+        self,
+        group_specs: Sequence[GroupSpec],
+        params: Mapping[str, NodeModelParams],
+        units: float,
+        memory_budget_mb: Optional[float] = None,
+        queueing: Optional[Mapping[str, Any]] = None,
+        consumers: Sequence[Any] = (),
+    ) -> ReducedSpace:
+        """Stream-reduce a k-group space to its compact artifact, memoized.
+
+        One block pass computes the whole-space frontier (with
+        composition labels and per-point node counts), the per-group
+        homogeneous frontiers, and -- when ``queueing`` passes
+        :class:`~repro.queueing.dispatcher.Figure10Reducer` keyword
+        arguments -- the window-level series, all bounded by the memory
+        budget.  The cache key is the space content plus the queueing
+        knobs; the budget is an execution detail and deliberately stays
+        out of it (the reduced artifacts are identical at any budget).
+        ``consumers`` (e.g. a :class:`~repro.core.streaming.SpaceSpill`)
+        are side effects: passing any bypasses the cache so they always
+        observe the full stream.
+        """
+        group_specs = tuple(
+            gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
+            for gs in group_specs
+        )
+        queue_kw = dict(queueing) if queueing is not None else None
+
+        def compute() -> ReducedSpace:
+            from repro.queueing.dispatcher import Figure10Reducer
+
+            extra = list(consumers)
+            f10 = None
+            if queue_kw is not None:
+                f10 = Figure10Reducer(**queue_kw)
+                extra.append(f10)
+            start = time.perf_counter()
+            reduced = reduce_space_blocks(
+                self.space_blocks(
+                    group_specs, params, units,
+                    memory_budget_mb=memory_budget_mb,
+                ),
+                consumers=extra,
+            )
+            if f10 is not None:
+                reduced.queueing = f10.finish()
+            self.emit(
+                "space.reduced",
+                rows=reduced.total_rows,
+                blocks=reduced.num_blocks,
+                full_nbytes=reduced.full_nbytes,
+                peak_block_nbytes=reduced.peak_block_nbytes,
+                elapsed_s=time.perf_counter() - start,
+            )
+            return reduced
+
+        if consumers:
+            return compute()
+        key = (
+            self._space_key(group_specs, params, units),
+            _plain_queueing_key(queue_kw),
+        )
+        return self.cache.get_or_compute("reduced", key, compute)
 
     def space(
         self,

@@ -11,8 +11,20 @@ Two fan-out shapes cover the engine's needs:
   :func:`evaluate_space_chunked` is the two-type entry point.  A
   property test pins the chunked result against the whole-space
   evaluation bit-for-bit.
+* :func:`iter_space_groups_chunked` is the streaming twin: it yields the
+  same blocks as :class:`~repro.core.streaming.SpaceBlock` records *as
+  workers complete them*, re-ordered deterministically, so reducers can consume
+  the space while later blocks are still being evaluated -- the engine's
+  ``space_mode="streaming"`` block source.
 * :func:`parallel_map` fans independent replications (validation sweep
   points, noise replicates) across a process pool.
+
+Block sizes default to the memory budget: the number of chunks is derived
+from ``memory_budget_mb`` and the per-row width
+(:func:`repro.core.streaming.max_rows_for_budget`), not from a fixed
+node-count split, so four-group spaces split finely while a 10x10 pair
+space stays in one piece.  An explicit ``n_chunks`` still pins the
+partition count exactly (property tests rely on that branch).
 
 Process pools pay a fork + pickle toll, so both helpers run serially for
 small inputs (below :data:`PARALLEL_THRESHOLD_ROWS` rows / fewer than two
@@ -23,10 +35,19 @@ semantic.
 
 from __future__ import annotations
 
-import dataclasses
 import os
 from concurrent.futures import ProcessPoolExecutor
-from typing import Any, Callable, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import (
+    Any,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
 
 import numpy as np
 
@@ -34,10 +55,20 @@ from repro.core import evaluate as _evaluate
 from repro.core.configuration import GroupSpec, node_settings, presence_masks
 from repro.core.evaluate import ConfigSpaceResult, _concat_results, _normalize_counts
 from repro.core.params import NodeModelParams
+from repro.core.streaming import (
+    DEFAULT_MEMORY_BUDGET_MB,
+    SpaceBlock,
+    evaluate_block_task,
+    max_rows_for_budget,
+    plan_block_tasks,
+)
 from repro.hardware.specs import NodeSpec
 
 #: Below this many estimated rows the fork+pickle toll outweighs the win.
 PARALLEL_THRESHOLD_ROWS = 100_000
+
+#: "No row budget": large enough that only ``min_chunks`` drives the plan.
+_UNBOUNDED_ROWS = 2**62
 
 
 def default_max_workers() -> int:
@@ -51,18 +82,38 @@ def _chunk(values: np.ndarray, n_chunks: int) -> List[np.ndarray]:
     return [c for c in np.array_split(values, n_chunks) if c.size]
 
 
-def _evaluate_block(
+# One node-count block (top-level so process pools can pickle it); the
+# canonical implementation lives with the block planner in core.streaming.
+_evaluate_block = evaluate_block_task
+
+
+def _plan_tasks(
     group_specs: Tuple[GroupSpec, ...],
-    params: Mapping[str, NodeModelParams],
-    units: float,
-    task_counts: Tuple[Tuple[int, ...], ...],
-) -> ConfigSpaceResult:
-    """One node-count block (top-level so process pools can pickle it)."""
-    adjusted = tuple(
-        dataclasses.replace(gs, counts=counts)
-        for gs, counts in zip(group_specs, task_counts)
+    workers: int,
+    n_chunks: Optional[int],
+    memory_budget_mb: Optional[float],
+    inflight_blocks: int = 1,
+):
+    """The deterministic block plan for a chunked/streamed evaluation.
+
+    Explicit ``n_chunks`` pins the partition count per presence-mask
+    block exactly (no row budget); otherwise the budget decides -- block
+    rows come from :func:`~repro.core.streaming.max_rows_for_budget`,
+    with at least ``workers`` partitions so the pool stays busy.
+    """
+    if n_chunks is not None:
+        return plan_block_tasks(
+            group_specs, _UNBOUNDED_ROWS, min_chunks=max(1, int(n_chunks))
+        )
+    budget = (
+        DEFAULT_MEMORY_BUDGET_MB if memory_budget_mb is None
+        else float(memory_budget_mb)
     )
-    return _evaluate.evaluate_space_groups(adjusted, params, units)
+    return plan_block_tasks(
+        group_specs,
+        max_rows_for_budget(budget, len(group_specs), inflight_blocks),
+        min_chunks=workers,
+    )
 
 
 def evaluate_space_groups_chunked(
@@ -71,6 +122,7 @@ def evaluate_space_groups_chunked(
     units: float,
     max_workers: Optional[int] = None,
     n_chunks: Optional[int] = None,
+    memory_budget_mb: Optional[float] = None,
 ) -> ConfigSpaceResult:
     """Evaluate a k-group space in node-count blocks, optionally parallel.
 
@@ -78,43 +130,109 @@ def evaluate_space_groups_chunked(
     :func:`repro.core.evaluate.evaluate_space_groups`; only the execution
     shape differs.  ``max_workers`` caps the process pool (``<= 1``
     forces in-process execution); ``n_chunks`` pins the number of chunks
-    per presence-mask block (defaults to the worker count).  Small
-    spaces take the direct path -- chunking is pure overhead below
-    :data:`PARALLEL_THRESHOLD_ROWS` rows.
+    per presence-mask block, and when omitted the chunk size is derived
+    from ``memory_budget_mb`` and the per-row width (at least one chunk
+    per worker).  Small spaces take the direct path -- chunking is pure
+    overhead below :data:`PARALLEL_THRESHOLD_ROWS` rows.
     """
     group_specs = tuple(group_specs)
     counts = [_normalize_counts(gs.counts, gs.max_nodes) for gs in group_specs]
     pos = [c[c > 0] for c in counts]
 
     workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
-    chunks = workers if n_chunks is None else max(1, int(n_chunks))
     masks = list(presence_masks(group_specs))
     rows = _estimate_rows(group_specs, pos, masks)
-    lead_width = max((pos[present[0]].size for present in masks), default=0)
     small = rows < PARALLEL_THRESHOLD_ROWS and n_chunks is None
-    if chunks == 1 or lead_width < 2 or small or not masks:
+    if small or not masks:
         # Degenerate count lists also land here; the reference path
         # raises its own error for them.
         return _evaluate.evaluate_space_groups(group_specs, params, units)
 
-    # Block decomposition mirroring evaluate_space_groups' row order:
-    # every presence-mask block partitioned over its first present
-    # group's counts, mask blocks in canonical (descending) order.
-    tasks: List[Tuple[Tuple[int, ...], ...]] = []
-    for present in masks:
-        lead = present[0]
-        for part in _chunk(pos[lead], chunks):
-            task_counts = tuple(
-                tuple(int(c) for c in part)
-                if g == lead
-                else (tuple(int(c) for c in pos[g]) if g in present else (0,))
-                for g in range(len(group_specs))
-            )
-            tasks.append(task_counts)
+    tasks = _plan_tasks(group_specs, workers, n_chunks, memory_budget_mb)
+    if len(tasks) < 2:
+        return _evaluate.evaluate_space_groups(group_specs, params, units)
 
-    arg_sets = [(group_specs, params, units, tc) for tc in tasks]
+    arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
     blocks = _run_tasks(_evaluate_block, arg_sets, workers)
     return _concat_results(blocks)
+
+
+def iter_space_groups_chunked(
+    group_specs: Sequence[GroupSpec],
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    max_workers: Optional[int] = None,
+    n_chunks: Optional[int] = None,
+    memory_budget_mb: Optional[float] = None,
+) -> Iterator[SpaceBlock]:
+    """Stream a k-group space as :class:`SpaceBlock`\\ s, pool-evaluated.
+
+    Blocks are yielded in the exact global row order of
+    :func:`repro.core.evaluate.evaluate_space_groups` -- a sliding window
+    of at most ``workers + 1`` blocks is in flight, and completed blocks
+    are re-ordered before yielding, so concatenating the stream
+    reproduces the materialized space bit-for-bit while peak memory
+    stays within ``memory_budget_mb``.  Falls back to serial in-process
+    evaluation, mid-stream if necessary, when no pool is available --
+    blocks already yielded are never recomputed, and determinism makes
+    the serial continuation identical.
+    """
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    group_specs = tuple(group_specs)
+    if not group_specs:
+        raise ValueError("need at least one node-type group")
+    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    window = workers + 1
+    tasks = _plan_tasks(
+        group_specs, workers, n_chunks, memory_budget_mb,
+        inflight_blocks=window if workers > 1 else 1,
+    )
+    if not tasks:
+        # Let the reference path raise its own error message.
+        _evaluate.evaluate_space_groups(group_specs, params, units)
+        raise AssertionError("unreachable: empty plan must raise above")
+    starts = [0]
+    for task in tasks[:-1]:
+        starts.append(starts[-1] + task.rows)
+
+    next_idx = 0
+    if workers > 1 and len(tasks) >= 2:
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            pool = ProcessPoolExecutor(max_workers=min(workers, len(tasks)))
+        except (OSError, PermissionError, RuntimeError):
+            pool = None
+        if pool is not None:
+            futures: dict = {}
+            submit_idx = 0
+            try:
+                while next_idx < len(tasks):
+                    try:
+                        while submit_idx < len(tasks) and len(futures) < window:
+                            futures[submit_idx] = pool.submit(
+                                _evaluate_block,
+                                group_specs,
+                                params,
+                                units,
+                                tasks[submit_idx].counts,
+                            )
+                            submit_idx += 1
+                        data = futures[next_idx].result()
+                    except (OSError, PermissionError, RuntimeError):
+                        # No fork / broken pool: finish serially below.
+                        break
+                    del futures[next_idx]
+                    yield SpaceBlock(
+                        index=next_idx, start_row=starts[next_idx], data=data
+                    )
+                    next_idx += 1
+            finally:
+                pool.shutdown(wait=False, cancel_futures=True)
+
+    for idx in range(next_idx, len(tasks)):
+        data = _evaluate_block(group_specs, params, units, tasks[idx].counts)
+        yield SpaceBlock(index=idx, start_row=starts[idx], data=data)
 
 
 def evaluate_space_chunked(

@@ -22,7 +22,8 @@ from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
 from repro.core.pareto import ParetoFrontier
-from repro.core.regions import RegionReport, analyze_regions
+from repro.core.regions import RegionReport, analyze_regions, analyze_regions_reduced
+from repro.core.streaming import ReducedSpace, SpaceSpill, count_space_rows
 from repro.engine.context import RunContext, default_context
 from repro.engine.scenario import Scenario
 from repro.queueing.dispatcher import WindowPoint, figure10_series
@@ -43,7 +44,12 @@ class ScenarioResult:
 
     scenario: Scenario
     params: Dict[str, NodeModelParams]
-    space: ConfigSpaceResult
+    #: The materialized column stacks; ``None`` in streaming mode unless
+    #: a spill directory retained the full space (then memmap-backed).
+    space: Optional[ConfigSpaceResult]
+    #: The streamed pipeline's compact artifact; ``None`` in
+    #: materialized mode.
+    reduced: Optional[ReducedSpace] = None
     frontier: Optional[ParetoFrontier] = None
     group_frontiers: Optional[Tuple[Optional[ParetoFrontier], ...]] = None
     only_a_frontier: Optional[ParetoFrontier] = None
@@ -59,12 +65,21 @@ class ScenarioResult:
             raise ValueError("scenario did not run the 'frontier' stage")
         return self.frontier.min_energy_for_deadline(deadline_s)
 
+    @property
+    def num_configurations(self) -> int:
+        """Rows in the evaluated space, whichever mode produced it."""
+        if self.space is not None:
+            return len(self.space)
+        assert self.reduced is not None
+        return self.reduced.total_rows
+
     def summary(self) -> Dict[str, object]:
         """Small plain-data digest for reporting sinks and CLIs."""
         out: Dict[str, object] = {
             "workload": self.scenario.workload,
             "node_types": [g.node for g in self.scenario.groups],
-            "configurations": len(self.space),
+            "configurations": self.num_configurations,
+            "space_mode": self.scenario.space_mode,
             "timings_s": dict(self.timings_s),
         }
         if self.frontier is not None:
@@ -79,8 +94,18 @@ class ScenarioResult:
         return out
 
 
-def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> ScenarioResult:
-    """Run ``scenario`` through ``ctx`` (the shared default when omitted)."""
+def run_scenario(
+    scenario: Scenario,
+    ctx: Optional[RunContext] = None,
+    spill_dir=None,
+) -> ScenarioResult:
+    """Run ``scenario`` through ``ctx`` (the shared default when omitted).
+
+    ``spill_dir`` only matters in streaming mode: when set, the streamed
+    blocks are additionally spilled to memory-mapped ``.npy`` columns
+    there, and ``result.space`` comes back memmap-backed -- full-space
+    reporting without a full-space allocation.
+    """
     ctx = ctx if ctx is not None else default_context()
     timings: Dict[str, float] = {}
     ctx.emit("scenario.start", scenario=scenario.cache_identity())
@@ -105,46 +130,101 @@ def run_scenario(scenario: Scenario, ctx: Optional[RunContext] = None) -> Scenar
     timings["calibrate"] = time.perf_counter() - start
 
     # ---- space ---------------------------------------------------------
-    start = time.perf_counter()
-    space = ctx.space_groups(
-        tuple(
-            GroupSpec(spec, g.max_nodes, counts=g.counts, settings=g.settings)
-            for spec, g in zip(specs, groups)
-        ),
-        params,
-        units,
+    group_specs = tuple(
+        GroupSpec(spec, g.max_nodes, counts=g.counts, settings=g.settings)
+        for spec, g in zip(specs, groups)
     )
-    timings["space"] = time.perf_counter() - start
-    result = ScenarioResult(scenario=scenario, params=params, space=space)
+    streaming = scenario.space_mode == "streaming"
+    queue_kw = (
+        {
+            "idle_powers_w": tuple(spec.idle_power_w for spec in specs),
+            "utilizations": scenario.utilizations,
+            "window_s": scenario.window_s,
+        }
+        if scenario.wants("queueing")
+        else None
+    )
+
+    start = time.perf_counter()
+    if streaming:
+        spill = None
+        if spill_dir is not None:
+            spill = SpaceSpill(
+                directory=spill_dir,
+                nodes=tuple(spec.name for spec in specs),
+                units_total=units,
+                total_rows=count_space_rows(group_specs),
+            )
+        reduced = ctx.space_reduced(
+            group_specs,
+            params,
+            units,
+            memory_budget_mb=scenario.memory_budget_mb,
+            queueing=queue_kw,
+            consumers=(spill,) if spill is not None else (),
+        )
+        space = spill.finish() if spill is not None else None
+        timings["space"] = time.perf_counter() - start
+        result = ScenarioResult(
+            scenario=scenario, params=params, space=space, reduced=reduced
+        )
+        ctx.emit(
+            "space.memory",
+            mode="streaming",
+            rows=reduced.total_rows,
+            peak_estimate_nbytes=reduced.peak_block_nbytes,
+            full_nbytes=reduced.full_nbytes,
+            budget_mb=scenario.memory_budget_mb,
+        )
+    else:
+        space = ctx.space_groups(group_specs, params, units)
+        timings["space"] = time.perf_counter() - start
+        result = ScenarioResult(scenario=scenario, params=params, space=space)
+        ctx.emit(
+            "space.memory",
+            mode="materialized",
+            rows=len(space),
+            peak_estimate_nbytes=space.nbytes,
+            full_nbytes=space.nbytes,
+            budget_mb=None,
+        )
 
     # ---- frontier ------------------------------------------------------
     if scenario.wants("frontier"):
         start = time.perf_counter()
-        result.frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
-        result.group_frontiers = tuple(
-            _subset_frontier(space, space.is_only(g))
-            for g in range(space.num_groups)
-        )
+        if streaming:
+            result.frontier = result.reduced.frontier
+            result.group_frontiers = result.reduced.group_frontiers
+        else:
+            result.frontier = ParetoFrontier.from_points(
+                space.times_s, space.energies_j
+            )
+            result.group_frontiers = tuple(
+                _subset_frontier(space, space.is_only(g))
+                for g in range(space.num_groups)
+            )
         result.only_a_frontier = result.group_frontiers[0]
-        if space.num_groups >= 2:
+        if len(group_specs) >= 2:
             result.only_b_frontier = result.group_frontiers[1]
         timings["frontier"] = time.perf_counter() - start
 
     # ---- regions -------------------------------------------------------
     if scenario.wants("regions") and result.frontier is not None:
         start = time.perf_counter()
-        result.regions = analyze_regions(space, result.frontier)
+        if streaming:
+            result.regions = analyze_regions_reduced(result.reduced)
+        else:
+            result.regions = analyze_regions(space, result.frontier)
         timings["regions"] = time.perf_counter() - start
 
     # ---- queueing ------------------------------------------------------
     if scenario.wants("queueing"):
         start = time.perf_counter()
-        result.queueing = figure10_series(
-            space,
-            idle_powers_w=tuple(spec.idle_power_w for spec in specs),
-            utilizations=scenario.utilizations,
-            window_s=scenario.window_s,
-        )
+        if streaming:
+            # Folded into the block pass; this stage just surfaces it.
+            result.queueing = result.reduced.queueing
+        else:
+            result.queueing = figure10_series(space, **queue_kw)
         timings["queueing"] = time.perf_counter() - start
 
     result.timings_s = timings

@@ -134,6 +134,18 @@ class Scenario:
         ``"reference"`` keeps the scalar per-run loop.  Both draw from
         the same seed tree and produce bit-identical results, so the
         choice is excluded from the cache identity.
+    space_mode:
+        How the configuration space flows through the pipeline:
+        ``"materialized"`` holds the full column stacks in RAM (the
+        historical behavior), ``"streaming"`` evaluates memory-bounded
+        blocks and folds them through incremental reducers
+        (:mod:`repro.core.streaming`), caching only the reduced
+        artifacts.  Results are bit-identical, so the mode -- like
+        ``simulation`` -- is excluded from the cache identity.
+    memory_budget_mb:
+        Peak-memory budget for streaming evaluation, megabytes;
+        ``None`` uses :data:`repro.core.streaming.DEFAULT_MEMORY_BUDGET_MB`.
+        An execution knob, excluded from the cache identity.
     name:
         Optional human label; excluded from the cache identity so naming
         a scenario never invalidates its results.
@@ -154,6 +166,8 @@ class Scenario:
     utilizations: Tuple[float, ...] = (0.05, 0.25, 0.50)
     window_s: float = 20.0
     simulation: str = "batched"
+    space_mode: str = "materialized"
+    memory_budget_mb: Optional[float] = None
     name: Optional[str] = None
     node_types: Optional[Tuple[NodeGroup, ...]] = None
 
@@ -197,6 +211,13 @@ class Scenario:
                 f"simulation must be 'batched' or 'reference', got "
                 f"{self.simulation!r}"
             )
+        if self.space_mode not in ("materialized", "streaming"):
+            raise ValueError(
+                f"space_mode must be 'materialized' or 'streaming', got "
+                f"{self.space_mode!r}"
+            )
+        if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
+            raise ValueError("memory budget must be positive")
         for tup_field in ("counts_a", "counts_b", "stages", "utilizations"):
             value = getattr(self, tup_field)
             if value is not None and not isinstance(value, tuple):
@@ -262,15 +283,19 @@ class Scenario:
     def cache_identity(self) -> Dict[str, Any]:
         """The fields that determine results.
 
-        Drops the cosmetic ``name`` and the ``simulation`` implementation
-        choice -- batched and reference runs are bit-identical, so they
-        share cache entries.  The node-type axes are canonicalized to the
-        group list, so a two-type scenario written with the pair fields
-        and the same one written with ``node_types`` share entries too.
+        Drops the cosmetic ``name`` and the implementation choices
+        (``simulation``, ``space_mode``, ``memory_budget_mb``) -- batched
+        and reference runs are bit-identical, and streaming produces the
+        same reduced artifacts as materializing, so they share cache
+        entries.  The node-type axes are canonicalized to the group
+        list, so a two-type scenario written with the pair fields and
+        the same one written with ``node_types`` share entries too.
         """
         raw = self.to_dict()
         raw.pop("name")
         raw.pop("simulation")
+        raw.pop("space_mode")
+        raw.pop("memory_budget_mb")
         for key in _PAIR_FIELDS:
             raw.pop(key)
         raw["node_types"] = [g.to_dict() for g in self.groups]

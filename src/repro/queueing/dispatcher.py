@@ -20,12 +20,13 @@ frontier crosses from mixed to ARM-only compositions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.pareto import pareto_indices
+from repro.core.streaming import FrontierReducer, SpaceBlock
 from repro.queueing.models import QueueModel
 from repro.queueing.simulation import deterministic_service, simulate_queue_lindley
 from repro.util.rng import RngStream, SeedLike
@@ -111,6 +112,59 @@ def window_energy(
     )
 
 
+def _resolve_idle_powers(
+    num_groups: int,
+    idle_power_a_w: Optional[float],
+    idle_power_b_w: Optional[float],
+    idle_powers_w: Optional[Sequence[float]],
+) -> List[float]:
+    """Normalize the two idle-power spellings to one list per group."""
+    if idle_powers_w is None:
+        if idle_power_a_w is None or idle_power_b_w is None:
+            raise ValueError(
+                "pass idle_power_a_w and idle_power_b_w, or idle_powers_w"
+            )
+        idle_powers_w = (idle_power_a_w, idle_power_b_w)
+    elif idle_power_a_w is not None or idle_power_b_w is not None:
+        raise ValueError("pass either the idle power pair or idle_powers_w")
+    idle_powers = [float(p) for p in idle_powers_w]
+    if any(p < 0 for p in idle_powers):
+        raise ValueError("idle powers must be non-negative")
+    if len(idle_powers) != num_groups:
+        raise ValueError(
+            f"{len(idle_powers)} idle powers for {num_groups} node groups"
+        )
+    return idle_powers
+
+
+def _window_arrays(
+    service: np.ndarray,
+    e_job: np.ndarray,
+    idle_w: np.ndarray,
+    u: float,
+    window_s: float,
+    service_scv: float,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Window-level ``(responses, energies, jobs)`` at one utilization.
+
+    Purely elementwise, which is what makes the block-streamed window
+    frontier bit-identical to the materialized one: splitting the rows
+    changes nothing about any row's value.
+    """
+    if not 0.0 <= u < 1.0:
+        raise ValueError(f"utilization must be in [0, 1), got {u}")
+    if u == 0.0:
+        responses = service.copy()
+        jobs = np.zeros_like(service)
+    else:
+        # Pollaczek-Khinchine mean wait at fixed utilization.
+        wait = u * service * (1.0 + service_scv) / (2.0 * (1.0 - u))
+        responses = service + wait
+        jobs = (u / service) * window_s
+    energies = jobs * e_job + (1.0 - u) * window_s * idle_w
+    return responses, energies, jobs
+
+
 def figure10_series(
     space: ConfigSpaceResult,
     idle_power_a_w: Optional[float] = None,
@@ -135,21 +189,9 @@ def figure10_series(
 
     Returns ``{utilization: [WindowPoint, ...]}`` sorted by response time.
     """
-    if idle_powers_w is None:
-        if idle_power_a_w is None or idle_power_b_w is None:
-            raise ValueError(
-                "pass idle_power_a_w and idle_power_b_w, or idle_powers_w"
-            )
-        idle_powers_w = (idle_power_a_w, idle_power_b_w)
-    elif idle_power_a_w is not None or idle_power_b_w is not None:
-        raise ValueError("pass either the idle power pair or idle_powers_w")
-    idle_powers = [float(p) for p in idle_powers_w]
-    if any(p < 0 for p in idle_powers):
-        raise ValueError("idle powers must be non-negative")
-    if len(idle_powers) != space.num_groups:
-        raise ValueError(
-            f"{len(idle_powers)} idle powers for {space.num_groups} node groups"
-        )
+    idle_powers = _resolve_idle_powers(
+        space.num_groups, idle_power_a_w, idle_power_b_w, idle_powers_w
+    )
 
     # Vectorized over the *entire* space: a configuration dominated per
     # job (same job energy, fewer nodes, slower) can still win at the
@@ -165,17 +207,9 @@ def figure10_series(
     result: Dict[float, List[WindowPoint]] = {}
     for u in utilizations:
         u = float(u)
-        if not 0.0 <= u < 1.0:
-            raise ValueError(f"utilization must be in [0, 1), got {u}")
-        if u == 0.0:
-            responses = service.copy()
-            jobs = np.zeros_like(service)
-        else:
-            # Pollaczek-Khinchine mean wait at fixed utilization.
-            wait = u * service * (1.0 + service_scv) / (2.0 * (1.0 - u))
-            responses = service + wait
-            jobs = (u / service) * window_s
-        energies = jobs * e_job + (1.0 - u) * window_s * idle_w
+        responses, energies, jobs = _window_arrays(
+            service, e_job, idle_w, u, window_s, service_scv
+        )
 
         if prune_to_frontier:
             keep = pareto_indices(responses, energies)
@@ -197,6 +231,123 @@ def figure10_series(
         points.sort(key=lambda p: p.response_s)
         result[u] = points
     return result
+
+
+class Figure10Reducer:
+    """Streaming twin of :func:`figure10_series`: window frontiers per block.
+
+    A consumer for :func:`repro.core.streaming.reduce_space_blocks` --
+    feed it :class:`~repro.core.streaming.SpaceBlock`\\ s and
+    :meth:`finish` returns the same ``{utilization: [WindowPoint, ...]}``
+    mapping as the materialized path, bit-identical: the window
+    arithmetic is elementwise (block-splitting cannot change any row) and
+    the per-utilization pruning runs through the exact online frontier
+    merge of :class:`~repro.core.streaming.FrontierReducer`.  Only the
+    pruned form streams -- an unpruned series *is* the whole space at
+    window level, which is precisely what a memory budget forbids.
+    """
+
+    def __init__(
+        self,
+        idle_power_a_w: Optional[float] = None,
+        idle_power_b_w: Optional[float] = None,
+        utilizations: Sequence[float] = (0.05, 0.25, 0.50),
+        window_s: float = 20.0,
+        service_scv: float = 0.0,
+        idle_powers_w: Optional[Sequence[float]] = None,
+    ):
+        self._idle_pair = (idle_power_a_w, idle_power_b_w)
+        self._idle_powers_w = idle_powers_w
+        self.utilizations = tuple(float(u) for u in utilizations)
+        self.window_s = float(window_s)
+        self.service_scv = float(service_scv)
+        self._idle_powers: Optional[List[float]] = None
+        self._num_groups = 0
+        self._reducers: Dict[float, FrontierReducer] = {}
+
+    def update(self, block: SpaceBlock) -> None:
+        data = block.data
+        if self._idle_powers is None:
+            self._num_groups = data.num_groups
+            self._idle_powers = _resolve_idle_powers(
+                data.num_groups, *self._idle_pair, self._idle_powers_w
+            )
+            extras = ["service", "jobs"] + [
+                f"n{g}" for g in range(data.num_groups)
+            ]
+            self._reducers = {
+                u: FrontierReducer(extra_names=extras)
+                for u in self.utilizations
+            }
+        service = np.asarray(data.times_s, dtype=float)
+        e_job = np.asarray(data.energies_j, dtype=float)
+        idle_w = data.n[0] * self._idle_powers[0]
+        for g in range(1, data.num_groups):
+            idle_w = idle_w + data.n[g] * self._idle_powers[g]
+        for u, reducer in self._reducers.items():
+            responses, energies, jobs = _window_arrays(
+                service, e_job, idle_w, u, self.window_s, self.service_scv
+            )
+            extra = {"service": service, "jobs": jobs}
+            for g in range(data.num_groups):
+                extra[f"n{g}"] = data.n[g]
+            reducer.update(
+                responses, energies, start_row=block.start_row, extra=extra
+            )
+
+    def finish(self) -> Dict[float, List[WindowPoint]]:
+        if self._idle_powers is None:
+            raise ValueError("no blocks were streamed through the reducer")
+        result: Dict[float, List[WindowPoint]] = {}
+        for u, reducer in self._reducers.items():
+            frontier = reducer.finish()
+            points: List[WindowPoint] = []
+            if frontier is not None:
+                service = reducer.extra("service")
+                jobs = reducer.extra("jobs")
+                n_cols = [
+                    reducer.extra(f"n{g}") for g in range(self._num_groups)
+                ]
+                for k in range(len(frontier)):
+                    n_nodes = tuple(int(col[k]) for col in n_cols)
+                    points.append(
+                        WindowPoint(
+                            response_s=float(frontier.times_s[k]),
+                            window_energy_j=float(frontier.energies_j[k]),
+                            utilization=u,
+                            service_s=float(service[k]),
+                            jobs_in_window=float(jobs[k]),
+                            n_a=n_nodes[0],
+                            n_b=n_nodes[1] if self._num_groups >= 2 else 0,
+                            n_nodes=n_nodes,
+                        )
+                    )
+            points.sort(key=lambda p: p.response_s)
+            result[u] = points
+        return result
+
+
+def figure10_series_stream(
+    blocks: Iterable[SpaceBlock],
+    idle_power_a_w: Optional[float] = None,
+    idle_power_b_w: Optional[float] = None,
+    utilizations: Sequence[float] = (0.05, 0.25, 0.50),
+    window_s: float = 20.0,
+    service_scv: float = 0.0,
+    idle_powers_w: Optional[Sequence[float]] = None,
+) -> Dict[float, List[WindowPoint]]:
+    """One-shot sugar: stream ``blocks`` through a :class:`Figure10Reducer`."""
+    reducer = Figure10Reducer(
+        idle_power_a_w=idle_power_a_w,
+        idle_power_b_w=idle_power_b_w,
+        utilizations=utilizations,
+        window_s=window_s,
+        service_scv=service_scv,
+        idle_powers_w=idle_powers_w,
+    )
+    for block in blocks:
+        reducer.update(block)
+    return reducer.finish()
 
 
 def verify_points_against_simulation(

@@ -25,11 +25,13 @@ from repro.core.calibration import (
     ground_truth_params,
     measure_scale_constancy,
 )
+from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.pareto import ParetoFrontier
+from repro.core.streaming import ReducedSpace
 from repro.engine.context import RunContext, default_context
 from repro.core.power_budget import Mix, budget_mixes, scaled_mixes
-from repro.core.regions import RegionReport, analyze_regions
+from repro.core.regions import RegionReport, analyze_regions, analyze_regions_reduced
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH, table1_rows
 from repro.queueing.dispatcher import WindowPoint, figure10_series
 from repro.reporting.tables import Table
@@ -337,17 +339,28 @@ def build_fig3(
 
 @dataclass
 class ParetoFigure:
-    """Fig. 4/5 bundle: all configurations plus the three highlighted curves."""
+    """Fig. 4/5 bundle: all configurations plus the three highlighted curves.
+
+    ``space`` is ``None`` when the figure was built in streaming mode --
+    the full point cloud was never materialized, only reduced artifacts
+    survive (``reduced`` carries the frontier/composition summary).
+    Renderers should skip the cloud in that case (``cloud_series``
+    returns ``None``); the three curves and regions are bit-identical to
+    the materialized build.
+    """
 
     workload: str
-    space: ConfigSpaceResult
+    space: Optional[ConfigSpaceResult]
     frontier: ParetoFrontier
     arm_only_frontier: ParetoFrontier
     amd_only_frontier: ParetoFrontier
     regions: RegionReport
+    reduced: Optional[ReducedSpace] = None
 
-    def cloud_series(self) -> FigureSeries:
-        """Every configuration (the grey dots)."""
+    def cloud_series(self) -> Optional[FigureSeries]:
+        """Every configuration (the grey dots), or ``None`` if streamed."""
+        if self.space is None:
+            return None
         return FigureSeries(
             label="all configurations",
             x=seconds_to_ms(self.space.times_s),
@@ -374,17 +387,49 @@ def build_fig4_fig5(
     calibrated: bool = False,
     seed: SeedLike = 0,
     ctx: Optional[RunContext] = None,
+    space_mode: str = "materialized",
+    memory_budget_mb: Optional[float] = None,
 ) -> ParetoFigure:
     """Figs. 4 (EP) and 5 (memcached): the 10x10 Pareto analysis.
 
     Calibration and space evaluation run through the engine context, so
     rebuilding the same figure (or running the equivalent
     :class:`~repro.engine.Scenario`) in one process is a cache hit.
+
+    ``space_mode="streaming"`` folds the space through block reducers
+    under ``memory_budget_mb`` instead of materializing it: the returned
+    figure has ``space=None`` (no point cloud) but bit-identical
+    frontiers and regions.
     """
     ctx = ctx if ctx is not None else default_context()
+    if space_mode not in ("materialized", "streaming"):
+        raise ValueError(
+            f"space_mode must be 'materialized' or 'streaming', got "
+            f"{space_mode!r}"
+        )
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
     params = suite_params(workload, calibrated=calibrated, seed=seed, ctx=ctx)
+    if space_mode == "streaming":
+        group_specs = (
+            GroupSpec(ARM_CORTEX_A9, max_arm),
+            GroupSpec(AMD_K10, max_amd),
+        )
+        reduced = ctx.space_reduced(
+            group_specs, params, units, memory_budget_mb=memory_budget_mb
+        )
+        arm_frontier, amd_frontier = reduced.group_frontiers
+        if arm_frontier is None or amd_frontier is None:
+            raise ValueError("figure needs both homogeneous frontiers")
+        return ParetoFigure(
+            workload=workload.name,
+            space=None,
+            frontier=reduced.frontier,
+            arm_only_frontier=arm_frontier,
+            amd_only_frontier=amd_frontier,
+            regions=analyze_regions_reduced(reduced),
+            reduced=reduced,
+        )
     space = ctx.space(ARM_CORTEX_A9, max_arm, AMD_K10, max_amd, params, units)
     frontier = ParetoFrontier.from_points(space.times_s, space.energies_j)
     arm_only = space.subset(space.is_only_a)
@@ -527,16 +572,46 @@ def build_fig10(
     calibrated: bool = False,
     seed: SeedLike = 0,
     ctx: Optional[RunContext] = None,
+    space_mode: str = "materialized",
+    memory_budget_mb: Optional[float] = None,
 ) -> Dict[float, List[WindowPoint]]:
     """Fig. 10: queueing-aware window energy on the 16 ARM + 14 AMD cluster.
 
     Configurations may use any subset of the nodes (unused nodes are off),
     so the space spans all counts up to the cluster size.
+    ``space_mode="streaming"`` folds the blocks through per-utilization
+    frontier reducers instead of materializing the space; the series are
+    bit-identical.
     """
     ctx = ctx if ctx is not None else default_context()
+    if space_mode not in ("materialized", "streaming"):
+        raise ValueError(
+            f"space_mode must be 'materialized' or 'streaming', got "
+            f"{space_mode!r}"
+        )
     if units is None:
         units = workload.problem_sizes.get("analysis", workload.default_job_units)
     params = suite_params(workload, calibrated=calibrated, seed=seed, ctx=ctx)
+    if space_mode == "streaming":
+        group_specs = (
+            GroupSpec(ARM_CORTEX_A9, n_arm),
+            GroupSpec(AMD_K10, n_amd),
+        )
+        reduced = ctx.space_reduced(
+            group_specs,
+            params,
+            units,
+            memory_budget_mb=memory_budget_mb,
+            queueing={
+                "idle_powers_w": (
+                    ARM_CORTEX_A9.idle_power_w,
+                    AMD_K10.idle_power_w,
+                ),
+                "utilizations": tuple(utilizations),
+                "window_s": window_s,
+            },
+        )
+        return reduced.queueing
     space = ctx.space(ARM_CORTEX_A9, n_arm, AMD_K10, n_amd, params, units)
     return figure10_series(
         space,

@@ -134,3 +134,45 @@ class TestScenarioArtifact:
         path.write_text(Scenario(workload="ep", max_a=2, max_b=2).to_json())
         assert main(["scenario", "--file", str(path), "--verbose"]) == 0
         assert "[engine]" in capsys.readouterr().err
+
+
+class TestStreamingFlags:
+    def test_fig4_streaming_matches_materialized_summary(self, capsys):
+        assert main(["fig4"]) == 0
+        materialized = capsys.readouterr().out
+        assert main(["fig4", "--space-mode", "streaming",
+                     "--memory-budget-mb", "2"]) == 0
+        streaming = capsys.readouterr().out
+        assert streaming == materialized  # same counts, frontier, regions
+
+    def test_fig4_streaming_csv_exports_frontier(self, tmp_path, capsys):
+        csv = tmp_path / "fig4.csv"
+        assert main(["fig4", "--space-mode", "streaming",
+                     "--csv", str(csv)]) == 0
+        lines = csv.read_text().splitlines()
+        assert lines[0] == "time_ms,energy_j,n_arm,n_amd"
+        assert 1 < len(lines) < 100  # frontier rows, not the 36k cloud
+
+    def test_scenario_streaming_with_spill(self, tmp_path, capsys):
+        from repro.engine import Scenario
+
+        path = tmp_path / "exp.json"
+        path.write_text(
+            Scenario(workload="ep", max_a=2, max_b=2,
+                     stages=("frontier",)).to_json()
+        )
+        spill = tmp_path / "spill"
+        assert main(
+            ["scenario", "--file", str(path), "--space-mode", "streaming",
+             "--memory-budget-mb", "1", "--spill-dir", str(spill)]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "streaming" in out
+        assert (spill / "meta.json").exists()
+        assert (spill / "times_s.npy").exists()
+
+    def test_fig10_streaming(self, capsys):
+        assert main(["fig10"]) == 0
+        materialized = capsys.readouterr().out
+        assert main(["fig10", "--space-mode", "streaming"]) == 0
+        assert capsys.readouterr().out == materialized
