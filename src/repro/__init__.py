@@ -55,6 +55,9 @@ from repro.core.streaming import ReducedSpace, streaming_frontier
 from repro.core.timemodel import predict_node_time
 from repro.core.energymodel import predict_node_energy
 from repro.engine import (
+    FaultPlan,
+    FaultSpec,
+    ResiliencePolicy,
     ResultCache,
     RunContext,
     Scenario,
@@ -79,6 +82,9 @@ __all__ = [
     "NodeModelParams",
     "ReducedSpace",
     "streaming_frontier",
+    "FaultPlan",
+    "FaultSpec",
+    "ResiliencePolicy",
     "ResultCache",
     "RunContext",
     "Scenario",

@@ -169,11 +169,49 @@ def main(argv: Optional[List[str]] = None) -> int:
         "the two are bit-identical, so this is a performance knob",
     )
     parser.add_argument(
+        "--checkpoint-dir",
+        type=Path,
+        default=None,
+        help="with --space-mode streaming, periodically checkpoint "
+        "reducer state here so an interrupted run can be resumed "
+        "(scenario only; incompatible with --spill-dir)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="resume from the checkpoint in --checkpoint-dir, "
+        "re-evaluating only the unfinished blocks; the resumed artifacts "
+        "are bit-identical to an uninterrupted run",
+    )
+    parser.add_argument(
+        "--checkpoint-every",
+        type=int,
+        default=8,
+        help="blocks between checkpoint saves (default: 8)",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        help="JSON fault-injection plan (see repro.engine.faults) applied "
+        "deterministically to the run: crash/delay workers, corrupt "
+        "cache entries, fail reducer folds -- for resilience testing",
+    )
+    parser.add_argument(
+        "--task-timeout-s",
+        type=float,
+        default=None,
+        help="per-task timeout for pooled evaluation; a task exceeding "
+        "it is retried on a fresh pool (default: no timeout)",
+    )
+    parser.add_argument(
         "--verbose",
         action="store_true",
         help="print engine progress events (stages, cache hits, timings)",
     )
     args = parser.parse_args(argv)
+    if args.resume and args.checkpoint_dir is None:
+        parser.error("--resume requires --checkpoint-dir")
     batched = args.simulation != "reference"
     space_mode = args.space_mode or "materialized"
 
@@ -184,12 +222,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     def _sink(event: str, payload: dict) -> None:
         print(f"[engine] {event}: {payload}", file=sys.stderr)
 
+    faults = None
+    if args.fault_plan is not None:
+        from repro.engine.faults import FaultPlan
+
+        faults = FaultPlan.from_file(args.fault_plan)
+    resilience = None
+    if args.task_timeout_s is not None:
+        from repro.engine.resilience import ResiliencePolicy
+
+        resilience = ResiliencePolicy(task_timeout_s=args.task_timeout_s)
+
     ctx = RunContext(
         seed=args.seed,
         cache=ResultCache(disk_dir=args.cache_dir) if args.cache_dir else None,
         sinks=(_sink,) if args.verbose else (),
         max_workers=args.workers,
         memory_budget_mb=args.memory_budget_mb,
+        resilience=resilience,
+        faults=faults,
     )
 
     if args.artifact == "table1":
@@ -375,7 +426,14 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario = scenario.with_(space_mode=args.space_mode)
         if args.memory_budget_mb is not None:
             scenario = scenario.with_(memory_budget_mb=args.memory_budget_mb)
-        result = run_scenario(scenario, ctx, spill_dir=args.spill_dir)
+        result = run_scenario(
+            scenario,
+            ctx,
+            spill_dir=args.spill_dir,
+            checkpoint_dir=args.checkpoint_dir,
+            resume=args.resume,
+            checkpoint_every=args.checkpoint_every,
+        )
         mix = " + ".join(f"{g.node} x{g.max_nodes}" for g in scenario.groups)
         table = Table(
             ["quantity", "value"],

@@ -355,6 +355,34 @@ class FrontierReducer:
             times_s=self._t, energies_j=self._e, indices=self._idx
         )
 
+    # ---- checkpoint support --------------------------------------------
+
+    def state_dict(self) -> Dict[str, Any]:
+        """A picklable snapshot; folding from it is bit-identical to never
+        having paused (the state *is* the whole running frontier)."""
+        return {
+            "t": self._t.copy(),
+            "e": self._e.copy(),
+            "idx": self._idx.copy(),
+            "extra": {name: col.copy() for name, col in self._extra.items()},
+            "rows_seen": self._rows_seen,
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot (extras must match)."""
+        if set(state["extra"]) != set(self._extra):
+            raise ValueError(
+                f"checkpoint extras {sorted(state['extra'])} do not match "
+                f"this reducer's {sorted(self._extra)}"
+            )
+        self._t = np.asarray(state["t"], dtype=float).copy()
+        self._e = np.asarray(state["e"], dtype=float).copy()
+        self._idx = np.asarray(state["idx"], dtype=np.int64).copy()
+        self._extra = {
+            name: np.asarray(col).copy() for name, col in state["extra"].items()
+        }
+        self._rows_seen = int(state["rows_seen"])
+
 
 class TopKReducer:
     """Keep the ``k`` lexicographically smallest (key, payload) pairs.
@@ -384,6 +412,19 @@ class TopKReducer:
     def finish(self) -> List[Tuple[Any, Any]]:
         """The k best (key, payload) pairs, best first."""
         return list(self._items)
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpoint snapshot (see :func:`reduce_space_blocks`)."""
+        return {"k": self.k, "items": list(self._items)}
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this reducer."""
+        if int(state["k"]) != self.k:
+            raise ValueError(
+                f"checkpoint holds a top-{state['k']} state, this reducer "
+                f"keeps top-{self.k}"
+            )
+        self._items = list(state["items"])
 
 
 def _solo_groups(n: np.ndarray) -> np.ndarray:
@@ -450,11 +491,43 @@ def composition_labels(solo: np.ndarray) -> Tuple[str, ...]:
     )
 
 
+def _reducer_pass_state(
+    blocks_done: int,
+    nodes: Tuple[str, ...],
+    units_total: float,
+    counters: Tuple[int, int, int, int],
+    group_offsets: Sequence[int],
+    main: "FrontierReducer",
+    per_group: Sequence["FrontierReducer"],
+    consumers: Sequence[Any],
+) -> Dict[str, Any]:
+    """The full reducer-pass snapshot one checkpoint stores."""
+    total_rows, num_blocks, full_nbytes, peak_block = counters
+    return {
+        "blocks_done": int(blocks_done),
+        "completed_blocks": tuple(range(int(blocks_done))),
+        "nodes": tuple(nodes),
+        "units_total": float(units_total),
+        "total_rows": int(total_rows),
+        "num_blocks": int(num_blocks),
+        "full_nbytes": int(full_nbytes),
+        "peak_block_nbytes": int(peak_block),
+        "group_offsets": list(group_offsets),
+        "main": main.state_dict(),
+        "groups": [r.state_dict() for r in per_group],
+        "consumers": [c.state_dict() for c in consumers],
+    }
+
+
 def reduce_space_blocks(
     blocks: Iterable[SpaceBlock],
     group_frontiers: bool = True,
     composition: bool = True,
     consumers: Sequence[Any] = (),
+    fold_hook: Optional[Any] = None,
+    checkpoint_save: Optional[Any] = None,
+    checkpoint_every: int = 8,
+    initial: Optional[Mapping[str, Any]] = None,
 ) -> ReducedSpace:
     """One streaming pass: fold every block into the standard reducers.
 
@@ -465,7 +538,28 @@ def reduce_space_blocks(
     queueing layer's :class:`~repro.queueing.dispatcher.Figure10Reducer`
     or a :class:`SpaceSpill` -- all in a single iteration, so evaluation
     work is never repeated per stage.
+
+    Checkpoint/resume: when ``checkpoint_save`` is given, a snapshot of
+    every reducer plus the count of folded blocks is handed to it every
+    ``checkpoint_every`` blocks (and once more at the end); ``initial``
+    restores such a snapshot, in which case ``blocks`` must yield exactly
+    the plan's remaining blocks (indices ``blocks_done``, ``+1``, ...).
+    Because blocks arrive in plan order and every reducer is
+    deterministic, a resumed pass is bit-identical to an uninterrupted
+    one.  ``fold_hook(block_index)`` runs in-process before each fold --
+    the fault-injection point for simulated mid-stream aborts.
     """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint interval must be at least one block")
+    if checkpoint_save is not None:
+        opaque = [
+            type(c).__name__ for c in consumers if not hasattr(c, "state_dict")
+        ]
+        if opaque:
+            raise ValueError(
+                f"cannot checkpoint consumers without state_dict/load_state: "
+                f"{opaque}"
+            )
     main_extras = ["solo"] if composition else []
     main: Optional[FrontierReducer] = None
     per_group: List[FrontierReducer] = []
@@ -476,21 +570,58 @@ def reduce_space_blocks(
     num_blocks = 0
     full_nbytes = 0
     peak_block = 0
+    blocks_done = 0
+    since_save = 0
+
+    def _build_reducers(num_groups: int) -> None:
+        nonlocal main, per_group, group_offsets
+        extras = list(main_extras) + [f"n{g}" for g in range(num_groups)]
+        main = FrontierReducer(extra_names=extras)
+        if group_frontiers:
+            per_group = [FrontierReducer() for _ in range(num_groups)]
+            group_offsets = [0] * num_groups
+
+    if initial is not None:
+        nodes = tuple(initial["nodes"])
+        units_total = float(initial["units_total"])
+        total_rows = int(initial["total_rows"])
+        num_blocks = int(initial["num_blocks"])
+        full_nbytes = int(initial["full_nbytes"])
+        peak_block = int(initial["peak_block_nbytes"])
+        blocks_done = int(initial["blocks_done"])
+        _build_reducers(len(nodes))
+        main.load_state(initial["main"])
+        saved_groups = initial["groups"]
+        if group_frontiers:
+            if len(saved_groups) != len(per_group):
+                raise ValueError(
+                    "checkpoint group-frontier count does not match this pass"
+                )
+            for reducer, state in zip(per_group, saved_groups):
+                reducer.load_state(state)
+            group_offsets = list(initial["group_offsets"])
+        saved_consumers = initial["consumers"]
+        if len(saved_consumers) != len(consumers):
+            raise ValueError(
+                f"checkpoint carries {len(saved_consumers)} consumer states "
+                f"for {len(consumers)} consumers"
+            )
+        for consumer, state in zip(consumers, saved_consumers):
+            consumer.load_state(state)
 
     for block in blocks:
+        if block.index != blocks_done:
+            raise ValueError(
+                f"blocks must arrive in plan order: expected index "
+                f"{blocks_done}, got {block.index}"
+            )
+        if fold_hook is not None:
+            fold_hook(block.index)
         data = block.data
         if main is None:
             nodes = data.nodes
             units_total = data.units_total
-            extras = list(main_extras) + [
-                f"n{g}" for g in range(data.num_groups)
-            ]
-            main = FrontierReducer(extra_names=extras)
-            if group_frontiers:
-                per_group = [
-                    FrontierReducer() for _ in range(data.num_groups)
-                ]
-                group_offsets = [0] * data.num_groups
+            _build_reducers(data.num_groups)
         extra: Dict[str, np.ndarray] = {
             f"n{g}": data.n[g] for g in range(data.num_groups)
         }
@@ -517,9 +648,29 @@ def reduce_space_blocks(
         num_blocks += 1
         full_nbytes += data.nbytes
         peak_block = max(peak_block, data.nbytes)
+        blocks_done += 1
+        since_save += 1
+        if checkpoint_save is not None and since_save >= checkpoint_every:
+            checkpoint_save(
+                _reducer_pass_state(
+                    blocks_done, nodes, units_total,
+                    (total_rows, num_blocks, full_nbytes, peak_block),
+                    group_offsets, main, per_group, consumers,
+                )
+            )
+            since_save = 0
 
     if main is None:
         raise ValueError("no blocks to reduce: the space is empty")
+
+    if checkpoint_save is not None and since_save > 0:
+        checkpoint_save(
+            _reducer_pass_state(
+                blocks_done, nodes, units_total,
+                (total_rows, num_blocks, full_nbytes, peak_block),
+                group_offsets, main, per_group, consumers,
+            )
+        )
 
     frontier = main.finish()
     reduced = ReducedSpace(

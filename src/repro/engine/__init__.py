@@ -15,7 +15,13 @@ on top.  This package is the one place that pipeline is wired:
 * :func:`evaluate_space_chunked` / :func:`parallel_map` -- the executor
   primitives, usable directly;
 * :class:`ResultCache` -- the memoization layer, with an optional
-  on-disk tier (conventionally ``results/.cache/``).
+  on-disk tier (conventionally ``results/.cache/``), checksummed and
+  self-quarantining;
+* :mod:`repro.engine.resilience` / :mod:`repro.engine.faults` /
+  :mod:`repro.engine.checkpoint` -- the fault-tolerance layer: retries
+  with deterministic backoff, dead-worker pool replacement, graceful
+  degradation to serial execution, checkpoint/resume for streaming
+  runs, and a seedable fault-injection harness for testing all of it.
 
 The CLI, the reporting builders, the examples, and the benchmarks all run
 through :func:`default_context`, so one process performs each distinct
@@ -24,23 +30,47 @@ builds.
 """
 
 from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.checkpoint import CheckpointManager
 from repro.engine.context import RunContext, default_context, set_default_context
 from repro.engine.executor import (
     evaluate_space_chunked,
     iter_space_groups_chunked,
     parallel_map,
 )
+from repro.engine.faults import (
+    CacheCorrupt,
+    CheckpointCorrupt,
+    FaultInjector,
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    ResilienceError,
+    TaskTimeout,
+    WorkerCrash,
+)
 from repro.engine.hashing import stable_hash
+from repro.engine.resilience import ResiliencePolicy
 from repro.engine.runner import ScenarioResult, run_scenario
 from repro.engine.scenario import STAGES, Scenario
 
 __all__ = [
+    "CacheCorrupt",
     "CacheStats",
+    "CheckpointCorrupt",
+    "CheckpointManager",
+    "FaultInjector",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ResilienceError",
+    "ResiliencePolicy",
     "ResultCache",
     "RunContext",
     "STAGES",
     "Scenario",
     "ScenarioResult",
+    "TaskTimeout",
+    "WorkerCrash",
     "default_context",
     "evaluate_space_chunked",
     "iter_space_groups_chunked",

@@ -6,7 +6,17 @@ calibration and configuration-space evaluation -- keyed by a
 the result (node spec, workload spec, noise model, seed, space bounds,
 model parameters).  Identical requests in one process are answered from a
 dict; an optional on-disk layer under ``results/.cache/`` carries results
-across processes (pickle, written atomically).
+across processes.
+
+Disk entries are written atomically (temp file + ``os.replace``, so a
+killed process can never leave a truncated entry under the real name)
+and carry a content checksum: the format is a magic header, the SHA-256
+of the pickled payload, then the payload.  Every read verifies the
+checksum; an entry that fails (truncated, bit-flipped, wrong magic, or
+a pre-checksum legacy entry) is *quarantined* -- moved aside into a
+``quarantine/`` subdirectory, counted in :attr:`CacheStats.quarantined`,
+reported through the optional event callback -- and treated as a miss,
+never raised mid-run.
 
 The cache returns the *same object* on a memory hit -- cached values are
 treated as immutable, which every engine-cached type satisfies
@@ -16,6 +26,7 @@ mutated by library code).
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import tempfile
@@ -23,7 +34,15 @@ from dataclasses import dataclass, field
 from pathlib import Path
 from typing import Any, Callable, Dict, Optional
 
+from repro.engine.faults import CacheCorrupt, FaultInjector
 from repro.engine.hashing import stable_hash
+
+#: On-disk entry header; bump the digit when the entry format changes so
+#: older layouts are quarantined instead of misread.
+CACHE_MAGIC = b"RPCACHE1\n"
+
+#: Directory name (under ``disk_dir``) where corrupt entries are moved.
+QUARANTINE_DIR = "quarantine"
 
 
 @dataclass
@@ -33,6 +52,7 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     disk_hits: int = 0
+    quarantined: int = 0
 
     @property
     def requests(self) -> int:
@@ -43,6 +63,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "disk_hits": self.disk_hits,
+            "quarantined": self.quarantined,
         }
 
 
@@ -56,11 +77,21 @@ class ResultCache:
         When set, results are also pickled under this directory
         (conventionally ``results/.cache/``) and later processes can warm
         from it.  Disk failures (unreadable entry, full disk) degrade to
-        recomputation, never to an exception.
+        recomputation, never to an exception; entries failing checksum
+        verification are quarantined and recomputed.
+    on_event:
+        Optional callback ``on_event(event, **payload)`` (the engine
+        wires :meth:`RunContext.emit` here) notified of quarantines.
+    fault_injector:
+        Deterministic chaos hook (:class:`~repro.engine.faults.FaultInjector`);
+        when set, its ``corrupt_cache`` faults damage entries just before
+        they are read, exercising the verify/quarantine path.
     """
 
     disk_dir: Optional[Path] = None
     stats: CacheStats = field(default_factory=CacheStats)
+    on_event: Optional[Callable[..., None]] = None
+    fault_injector: Optional[FaultInjector] = None
     _memory: Dict[str, Any] = field(default_factory=dict, repr=False)
 
     def __post_init__(self) -> None:
@@ -107,18 +138,56 @@ class ResultCache:
 
     # ---- disk layer ----------------------------------------------------
 
+    def _emit(self, event: str, **payload: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(event, **payload)
+
     def _disk_path(self, key: str) -> Path:
         assert self.disk_dir is not None
         return self.disk_dir / f"{key}.pkl"
+
+    def _verify_entry(self, raw: bytes) -> Any:
+        """Decode one on-disk entry, raising :class:`CacheCorrupt` on damage."""
+        header = len(CACHE_MAGIC) + 32
+        if len(raw) < header or not raw.startswith(CACHE_MAGIC):
+            raise CacheCorrupt("bad magic or truncated header")
+        digest = raw[len(CACHE_MAGIC):header]
+        payload = raw[header:]
+        if hashlib.sha256(payload).digest() != digest:
+            raise CacheCorrupt("payload checksum mismatch")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # checksum passed but unpicklable: stale class?
+            raise CacheCorrupt(f"payload failed to unpickle: {exc}") from exc
+
+    def _quarantine(self, key: str, path: Path, reason: str) -> None:
+        """Move a corrupt entry aside so it can never poison another run."""
+        qdir = self.disk_dir / QUARANTINE_DIR
+        try:
+            qdir.mkdir(parents=True, exist_ok=True)
+            os.replace(path, qdir / path.name)
+        except OSError:
+            try:  # quarantine dir unavailable: deleting still un-poisons
+                os.unlink(path)
+            except OSError:
+                pass
+        self.stats.quarantined += 1
+        self._emit("cache.quarantined", key=key, reason=reason)
 
     def _disk_read(self, key: str) -> Optional[Any]:
         if self.disk_dir is None:
             return None
         path = self._disk_path(key)
+        if self.fault_injector is not None:
+            self.fault_injector.on_cache_read(key, path)
         try:
-            with path.open("rb") as fh:
-                return pickle.load(fh)
-        except (OSError, pickle.UnpicklingError, EOFError, AttributeError):
+            raw = path.read_bytes()
+        except OSError:
+            return None
+        try:
+            return self._verify_entry(raw)
+        except CacheCorrupt as exc:
+            self._quarantine(key, path, str(exc))
             return None
 
     def _disk_write(self, key: str, value: Any) -> None:
@@ -126,13 +195,19 @@ class ResultCache:
             return
         path = self._disk_path(key)
         try:
+            payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        except (pickle.PicklingError, AttributeError, TypeError):
+            return  # a cold disk cache is always acceptable
+        try:
             fd, tmp = tempfile.mkstemp(dir=self.disk_dir, suffix=".tmp")
             try:
                 with os.fdopen(fd, "wb") as fh:
-                    pickle.dump(value, fh, protocol=pickle.HIGHEST_PROTOCOL)
+                    fh.write(CACHE_MAGIC)
+                    fh.write(hashlib.sha256(payload).digest())
+                    fh.write(payload)
                 os.replace(tmp, path)
             except BaseException:
                 os.unlink(tmp)
                 raise
-        except (OSError, pickle.PicklingError, AttributeError, TypeError):
-            pass  # a cold disk cache is always acceptable
+        except OSError:
+            pass  # full disk / permissions: recomputation beats raising

@@ -38,6 +38,10 @@ from repro.core.params import NodeModelParams
 from repro.core.streaming import ReducedSpace, SpaceBlock, reduce_space_blocks
 from repro.engine import executor as _executor
 from repro.engine.cache import ResultCache
+from repro.engine.checkpoint import CheckpointManager
+from repro.engine.faults import FaultInjector, normalize_injector
+from repro.engine.hashing import stable_hash
+from repro.engine.resilience import ResiliencePolicy
 from repro.hardware import catalog as _catalog
 from repro.hardware.specs import NodeSpec
 from repro.simulator.noise import CALIBRATED_NOISE, NoiseModel
@@ -80,6 +84,16 @@ class RunContext:
         Default peak-memory budget for streaming/chunked space
         evaluation; ``None`` uses
         :data:`repro.core.streaming.DEFAULT_MEMORY_BUDGET_MB`.
+    resilience:
+        Fault-tolerance policy (retries, backoff, timeouts, pool
+        replacement; see :class:`~repro.engine.resilience.ResiliencePolicy`)
+        applied to every pooled stage; ``None`` uses the defaults.
+    faults:
+        Deterministic fault-injection plan -- a
+        :class:`~repro.engine.faults.FaultPlan`, ``FaultInjector``, or
+        sequence of :class:`~repro.engine.faults.FaultSpec` -- threaded
+        through the executor, the cache, and the reducer pass.  ``None``
+        (the default) injects nothing.
     """
 
     def __init__(
@@ -89,12 +103,20 @@ class RunContext:
         sinks: Sequence[Sink] = (),
         max_workers: Optional[int] = None,
         memory_budget_mb: Optional[float] = None,
+        resilience: Optional[ResiliencePolicy] = None,
+        faults: Optional[Any] = None,
     ):
         self.seed = seed
         self.cache = cache if cache is not None else ResultCache()
         self.sinks: List[Sink] = list(sinks)
         self.max_workers = max_workers
         self.memory_budget_mb = memory_budget_mb
+        self.resilience = resilience
+        self.faults: Optional[FaultInjector] = normalize_injector(faults)
+        if self.cache.on_event is None:
+            self.cache.on_event = self.emit
+        if self.faults is not None and self.cache.fault_injector is None:
+            self.cache.fault_injector = self.faults
         self._extra_nodes: Dict[str, NodeSpec] = {}
         self._extra_workloads: Dict[str, WorkloadSpec] = {}
 
@@ -229,6 +251,7 @@ class RunContext:
             start = time.perf_counter()
             result = _executor.evaluate_space_groups_chunked(
                 group_specs, params, units, max_workers=self.max_workers,
+                policy=self.resilience, injector=self.faults, emit=self.emit,
             )
             self.emit(
                 "space.evaluated",
@@ -261,6 +284,7 @@ class RunContext:
         params: Mapping[str, NodeModelParams],
         units: float,
         memory_budget_mb: Optional[float] = None,
+        start_block: int = 0,
     ) -> Iterable[SpaceBlock]:
         """Stream a k-group space as memory-bounded blocks, in row order.
 
@@ -268,8 +292,9 @@ class RunContext:
         pool-backed :func:`repro.engine.executor.iter_space_groups_chunked`
         (deterministically re-ordered), sized so that in-flight blocks
         stay under ``memory_budget_mb`` (context default when omitted).
-        The stream itself is not cached -- cache the *reductions* via
-        :meth:`space_reduced`.
+        ``start_block`` skips the first blocks of the plan (checkpoint
+        resume).  The stream itself is not cached -- cache the
+        *reductions* via :meth:`space_reduced`.
         """
         group_specs = tuple(
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
@@ -285,6 +310,10 @@ class RunContext:
             units,
             max_workers=self.max_workers,
             memory_budget_mb=budget,
+            policy=self.resilience,
+            injector=self.faults,
+            emit=self.emit,
+            start_block=start_block,
         )
 
     def space_reduced(
@@ -295,6 +324,8 @@ class RunContext:
         memory_budget_mb: Optional[float] = None,
         queueing: Optional[Mapping[str, Any]] = None,
         consumers: Sequence[Any] = (),
+        checkpoint: Optional[CheckpointManager] = None,
+        resume: bool = False,
     ) -> ReducedSpace:
         """Stream-reduce a k-group space to its compact artifact, memoized.
 
@@ -309,12 +340,23 @@ class RunContext:
         ``consumers`` (e.g. a :class:`~repro.core.streaming.SpaceSpill`)
         are side effects: passing any bypasses the cache so they always
         observe the full stream.
+
+        ``checkpoint`` persists reducer state every ``checkpoint.every``
+        blocks; with ``resume=True`` a valid saved state (same scenario
+        *and* same block plan -- worker count and memory budget changes
+        invalidate it) restores the reducers and skips the already-folded
+        prefix, producing artifacts bit-identical to an uninterrupted
+        run.  Checkpointed runs bypass the result cache: the point is to
+        observe (and survive) the stream.
         """
+        if resume and checkpoint is None:
+            raise ValueError("resume=True requires a checkpoint manager")
         group_specs = tuple(
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
             for gs in group_specs
         )
         queue_kw = dict(queueing) if queueing is not None else None
+        fold_hook = self.faults.on_fold if self.faults is not None else None
 
         def compute() -> ReducedSpace:
             from repro.queueing.dispatcher import Figure10Reducer
@@ -324,13 +366,45 @@ class RunContext:
             if queue_kw is not None:
                 f10 = Figure10Reducer(**queue_kw)
                 extra.append(f10)
+            start_block = 0
+            initial = None
+            checkpoint_save = None
+            if checkpoint is not None:
+                budget = (
+                    self.memory_budget_mb if memory_budget_mb is None
+                    else memory_budget_mb
+                )
+                plan = _executor.space_block_plan(
+                    group_specs,
+                    max_workers=self.max_workers,
+                    memory_budget_mb=budget,
+                )
+                plan_fp = stable_hash(
+                    ("block-plan", tuple((t.counts, t.rows) for t in plan))
+                )
+                if resume:
+                    initial = checkpoint.load(plan_fingerprint=plan_fp)
+                    if initial is not None:
+                        start_block = int(initial["blocks_done"])
+
+                def checkpoint_save(state: Dict[str, Any]) -> None:
+                    state["plan_fingerprint"] = plan_fp
+                    checkpoint.save(state)
+
             start = time.perf_counter()
             reduced = reduce_space_blocks(
                 self.space_blocks(
                     group_specs, params, units,
                     memory_budget_mb=memory_budget_mb,
+                    start_block=start_block,
                 ),
                 consumers=extra,
+                fold_hook=fold_hook,
+                checkpoint_save=checkpoint_save,
+                checkpoint_every=(
+                    checkpoint.every if checkpoint is not None else 8
+                ),
+                initial=initial,
             )
             if f10 is not None:
                 reduced.queueing = f10.finish()
@@ -340,11 +414,12 @@ class RunContext:
                 blocks=reduced.num_blocks,
                 full_nbytes=reduced.full_nbytes,
                 peak_block_nbytes=reduced.peak_block_nbytes,
+                resumed_from_block=start_block,
                 elapsed_s=time.perf_counter() - start,
             )
             return reduced
 
-        if consumers:
+        if consumers or checkpoint is not None or fold_hook is not None:
             return compute()
         key = (
             self._space_key(group_specs, params, units),

@@ -31,12 +31,20 @@ small inputs (below :data:`PARALLEL_THRESHOLD_ROWS` rows / fewer than two
 tasks) and degrade to serial execution if a pool cannot be created at all
 (restricted sandboxes) -- parallelism here is an optimization, never a
 semantic.
+
+Failure handling is delegated to :mod:`repro.engine.resilience`: every
+fan-out accepts a :class:`~repro.engine.resilience.ResiliencePolicy`
+(per-task retry with deterministic backoff, per-task timeouts,
+dead-worker detection with pool replacement, serial degradation) and an
+optional :class:`~repro.engine.faults.FaultInjector` for deterministic
+chaos runs.  Because tasks are pure and results are re-ordered to plan
+order, a run that survives injected faults stays bit-identical to a
+fault-free one.
 """
 
 from __future__ import annotations
 
 import os
-from concurrent.futures import ProcessPoolExecutor
 from typing import (
     Any,
     Callable,
@@ -61,6 +69,13 @@ from repro.core.streaming import (
     evaluate_block_task,
     max_rows_for_budget,
     plan_block_tasks,
+)
+from repro.engine.faults import FaultInjector
+from repro.engine.resilience import (
+    Emit,
+    ResiliencePolicy,
+    iter_tasks_resilient,
+    run_tasks_resilient,
 )
 from repro.hardware.specs import NodeSpec
 
@@ -116,6 +131,27 @@ def _plan_tasks(
     )
 
 
+def space_block_plan(
+    group_specs: Sequence[GroupSpec],
+    max_workers: Optional[int] = None,
+    n_chunks: Optional[int] = None,
+    memory_budget_mb: Optional[float] = None,
+):
+    """The exact block plan :func:`iter_space_groups_chunked` will stream.
+
+    Exposed so checkpointing can fingerprint the decomposition (block
+    boundaries depend on the worker count and memory budget) before a
+    single block is evaluated.
+    """
+    group_specs = tuple(group_specs)
+    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    window = workers + 1
+    return _plan_tasks(
+        group_specs, workers, n_chunks, memory_budget_mb,
+        inflight_blocks=window if workers > 1 else 1,
+    )
+
+
 def evaluate_space_groups_chunked(
     group_specs: Sequence[GroupSpec],
     params: Mapping[str, NodeModelParams],
@@ -123,6 +159,9 @@ def evaluate_space_groups_chunked(
     max_workers: Optional[int] = None,
     n_chunks: Optional[int] = None,
     memory_budget_mb: Optional[float] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    emit: Optional[Emit] = None,
 ) -> ConfigSpaceResult:
     """Evaluate a k-group space in node-count blocks, optionally parallel.
 
@@ -153,7 +192,10 @@ def evaluate_space_groups_chunked(
         return _evaluate.evaluate_space_groups(group_specs, params, units)
 
     arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
-    blocks = _run_tasks(_evaluate_block, arg_sets, workers)
+    blocks = run_tasks_resilient(
+        _evaluate_block, arg_sets, max_workers=workers,
+        policy=policy, injector=injector, emit=emit,
+    )
     return _concat_results(blocks)
 
 
@@ -164,6 +206,10 @@ def iter_space_groups_chunked(
     max_workers: Optional[int] = None,
     n_chunks: Optional[int] = None,
     memory_budget_mb: Optional[float] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    emit: Optional[Emit] = None,
+    start_block: int = 0,
 ) -> Iterator[SpaceBlock]:
     """Stream a k-group space as :class:`SpaceBlock`\\ s, pool-evaluated.
 
@@ -176,6 +222,14 @@ def iter_space_groups_chunked(
     evaluation, mid-stream if necessary, when no pool is available --
     blocks already yielded are never recomputed, and determinism makes
     the serial continuation identical.
+
+    ``policy``/``injector`` select the fault-tolerance behavior (see
+    :func:`repro.engine.resilience.iter_tasks_resilient`): failed tasks
+    are retried with deterministic backoff, dead workers replace the
+    pool, and abandoning the iterator terminates the workers instead of
+    leaking them.  ``start_block`` skips the first blocks of the plan
+    without evaluating them -- checkpoint resume; the yielded blocks
+    keep their global indices and row offsets.
     """
     if units <= 0:
         raise ValueError("job must contain positive work")
@@ -192,46 +246,25 @@ def iter_space_groups_chunked(
         # Let the reference path raise its own error message.
         _evaluate.evaluate_space_groups(group_specs, params, units)
         raise AssertionError("unreachable: empty plan must raise above")
+    if not 0 <= start_block <= len(tasks):
+        raise ValueError(
+            f"start_block {start_block} outside 0..{len(tasks)} for this plan"
+        )
     starts = [0]
     for task in tasks[:-1]:
         starts.append(starts[-1] + task.rows)
 
-    next_idx = 0
-    if workers > 1 and len(tasks) >= 2:
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            pool = ProcessPoolExecutor(max_workers=min(workers, len(tasks)))
-        except (OSError, PermissionError, RuntimeError):
-            pool = None
-        if pool is not None:
-            futures: dict = {}
-            submit_idx = 0
-            try:
-                while next_idx < len(tasks):
-                    try:
-                        while submit_idx < len(tasks) and len(futures) < window:
-                            futures[submit_idx] = pool.submit(
-                                _evaluate_block,
-                                group_specs,
-                                params,
-                                units,
-                                tasks[submit_idx].counts,
-                            )
-                            submit_idx += 1
-                        data = futures[next_idx].result()
-                    except (OSError, PermissionError, RuntimeError):
-                        # No fork / broken pool: finish serially below.
-                        break
-                    del futures[next_idx]
-                    yield SpaceBlock(
-                        index=next_idx, start_row=starts[next_idx], data=data
-                    )
-                    next_idx += 1
-            finally:
-                pool.shutdown(wait=False, cancel_futures=True)
-
-    for idx in range(next_idx, len(tasks)):
-        data = _evaluate_block(group_specs, params, units, tasks[idx].counts)
+    arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
+    for idx, data in iter_tasks_resilient(
+        _evaluate_block,
+        arg_sets,
+        max_workers=min(workers, max(1, len(tasks) - start_block)),
+        window=window,
+        policy=policy,
+        injector=injector,
+        emit=emit,
+        start_index=start_block,
+    ):
         yield SpaceBlock(index=idx, start_row=starts[idx], data=data)
 
 
@@ -286,40 +319,29 @@ def _estimate_rows(
     return total
 
 
-def _run_tasks(
-    fn: Callable[..., Any],
-    arg_sets: Sequence[Tuple],
-    max_workers: int,
-) -> List[Any]:
-    """Run ``fn(*args)`` for each arg tuple, pooled when it pays off."""
-    if max_workers <= 1 or len(arg_sets) < 2:
-        return [fn(*args) for args in arg_sets]
-    try:
-        with ProcessPoolExecutor(max_workers=min(max_workers, len(arg_sets))) as pool:
-            futures = [pool.submit(fn, *args) for args in arg_sets]
-            return [f.result() for f in futures]
-    except (OSError, PermissionError, RuntimeError):
-        # No fork / no semaphores available: correctness over speed.
-        return [fn(*args) for args in arg_sets]
-
-
 def parallel_map(
     fn: Callable[[Any], Any],
     items: Iterable[Any],
     max_workers: Optional[int] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    emit: Optional[Emit] = None,
 ) -> List[Any]:
     """Map a picklable top-level function over items, pooled when possible.
 
     Order is preserved.  Used to fan sweep replications
     (:mod:`repro.validation.sweeps`) and noise replicates across cores;
-    falls back to a serial map when pooling is unavailable or pointless.
+    falls back to a serial map when pooling is unavailable or pointless,
+    and inherits the resilient runner's retry/pool-replacement behavior
+    for transient worker failures.
     """
     items = list(items)
     workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
-    if workers <= 1 or len(items) < 2:
-        return [fn(item) for item in items]
-    try:
-        with ProcessPoolExecutor(max_workers=min(workers, len(items))) as pool:
-            return list(pool.map(fn, items))
-    except (OSError, PermissionError, RuntimeError):
-        return [fn(item) for item in items]
+    return run_tasks_resilient(
+        fn,
+        [(item,) for item in items],
+        max_workers=min(workers, max(1, len(items))),
+        policy=policy,
+        injector=injector,
+        emit=emit,
+    )

@@ -14,6 +14,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
+from pathlib import Path
 from typing import Dict, List, Optional, Tuple
 
 import numpy as np
@@ -24,7 +25,9 @@ from repro.core.params import NodeModelParams
 from repro.core.pareto import ParetoFrontier
 from repro.core.regions import RegionReport, analyze_regions, analyze_regions_reduced
 from repro.core.streaming import ReducedSpace, SpaceSpill, count_space_rows
+from repro.engine.checkpoint import CheckpointManager
 from repro.engine.context import RunContext, default_context
+from repro.engine.hashing import stable_hash
 from repro.engine.scenario import Scenario
 from repro.queueing.dispatcher import WindowPoint, figure10_series
 from repro.simulator.noise import CALIBRATED_NOISE
@@ -98,6 +101,9 @@ def run_scenario(
     scenario: Scenario,
     ctx: Optional[RunContext] = None,
     spill_dir=None,
+    checkpoint_dir=None,
+    resume: bool = False,
+    checkpoint_every: int = 8,
 ) -> ScenarioResult:
     """Run ``scenario`` through ``ctx`` (the shared default when omitted).
 
@@ -105,8 +111,36 @@ def run_scenario(
     blocks are additionally spilled to memory-mapped ``.npy`` columns
     there, and ``result.space`` comes back memmap-backed -- full-space
     reporting without a full-space allocation.
+
+    ``checkpoint_dir`` (streaming mode only) persists reducer state
+    every ``checkpoint_every`` blocks under a file named by the
+    scenario's cache identity; ``resume=True`` restores a valid
+    checkpoint and re-evaluates only the unfinished blocks, producing
+    artifacts bit-identical to an uninterrupted run.  Checkpointing is
+    incompatible with ``spill_dir`` (the spill consumer is append-only
+    and cannot be snapshotted).
     """
     ctx = ctx if ctx is not None else default_context()
+    checkpoint = None
+    if resume and checkpoint_dir is None:
+        raise ValueError("resume=True requires checkpoint_dir")
+    if checkpoint_dir is not None:
+        if scenario.space_mode != "streaming":
+            raise ValueError(
+                "checkpointing requires space_mode='streaming' (the "
+                "materialized path has no incremental state to save)"
+            )
+        if spill_dir is not None:
+            raise ValueError("checkpoint_dir and spill_dir are incompatible")
+        fingerprint = stable_hash(
+            ("scenario-checkpoint", scenario.cache_identity())
+        )
+        checkpoint = CheckpointManager(
+            directory=Path(checkpoint_dir),
+            fingerprint=fingerprint,
+            every=checkpoint_every,
+            on_event=ctx.emit,
+        )
     timings: Dict[str, float] = {}
     ctx.emit("scenario.start", scenario=scenario.cache_identity())
 
@@ -162,6 +196,8 @@ def run_scenario(
             memory_budget_mb=scenario.memory_budget_mb,
             queueing=queue_kw,
             consumers=(spill,) if spill is not None else (),
+            checkpoint=checkpoint,
+            resume=resume,
         )
         space = spill.finish() if spill is not None else None
         timings["space"] = time.perf_counter() - start

@@ -20,7 +20,7 @@ frontier crosses from mixed to ARM-only compositions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -294,6 +294,43 @@ class Figure10Reducer:
             reducer.update(
                 responses, energies, start_row=block.start_row, extra=extra
             )
+
+    def state_dict(self) -> Dict[str, Any]:
+        """Checkpoint snapshot (see :func:`reduce_space_blocks`)."""
+        return {
+            "idle_powers": (
+                None if self._idle_powers is None else list(self._idle_powers)
+            ),
+            "num_groups": self._num_groups,
+            "reducers": {
+                u: reducer.state_dict()
+                for u, reducer in self._reducers.items()
+            },
+        }
+
+    def load_state(self, state: Mapping[str, Any]) -> None:
+        """Restore a :meth:`state_dict` snapshot into this reducer."""
+        if state["idle_powers"] is None:
+            # Checkpointed before the first block: nothing to restore.
+            self._idle_powers = None
+            self._num_groups = 0
+            self._reducers = {}
+            return
+        self._idle_powers = [float(p) for p in state["idle_powers"]]
+        self._num_groups = int(state["num_groups"])
+        saved = state["reducers"]
+        if set(saved) != set(self.utilizations):
+            raise ValueError(
+                "checkpoint utilization levels do not match this reducer"
+            )
+        extras = ["service", "jobs"] + [
+            f"n{g}" for g in range(self._num_groups)
+        ]
+        self._reducers = {}
+        for u in self.utilizations:
+            reducer = FrontierReducer(extra_names=extras)
+            reducer.load_state(saved[u])
+            self._reducers[u] = reducer
 
     def finish(self) -> Dict[float, List[WindowPoint]]:
         if self._idle_powers is None:

@@ -1,8 +1,6 @@
 """Result cache: memoization semantics, stats, and the on-disk layer."""
 
-import pickle
-
-from repro.engine.cache import ResultCache
+from repro.engine.cache import CACHE_MAGIC, QUARANTINE_DIR, ResultCache
 
 
 class TestMemoryLayer:
@@ -65,9 +63,62 @@ class TestDiskLayer:
         (tmp_path / f"{key}.pkl").write_bytes(b"not a pickle")
         assert cache.get_or_compute("space", "k", lambda: "fresh") == "fresh"
         assert cache.stats.misses == 1
-        # The recomputed value replaced the corrupt entry atomically.
-        with (tmp_path / f"{key}.pkl").open("rb") as fh:
-            assert pickle.load(fh) == "fresh"
+        assert cache.stats.quarantined == 1
+        # The recomputed value replaced the corrupt entry atomically and
+        # verifies cleanly through a fresh cache.
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get_or_compute("space", "k", lambda: None) == "fresh"
+        assert reader.stats.disk_hits == 1
+
+    def test_truncated_entry_is_quarantined_as_miss(self, tmp_path):
+        # Regression: a process killed mid-write used to be able to leave
+        # a short entry that poisoned later runs.  Writes are atomic now,
+        # but a truncated file (however it arose) must quarantine.
+        writer = ResultCache(disk_dir=tmp_path)
+        writer.get_or_compute("space", ("big", 1), lambda: list(range(1000)))
+        key = writer.key("space", ("big", 1))
+        path = tmp_path / f"{key}.pkl"
+        raw = path.read_bytes()
+        path.write_bytes(raw[: len(raw) // 2])
+
+        events = []
+        reader = ResultCache(
+            disk_dir=tmp_path,
+            on_event=lambda event, **payload: events.append((event, payload)),
+        )
+        value = reader.get_or_compute("space", ("big", 1), lambda: "recomputed")
+        assert value == "recomputed"
+        assert reader.stats.misses == 1
+        assert reader.stats.disk_hits == 0
+        assert reader.stats.quarantined == 1
+        # The damaged entry was moved aside, not left in place.
+        assert not any(
+            p.name == path.name for p in tmp_path.glob("*.pkl")
+        ) or path.read_bytes().startswith(CACHE_MAGIC)
+        assert (tmp_path / QUARANTINE_DIR / path.name).exists()
+        assert [e for e, _ in events] == ["cache.quarantined"]
+
+    def test_bitflip_fails_checksum_and_quarantines(self, tmp_path):
+        cache = ResultCache(disk_dir=tmp_path)
+        cache.get_or_compute("params", "p", lambda: {"alpha": 1.25})
+        key = cache.key("params", "p")
+        path = tmp_path / f"{key}.pkl"
+        raw = bytearray(path.read_bytes())
+        raw[-1] ^= 0xFF
+        path.write_bytes(bytes(raw))
+
+        reader = ResultCache(disk_dir=tmp_path)
+        assert reader.get_or_compute("params", "p", lambda: "clean") == "clean"
+        assert reader.stats.quarantined == 1
+
+    def test_legacy_unchecksummed_entry_quarantined(self, tmp_path):
+        import pickle as _pickle
+
+        cache = ResultCache(disk_dir=tmp_path)
+        key = cache.key("space", "old")
+        (tmp_path / f"{key}.pkl").write_bytes(_pickle.dumps("legacy"))
+        assert cache.get_or_compute("space", "old", lambda: "new") == "new"
+        assert cache.stats.quarantined == 1
 
     def test_clear_leaves_disk_alone(self, tmp_path):
         cache = ResultCache(disk_dir=tmp_path)

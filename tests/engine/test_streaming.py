@@ -11,7 +11,6 @@ of the cache identity, and the ``space.memory`` accounting events fire.
 import numpy as np
 import pytest
 
-from repro.core.pareto import ParetoFrontier
 from repro.core.streaming import load_spilled_space
 from repro.engine import ResultCache, RunContext, Scenario, run_scenario
 from repro.engine.executor import iter_space_groups_chunked
@@ -194,3 +193,81 @@ class TestExecutorIterator:
         n = np.concatenate([b.data.n for b in blocks], axis=1)
         np.testing.assert_array_equal(whole.times_s, times)
         np.testing.assert_array_equal(whole.n, n)
+
+
+class TestReducerCheckpointState:
+    """state_dict/load_state snapshots restore a pass mid-stream exactly."""
+
+    def _blocks(self):
+        return list(
+            iter_space_groups_chunked(
+                GROUPS, PARAMS, UNITS, max_workers=1, memory_budget_mb=0.25
+            )
+        )
+
+    def test_mid_pass_snapshot_resumes_bit_identical(self):
+        from repro.core.streaming import reduce_space_blocks
+
+        blocks = self._blocks()
+        assert len(blocks) >= 3
+        whole = reduce_space_blocks(iter(blocks))
+
+        saved = {}
+        cut = len(blocks) // 2
+
+        def grab(state):
+            saved.update(state)
+
+        with pytest.raises(RuntimeError, match="stop"):
+            def bomb(index):
+                if index == cut:
+                    raise RuntimeError("stop")
+            reduce_space_blocks(
+                iter(blocks), fold_hook=bomb, checkpoint_save=grab,
+                checkpoint_every=1,
+            )
+        assert saved["blocks_done"] == cut
+
+        resumed = reduce_space_blocks(iter(blocks[cut:]), initial=saved)
+        assert_frontiers_identical(whole.frontier, resumed.frontier)
+        assert whole.total_rows == resumed.total_rows
+        assert whole.composition == resumed.composition
+        np.testing.assert_array_equal(whole.frontier_n, resumed.frontier_n)
+        for left, right in zip(whole.group_frontiers, resumed.group_frontiers):
+            assert (left is None) == (right is None)
+            if left is not None:
+                assert_frontiers_identical(left, right)
+
+    def test_out_of_order_blocks_rejected(self):
+        from repro.core.streaming import reduce_space_blocks
+
+        blocks = self._blocks()
+        with pytest.raises(ValueError, match="plan order"):
+            reduce_space_blocks(iter(blocks[1:]))
+
+    def test_topk_reducer_state_round_trip(self):
+        from repro.core.streaming import TopKReducer
+
+        first = TopKReducer(3)
+        first.update([((5, 0), "e"), ((1, 1), "a"), ((3, 2), "c")])
+        clone = TopKReducer(3)
+        clone.load_state(first.state_dict())
+        clone.update([((2, 3), "b")])
+        first.update([((2, 3), "b")])
+        assert clone.finish() == first.finish()
+        with pytest.raises(ValueError, match="top-"):
+            TopKReducer(2).load_state(first.state_dict())
+
+    def test_opaque_consumer_blocks_checkpointing(self):
+        from repro.core.streaming import reduce_space_blocks
+
+        class Opaque:
+            def update(self, block):
+                pass
+
+        with pytest.raises(ValueError, match="state_dict"):
+            reduce_space_blocks(
+                iter(self._blocks()),
+                consumers=(Opaque(),),
+                checkpoint_save=lambda state: None,
+            )
