@@ -34,6 +34,15 @@ Timings are best-of-``repeats`` to shrug off machine noise.
   reduced artifacts (frontier + per-group frontiers, indices included)
   equality-checked between modes before timing.
 
+``--pr 6`` (the pluggable execution backends) records:
+
+* **backend matrix** -- the same ~1.6M-row four-type space evaluated
+  chunked through every backend: ``serial``, ``process_pool`` (result
+  pipe), ``process_pool`` with the shared-memory fast path, and
+  ``tcp_remote`` against two spawned localhost worker agents --
+  rows/second per backend, column stacks bit-for-bit equality-checked
+  against the in-process whole-space evaluation first.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py --pr 4 [--output BENCH_PR4.json]
@@ -330,6 +339,106 @@ def bench_four_type_streaming(repeats: int, budget_mb: float = 32.0) -> Dict:
     }
 
 
+def _four_type_setup():
+    """The shared ~1.6M-row four-group space (see bench_four_type_streaming)."""
+    import dataclasses
+
+    from repro.core.calibration import ground_truth_params
+    from repro.core.configuration import GroupSpec
+    from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+    from repro.hardware.extension import INTEL_ATOM
+    from repro.workloads.extension import with_atom
+    from repro.workloads.suite import EP
+
+    atom2 = dataclasses.replace(INTEL_ATOM, name="intel-atom-d525")
+    workload = with_atom(EP)
+    profiles = dict(workload.profiles)
+    profiles[atom2.name] = profiles[INTEL_ATOM.name]
+    workload = dataclasses.replace(workload, profiles=profiles)
+    specs = (
+        GroupSpec(ARM_CORTEX_A9, 4),
+        GroupSpec(AMD_K10, 3),
+        GroupSpec(INTEL_ATOM, 3),
+        GroupSpec(atom2, 3),
+    )
+    params = {
+        gs.spec.name: ground_truth_params(gs.spec, workload) for gs in specs
+    }
+    return specs, params, 50e6
+
+
+def bench_backend_matrix(repeats: int, n_chunks: int = 8) -> Dict:
+    """Every execution backend over the four-type space, one truth.
+
+    The ~1.6M-row space is evaluated chunked (``n_chunks`` blocks)
+    through ``serial``, ``process_pool`` (result pipe), ``process_pool``
+    with the shared-memory fast path, and ``tcp_remote`` against two
+    spawned localhost worker agents.  Each backend's column stacks are
+    equality-checked bit-for-bit against the in-process whole-space
+    evaluation before anything is timed, so the recorded throughputs all
+    describe the *same* computation.  The remote fleet is the shared
+    process-wide instance, so its spawn cost is paid once, outside the
+    timed passes.
+    """
+    from repro.core.evaluate import evaluate_space_groups
+    from repro.engine.executor import evaluate_space_groups_chunked
+
+    specs, params, units = _four_type_setup()
+    reference = evaluate_space_groups(specs, params, units)
+    rows = len(reference)
+
+    configs = {
+        "serial": ("serial", None),
+        "process_pool": ("process_pool", {"workers": 2}),
+        "process_pool_shm": (
+            "process_pool",
+            {"workers": 2, "shared_memory": True},
+        ),
+        "tcp_remote_2workers": ("tcp_remote", {"spawn_workers": 2}),
+    }
+
+    def run(name, options):
+        return evaluate_space_groups_chunked(
+            specs,
+            params,
+            units,
+            n_chunks=n_chunks,
+            backend=name,
+            backend_options=options,
+        )
+
+    results: Dict[str, Dict] = {}
+    for label, (name, options) in configs.items():
+        space = run(name, options)
+        assert np.array_equal(reference.times_s, space.times_s), label
+        assert np.array_equal(reference.energies_j, space.energies_j), label
+        assert np.array_equal(reference.n, space.n), label
+        elapsed = _best_of(lambda: run(name, options), repeats)
+        results[label] = {
+            "elapsed_s": elapsed,
+            "rows_per_s": rows / elapsed,
+        }
+
+    pipe_s = results["process_pool"]["elapsed_s"]
+    shm_s = results["process_pool_shm"]["elapsed_s"]
+    return {
+        "label": (
+            f"four-type space, {rows} rows (EP, 4x3x3x3), {n_chunks} chunks, "
+            "all execution backends"
+        ),
+        "rows": rows,
+        "n_chunks": n_chunks,
+        "backends": results,
+        "shm_vs_pipe_speedup": pipe_s / shm_s,
+        "detail": (
+            "evaluate_space_groups_chunked per backend vs whole-space "
+            "evaluate_space_groups, bit-for-bit equality-checked first; "
+            "tcp_remote runs 2 spawned localhost agents (spawn cost "
+            "outside the timed passes)"
+        ),
+    }
+
+
 _PR_RECORDS = {
     2: {
         "pr": "vectorized measurement layer",
@@ -353,6 +462,13 @@ _PR_RECORDS = {
         "default_output": "BENCH_PR4.json",
         "benches": {
             "four_type_streaming": bench_four_type_streaming,
+        },
+    },
+    6: {
+        "pr": "pluggable execution backends",
+        "default_output": "BENCH_PR6.json",
+        "benches": {
+            "backend_matrix": bench_backend_matrix,
         },
     },
 }
@@ -403,6 +519,12 @@ def main(argv=None) -> int:
                 f"{bench['batched_s'] * 1e3:.1f} ms "
                 f"({bench['speedup']:.1f}x)"
             )
+        elif "backends" in bench:
+            for backend, numbers in bench["backends"].items():
+                print(
+                    f"{name}[{backend}]: {numbers['elapsed_s'] * 1e3:.1f} ms "
+                    f"({numbers['rows_per_s']:,.0f} rows/s)"
+                )
         elif "streaming_s" in bench:
             print(
                 f"{name}: materialized {bench['materialized_rows_per_s']:,.0f} "

@@ -40,9 +40,10 @@ Subpackages
     Builders for every table and figure, text rendering, CSV export.
 ``repro.engine``
     The experiment engine: declarative :class:`Scenario` descriptions,
-    a :class:`RunContext` with content-addressed caching and a process
-    pool, and :func:`run_scenario` gluing calibration -> configuration
-    space -> analyses together.
+    a :class:`RunContext` with content-addressed caching and pluggable
+    execution backends (serial, process pool, TCP remote workers), and
+    :func:`run_scenario` gluing calibration -> configuration space ->
+    analyses together.
 """
 
 from repro import quick
@@ -55,6 +56,7 @@ from repro.core.streaming import ReducedSpace, streaming_frontier
 from repro.core.timemodel import predict_node_time
 from repro.core.energymodel import predict_node_energy
 from repro.engine import (
+    ExecutionBackend,
     FaultPlan,
     FaultSpec,
     ResiliencePolicy,
@@ -62,7 +64,11 @@ from repro.engine import (
     RunContext,
     Scenario,
     ScenarioResult,
+    backend_names,
+    create_backend,
     default_context,
+    register_backend,
+    resolve_backend,
     run_scenario,
 )
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
@@ -82,6 +88,11 @@ __all__ = [
     "NodeModelParams",
     "ReducedSpace",
     "streaming_frontier",
+    "ExecutionBackend",
+    "backend_names",
+    "create_backend",
+    "register_backend",
+    "resolve_backend",
     "FaultPlan",
     "FaultSpec",
     "ResiliencePolicy",

@@ -131,6 +131,34 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="engine process-pool width (default: auto; 1 = serial)",
     )
     parser.add_argument(
+        "--backend",
+        choices=["serial", "process_pool", "tcp_remote"],
+        default=None,
+        help="execution backend for the engine's fan-outs: 'serial' "
+        "(in-process), 'process_pool' (single-host pool, the default "
+        "auto-selection), or 'tcp_remote' (tasks shipped to worker "
+        "agents; see python -m repro.engine.remote_worker).  Artifacts "
+        "are bit-identical across backends",
+    )
+    parser.add_argument(
+        "--backend-option",
+        action="append",
+        default=None,
+        metavar="KEY=VALUE",
+        help="backend option (repeatable), e.g. "
+        "--backend-option shared_memory=true or "
+        "--backend-option spawn_workers=4; values parse as JSON with a "
+        "plain-string fallback",
+    )
+    parser.add_argument(
+        "--worker-hosts",
+        default=None,
+        metavar="HOST:PORT[,HOST:PORT...]",
+        help="comma-separated worker agents for the tcp_remote backend "
+        "(shorthand for --backend tcp_remote "
+        "--backend-option worker_hosts=...)",
+    )
+    parser.add_argument(
         "--cache-dir",
         type=Path,
         default=None,
@@ -215,6 +243,41 @@ def main(argv: Optional[List[str]] = None) -> int:
     batched = args.simulation != "reference"
     space_mode = args.space_mode or "materialized"
 
+    backend = args.backend
+    backend_options = {}
+    for entry in args.backend_option or ():
+        key, sep, value = entry.partition("=")
+        if not sep or not key:
+            parser.error(f"--backend-option expects KEY=VALUE, got {entry!r}")
+        try:
+            import json as _json
+
+            backend_options[key] = _json.loads(value)
+        except ValueError:
+            backend_options[key] = value
+    if args.worker_hosts is not None:
+        backend_options.setdefault("worker_hosts", args.worker_hosts)
+        if backend is None:
+            backend = "tcp_remote"
+        elif backend != "tcp_remote":
+            parser.error("--worker-hosts requires --backend tcp_remote")
+    if backend_options and backend is None:
+        parser.error("--backend-option requires --backend")
+    if backend is not None:
+        from repro.engine.backends import validate_backend_options
+
+        try:
+            backend_options = validate_backend_options(backend, backend_options)
+        except ValueError as exc:
+            parser.error(str(exc))
+    if args.workers is not None:
+        from repro.engine.backends import validate_workers
+
+        try:
+            validate_workers(args.workers, name="--workers")
+        except ValueError as exc:
+            parser.error(str(exc))
+
     out = sys.stdout
     csv_rows = None
     csv_headers = None
@@ -241,6 +304,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         memory_budget_mb=args.memory_budget_mb,
         resilience=resilience,
         faults=faults,
+        backend=backend,
+        backend_options=backend_options or None,
     )
 
     if args.artifact == "table1":
@@ -426,6 +491,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario = scenario.with_(space_mode=args.space_mode)
         if args.memory_budget_mb is not None:
             scenario = scenario.with_(memory_budget_mb=args.memory_budget_mb)
+        if backend is not None:
+            # CLI flags win over the scenario file's backend selection.
+            scenario = scenario.with_(
+                backend=backend, backend_options=backend_options or None
+            )
         result = run_scenario(
             scenario,
             ctx,

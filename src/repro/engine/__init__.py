@@ -17,6 +17,12 @@ on top.  This package is the one place that pipeline is wired:
 * :class:`ResultCache` -- the memoization layer, with an optional
   on-disk tier (conventionally ``results/.cache/``), checksummed and
   self-quarantining;
+* :mod:`repro.engine.backends` -- the pluggable execution-backend
+  registry (``serial``, ``process_pool``, ``tcp_remote``) every
+  executor entry point resolves through; backends are selected by
+  name, per :class:`Scenario`, per :class:`RunContext`, or via the
+  ``REPRO_BACKEND`` environment variable, and all of them produce
+  bit-identical artifacts;
 * :mod:`repro.engine.resilience` / :mod:`repro.engine.faults` /
   :mod:`repro.engine.checkpoint` -- the fault-tolerance layer: retries
   with deterministic backoff, dead-worker pool replacement, graceful
@@ -29,6 +35,16 @@ calibration and space evaluation exactly once however many artifacts it
 builds.
 """
 
+from repro.engine.backends import (
+    ExecutionBackend,
+    backend_class,
+    backend_names,
+    close_shared_backends,
+    create_backend,
+    register_backend,
+    resolve_backend,
+    validate_backend_options,
+)
 from repro.engine.cache import CacheStats, ResultCache
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.context import RunContext, default_context, set_default_context
@@ -56,6 +72,14 @@ from repro.engine.scenario import STAGES, Scenario
 __all__ = [
     "CacheCorrupt",
     "CacheStats",
+    "ExecutionBackend",
+    "backend_class",
+    "backend_names",
+    "close_shared_backends",
+    "create_backend",
+    "register_backend",
+    "resolve_backend",
+    "validate_backend_options",
     "CheckpointCorrupt",
     "CheckpointManager",
     "FaultInjector",

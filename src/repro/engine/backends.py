@@ -1,0 +1,507 @@
+"""Pluggable execution backends: one dispatch seam for every fan-out.
+
+Everything the engine runs in parallel -- chunked space evaluation,
+streamed block sources, replication maps -- flows through one abstract
+:class:`ExecutionBackend`.  A backend is *where tasks run*; the plan
+(which blocks exist, in what order) and the artifacts (bit-identical
+however the blocks were computed) belong to the caller.  Three
+implementations ship:
+
+``serial``
+    In-process execution, one task at a time -- the zero-dependency
+    reference every other backend must match bit-for-bit.
+``process_pool``
+    The historical ``concurrent.futures`` process pool, with the full
+    resilience stack (retry, dead-worker pool replacement, timeouts,
+    serial degradation).  ``shared_memory=True`` adds a single-host
+    fast path: block results travel through
+    :mod:`multiprocessing.shared_memory` segments instead of the result
+    pipe (see :mod:`repro.engine.shm`), skipping the pickle round-trip
+    for the columnar arrays.
+``tcp_remote``
+    Block tasks shipped to worker agents on other hosts over a
+    length-prefixed socket protocol (:mod:`repro.engine.remote`), with
+    heartbeat-timeout liveness standing in for ``BrokenProcessPool``:
+    a vanished worker triggers the same typed retry/replacement path.
+
+Selection is threaded end to end: ``Scenario.backend`` /
+``backend_options`` (excluded from the cache identity -- artifacts are
+bit-identical across backends), ``RunContext(backend=...)``, CLI
+``--backend/--backend-option/--worker-hosts``, and the ``REPRO_BACKEND``
+environment variable (with ``REPRO_BACKEND_OPTIONS`` as a JSON dict) for
+running an unmodified test suite against a different backend.
+
+Every backend passes one shared conformance suite
+(``tests/engine/test_backends.py``): plan-order delivery, bit-identical
+outputs, fault-plan recovery, idempotent teardown.
+"""
+
+from __future__ import annotations
+
+import abc
+import atexit
+import json
+import os
+import threading
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterable,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+    Type,
+)
+
+from repro.engine.faults import FaultInjector
+from repro.engine.resilience import (
+    Emit,
+    ResiliencePolicy,
+    iter_tasks_resilient,
+)
+
+#: Environment variable naming the default backend (same values as
+#: ``Scenario.backend``); ``REPRO_BACKEND_OPTIONS`` may hold a JSON dict
+#: of backend options.  Used by the CI matrix leg that replays the whole
+#: tier-1 suite over ``tcp_remote`` localhost workers.
+BACKEND_ENV_VAR = "REPRO_BACKEND"
+BACKEND_OPTIONS_ENV_VAR = "REPRO_BACKEND_OPTIONS"
+
+
+def default_max_workers() -> int:
+    """Worker count when the caller does not pin one."""
+    return max(1, min(8, os.cpu_count() or 1))
+
+
+def validate_workers(value: Any, name: str = "workers") -> int:
+    """A positive integer worker count, or a naming ``ValueError``."""
+    try:
+        workers = int(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be a positive integer (or None for auto-sizing), "
+            f"got {value!r}"
+        ) from None
+    if workers < 1:
+        raise ValueError(
+            f"{name} must be a positive integer (or None for auto-sizing), "
+            f"got {value!r}"
+        )
+    return workers
+
+
+class ExecutionBackend(abc.ABC):
+    """Where the engine's pure tasks execute.
+
+    The contract every implementation must honor (and the conformance
+    suite enforces):
+
+    * :meth:`submit_blocks` yields ``(index, result)`` strictly in
+      ascending index order, whatever the completion order -- the
+      plan-order guarantee the streaming reducers and ``_concat_results``
+      rely on;
+    * results are **bit-identical** to in-process evaluation: a backend
+      moves bytes, it never rounds them;
+    * recovery follows the :class:`~repro.engine.resilience.ResiliencePolicy`:
+      typed failures retry with deterministic backoff, vanished workers
+      are replaced within the pool-failure budget, then execution
+      degrades to in-process serial rather than failing the run;
+    * :meth:`close` is idempotent and leak-free -- after it returns, no
+      worker process started by this backend is still alive.
+
+    Class attributes double as capability flags: ``supports_shared_memory``
+    (results can travel out-of-band) and ``is_remote`` (workers live in
+    other processes/hosts that must be able to ``import repro``).
+    """
+
+    #: Registry key; subclasses override.
+    name: ClassVar[str] = ""
+    #: Accepted constructor options, option name -> short description.
+    options: ClassVar[Mapping[str, str]] = {}
+    #: Whether results can bypass the pickle pipe on this backend.
+    supports_shared_memory: ClassVar[bool] = False
+    #: Whether tasks leave this host (workers need an importable repro).
+    is_remote: ClassVar[bool] = False
+    #: Whether instances hold live resources worth sharing process-wide.
+    stateful: ClassVar[bool] = False
+
+    def __init__(self) -> None:
+        self._closed = False
+
+    # ---- execution -----------------------------------------------------
+
+    @abc.abstractmethod
+    def submit_blocks(
+        self,
+        fn: Callable[..., Any],
+        args_list: Sequence[Tuple],
+        window: Optional[int] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        emit: Optional[Emit] = None,
+        start_index: int = 0,
+    ) -> Iterator[Tuple[int, Any]]:
+        """Run ``fn(*args_list[i])`` for ``i >= start_index``, in order.
+
+        At most ``window`` tasks are in flight or buffered for
+        re-ordering (``None``: unbounded); ``start_index`` supports
+        checkpoint resume (earlier tasks are never evaluated).
+        """
+
+    def run_tasks(
+        self,
+        fn: Callable[..., Any],
+        args_list: Sequence[Tuple],
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        emit: Optional[Emit] = None,
+    ) -> List[Any]:
+        """Collect :meth:`submit_blocks` into an ordered result list."""
+        return [
+            result
+            for _, result in self.submit_blocks(
+                fn, args_list, policy=policy, injector=injector, emit=emit
+            )
+        ]
+
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        emit: Optional[Emit] = None,
+    ) -> List[Any]:
+        """Order-preserving map of a one-argument task over ``items``."""
+        return self.run_tasks(
+            fn,
+            [(item,) for item in items],
+            policy=policy,
+            injector=injector,
+            emit=emit,
+        )
+
+    # ---- capability / lifecycle ----------------------------------------
+
+    @property
+    @abc.abstractmethod
+    def parallelism(self) -> int:
+        """How many tasks can make progress at once (plan sizing hint)."""
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Release workers/sockets.  Idempotent; safe to call twice."""
+        self._closed = True
+
+    def __enter__(self) -> "ExecutionBackend":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<{type(self).__name__} parallelism={self.parallelism}>"
+
+
+# ---------------------------------------------------------------------------
+# Registry
+# ---------------------------------------------------------------------------
+
+_REGISTRY: Dict[str, Type[ExecutionBackend]] = {}
+_SHARED: Dict[Tuple[str, Tuple[Tuple[str, Any], ...]], ExecutionBackend] = {}
+_SHARED_LOCK = threading.Lock()
+
+
+def register_backend(cls: Type[ExecutionBackend]) -> Type[ExecutionBackend]:
+    """Register a backend class under ``cls.name`` (usable as decorator)."""
+    if not cls.name:
+        raise ValueError("a backend class must define a non-empty name")
+    _REGISTRY[cls.name] = cls
+    return cls
+
+
+def backend_names() -> List[str]:
+    """Registered backend names, sorted."""
+    _ensure_builtin_backends()
+    return sorted(_REGISTRY)
+
+
+def backend_class(name: str) -> Type[ExecutionBackend]:
+    """The registered class for ``name``, or a naming ``ValueError``."""
+    _ensure_builtin_backends()
+    if name not in _REGISTRY:
+        raise ValueError(
+            f"unknown execution backend {name!r}; available: {sorted(_REGISTRY)}"
+        )
+    return _REGISTRY[name]
+
+
+def validate_backend_options(name: str, options: Mapping[str, Any]) -> Dict[str, Any]:
+    """Check option *keys* against the backend's declared set.
+
+    Unknown keys raise a ``ValueError`` naming the bad key and the
+    accepted options (value validation happens in the constructor).
+    Returns a plain dict copy.
+    """
+    cls = backend_class(name)
+    options = dict(options or {})
+    for key in options:
+        if key not in cls.options:
+            raise ValueError(
+                f"unknown option {key!r} for backend {name!r}; "
+                f"accepted: {sorted(cls.options)}"
+            )
+    return options
+
+
+def create_backend(
+    name: str,
+    options: Optional[Mapping[str, Any]] = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """Instantiate backend ``name`` with validated ``options``.
+
+    ``max_workers`` seeds the ``workers`` option where the backend
+    accepts one and the options did not pin it -- how the historical
+    ``--workers`` knob keeps meaning "pool width" under every backend.
+    """
+    cls = backend_class(name)
+    opts = validate_backend_options(name, options or {})
+    if max_workers is not None and "workers" in cls.options and "workers" not in opts:
+        opts["workers"] = validate_workers(max_workers, name="max_workers")
+    return cls(**opts)
+
+
+def _options_fingerprint(options: Mapping[str, Any]) -> Tuple[Tuple[str, Any], ...]:
+    return tuple(
+        (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+        for k, v in sorted(options.items())
+    )
+
+
+def shared_backend(
+    name: str,
+    options: Optional[Mapping[str, Any]] = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """A process-wide instance of backend ``name`` for these options.
+
+    Stateless backends are constructed fresh (cheap, nothing to share);
+    stateful ones (``tcp_remote`` keeps spawned workers and sockets) are
+    cached so repeated runs reuse the same worker fleet, and closed at
+    interpreter exit so no worker outlives the process.
+    """
+    cls = backend_class(name)
+    if not cls.stateful:
+        return create_backend(name, options, max_workers=max_workers)
+    opts = validate_backend_options(name, options or {})
+    if max_workers is not None and "workers" in cls.options and "workers" not in opts:
+        opts["workers"] = validate_workers(max_workers, name="max_workers")
+    key = (name, _options_fingerprint(opts))
+    with _SHARED_LOCK:
+        backend = _SHARED.get(key)
+        if backend is None or backend.closed:
+            backend = cls(**opts)
+            _SHARED[key] = backend
+    return backend
+
+
+def close_shared_backends() -> None:
+    """Tear down every cached shared backend (idempotent)."""
+    with _SHARED_LOCK:
+        backends = list(_SHARED.values())
+        _SHARED.clear()
+    for backend in backends:
+        backend.close()
+
+
+atexit.register(close_shared_backends)
+
+
+def _env_backend() -> Tuple[Optional[str], Dict[str, Any]]:
+    """Backend (name, options) requested through the environment."""
+    name = os.environ.get(BACKEND_ENV_VAR) or None
+    options: Dict[str, Any] = {}
+    raw = os.environ.get(BACKEND_OPTIONS_ENV_VAR)
+    if name is not None and raw:
+        try:
+            options = dict(json.loads(raw))
+        except (ValueError, TypeError):
+            raise ValueError(
+                f"{BACKEND_OPTIONS_ENV_VAR} must be a JSON object, got {raw!r}"
+            ) from None
+    return name, options
+
+
+def resolve_backend(
+    backend: Optional[Any] = None,
+    options: Optional[Mapping[str, Any]] = None,
+    max_workers: Optional[int] = None,
+) -> ExecutionBackend:
+    """The backend a fan-out should run on.
+
+    ``backend`` may be an :class:`ExecutionBackend` instance (used as
+    is; the caller owns its lifecycle), a registered name, or ``None``
+    -- which consults ``REPRO_BACKEND`` and finally falls back to the
+    historical heuristic: ``process_pool`` sized by ``max_workers``
+    (``serial`` when that pins a single worker).  Named/env selections
+    come from :func:`shared_backend`, so a stateful backend's workers
+    are reused across calls and reaped at exit.
+    """
+    if isinstance(backend, ExecutionBackend):
+        if options:
+            raise ValueError(
+                "backend options only apply when selecting by name; "
+                "configure the instance instead"
+            )
+        return backend
+    if backend is not None and not isinstance(backend, str):
+        raise TypeError(
+            f"backend must be an ExecutionBackend, a name, or None, "
+            f"got {type(backend).__name__}"
+        )
+    name = backend
+    merged: Dict[str, Any] = dict(options or {})
+    if name is None:
+        env_name, env_options = _env_backend()
+        if env_name is not None:
+            name = env_name
+            merged = {**env_options, **merged}
+    if name is None:
+        workers = (
+            default_max_workers() if max_workers is None
+            else validate_workers(max_workers, name="max_workers")
+        )
+        name = "serial" if workers <= 1 else "process_pool"
+    return shared_backend(name, merged, max_workers=max_workers)
+
+
+# ---------------------------------------------------------------------------
+# Built-in backends
+# ---------------------------------------------------------------------------
+
+
+@register_backend
+class SerialBackend(ExecutionBackend):
+    """In-process, one task at a time: the bit-identity reference.
+
+    Shares the resilient runner's serial path, so typed failures are
+    still retried with the policy's deterministic backoff -- a fault
+    plan behaves the same here as on any pool, minus the process churn.
+    """
+
+    name = "serial"
+    options: ClassVar[Mapping[str, str]] = {}
+
+    @property
+    def parallelism(self) -> int:
+        return 1
+
+    def submit_blocks(
+        self,
+        fn: Callable[..., Any],
+        args_list: Sequence[Tuple],
+        window: Optional[int] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        emit: Optional[Emit] = None,
+        start_index: int = 0,
+    ) -> Iterator[Tuple[int, Any]]:
+        return iter_tasks_resilient(
+            fn,
+            args_list,
+            max_workers=1,
+            window=window,
+            policy=policy,
+            injector=injector,
+            emit=emit,
+            start_index=start_index,
+        )
+
+
+@register_backend
+class ProcessPoolBackend(ExecutionBackend):
+    """The historical single-host process pool, lifted behind the seam.
+
+    Execution semantics are exactly :func:`~repro.engine.resilience.iter_tasks_resilient`
+    -- sliding submission window, plan-order delivery, retry/pool
+    replacement/serial degradation -- with pools created per fan-out and
+    torn down when it completes or is abandoned (the instance itself
+    holds no processes, so ``close()`` has nothing to leak).
+
+    ``shared_memory=True`` routes block results through
+    :mod:`repro.engine.shm`: workers park the columnar arrays in one
+    POSIX shared-memory segment each and ship back a tiny descriptor,
+    skipping the pickle round-trip on single-host many-core runs.
+    Results are bit-identical either way.
+    """
+
+    name = "process_pool"
+    options: ClassVar[Mapping[str, str]] = {
+        "workers": "pool width (positive int; default: auto-sized)",
+        "shared_memory": "ship block results via shared memory (bool)",
+    }
+    supports_shared_memory = True
+
+    def __init__(
+        self,
+        workers: Optional[int] = None,
+        shared_memory: bool = False,
+    ) -> None:
+        super().__init__()
+        self.workers = (
+            default_max_workers() if workers is None
+            else validate_workers(workers)
+        )
+        if not isinstance(shared_memory, bool):
+            raise ValueError(
+                f"shared_memory must be a bool, got {shared_memory!r}"
+            )
+        self.shared_memory = shared_memory
+
+    @property
+    def parallelism(self) -> int:
+        return self.workers
+
+    def submit_blocks(
+        self,
+        fn: Callable[..., Any],
+        args_list: Sequence[Tuple],
+        window: Optional[int] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        emit: Optional[Emit] = None,
+        start_index: int = 0,
+    ) -> Iterator[Tuple[int, Any]]:
+        task_fn = fn
+        decode = None
+        if self.shared_memory:
+            from repro.engine.shm import ShmTaskWrapper, decode_shared
+
+            task_fn = ShmTaskWrapper(fn)
+            decode = decode_shared
+        for index, result in iter_tasks_resilient(
+            task_fn,
+            args_list,
+            max_workers=self.workers,
+            window=window,
+            policy=policy,
+            injector=injector,
+            emit=emit,
+            start_index=start_index,
+        ):
+            yield index, (decode(result) if decode is not None else result)
+
+
+def _ensure_builtin_backends() -> None:
+    """Import-register backends living in their own modules."""
+    if "tcp_remote" not in _REGISTRY:
+        from repro.engine import remote  # noqa: F401  (registers itself)

@@ -18,7 +18,9 @@ evaluation, frontier/region/queueing analysis -- runs *through* a
   synthetic workload) without touching global state;
 * **reporting sinks**: callables receiving ``(event, payload)`` pairs as
   stages start and finish, for progress lines, logging, or test capture;
-* **the executor knobs**: worker counts for chunked space evaluation and
+* **the executor knobs**: worker counts and the execution backend
+  (serial / process pool / TCP remote, see
+  :mod:`repro.engine.backends`) for chunked space evaluation and
   replication fan-out.
 
 Use :func:`default_context` for the shared process-wide context (what the
@@ -94,6 +96,14 @@ class RunContext:
         sequence of :class:`~repro.engine.faults.FaultSpec` -- threaded
         through the executor, the cache, and the reducer pass.  ``None``
         (the default) injects nothing.
+    backend, backend_options:
+        Default execution backend for every fan-out this context runs --
+        a registered name (``"serial"``, ``"process_pool"``,
+        ``"tcp_remote"``), an :class:`~repro.engine.backends.ExecutionBackend`
+        instance, or ``None`` for the historical auto-selection (see
+        :func:`repro.engine.backends.resolve_backend`; the
+        ``REPRO_BACKEND`` environment variable is honored).  Artifacts
+        and cache keys are bit-identical across backends.
     """
 
     def __init__(
@@ -105,6 +115,8 @@ class RunContext:
         memory_budget_mb: Optional[float] = None,
         resilience: Optional[ResiliencePolicy] = None,
         faults: Optional[Any] = None,
+        backend: Optional[Any] = None,
+        backend_options: Optional[Mapping[str, Any]] = None,
     ):
         self.seed = seed
         self.cache = cache if cache is not None else ResultCache()
@@ -112,6 +124,10 @@ class RunContext:
         self.max_workers = max_workers
         self.memory_budget_mb = memory_budget_mb
         self.resilience = resilience
+        self.backend = backend
+        self.backend_options = (
+            dict(backend_options) if backend_options is not None else None
+        )
         self.faults: Optional[FaultInjector] = normalize_injector(faults)
         if self.cache.on_event is None:
             self.cache.on_event = self.emit
@@ -152,6 +168,16 @@ class RunContext:
     def rng_stream(self, seed: Optional[SeedLike] = None) -> RngStream:
         """The reproducible stream tree rooted at ``seed`` (context default)."""
         return RngStream(self.seed if seed is None else seed)
+
+    # ---- backend selection ---------------------------------------------
+
+    def _backend_args(
+        self, backend: Optional[Any], backend_options: Optional[Mapping[str, Any]]
+    ) -> Tuple[Optional[Any], Optional[Mapping[str, Any]]]:
+        """Per-call backend override, falling back to the context default."""
+        if backend is None and backend_options is None:
+            return self.backend, self.backend_options
+        return backend, backend_options
 
     # ---- cached pipeline stages ----------------------------------------
 
@@ -232,6 +258,8 @@ class RunContext:
         group_specs: Sequence[GroupSpec],
         params: Mapping[str, NodeModelParams],
         units: float,
+        backend: Optional[Any] = None,
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> ConfigSpaceResult:
         """Evaluate a k-group configuration space, memoized, chunk-parallel.
 
@@ -239,12 +267,15 @@ class RunContext:
         the result is cached on the full content of every group axis and
         every model parameter, so two identical requests anywhere in the
         process evaluate once -- whether they arrive through this method
-        or through the two-type :meth:`space` sugar.
+        or through the two-type :meth:`space` sugar.  ``backend``
+        overrides the context's execution backend for this call; the
+        cache key is backend-independent (the bytes are identical).
         """
         group_specs = tuple(
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
             for gs in group_specs
         )
+        backend, backend_options = self._backend_args(backend, backend_options)
         key = self._space_key(group_specs, params, units)
 
         def compute() -> ConfigSpaceResult:
@@ -252,6 +283,7 @@ class RunContext:
             result = _executor.evaluate_space_groups_chunked(
                 group_specs, params, units, max_workers=self.max_workers,
                 policy=self.resilience, injector=self.faults, emit=self.emit,
+                backend=backend, backend_options=backend_options,
             )
             self.emit(
                 "space.evaluated",
@@ -285,6 +317,8 @@ class RunContext:
         units: float,
         memory_budget_mb: Optional[float] = None,
         start_block: int = 0,
+        backend: Optional[Any] = None,
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> Iterable[SpaceBlock]:
         """Stream a k-group space as memory-bounded blocks, in row order.
 
@@ -304,6 +338,7 @@ class RunContext:
             self.memory_budget_mb if memory_budget_mb is None
             else memory_budget_mb
         )
+        backend, backend_options = self._backend_args(backend, backend_options)
         return _executor.iter_space_groups_chunked(
             group_specs,
             params,
@@ -314,6 +349,8 @@ class RunContext:
             injector=self.faults,
             emit=self.emit,
             start_block=start_block,
+            backend=backend,
+            backend_options=backend_options,
         )
 
     def space_reduced(
@@ -326,6 +363,8 @@ class RunContext:
         consumers: Sequence[Any] = (),
         checkpoint: Optional[CheckpointManager] = None,
         resume: bool = False,
+        backend: Optional[Any] = None,
+        backend_options: Optional[Mapping[str, Any]] = None,
     ) -> ReducedSpace:
         """Stream-reduce a k-group space to its compact artifact, memoized.
 
@@ -355,6 +394,7 @@ class RunContext:
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
             for gs in group_specs
         )
+        backend, backend_options = self._backend_args(backend, backend_options)
         queue_kw = dict(queueing) if queueing is not None else None
         fold_hook = self.faults.on_fold if self.faults is not None else None
 
@@ -378,6 +418,8 @@ class RunContext:
                     group_specs,
                     max_workers=self.max_workers,
                     memory_budget_mb=budget,
+                    backend=backend,
+                    backend_options=backend_options,
                 )
                 plan_fp = stable_hash(
                     ("block-plan", tuple((t.counts, t.rows) for t in plan))
@@ -397,6 +439,8 @@ class RunContext:
                     group_specs, params, units,
                     memory_budget_mb=memory_budget_mb,
                     start_block=start_block,
+                    backend=backend,
+                    backend_options=backend_options,
                 ),
                 consumers=extra,
                 fold_hook=fold_hook,
@@ -456,14 +500,25 @@ class RunContext:
 
     # ---- replication fan-out -------------------------------------------
 
-    def map(self, fn: Callable[[Any], Any], items: Iterable[Any]) -> List[Any]:
+    def map(
+        self,
+        fn: Callable[[Any], Any],
+        items: Iterable[Any],
+        backend: Optional[Any] = None,
+        backend_options: Optional[Mapping[str, Any]] = None,
+    ) -> List[Any]:
         """Order-preserving parallel map over independent replications.
 
         ``fn`` must be a picklable top-level callable (process pools
-        cannot ship closures); execution degrades to a serial map when
-        pooling is unavailable.
+        cannot ship closures -- and the remote backend additionally
+        needs it importable on the worker); execution degrades to a
+        serial map when pooling is unavailable.
         """
-        return _executor.parallel_map(fn, items, max_workers=self.max_workers)
+        backend, backend_options = self._backend_args(backend, backend_options)
+        return _executor.parallel_map(
+            fn, items, max_workers=self.max_workers,
+            backend=backend, backend_options=backend_options,
+        )
 
 
 _DEFAULT_CONTEXT: Optional[RunContext] = None

@@ -32,6 +32,17 @@ tasks) and degrade to serial execution if a pool cannot be created at all
 (restricted sandboxes) -- parallelism here is an optimization, never a
 semantic.
 
+*Where* tasks run is delegated to a pluggable
+:class:`~repro.engine.backends.ExecutionBackend`: every fan-out accepts
+``backend``/``backend_options`` (a registered name like ``"serial"``,
+``"process_pool"``, ``"tcp_remote"``, or a ready instance) and resolves
+them through :func:`repro.engine.backends.resolve_backend` -- which
+preserves the historical default (a process pool sized by
+``max_workers``, serial when that pins one worker) and honors the
+``REPRO_BACKEND`` environment variable.  Because every backend delivers
+results in plan order and bit-identical, the choice never changes an
+artifact, only where the work happened.
+
 Failure handling is delegated to :mod:`repro.engine.resilience`: every
 fan-out accepts a :class:`~repro.engine.resilience.ResiliencePolicy`
 (per-task retry with deterministic backoff, per-task timeouts,
@@ -44,7 +55,6 @@ fault-free one.
 
 from __future__ import annotations
 
-import os
 from typing import (
     Any,
     Callable,
@@ -70,13 +80,14 @@ from repro.core.streaming import (
     max_rows_for_budget,
     plan_block_tasks,
 )
-from repro.engine.faults import FaultInjector
-from repro.engine.resilience import (
-    Emit,
-    ResiliencePolicy,
-    iter_tasks_resilient,
-    run_tasks_resilient,
+from repro.engine.backends import (
+    ExecutionBackend,
+    default_max_workers,  # noqa: F401  (historical import point)
+    resolve_backend,
+    validate_workers,
 )
+from repro.engine.faults import FaultInjector
+from repro.engine.resilience import Emit, ResiliencePolicy
 from repro.hardware.specs import NodeSpec
 
 #: Below this many estimated rows the fork+pickle toll outweighs the win.
@@ -86,9 +97,19 @@ PARALLEL_THRESHOLD_ROWS = 100_000
 _UNBOUNDED_ROWS = 2**62
 
 
-def default_max_workers() -> int:
-    """Worker count when the caller does not pin one."""
-    return max(1, min(8, os.cpu_count() or 1))
+def _plan_workers(max_workers: Optional[int], backend: ExecutionBackend) -> int:
+    """The worker count that sizes a block plan.
+
+    An explicit ``max_workers`` wins (and is validated -- a non-positive
+    count raises instead of silently clamping); otherwise the backend's
+    parallelism decides, so e.g. a two-agent ``tcp_remote`` backend plans
+    two-chunk-minimum partitions.  The same rule feeds
+    :func:`space_block_plan` and the fan-outs, keeping checkpoint plan
+    fingerprints consistent with actual execution.
+    """
+    if max_workers is not None:
+        return validate_workers(max_workers, name="max_workers")
+    return max(1, backend.parallelism)
 
 
 def _chunk(values: np.ndarray, n_chunks: int) -> List[np.ndarray]:
@@ -136,15 +157,19 @@ def space_block_plan(
     max_workers: Optional[int] = None,
     n_chunks: Optional[int] = None,
     memory_budget_mb: Optional[float] = None,
+    backend: Optional[Any] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
 ):
     """The exact block plan :func:`iter_space_groups_chunked` will stream.
 
     Exposed so checkpointing can fingerprint the decomposition (block
-    boundaries depend on the worker count and memory budget) before a
-    single block is evaluated.
+    boundaries depend on the worker count -- explicit or the resolved
+    backend's parallelism -- and the memory budget) before a single
+    block is evaluated.
     """
     group_specs = tuple(group_specs)
-    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    be = resolve_backend(backend, backend_options, max_workers=max_workers)
+    workers = _plan_workers(max_workers, be)
     window = workers + 1
     return _plan_tasks(
         group_specs, workers, n_chunks, memory_budget_mb,
@@ -162,23 +187,29 @@ def evaluate_space_groups_chunked(
     policy: Optional[ResiliencePolicy] = None,
     injector: Optional[FaultInjector] = None,
     emit: Optional[Emit] = None,
+    backend: Optional[Any] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
 ) -> ConfigSpaceResult:
     """Evaluate a k-group space in node-count blocks, optionally parallel.
 
     Semantics and row order are identical to
     :func:`repro.core.evaluate.evaluate_space_groups`; only the execution
-    shape differs.  ``max_workers`` caps the process pool (``<= 1``
-    forces in-process execution); ``n_chunks`` pins the number of chunks
-    per presence-mask block, and when omitted the chunk size is derived
-    from ``memory_budget_mb`` and the per-row width (at least one chunk
-    per worker).  Small spaces take the direct path -- chunking is pure
+    shape differs.  ``max_workers`` caps the process pool (``1`` forces
+    in-process execution); ``n_chunks`` pins the number of chunks per
+    presence-mask block, and when omitted the chunk size is derived from
+    ``memory_budget_mb`` and the per-row width (at least one chunk per
+    worker).  Small spaces take the direct path -- chunking is pure
     overhead below :data:`PARALLEL_THRESHOLD_ROWS` rows.
+    ``backend``/``backend_options`` pick the execution backend (see
+    :func:`repro.engine.backends.resolve_backend`); results are
+    bit-identical whichever runs the blocks.
     """
     group_specs = tuple(group_specs)
     counts = [_normalize_counts(gs.counts, gs.max_nodes) for gs in group_specs]
     pos = [c[c > 0] for c in counts]
 
-    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    be = resolve_backend(backend, backend_options, max_workers=max_workers)
+    workers = _plan_workers(max_workers, be)
     masks = list(presence_masks(group_specs))
     rows = _estimate_rows(group_specs, pos, masks)
     small = rows < PARALLEL_THRESHOLD_ROWS and n_chunks is None
@@ -192,8 +223,8 @@ def evaluate_space_groups_chunked(
         return _evaluate.evaluate_space_groups(group_specs, params, units)
 
     arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
-    blocks = run_tasks_resilient(
-        _evaluate_block, arg_sets, max_workers=workers,
+    blocks = be.run_tasks(
+        _evaluate_block, arg_sets,
         policy=policy, injector=injector, emit=emit,
     )
     return _concat_results(blocks)
@@ -210,18 +241,22 @@ def iter_space_groups_chunked(
     injector: Optional[FaultInjector] = None,
     emit: Optional[Emit] = None,
     start_block: int = 0,
+    backend: Optional[Any] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
 ) -> Iterator[SpaceBlock]:
-    """Stream a k-group space as :class:`SpaceBlock`\\ s, pool-evaluated.
+    """Stream a k-group space as :class:`SpaceBlock`\\ s, backend-evaluated.
 
     Blocks are yielded in the exact global row order of
     :func:`repro.core.evaluate.evaluate_space_groups` -- a sliding window
     of at most ``workers + 1`` blocks is in flight, and completed blocks
     are re-ordered before yielding, so concatenating the stream
     reproduces the materialized space bit-for-bit while peak memory
-    stays within ``memory_budget_mb``.  Falls back to serial in-process
-    evaluation, mid-stream if necessary, when no pool is available --
-    blocks already yielded are never recomputed, and determinism makes
-    the serial continuation identical.
+    stays within ``memory_budget_mb``.  The re-ordering is the
+    *backend's* contract (:meth:`~repro.engine.backends.ExecutionBackend.submit_blocks`
+    yields in plan order whatever the completion order), so the reducer
+    feed is identical under serial, pooled, or remote execution; local
+    backends still fall back to serial in-process evaluation, mid-stream
+    if necessary, when no pool is available.
 
     ``policy``/``injector`` select the fault-tolerance behavior (see
     :func:`repro.engine.resilience.iter_tasks_resilient`): failed tasks
@@ -236,7 +271,8 @@ def iter_space_groups_chunked(
     group_specs = tuple(group_specs)
     if not group_specs:
         raise ValueError("need at least one node-type group")
-    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
+    be = resolve_backend(backend, backend_options, max_workers=max_workers)
+    workers = _plan_workers(max_workers, be)
     window = workers + 1
     tasks = _plan_tasks(
         group_specs, workers, n_chunks, memory_budget_mb,
@@ -255,10 +291,9 @@ def iter_space_groups_chunked(
         starts.append(starts[-1] + task.rows)
 
     arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
-    for idx, data in iter_tasks_resilient(
+    for idx, data in be.submit_blocks(
         _evaluate_block,
         arg_sets,
-        max_workers=min(workers, max(1, len(tasks) - start_block)),
         window=window,
         policy=policy,
         injector=injector,
@@ -281,6 +316,8 @@ def evaluate_space_chunked(
     settings_b: Optional[Sequence[Tuple[int, float]]] = None,
     max_workers: Optional[int] = None,
     n_chunks: Optional[int] = None,
+    backend: Optional[Any] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
 ) -> ConfigSpaceResult:
     """Two-type entry point of :func:`evaluate_space_groups_chunked`.
 
@@ -299,6 +336,8 @@ def evaluate_space_chunked(
         units,
         max_workers=max_workers,
         n_chunks=n_chunks,
+        backend=backend,
+        backend_options=backend_options,
     )
 
 
@@ -326,6 +365,8 @@ def parallel_map(
     policy: Optional[ResiliencePolicy] = None,
     injector: Optional[FaultInjector] = None,
     emit: Optional[Emit] = None,
+    backend: Optional[Any] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
 ) -> List[Any]:
     """Map a picklable top-level function over items, pooled when possible.
 
@@ -333,14 +374,16 @@ def parallel_map(
     (:mod:`repro.validation.sweeps`) and noise replicates across cores;
     falls back to a serial map when pooling is unavailable or pointless,
     and inherits the resilient runner's retry/pool-replacement behavior
-    for transient worker failures.
+    for transient worker failures.  ``backend``/``backend_options``
+    select where the map runs, like every other fan-out.
     """
     items = list(items)
-    workers = default_max_workers() if max_workers is None else max(1, int(max_workers))
-    return run_tasks_resilient(
+    be = resolve_backend(backend, backend_options, max_workers=max_workers)
+    if max_workers is not None:
+        validate_workers(max_workers, name="max_workers")
+    return be.map(
         fn,
-        [(item,) for item in items],
-        max_workers=min(workers, max(1, len(items))),
+        items,
         policy=policy,
         injector=injector,
         emit=emit,

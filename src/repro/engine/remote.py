@@ -1,0 +1,760 @@
+"""The ``tcp_remote`` backend: block tasks over a socket wire protocol.
+
+Multi-host execution for the engine's pure fan-outs: pickled task frames
+ship to worker agents (:mod:`repro.engine.remote_worker`, started as
+``python -m repro.engine.remote_worker``) over plain TCP, results ship
+back, and a heartbeat loop stands in for the liveness signal a local
+process pool gets for free.
+
+Wire protocol (version 1)
+-------------------------
+Every frame is an 8-byte big-endian length prefix followed by a pickled
+``dict`` with a ``"type"`` key:
+
+``hello``    worker -> client on accept: ``{version, pid}``.
+``task``     client -> worker: ``{task, attempt, fn, args, injector}``.
+             ``fn`` is pickled by reference, so the worker must be able
+             to ``import repro`` (spawned localhost agents inherit a
+             ``PYTHONPATH`` pointing at this checkout).
+``result``   worker -> client: ``{task, ok, value}`` on success,
+             ``{task, ok, error}`` with the pickled exception otherwise.
+``ping`` / ``pong``  liveness probes, either direction, ``{seq}``.
+``shutdown`` client -> worker: finish up and exit the serve loop.
+
+A worker agent runs one task at a time per connection but keeps
+answering pings from its connection loop while the task evaluates, so a
+*slow* worker and a *dead* worker are distinguishable.
+
+Liveness model
+--------------
+The local pool's ``BrokenProcessPool`` generalizes to heartbeat-timeout
+liveness: each worker channel sends a ``ping`` whenever the link has
+been quiet for ``heartbeat_interval_s``, and declares the worker dead
+when nothing (pong, result, anything) has been heard for
+``heartbeat_timeout_s``.  EOF (the worker process dying outright) is
+just the fast special case.  A dead worker triggers exactly the local
+pool's recovery ladder, with the same ``resilience.*`` events: the
+failed task's attempt is bumped (``WorkerCrash`` when its retry budget
+is exhausted), the worker is respawned/reconnected while the policy's
+``max_pool_failures`` budget lasts, and past the budget the remaining
+tasks degrade to in-process serial execution.  Typed retryable failures
+(:class:`~repro.engine.faults.ResilienceError`, ``OSError``) shipped
+back in a ``result`` frame retry with the policy's deterministic
+backoff; anything else propagates immediately.  ``task_timeout_s``
+bounds each assignment: a worker that heartbeats but never answers is
+treated as stuck and replaced, raising
+:class:`~repro.engine.faults.TaskTimeout` once the task's budget is
+spent.
+
+Results are delivered strictly in plan order, so artifacts are
+bit-identical to the serial and process-pool backends -- the conformance
+suite (``tests/engine/test_backends.py``) holds this backend to the same
+byte-for-byte standard, including under ``worker_vanish`` fault plans.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import queue
+import select
+import socket
+import struct
+import subprocess
+import sys
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    ClassVar,
+    Dict,
+    Iterator,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.backends import (
+    BACKEND_ENV_VAR,
+    BACKEND_OPTIONS_ENV_VAR,
+    ExecutionBackend,
+    register_backend,
+    validate_workers,
+)
+from repro.engine.faults import (
+    FaultInjector,
+    ResilienceError,
+    TaskTimeout,
+    WorkerCrash,
+)
+from repro.engine.resilience import (
+    DEFAULT_POLICY,
+    RETRYABLE,
+    Emit,
+    ResiliencePolicy,
+    call_with_faults,
+)
+
+#: Wire protocol version carried in the ``hello`` frame.
+PROTOCOL_VERSION = 1
+
+#: Line a spawned worker prints once it is listening: ``REPRO_WORKER_PORT <n>``.
+PORT_BANNER = "REPRO_WORKER_PORT"
+
+DEFAULT_SPAWN_WORKERS = 2
+DEFAULT_HEARTBEAT_INTERVAL_S = 0.5
+DEFAULT_HEARTBEAT_TIMEOUT_S = 5.0
+DEFAULT_CONNECT_TIMEOUT_S = 10.0
+
+_LEN = struct.Struct(">Q")
+_RECV_CHUNK = 1 << 16
+
+
+class RemoteProtocolError(RuntimeError):
+    """The peer sent something that is not a valid protocol frame."""
+
+
+class RemoteTaskError(RuntimeError):
+    """A non-retryable task failure whose original exception could not
+    cross the wire (unpicklable error, unpicklable result)."""
+
+
+def send_frame(sock: socket.socket, obj: Mapping[str, Any]) -> None:
+    """Pickle ``obj`` and send it as one length-prefixed frame."""
+    payload = pickle.dumps(dict(obj), protocol=pickle.HIGHEST_PROTOCOL)
+    sock.sendall(_LEN.pack(len(payload)) + payload)
+
+
+class FrameReader:
+    """Buffered frame reader that survives partial reads and timeouts.
+
+    Socket timeouts can interrupt a frame mid-transfer; the reader keeps
+    the partial bytes and resumes on the next call, so a ``ping``-paced
+    receive loop never desynchronizes from the stream.
+    """
+
+    def __init__(self, sock: socket.socket) -> None:
+        self._sock = sock
+        self._buf = bytearray()
+
+    def read(self, timeout: Optional[float] = None) -> Optional[Dict[str, Any]]:
+        """Next frame; ``None`` if none completes within ``timeout``.
+
+        Raises ``ConnectionError`` when the peer closes the stream.
+        """
+        deadline = None if timeout is None else time.monotonic() + timeout
+        while True:
+            frame = self._pop_frame()
+            if frame is not None:
+                return frame
+            if deadline is None:
+                self._sock.settimeout(None)
+            else:
+                remaining = deadline - time.monotonic()
+                if remaining <= 0:
+                    return None
+                self._sock.settimeout(remaining)
+            try:
+                chunk = self._sock.recv(_RECV_CHUNK)
+            except socket.timeout:
+                return None
+            except InterruptedError:
+                continue
+            if not chunk:
+                raise ConnectionError("peer closed the connection")
+            self._buf += chunk
+
+    def _pop_frame(self) -> Optional[Dict[str, Any]]:
+        if len(self._buf) < _LEN.size:
+            return None
+        (length,) = _LEN.unpack_from(self._buf, 0)
+        end = _LEN.size + length
+        if len(self._buf) < end:
+            return None
+        payload = bytes(self._buf[_LEN.size : end])
+        del self._buf[:end]
+        frame = pickle.loads(payload)
+        if not isinstance(frame, dict) or "type" not in frame:
+            raise RemoteProtocolError(f"malformed frame: {frame!r}")
+        return frame
+
+
+def parse_hosts(value: Any) -> List[Tuple[str, int]]:
+    """Normalize a ``worker_hosts`` option to ``[(host, port), ...]``.
+
+    Accepts a comma-separated string or a sequence of ``"host:port"``
+    entries; a bad entry raises a ``ValueError`` naming it.
+    """
+    if value is None:
+        return []
+    if isinstance(value, str):
+        entries = [e.strip() for e in value.split(",") if e.strip()]
+    else:
+        entries = [str(e).strip() for e in value if str(e).strip()]
+    hosts: List[Tuple[str, int]] = []
+    for entry in entries:
+        host, sep, port_text = entry.rpartition(":")
+        if not sep or not host:
+            raise ValueError(
+                f"invalid worker host {entry!r}; expected 'host:port'"
+            )
+        try:
+            port = int(port_text)
+        except ValueError:
+            raise ValueError(
+                f"invalid worker host {entry!r}; expected 'host:port'"
+            ) from None
+        if not 0 < port < 65536:
+            raise ValueError(
+                f"invalid worker host {entry!r}; port must be in 1..65535"
+            )
+        hosts.append((host, port))
+    return hosts
+
+
+def _positive_float(value: Any, name: str) -> float:
+    try:
+        number = float(value)
+    except (TypeError, ValueError):
+        raise ValueError(
+            f"{name} must be a positive number, got {value!r}"
+        ) from None
+    if number <= 0:
+        raise ValueError(f"{name} must be a positive number, got {value!r}")
+    return number
+
+
+@dataclass
+class _WorkerSlot:
+    """One worker the backend can assign tasks to.
+
+    ``spawned`` slots own their localhost agent process and can respawn
+    it after a failure; configured-host slots can only reconnect.
+    """
+
+    index: int
+    host: str
+    port: int
+    proc: Optional[subprocess.Popen] = None
+    spawned: bool = False
+
+
+@register_backend
+class TcpRemoteBackend(ExecutionBackend):
+    """Ship block tasks to TCP worker agents; heartbeat-timeout liveness.
+
+    With ``worker_hosts`` the backend connects to already-running agents
+    (one ``python -m repro.engine.remote_worker`` per host); without, it
+    spawns ``spawn_workers`` localhost agents on ephemeral ports and
+    keeps them across fan-outs until :meth:`close` (registered shared
+    instances are closed at interpreter exit, so no agent outlives the
+    client process).
+    """
+
+    name = "tcp_remote"
+    options: ClassVar[Mapping[str, str]] = {
+        "worker_hosts": "comma-separated 'host:port' worker agents",
+        "spawn_workers": "localhost agents to spawn when no hosts given "
+        f"(positive int; default {DEFAULT_SPAWN_WORKERS})",
+        "heartbeat_interval_s": "quiet-link seconds between pings "
+        f"(default {DEFAULT_HEARTBEAT_INTERVAL_S})",
+        "heartbeat_timeout_s": "silence seconds before a worker is dead "
+        f"(default {DEFAULT_HEARTBEAT_TIMEOUT_S})",
+        "connect_timeout_s": "seconds to establish a worker connection "
+        f"(default {DEFAULT_CONNECT_TIMEOUT_S})",
+    }
+    is_remote = True
+    stateful = True
+
+    def __init__(
+        self,
+        worker_hosts: Any = None,
+        spawn_workers: Optional[int] = None,
+        heartbeat_interval_s: float = DEFAULT_HEARTBEAT_INTERVAL_S,
+        heartbeat_timeout_s: float = DEFAULT_HEARTBEAT_TIMEOUT_S,
+        connect_timeout_s: float = DEFAULT_CONNECT_TIMEOUT_S,
+    ) -> None:
+        super().__init__()
+        self._hosts = parse_hosts(worker_hosts)
+        if self._hosts and spawn_workers is not None:
+            raise ValueError(
+                "spawn_workers only applies when no worker_hosts are "
+                "configured; drop one of the two options"
+            )
+        self.spawn_workers = (
+            DEFAULT_SPAWN_WORKERS
+            if spawn_workers is None
+            else validate_workers(spawn_workers, name="spawn_workers")
+        )
+        self.heartbeat_interval_s = _positive_float(
+            heartbeat_interval_s, "heartbeat_interval_s"
+        )
+        self.heartbeat_timeout_s = _positive_float(
+            heartbeat_timeout_s, "heartbeat_timeout_s"
+        )
+        self.connect_timeout_s = _positive_float(
+            connect_timeout_s, "connect_timeout_s"
+        )
+        self._slots: Dict[int, _WorkerSlot] = {}
+        self._lock = threading.Lock()
+
+    # ---- lifecycle -----------------------------------------------------
+
+    @property
+    def parallelism(self) -> int:
+        return len(self._hosts) if self._hosts else self.spawn_workers
+
+    def close(self) -> None:
+        """Terminate spawned agents and drop every slot.  Idempotent."""
+        if self.closed:
+            return
+        with self._lock:
+            slots = list(self._slots.values())
+            self._slots.clear()
+        for slot in slots:
+            self._terminate_proc(slot)
+        super().close()
+
+    @staticmethod
+    def _terminate_proc(slot: _WorkerSlot) -> None:
+        proc = slot.proc
+        slot.proc = None
+        if proc is None or proc.poll() is not None:
+            return
+        proc.terminate()
+        try:
+            proc.wait(timeout=5.0)
+        except subprocess.TimeoutExpired:
+            proc.kill()
+            proc.wait(timeout=5.0)
+
+    def _spawn_worker_proc(self) -> Tuple[subprocess.Popen, int]:
+        """Start a localhost agent and learn its ephemeral port."""
+        import repro
+
+        src_dir = str(Path(repro.__file__).resolve().parents[1])
+        env = os.environ.copy()
+        existing = env.get("PYTHONPATH")
+        env["PYTHONPATH"] = (
+            src_dir + os.pathsep + existing if existing else src_dir
+        )
+        # A worker must never itself resolve a remote backend -- that
+        # would recurse into spawning workers from workers.
+        env.pop(BACKEND_ENV_VAR, None)
+        env.pop(BACKEND_OPTIONS_ENV_VAR, None)
+        cmd = [
+            sys.executable,
+            "-u",
+            "-m",
+            "repro.engine.remote_worker",
+            "--host",
+            "127.0.0.1",
+            "--port",
+            "0",
+        ]
+        proc = subprocess.Popen(
+            cmd,
+            stdout=subprocess.PIPE,
+            stderr=subprocess.DEVNULL,
+            env=env,
+            text=True,
+        )
+        line = ""
+        deadline = time.monotonic() + self.connect_timeout_s
+        while time.monotonic() < deadline:
+            ready, _, _ = select.select([proc.stdout], [], [], 0.1)
+            if ready:
+                line = proc.stdout.readline()
+                break
+            if proc.poll() is not None:
+                break
+        if not line.startswith(PORT_BANNER):
+            self._terminate_proc(_WorkerSlot(index=-1, host="", port=0, proc=proc))
+            raise RuntimeError(
+                f"failed to start local worker agent ({' '.join(cmd)})"
+            )
+        return proc, int(line.split()[1])
+
+    def _ensure_workers(self) -> None:
+        with self._lock:
+            if self._slots:
+                return
+            if self._hosts:
+                for i, (host, port) in enumerate(self._hosts):
+                    self._slots[i] = _WorkerSlot(index=i, host=host, port=port)
+            else:
+                for i in range(self.spawn_workers):
+                    proc, port = self._spawn_worker_proc()
+                    self._slots[i] = _WorkerSlot(
+                        index=i, host="127.0.0.1", port=port,
+                        proc=proc, spawned=True,
+                    )
+
+    def _respawn_slot(self, slot: _WorkerSlot) -> None:
+        """Replace a spawned slot's agent process (stuck or dead)."""
+        self._terminate_proc(slot)
+        proc, port = self._spawn_worker_proc()
+        slot.proc = proc
+        slot.port = port
+
+    # ---- channel thread ------------------------------------------------
+
+    def _channel_main(
+        self,
+        slot: _WorkerSlot,
+        assign_q: "queue.Queue",
+        results_q: "queue.Queue",
+        policy: ResiliencePolicy,
+    ) -> None:
+        """One worker's channel: connect, then serve assignments.
+
+        Terminal conditions report exactly one event to ``results_q``:
+        ``connect_failed`` (never served), ``dead`` (EOF or heartbeat
+        silence), ``timeout`` (task deadline passed), or per-task
+        ``result`` frames followed by a clean sentinel exit.
+        """
+        sock: Optional[socket.socket] = None
+        current_task: Optional[int] = None
+
+        def report(kind: str, frame: Optional[Dict[str, Any]] = None) -> None:
+            nonlocal current_task
+            results_q.put((kind, slot.index, current_task, frame))
+            current_task = None
+
+        try:
+            try:
+                sock = socket.create_connection(
+                    (slot.host, slot.port), timeout=self.connect_timeout_s
+                )
+                sock.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+                reader = FrameReader(sock)
+                hello = reader.read(timeout=self.connect_timeout_s)
+            except (ConnectionError, OSError):
+                report("connect_failed")
+                return
+            if hello is None or hello.get("type") != "hello":
+                report("connect_failed")
+                return
+            while True:
+                item = assign_q.get()
+                if item is None:
+                    return
+                task_idx, attempt, fn, args, injector = item
+                current_task = task_idx
+                try:
+                    send_frame(
+                        sock,
+                        {
+                            "type": "task",
+                            "task": task_idx,
+                            "attempt": attempt,
+                            "fn": fn,
+                            "args": tuple(args),
+                            "injector": injector,
+                        },
+                    )
+                except OSError:
+                    report("dead")
+                    return
+                deadline = (
+                    time.monotonic() + policy.task_timeout_s
+                    if policy.task_timeout_s is not None
+                    else None
+                )
+                last_heard = time.monotonic()
+                seq = 0
+                while current_task is not None:
+                    if deadline is not None and time.monotonic() >= deadline:
+                        report("timeout")
+                        return
+                    wait = self.heartbeat_interval_s
+                    if deadline is not None:
+                        wait = min(wait, max(0.01, deadline - time.monotonic()))
+                    try:
+                        frame = reader.read(timeout=wait)
+                    except (ConnectionError, OSError):
+                        report("dead")
+                        return
+                    now = time.monotonic()
+                    if frame is None:
+                        if now - last_heard >= self.heartbeat_timeout_s:
+                            report("dead")
+                            return
+                        try:
+                            send_frame(sock, {"type": "ping", "seq": seq})
+                            seq += 1
+                        except OSError:
+                            report("dead")
+                            return
+                        continue
+                    last_heard = now
+                    ftype = frame.get("type")
+                    if ftype == "result":
+                        report("result", frame)
+                    # pongs (and anything unknown) only refresh liveness
+        finally:
+            if current_task is not None:
+                # A bug above must not strand the dispatcher waiting on
+                # an event that will never arrive.
+                results_q.put(("dead", slot.index, current_task, None))
+            if sock is not None:
+                try:
+                    sock.close()
+                except OSError:
+                    pass
+
+    # ---- dispatcher ----------------------------------------------------
+
+    def submit_blocks(
+        self,
+        fn: Callable[..., Any],
+        args_list: Sequence[Tuple],
+        window: Optional[int] = None,
+        policy: Optional[ResiliencePolicy] = None,
+        injector: Optional[FaultInjector] = None,
+        emit: Optional[Emit] = None,
+        start_index: int = 0,
+    ) -> Iterator[Tuple[int, Any]]:
+        if self.closed:
+            raise RuntimeError("tcp_remote backend is closed")
+        policy = DEFAULT_POLICY if policy is None else policy
+        n_tasks = len(args_list)
+        if start_index < 0 or start_index > n_tasks:
+            raise ValueError(f"start_index {start_index} outside 0..{n_tasks}")
+        return self._dispatch(
+            fn, args_list, n_tasks, window, policy, injector, emit, start_index
+        )
+
+    def _dispatch(
+        self,
+        fn: Callable[..., Any],
+        args_list: Sequence[Tuple],
+        n_tasks: int,
+        window: Optional[int],
+        policy: ResiliencePolicy,
+        injector: Optional[FaultInjector],
+        emit: Optional[Emit],
+        start_index: int,
+    ) -> Iterator[Tuple[int, Any]]:
+        if start_index == n_tasks:
+            return
+        window = n_tasks if window is None else max(1, int(window))
+        self._ensure_workers()
+
+        attempts = {i: 0 for i in range(start_index, n_tasks)}
+        pending = deque(range(start_index, n_tasks))
+        buffered: Dict[int, Any] = {}
+        next_idx = start_index
+        pool_failures = 0
+        serial = False
+        results_q: "queue.Queue" = queue.Queue()
+        assign_qs: Dict[int, "queue.Queue"] = {}
+        idle: deque = deque()
+        in_flight: Dict[int, int] = {}
+        alive: set = set()
+
+        def _notify(event: str, **payload: Any) -> None:
+            if emit is not None:
+                emit(event, **payload)
+
+        def _start_channel(sid: int) -> None:
+            assign_qs[sid] = queue.Queue()
+            alive.add(sid)
+            threading.Thread(
+                target=self._channel_main,
+                args=(self._slots[sid], assign_qs[sid], results_q, policy),
+                daemon=True,
+                name=f"repro-remote-ch{sid}",
+            ).start()
+
+        def _detach(sid: int) -> None:
+            alive.discard(sid)
+            try:
+                idle.remove(sid)
+            except ValueError:
+                pass
+
+        def _go_serial(reason: str) -> None:
+            nonlocal serial
+            serial = True
+            for sid in list(in_flight):
+                pending.appendleft(in_flight.pop(sid))
+            for q in assign_qs.values():
+                q.put(None)
+            idle.clear()
+            alive.clear()
+            _notify(
+                "resilience.degraded",
+                reason=reason,
+                pool_failures=pool_failures,
+                remaining_tasks=n_tasks - next_idx,
+            )
+
+        def _revive(sid: int, reason: str) -> None:
+            nonlocal pool_failures
+            pool_failures += 1
+            if pool_failures > policy.max_pool_failures:
+                _go_serial(reason)
+                return
+            slot = self._slots[sid]
+            if slot.spawned:
+                try:
+                    self._respawn_slot(slot)
+                except RuntimeError:
+                    if not alive:
+                        _go_serial(f"{reason}; respawn failed")
+                    return
+            _notify(
+                "resilience.pool_replaced",
+                reason=reason,
+                pool_failures=pool_failures,
+            )
+            _start_channel(sid)
+            idle.append(sid)
+
+        def _run_serial_task(idx: int) -> Any:
+            while True:
+                try:
+                    return call_with_faults(
+                        fn, args_list[idx], idx, attempts[idx], injector
+                    )
+                except RETRYABLE as exc:
+                    attempts[idx] += 1
+                    if attempts[idx] > policy.max_task_retries:
+                        raise
+                    delay = policy.backoff_s(idx, attempts[idx])
+                    _notify(
+                        "resilience.retry",
+                        task=idx,
+                        attempt=attempts[idx],
+                        error=type(exc).__name__,
+                        backoff_s=delay,
+                        serial=True,
+                    )
+                    if delay > 0:
+                        time.sleep(delay)
+
+        # Generous stall bound: nothing legitimate outlasts heartbeat
+        # detection plus a task timeout; past it, assume every channel
+        # died unreported and degrade rather than hang.
+        stall_s = (
+            self.heartbeat_timeout_s
+            + self.connect_timeout_s
+            + (policy.task_timeout_s or 0.0)
+            + 60.0
+        )
+
+        for sid in self._slots:
+            _start_channel(sid)
+            idle.append(sid)
+
+        try:
+            while next_idx < n_tasks:
+                while next_idx in buffered:
+                    yield next_idx, buffered.pop(next_idx)
+                    next_idx += 1
+                if next_idx >= n_tasks:
+                    break
+                if serial:
+                    yield next_idx, _run_serial_task(next_idx)
+                    next_idx += 1
+                    continue
+                while (
+                    pending
+                    and idle
+                    and (len(in_flight) + len(buffered)) < window
+                ):
+                    sid = idle.popleft()
+                    idx = pending.popleft()
+                    in_flight[sid] = idx
+                    assign_qs[sid].put(
+                        (idx, attempts[idx], fn, args_list[idx], injector)
+                    )
+                if not in_flight:
+                    if not alive:
+                        _go_serial("no live workers")
+                    continue
+                try:
+                    event, sid, task, frame = results_q.get(timeout=stall_s)
+                except queue.Empty:
+                    _go_serial("scheduler stall: no worker events")
+                    continue
+
+                if event == "result":
+                    in_flight.pop(sid, None)
+                    if sid in alive:
+                        idle.append(sid)
+                    if frame.get("ok"):
+                        buffered[task] = frame.get("value")
+                        continue
+                    exc = frame.get("error")
+                    if not isinstance(exc, BaseException):
+                        exc = RemoteTaskError(f"task {task} failed: {exc!r}")
+                    if isinstance(exc, (ResilienceError, OSError)):
+                        attempts[task] += 1
+                        if attempts[task] > policy.max_task_retries:
+                            raise exc
+                        delay = policy.backoff_s(task, attempts[task])
+                        _notify(
+                            "resilience.retry",
+                            task=task,
+                            attempt=attempts[task],
+                            error=type(exc).__name__,
+                            backoff_s=delay,
+                            serial=False,
+                        )
+                        if delay > 0:
+                            time.sleep(delay)
+                        pending.appendleft(task)
+                        continue
+                    raise exc
+
+                if event == "connect_failed":
+                    # Any assignment queued before the connect failed
+                    # never ran: requeue without charging its budget.
+                    stale = in_flight.pop(sid, None)
+                    if stale is not None:
+                        pending.appendleft(stale)
+                    _detach(sid)
+                    slot = self._slots[sid]
+                    _revive(sid, f"worker {slot.host}:{slot.port} unreachable")
+                    continue
+
+                # "dead" (EOF or heartbeat silence) or "timeout".
+                _detach(sid)
+                assigned = in_flight.pop(sid, None)
+                idx = task if task is not None else assigned
+                if idx is not None:
+                    attempts[idx] += 1
+                    if event == "timeout":
+                        _notify(
+                            "resilience.timeout",
+                            task=idx,
+                            attempt=attempts[idx],
+                            timeout_s=policy.task_timeout_s,
+                        )
+                        if attempts[idx] > policy.max_task_retries:
+                            raise TaskTimeout(
+                                f"task {idx} exceeded {policy.task_timeout_s}s "
+                                f"on every one of {attempts[idx]} attempts"
+                            )
+                    elif attempts[idx] > policy.max_task_retries:
+                        raise WorkerCrash(
+                            f"task {idx} implicated in {pool_failures + 1} "
+                            f"worker failures (heartbeat lost)"
+                        )
+                    pending.appendleft(idx)
+                _revive(
+                    sid,
+                    "task timeout" if event == "timeout"
+                    else "worker heartbeat lost",
+                )
+        finally:
+            for q in assign_qs.values():
+                q.put(None)

@@ -1,0 +1,233 @@
+"""Standalone TCP worker agent: ``python -m repro.engine.remote_worker``.
+
+The server half of the ``tcp_remote`` backend's wire protocol
+(:mod:`repro.engine.remote`): listen, accept one client at a time, and
+for each connection run one task at a time while keeping the liveness
+conversation going.  The agent binds ``--host``/``--port`` (port ``0``
+picks an ephemeral one) and prints ``REPRO_WORKER_PORT <port>`` on
+stdout once it is accepting, which is how the backend's localhost
+spawner learns where to connect.
+
+Layout per connection: a reader thread turns the byte stream into
+frames; the connection loop owns the socket's *send* side exclusively,
+answering ``ping`` frames even while a task evaluates in its own
+(daemon) thread -- that split is what makes a busy worker look alive and
+a dead one look dead.  Task evaluation goes through the same
+:func:`~repro.engine.resilience.call_with_faults` wrapper as every other
+backend, so fault plans (``crash``/``kill``/``delay``/``net_delay``)
+behave identically here; ``worker_vanish`` is intercepted *before*
+dispatch because it must silence the connection loop itself -- the agent
+sleeps with the socket open and then hard-exits, so the client can only
+detect it via heartbeat timeout, never EOF.
+
+The agent calls :func:`repro.engine.faults.mark_worker_process` at
+startup: it is a disposable worker, and injected ``kill`` faults take
+down the real process.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import queue
+import socket
+import threading
+import time
+from typing import Any, Dict, Optional, Sequence
+
+from repro.engine.faults import (
+    KILL_EXIT_CODE,
+    VANISH_SILENCE_S,
+    ResilienceError,
+    WorkerCrash,
+    mark_worker_process,
+)
+from repro.engine.remote import (
+    PORT_BANNER,
+    PROTOCOL_VERSION,
+    FrameReader,
+    RemoteTaskError,
+    send_frame,
+)
+from repro.engine.resilience import call_with_faults
+
+#: How often the connection loop polls for frames / task completion.
+_POLL_S = 0.05
+
+
+def _reader_loop(conn: socket.socket, inbox: "queue.Queue") -> None:
+    """Feed decoded frames to the connection loop; ``None`` marks EOF."""
+    reader = FrameReader(conn)
+    while True:
+        try:
+            frame = reader.read()
+        except (ConnectionError, OSError):
+            inbox.put(None)
+            return
+        inbox.put(frame)
+
+
+def _send_result(
+    conn: socket.socket, task: int, outcome: Dict[str, Any]
+) -> bool:
+    """Ship a task outcome; degrade unpicklable payloads, not the link."""
+    if outcome["ok"]:
+        frame = {"type": "result", "task": task, "ok": True,
+                 "value": outcome["value"]}
+    else:
+        frame = {"type": "result", "task": task, "ok": False,
+                 "error": outcome["error"]}
+    try:
+        send_frame(conn, frame)
+        return True
+    except OSError:
+        return False
+    except Exception:
+        # The payload would not pickle.  Preserve retryability: a typed
+        # retryable failure crosses as WorkerCrash, anything else (bad
+        # error, unpicklable result) as non-retryable RemoteTaskError.
+        if outcome["ok"]:
+            error: Exception = RemoteTaskError(
+                f"task {task} returned an unpicklable result"
+            )
+        else:
+            original = outcome["error"]
+            text = f"{type(original).__name__}: {original}"
+            if isinstance(original, (ResilienceError, OSError)):
+                error = WorkerCrash(text)
+            else:
+                error = RemoteTaskError(text)
+        try:
+            send_frame(
+                conn, {"type": "result", "task": task, "ok": False,
+                       "error": error}
+            )
+            return True
+        except OSError:
+            return False
+
+
+def _handle_connection(conn: socket.socket) -> bool:
+    """Serve one client; returns True when it requested shutdown."""
+    conn.setsockopt(socket.IPPROTO_TCP, socket.TCP_NODELAY, 1)
+    conn.settimeout(None)
+    try:
+        send_frame(
+            conn, {"type": "hello", "version": PROTOCOL_VERSION,
+                   "pid": os.getpid()}
+        )
+    except OSError:
+        return False
+    inbox: "queue.Queue" = queue.Queue()
+    threading.Thread(
+        target=_reader_loop, args=(conn, inbox), daemon=True
+    ).start()
+
+    task_thread: Optional[threading.Thread] = None
+    task_id: Optional[int] = None
+    outcome: Dict[str, Any] = {}
+
+    while True:
+        if task_thread is not None and not task_thread.is_alive():
+            if not _send_result(conn, task_id, outcome):
+                return False
+            task_thread, task_id, outcome = None, None, {}
+        try:
+            msg = inbox.get(timeout=_POLL_S)
+        except queue.Empty:
+            continue
+        if msg is None:
+            # Client went away; any still-running task is abandoned (its
+            # daemon thread finishes into the void) and we re-accept.
+            return False
+        mtype = msg.get("type")
+        if mtype == "ping":
+            try:
+                send_frame(conn, {"type": "pong", "seq": msg.get("seq")})
+            except OSError:
+                return False
+        elif mtype == "shutdown":
+            return True
+        elif mtype == "task":
+            idx = msg["task"]
+            attempt = msg["attempt"]
+            injector = msg.get("injector")
+            if injector is not None:
+                spec = injector.vanish_spec(idx, attempt)
+                if spec is not None:
+                    # Vanish: keep the socket open but answer nothing,
+                    # so the client can only see us die by heartbeat
+                    # timeout -- then actually die.
+                    time.sleep(
+                        spec.delay_s if spec.delay_s > 0 else VANISH_SILENCE_S
+                    )
+                    os._exit(KILL_EXIT_CODE)
+            fn = msg["fn"]
+            args = tuple(msg.get("args") or ())
+            outcome = {}
+            task_id = idx
+
+            def _run(
+                fn=fn, args=args, idx=idx, attempt=attempt,
+                injector=injector, outcome=outcome,
+            ) -> None:
+                try:
+                    outcome["value"] = call_with_faults(
+                        fn, args, idx, attempt, injector
+                    )
+                    outcome["ok"] = True
+                except BaseException as exc:
+                    outcome["error"] = exc
+                    outcome["ok"] = False
+
+            task_thread = threading.Thread(target=_run, daemon=True)
+            task_thread.start()
+        # Unknown frame types are ignored (forward compatibility).
+
+
+def serve(host: str, port: int, once: bool = False) -> int:
+    """Accept clients until shutdown (or forever); returns an exit code."""
+    mark_worker_process()
+    listener = socket.socket(socket.AF_INET, socket.SOCK_STREAM)
+    listener.setsockopt(socket.SOL_SOCKET, socket.SO_REUSEADDR, 1)
+    try:
+        listener.bind((host, port))
+        listener.listen(8)
+        print(f"{PORT_BANNER} {listener.getsockname()[1]}", flush=True)
+        while True:
+            conn, _ = listener.accept()
+            try:
+                shutdown = _handle_connection(conn)
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+            if shutdown or once:
+                return 0
+    finally:
+        listener.close()
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.engine.remote_worker",
+        description="TCP worker agent for the tcp_remote execution backend.",
+    )
+    parser.add_argument(
+        "--host", default="127.0.0.1", help="interface to bind (default %(default)s)"
+    )
+    parser.add_argument(
+        "--port", type=int, default=0,
+        help="port to bind; 0 picks an ephemeral port (default %(default)s)",
+    )
+    parser.add_argument(
+        "--once", action="store_true",
+        help="exit after the first client disconnects",
+    )
+    args = parser.parse_args(argv)
+    return serve(args.host, args.port, once=args.once)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -141,11 +141,18 @@ def call_with_faults(
 
     Top-level so process pools can pickle it; the injector hook runs
     *inside* the worker, which is what lets a ``kill`` fault take down a
-    real worker process.
+    real worker process.  ``net_delay`` faults sleep *after* the
+    evaluation -- the result exists but has not been returned yet, the
+    shape of injected network latency on any backend.
     """
     if injector is not None:
         injector.on_task(task_index, attempt)
-    return fn(*args)
+    result = fn(*args)
+    if injector is not None:
+        net_delay = injector.net_delay_s(task_index, attempt)
+        if net_delay > 0:
+            time.sleep(net_delay)
+    return result
 
 
 def terminate_pool(pool: ProcessPoolExecutor) -> None:
@@ -156,9 +163,18 @@ def terminate_pool(pool: ProcessPoolExecutor) -> None:
     ``KeyboardInterrupt`` that is a process leak.  Terminating the
     worker processes is safe here because every task is pure: killing a
     half-finished evaluation abandons no external state.
+
+    Idempotent: calling it on an already-terminated (or already
+    shut-down) pool is a no-op, so backend ``close()`` paths and
+    generator ``finally`` blocks can both run it without coordination.
     """
     procs = list((getattr(pool, "_processes", None) or {}).values())
-    pool.shutdown(wait=False, cancel_futures=True)
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:
+        # A pool whose manager thread already died can raise here; the
+        # process termination below is what actually matters.
+        pass
     for proc in procs:
         if proc.is_alive():
             proc.terminate()

@@ -141,6 +141,14 @@ def run_scenario(
             every=checkpoint_every,
             on_event=ctx.emit,
         )
+    # A scenario that names its backend wins over the context default;
+    # with no scenario backend, both None defers to the context/env.
+    backend_kw = (
+        {"backend": scenario.backend,
+         "backend_options": scenario.backend_options}
+        if scenario.backend is not None
+        else {}
+    )
     timings: Dict[str, float] = {}
     ctx.emit("scenario.start", scenario=scenario.cache_identity())
 
@@ -198,6 +206,7 @@ def run_scenario(
             consumers=(spill,) if spill is not None else (),
             checkpoint=checkpoint,
             resume=resume,
+            **backend_kw,
         )
         space = spill.finish() if spill is not None else None
         timings["space"] = time.perf_counter() - start
@@ -213,7 +222,7 @@ def run_scenario(
             budget_mb=scenario.memory_budget_mb,
         )
     else:
-        space = ctx.space_groups(group_specs, params, units)
+        space = ctx.space_groups(group_specs, params, units, **backend_kw)
         timings["space"] = time.perf_counter() - start
         result = ScenarioResult(scenario=scenario, params=params, space=space)
         ctx.emit(

@@ -146,6 +146,15 @@ class Scenario:
         Peak-memory budget for streaming evaluation, megabytes;
         ``None`` uses :data:`repro.core.streaming.DEFAULT_MEMORY_BUDGET_MB`.
         An execution knob, excluded from the cache identity.
+    backend, backend_options:
+        Execution backend for the scenario's fan-outs -- a registered
+        name (``"serial"``, ``"process_pool"``, ``"tcp_remote"``) plus
+        its options dict (validated against the backend's accepted
+        options at construction).  ``None`` keeps the context/default
+        selection.  Every backend produces bit-identical artifacts, so
+        both fields are excluded from the cache identity: a scenario run
+        remotely shares cache entries (and cache keys) with the same
+        scenario run in-process.
     name:
         Optional human label; excluded from the cache identity so naming
         a scenario never invalidates its results.
@@ -170,6 +179,8 @@ class Scenario:
     memory_budget_mb: Optional[float] = None
     name: Optional[str] = None
     node_types: Optional[Tuple[NodeGroup, ...]] = None
+    backend: Optional[str] = None
+    backend_options: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.node_types is not None:
@@ -218,6 +229,24 @@ class Scenario:
             )
         if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
             raise ValueError("memory budget must be positive")
+        if self.backend is not None:
+            # Registry validation catches unknown names and unknown
+            # option keys here, at construction, not mid-run.
+            from repro.engine.backends import validate_backend_options
+
+            object.__setattr__(
+                self,
+                "backend_options",
+                validate_backend_options(
+                    self.backend, self.backend_options or {}
+                ),
+            )
+        elif self.backend_options:
+            raise ValueError(
+                "backend_options require a backend; set backend to one of "
+                "the registered names (e.g. 'serial', 'process_pool', "
+                "'tcp_remote')"
+            )
         for tup_field in ("counts_a", "counts_b", "stages", "utilizations"):
             value = getattr(self, tup_field)
             if value is not None and not isinstance(value, tuple):
@@ -284,18 +313,22 @@ class Scenario:
         """The fields that determine results.
 
         Drops the cosmetic ``name`` and the implementation choices
-        (``simulation``, ``space_mode``, ``memory_budget_mb``) -- batched
-        and reference runs are bit-identical, and streaming produces the
-        same reduced artifacts as materializing, so they share cache
-        entries.  The node-type axes are canonicalized to the group
-        list, so a two-type scenario written with the pair fields and
-        the same one written with ``node_types`` share entries too.
+        (``simulation``, ``space_mode``, ``memory_budget_mb``,
+        ``backend``, ``backend_options``) -- batched and reference runs
+        are bit-identical, streaming produces the same reduced artifacts
+        as materializing, and every execution backend produces the same
+        bytes, so they all share cache entries.  The node-type axes are
+        canonicalized to the group list, so a two-type scenario written
+        with the pair fields and the same one written with
+        ``node_types`` share entries too.
         """
         raw = self.to_dict()
         raw.pop("name")
         raw.pop("simulation")
         raw.pop("space_mode")
         raw.pop("memory_budget_mb")
+        raw.pop("backend")
+        raw.pop("backend_options")
         for key in _PAIR_FIELDS:
             raw.pop(key)
         raw["node_types"] = [g.to_dict() for g in self.groups]

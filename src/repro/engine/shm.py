@@ -1,0 +1,160 @@
+"""Shared-memory result transport for single-host many-core pools.
+
+A pooled space evaluation returns :class:`~repro.core.evaluate.ConfigSpaceResult`
+column stacks -- for large blocks, megabytes of float64/int64 arrays that
+``concurrent.futures`` would otherwise pickle in the worker, copy through
+a pipe, and unpickle in the parent.  This module gives the process-pool
+backend a zero-pickle fast path: the worker copies the columns into one
+:class:`multiprocessing.shared_memory.SharedMemory` segment and returns a
+tiny :class:`ShmResultRef` descriptor (segment name, per-column shapes/
+dtypes/offsets); the parent maps the segment, copies the columns back
+out, and unlinks it.
+
+The payload bytes are copied verbatim on both sides, so results are
+**bit-identical** to the pickle path -- the transport changes where the
+bytes travel, never what they are.  Everything degrades gracefully:
+
+* results that are not ``ConfigSpaceResult`` pass through untouched;
+* in-process (serial) execution skips the segment entirely -- there is
+  no pipe to avoid;
+* a platform without usable POSIX shared memory raises on the *first*
+  encode, which the resilient runner surfaces as an ordinary task error.
+
+Lifecycle: the worker creates the segment and immediately unregisters it
+from its own ``resource_tracker`` (the parent owns cleanup -- without
+this, the worker's tracker would whine about, or double-unlink, a
+segment the parent already released); the parent unlinks after decoding.
+A segment whose descriptor is lost to a dying pool leaks until the OS
+reclaims ``/dev/shm`` -- the same torn-state window any shared-memory
+protocol has -- which is why the fault-injection chaos tests run the shm
+path too.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+import numpy as np
+
+from repro.core.evaluate import ConfigSpaceResult
+
+#: The columns shipped through the segment, in a fixed order.
+_COLUMNS = ("n", "cores", "f", "units", "times_s", "energies_j")
+
+
+@dataclass(frozen=True)
+class ShmResultRef:
+    """A :class:`ConfigSpaceResult` parked in a shared-memory segment.
+
+    ``columns`` holds ``(name, shape, dtype_str, offset)`` per column in
+    :data:`_COLUMNS` order; the descriptor itself is a few hundred bytes
+    however large the block is.
+    """
+
+    segment: str
+    columns: Tuple[Tuple[str, Tuple[int, ...], str, int], ...]
+    nodes: Tuple[str, ...]
+    units_total: float
+
+
+def _unregister_from_tracker(shm) -> None:
+    """Opt this process's resource tracker out of owning ``shm``.
+
+    The decoding side unlinks the segment; leaving the creating worker's
+    tracker registered would double-unlink (KeyError noise at worker
+    exit) or, worse, reap a segment the parent has not read yet.
+    """
+    try:
+        from multiprocessing import resource_tracker
+
+        resource_tracker.unregister(shm._name, "shared_memory")
+    except Exception:
+        pass
+
+
+def encode_shared(result: Any) -> Any:
+    """Worker-side: park a ``ConfigSpaceResult`` in shared memory.
+
+    Anything else (plain map results, error sentinels) passes through
+    unchanged, so the wrapper is safe around arbitrary task functions.
+    """
+    if not isinstance(result, ConfigSpaceResult):
+        return result
+    from multiprocessing import shared_memory
+
+    arrays = [np.ascontiguousarray(getattr(result, name)) for name in _COLUMNS]
+    total = sum(a.nbytes for a in arrays)
+    shm = shared_memory.SharedMemory(create=True, size=max(1, total))
+    try:
+        columns = []
+        offset = 0
+        for name, array in zip(_COLUMNS, arrays):
+            view = np.ndarray(
+                array.shape, dtype=array.dtype, buffer=shm.buf, offset=offset
+            )
+            view[...] = array
+            columns.append((name, tuple(array.shape), array.dtype.str, offset))
+            offset += array.nbytes
+        ref = ShmResultRef(
+            segment=shm.name,
+            columns=tuple(columns),
+            nodes=result.nodes,
+            units_total=result.units_total,
+        )
+    except BaseException:
+        shm.close()
+        shm.unlink()
+        raise
+    _unregister_from_tracker(shm)
+    shm.close()
+    return ref
+
+
+def decode_shared(obj: Any) -> Any:
+    """Parent-side: rebuild the result and release the segment."""
+    if not isinstance(obj, ShmResultRef):
+        return obj
+    from multiprocessing import shared_memory
+
+    shm = shared_memory.SharedMemory(name=obj.segment)
+    try:
+        fields = {}
+        for name, shape, dtype, offset in obj.columns:
+            view = np.ndarray(shape, dtype=np.dtype(dtype), buffer=shm.buf, offset=offset)
+            fields[name] = view.copy()
+    finally:
+        shm.close()
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+    return ConfigSpaceResult(
+        nodes=obj.nodes, units_total=obj.units_total, **fields
+    )
+
+
+class ShmTaskWrapper:
+    """Picklable task wrapper: evaluate, then encode through shared memory.
+
+    Wraps the task function the backend submits to the pool.  Encoding
+    only happens inside a forked worker -- in-process (serial-degraded)
+    execution returns the raw result, since a segment round-trip within
+    one process is pure overhead.
+    """
+
+    __slots__ = ("fn",)
+
+    def __init__(self, fn):
+        self.fn = fn
+
+    def __call__(self, *args):
+        from repro.engine.faults import _in_worker_process
+
+        result = self.fn(*args)
+        if not _in_worker_process():
+            return result
+        return encode_shared(result)
+
+    def __reduce__(self):
+        return (ShmTaskWrapper, (self.fn,))
