@@ -43,6 +43,16 @@ Timings are best-of-``repeats`` to shrug off machine noise.
   rows/second per backend, column stacks bit-for-bit equality-checked
   against the in-process whole-space evaluation first.
 
+``--pr 7`` (worker-side streaming reduction) records:
+
+* **worker reduce** -- the same ~1.6M-row space stream-reduced end to
+  end: serial coordinator-side fold vs ``reduce_at="worker"`` through
+  ``process_pool``, ``process_pool`` + shared memory, and
+  ``tcp_remote`` (two localhost agents), reduced artifacts
+  equality-checked bit-for-bit first.  On machines with >= 2 CPUs the
+  record doubles as a regression guard: the best parallel backend must
+  not be slower than serial (exit code 1 otherwise).
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py --pr 4 [--output BENCH_PR4.json]
@@ -439,6 +449,144 @@ def bench_backend_matrix(repeats: int, n_chunks: int = 8) -> Dict:
     }
 
 
+def bench_worker_reduce(repeats: int) -> Dict:
+    """Streaming reduction with the fold moved into the workers.
+
+    The ~1.6M-row four-type space is stream-reduced end to end --
+    evaluate blocks, fold frontiers/per-group frontiers -- serially with
+    the coordinator-side fold (the historical streaming path), then with
+    ``reduce_at="worker"`` semantics through ``process_pool`` (result
+    pipe), ``process_pool`` with the shared-memory fast path, and
+    ``tcp_remote`` against two spawned localhost agents, where each
+    worker ships only frontier-sized reducer states.  Every parallel
+    run's reduced artifacts (frontier with indices, per-group
+    frontiers, composition labels) are equality-checked bit-for-bit
+    against the serial reference before anything is timed.
+
+    The record carries ``cpu_count`` and a ``guard`` verdict: on a
+    multi-core machine the best parallel backend must beat serial
+    (``enforced`` and checked by CI); on a single core the parallel
+    runs time-slice one CPU and pay transport on top, so the guard is
+    recorded but not enforced -- the honest number is still written.
+    """
+    import os
+
+    from repro.core.streaming import (
+        merge_block_reductions,
+        reduce_space_blocks,
+    )
+    from repro.engine.executor import (
+        iter_space_groups_chunked,
+        iter_space_reductions,
+    )
+
+    specs, params, units = _four_type_setup()
+
+    def serial():
+        return reduce_space_blocks(
+            iter_space_groups_chunked(
+                specs, params, units, max_workers=1, backend="serial"
+            )
+        )
+
+    def worker(name, options):
+        return merge_block_reductions(
+            iter_space_reductions(
+                specs, params, units, max_workers=2,
+                backend=name, backend_options=options,
+            )
+        )
+
+    def check(reference, reduced, label):
+        assert np.array_equal(
+            reference.frontier.times_s, reduced.frontier.times_s
+        ), label
+        assert np.array_equal(
+            reference.frontier.energies_j, reduced.frontier.energies_j
+        ), label
+        assert np.array_equal(
+            reference.frontier.indices, reduced.frontier.indices
+        ), label
+        assert np.array_equal(
+            reference.frontier_n, reduced.frontier_n
+        ), label
+        assert reference.composition == reduced.composition, label
+        for f_ref, f_new in zip(
+            reference.group_frontiers, reduced.group_frontiers
+        ):
+            assert (f_ref is None) == (f_new is None), label
+            if f_ref is not None:
+                assert np.array_equal(f_ref.times_s, f_new.times_s), label
+                assert np.array_equal(f_ref.indices, f_new.indices), label
+        assert reference.total_rows == reduced.total_rows, label
+
+    reference = serial()
+    rows = reference.total_rows
+
+    configs = {
+        "process_pool": ("process_pool", {"workers": 2}),
+        "process_pool_shm": (
+            "process_pool",
+            {"workers": 2, "shared_memory": True},
+        ),
+        "tcp_remote_2workers": ("tcp_remote", {"spawn_workers": 2}),
+    }
+    results: Dict[str, Dict] = {}
+    serial_s = _best_of(serial, repeats)
+    results["serial"] = {
+        "elapsed_s": serial_s,
+        "rows_per_s": rows / serial_s,
+        "reduce_at": "coordinator",
+    }
+    for label, (name, options) in configs.items():
+        check(reference, worker(name, options), label)
+        elapsed = _best_of(lambda: worker(name, options), repeats)
+        results[label] = {
+            "elapsed_s": elapsed,
+            "rows_per_s": rows / elapsed,
+            "reduce_at": "worker",
+        }
+
+    best_label = min(configs, key=lambda k: results[k]["elapsed_s"])
+    speedup = serial_s / results[best_label]["elapsed_s"]
+    cpu_count = os.cpu_count() or 1
+    enforced = cpu_count >= 2
+    return {
+        "label": (
+            f"four-type space, {rows} rows (EP, 4x3x3x3), streamed "
+            "reduction: serial coordinator fold vs worker-side "
+            "reduction per parallel backend"
+        ),
+        "rows": rows,
+        "cpu_count": cpu_count,
+        "backends": results,
+        "best_parallel_backend": best_label,
+        "best_parallel_speedup_vs_serial": speedup,
+        "guard": {
+            "target": (
+                "best parallel backend >= 1.0x serial (>= 1.5x expected "
+                "for process_pool/shm on >= 2 free cores)"
+            ),
+            "enforced": enforced,
+            "passed": (not enforced) or speedup >= 1.0,
+            "note": (
+                "single-CPU machine: parallel workers time-slice one "
+                "core and pay transport on top, so no speedup is "
+                "physically possible; guard recorded, not enforced"
+                if not enforced else
+                "multi-core: guard enforced by CI"
+            ),
+        },
+        "detail": (
+            "reduce_space_blocks(iter_space_groups_chunked) serial vs "
+            "merge_block_reductions(iter_space_reductions) per backend; "
+            "frontier (times/energies/indices), frontier_n, composition "
+            "labels, and per-group frontiers equality-checked "
+            "bit-for-bit before timing"
+        ),
+    }
+
+
 _PR_RECORDS = {
     2: {
         "pr": "vectorized measurement layer",
@@ -469,6 +617,13 @@ _PR_RECORDS = {
         "default_output": "BENCH_PR6.json",
         "benches": {
             "backend_matrix": bench_backend_matrix,
+        },
+    },
+    7: {
+        "pr": "worker-side streaming reduction",
+        "default_output": "BENCH_PR7.json",
+        "benches": {
+            "worker_reduce": bench_worker_reduce,
         },
     },
 }
@@ -525,6 +680,13 @@ def main(argv=None) -> int:
                     f"{name}[{backend}]: {numbers['elapsed_s'] * 1e3:.1f} ms "
                     f"({numbers['rows_per_s']:,.0f} rows/s)"
                 )
+            if "best_parallel_speedup_vs_serial" in bench:
+                print(
+                    f"{name}: best parallel "
+                    f"({bench['best_parallel_backend']}) "
+                    f"{bench['best_parallel_speedup_vs_serial']:.2f}x serial "
+                    f"on {bench['cpu_count']} CPU(s)"
+                )
         elif "streaming_s" in bench:
             print(
                 f"{name}: materialized {bench['materialized_rows_per_s']:,.0f} "
@@ -539,7 +701,19 @@ def main(argv=None) -> int:
                 f"({bench['rows_per_s']:,.0f} rows/s)"
             )
     print(f"wrote {output}")
-    return 0
+    failed = [
+        (name, bench["guard"])
+        for name, bench in benchmarks.items()
+        if isinstance(bench.get("guard"), dict)
+        and bench["guard"]["enforced"]
+        and not bench["guard"]["passed"]
+    ]
+    for name, guard in failed:
+        print(
+            f"::error::{name} regression guard failed: {guard['target']}",
+            file=sys.stderr,
+        )
+    return 1 if failed else 0
 
 
 if __name__ == "__main__":

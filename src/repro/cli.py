@@ -182,6 +182,24 @@ def main(argv: Optional[List[str]] = None) -> int:
         "default 256)",
     )
     parser.add_argument(
+        "--reduce-at",
+        choices=["coordinator", "worker"],
+        default=None,
+        help="with --space-mode streaming, where the block fold runs: "
+        "'coordinator' ships whole evaluated blocks back and folds them "
+        "centrally; 'worker' folds each block in the worker that "
+        "evaluated it and ships only compact reducer states "
+        "(bit-identical artifacts either way)",
+    )
+    parser.add_argument(
+        "--chunk-rows",
+        type=int,
+        default=None,
+        help="pin the per-block row budget, overriding the adaptive "
+        "chunk planner (an execution knob; artifacts are identical at "
+        "any block size)",
+    )
+    parser.add_argument(
         "--spill-dir",
         type=Path,
         default=None,
@@ -240,6 +258,11 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")
+    if args.reduce_at == "worker" and (args.space_mode or "") != "streaming":
+        # Scenario files may set streaming themselves; only the explicit
+        # flag combination is checkable (and fixable) at parse time.
+        if args.artifact != "scenario" or args.space_mode is not None:
+            parser.error("--reduce-at worker requires --space-mode streaming")
     batched = args.simulation != "reference"
     space_mode = args.space_mode or "materialized"
 
@@ -491,6 +514,13 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario = scenario.with_(space_mode=args.space_mode)
         if args.memory_budget_mb is not None:
             scenario = scenario.with_(memory_budget_mb=args.memory_budget_mb)
+        if args.reduce_at is not None:
+            try:
+                scenario = scenario.with_(reduce_at=args.reduce_at)
+            except ValueError as exc:
+                parser.error(str(exc))
+        if args.chunk_rows is not None:
+            scenario = scenario.with_(chunk_rows=args.chunk_rows)
         if backend is not None:
             # CLI flags win over the scenario file's backend selection.
             scenario = scenario.with_(

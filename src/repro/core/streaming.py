@@ -343,6 +343,48 @@ class FrontierReducer:
             self._extra[name] = cand[sel]
         self._rows_seen = int(start_row) + int(times_s.size)
 
+    def merge(
+        self, state: Mapping[str, Any], index_offset: int = 0
+    ) -> None:
+        """Fold another reducer's :meth:`state_dict` into this one.
+
+        Bit-identical to having :meth:`update`-folded the other reducer's
+        input blocks directly, provided this reducer's rows all precede
+        the other's in the global row order (``index_offset`` shifts the
+        other state's indices into that order; the whole-space reducer
+        folds with offset 0 because workers already record global rows).
+        The identity holds because :func:`~repro.core.pareto.pareto_indices`
+        is idempotent -- a worker's local frontier *is* ``block[keep]``
+        from the coordinator fold, so the union arrays match element for
+        element and the stable lexsort resolves duplicates identically.
+        Merging is associative for the same reason: any parenthesization
+        reduces the same ordered union.
+        """
+        if set(state["extra"]) != set(self._extra):
+            raise ValueError(
+                f"merge extras {sorted(state['extra'])} do not match "
+                f"this reducer's {sorted(self._extra)}"
+            )
+        other_t = np.asarray(state["t"], dtype=float)
+        other_e = np.asarray(state["e"], dtype=float)
+        other_idx = np.asarray(state["idx"], dtype=np.int64)
+        if other_t.size == 0 and int(state["rows_seen"]) == 0:
+            return
+        cand_t = np.concatenate([self._t, other_t])
+        cand_e = np.concatenate([self._e, other_e])
+        cand_idx = np.concatenate(
+            [self._idx, other_idx + int(index_offset)]
+        )
+        sel = pareto_indices(cand_t, cand_e)
+        self._t, self._e, self._idx = cand_t[sel], cand_e[sel], cand_idx[sel]
+        for name in self._extra:
+            vals = np.asarray(state["extra"][name])
+            cand = np.concatenate([self._extra[name], vals]) if (
+                self._extra[name].size
+            ) else vals
+            self._extra[name] = cand[sel]
+        self._rows_seen = int(index_offset) + int(state["rows_seen"])
+
     def extra(self, name: str) -> np.ndarray:
         """Payload column of the current frontier points, in frontier order."""
         return self._extra[name]
@@ -408,6 +450,20 @@ class TopKReducer:
         merged.extend(items)
         merged.sort(key=lambda kv: kv[0])
         self._items = merged[: self.k]
+
+    def merge(self, state: Mapping[str, Any]) -> None:
+        """Fold another reducer's :meth:`state_dict` into this one.
+
+        Keys are totally ordered (callers embed the global row index), so
+        the merged top-k is independent of fold vs merge order --
+        associativity for free.
+        """
+        if int(state["k"]) != self.k:
+            raise ValueError(
+                f"cannot merge a top-{state['k']} state into a "
+                f"top-{self.k} reducer"
+            )
+        self.update(state["items"])
 
     def finish(self) -> List[Tuple[Any, Any]]:
         """The k best (key, payload) pairs, best first."""
@@ -648,6 +704,271 @@ def reduce_space_blocks(
         num_blocks += 1
         full_nbytes += data.nbytes
         peak_block = max(peak_block, data.nbytes)
+        blocks_done += 1
+        since_save += 1
+        if checkpoint_save is not None and since_save >= checkpoint_every:
+            checkpoint_save(
+                _reducer_pass_state(
+                    blocks_done, nodes, units_total,
+                    (total_rows, num_blocks, full_nbytes, peak_block),
+                    group_offsets, main, per_group, consumers,
+                )
+            )
+            since_save = 0
+
+    if main is None:
+        raise ValueError("no blocks to reduce: the space is empty")
+
+    if checkpoint_save is not None and since_save > 0:
+        checkpoint_save(
+            _reducer_pass_state(
+                blocks_done, nodes, units_total,
+                (total_rows, num_blocks, full_nbytes, peak_block),
+                group_offsets, main, per_group, consumers,
+            )
+        )
+
+    frontier = main.finish()
+    reduced = ReducedSpace(
+        nodes=nodes,
+        units_total=units_total,
+        total_rows=total_rows,
+        num_blocks=num_blocks,
+        full_nbytes=full_nbytes,
+        peak_block_nbytes=peak_block,
+        frontier=frontier,
+    )
+    if frontier is not None:
+        reduced.frontier_n = np.stack(
+            [main.extra(f"n{g}") for g in range(len(nodes))]
+        ).astype(np.int64)
+        if composition:
+            reduced.composition = composition_labels(main.extra("solo"))
+    if group_frontiers:
+        reduced.group_frontiers = tuple(r.finish() for r in per_group)
+    return reduced
+
+
+# ---------------------------------------------------------------------------
+# Worker-side reduction
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class BlockReduction:
+    """One block's compact reducer states -- what crosses the wire when
+    ``reduce_at="worker"``.
+
+    A worker folds its block through fresh local reducers and ships this
+    instead of the block's columns: the whole-space frontier state (with
+    composition/node-count payloads, indexed by *global* rows), one
+    optional state per node-type group's homogeneous frontier (indexed
+    from 0 within the block's hits -- the coordinator shifts them by its
+    running per-group offsets), the per-group hit counts needed to
+    advance those offsets, and one state per extra consumer (the
+    queueing layer's :class:`~repro.queueing.dispatcher.Figure10Reducer`).
+    ``rows``/``nbytes`` carry the accounting the coordinator's
+    :class:`ReducedSpace` counters need, since it never sees the columns.
+    """
+
+    index: int
+    start_row: int
+    rows: int
+    nbytes: int
+    nodes: Tuple[str, ...]
+    units_total: float
+    main: Dict[str, Any]
+    groups: Optional[Tuple[Optional[Dict[str, Any]], ...]]
+    group_hits: Optional[Tuple[int, ...]]
+    consumers: Tuple[Dict[str, Any], ...] = ()
+
+    @property
+    def stop_row(self) -> int:
+        return self.start_row + self.rows
+
+
+def fold_block_reduction(
+    block: SpaceBlock,
+    composition: bool = True,
+    group_frontiers: bool = True,
+    queueing: Optional[Mapping[str, Any]] = None,
+) -> BlockReduction:
+    """Fold one block through fresh local reducers (the worker half).
+
+    Runs exactly the per-block body of :func:`reduce_space_blocks` --
+    same extras, same start rows, same masked per-group updates -- so the
+    states it returns merge bit-identically into a coordinator pass.
+    ``queueing``, when given, is the keyword mapping a
+    :class:`~repro.queueing.dispatcher.Figure10Reducer` is built from.
+    """
+    data = block.data
+    main_extras = ["solo"] if composition else []
+    extras = main_extras + [f"n{g}" for g in range(data.num_groups)]
+    main = FrontierReducer(extra_names=extras)
+    extra: Dict[str, np.ndarray] = {
+        f"n{g}": data.n[g] for g in range(data.num_groups)
+    }
+    if composition:
+        extra["solo"] = _solo_groups(data.n)
+    main.update(
+        data.times_s, data.energies_j, start_row=block.start_row, extra=extra
+    )
+    groups: Optional[Tuple[Optional[Dict[str, Any]], ...]] = None
+    group_hits: Optional[Tuple[int, ...]] = None
+    if group_frontiers:
+        states: List[Optional[Dict[str, Any]]] = []
+        hits: List[int] = []
+        for g in range(data.num_groups):
+            mask = data.is_only(g)
+            hit = int(np.count_nonzero(mask))
+            if hit:
+                reducer = FrontierReducer()
+                reducer.update(
+                    data.times_s[mask], data.energies_j[mask], start_row=0
+                )
+                states.append(reducer.state_dict())
+            else:
+                states.append(None)
+            hits.append(hit)
+        groups = tuple(states)
+        group_hits = tuple(hits)
+    consumer_states: List[Dict[str, Any]] = []
+    if queueing is not None:
+        from repro.queueing.dispatcher import Figure10Reducer
+
+        f10 = Figure10Reducer(**dict(queueing))
+        f10.update(block)
+        consumer_states.append(f10.state_dict())
+    return BlockReduction(
+        index=block.index,
+        start_row=block.start_row,
+        rows=block.rows,
+        nbytes=data.nbytes,
+        nodes=data.nodes,
+        units_total=data.units_total,
+        main=main.state_dict(),
+        groups=groups,
+        group_hits=group_hits,
+        consumers=tuple(consumer_states),
+    )
+
+
+def merge_block_reductions(
+    reductions: Iterable[BlockReduction],
+    group_frontiers: bool = True,
+    composition: bool = True,
+    consumers: Sequence[Any] = (),
+    fold_hook: Optional[Any] = None,
+    checkpoint_save: Optional[Any] = None,
+    checkpoint_every: int = 8,
+    initial: Optional[Mapping[str, Any]] = None,
+) -> ReducedSpace:
+    """Merge worker :class:`BlockReduction`\\ s in plan order (the
+    coordinator half of ``reduce_at="worker"``).
+
+    The structural twin of :func:`reduce_space_blocks`: same plan-order
+    enforcement, same ``fold_hook`` fault-injection point before each
+    merge, and checkpoint snapshots in the exact
+    :func:`_reducer_pass_state` shape -- so checkpoints written by either
+    mode resume under the other, and the resulting :class:`ReducedSpace`
+    is bit-identical to the coordinator-side fold.  ``consumers`` here
+    are coordinator-resident reducers with a ``merge(state)`` method
+    matching, position for position, the states each reduction carries.
+    """
+    if checkpoint_every < 1:
+        raise ValueError("checkpoint interval must be at least one block")
+    if checkpoint_save is not None:
+        opaque = [
+            type(c).__name__ for c in consumers if not hasattr(c, "state_dict")
+        ]
+        if opaque:
+            raise ValueError(
+                f"cannot checkpoint consumers without state_dict/load_state: "
+                f"{opaque}"
+            )
+    main_extras = ["solo"] if composition else []
+    main: Optional[FrontierReducer] = None
+    per_group: List[FrontierReducer] = []
+    group_offsets: List[int] = []
+    nodes: Tuple[str, ...] = ()
+    units_total = 0.0
+    total_rows = 0
+    num_blocks = 0
+    full_nbytes = 0
+    peak_block = 0
+    blocks_done = 0
+    since_save = 0
+
+    def _build_reducers(num_groups: int) -> None:
+        nonlocal main, per_group, group_offsets
+        extras = list(main_extras) + [f"n{g}" for g in range(num_groups)]
+        main = FrontierReducer(extra_names=extras)
+        if group_frontiers:
+            per_group = [FrontierReducer() for _ in range(num_groups)]
+            group_offsets = [0] * num_groups
+
+    if initial is not None:
+        nodes = tuple(initial["nodes"])
+        units_total = float(initial["units_total"])
+        total_rows = int(initial["total_rows"])
+        num_blocks = int(initial["num_blocks"])
+        full_nbytes = int(initial["full_nbytes"])
+        peak_block = int(initial["peak_block_nbytes"])
+        blocks_done = int(initial["blocks_done"])
+        _build_reducers(len(nodes))
+        main.load_state(initial["main"])
+        saved_groups = initial["groups"]
+        if group_frontiers:
+            if len(saved_groups) != len(per_group):
+                raise ValueError(
+                    "checkpoint group-frontier count does not match this pass"
+                )
+            for reducer, state in zip(per_group, saved_groups):
+                reducer.load_state(state)
+            group_offsets = list(initial["group_offsets"])
+        saved_consumers = initial["consumers"]
+        if len(saved_consumers) != len(consumers):
+            raise ValueError(
+                f"checkpoint carries {len(saved_consumers)} consumer states "
+                f"for {len(consumers)} consumers"
+            )
+        for consumer, state in zip(consumers, saved_consumers):
+            consumer.load_state(state)
+
+    for red in reductions:
+        if red.index != blocks_done:
+            raise ValueError(
+                f"block reductions must arrive in plan order: expected "
+                f"index {blocks_done}, got {red.index}"
+            )
+        if fold_hook is not None:
+            fold_hook(red.index)
+        if len(red.consumers) != len(consumers):
+            raise ValueError(
+                f"block reduction carries {len(red.consumers)} consumer "
+                f"states for {len(consumers)} consumers"
+            )
+        if main is None:
+            nodes = red.nodes
+            units_total = red.units_total
+            _build_reducers(len(nodes))
+        main.merge(red.main)
+        if group_frontiers:
+            if red.groups is None or red.group_hits is None:
+                raise ValueError(
+                    "block reduction has no per-group frontier states"
+                )
+            for g, reducer in enumerate(per_group):
+                state = red.groups[g]
+                if state is not None:
+                    reducer.merge(state, index_offset=group_offsets[g])
+                group_offsets[g] += int(red.group_hits[g])
+        for consumer, state in zip(consumers, red.consumers):
+            consumer.merge(state)
+        total_rows += red.rows
+        num_blocks += 1
+        full_nbytes += red.nbytes
+        peak_block = max(peak_block, red.nbytes)
         blocks_done += 1
         since_save += 1
         if checkpoint_save is not None and since_save >= checkpoint_every:

@@ -145,12 +145,17 @@ class ExecutionBackend(abc.ABC):
         injector: Optional[FaultInjector] = None,
         emit: Optional[Emit] = None,
         start_index: int = 0,
+        job: Optional[Any] = None,
     ) -> Iterator[Tuple[int, Any]]:
         """Run ``fn(*args_list[i])`` for ``i >= start_index``, in order.
 
         At most ``window`` tasks are in flight or buffered for
         re-ordering (``None``: unbounded); ``start_index`` supports
-        checkpoint resume (earlier tasks are never evaluated).
+        checkpoint resume (earlier tasks are never evaluated).  ``job``
+        is an optional :class:`~repro.engine.job.SpaceJob` the backend
+        must install in every process that may run a task (including
+        this one, for serial degradation) *before* the task executes --
+        the once-per-worker shipment of a fan-out's immutable inputs.
         """
 
     def run_tasks(
@@ -160,12 +165,14 @@ class ExecutionBackend(abc.ABC):
         policy: Optional[ResiliencePolicy] = None,
         injector: Optional[FaultInjector] = None,
         emit: Optional[Emit] = None,
+        job: Optional[Any] = None,
     ) -> List[Any]:
         """Collect :meth:`submit_blocks` into an ordered result list."""
         return [
             result
             for _, result in self.submit_blocks(
-                fn, args_list, policy=policy, injector=injector, emit=emit
+                fn, args_list, policy=policy, injector=injector, emit=emit,
+                job=job,
             )
         ]
 
@@ -414,7 +421,12 @@ class SerialBackend(ExecutionBackend):
         injector: Optional[FaultInjector] = None,
         emit: Optional[Emit] = None,
         start_index: int = 0,
+        job: Optional[Any] = None,
     ) -> Iterator[Tuple[int, Any]]:
+        if job is not None:
+            from repro.engine.job import install_job
+
+            install_job(job)
         return iter_tasks_resilient(
             fn,
             args_list,
@@ -480,7 +492,20 @@ class ProcessPoolBackend(ExecutionBackend):
         injector: Optional[FaultInjector] = None,
         emit: Optional[Emit] = None,
         start_index: int = 0,
+        job: Optional[Any] = None,
     ) -> Iterator[Tuple[int, Any]]:
+        initializer = None
+        initargs: Tuple = ()
+        if job is not None:
+            from repro.engine.job import install_job
+
+            # In-process for the serial-degradation path; as the pool
+            # initializer so spawned (and replacement-pool) workers get
+            # the job without per-task re-pickling.  Forked workers
+            # additionally inherit the registry for free.
+            install_job(job)
+            initializer = install_job
+            initargs = (job,)
         task_fn = fn
         decode = None
         if self.shared_memory:
@@ -497,6 +522,8 @@ class ProcessPoolBackend(ExecutionBackend):
             injector=injector,
             emit=emit,
             start_index=start_index,
+            initializer=initializer,
+            initargs=initargs,
         ):
             yield index, (decode(result) if decode is not None else result)
 

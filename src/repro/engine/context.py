@@ -37,7 +37,12 @@ from repro.core import calibration as _calibration
 from repro.core.configuration import GroupSpec
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
-from repro.core.streaming import ReducedSpace, SpaceBlock, reduce_space_blocks
+from repro.core.streaming import (
+    ReducedSpace,
+    SpaceBlock,
+    merge_block_reductions,
+    reduce_space_blocks,
+)
 from repro.engine import executor as _executor
 from repro.engine.cache import ResultCache
 from repro.engine.checkpoint import CheckpointManager
@@ -260,6 +265,7 @@ class RunContext:
         units: float,
         backend: Optional[Any] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        chunk_rows: Optional[int] = None,
     ) -> ConfigSpaceResult:
         """Evaluate a k-group configuration space, memoized, chunk-parallel.
 
@@ -268,8 +274,9 @@ class RunContext:
         every model parameter, so two identical requests anywhere in the
         process evaluate once -- whether they arrive through this method
         or through the two-type :meth:`space` sugar.  ``backend``
-        overrides the context's execution backend for this call; the
-        cache key is backend-independent (the bytes are identical).
+        overrides the context's execution backend for this call;
+        ``chunk_rows`` pins the block row budget.  The cache key is
+        independent of both (the bytes are identical).
         """
         group_specs = tuple(
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
@@ -284,6 +291,7 @@ class RunContext:
                 group_specs, params, units, max_workers=self.max_workers,
                 policy=self.resilience, injector=self.faults, emit=self.emit,
                 backend=backend, backend_options=backend_options,
+                chunk_rows=chunk_rows,
             )
             self.emit(
                 "space.evaluated",
@@ -319,6 +327,7 @@ class RunContext:
         start_block: int = 0,
         backend: Optional[Any] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        chunk_rows: Optional[int] = None,
     ) -> Iterable[SpaceBlock]:
         """Stream a k-group space as memory-bounded blocks, in row order.
 
@@ -351,6 +360,7 @@ class RunContext:
             start_block=start_block,
             backend=backend,
             backend_options=backend_options,
+            chunk_rows=chunk_rows,
         )
 
     def space_reduced(
@@ -365,6 +375,8 @@ class RunContext:
         resume: bool = False,
         backend: Optional[Any] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        reduce_at: Optional[str] = None,
+        chunk_rows: Optional[int] = None,
     ) -> ReducedSpace:
         """Stream-reduce a k-group space to its compact artifact, memoized.
 
@@ -380,6 +392,16 @@ class RunContext:
         are side effects: passing any bypasses the cache so they always
         observe the full stream.
 
+        ``reduce_at`` picks where the fold happens: ``"coordinator"``
+        (default) streams full blocks here and folds them; ``"worker"``
+        folds inside each block task and streams only compact reducer
+        states, which the coordinator merges in plan order -- artifacts
+        bit-identical either way, so both modes share cache entries (and
+        checkpoints: the snapshot shape is mode-independent).  Worker
+        mode cannot feed block ``consumers`` (they need the columns the
+        workers no longer ship).  ``chunk_rows`` pins the block row
+        budget; like the backend, both knobs stay out of the cache key.
+
         ``checkpoint`` persists reducer state every ``checkpoint.every``
         blocks; with ``resume=True`` a valid saved state (same scenario
         *and* same block plan -- worker count and memory budget changes
@@ -390,6 +412,17 @@ class RunContext:
         """
         if resume and checkpoint is None:
             raise ValueError("resume=True requires a checkpoint manager")
+        mode = "coordinator" if reduce_at is None else str(reduce_at)
+        if mode not in ("coordinator", "worker"):
+            raise ValueError(
+                f"reduce_at must be 'coordinator' or 'worker', got {reduce_at!r}"
+            )
+        if mode == "worker" and consumers:
+            raise ValueError(
+                "reduce_at='worker' cannot feed block consumers (spill, "
+                "custom observers): workers ship reducer states, not block "
+                "columns -- use reduce_at='coordinator' for this run"
+            )
         group_specs = tuple(
             gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
             for gs in group_specs
@@ -401,25 +434,24 @@ class RunContext:
         def compute() -> ReducedSpace:
             from repro.queueing.dispatcher import Figure10Reducer
 
-            extra = list(consumers)
             f10 = None
             if queue_kw is not None:
                 f10 = Figure10Reducer(**queue_kw)
-                extra.append(f10)
             start_block = 0
             initial = None
             checkpoint_save = None
+            budget = (
+                self.memory_budget_mb if memory_budget_mb is None
+                else memory_budget_mb
+            )
             if checkpoint is not None:
-                budget = (
-                    self.memory_budget_mb if memory_budget_mb is None
-                    else memory_budget_mb
-                )
                 plan = _executor.space_block_plan(
                     group_specs,
                     max_workers=self.max_workers,
                     memory_budget_mb=budget,
                     backend=backend,
                     backend_options=backend_options,
+                    chunk_rows=chunk_rows,
                 )
                 plan_fp = stable_hash(
                     ("block-plan", tuple((t.counts, t.rows) for t in plan))
@@ -433,23 +465,50 @@ class RunContext:
                     state["plan_fingerprint"] = plan_fp
                     checkpoint.save(state)
 
-            start = time.perf_counter()
-            reduced = reduce_space_blocks(
-                self.space_blocks(
-                    group_specs, params, units,
-                    memory_budget_mb=memory_budget_mb,
-                    start_block=start_block,
-                    backend=backend,
-                    backend_options=backend_options,
-                ),
-                consumers=extra,
-                fold_hook=fold_hook,
-                checkpoint_save=checkpoint_save,
-                checkpoint_every=(
-                    checkpoint.every if checkpoint is not None else 8
-                ),
-                initial=initial,
+            checkpoint_every = (
+                checkpoint.every if checkpoint is not None else 8
             )
+            start = time.perf_counter()
+            if mode == "worker":
+                reduced = merge_block_reductions(
+                    _executor.iter_space_reductions(
+                        group_specs, params, units,
+                        max_workers=self.max_workers,
+                        memory_budget_mb=budget,
+                        policy=self.resilience,
+                        injector=self.faults,
+                        emit=self.emit,
+                        start_block=start_block,
+                        backend=backend,
+                        backend_options=backend_options,
+                        chunk_rows=chunk_rows,
+                        queueing=queue_kw,
+                    ),
+                    consumers=[f10] if f10 is not None else [],
+                    fold_hook=fold_hook,
+                    checkpoint_save=checkpoint_save,
+                    checkpoint_every=checkpoint_every,
+                    initial=initial,
+                )
+            else:
+                extra = list(consumers)
+                if f10 is not None:
+                    extra.append(f10)
+                reduced = reduce_space_blocks(
+                    self.space_blocks(
+                        group_specs, params, units,
+                        memory_budget_mb=memory_budget_mb,
+                        start_block=start_block,
+                        backend=backend,
+                        backend_options=backend_options,
+                        chunk_rows=chunk_rows,
+                    ),
+                    consumers=extra,
+                    fold_hook=fold_hook,
+                    checkpoint_save=checkpoint_save,
+                    checkpoint_every=checkpoint_every,
+                    initial=initial,
+                )
             if f10 is not None:
                 reduced.queueing = f10.finish()
             self.emit(
@@ -459,6 +518,7 @@ class RunContext:
                 full_nbytes=reduced.full_nbytes,
                 peak_block_nbytes=reduced.peak_block_nbytes,
                 resumed_from_block=start_block,
+                reduce_at=mode,
                 elapsed_s=time.perf_counter() - start,
             )
             return reduced

@@ -75,7 +75,9 @@ from repro.core.evaluate import ConfigSpaceResult, _concat_results, _normalize_c
 from repro.core.params import NodeModelParams
 from repro.core.streaming import (
     DEFAULT_MEMORY_BUDGET_MB,
+    BlockReduction,
     SpaceBlock,
+    count_space_rows,
     evaluate_block_task,
     max_rows_for_budget,
     plan_block_tasks,
@@ -87,11 +89,20 @@ from repro.engine.backends import (
     validate_workers,
 )
 from repro.engine.faults import FaultInjector
+from repro.engine.job import build_job, run_block
 from repro.engine.resilience import Emit, ResiliencePolicy
 from repro.hardware.specs import NodeSpec
 
 #: Below this many estimated rows the fork+pickle toll outweighs the win.
 PARALLEL_THRESHOLD_ROWS = 100_000
+
+#: Adaptive planner: aim for this many blocks per worker, so one
+#: straggler block cannot serialize the whole tail of the plan.
+OVERSUBSCRIPTION = 4
+
+#: Adaptive planner: blocks below this row count are dispatch overhead
+#: (submission + result frames cost more than the evaluation).
+MIN_ADAPTIVE_BLOCK_ROWS = 32_768
 
 #: "No row budget": large enough that only ``min_chunks`` drives the plan.
 _UNBOUNDED_ROWS = 2**62
@@ -129,14 +140,27 @@ def _plan_tasks(
     n_chunks: Optional[int],
     memory_budget_mb: Optional[float],
     inflight_blocks: int = 1,
+    chunk_rows: Optional[int] = None,
 ):
     """The deterministic block plan for a chunked/streamed evaluation.
 
-    Explicit ``n_chunks`` pins the partition count per presence-mask
-    block exactly (no row budget); otherwise the budget decides -- block
-    rows come from :func:`~repro.core.streaming.max_rows_for_budget`,
-    with at least ``workers`` partitions so the pool stays busy.
+    Precedence: an explicit ``chunk_rows`` pins the per-block row budget
+    exactly (the ``--chunk-rows`` override); an explicit ``n_chunks``
+    pins the partition count per presence-mask block (no row budget);
+    otherwise the plan is *adaptive* -- block rows target
+    ``total_rows / (workers * OVERSUBSCRIPTION)`` (floored at
+    :data:`MIN_ADAPTIVE_BLOCK_ROWS` so tiny blocks don't drown in
+    dispatch overhead), with the memory budget
+    (:func:`~repro.core.streaming.max_rows_for_budget` over
+    ``inflight_blocks``) as a hard cap and at least ``workers``
+    partitions so the pool stays busy.  Single-worker plans skip the
+    oversubscription math and take the budget-sized blocks directly --
+    bit-for-bit the historical serial plan.
     """
+    if chunk_rows is not None:
+        return plan_block_tasks(
+            group_specs, max(1, int(chunk_rows)), min_chunks=1
+        )
     if n_chunks is not None:
         return plan_block_tasks(
             group_specs, _UNBOUNDED_ROWS, min_chunks=max(1, int(n_chunks))
@@ -145,10 +169,14 @@ def _plan_tasks(
         DEFAULT_MEMORY_BUDGET_MB if memory_budget_mb is None
         else float(memory_budget_mb)
     )
+    budget_rows = max_rows_for_budget(budget, len(group_specs), inflight_blocks)
+    target_rows = budget_rows
+    if workers > 1:
+        total_rows = count_space_rows(group_specs)
+        per_task = -(-total_rows // (workers * OVERSUBSCRIPTION))
+        target_rows = min(budget_rows, max(MIN_ADAPTIVE_BLOCK_ROWS, per_task))
     return plan_block_tasks(
-        group_specs,
-        max_rows_for_budget(budget, len(group_specs), inflight_blocks),
-        min_chunks=workers,
+        group_specs, max(1, target_rows), min_chunks=workers
     )
 
 
@@ -159,6 +187,7 @@ def space_block_plan(
     memory_budget_mb: Optional[float] = None,
     backend: Optional[Any] = None,
     backend_options: Optional[Mapping[str, Any]] = None,
+    chunk_rows: Optional[int] = None,
 ):
     """The exact block plan :func:`iter_space_groups_chunked` will stream.
 
@@ -174,6 +203,7 @@ def space_block_plan(
     return _plan_tasks(
         group_specs, workers, n_chunks, memory_budget_mb,
         inflight_blocks=window if workers > 1 else 1,
+        chunk_rows=chunk_rows,
     )
 
 
@@ -189,6 +219,7 @@ def evaluate_space_groups_chunked(
     emit: Optional[Emit] = None,
     backend: Optional[Any] = None,
     backend_options: Optional[Mapping[str, Any]] = None,
+    chunk_rows: Optional[int] = None,
 ) -> ConfigSpaceResult:
     """Evaluate a k-group space in node-count blocks, optionally parallel.
 
@@ -212,22 +243,87 @@ def evaluate_space_groups_chunked(
     workers = _plan_workers(max_workers, be)
     masks = list(presence_masks(group_specs))
     rows = _estimate_rows(group_specs, pos, masks)
-    small = rows < PARALLEL_THRESHOLD_ROWS and n_chunks is None
+    small = (
+        rows < PARALLEL_THRESHOLD_ROWS
+        and n_chunks is None
+        and chunk_rows is None
+    )
     if small or not masks:
         # Degenerate count lists also land here; the reference path
         # raises its own error for them.
         return _evaluate.evaluate_space_groups(group_specs, params, units)
 
-    tasks = _plan_tasks(group_specs, workers, n_chunks, memory_budget_mb)
+    tasks = _plan_tasks(
+        group_specs, workers, n_chunks, memory_budget_mb,
+        chunk_rows=chunk_rows,
+    )
     if len(tasks) < 2:
         return _evaluate.evaluate_space_groups(group_specs, params, units)
 
-    arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
+    job = build_job(group_specs, params, units, tasks)
     blocks = be.run_tasks(
-        _evaluate_block, arg_sets,
-        policy=policy, injector=injector, emit=emit,
+        run_block, [(job.job_id, i) for i in range(len(tasks))],
+        policy=policy, injector=injector, emit=emit, job=job,
     )
     return _concat_results(blocks)
+
+
+def _space_job_stream(
+    group_specs: Tuple[GroupSpec, ...],
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    max_workers: Optional[int],
+    n_chunks: Optional[int],
+    memory_budget_mb: Optional[float],
+    chunk_rows: Optional[int],
+    policy: Optional[ResiliencePolicy],
+    injector: Optional[FaultInjector],
+    emit: Optional[Emit],
+    start_block: int,
+    backend: Optional[Any],
+    backend_options: Optional[Mapping[str, Any]],
+    reduce: Optional[Mapping[str, Any]],
+) -> Iterator[Tuple[int, int, Any]]:
+    """Plan, build the :class:`~repro.engine.job.SpaceJob`, stream results.
+
+    The shared core of :func:`iter_space_groups_chunked` (``reduce`` is
+    ``None``; results are block columns) and
+    :func:`iter_space_reductions` (``reduce`` holds the fold options;
+    results are :class:`~repro.core.streaming.BlockReduction`\\ s).
+    Yields ``(index, start_row, result)`` in plan order.
+    """
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    if not group_specs:
+        raise ValueError("need at least one node-type group")
+    be = resolve_backend(backend, backend_options, max_workers=max_workers)
+    workers = _plan_workers(max_workers, be)
+    window = workers + 1
+    tasks = _plan_tasks(
+        group_specs, workers, n_chunks, memory_budget_mb,
+        inflight_blocks=window if workers > 1 else 1,
+        chunk_rows=chunk_rows,
+    )
+    if not tasks:
+        # Let the reference path raise its own error message.
+        _evaluate.evaluate_space_groups(group_specs, params, units)
+        raise AssertionError("unreachable: empty plan must raise above")
+    if not 0 <= start_block <= len(tasks):
+        raise ValueError(
+            f"start_block {start_block} outside 0..{len(tasks)} for this plan"
+        )
+    job = build_job(group_specs, params, units, tasks, reduce=reduce)
+    for idx, result in be.submit_blocks(
+        run_block,
+        [(job.job_id, i) for i in range(len(tasks))],
+        window=window,
+        policy=policy,
+        injector=injector,
+        emit=emit,
+        start_index=start_block,
+        job=job,
+    ):
+        yield idx, job.starts[idx], result
 
 
 def iter_space_groups_chunked(
@@ -243,6 +339,7 @@ def iter_space_groups_chunked(
     start_block: int = 0,
     backend: Optional[Any] = None,
     backend_options: Optional[Mapping[str, Any]] = None,
+    chunk_rows: Optional[int] = None,
 ) -> Iterator[SpaceBlock]:
     """Stream a k-group space as :class:`SpaceBlock`\\ s, backend-evaluated.
 
@@ -266,41 +363,59 @@ def iter_space_groups_chunked(
     without evaluating them -- checkpoint resume; the yielded blocks
     keep their global indices and row offsets.
     """
-    if units <= 0:
-        raise ValueError("job must contain positive work")
-    group_specs = tuple(group_specs)
-    if not group_specs:
-        raise ValueError("need at least one node-type group")
-    be = resolve_backend(backend, backend_options, max_workers=max_workers)
-    workers = _plan_workers(max_workers, be)
-    window = workers + 1
-    tasks = _plan_tasks(
-        group_specs, workers, n_chunks, memory_budget_mb,
-        inflight_blocks=window if workers > 1 else 1,
-    )
-    if not tasks:
-        # Let the reference path raise its own error message.
-        _evaluate.evaluate_space_groups(group_specs, params, units)
-        raise AssertionError("unreachable: empty plan must raise above")
-    if not 0 <= start_block <= len(tasks):
-        raise ValueError(
-            f"start_block {start_block} outside 0..{len(tasks)} for this plan"
-        )
-    starts = [0]
-    for task in tasks[:-1]:
-        starts.append(starts[-1] + task.rows)
-
-    arg_sets = [(group_specs, params, units, t.counts) for t in tasks]
-    for idx, data in be.submit_blocks(
-        _evaluate_block,
-        arg_sets,
-        window=window,
-        policy=policy,
-        injector=injector,
-        emit=emit,
-        start_index=start_block,
+    for idx, start_row, data in _space_job_stream(
+        tuple(group_specs), params, units, max_workers, n_chunks,
+        memory_budget_mb, chunk_rows, policy, injector, emit, start_block,
+        backend, backend_options, reduce=None,
     ):
-        yield SpaceBlock(index=idx, start_row=starts[idx], data=data)
+        yield SpaceBlock(index=idx, start_row=start_row, data=data)
+
+
+def iter_space_reductions(
+    group_specs: Sequence[GroupSpec],
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    max_workers: Optional[int] = None,
+    n_chunks: Optional[int] = None,
+    memory_budget_mb: Optional[float] = None,
+    policy: Optional[ResiliencePolicy] = None,
+    injector: Optional[FaultInjector] = None,
+    emit: Optional[Emit] = None,
+    start_block: int = 0,
+    backend: Optional[Any] = None,
+    backend_options: Optional[Mapping[str, Any]] = None,
+    chunk_rows: Optional[int] = None,
+    composition: bool = True,
+    group_frontiers: bool = True,
+    queueing: Optional[Mapping[str, Any]] = None,
+) -> Iterator[BlockReduction]:
+    """Stream a k-group space as worker-folded reducer states.
+
+    The ``reduce_at="worker"`` twin of :func:`iter_space_groups_chunked`:
+    each block task evaluates its rows *and* folds them through local
+    reducers (:func:`~repro.core.streaming.fold_block_reduction`), so
+    only the compact :class:`~repro.core.streaming.BlockReduction`
+    states cross the worker boundary -- kilobytes per block instead of
+    the block's full column stack.  States arrive in plan order;
+    :func:`~repro.core.streaming.merge_block_reductions` folds them into
+    a :class:`~repro.core.streaming.ReducedSpace` bit-identical to the
+    coordinator-side pass.  A retried task re-evaluates and re-folds its
+    block from the first row, so the retry/replace/degrade ladder and
+    ``start_block`` resume work exactly as they do for raw blocks.
+    ``queueing``, when given, is the keyword mapping for the worker-side
+    :class:`~repro.queueing.dispatcher.Figure10Reducer`.
+    """
+    reduce_options: dict = {
+        "composition": bool(composition),
+        "group_frontiers": bool(group_frontiers),
+        "queueing": None if queueing is None else dict(queueing),
+    }
+    for _, _, reduction in _space_job_stream(
+        tuple(group_specs), params, units, max_workers, n_chunks,
+        memory_budget_mb, chunk_rows, policy, injector, emit, start_block,
+        backend, backend_options, reduce=reduce_options,
+    ):
+        yield reduction
 
 
 def evaluate_space_chunked(

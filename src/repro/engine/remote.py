@@ -6,16 +6,27 @@ ship to worker agents (:mod:`repro.engine.remote_worker`, started as
 back, and a heartbeat loop stands in for the liveness signal a local
 process pool gets for free.
 
-Wire protocol (version 1)
+Wire protocol (version 2)
 -------------------------
 Every frame is an 8-byte big-endian length prefix followed by a pickled
-``dict`` with a ``"type"`` key:
+``dict`` with a ``"type"`` key.  The prefix's high bit flags a
+zlib-compressed payload: the sender compresses any frame at or above
+:data:`_COMPRESS_MIN_BYTES` when compression actually shrinks it, and
+the reader transparently inflates -- columnar block results and reducer
+states are low-entropy float arrays that routinely compress severalfold,
+which is most of what "fast" means on a real network link.
 
 ``hello``    worker -> client on accept: ``{version, pid}``.
+``job``      client -> worker, right after ``hello``: ``{job}`` -- one
+             :class:`~repro.engine.job.SpaceJob` carrying a fan-out's
+             immutable plan/params, shipped once per (re)connected
+             worker instead of once per task.
 ``task``     client -> worker: ``{task, attempt, fn, args, injector}``.
              ``fn`` is pickled by reference, so the worker must be able
              to ``import repro`` (spawned localhost agents inherit a
-             ``PYTHONPATH`` pointing at this checkout).
+             ``PYTHONPATH`` pointing at this checkout).  Under a job,
+             ``fn`` is :func:`repro.engine.job.run_block` and ``args``
+             is just ``(job_id, block_index)``.
 ``result``   worker -> client: ``{task, ok, value}`` on success,
              ``{task, ok, error}`` with the pickled exception otherwise.
 ``ping`` / ``pong``  liveness probes, either direction, ``{seq}``.
@@ -64,6 +75,7 @@ import subprocess
 import sys
 import threading
 import time
+import zlib
 from collections import deque
 from dataclasses import dataclass
 from pathlib import Path
@@ -101,8 +113,10 @@ from repro.engine.resilience import (
     call_with_faults,
 )
 
-#: Wire protocol version carried in the ``hello`` frame.
-PROTOCOL_VERSION = 1
+#: Wire protocol version carried in the ``hello`` frame.  Version 2
+#: added compressed frames (length-prefix high bit) and ``job`` frames;
+#: client and worker ship from the same checkout, so no negotiation.
+PROTOCOL_VERSION = 2
 
 #: Line a spawned worker prints once it is listening: ``REPRO_WORKER_PORT <n>``.
 PORT_BANNER = "REPRO_WORKER_PORT"
@@ -114,6 +128,11 @@ DEFAULT_CONNECT_TIMEOUT_S = 10.0
 
 _LEN = struct.Struct(">Q")
 _RECV_CHUNK = 1 << 16
+#: High bit of the length prefix: payload is zlib-compressed.
+_FLAG_ZLIB = 1 << 63
+#: Frames below this many pickled bytes ship uncompressed (pings, small
+#: results): the deflate call costs more than the copy it saves.
+_COMPRESS_MIN_BYTES = 4096
 
 
 class RemoteProtocolError(RuntimeError):
@@ -126,9 +145,20 @@ class RemoteTaskError(RuntimeError):
 
 
 def send_frame(sock: socket.socket, obj: Mapping[str, Any]) -> None:
-    """Pickle ``obj`` and send it as one length-prefixed frame."""
+    """Pickle ``obj`` and send it as one length-prefixed frame.
+
+    Large payloads are zlib-compressed (level 1 -- block columns are
+    low-entropy enough that speed beats ratio) when that actually
+    shrinks them, flagged via the length prefix's high bit.
+    """
     payload = pickle.dumps(dict(obj), protocol=pickle.HIGHEST_PROTOCOL)
-    sock.sendall(_LEN.pack(len(payload)) + payload)
+    header = len(payload)
+    if len(payload) >= _COMPRESS_MIN_BYTES:
+        packed = zlib.compress(payload, 1)
+        if len(packed) < len(payload):
+            payload = packed
+            header = len(payload) | _FLAG_ZLIB
+    sock.sendall(_LEN.pack(header) + payload)
 
 
 class FrameReader:
@@ -173,12 +203,21 @@ class FrameReader:
     def _pop_frame(self) -> Optional[Dict[str, Any]]:
         if len(self._buf) < _LEN.size:
             return None
-        (length,) = _LEN.unpack_from(self._buf, 0)
+        (raw,) = _LEN.unpack_from(self._buf, 0)
+        compressed = bool(raw & _FLAG_ZLIB)
+        length = raw & (_FLAG_ZLIB - 1)
         end = _LEN.size + length
         if len(self._buf) < end:
             return None
         payload = bytes(self._buf[_LEN.size : end])
         del self._buf[:end]
+        if compressed:
+            try:
+                payload = zlib.decompress(payload)
+            except zlib.error as exc:
+                raise RemoteProtocolError(
+                    f"undecodable compressed frame: {exc}"
+                ) from None
         frame = pickle.loads(payload)
         if not isinstance(frame, dict) or "type" not in frame:
             raise RemoteProtocolError(f"malformed frame: {frame!r}")
@@ -411,13 +450,17 @@ class TcpRemoteBackend(ExecutionBackend):
         assign_q: "queue.Queue",
         results_q: "queue.Queue",
         policy: ResiliencePolicy,
+        job: Optional[Any] = None,
     ) -> None:
         """One worker's channel: connect, then serve assignments.
 
         Terminal conditions report exactly one event to ``results_q``:
         ``connect_failed`` (never served), ``dead`` (EOF or heartbeat
         silence), ``timeout`` (task deadline passed), or per-task
-        ``result`` frames followed by a clean sentinel exit.
+        ``result`` frames followed by a clean sentinel exit.  ``job``,
+        when given, is shipped once right after the hello -- including
+        on the fresh channel of a respawned/reconnected worker, so a
+        replacement worker is job-complete before its first task.
         """
         sock: Optional[socket.socket] = None
         current_task: Optional[int] = None
@@ -441,6 +484,12 @@ class TcpRemoteBackend(ExecutionBackend):
             if hello is None or hello.get("type") != "hello":
                 report("connect_failed")
                 return
+            if job is not None:
+                try:
+                    send_frame(sock, {"type": "job", "job": job})
+                except OSError:
+                    report("connect_failed")
+                    return
             while True:
                 item = assign_q.get()
                 if item is None:
@@ -520,6 +569,7 @@ class TcpRemoteBackend(ExecutionBackend):
         injector: Optional[FaultInjector] = None,
         emit: Optional[Emit] = None,
         start_index: int = 0,
+        job: Optional[Any] = None,
     ) -> Iterator[Tuple[int, Any]]:
         if self.closed:
             raise RuntimeError("tcp_remote backend is closed")
@@ -528,7 +578,8 @@ class TcpRemoteBackend(ExecutionBackend):
         if start_index < 0 or start_index > n_tasks:
             raise ValueError(f"start_index {start_index} outside 0..{n_tasks}")
         return self._dispatch(
-            fn, args_list, n_tasks, window, policy, injector, emit, start_index
+            fn, args_list, n_tasks, window, policy, injector, emit,
+            start_index, job,
         )
 
     def _dispatch(
@@ -541,9 +592,15 @@ class TcpRemoteBackend(ExecutionBackend):
         injector: Optional[FaultInjector],
         emit: Optional[Emit],
         start_index: int,
+        job: Optional[Any] = None,
     ) -> Iterator[Tuple[int, Any]]:
         if start_index == n_tasks:
             return
+        if job is not None:
+            from repro.engine.job import install_job
+
+            # In-process too: serial degradation runs tasks right here.
+            install_job(job)
         window = n_tasks if window is None else max(1, int(window))
         self._ensure_workers()
 
@@ -568,7 +625,9 @@ class TcpRemoteBackend(ExecutionBackend):
             alive.add(sid)
             threading.Thread(
                 target=self._channel_main,
-                args=(self._slots[sid], assign_qs[sid], results_q, policy),
+                args=(
+                    self._slots[sid], assign_qs[sid], results_q, policy, job,
+                ),
                 daemon=True,
                 name=f"repro-remote-ch{sid}",
             ).start()

@@ -148,6 +148,12 @@ def _handle_connection(conn: socket.socket) -> bool:
                 return False
         elif mtype == "shutdown":
             return True
+        elif mtype == "job":
+            # One-time shipment of a fan-out's immutable plan/params;
+            # subsequent task frames reference it by id only.
+            from repro.engine.job import install_job
+
+            install_job(msg["job"])
         elif mtype == "task":
             idx = msg["task"]
             attempt = msg["attempt"]

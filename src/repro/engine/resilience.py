@@ -182,9 +182,15 @@ def terminate_pool(pool: ProcessPoolExecutor) -> None:
         proc.join(timeout=5.0)
 
 
-def _try_create_pool(workers: int) -> Optional[ProcessPoolExecutor]:
+def _try_create_pool(
+    workers: int,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
+) -> Optional[ProcessPoolExecutor]:
     try:
-        return ProcessPoolExecutor(max_workers=workers)
+        return ProcessPoolExecutor(
+            max_workers=workers, initializer=initializer, initargs=initargs
+        )
     except (OSError, PermissionError, RuntimeError):
         # Restricted sandbox (no fork / no semaphores): serial fallback.
         return None
@@ -199,6 +205,8 @@ def iter_tasks_resilient(
     injector: Optional[FaultInjector] = None,
     emit: Optional[Emit] = None,
     start_index: int = 0,
+    initializer: Optional[Callable[..., None]] = None,
+    initargs: Tuple = (),
 ) -> Iterator[Tuple[int, Any]]:
     """Run ``fn(*args_list[i])`` for ``i >= start_index``, yielding in order.
 
@@ -209,6 +217,10 @@ def iter_tasks_resilient(
     ``start_index`` supports checkpoint resume (earlier tasks are never
     evaluated).  On abandonment (an exception, or the consumer dropping
     the generator) the pool's workers are terminated, not leaked.
+    ``initializer``/``initargs`` seed every worker process -- including
+    the workers of a replacement pool after a failure -- which is how a
+    :class:`~repro.engine.job.SpaceJob` ships once per worker instead of
+    once per task.
     """
     policy = DEFAULT_POLICY if policy is None else policy
     n_tasks = len(args_list)
@@ -278,7 +290,11 @@ def iter_tasks_resilient(
     try:
         while next_idx < n_tasks:
             if not serial and pool is None:
-                pool = _try_create_pool(min(max_workers, n_tasks - next_idx))
+                pool = _try_create_pool(
+                    min(max_workers, n_tasks - next_idx),
+                    initializer=initializer,
+                    initargs=initargs,
+                )
                 if pool is None:
                     serial = True
                 futures.clear()

@@ -206,6 +206,8 @@ def run_scenario(
             consumers=(spill,) if spill is not None else (),
             checkpoint=checkpoint,
             resume=resume,
+            reduce_at=scenario.reduce_at,
+            chunk_rows=scenario.chunk_rows,
             **backend_kw,
         )
         space = spill.finish() if spill is not None else None
@@ -222,7 +224,10 @@ def run_scenario(
             budget_mb=scenario.memory_budget_mb,
         )
     else:
-        space = ctx.space_groups(group_specs, params, units, **backend_kw)
+        space = ctx.space_groups(
+            group_specs, params, units,
+            chunk_rows=scenario.chunk_rows, **backend_kw,
+        )
         timings["space"] = time.perf_counter() - start
         result = ScenarioResult(scenario=scenario, params=params, space=space)
         ctx.emit(

@@ -146,6 +146,18 @@ class Scenario:
         Peak-memory budget for streaming evaluation, megabytes;
         ``None`` uses :data:`repro.core.streaming.DEFAULT_MEMORY_BUDGET_MB`.
         An execution knob, excluded from the cache identity.
+    reduce_at:
+        Where the streaming fold happens: ``"coordinator"`` (default)
+        ships full evaluated blocks back and folds them centrally;
+        ``"worker"`` folds each block inside the worker that evaluated
+        it and ships only compact reducer states, which the coordinator
+        merges in plan order.  Artifacts are bit-identical either way,
+        so -- like ``space_mode`` -- the knob is excluded from the cache
+        identity.  ``"worker"`` requires ``space_mode="streaming"``.
+    chunk_rows:
+        Explicit row budget per streaming block, overriding the adaptive
+        chunk planner.  An execution knob, excluded from the cache
+        identity.
     backend, backend_options:
         Execution backend for the scenario's fan-outs -- a registered
         name (``"serial"``, ``"process_pool"``, ``"tcp_remote"``) plus
@@ -177,6 +189,8 @@ class Scenario:
     simulation: str = "batched"
     space_mode: str = "materialized"
     memory_budget_mb: Optional[float] = None
+    reduce_at: str = "coordinator"
+    chunk_rows: Optional[int] = None
     name: Optional[str] = None
     node_types: Optional[Tuple[NodeGroup, ...]] = None
     backend: Optional[str] = None
@@ -229,6 +243,20 @@ class Scenario:
             )
         if self.memory_budget_mb is not None and self.memory_budget_mb <= 0:
             raise ValueError("memory budget must be positive")
+        if self.reduce_at not in ("coordinator", "worker"):
+            raise ValueError(
+                f"reduce_at must be 'coordinator' or 'worker', got "
+                f"{self.reduce_at!r}"
+            )
+        if self.reduce_at == "worker" and self.space_mode != "streaming":
+            raise ValueError(
+                "reduce_at='worker' requires space_mode='streaming' -- "
+                "materialized runs keep full blocks by definition"
+            )
+        if self.chunk_rows is not None:
+            object.__setattr__(self, "chunk_rows", int(self.chunk_rows))
+            if self.chunk_rows <= 0:
+                raise ValueError("chunk_rows must be positive")
         if self.backend is not None:
             # Registry validation catches unknown names and unknown
             # option keys here, at construction, not mid-run.
@@ -314,7 +342,8 @@ class Scenario:
 
         Drops the cosmetic ``name`` and the implementation choices
         (``simulation``, ``space_mode``, ``memory_budget_mb``,
-        ``backend``, ``backend_options``) -- batched and reference runs
+        ``reduce_at``, ``chunk_rows``, ``backend``,
+        ``backend_options``) -- batched and reference runs
         are bit-identical, streaming produces the same reduced artifacts
         as materializing, and every execution backend produces the same
         bytes, so they all share cache entries.  The node-type axes are
@@ -327,6 +356,8 @@ class Scenario:
         raw.pop("simulation")
         raw.pop("space_mode")
         raw.pop("memory_budget_mb")
+        raw.pop("reduce_at")
+        raw.pop("chunk_rows")
         raw.pop("backend")
         raw.pop("backend_options")
         for key in _PAIR_FIELDS:

@@ -332,6 +332,34 @@ class Figure10Reducer:
             reducer.load_state(saved[u])
             self._reducers[u] = reducer
 
+    def merge(self, state: Mapping[str, Any]) -> None:
+        """Fold a worker-side :meth:`state_dict` into this reducer.
+
+        Workers fold their block through a fresh ``Figure10Reducer`` with
+        global ``start_row``\\ s, so the per-utilization frontier states
+        merge with offset 0 via
+        :meth:`~repro.core.streaming.FrontierReducer.merge` -- bit-identical
+        to having streamed the block here, as long as states arrive in
+        plan order.
+        """
+        if state["idle_powers"] is None:
+            return
+        if self._idle_powers is None:
+            self.load_state(state)
+            return
+        if int(state["num_groups"]) != self._num_groups:
+            raise ValueError(
+                f"cannot merge a {state['num_groups']}-group queueing state "
+                f"into a {self._num_groups}-group reducer"
+            )
+        saved = state["reducers"]
+        if set(saved) != set(self.utilizations):
+            raise ValueError(
+                "merged utilization levels do not match this reducer"
+            )
+        for u in self.utilizations:
+            self._reducers[u].merge(saved[u])
+
     def finish(self) -> Dict[float, List[WindowPoint]]:
         if self._idle_powers is None:
             raise ValueError("no blocks were streamed through the reducer")

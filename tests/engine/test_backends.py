@@ -394,6 +394,205 @@ class TestScenarioConformance:
 
 
 # ---------------------------------------------------------------------------
+# Worker-side reduction: the same contract with reduce_at="worker"
+# ---------------------------------------------------------------------------
+
+
+class TestWorkerReduceConformance:
+    """The scenario conformance matrix again, folding inside the workers.
+
+    ``reduce_at="worker"`` changes what crosses the wire (reducer states
+    instead of block columns) but must change nothing observable: every
+    backend bit-identical to the serial coordinator-side reference,
+    through fault plans, checkpoint/resume (including checkpoints
+    written by the *other* mode), with the cache identity untouched.
+    """
+
+    @pytest.fixture(scope="class")
+    def serial_reference(self):
+        return run_scenario(streaming_scenario(), RunContext(max_workers=1))
+
+    @pytest.mark.parametrize("name, options", MATRIX)
+    def test_artifacts_bit_identical(self, name, options, serial_reference):
+        scenario = streaming_scenario(reduce_at="worker").with_(
+            backend=name, backend_options=options
+        )
+        result = run_scenario(scenario, RunContext(max_workers=2))
+        _assert_results_identical(serial_reference, result)
+
+    def test_chunk_rows_override_stays_bit_identical(self, serial_reference):
+        scenario = streaming_scenario(reduce_at="worker", chunk_rows=777)
+        result = run_scenario(scenario, RunContext(max_workers=2))
+        _assert_results_identical(serial_reference, result)
+
+    def test_cache_identity_ignores_reduce_at_and_chunk_rows(self):
+        identities = {
+            repr(streaming_scenario(**kw).cache_identity())
+            for kw in [
+                {},
+                {"reduce_at": "worker"},
+                {"chunk_rows": 1000},
+                {"reduce_at": "worker", "chunk_rows": 5000},
+            ]
+        }
+        assert len(identities) == 1
+
+    def test_worker_reduce_requires_streaming(self):
+        with pytest.raises(ValueError, match="space_mode='streaming'"):
+            Scenario(workload="ep", reduce_at="worker")
+        with pytest.raises(ValueError, match="reduce_at"):
+            streaming_scenario(reduce_at="sideways")
+
+    def test_worker_reduce_rejects_block_consumers(self, tmp_path):
+        scenario = streaming_scenario(reduce_at="worker")
+        with pytest.raises(ValueError, match="consumers"):
+            run_scenario(
+                scenario, RunContext(max_workers=2), spill_dir=tmp_path
+            )
+
+    @pytest.mark.parametrize(
+        "name, options, kind",
+        [
+            pytest.param("serial", None, "crash", id="serial-crash"),
+            pytest.param(
+                "process_pool", {"workers": 2}, "crash", id="pool-crash"
+            ),
+            pytest.param(
+                "process_pool", {"workers": 2}, "kill", id="pool-kill"
+            ),
+            pytest.param(
+                "process_pool",
+                {"workers": 2, "shared_memory": True},
+                "kill",
+                id="shm-kill",
+            ),
+            pytest.param(
+                "tcp_remote", dict(REMOTE_OPTS), "crash", id="remote-crash"
+            ),
+            pytest.param(
+                "tcp_remote",
+                dict(REMOTE_OPTS),
+                "worker_vanish",
+                id="remote-vanish",
+            ),
+            pytest.param(
+                "tcp_remote",
+                dict(REMOTE_OPTS),
+                "net_delay",
+                id="remote-net-delay",
+            ),
+        ],
+    )
+    def test_faulted_run_bit_identical(
+        self, name, options, kind, serial_reference
+    ):
+        # A retried task re-evaluates AND re-folds its block from the
+        # start; the merged artifacts must not notice.
+        spec = (
+            FaultSpec(kind=kind, task=1, delay_s=0.3)
+            if kind in ("worker_vanish", "net_delay")
+            else FaultSpec(kind=kind, task=1)
+        )
+        scenario = streaming_scenario(reduce_at="worker").with_(
+            backend=name, backend_options=options
+        )
+        events = []
+        ctx = RunContext(
+            max_workers=2,
+            faults=FaultPlan(faults=(spec,)),
+            sinks=(lambda event, payload: events.append(event),),
+        )
+        result = run_scenario(scenario, ctx)
+        _assert_results_identical(serial_reference, result)
+        if kind in ("crash",):
+            assert "resilience.retry" in events
+        elif kind in ("kill", "worker_vanish"):
+            assert "resilience.pool_replaced" in events
+        else:  # net_delay: latency, not death -- no resilience traffic
+            assert not any(e.startswith("resilience.") for e in events)
+
+    @pytest.mark.parametrize(
+        "name, options",
+        [
+            pytest.param("serial", None, id="serial"),
+            pytest.param("process_pool", {"workers": 2}, id="process_pool"),
+            pytest.param("tcp_remote", dict(REMOTE_OPTS), id="tcp_remote"),
+        ],
+    )
+    def test_interrupted_resume_bit_identical(
+        self, name, options, tmp_path, serial_reference
+    ):
+        scenario = streaming_scenario(reduce_at="worker").with_(
+            backend=name, backend_options=options
+        )
+        chaos_ctx = RunContext(
+            max_workers=2,
+            faults=FaultPlan(faults=(FaultSpec(kind="fold_error", task=4),)),
+        )
+        with pytest.raises(InjectedFault):
+            run_scenario(
+                scenario, chaos_ctx,
+                checkpoint_dir=tmp_path, checkpoint_every=1,
+            )
+        events = []
+        resumed = run_scenario(
+            scenario,
+            RunContext(
+                max_workers=2,
+                sinks=(lambda event, payload: events.append((event, payload)),),
+            ),
+            checkpoint_dir=tmp_path, resume=True, checkpoint_every=1,
+        )
+        _assert_results_identical(serial_reference, resumed)
+        reduced = [p for e, p in events if e == "space.reduced"]
+        assert reduced and reduced[0]["resumed_from_block"] == 4
+
+    @pytest.mark.parametrize(
+        "first, second",
+        [
+            pytest.param("worker", "coordinator", id="worker-to-coordinator"),
+            pytest.param("coordinator", "worker", id="coordinator-to-worker"),
+        ],
+    )
+    def test_cross_mode_checkpoint_interop(
+        self, first, second, tmp_path, serial_reference
+    ):
+        # Checkpoints carry mode-independent reducer state: a run
+        # interrupted under one reduce_at resumes under the other.
+        chaos_ctx = RunContext(
+            max_workers=2,
+            faults=FaultPlan(faults=(FaultSpec(kind="fold_error", task=4),)),
+        )
+        with pytest.raises(InjectedFault):
+            run_scenario(
+                streaming_scenario(reduce_at=first), chaos_ctx,
+                checkpoint_dir=tmp_path, checkpoint_every=1,
+            )
+        resumed = run_scenario(
+            streaming_scenario(reduce_at=second),
+            RunContext(max_workers=2),
+            checkpoint_dir=tmp_path, resume=True, checkpoint_every=1,
+        )
+        _assert_results_identical(serial_reference, resumed)
+
+    @pytest.mark.parametrize("reduce_at", ["coordinator", "worker"])
+    def test_shm_run_leaves_no_segments(self, reduce_at):
+        # Zero-copy decode unlinks segments immediately; worker-side
+        # reduction ships no columns at all.  Either way /dev/shm must
+        # end exactly where it started.
+        import glob
+
+        scenario = streaming_scenario(reduce_at=reduce_at).with_(
+            backend="process_pool",
+            backend_options={"workers": 2, "shared_memory": True},
+        )
+        before = set(glob.glob("/dev/shm/*"))
+        run_scenario(scenario, RunContext(max_workers=2))
+        after = set(glob.glob("/dev/shm/*"))
+        assert after - before == set()
+
+
+# ---------------------------------------------------------------------------
 # Scenario field validation and selection precedence
 # ---------------------------------------------------------------------------
 

@@ -5,13 +5,17 @@ import numpy as np
 from repro.core.calibration import ground_truth_params
 from repro.core.configuration import GroupSpec, presence_masks
 from repro.core.evaluate import evaluate_space
+from repro.core.streaming import count_space_rows, max_rows_for_budget
 from repro.engine.executor import (
+    MIN_ADAPTIVE_BLOCK_ROWS,
+    OVERSUBSCRIPTION,
     PARALLEL_THRESHOLD_ROWS,
     _chunk,
     _estimate_rows,
     default_max_workers,
     evaluate_space_chunked,
     parallel_map,
+    space_block_plan,
 )
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
 from repro.workloads.suite import EP
@@ -70,6 +74,76 @@ class TestChunkedEvaluation:
         )
         np.testing.assert_array_equal(only_a.times_s, direct.times_s)
         assert (only_a.n_b == 0).all()
+
+
+class TestAdaptiveBlockPlan:
+    GROUPS = (GroupSpec(ARM_CORTEX_A9, 12), GroupSpec(AMD_K10, 12))
+
+    def test_single_worker_plan_is_budget_only(self):
+        # workers <= 1 skips the oversubscription math entirely: the
+        # plan is the historical budget-sized serial plan, bit for bit.
+        from repro.core.streaming import plan_block_tasks
+
+        plan = space_block_plan(
+            self.GROUPS, max_workers=1, memory_budget_mb=0.25,
+            backend="serial",
+        )
+        budget_rows = max_rows_for_budget(0.25, len(self.GROUPS), 1)
+        historical = plan_block_tasks(self.GROUPS, budget_rows, min_chunks=1)
+        assert [(t.counts, t.rows) for t in plan] == [
+            (t.counts, t.rows) for t in historical
+        ]
+        assert sum(t.rows for t in plan) == count_space_rows(self.GROUPS)
+
+    def test_multi_worker_plan_oversubscribes(self):
+        workers = 4
+        total = count_space_rows(self.GROUPS)
+        plan = space_block_plan(
+            self.GROUPS, max_workers=workers, backend="serial"
+        )
+        # At least one block per worker, and block rows near the
+        # oversubscription target (floored so blocks stay coarse enough
+        # to amortize dispatch).
+        assert len(plan) >= workers
+        target = max(
+            MIN_ADAPTIVE_BLOCK_ROWS, -(-total // (workers * OVERSUBSCRIPTION))
+        )
+        assert all(t.rows <= target for t in plan)
+        assert sum(t.rows for t in plan) == total
+
+    def test_budget_caps_the_adaptive_target(self):
+        # A tight budget wins over the oversubscription target: the
+        # adaptive plan is exactly the budget-rows plan (modulo the
+        # planner's one-slice granularity floor, which both share).
+        from repro.core.streaming import plan_block_tasks
+
+        plan = space_block_plan(
+            self.GROUPS, max_workers=4, memory_budget_mb=0.25,
+            backend="serial",
+        )
+        budget_rows = max_rows_for_budget(0.25, len(self.GROUPS), 5)
+        capped = plan_block_tasks(self.GROUPS, budget_rows, min_chunks=4)
+        assert [(t.counts, t.rows) for t in plan] == [
+            (t.counts, t.rows) for t in capped
+        ]
+
+    def test_chunk_rows_pins_the_block_size(self):
+        from repro.core.streaming import plan_block_tasks
+
+        plan = space_block_plan(
+            self.GROUPS, max_workers=4, chunk_rows=500, backend="serial"
+        )
+        assert [(t.counts, t.rows) for t in plan] == [
+            (t.counts, t.rows)
+            for t in plan_block_tasks(self.GROUPS, 500, min_chunks=1)
+        ]
+        assert sum(t.rows for t in plan) == count_space_rows(self.GROUPS)
+        # chunk_rows wins over n_chunks and the budget alike.
+        pinned = space_block_plan(
+            self.GROUPS, max_workers=4, n_chunks=2, chunk_rows=500,
+            memory_budget_mb=64.0, backend="serial",
+        )
+        assert [t.rows for t in pinned] == [t.rows for t in plan]
 
 
 class TestParallelMap:
