@@ -42,8 +42,16 @@ Subpackages
     The experiment engine: declarative :class:`Scenario` descriptions,
     a :class:`RunContext` with content-addressed caching and pluggable
     execution backends (serial, process pool, TCP remote workers), and
-    :func:`run_scenario` gluing calibration -> configuration space ->
-    analyses together.
+    :func:`run_scenario` executing the pipeline as an explicit stage
+    graph -- calibrate -> configuration space -> analyses -- with
+    content-addressed per-stage identities.
+``repro.store``
+    Persistent sqlite-backed :class:`ArtifactStore`: scenarios, stage
+    artifacts, dependency edges, spec-edit invalidation.
+``repro.service``
+    ``repro serve``: planner queries (cheapest config for a deadline,
+    frontier under a power budget, regions, what-if deltas) over
+    HTTP/JSON from a populated store.
 """
 
 from repro import quick
@@ -72,6 +80,7 @@ from repro.engine import (
     run_scenario,
 )
 from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9, ETHERNET_SWITCH
+from repro.store import ArtifactStore
 from repro.workloads.suite import PAPER_WORKLOADS, workload_by_name
 
 __version__ = "1.0.0"
@@ -96,6 +105,7 @@ __all__ = [
     "FaultPlan",
     "FaultSpec",
     "ResiliencePolicy",
+    "ArtifactStore",
     "ResultCache",
     "RunContext",
     "Scenario",

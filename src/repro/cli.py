@@ -97,12 +97,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             "threeway",
             "report",
             "scenario",
+            "serve",
         ],
         help="paper artifact to regenerate, or an extension analysis "
         "(reduce = configuration-space reduction; sensitivity = parameter "
         "elasticities; threeway = ARM+AMD+Atom k-way matching demo; "
         "report = full Markdown reproduction report; scenario = run a "
-        "declarative experiment from --file through the engine)",
+        "declarative experiment from --file through the engine; "
+        "serve = answer planner queries over HTTP from a --store-dir "
+        "populated by earlier scenario runs)",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(
@@ -164,6 +167,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         default=None,
         help="directory for the on-disk result cache "
         "(e.g. results/.cache; default: in-memory only)",
+    )
+    parser.add_argument(
+        "--store-dir",
+        type=Path,
+        default=None,
+        help="persistent artifact store directory (sqlite-backed).  With "
+        "the scenario artifact, stage artifacts are stored and warm "
+        "reruns skip every unchanged stage; with serve, the store to "
+        "answer queries from",
+    )
+    parser.add_argument(
+        "--explain",
+        action="store_true",
+        help="with the scenario artifact, print the stage plan (stage "
+        "identities and store hit/stale/miss status) without executing "
+        "anything",
+    )
+    parser.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="bind address for serve (default: 127.0.0.1)",
+    )
+    parser.add_argument(
+        "--port",
+        type=int,
+        default=8734,
+        help="bind port for serve (default: 8734; 0 = ephemeral)",
     )
     parser.add_argument(
         "--space-mode",
@@ -256,6 +286,19 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="print engine progress events (stages, cache hits, timings)",
     )
     args = parser.parse_args(argv)
+    if args.artifact == "serve":
+        if args.store_dir is None:
+            print("serve requires --store-dir <store>", file=sys.stderr)
+            return 2
+        from repro.service import serve
+
+        serve(
+            args.store_dir,
+            host=args.host,
+            port=args.port,
+            quiet=not args.verbose,
+        )
+        return 0
     if args.resume and args.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")
     if args.reduce_at == "worker" and (args.space_mode or "") != "streaming":
@@ -330,6 +373,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         backend=backend,
         backend_options=backend_options or None,
     )
+    if args.store_dir is not None:
+        from repro.store import ArtifactStore
+
+        # The context's result cache doubles as the store's memory tier,
+        # so in-process lookups never touch sqlite.
+        ctx.store = ArtifactStore(
+            args.store_dir, memory=ctx.cache, on_event=ctx.emit
+        )
 
     if args.artifact == "table1":
         print(build_table1().render(), file=out)
@@ -526,6 +577,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             scenario = scenario.with_(
                 backend=backend, backend_options=backend_options or None
             )
+        if args.explain:
+            from repro.engine import explain_scenario
+
+            plan, rows = explain_scenario(scenario, ctx)
+            table = Table(
+                ["stage", "kind", "identity", "status"],
+                title=f"Stage plan: {scenario.name or scenario.workload} "
+                f"(scenario {plan.scenario_id[:12]})",
+            )
+            for row in rows:
+                table.add_row(
+                    [row["stage"], row["kind"], row["identity"][:16], row["status"]]
+                )
+            print(table.render(), file=out)
+            if ctx.store is None:
+                print(
+                    "(no --store-dir: statuses reflect an empty store)",
+                    file=out,
+                )
+            return 0
         result = run_scenario(
             scenario,
             ctx,
@@ -564,6 +635,19 @@ def main(argv: Optional[List[str]] = None) -> int:
             ["cache", f"{stats['hits']} hits, {stats['misses']} misses, "
              f"{stats['disk_hits']} disk hits"]
         )
+        for stage, st in result.stage_cache_stats.items():
+            table.add_row(
+                [f"cache[{stage}]",
+                 f"{st.get('hits', 0)} hits, {st.get('misses', 0)} misses, "
+                 f"{st.get('disk_hits', 0)} disk hits"]
+            )
+        if result.stage_statuses:
+            stored = sorted(
+                s for s, v in result.stage_statuses.items() if v == "stored"
+            )
+            table.add_row(
+                ["stages from store", ", ".join(stored) if stored else "none"]
+            )
         print(table.render(), file=out)
         space = result.space
         if space is not None:

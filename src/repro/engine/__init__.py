@@ -66,8 +66,15 @@ from repro.engine.faults import (
 )
 from repro.engine.hashing import stable_hash
 from repro.engine.resilience import ResiliencePolicy
-from repro.engine.runner import ScenarioResult, run_scenario
+from repro.engine.runner import ScenarioResult, explain_scenario, run_scenario
 from repro.engine.scenario import STAGES, Scenario
+from repro.engine.stagegraph import (
+    FrontierArtifact,
+    StageNode,
+    StagePlan,
+    build_stage_plan,
+    scenario_identity,
+)
 
 __all__ = [
     "CacheCorrupt",
@@ -85,6 +92,7 @@ __all__ = [
     "FaultInjector",
     "FaultPlan",
     "FaultSpec",
+    "FrontierArtifact",
     "InjectedFault",
     "ResilienceError",
     "ResiliencePolicy",
@@ -93,13 +101,18 @@ __all__ = [
     "STAGES",
     "Scenario",
     "ScenarioResult",
+    "StageNode",
+    "StagePlan",
     "TaskTimeout",
     "WorkerCrash",
+    "build_stage_plan",
     "default_context",
     "evaluate_space_chunked",
+    "explain_scenario",
     "iter_space_groups_chunked",
     "parallel_map",
     "run_scenario",
+    "scenario_identity",
     "set_default_context",
     "stable_hash",
 ]

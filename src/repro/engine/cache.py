@@ -106,6 +106,24 @@ class ResultCache:
         """The cache key for a (kind, content) pair."""
         return f"{kind}-{stable_hash(key_obj)}"
 
+    # The memory-tier API: the persistent artifact store
+    # (:class:`repro.store.ArtifactStore`) fronts its sqlite layer with a
+    # ResultCache instead of growing a second in-process table, so one
+    # process shares a single memoization surface (and one set of
+    # counters) across both layers.
+
+    def peek(self, key: str, default: Any = None) -> Any:
+        """The stored value for a pre-built ``key``, without computing.
+
+        Does not touch the hit/miss counters -- callers layering their
+        own accounting (the artifact store) count at their level.
+        """
+        return self._memory.get(key, default)
+
+    def put(self, key: str, value: Any) -> None:
+        """Store ``value`` under a pre-built ``key`` in the memory tier."""
+        self._memory[key] = value
+
     def get_or_compute(
         self,
         kind: str,

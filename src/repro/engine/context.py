@@ -101,6 +101,12 @@ class RunContext:
         sequence of :class:`~repro.engine.faults.FaultSpec` -- threaded
         through the executor, the cache, and the reducer pass.  ``None``
         (the default) injects nothing.
+    store:
+        Optional persistent artifact store
+        (:class:`repro.store.ArtifactStore`) consulted by
+        :func:`~repro.engine.runner.run_scenario` before computing any
+        stage; construct it with ``memory=ctx.cache`` so the two layers
+        share one memoization surface.
     backend, backend_options:
         Default execution backend for every fan-out this context runs --
         a registered name (``"serial"``, ``"process_pool"``,
@@ -122,9 +128,14 @@ class RunContext:
         faults: Optional[Any] = None,
         backend: Optional[Any] = None,
         backend_options: Optional[Mapping[str, Any]] = None,
+        store: Optional[Any] = None,
     ):
         self.seed = seed
         self.cache = cache if cache is not None else ResultCache()
+        #: Optional persistent :class:`~repro.store.ArtifactStore`; when
+        #: set, ``run_scenario`` loads/persists stage artifacts through
+        #: it (the store's memory tier should be this context's cache).
+        self.store = store
         self.sinks: List[Sink] = list(sinks)
         self.max_workers = max_workers
         self.memory_budget_mb = memory_budget_mb

@@ -4,33 +4,45 @@ One call runs the paper's whole pipeline -- simulator-backed calibration
 (or catalog ground truth), vectorized configuration-space evaluation
 over any number of node-type groups, the energy-deadline Pareto
 frontier (whole-space and per-group homogeneous), sweet/overlap region
-decomposition, and the Fig. 10 queueing extension -- through a cached,
-parallel :class:`~repro.engine.context.RunContext`.  Re-running the same
-scenario on the same context is a pure cache hit: calibration and space
-evaluation each execute exactly once per distinct content.
+decomposition, and the Fig. 10 queueing extension -- as an explicit
+*stage graph* (:mod:`repro.engine.stagegraph`): one calibrate node per
+node type, then ``space`` -> ``frontier`` -> ``regions`` / ``queueing``,
+each with a content-addressed identity, executed in topological order
+through a cached, parallel :class:`~repro.engine.context.RunContext`.
+
+Re-running the same scenario on the same context is a pure cache hit;
+attaching a persistent :class:`~repro.store.ArtifactStore` (``store=``
+or ``ctx.store``) makes the same true *across processes*: stages whose
+identities are already stored load instead of computing, and an edited
+hardware or workload spec invalidates -- and recomputes -- exactly the
+stages downstream of it.
 """
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
-import numpy as np
-
-from repro.core.configuration import GroupSpec
+from repro.core.configuration import GroupSpec  # noqa: F401  (re-export compat)
 from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
 from repro.core.pareto import ParetoFrontier
-from repro.core.regions import RegionReport, analyze_regions, analyze_regions_reduced
+from repro.core.regions import RegionReport, regions_from_composition
 from repro.core.streaming import ReducedSpace, SpaceSpill, count_space_rows
 from repro.engine.checkpoint import CheckpointManager
 from repro.engine.context import RunContext, default_context
 from repro.engine.hashing import stable_hash
 from repro.engine.scenario import Scenario
+from repro.engine.stagegraph import (
+    StageNode,
+    StagePlan,
+    build_stage_plan,
+    frontier_artifact_from_reduced,
+    frontier_artifact_from_space,
+    run_plan,
+)
 from repro.queueing.dispatcher import WindowPoint, figure10_series
-from repro.simulator.noise import CALIBRATED_NOISE
 
 
 @dataclass
@@ -38,10 +50,12 @@ class ScenarioResult:
     """Everything a scenario produced, stage by stage.
 
     Stages the scenario did not request are ``None``.  ``timings_s``
-    records wall time per stage (cache hits show up as ~0), and
-    ``cache_stats`` snapshots the context cache counters after the run.
-    ``group_frontiers`` holds one homogeneous frontier per node-type
-    group (``None`` where that group alone never appears);
+    records wall time per stage (cache hits show up as ~0),
+    ``stage_cache_stats`` records the cache/store counter deltas each
+    stage observed (hits, misses, disk reads, quarantines), and
+    ``cache_stats`` snapshots the aggregate context counters after the
+    run.  ``group_frontiers`` holds one homogeneous frontier per
+    node-type group (``None`` where that group alone never appears);
     ``only_a_frontier``/``only_b_frontier`` mirror its first two entries.
     """
 
@@ -61,6 +75,9 @@ class ScenarioResult:
     queueing: Optional[Dict[float, List[WindowPoint]]] = None
     timings_s: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
+    stage_cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
+    #: Per-stage execution statuses (``"stored"`` / ``"computed"``).
+    stage_statuses: Dict[str, str] = field(default_factory=dict)
 
     def min_energy_for_deadline(self, deadline_s: float) -> Optional[float]:
         """Frontier lookup sugar (requires the ``frontier`` stage)."""
@@ -84,6 +101,10 @@ class ScenarioResult:
             "configurations": self.num_configurations,
             "space_mode": self.scenario.space_mode,
             "timings_s": dict(self.timings_s),
+            "cache_per_stage": {
+                stage: dict(counters)
+                for stage, counters in self.stage_cache_stats.items()
+            },
         }
         if self.frontier is not None:
             out["frontier_points"] = len(self.frontier)
@@ -104,6 +125,7 @@ def run_scenario(
     checkpoint_dir=None,
     resume: bool = False,
     checkpoint_every: int = 8,
+    store=None,
 ) -> ScenarioResult:
     """Run ``scenario`` through ``ctx`` (the shared default when omitted).
 
@@ -116,11 +138,27 @@ def run_scenario(
     every ``checkpoint_every`` blocks under a file named by the
     scenario's cache identity; ``resume=True`` restores a valid
     checkpoint and re-evaluates only the unfinished blocks, producing
-    artifacts bit-identical to an uninterrupted run.  Checkpointing is
-    incompatible with ``spill_dir`` (the spill consumer is append-only
-    and cannot be snapshotted).
+    artifacts bit-identical to an uninterrupted run.  ``checkpoint_dir``
+    and ``spill_dir`` are mutually exclusive -- the spill consumer is
+    append-only and cannot be snapshotted -- and passing both raises
+    ``ValueError`` immediately, before any work starts.
+
+    ``store`` attaches a persistent :class:`~repro.store.ArtifactStore`
+    (defaulting to ``ctx.store`` when the context carries one): stage
+    artifacts load from it when their content identities match and are
+    persisted into it otherwise, so a warm-store rerun computes nothing
+    and produces bit-identical results.
     """
+    if checkpoint_dir is not None and spill_dir is not None:
+        raise ValueError(
+            "run_scenario() cannot take both checkpoint_dir and spill_dir: "
+            "they are incompatible because the spill consumer is append-only "
+            "and cannot be snapshotted; run the spill pass and the "
+            "checkpointed pass separately"
+        )
     ctx = ctx if ctx is not None else default_context()
+    if store is None:
+        store = getattr(ctx, "store", None)
     checkpoint = None
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
@@ -130,8 +168,6 @@ def run_scenario(
                 "checkpointing requires space_mode='streaming' (the "
                 "materialized path has no incremental state to save)"
             )
-        if spill_dir is not None:
-            raise ValueError("checkpoint_dir and spill_dir are incompatible")
         fingerprint = stable_hash(
             ("scenario-checkpoint", scenario.cache_identity())
         )
@@ -149,87 +185,70 @@ def run_scenario(
         if scenario.backend is not None
         else {}
     )
-    timings: Dict[str, float] = {}
     ctx.emit("scenario.start", scenario=scenario.cache_identity())
 
-    workload = ctx.resolve_workload(scenario.workload)
-    groups = scenario.groups
-    specs = [ctx.resolve_node(g.node) for g in groups]
-    units = scenario.units
-    if units is None:
-        units = workload.problem_sizes.get("analysis", workload.default_job_units)
-
-    # ---- calibrate -----------------------------------------------------
-    start = time.perf_counter()
-    params = ctx.params_for(
-        tuple(specs),
-        workload,
-        calibrated=scenario.calibrated,
-        noise=CALIBRATED_NOISE.scaled(scenario.noise_scale),
-        seed=scenario.seed,
-        batched=scenario.simulation == "batched",
-    )
-    timings["calibrate"] = time.perf_counter() - start
-
-    # ---- space ---------------------------------------------------------
-    group_specs = tuple(
-        GroupSpec(spec, g.max_nodes, counts=g.counts, settings=g.settings)
-        for spec, g in zip(specs, groups)
-    )
+    plan = build_stage_plan(scenario, ctx)
     streaming = scenario.space_mode == "streaming"
-    queue_kw = (
-        {
-            "idle_powers_w": tuple(spec.idle_power_w for spec in specs),
-            "utilizations": scenario.utilizations,
-            "window_s": scenario.window_s,
-        }
-        if scenario.wants("queueing")
-        else None
-    )
+    # Side-effect observers (spill, checkpoint) must see the real block
+    # stream, so the space stage bypasses store *reads* on those runs;
+    # its artifact is still persisted for later runs.
+    bypass = ("space",) if (spill_dir is not None or checkpoint is not None) else ()
+    spill_box: Dict[str, Any] = {}
 
-    start = time.perf_counter()
-    if streaming:
-        spill = None
-        if spill_dir is not None:
-            spill = SpaceSpill(
-                directory=spill_dir,
-                nodes=tuple(spec.name for spec in specs),
-                units_total=units,
-                total_rows=count_space_rows(group_specs),
+    def compute_calibrate(node: StageNode, inputs: Dict[str, Any]):
+        name = node.name.split(":", 1)[1]
+        index, spec = plan.calibrations[name]
+        return ctx.params(
+            spec,
+            plan.workload,
+            calibrated=scenario.calibrated,
+            noise=plan.noise,
+            seed=scenario.seed,
+            index=index,
+            batched=scenario.simulation == "batched",
+        )
+
+    def compute_space(node: StageNode, inputs: Dict[str, Any]):
+        params = {
+            name: inputs[f"calibrate:{name}"] for name in plan.calibrations
+        }
+        if streaming:
+            spill = None
+            if spill_dir is not None:
+                spill = SpaceSpill(
+                    directory=spill_dir,
+                    nodes=tuple(plan.calibrations),
+                    units_total=plan.units,
+                    total_rows=count_space_rows(plan.group_specs),
+                )
+            reduced = ctx.space_reduced(
+                plan.group_specs,
+                params,
+                plan.units,
+                memory_budget_mb=scenario.memory_budget_mb,
+                queueing=plan.queue_kw,
+                consumers=(spill,) if spill is not None else (),
+                checkpoint=checkpoint,
+                resume=resume,
+                reduce_at=scenario.reduce_at,
+                chunk_rows=scenario.chunk_rows,
+                **backend_kw,
             )
-        reduced = ctx.space_reduced(
-            group_specs,
-            params,
-            units,
-            memory_budget_mb=scenario.memory_budget_mb,
-            queueing=queue_kw,
-            consumers=(spill,) if spill is not None else (),
-            checkpoint=checkpoint,
-            resume=resume,
-            reduce_at=scenario.reduce_at,
-            chunk_rows=scenario.chunk_rows,
-            **backend_kw,
-        )
-        space = spill.finish() if spill is not None else None
-        timings["space"] = time.perf_counter() - start
-        result = ScenarioResult(
-            scenario=scenario, params=params, space=space, reduced=reduced
-        )
-        ctx.emit(
-            "space.memory",
-            mode="streaming",
-            rows=reduced.total_rows,
-            peak_estimate_nbytes=reduced.peak_block_nbytes,
-            full_nbytes=reduced.full_nbytes,
-            budget_mb=scenario.memory_budget_mb,
-        )
-    else:
+            if spill is not None:
+                spill_box["space"] = spill.finish()
+            ctx.emit(
+                "space.memory",
+                mode="streaming",
+                rows=reduced.total_rows,
+                peak_estimate_nbytes=reduced.peak_block_nbytes,
+                full_nbytes=reduced.full_nbytes,
+                budget_mb=scenario.memory_budget_mb,
+            )
+            return reduced
         space = ctx.space_groups(
-            group_specs, params, units,
+            plan.group_specs, params, plan.units,
             chunk_rows=scenario.chunk_rows, **backend_kw,
         )
-        timings["space"] = time.perf_counter() - start
-        result = ScenarioResult(scenario=scenario, params=params, space=space)
         ctx.emit(
             "space.memory",
             mode="materialized",
@@ -238,54 +257,92 @@ def run_scenario(
             full_nbytes=space.nbytes,
             budget_mb=None,
         )
+        return space
 
-    # ---- frontier ------------------------------------------------------
-    if scenario.wants("frontier"):
-        start = time.perf_counter()
-        if streaming:
-            result.frontier = result.reduced.frontier
-            result.group_frontiers = result.reduced.group_frontiers
-        else:
-            result.frontier = ParetoFrontier.from_points(
-                space.times_s, space.energies_j
-            )
-            result.group_frontiers = tuple(
-                _subset_frontier(space, space.is_only(g))
-                for g in range(space.num_groups)
-            )
-        result.only_a_frontier = result.group_frontiers[0]
-        if len(group_specs) >= 2:
-            result.only_b_frontier = result.group_frontiers[1]
-        timings["frontier"] = time.perf_counter() - start
+    def compute_frontier(node: StageNode, inputs: Dict[str, Any]):
+        space_art = inputs["space"]
+        if isinstance(space_art, ReducedSpace):
+            return frontier_artifact_from_reduced(space_art)
+        return frontier_artifact_from_space(space_art)
 
-    # ---- regions -------------------------------------------------------
-    if scenario.wants("regions") and result.frontier is not None:
-        start = time.perf_counter()
-        if streaming:
-            result.regions = analyze_regions_reduced(result.reduced)
-        else:
-            result.regions = analyze_regions(space, result.frontier)
-        timings["regions"] = time.perf_counter() - start
+    def compute_regions(node: StageNode, inputs: Dict[str, Any]):
+        art = inputs["frontier"]
+        return regions_from_composition(
+            art.frontier, art.composition, len(plan.group_specs)
+        )
 
-    # ---- queueing ------------------------------------------------------
-    if scenario.wants("queueing"):
-        start = time.perf_counter()
-        if streaming:
+    def compute_queueing(node: StageNode, inputs: Dict[str, Any]):
+        space_art = inputs["space"]
+        if isinstance(space_art, ReducedSpace):
             # Folded into the block pass; this stage just surfaces it.
-            result.queueing = result.reduced.queueing
-        else:
-            result.queueing = figure10_series(space, **queue_kw)
-        timings["queueing"] = time.perf_counter() - start
+            return space_art.queueing
+        return figure10_series(space_art, **plan.queue_kw)
 
-    result.timings_s = timings
+    execution = run_plan(
+        plan,
+        ctx,
+        {
+            "calibrate": compute_calibrate,
+            "space": compute_space,
+            "frontier": compute_frontier,
+            "regions": compute_regions,
+            "queueing": compute_queueing,
+        },
+        store=store,
+        bypass_store=bypass,
+    )
+
+    artifacts = execution.artifacts
+    params = {
+        name: artifacts[f"calibrate:{name}"] for name in plan.calibrations
+    }
+    space_art = artifacts["space"]
+    if isinstance(space_art, ReducedSpace):
+        result = ScenarioResult(
+            scenario=scenario,
+            params=params,
+            space=spill_box.get("space"),
+            reduced=space_art,
+        )
+    else:
+        result = ScenarioResult(scenario=scenario, params=params, space=space_art)
+
+    if "frontier" in artifacts:
+        art = artifacts["frontier"]
+        result.frontier = art.frontier
+        result.group_frontiers = art.group_frontiers
+        result.only_a_frontier = art.group_frontiers[0]
+        if len(plan.group_specs) >= 2:
+            result.only_b_frontier = art.group_frontiers[1]
+    if "regions" in artifacts:
+        result.regions = artifacts["regions"]
+    if "queueing" in artifacts:
+        result.queueing = artifacts["queueing"]
+
+    result.timings_s = execution.timings_s
     result.cache_stats = ctx.cache.stats.as_dict()
+    result.stage_cache_stats = execution.stage_cache
+    result.stage_statuses = execution.statuses
     ctx.emit("scenario.done", summary=result.summary())
     return result
 
 
-def _subset_frontier(space: ConfigSpaceResult, mask: np.ndarray) -> Optional[ParetoFrontier]:
-    """Frontier of a masked subset, or ``None`` when the mask is empty."""
-    if not bool(np.any(mask)):
-        return None
-    subset = space.subset(mask)
-    return ParetoFrontier.from_points(subset.times_s, subset.energies_j)
+def explain_scenario(
+    scenario: Scenario,
+    ctx: Optional[RunContext] = None,
+    store=None,
+) -> Tuple[StagePlan, List[Dict[str, Any]]]:
+    """Dry-run: the resolved stage plan plus per-stage store status.
+
+    Nothing is calibrated, evaluated, or stored -- resolution and
+    hashing only.  Returns ``(plan, rows)`` where each row carries the
+    stage name, kind, dependencies, content identity, and store status
+    (``hit`` / ``stale`` / ``miss``; always ``miss`` without a store).
+    """
+    from repro.engine.stagegraph import explain_plan
+
+    ctx = ctx if ctx is not None else default_context()
+    if store is None:
+        store = getattr(ctx, "store", None)
+    plan = build_stage_plan(scenario, ctx)
+    return plan, explain_plan(plan, store)

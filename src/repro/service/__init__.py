@@ -1,0 +1,15 @@
+"""Frontier-as-a-service: the store's planner queries over HTTP/JSON.
+
+``python -m repro serve --store-dir results/store`` starts a small
+stdlib-only (:mod:`http.server`) service answering the paper's planner
+questions -- cheapest configuration meeting a deadline, the
+energy-deadline frontier under a power budget, region lookups, what-if
+deltas between stored scenarios -- from the persistent
+:class:`~repro.store.ArtifactStore` at interactive latency.  The query
+path never touches the evaluator: the heavy enumeration ran when each
+scenario was stored, and every answer is a frontier-sized lookup.
+"""
+
+from repro.service.server import create_server, serve
+
+__all__ = ["create_server", "serve"]

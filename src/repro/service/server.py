@@ -1,0 +1,187 @@
+"""The stdlib HTTP/JSON layer over :mod:`repro.store.queries`.
+
+Routes (all ``GET``, all returning ``application/json``):
+
+``/health``
+    Liveness plus the number of stored scenarios.
+``/v1/scenarios``
+    Every stored scenario (identity, name, workload, timestamp).
+``/v1/scenarios/<ref>``
+    One scenario's declaration, stage mapping, and artifact states;
+    ``<ref>`` is a scenario name, full identity, or unique prefix.
+``/v1/query/cheapest?scenario=<ref>&deadline_s=<s>[&power_budget_w=<w>]``
+    Minimum-energy stored frontier point meeting the deadline (and
+    fitting the node-peak power budget when given).
+``/v1/query/frontier?scenario=<ref>[&power_budget_w=<w>]``
+    The stored energy-deadline frontier, optionally power-filtered.
+``/v1/query/regions?scenario=<ref>``
+    Sweet/overlap region decomposition.
+``/v1/query/whatif?scenario=<ref>&against=<ref>[&deadline_s=<s>]``
+    Frontier deltas between two stored scenarios.
+
+Errors are JSON too: ``404`` for unknown scenarios/routes, ``400`` for
+malformed parameters, ``503`` when a referenced stage artifact is
+missing or was invalidated (the client should re-run the scenario).
+
+The server is a :class:`~http.server.ThreadingHTTPServer`; the store's
+sqlite handle is internally locked, so concurrent queries are safe.
+"""
+
+from __future__ import annotations
+
+import json
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Callable, Dict, Optional
+from urllib.parse import parse_qs, urlparse
+
+from repro.store import queries
+from repro.store.queries import QueryError
+from repro.store.store import ArtifactStore
+
+
+class _BadRequest(ValueError):
+    """A malformed query parameter (HTTP 400)."""
+
+
+def _param(params: Dict[str, list], name: str, required: bool = False) -> Optional[str]:
+    values = params.get(name)
+    if not values:
+        if required:
+            raise _BadRequest(f"missing required query parameter {name!r}")
+        return None
+    return values[0]
+
+
+def _float_param(
+    params: Dict[str, list], name: str, required: bool = False
+) -> Optional[float]:
+    raw = _param(params, name, required=required)
+    if raw is None:
+        return None
+    try:
+        return float(raw)
+    except ValueError:
+        raise _BadRequest(f"query parameter {name!r} must be a number, got {raw!r}")
+
+
+class StoreQueryHandler(BaseHTTPRequestHandler):
+    """One request: route, query the store, emit JSON."""
+
+    server_version = "repro-serve/1.0"
+    #: Set by :func:`create_server`.
+    store: ArtifactStore = None  # type: ignore[assignment]
+    quiet: bool = True
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        if not self.quiet:
+            super().log_message(format, *args)
+
+    def _send(self, status: int, body: Dict[str, Any]) -> None:
+        payload = json.dumps(body, indent=2, sort_keys=True).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(payload)))
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def do_GET(self) -> None:  # noqa: N802 (http.server convention)
+        url = urlparse(self.path)
+        params = parse_qs(url.query)
+        try:
+            handler = self._route(url.path)
+            if handler is None:
+                self._send(404, {"error": f"unknown route {url.path!r}"})
+                return
+            self._send(200, handler(params))
+        except _BadRequest as exc:
+            self._send(400, {"error": str(exc)})
+        except QueryError as exc:
+            # Unknown scenario vs missing/stale artifact: the former is
+            # a plain 404, the latter tells the client to re-run.
+            status = 404 if "unknown scenario" in str(exc) else 503
+            self._send(status, {"error": str(exc)})
+        except Exception as exc:  # never leak a stack trace as HTML
+            self._send(500, {"error": f"{type(exc).__name__}: {exc}"})
+
+    def _route(
+        self, path: str
+    ) -> Optional[Callable[[Dict[str, list]], Dict[str, Any]]]:
+        store = self.store
+        if path == "/health":
+            return lambda params: {
+                "status": "ok",
+                "scenarios": len(store.scenarios()),
+                "store": str(store.path),
+            }
+        if path == "/v1/scenarios":
+            return lambda params: {"scenarios": store.scenarios()}
+        if path.startswith("/v1/scenarios/"):
+            ref = path[len("/v1/scenarios/"):]
+            return lambda params: queries.scenario_detail(store, ref)
+        if path == "/v1/query/cheapest":
+            return lambda params: queries.cheapest_for_deadline(
+                store,
+                _param(params, "scenario", required=True),
+                _float_param(params, "deadline_s", required=True),
+                power_budget_w=_float_param(params, "power_budget_w"),
+            )
+        if path == "/v1/query/frontier":
+            return lambda params: queries.frontier_points(
+                store,
+                _param(params, "scenario", required=True),
+                power_budget_w=_float_param(params, "power_budget_w"),
+            )
+        if path == "/v1/query/regions":
+            return lambda params: queries.regions_summary(
+                store, _param(params, "scenario", required=True)
+            )
+        if path == "/v1/query/whatif":
+            return lambda params: queries.whatif_delta(
+                store,
+                _param(params, "scenario", required=True),
+                _param(params, "against", required=True),
+                deadline_s=_float_param(params, "deadline_s"),
+            )
+        return None
+
+
+def create_server(
+    store: ArtifactStore,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    quiet: bool = True,
+) -> ThreadingHTTPServer:
+    """A ready-to-``serve_forever`` HTTP server bound to ``host:port``.
+
+    ``port=0`` binds an ephemeral port (tests); read it back from
+    ``server.server_address[1]``.
+    """
+    handler = type(
+        "BoundStoreQueryHandler",
+        (StoreQueryHandler,),
+        {"store": store, "quiet": quiet},
+    )
+    return ThreadingHTTPServer((host, port), handler)
+
+
+def serve(
+    store_dir,
+    host: str = "127.0.0.1",
+    port: int = 8734,
+    quiet: bool = False,
+) -> None:
+    """Open the store at ``store_dir`` and serve queries until interrupted."""
+    store = ArtifactStore(store_dir)
+    server = create_server(store, host=host, port=port, quiet=quiet)
+    bound_host, bound_port = server.server_address[:2]
+    print(
+        f"repro serve: {len(store.scenarios())} stored scenario(s) from "
+        f"{store.path} on http://{bound_host}:{bound_port}"
+    )
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        store.close()

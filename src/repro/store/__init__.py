@@ -1,0 +1,39 @@
+"""Persistent, queryable artifact store for the scenario stage graph.
+
+The engine's :class:`~repro.engine.cache.ResultCache` answers "have I
+computed this in this process (or left a pickle on disk)?".  This
+package answers the operator's question instead: *which scenarios has
+this installation ever computed, which of their stage artifacts are
+still valid, and what do they say?* -- the foundation the query service
+(:mod:`repro.service`) serves planner answers from without ever
+re-running the evaluator.
+
+* :class:`ArtifactStore` -- sqlite-backed store of scenarios, stage
+  artifacts, and dependency edges, with atomic transactions, per-entry
+  SHA-256 integrity (damaged rows are quarantined as stale, mirroring
+  the result cache's discipline, never raised mid-run), and recursive
+  downstream invalidation: re-recording a changed hardware or workload
+  spec marks exactly the dependent stage artifacts stale.
+* :mod:`repro.store.queries` -- planner queries answered from stored
+  artifacts: cheapest config for a deadline, frontier under a power
+  budget, region lookup, what-if deltas between stored scenarios.
+"""
+
+from repro.store.queries import (
+    cheapest_for_deadline,
+    frontier_points,
+    regions_summary,
+    scenario_detail,
+    whatif_delta,
+)
+from repro.store.store import ArtifactStore, StoreCorrupt
+
+__all__ = [
+    "ArtifactStore",
+    "StoreCorrupt",
+    "cheapest_for_deadline",
+    "frontier_points",
+    "regions_summary",
+    "scenario_detail",
+    "whatif_delta",
+]

@@ -1,0 +1,240 @@
+"""Planner queries answered from stored artifacts -- never the evaluator.
+
+Every function here reads :class:`~repro.store.store.ArtifactStore`
+rows (frontier artifacts, region reports, queueing series, recorded
+hardware specs) and returns plain JSON-able dicts.  Nothing imports the
+evaluator, the simulator, or the executor: the heavy enumeration ran
+when the scenario was stored, and these lookups stay interactive at any
+space size because frontier artifacts are frontier-sized.
+
+Power-budget filtering uses the *recorded* :class:`NodeSpec` peak
+powers (node draw only -- the paper's switch-power accounting lives in
+:mod:`repro.core.power_budget` at planning time), applied to the stored
+frontier's points.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+import numpy as np
+
+from repro.engine.scenario import Scenario
+from repro.store.store import ArtifactStore
+
+
+class QueryError(ValueError):
+    """A query referenced something the store does not hold."""
+
+
+def _scenario_for(store: ArtifactStore, ref: str) -> str:
+    identity = store.resolve_scenario(ref)
+    if identity is None:
+        raise QueryError(f"unknown scenario {ref!r}")
+    return identity
+
+
+def _load(store: ArtifactStore, scenario_id: str, stage: str) -> Any:
+    value, ok = store.load_stage(scenario_id, stage)
+    if not ok:
+        raise QueryError(
+            f"scenario {scenario_id[:12]} has no stored '{stage}' artifact "
+            "(run it with a store attached, or re-run if invalidated)"
+        )
+    return value
+
+
+def _groups(store: ArtifactStore, scenario_id: str) -> List[str]:
+    """Node-type names in group order, from the stored declaration."""
+    spec_json = store.scenario_json(scenario_id)
+    if spec_json is None:
+        raise QueryError(f"unknown scenario {scenario_id!r}")
+    return [g.node for g in Scenario.from_json(spec_json).groups]
+
+
+def _peak_powers(store: ArtifactStore, node_names: List[str]) -> np.ndarray:
+    """Per-group node peak power [W], from the recorded specs."""
+    peaks = []
+    for name in node_names:
+        spec = store.get_spec("node", name)
+        if spec is None:
+            raise QueryError(f"store has no recorded spec for node {name!r}")
+        peaks.append(spec.peak_power_w)
+    return np.asarray(peaks, dtype=float)
+
+
+def _frontier_rows(
+    store: ArtifactStore,
+    scenario_id: str,
+    power_budget_w: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The stored frontier as parallel arrays plus per-point peak power."""
+    art = _load(store, scenario_id, "frontier")
+    nodes = _groups(store, scenario_id)
+    counts = np.asarray(art.frontier_n)
+    peak_w = _peak_powers(store, nodes) @ counts
+    keep = np.ones(len(art.frontier), dtype=bool)
+    if power_budget_w is not None:
+        keep = peak_w <= float(power_budget_w)
+    return {
+        "nodes": nodes,
+        "times_s": np.asarray(art.frontier.times_s),
+        "energies_j": np.asarray(art.frontier.energies_j),
+        "counts": counts,
+        "composition": list(art.composition),
+        "peak_power_w": peak_w,
+        "keep": keep,
+    }
+
+
+def _point(rows: Dict[str, Any], i: int) -> Dict[str, Any]:
+    return {
+        "time_s": float(rows["times_s"][i]),
+        "energy_j": float(rows["energies_j"][i]),
+        "counts": {
+            node: int(rows["counts"][g, i])
+            for g, node in enumerate(rows["nodes"])
+        },
+        "composition": rows["composition"][i],
+        "peak_power_w": float(rows["peak_power_w"][i]),
+    }
+
+
+def scenario_detail(store: ArtifactStore, ref: str) -> Dict[str, Any]:
+    """One scenario's declaration, stage mapping, and artifact states."""
+    scenario_id = _scenario_for(store, ref)
+    spec_json = store.scenario_json(scenario_id)
+    stages = {}
+    for stage, key in sorted(store.stage_map(scenario_id).items()):
+        stages[stage] = {
+            "artifact": key,
+            "state": store.artifact_state(key) or "missing",
+        }
+    import json
+
+    return {
+        "identity": scenario_id,
+        "scenario": json.loads(spec_json) if spec_json else None,
+        "stages": stages,
+    }
+
+
+def cheapest_for_deadline(
+    store: ArtifactStore,
+    ref: str,
+    deadline_s: float,
+    power_budget_w: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The minimum-energy stored frontier point meeting ``deadline_s``.
+
+    With ``power_budget_w``, only frontier points whose node peak draw
+    fits the budget are considered.  Returns ``feasible: False`` (not an
+    error) when nothing qualifies.
+    """
+    if deadline_s <= 0:
+        raise QueryError("deadline must be positive")
+    scenario_id = _scenario_for(store, ref)
+    rows = _frontier_rows(store, scenario_id, power_budget_w)
+    feasible = np.nonzero((rows["times_s"] <= deadline_s) & rows["keep"])[0]
+    out: Dict[str, Any] = {
+        "scenario": scenario_id,
+        "deadline_s": float(deadline_s),
+        "power_budget_w": power_budget_w,
+        "feasible": bool(len(feasible)),
+    }
+    if len(feasible):
+        best = int(feasible[np.argmin(rows["energies_j"][feasible])])
+        out["config"] = _point(rows, best)
+    return out
+
+
+def frontier_points(
+    store: ArtifactStore,
+    ref: str,
+    power_budget_w: Optional[float] = None,
+) -> Dict[str, Any]:
+    """The stored energy-deadline frontier, optionally power-filtered."""
+    scenario_id = _scenario_for(store, ref)
+    rows = _frontier_rows(store, scenario_id, power_budget_w)
+    idx = np.nonzero(rows["keep"])[0]
+    return {
+        "scenario": scenario_id,
+        "power_budget_w": power_budget_w,
+        "total_points": int(len(rows["keep"])),
+        "points": [_point(rows, int(i)) for i in idx],
+    }
+
+
+def regions_summary(store: ArtifactStore, ref: str) -> Dict[str, Any]:
+    """The stored sweet/overlap region decomposition."""
+    scenario_id = _scenario_for(store, ref)
+    report = _load(store, scenario_id, "regions")
+
+    def _span(region) -> Optional[Dict[str, Any]]:
+        if region is None:
+            return None
+        lo, hi = region.deadline_span_s
+        e_hi, e_lo = region.energy_span_j
+        return {
+            "points": len(region),
+            "deadline_span_s": [float(lo), float(hi)],
+            "energy_span_j": [float(e_hi), float(e_lo)],
+        }
+
+    return {
+        "scenario": scenario_id,
+        "has_sweet_region": report.has_sweet_region,
+        "has_overlap_region": report.has_overlap_region,
+        "overlap_energy_drop": float(report.overlap_energy_drop),
+        "sweet": _span(report.sweet),
+        "overlap": _span(report.overlap),
+        "composition": list(report.composition),
+    }
+
+
+def whatif_delta(
+    store: ArtifactStore,
+    ref: str,
+    against: str,
+    deadline_s: Optional[float] = None,
+) -> Dict[str, Any]:
+    """Frontier deltas between two stored scenarios (``ref`` minus ``against``).
+
+    The interactive form of the what-if workflow: store the baseline,
+    store the hypothetical (edited spec, different mix, deeper DVFS),
+    then diff their frontiers without recomputing either.
+    """
+    a_id = _scenario_for(store, ref)
+    b_id = _scenario_for(store, against)
+    a = _load(store, a_id, "frontier")
+    b = _load(store, b_id, "frontier")
+    out: Dict[str, Any] = {
+        "scenario": a_id,
+        "against": b_id,
+        "min_energy_j": {
+            "scenario": float(a.frontier.min_energy_j),
+            "against": float(b.frontier.min_energy_j),
+            "delta": float(a.frontier.min_energy_j - b.frontier.min_energy_j),
+        },
+        "fastest_time_s": {
+            "scenario": float(a.frontier.fastest_time_s),
+            "against": float(b.frontier.fastest_time_s),
+            "delta": float(a.frontier.fastest_time_s - b.frontier.fastest_time_s),
+        },
+        "frontier_points": {
+            "scenario": len(a.frontier),
+            "against": len(b.frontier),
+        },
+    }
+    if deadline_s is not None:
+        ea = a.frontier.min_energy_for_deadline(float(deadline_s))
+        eb = b.frontier.min_energy_for_deadline(float(deadline_s))
+        out["energy_at_deadline_j"] = {
+            "deadline_s": float(deadline_s),
+            "scenario": None if ea is None else float(ea),
+            "against": None if eb is None else float(eb),
+            "delta": (
+                None if ea is None or eb is None else float(ea - eb)
+            ),
+        }
+    return out

@@ -1,0 +1,456 @@
+"""Sqlite-backed artifact store with dependency-aware invalidation.
+
+Four tables carry the state:
+
+``scenarios``
+    Every scenario declaration this store has executed, keyed by
+    :func:`~repro.engine.stagegraph.scenario_identity` (name-based, so
+    one row tracks a scenario across hardware edits), with its JSON.
+``stages``
+    The (scenario, stage name) -> artifact-key mapping of the *latest*
+    run, the store's notion of "what this scenario currently resolves
+    to".  Superseded keys stay in ``artifacts`` (content-addressed
+    entries never become wrong, only unreferenced).
+``artifacts``
+    Content-addressed stage artifacts: pickled payload, SHA-256
+    checksum, a ``state`` flag (``fresh`` / ``stale`` / ``quarantined``).
+``deps`` / ``specs``
+    Dependency edges between artifact keys (parents include
+    ``spec:node:<name>`` / ``spec:workload:<name>`` pseudo-nodes) and
+    the recorded content of every named spec.  Re-recording a spec
+    whose content changed walks ``deps`` downstream and marks every
+    reachable artifact stale -- the next run recomputes exactly those.
+
+Integrity follows the result cache's quarantine discipline
+(:mod:`repro.engine.cache`): every payload read verifies its checksum;
+a truncated or bit-flipped row is marked ``quarantined``, counted,
+reported through the event callback, and treated as a miss -- never
+raised mid-run.  All writes are transactional (``with connection:``),
+so a killed process can never leave a half-written artifact visible.
+
+The in-process tier is a shared :class:`~repro.engine.cache.ResultCache`
+(conventionally the run context's own): memory hits never touch sqlite,
+and both layers report through one :class:`CacheStats` counter set.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import pickle
+import sqlite3
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.cache import CacheStats, ResultCache
+from repro.engine.hashing import stable_hash
+
+#: Bump when the payload encoding or schema changes incompatibly, so an
+#: old store is rebuilt instead of misread.
+STORE_SCHEMA_VERSION = 1
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS meta (
+    key TEXT PRIMARY KEY,
+    value TEXT NOT NULL
+);
+CREATE TABLE IF NOT EXISTS scenarios (
+    identity TEXT PRIMARY KEY,
+    name TEXT,
+    workload TEXT NOT NULL,
+    spec_json TEXT NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS stages (
+    scenario_identity TEXT NOT NULL,
+    stage TEXT NOT NULL,
+    artifact_key TEXT NOT NULL,
+    updated_at REAL NOT NULL,
+    PRIMARY KEY (scenario_identity, stage)
+);
+CREATE TABLE IF NOT EXISTS artifacts (
+    key TEXT PRIMARY KEY,
+    kind TEXT NOT NULL,
+    state TEXT NOT NULL DEFAULT 'fresh',
+    checksum TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    created_at REAL NOT NULL
+);
+CREATE TABLE IF NOT EXISTS deps (
+    parent TEXT NOT NULL,
+    child TEXT NOT NULL,
+    PRIMARY KEY (parent, child)
+);
+CREATE INDEX IF NOT EXISTS deps_by_parent ON deps (parent);
+CREATE TABLE IF NOT EXISTS specs (
+    kind TEXT NOT NULL,
+    name TEXT NOT NULL,
+    content_hash TEXT NOT NULL,
+    checksum TEXT NOT NULL,
+    payload BLOB NOT NULL,
+    updated_at REAL NOT NULL,
+    PRIMARY KEY (kind, name)
+);
+"""
+
+
+class StoreCorrupt(RuntimeError):
+    """An artifact row failed integrity verification (internal signal)."""
+
+
+class ArtifactStore:
+    """Persistent scenario/stage/artifact store under one directory.
+
+    Parameters
+    ----------
+    directory:
+        Store root; ``store.sqlite`` is created inside.  The directory
+        is created if missing.
+    memory:
+        The in-process tier -- pass the run context's
+        :class:`~repro.engine.cache.ResultCache` so stage loads hit the
+        same table (and the same counters) the engine already uses; a
+        private cache is created when omitted (service processes).
+    on_event:
+        Optional callback ``on_event(event, **payload)`` notified of
+        quarantines and invalidations.
+    """
+
+    def __init__(
+        self,
+        directory,
+        memory: Optional[ResultCache] = None,
+        on_event: Optional[Callable[..., None]] = None,
+    ):
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+        self.path = self.directory / "store.sqlite"
+        self.memory = memory if memory is not None else ResultCache()
+        self.on_event = on_event
+        self._lock = threading.RLock()
+        self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
+        self._conn.execute("PRAGMA journal_mode=WAL")
+        with self._conn:
+            self._conn.executescript(_SCHEMA)
+            self._conn.execute(
+                "INSERT OR IGNORE INTO meta (key, value) VALUES (?, ?)",
+                ("schema_version", str(STORE_SCHEMA_VERSION)),
+            )
+
+    # A store shares counter semantics with the cache tiers: ``hits``
+    # are memory-tier hits, ``disk_hits`` are sqlite loads,
+    # ``quarantined`` counts integrity failures.
+    @property
+    def stats(self) -> CacheStats:
+        return self.memory.stats
+
+    def close(self) -> None:
+        with self._lock:
+            self._conn.close()
+
+    def __enter__(self) -> "ArtifactStore":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    def _emit(self, event: str, **payload: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(event, **payload)
+
+    # ---- artifact layer ------------------------------------------------
+
+    @staticmethod
+    def _encode(value: Any) -> Tuple[bytes, str]:
+        payload = pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)
+        return payload, hashlib.sha256(payload).hexdigest()
+
+    def _verify(self, key: str, checksum: str, payload: bytes) -> Any:
+        if hashlib.sha256(payload).hexdigest() != checksum:
+            raise StoreCorrupt(f"artifact {key}: payload checksum mismatch")
+        try:
+            return pickle.loads(payload)
+        except Exception as exc:  # checksum ok but undecodable: stale class?
+            raise StoreCorrupt(f"artifact {key}: failed to unpickle: {exc}") from exc
+
+    def _quarantine(self, key: str, reason: str) -> None:
+        """Mark a damaged row so it can never answer another query."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "UPDATE artifacts SET state = 'quarantined' WHERE key = ?",
+                (key,),
+            )
+        self.stats.quarantined += 1
+        self._emit("store.quarantined", key=key, reason=reason)
+
+    def get(self, key: str) -> Tuple[Any, bool]:
+        """``(value, True)`` for a fresh stored artifact, else ``(None, False)``.
+
+        Memory tier first (no sqlite touch), then a verified sqlite
+        read.  Rows that are stale, quarantined, or fail verification
+        are misses; verification failures are additionally quarantined.
+        """
+        sentinel = object()
+        value = self.memory.peek(key, sentinel)
+        if value is not sentinel:
+            self.stats.hits += 1
+            return value, True
+        try:
+            with self._lock:
+                row = self._conn.execute(
+                    "SELECT state, checksum, payload FROM artifacts WHERE key = ?",
+                    (key,),
+                ).fetchone()
+        except sqlite3.DatabaseError as exc:
+            # A damaged database file degrades to recomputation.
+            self._emit("store.unreadable", key=key, reason=str(exc))
+            return None, False
+        if row is None:
+            return None, False
+        state, checksum, payload = row
+        if state != "fresh":
+            return None, False
+        try:
+            value = self._verify(key, checksum, payload)
+        except StoreCorrupt as exc:
+            self._quarantine(key, str(exc))
+            return None, False
+        self.stats.disk_hits += 1
+        self.memory.put(key, value)
+        return value, True
+
+    def put(
+        self,
+        key: str,
+        value: Any,
+        kind: str,
+        scenario_id: Optional[str] = None,
+        stage: Optional[str] = None,
+        deps: Sequence[str] = (),
+    ) -> None:
+        """Store one stage artifact atomically, with its dependency edges.
+
+        Re-putting an existing key refreshes it (a recompute after
+        quarantine or invalidation heals the row).  When ``scenario_id``
+        and ``stage`` are given the scenario's stage mapping is pointed
+        at this key; a previously mapped different key is simply
+        superseded -- content-addressed entries stay valid for their own
+        identity.
+        """
+        payload, checksum = self._encode(value)
+        now = time.time()
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO artifacts "
+                "(key, kind, state, checksum, payload, created_at) "
+                "VALUES (?, ?, 'fresh', ?, ?, ?)",
+                (key, kind, checksum, payload, now),
+            )
+            for parent in deps:
+                self._conn.execute(
+                    "INSERT OR IGNORE INTO deps (parent, child) VALUES (?, ?)",
+                    (parent, key),
+                )
+            if scenario_id is not None and stage is not None:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO stages "
+                    "(scenario_identity, stage, artifact_key, updated_at) "
+                    "VALUES (?, ?, ?, ?)",
+                    (scenario_id, stage, key, now),
+                )
+        self.memory.put(key, value)
+
+    def artifact_state(self, key: str) -> Optional[str]:
+        """The row's state flag, or ``None`` when the key is unknown."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT state FROM artifacts WHERE key = ?", (key,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    # ---- invalidation --------------------------------------------------
+
+    def invalidate_downstream(self, root_key: str) -> List[str]:
+        """Mark every artifact reachable from ``root_key`` stale.
+
+        ``root_key`` may be an artifact key or a spec pseudo-node; the
+        walk follows ``deps`` edges transitively.  Returns the keys
+        whose rows were actually flipped to stale.
+        """
+        staled: List[str] = []
+        seen = {root_key}
+        frontier = [root_key]
+        with self._lock, self._conn:
+            while frontier:
+                placeholders = ",".join("?" * len(frontier))
+                children = [
+                    r[0]
+                    for r in self._conn.execute(
+                        f"SELECT child FROM deps WHERE parent IN ({placeholders})",
+                        frontier,
+                    )
+                ]
+                frontier = [c for c in children if c not in seen]
+                seen.update(frontier)
+                for child in frontier:
+                    cur = self._conn.execute(
+                        "UPDATE artifacts SET state = 'stale' "
+                        "WHERE key = ? AND state = 'fresh'",
+                        (child,),
+                    )
+                    if cur.rowcount:
+                        staled.append(child)
+        # Stale artifacts must not linger in the memory tier either.
+        for key in staled:
+            self.memory._memory.pop(key, None)
+        if staled:
+            self._emit("store.invalidated", root=root_key, keys=staled)
+        return staled
+
+    def record_spec(self, kind: str, name: str, spec: Any) -> List[str]:
+        """Record a named spec's content; invalidate downstream on change.
+
+        Returns the artifact keys marked stale (empty when the spec is
+        new or unchanged).  The spec object itself is stored so query
+        services can answer power/idle questions without a catalog.
+        """
+        from repro.engine.stagegraph import spec_key
+
+        content_hash = stable_hash(spec)
+        key = spec_key(kind, name)
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT content_hash FROM specs WHERE kind = ? AND name = ?",
+                (kind, name),
+            ).fetchone()
+        staled: List[str] = []
+        if row is not None and row[0] != content_hash:
+            staled = self.invalidate_downstream(key)
+        if row is None or row[0] != content_hash:
+            payload, checksum = self._encode(spec)
+            with self._lock, self._conn:
+                self._conn.execute(
+                    "INSERT OR REPLACE INTO specs "
+                    "(kind, name, content_hash, checksum, payload, updated_at) "
+                    "VALUES (?, ?, ?, ?, ?, ?)",
+                    (kind, name, content_hash, checksum, payload, time.time()),
+                )
+        return staled
+
+    def get_spec(self, kind: str, name: str) -> Optional[Any]:
+        """The recorded spec object, verified, or ``None``."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT checksum, payload FROM specs WHERE kind = ? AND name = ?",
+                (kind, name),
+            ).fetchone()
+        if row is None:
+            return None
+        checksum, payload = row
+        try:
+            return self._verify(f"spec:{kind}:{name}", checksum, payload)
+        except StoreCorrupt as exc:
+            self.stats.quarantined += 1
+            self._emit("store.quarantined", key=f"spec:{kind}:{name}", reason=str(exc))
+            return None
+
+    # ---- scenario layer ------------------------------------------------
+
+    def record_scenario(self, identity: str, scenario) -> None:
+        """Upsert one scenario declaration row."""
+        with self._lock, self._conn:
+            self._conn.execute(
+                "INSERT OR REPLACE INTO scenarios "
+                "(identity, name, workload, spec_json, updated_at) "
+                "VALUES (?, ?, ?, ?, ?)",
+                (
+                    identity,
+                    scenario.name,
+                    scenario.workload,
+                    scenario.to_json(),
+                    time.time(),
+                ),
+            )
+
+    def scenarios(self) -> List[Dict[str, Any]]:
+        """Every stored scenario: identity, name, workload, timestamps."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT identity, name, workload, updated_at FROM scenarios "
+                "ORDER BY updated_at"
+            ).fetchall()
+        return [
+            {
+                "identity": identity,
+                "name": name,
+                "workload": workload,
+                "updated_at": updated_at,
+            }
+            for identity, name, workload, updated_at in rows
+        ]
+
+    def scenario_json(self, identity: str) -> Optional[str]:
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT spec_json FROM scenarios WHERE identity = ?", (identity,)
+            ).fetchone()
+        return row[0] if row is not None else None
+
+    def resolve_scenario(self, ref: str) -> Optional[str]:
+        """A scenario identity from a name, full identity, or unique prefix."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT identity FROM scenarios WHERE identity = ? OR name = ?",
+                (ref, ref),
+            ).fetchone()
+            if row is not None:
+                return row[0]
+            rows = self._conn.execute(
+                "SELECT identity FROM scenarios WHERE identity LIKE ?",
+                (ref + "%",),
+            ).fetchall()
+        if len(rows) == 1:
+            return rows[0][0]
+        return None
+
+    def stage_map(self, scenario_id: str) -> Dict[str, str]:
+        """The scenario's current stage -> artifact-key mapping."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT stage, artifact_key FROM stages "
+                "WHERE scenario_identity = ?",
+                (scenario_id,),
+            ).fetchall()
+        return dict(rows)
+
+    def stage_status(self, scenario_id: str, stage: str, identity: str) -> str:
+        """``hit`` / ``stale`` / ``miss`` for one planned stage identity.
+
+        ``stale`` means the store holds an artifact for this scenario
+        stage that no longer matches the planned identity (an upstream
+        spec changed) or whose row was invalidated/quarantined.
+        """
+        with self._lock:
+            mapped = self._conn.execute(
+                "SELECT artifact_key FROM stages "
+                "WHERE scenario_identity = ? AND stage = ?",
+                (scenario_id, stage),
+            ).fetchone()
+        state = self.artifact_state(identity)
+        if state == "fresh":
+            return "hit"
+        if state in ("stale", "quarantined"):
+            return "stale"
+        # No row under the planned identity: a previously mapped
+        # artifact (now unreachable) also reads as stale.
+        if mapped is not None:
+            return "stale"
+        return "miss"
+
+    def load_stage(self, scenario_id: str, stage: str) -> Tuple[Any, bool]:
+        """The scenario's current artifact for ``stage`` via the mapping."""
+        key = self.stage_map(scenario_id).get(stage)
+        if key is None:
+            return None, False
+        return self.get(key)

@@ -111,3 +111,57 @@ class TestCachingAcrossRuns:
             ctx,
         )
         assert not np.array_equal(clean.space.times_s, noisy.space.times_s)
+
+
+class TestArgumentValidation:
+    def test_spill_and_checkpoint_together_raise(self, ctx, tmp_path):
+        scenario = Scenario(
+            workload="ep", max_a=2, max_b=2, space_mode="streaming"
+        )
+        with pytest.raises(ValueError, match="checkpoint_dir and spill_dir"):
+            run_scenario(
+                scenario,
+                ctx,
+                spill_dir=tmp_path / "spill",
+                checkpoint_dir=tmp_path / "ckpt",
+            )
+        # Fail-fast: nothing ran, nothing was created.
+        assert not (tmp_path / "spill").exists()
+        assert not (tmp_path / "ckpt").exists()
+        assert ctx.cache.stats.misses == 0
+
+
+class TestPerStageAccounting:
+    def test_stage_cache_stats_in_result_and_summary(self, ctx):
+        scenario = Scenario(
+            workload="ep", max_a=2, max_b=2, stages=("frontier", "regions")
+        )
+        result = run_scenario(scenario, ctx)
+        assert set(result.stage_cache_stats) == {
+            "calibrate", "space", "frontier", "regions"
+        }
+        assert result.stage_cache_stats["calibrate"]["misses"] == 2
+        assert result.stage_cache_stats["space"]["misses"] == 1
+        assert result.summary()["cache_per_stage"] == result.stage_cache_stats
+
+        rerun = run_scenario(scenario, ctx)
+        assert rerun.stage_cache_stats["calibrate"]["hits"] == 2
+        assert rerun.stage_cache_stats["calibrate"]["misses"] == 0
+
+    def test_stage_done_events_carry_cache_deltas(self):
+        events = []
+        ctx = RunContext(
+            seed=0, sinks=(lambda event, payload: events.append((event, payload)),)
+        )
+        run_scenario(Scenario(workload="ep", max_a=2, max_b=2), ctx)
+        done = [p for e, p in events if e == "stage.done"]
+        assert {p["stage"] for p in done} >= {
+            "calibrate:arm-cortex-a9", "calibrate:amd-k10", "space"
+        }
+        for payload in done:
+            assert payload["status"] in ("stored", "computed")
+            assert "cache_misses" in payload and "cache_hits" in payload
+
+    def test_stage_statuses_without_store_are_computed(self, ctx):
+        result = run_scenario(Scenario(workload="ep", max_a=2, max_b=2), ctx)
+        assert set(result.stage_statuses.values()) == {"computed"}

@@ -176,3 +176,56 @@ class TestStreamingFlags:
         materialized = capsys.readouterr().out
         assert main(["fig10", "--space-mode", "streaming"]) == 0
         assert capsys.readouterr().out == materialized
+
+
+class TestStoreFlags:
+    def _scenario_file(self, tmp_path, **kw):
+        from repro.engine import Scenario
+
+        path = tmp_path / "exp.json"
+        base = dict(workload="ep", max_a=2, max_b=2,
+                    stages=("frontier", "regions"), name="cli-store")
+        base.update(kw)
+        path.write_text(Scenario(**base).to_json())
+        return path
+
+    def test_explain_prints_plan_without_running(self, tmp_path, capsys):
+        path = self._scenario_file(tmp_path)
+        assert main(["scenario", "--file", str(path), "--explain"]) == 0
+        out = capsys.readouterr().out
+        assert "Stage plan" in out
+        assert "calibrate:arm-cortex-a9" in out
+        assert "miss" in out
+        # A dry run: no timings table, no configurations count.
+        assert "configurations" not in out
+
+    def test_store_dir_round_trip(self, tmp_path, capsys):
+        path = self._scenario_file(tmp_path)
+        store = tmp_path / "store"
+        assert main(["scenario", "--file", str(path),
+                     "--store-dir", str(store)]) == 0
+        cold = capsys.readouterr().out
+        assert "stages from store     | none" in cold
+        assert (store / "store.sqlite").exists()
+
+        assert main(["scenario", "--file", str(path),
+                     "--store-dir", str(store)]) == 0
+        warm = capsys.readouterr().out
+        assert "frontier" in warm and "space" in warm
+        assert "stages from store     | none" not in warm
+
+        assert main(["scenario", "--file", str(path),
+                     "--store-dir", str(store), "--explain"]) == 0
+        explain = capsys.readouterr().out
+        assert "hit" in explain and "miss" not in explain
+
+    def test_per_stage_cache_rows(self, tmp_path, capsys):
+        path = self._scenario_file(tmp_path)
+        assert main(["scenario", "--file", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "cache[calibrate]" in out
+        assert "cache[space]" in out
+
+    def test_serve_requires_store_dir(self, capsys):
+        assert main(["serve"]) == 2
+        assert "--store-dir" in capsys.readouterr().err
