@@ -53,6 +53,15 @@ Timings are best-of-``repeats`` to shrug off machine noise.
   record doubles as a regression guard: the best parallel backend must
   not be slower than serial (exit code 1 otherwise).
 
+``--pr 9`` (pluggable space exploration) records:
+
+* **search matrix** -- every search agent (``random``, ``ga``,
+  ``anneal``) sampling the same ~1.6M-row four-type space at a 5% row
+  budget: rows evaluated, frontier recall against the exhaustive
+  streaming frontier, and convergence rounds per strategy.  The GA's
+  recall is a regression guard: CI fails if it drops below 0.95 at 5%
+  budget.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/record.py --pr 4 [--output BENCH_PR4.json]
@@ -587,6 +596,94 @@ def bench_worker_reduce(repeats: int) -> Dict:
     }
 
 
+def bench_search_matrix(
+    repeats: int, budget_fraction: float = 0.05, seed: int = 0
+) -> Dict:
+    """Every search agent over the four-type space, recalled against truth.
+
+    The exhaustive energy-deadline frontier of the ~1.6M-row space is
+    computed once with the streaming reducers (the ground truth every
+    agent is scored against), then each strategy samples the space at a
+    ``budget_fraction`` row budget through ``run_search``.  Searches are
+    seed-deterministic, so each strategy runs once -- ``repeats`` is
+    ignored; recall, not wall clock, is the quantity under guard.  The
+    GA's recall at 5% budget is the enforced regression guard (the
+    acceptance bar is >= 0.95); the other agents' recalls are recorded
+    for the honest comparison but not enforced.
+    """
+    from repro.core.streaming import iter_space_blocks, reduce_space_blocks
+    from repro.search import SearchSpace, make_source, run_search
+    from repro.search.trajectory import frontier_key_set
+
+    specs, params, units = _four_type_setup()
+
+    truth_start = time.perf_counter()
+    reduced = reduce_space_blocks(
+        iter_space_blocks(specs, params, units, memory_budget_mb=32.0)
+    )
+    truth_s = time.perf_counter() - truth_start
+    truth = reduced.frontier
+    rows = reduced.total_rows
+    budget = int(budget_fraction * rows)
+
+    results: Dict[str, Dict] = {}
+    for strategy in ("random", "ga", "anneal"):
+        space = SearchSpace(specs)
+        start = time.perf_counter()
+        searched = run_search(
+            specs, params, units,
+            source=make_source(strategy, space, seed, {}),
+            budget_rows=budget,
+            batch_rows=4096,
+            best_known=truth,
+            seed=seed,
+            space=space,
+        )
+        elapsed = time.perf_counter() - start
+        found = frontier_key_set(searched.frontier)
+        want = frontier_key_set(truth)
+        results[strategy] = {
+            "rows_evaluated": searched.rows_evaluated,
+            "coverage": searched.coverage,
+            "rounds": len(searched.trajectory.rounds),
+            "frontier_points": len(searched.frontier),
+            "recall": len(found & want) / len(want),
+            "elapsed_s": elapsed,
+            "rows_per_s": searched.rows_evaluated / elapsed,
+        }
+
+    ga_recall = results["ga"]["recall"]
+    return {
+        "label": (
+            f"four-type space, {rows} rows (EP, 4x3x3x3), search agents "
+            f"at a {budget_fraction:.0%} row budget ({budget} rows, seed "
+            f"{seed})"
+        ),
+        "rows": rows,
+        "budget_rows": budget,
+        "budget_fraction": budget_fraction,
+        "seed": seed,
+        "truth_frontier_points": len(truth),
+        "truth_streaming_s": truth_s,
+        "strategies": results,
+        "guard": {
+            "target": "ga frontier recall >= 0.95 at 5% budget",
+            "enforced": True,
+            "passed": ga_recall >= 0.95,
+            "note": (
+                "searches are seed-deterministic, so the guard cannot "
+                "flake; recall is scored against the exhaustive "
+                "streaming frontier computed in the same process"
+            ),
+        },
+        "detail": (
+            "run_search per strategy vs the exhaustive streaming frontier "
+            "(reduce_space_blocks over iter_space_blocks); recall = "
+            "fraction of true frontier (time, energy) points recovered"
+        ),
+    }
+
+
 _PR_RECORDS = {
     2: {
         "pr": "vectorized measurement layer",
@@ -624,6 +721,13 @@ _PR_RECORDS = {
         "default_output": "BENCH_PR7.json",
         "benches": {
             "worker_reduce": bench_worker_reduce,
+        },
+    },
+    9: {
+        "pr": "pluggable space exploration",
+        "default_output": "BENCH_PR9.json",
+        "benches": {
+            "search_matrix": bench_search_matrix,
         },
     },
 }
@@ -686,6 +790,14 @@ def main(argv=None) -> int:
                     f"({bench['best_parallel_backend']}) "
                     f"{bench['best_parallel_speedup_vs_serial']:.2f}x serial "
                     f"on {bench['cpu_count']} CPU(s)"
+                )
+        elif "strategies" in bench:
+            for strategy, numbers in bench["strategies"].items():
+                print(
+                    f"{name}[{strategy}]: recall {numbers['recall']:.2f} at "
+                    f"{numbers['rows_evaluated']:,} rows "
+                    f"({numbers['rounds']} rounds, "
+                    f"{numbers['elapsed_s']:.1f} s)"
                 )
         elif "streaming_s" in bench:
             print(

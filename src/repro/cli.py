@@ -98,6 +98,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             "report",
             "scenario",
             "serve",
+            "store",
         ],
         help="paper artifact to regenerate, or an extension analysis "
         "(reduce = configuration-space reduction; sensitivity = parameter "
@@ -105,7 +106,21 @@ def main(argv: Optional[List[str]] = None) -> int:
         "report = full Markdown reproduction report; scenario = run a "
         "declarative experiment from --file through the engine; "
         "serve = answer planner queries over HTTP from a --store-dir "
-        "populated by earlier scenario runs)",
+        "populated by earlier scenario runs; store = maintain a "
+        "--store-dir, e.g. 'store gc')",
+    )
+    parser.add_argument(
+        "action",
+        nargs="?",
+        default=None,
+        help="sub-action for the store artifact: 'gc' removes artifact "
+        "rows no live stage mapping references (superseded identities, "
+        "stale/quarantined leftovers)",
+    )
+    parser.add_argument(
+        "--dry-run",
+        action="store_true",
+        help="with store gc, only count and report what would be removed",
     )
     parser.add_argument("--seed", type=int, default=0, help="root RNG seed")
     parser.add_argument(
@@ -266,6 +281,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="blocks between checkpoint saves (default: 8)",
     )
     parser.add_argument(
+        "--search",
+        choices=["exhaustive", "random", "ga", "anneal"],
+        default=None,
+        help="space-exploration strategy (scenario only): 'exhaustive' "
+        "sweeps every configuration (the default); 'random', 'ga' "
+        "(genetic, Pareto-rank selection), and 'anneal' (simulated "
+        "annealing) explore under --search-budget and produce an "
+        "approximate frontier with a recorded convergence trajectory",
+    )
+    parser.add_argument(
+        "--search-budget",
+        type=int,
+        default=None,
+        metavar="ROWS",
+        help="row budget for a non-exhaustive --search: newly evaluated "
+        "configurations are capped at this count (default: 5%% of the "
+        "space)",
+    )
+    parser.add_argument(
+        "--trajectory-out",
+        type=Path,
+        default=None,
+        metavar="PATH",
+        help="write the search convergence trajectory (per-round rows, "
+        "frontier size, hypervolume) as JSON to this path",
+    )
+    parser.add_argument(
         "--fault-plan",
         type=Path,
         default=None,
@@ -299,6 +341,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             quiet=not args.verbose,
         )
         return 0
+    if args.artifact == "store":
+        if args.store_dir is None:
+            print("store requires --store-dir <store>", file=sys.stderr)
+            return 2
+        if args.action != "gc":
+            print(
+                f"unknown store action {args.action!r}; available: gc",
+                file=sys.stderr,
+            )
+            return 2
+        from repro.store import ArtifactStore
+
+        with ArtifactStore(args.store_dir) as store:
+            report = store.gc(dry_run=args.dry_run)
+        verb = "would remove" if args.dry_run else "removed"
+        print(
+            f"store gc: {verb} {report['removed']} artifact(s) "
+            f"({report['reclaimed_bytes']:,} bytes), "
+            f"{report['kept']} live artifact(s) kept"
+        )
+        return 0
+    if args.action is not None:
+        parser.error(
+            f"the {args.artifact} artifact takes no action argument"
+        )
     if args.resume and args.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")
     if args.reduce_at == "worker" and (args.space_mode or "") != "streaming":
@@ -572,6 +639,25 @@ def main(argv: Optional[List[str]] = None) -> int:
                 parser.error(str(exc))
         if args.chunk_rows is not None:
             scenario = scenario.with_(chunk_rows=args.chunk_rows)
+        if args.search is not None or args.search_budget is not None:
+            # CLI flags override the scenario file's search block; an
+            # explicit --search replaces it, a lone --search-budget
+            # adjusts it.
+            search = dict(scenario.search or {})
+            if args.search is not None:
+                search = {"strategy": args.search}
+            if args.search_budget is not None:
+                if not search or search.get("strategy") == "exhaustive":
+                    parser.error(
+                        "--search-budget needs a non-exhaustive strategy: "
+                        "pass --search random|ga|anneal (or set search in "
+                        "the scenario file)"
+                    )
+                search["budget_rows"] = args.search_budget
+            try:
+                scenario = scenario.with_(search=search or None)
+            except ValueError as exc:
+                parser.error(str(exc))
         if backend is not None:
             # CLI flags win over the scenario file's backend selection.
             scenario = scenario.with_(
@@ -613,6 +699,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         table.add_row(["stages", ", ".join(scenario.stages)])
         table.add_row(["space mode", scenario.space_mode])
         table.add_row(["configurations", f"{result.num_configurations:,}"])
+        if result.search is not None:
+            table.add_row(["search strategy", result.search.strategy])
+            table.add_row(
+                ["search budget [rows]", f"{result.search.budget_rows:,}"]
+            )
+            table.add_row(["space rows", f"{result.search.space_rows:,}"])
+            table.add_row(["coverage", f"{result.search.coverage:.2%}"])
+            table.add_row(
+                ["search rounds", len(result.search.trajectory.rounds)]
+            )
         if result.frontier is not None:
             table.add_row(["frontier points", len(result.frontier)])
             table.add_row(
@@ -649,6 +745,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 ["stages from store", ", ".join(stored) if stored else "none"]
             )
         print(table.render(), file=out)
+        if result.search is not None:
+            from repro.reporting.search import (
+                convergence_table,
+                plot_convergence,
+            )
+
+            trajectory = result.search.trajectory
+            print(file=out)
+            print(convergence_table(trajectory).render(), file=out)
+            if args.plot:
+                print(file=out)
+                print(
+                    plot_convergence({trajectory.strategy: trajectory}),
+                    file=out,
+                )
+            if args.trajectory_out is not None:
+                trajectory.to_json(args.trajectory_out)
+                print(f"wrote {args.trajectory_out}", file=out)
         space = result.space
         if space is not None:
             csv_headers = ["time_ms", "energy_j"] + [

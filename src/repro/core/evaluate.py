@@ -679,6 +679,14 @@ def evaluate_space_groups(
         raise ValueError("need at least one node-type group")
     if all(gs.max_nodes == 0 and gs.counts is None for gs in group_specs):
         raise ValueError("space is empty with zero nodes of every type")
+    names = [gs.spec.name for gs in group_specs]
+    for g, name in enumerate(names):
+        if name in names[:g]:
+            raise ValueError(
+                f"duplicate node type {name!r} in group_specs: groups must "
+                "have distinct node-type names, or their params lookups "
+                "would silently shadow each other"
+            )
     grids = [
         _setting_grid(gs.spec, _params_for(params, gs.spec.name), gs.settings)
         for gs in group_specs

@@ -44,7 +44,6 @@ reduced artifact bit-for-bit against the materialized path.
 from __future__ import annotations
 
 import json
-import math
 from dataclasses import dataclass, field
 from pathlib import Path
 from typing import (
@@ -62,8 +61,9 @@ from typing import (
 import numpy as np
 
 from repro.core import evaluate as _evaluate
-from repro.core.configuration import GroupSpec, node_settings, presence_masks
-from repro.core.evaluate import ConfigSpaceResult, _normalize_counts
+from repro.core.candidates import BlockTask, ExhaustiveSource
+from repro.core.configuration import GroupSpec
+from repro.core.evaluate import ConfigSpaceResult
 from repro.core.params import NodeModelParams
 from repro.core.pareto import ParetoFrontier, pareto_indices
 
@@ -104,21 +104,6 @@ def max_rows_for_budget(
     return max(1, int(budget_bytes // per_row))
 
 
-@dataclass(frozen=True)
-class BlockTask:
-    """One block of the deterministic space decomposition.
-
-    ``counts`` is a per-group tuple of node-count tuples in the exact
-    shape :func:`repro.engine.executor._evaluate_block` consumes: the
-    lead group carries its partition slice, other present groups their
-    full positive counts, absent groups ``(0,)``.  ``rows`` is the exact
-    row count of the block (the count/setting product arithmetic).
-    """
-
-    counts: Tuple[Tuple[int, ...], ...]
-    rows: int
-
-
 def plan_block_tasks(
     group_specs: Sequence[GroupSpec],
     max_block_rows: int,
@@ -126,51 +111,16 @@ def plan_block_tasks(
 ) -> List[BlockTask]:
     """Decompose a k-group space into ordered blocks under a row budget.
 
-    Mirrors :func:`~repro.core.evaluate.evaluate_space_groups`'s row
-    order exactly: presence-mask blocks in canonical order, each
-    partitioned contiguously over its first present group's counts.  The
-    number of partitions per mask is ``ceil(mask_rows / max_block_rows)``
-    (at least ``min_chunks``, for process-pool parallelism), capped at
-    the lead group's count-list width -- the finest granularity this
-    decomposition admits, so a single lead count whose slice exceeds the
-    budget still yields one (oversized) block rather than failing.
+    A thin wrapper around
+    :meth:`repro.core.candidates.ExhaustiveSource.plan_blocks`, where
+    the canonical decomposition now lives (it mirrors
+    :func:`~repro.core.evaluate.evaluate_space_groups`'s row order
+    exactly; see that method for the chunking rules).  Kept here because
+    the streaming pipeline and executor plan through this name.
     """
-    if max_block_rows < 1:
-        raise ValueError("block row budget must be at least one row")
-    group_specs = tuple(group_specs)
-    counts = [_normalize_counts(gs.counts, gs.max_nodes) for gs in group_specs]
-    pos = [c[c > 0] for c in counts]
-    dims = [len(node_settings(gs.spec, gs.settings)) for gs in group_specs]
-
-    tasks: List[BlockTask] = []
-    for present in presence_masks(group_specs):
-        lead = present[0]
-        rows_per_lead_count = dims[lead]
-        for g in present[1:]:
-            rows_per_lead_count *= int(pos[g].size) * dims[g]
-        mask_rows = rows_per_lead_count * int(pos[lead].size)
-        if mask_rows == 0:
-            continue
-        n_chunks = max(
-            int(min_chunks), math.ceil(mask_rows / max_block_rows)
-        )
-        n_chunks = max(1, min(n_chunks, int(pos[lead].size)))
-        for part in np.array_split(pos[lead], n_chunks):
-            if not part.size:
-                continue
-            task_counts = tuple(
-                tuple(int(c) for c in part)
-                if g == lead
-                else (tuple(int(c) for c in pos[g]) if g in present else (0,))
-                for g in range(len(group_specs))
-            )
-            tasks.append(
-                BlockTask(
-                    counts=task_counts,
-                    rows=rows_per_lead_count * int(part.size),
-                )
-            )
-    return tasks
+    return ExhaustiveSource(group_specs).plan_blocks(
+        max_block_rows=max_block_rows, min_chunks=min_chunks
+    )
 
 
 def evaluate_block_task(

@@ -35,7 +35,7 @@ from typing import Any, Callable, Dict, Iterable, List, Mapping, Optional, Seque
 
 from repro.core import calibration as _calibration
 from repro.core.configuration import GroupSpec
-from repro.core.evaluate import ConfigSpaceResult
+from repro.core.evaluate import ConfigSpaceResult, _concat_results
 from repro.core.params import NodeModelParams
 from repro.core.streaming import (
     ReducedSpace,
@@ -57,6 +57,26 @@ from repro.workloads import suite as _suite
 from repro.workloads.base import WorkloadSpec
 
 Sink = Callable[[str, Dict[str, Any]], None]
+
+#: Row count above which a search batch fans out over the execution
+#: backend (one chunk per this many rows); below it, evaluating
+#: in-process beats the serialization overhead.
+_SEARCH_PARALLEL_ROWS = 8192
+
+
+def _plain_search_key(search: Mapping[str, Any], seed: int) -> Tuple:
+    """A search config as a deterministic, content-addressable tuple."""
+    options = dict(search.get("options") or {})
+    return (
+        str(search.get("strategy", "random")),
+        None if search.get("budget_rows") is None else int(search["budget_rows"]),
+        None if search.get("batch_rows") is None else int(search["batch_rows"]),
+        int(seed),
+        tuple(sorted(
+            (k, tuple(v) if isinstance(v, (list, tuple)) else v)
+            for k, v in options.items()
+        )),
+    )
 
 
 def _plain_queueing_key(queue_kw: Optional[Mapping[str, Any]]) -> Any:
@@ -541,6 +561,116 @@ class RunContext:
             _plain_queueing_key(queue_kw),
         )
         return self.cache.get_or_compute("reduced", key, compute)
+
+    def space_searched(
+        self,
+        group_specs: Sequence[GroupSpec],
+        params: Mapping[str, NodeModelParams],
+        units: float,
+        search: Mapping[str, Any],
+        best_known: Optional[Any] = None,
+        checkpoint: Optional[CheckpointManager] = None,
+        resume: bool = False,
+        backend: Optional[Any] = None,
+        backend_options: Optional[Mapping[str, Any]] = None,
+    ):
+        """Explore a k-group space with a search agent, memoized.
+
+        The sampled twin of :meth:`space_reduced`: a
+        :mod:`repro.search` agent (``search["strategy"]`` of
+        ``"random"``/``"ga"``/``"anneal"``) proposes candidate batches
+        under ``search["budget_rows"]`` (default: 5% of the space), the
+        batches are evaluated through the context's execution backend,
+        and the rows fold through the exact streaming reducer structure
+        -- so the returned
+        :class:`~repro.search.driver.SearchedSpace`'s ``reduced`` field
+        feeds the frontier/regions stages unchanged.  The cache key is
+        the space content *plus the full search config*: a sampled
+        frontier is approximate and must never alias the exhaustive
+        artifact.  ``best_known`` (a frontier) enables exact recall
+        tracking in the trajectory; ``checkpoint``/``resume`` snapshot
+        and restore the whole search loop bit-identically.
+        """
+        from repro.search import SearchSpace, make_source, run_search
+        from repro.search.evaluator import _eval_candidate_chunk
+
+        group_specs = tuple(
+            gs if isinstance(gs, GroupSpec) else GroupSpec(*gs)
+            for gs in group_specs
+        )
+        strategy = str(search.get("strategy", "random"))
+        seed = search.get("seed")
+        seed = self.seed if seed is None else int(seed)
+        options = dict(search.get("options") or {})
+        backend, backend_options = self._backend_args(backend, backend_options)
+
+        def compute():
+            space = SearchSpace(group_specs)
+            budget = search.get("budget_rows")
+            if budget is None:
+                budget = max(1, int(0.05 * space.total_rows))
+            batch_rows = int(search.get("batch_rows") or 4096)
+            source = make_source(strategy, space, seed, options)
+
+            def evaluate_fn(n, cores, f):
+                rows = n.shape[1]
+                if rows <= _SEARCH_PARALLEL_ROWS:
+                    return _eval_candidate_chunk(
+                        (group_specs, params, units, n, cores, f)
+                    )
+                step = _SEARCH_PARALLEL_ROWS // 4
+                chunks = [
+                    (
+                        group_specs, params, units,
+                        n[:, lo:lo + step],
+                        cores[:, lo:lo + step],
+                        f[:, lo:lo + step],
+                    )
+                    for lo in range(0, rows, step)
+                ]
+                results = _executor.parallel_map(
+                    _eval_candidate_chunk, chunks,
+                    max_workers=self.max_workers,
+                    policy=self.resilience, injector=self.faults,
+                    emit=self.emit, backend=backend,
+                    backend_options=backend_options,
+                )
+                return _concat_results(results)
+
+            start = time.perf_counter()
+            searched = run_search(
+                group_specs, params, units,
+                source=source,
+                budget_rows=int(budget),
+                batch_rows=batch_rows,
+                evaluate_fn=evaluate_fn,
+                best_known=best_known,
+                seed=seed,
+                space=space,
+                emit=self.emit,
+                checkpoint=checkpoint,
+                resume=resume,
+            )
+            self.emit(
+                "space.searched",
+                strategy=strategy,
+                rows_evaluated=searched.rows_evaluated,
+                space_rows=searched.space_rows,
+                coverage=searched.coverage,
+                rounds=len(searched.trajectory.rounds),
+                elapsed_s=time.perf_counter() - start,
+            )
+            return searched
+
+        if checkpoint is not None or best_known is not None:
+            # Observed (checkpointed) or instrumented (recall-tracked)
+            # runs must actually run.
+            return compute()
+        key = (
+            self._space_key(group_specs, params, units),
+            _plain_search_key(search, seed),
+        )
+        return self.cache.get_or_compute("searched", key, compute)
 
     def space(
         self,

@@ -43,6 +43,7 @@ from repro.engine.stagegraph import (
     run_plan,
 )
 from repro.queueing.dispatcher import WindowPoint, figure10_series
+from repro.search.driver import SearchedSpace
 
 
 @dataclass
@@ -73,6 +74,11 @@ class ScenarioResult:
     only_b_frontier: Optional[ParetoFrontier] = None
     regions: Optional[RegionReport] = None
     queueing: Optional[Dict[float, List[WindowPoint]]] = None
+    #: The search provenance (strategy, budget, convergence trajectory)
+    #: when a non-exhaustive ``scenario.search`` drove the space stage;
+    #: ``None`` on exhaustive runs.  ``reduced`` aliases
+    #: ``search.reduced`` so downstream consumers are uniform.
+    search: Optional[SearchedSpace] = None
     timings_s: Dict[str, float] = field(default_factory=dict)
     cache_stats: Dict[str, int] = field(default_factory=dict)
     stage_cache_stats: Dict[str, Dict[str, int]] = field(default_factory=dict)
@@ -113,6 +119,12 @@ class ScenarioResult:
         if self.regions is not None:
             out["has_sweet_region"] = self.regions.has_sweet_region
             out["has_overlap_region"] = self.regions.has_overlap_region
+        if self.search is not None:
+            out["search_strategy"] = self.search.strategy
+            out["search_budget_rows"] = self.search.budget_rows
+            out["search_space_rows"] = self.search.space_rows
+            out["search_coverage"] = self.search.coverage
+            out["search_rounds"] = len(self.search.trajectory.rounds)
         if self.queueing is not None:
             out["queueing_utilizations"] = sorted(self.queueing)
         return out
@@ -156,6 +168,20 @@ def run_scenario(
             "and cannot be snapshotted; run the spill pass and the "
             "checkpointed pass separately"
         )
+    searching = scenario.search_active
+    if searching and scenario.wants("queueing"):
+        raise ValueError(
+            "search strategies cannot run the queueing stage: the window "
+            "series is a full-space aggregate and a sampled subset would "
+            "silently misstate it -- drop 'queueing' from stages or use "
+            "search={'strategy': 'exhaustive'}"
+        )
+    if searching and spill_dir is not None:
+        raise ValueError(
+            "spill_dir requires an exhaustive sweep: a searched run "
+            "evaluates a budgeted subset in discovery order, so spilled "
+            "columns would not be the configuration space"
+        )
     ctx = ctx if ctx is not None else default_context()
     if store is None:
         store = getattr(ctx, "store", None)
@@ -163,10 +189,11 @@ def run_scenario(
     if resume and checkpoint_dir is None:
         raise ValueError("resume=True requires checkpoint_dir")
     if checkpoint_dir is not None:
-        if scenario.space_mode != "streaming":
+        if scenario.space_mode != "streaming" and not searching:
             raise ValueError(
                 "checkpointing requires space_mode='streaming' (the "
-                "materialized path has no incremental state to save)"
+                "materialized path has no incremental state to save) "
+                "or an active search (whose loop state is snapshotted)"
             )
         fingerprint = stable_hash(
             ("scenario-checkpoint", scenario.cache_identity())
@@ -212,6 +239,25 @@ def run_scenario(
         params = {
             name: inputs[f"calibrate:{name}"] for name in plan.calibrations
         }
+        if searching:
+            searched = ctx.space_searched(
+                plan.group_specs,
+                params,
+                plan.units,
+                scenario.search_config(),
+                checkpoint=checkpoint,
+                resume=resume,
+                **backend_kw,
+            )
+            ctx.emit(
+                "space.memory",
+                mode="searched",
+                rows=searched.rows_evaluated,
+                peak_estimate_nbytes=searched.reduced.peak_block_nbytes,
+                full_nbytes=searched.reduced.full_nbytes,
+                budget_mb=None,
+            )
+            return searched
         if streaming:
             spill = None
             if spill_dir is not None:
@@ -261,6 +307,8 @@ def run_scenario(
 
     def compute_frontier(node: StageNode, inputs: Dict[str, Any]):
         space_art = inputs["space"]
+        if isinstance(space_art, SearchedSpace):
+            return frontier_artifact_from_reduced(space_art.reduced)
         if isinstance(space_art, ReducedSpace):
             return frontier_artifact_from_reduced(space_art)
         return frontier_artifact_from_space(space_art)
@@ -297,7 +345,15 @@ def run_scenario(
         name: artifacts[f"calibrate:{name}"] for name in plan.calibrations
     }
     space_art = artifacts["space"]
-    if isinstance(space_art, ReducedSpace):
+    if isinstance(space_art, SearchedSpace):
+        result = ScenarioResult(
+            scenario=scenario,
+            params=params,
+            space=None,
+            reduced=space_art.reduced,
+            search=space_art,
+        )
+    elif isinstance(space_art, ReducedSpace):
         result = ScenarioResult(
             scenario=scenario,
             params=params,

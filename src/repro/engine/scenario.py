@@ -36,6 +36,12 @@ _STAGE_IMPLIES = {"regions": ("frontier",), "queueing": ()}
 #: The historical two-type spelling of the group axes.
 _PAIR_FIELDS = ("node_a", "node_b", "max_a", "max_b", "counts_a", "counts_b")
 
+#: Admissible ``Scenario.search`` strategies.
+SEARCH_STRATEGIES = ("exhaustive", "random", "ga", "anneal")
+
+#: Keys a ``Scenario.search`` mapping may carry.
+_SEARCH_KEYS = ("strategy", "budget_rows", "seed", "batch_rows", "options")
+
 
 def _plain(value: Any) -> Any:
     """Recursively turn tuples into lists for JSON-plain dicts."""
@@ -86,6 +92,49 @@ class NodeGroup:
                 f"unknown node group fields {sorted(unknown)}; known: {sorted(known)}"
             )
         return cls(**data)
+
+
+def _canonical_search(search: Mapping[str, Any]) -> Dict[str, Any]:
+    """Validate and canonicalize a ``Scenario.search`` mapping.
+
+    The canonical form always carries every key in a fixed shape, so two
+    spellings of the same search share one cache identity.
+    """
+    if not isinstance(search, Mapping):
+        raise ValueError(
+            f"search must be a mapping, got {type(search).__name__}"
+        )
+    unknown = set(search) - set(_SEARCH_KEYS)
+    if unknown:
+        raise ValueError(
+            f"unknown search keys {sorted(unknown)}; "
+            f"known: {sorted(_SEARCH_KEYS)}"
+        )
+    strategy = str(search.get("strategy", "exhaustive"))
+    if strategy not in SEARCH_STRATEGIES:
+        raise ValueError(
+            f"search strategy must be one of {list(SEARCH_STRATEGIES)}, "
+            f"got {strategy!r}"
+        )
+    budget = search.get("budget_rows")
+    if budget is not None:
+        budget = int(budget)
+        if budget < 1:
+            raise ValueError("search budget_rows must be at least one row")
+    batch = search.get("batch_rows")
+    if batch is not None:
+        batch = int(batch)
+        if batch < 1:
+            raise ValueError("search batch_rows must be at least one row")
+    seed = search.get("seed")
+    options = dict(search.get("options") or {})
+    return {
+        "strategy": strategy,
+        "budget_rows": budget,
+        "seed": None if seed is None else int(seed),
+        "batch_rows": batch,
+        "options": options,
+    }
 
 
 @dataclass(frozen=True)
@@ -167,6 +216,18 @@ class Scenario:
         both fields are excluded from the cache identity: a scenario run
         remotely shares cache entries (and cache keys) with the same
         scenario run in-process.
+    search:
+        How the configuration space is *explored*: ``None`` (or
+        ``{"strategy": "exhaustive"}``) sweeps every row -- the
+        historical behavior -- while ``{"strategy": "random" | "ga" |
+        "anneal", "budget_rows": ..., "seed": ..., "batch_rows": ...,
+        "options": {...}}`` runs a :mod:`repro.search` agent under a row
+        budget.  Unlike ``space_mode``, an active search **is** part of
+        the cache identity: a sampled frontier is approximate, so it
+        must never share cache entries with the exhaustive one.
+        ``budget_rows`` defaults to 5% of the space at run time; ``seed``
+        defaults to the scenario seed; remaining ``options`` pass to the
+        agent's constructor.
     name:
         Optional human label; excluded from the cache identity so naming
         a scenario never invalidates its results.
@@ -195,6 +256,7 @@ class Scenario:
     node_types: Optional[Tuple[NodeGroup, ...]] = None
     backend: Optional[str] = None
     backend_options: Optional[Dict[str, Any]] = None
+    search: Optional[Dict[str, Any]] = None
 
     def __post_init__(self) -> None:
         if self.node_types is not None:
@@ -275,6 +337,20 @@ class Scenario:
                 "the registered names (e.g. 'serial', 'process_pool', "
                 "'tcp_remote')"
             )
+        if self.search is not None:
+            object.__setattr__(
+                self, "search", _canonical_search(self.search)
+            )
+        seen_nodes = set()
+        for group in self.groups:
+            if group.node in seen_nodes:
+                raise ValueError(
+                    f"duplicate node type {group.node!r} in node_types: "
+                    "each group needs a distinct node-type name, or its "
+                    "calibrated parameters would silently shadow another "
+                    "group's"
+                )
+            seen_nodes.add(group.node)
         for tup_field in ("counts_a", "counts_b", "stages", "utilizations"):
             value = getattr(self, tup_field)
             if value is not None and not isinstance(value, tuple):
@@ -296,6 +372,25 @@ class Scenario:
     def wants(self, stage: str) -> bool:
         """Whether ``stage`` is part of this scenario's pipeline."""
         return stage in self.stages
+
+    @property
+    def search_active(self) -> bool:
+        """Whether a non-exhaustive search strategy drives the space stage."""
+        return self.search is not None and self.search["strategy"] != "exhaustive"
+
+    def search_config(self) -> Optional[Dict[str, Any]]:
+        """The effective search configuration, defaults resolved.
+
+        ``None`` for exhaustive scenarios.  ``seed`` falls back to the
+        scenario seed; ``budget_rows``/``batch_rows`` stay ``None`` when
+        unset (the engine resolves them against the space size).
+        """
+        if not self.search_active:
+            return None
+        out = dict(self.search)
+        if out["seed"] is None:
+            out["seed"] = self.seed
+        return out
 
     @property
     def groups(self) -> Tuple[NodeGroup, ...]:
@@ -360,6 +455,11 @@ class Scenario:
         raw.pop("chunk_rows")
         raw.pop("backend")
         raw.pop("backend_options")
+        if not self.search_active:
+            # An exhaustive sweep -- spelled as None or explicitly -- is
+            # the historical computation; its identity must stay
+            # bit-identical to pre-search scenarios.
+            raw.pop("search")
         for key in _PAIR_FIELDS:
             raw.pop(key)
         raw["node_types"] = [g.to_dict() for g in self.groups]

@@ -239,9 +239,16 @@ def build_stage_plan(scenario: Scenario, ctx) -> StagePlan:
     axes = tuple(
         (g.node, int(g.max_nodes), g.counts, g.settings) for g in groups
     )
-    space_content_id = stable_hash(
-        ("stage:space-content", tuple(sorted(cal_ids.items())), axes, plan.units)
+    # An active search IS part of the space-content identity -- unlike
+    # ``space_mode``, a sampled frontier is approximate, so it must never
+    # alias the exhaustive artifact (or a differently-budgeted sample).
+    # Exhaustive scenarios hash exactly as before the search layer existed.
+    content_token: Tuple = (
+        "stage:space-content", tuple(sorted(cal_ids.items())), axes, plan.units,
     )
+    if scenario.search_active:
+        content_token = content_token + (scenario.search_config(),)
+    space_content_id = stable_hash(content_token)
     plan.space_content_id = space_content_id
 
     streaming = scenario.space_mode == "streaming"

@@ -22,9 +22,17 @@ from repro.reporting.figures import (
     build_fig10,
 )
 from repro.reporting.export import write_csv
+from repro.reporting.search import (
+    convergence_series,
+    convergence_table,
+    plot_convergence,
+)
 
 __all__ = [
     "Table",
+    "convergence_series",
+    "convergence_table",
+    "plot_convergence",
     "FigureSeries",
     "build_table1",
     "build_table3",

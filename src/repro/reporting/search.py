@@ -1,0 +1,114 @@
+"""Reporting builders for search-run convergence.
+
+A :class:`~repro.search.trajectory.SearchTrajectory` records every
+propose/evaluate/observe round of a search; these builders turn one (or
+several, for strategy comparisons) into the repo's plain reporting
+primitives -- a :class:`~repro.reporting.tables.Table` and
+:class:`~repro.reporting.figures.FigureSeries` maps ready for
+:func:`~repro.reporting.plots.plot_series_map` -- so the CLI can show
+how fast an agent closed in on the frontier.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.reporting.figures import FigureSeries
+from repro.reporting.plots import plot_series_map
+from repro.reporting.tables import Table
+from repro.search.trajectory import SearchTrajectory
+
+
+def convergence_table(
+    trajectory: SearchTrajectory, max_rows: Optional[int] = 12
+) -> Table:
+    """Per-round convergence as a terminal table.
+
+    Long runs are thinned to ``max_rows`` evenly spaced rounds (the
+    final round always shown); pass ``None`` to keep every round.
+    """
+    table = Table(
+        ["round", "rows", "new", "total", "coverage", "frontier", "hypervolume",
+         "recall"],
+        title=(
+            f"search convergence -- {trajectory.strategy}, "
+            f"budget {trajectory.budget_rows} of {trajectory.space_rows} rows"
+        ),
+    )
+    rounds = trajectory.rounds
+    if max_rows is not None and len(rounds) > max_rows:
+        picks = np.linspace(0, len(rounds) - 1, max_rows).round().astype(int)
+        rounds = [rounds[i] for i in dict.fromkeys(picks.tolist())]
+    for r in rounds:
+        table.add_row(
+            [
+                r.index,
+                r.batch_rows,
+                r.new_rows,
+                r.rows_evaluated,
+                f"{r.rows_evaluated / trajectory.space_rows:.2%}"
+                if trajectory.space_rows else "n/a",
+                r.frontier_points,
+                f"{r.hypervolume:.4g}",
+                "n/a" if r.recall is None else f"{r.recall:.2%}",
+            ]
+        )
+    return table
+
+
+def convergence_series(
+    trajectories: Mapping[str, SearchTrajectory],
+    metric: str = "recall",
+) -> Dict[str, FigureSeries]:
+    """``{label: FigureSeries}`` of a convergence metric vs rows evaluated.
+
+    ``metric`` is ``"recall"`` (rounds without ground truth are
+    skipped), ``"hypervolume"``, or ``"frontier_points"``.
+    """
+    if metric not in ("recall", "hypervolume", "frontier_points"):
+        raise ValueError(
+            "metric must be 'recall', 'hypervolume', or 'frontier_points', "
+            f"got {metric!r}"
+        )
+    series: Dict[str, FigureSeries] = {}
+    for label, trajectory in trajectories.items():
+        xs, ys = [], []
+        for r in trajectory.rounds:
+            value = getattr(r, metric)
+            if value is None:
+                continue
+            xs.append(r.rows_evaluated)
+            ys.append(value)
+        if not xs:
+            continue
+        series[label] = FigureSeries(
+            label=label,
+            x=np.asarray(xs, dtype=float),
+            y=np.asarray(ys, dtype=float),
+            x_name="rows evaluated",
+            y_name=metric.replace("_", " "),
+        )
+    return series
+
+
+def plot_convergence(
+    trajectories: Mapping[str, SearchTrajectory],
+    metric: str = "hypervolume",
+    title: Optional[str] = None,
+    width: int = 72,
+    height: int = 20,
+) -> str:
+    """ASCII convergence plot: ``metric`` against rows evaluated."""
+    series = convergence_series(trajectories, metric=metric)
+    if not series:
+        raise ValueError(
+            f"no rounds carry {metric!r} -- recall needs exhaustive "
+            "ground truth (best_known) at search time"
+        )
+    if title is None:
+        title = f"search convergence ({metric.replace('_', ' ')})"
+    return plot_series_map(
+        series, title=title, width=width, height=height, as_lines=True
+    )

@@ -1,0 +1,187 @@
+"""Evaluate explicit candidate rows through the vectorized model.
+
+The exhaustive evaluator works on whole presence-mask blocks; search
+agents propose *arbitrary* row sets.  :func:`evaluate_candidate_rows`
+groups a candidate batch by presence pattern and pushes each pattern
+through the exact same per-element arithmetic as
+:func:`repro.core.evaluate._evaluate_mask_block` -- the same setting
+grids, the same 1-/2-/k-group matched-split dispatch
+(:func:`~repro.core.evaluate._vector_match` /
+:func:`~repro.core.evaluate._vector_match_groups`), the same
+:func:`~repro.core.evaluate._group_energy` terms.  Every operation is
+elementwise, so a configuration evaluates to bit-identical time/energy
+no matter which batch it arrives in -- which is what lets frontier
+recall be an exact ``(time, energy)`` set comparison against exhaustive
+ground truth, and lets the search driver deduplicate rows by value.
+
+:func:`_eval_candidate_chunk` is the top-level picklable entry point the
+engine ships to process-pool and tcp_remote workers.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.configuration import GroupSpec, node_settings
+from repro.core.evaluate import (
+    ConfigSpaceResult,
+    _group_energy,
+    _params_for,
+    _setting_grid,
+    _vector_match,
+    _vector_match_groups,
+)
+from repro.core.params import NodeModelParams
+
+
+def evaluate_candidate_rows(
+    group_specs: Sequence[GroupSpec],
+    params: Mapping[str, NodeModelParams],
+    units: float,
+    n: np.ndarray,
+    cores: np.ndarray,
+    f: np.ndarray,
+) -> ConfigSpaceResult:
+    """Evaluate candidate ``(n, cores, f)`` columns, row order preserved.
+
+    ``n``/``cores``/``f`` are ``(G, B)`` stacks as produced by
+    :meth:`repro.search.space.SearchSpace.decode` or
+    :func:`repro.core.candidates.expand_block_rows`.  Every ``(cores,
+    f)`` pair must be one of the group's admissible settings and every
+    row must have at least one present group.  The returned result's
+    rows are bit-identical to what the exhaustive evaluator computes for
+    the same configurations.
+    """
+    if units <= 0:
+        raise ValueError("job must contain positive work")
+    group_specs = tuple(group_specs)
+    if not group_specs:
+        raise ValueError("need at least one node-type group")
+    n = np.asarray(n, dtype=np.int64)
+    cores = np.asarray(cores, dtype=np.int64)
+    f = np.asarray(f, dtype=float)
+    if n.ndim != 2 or n.shape != cores.shape or n.shape != f.shape:
+        raise ValueError("candidate columns must be matching (G, B) stacks")
+    if n.shape[0] != len(group_specs):
+        raise ValueError(
+            f"{n.shape[0]} candidate groups for {len(group_specs)} specs"
+        )
+    if np.any(n < 0):
+        raise ValueError("node counts must be non-negative")
+    b = n.shape[1]
+    present_rows = n > 0
+    if b and not present_rows.any(axis=0).all():
+        raise ValueError("every candidate row needs at least one present group")
+
+    grids = [
+        _setting_grid(gs.spec, _params_for(params, gs.spec.name), gs.settings)
+        for gs in group_specs
+    ]
+    # Exact (cores, f) -> setting-index lookup per group.  Settings come
+    # from the same node_settings lists the grids were built from, so
+    # float equality is exact.
+    setting_index = []
+    for g, gs in enumerate(group_specs):
+        setting_index.append(
+            {
+                (int(c), float(fr)): s
+                for s, (c, fr) in enumerate(node_settings(gs.spec, gs.settings))
+            }
+        )
+
+    times = np.zeros(b, dtype=float)
+    energies = np.zeros(b, dtype=float)
+    units_out = np.zeros((len(group_specs), b), dtype=float)
+    cores_out = cores.copy()
+    f_out = f.copy()
+    for g, gs in enumerate(group_specs):
+        absent = ~present_rows[g]
+        cores_out[g, absent] = gs.spec.cores.count
+        f_out[g, absent] = gs.spec.cores.fmax_ghz
+
+    # Group rows by presence pattern; each pattern block goes through the
+    # same dispatch as one exhaustive mask block.
+    patterns: dict = {}
+    for i in range(b):
+        key = tuple(int(x) for x in np.flatnonzero(present_rows[:, i]))
+        patterns.setdefault(key, []).append(i)
+
+    for present, row_list in patterns.items():
+        rows = np.asarray(row_list, dtype=np.int64)
+        gammas = []
+        floors = []
+        s_idx = []
+        for g in present:
+            idx = np.empty(rows.size, dtype=np.int64)
+            lookup = setting_index[g]
+            for j, i in enumerate(rows):
+                key = (int(cores[g, i]), float(f[g, i]))
+                try:
+                    idx[j] = lookup[key]
+                except KeyError:
+                    raise ValueError(
+                        f"candidate setting {key} is not admissible for "
+                        f"node type {group_specs[g].spec.name!r}"
+                    ) from None
+            s_idx.append(idx)
+            n_g = n[g, rows].astype(float)
+            gammas.append(grids[g].slope_node[idx] / n_g)
+            floors.append(grids[g].floor_job_s / n_g)
+
+        if len(present) == 1:
+            time = np.maximum(gammas[0] * units, floors[0])
+            w = [np.full(time.shape, float(units))]
+        elif len(present) == 2:
+            w_a, time = _vector_match(
+                units, gammas[0], floors[0], gammas[1], floors[1]
+            )
+            w = [w_a, units - w_a]
+        else:
+            w_stack, time = _vector_match_groups(
+                units, np.stack(gammas), np.stack(floors)
+            )
+            w = list(w_stack)
+
+        energy = np.zeros(rows.size, dtype=float)
+        for p, g in enumerate(present):
+            energy += _group_energy(
+                n[g, rows],
+                w[p],
+                time,
+                grids[g].k_joules_per_unit[s_idx[p]],
+                grids[g].io_slope_node,
+                grids[g].floor_job_s,
+                grids[g].p_idle_w,
+                grids[g].p_io_w,
+            )
+            units_out[g, rows] = w[p]
+        times[rows] = time
+        energies[rows] = energy
+
+    return ConfigSpaceResult(
+        nodes=tuple(gs.spec.name for gs in group_specs),
+        n=n,
+        cores=cores_out,
+        f=f_out,
+        units=units_out,
+        times_s=times,
+        energies_j=energies,
+        units_total=units,
+    )
+
+
+def _eval_candidate_chunk(
+    args: Tuple[
+        Tuple[GroupSpec, ...],
+        Mapping[str, NodeModelParams],
+        float,
+        np.ndarray,
+        np.ndarray,
+        np.ndarray,
+    ],
+) -> ConfigSpaceResult:
+    """Top-level picklable chunk evaluator for the engine's backends."""
+    group_specs, params, units, n, cores, f = args
+    return evaluate_candidate_rows(group_specs, params, units, n, cores, f)

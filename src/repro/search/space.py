@@ -1,0 +1,287 @@
+"""Genome view of a k-group configuration space.
+
+Agents do not reason about raw ``(n, cores, f)`` columns; they move
+through a discrete *genome* space: per group, an index into that group's
+positive node counts and an index into its (cores, frequency) settings,
+or ``(-1, -1)`` when the group is absent.  :class:`SearchSpace` owns the
+admissibility rules (a group may be absent only when its count list
+admits 0, present only when it admits a positive count, and at least one
+group must be present -- exactly the rules behind
+:func:`repro.core.configuration.presence_masks`), uniform row sampling,
+neighborhood moves, and decoding back to candidate columns.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.candidates import _normalize_counts
+from repro.core.configuration import GroupSpec, node_settings, presence_masks
+from repro.core.streaming import count_space_rows
+
+#: One group's gene: (index into positive counts, index into settings),
+#: or (-1, -1) when the group is absent.
+Gene = Tuple[int, int]
+Genome = Tuple[Gene, ...]
+
+ABSENT: Gene = (-1, -1)
+
+
+class SearchSpace:
+    """The discrete genome space of a k-group configuration space."""
+
+    def __init__(self, group_specs: Sequence[GroupSpec]):
+        self.group_specs = tuple(group_specs)
+        if not self.group_specs:
+            raise ValueError("need at least one node-type group")
+        counts = [
+            _normalize_counts(gs.counts, gs.max_nodes)
+            for gs in self.group_specs
+        ]
+        #: Per-group positive node counts (the genome's count axis).
+        self.pos: List[np.ndarray] = [c[c > 0] for c in counts]
+        #: Whether each group's count list admits absence (a 0 entry).
+        self.has_zero: List[bool] = [bool(0 in c) for c in counts]
+        #: Per-group (cores, f) settings, in canonical order.
+        self.settings: List[List[Tuple[int, float]]] = [
+            node_settings(gs.spec, gs.settings) for gs in self.group_specs
+        ]
+        #: Admissible presence masks, canonical block order.
+        self.masks: List[Tuple[int, ...]] = list(
+            presence_masks(self.group_specs)
+        )
+        if not self.masks:
+            raise ValueError(
+                "no configurations to search: the count lists admit neither "
+                "a heterogeneous nor a homogeneous block"
+            )
+        self.num_groups = len(self.group_specs)
+        #: Exact row count of the full space.
+        self.total_rows = count_space_rows(self.group_specs)
+        self._mask_rows = np.asarray(
+            [self.mask_rows(m) for m in self.masks], dtype=float
+        )
+
+    # ---- admissibility and counting ------------------------------------
+
+    def mask_rows(self, present: Tuple[int, ...]) -> int:
+        """Exact row count of one presence mask's block."""
+        rows = 1
+        for g in present:
+            rows *= int(self.pos[g].size) * len(self.settings[g])
+        return rows
+
+    def is_admissible(self, genome: Genome) -> bool:
+        """Whether a genome decodes to a row of this space."""
+        if len(genome) != self.num_groups:
+            return False
+        any_present = False
+        for g, (ci, si) in enumerate(genome):
+            if (ci, si) == ABSENT:
+                if not self.has_zero[g]:
+                    return False
+                continue
+            if not (0 <= ci < self.pos[g].size):
+                return False
+            if not (0 <= si < len(self.settings[g])):
+                return False
+            any_present = True
+        return any_present
+
+    # ---- sampling and moves --------------------------------------------
+
+    def random_genome(self, rng: np.random.Generator) -> Genome:
+        """One genome sampled uniformly over the space's *rows*.
+
+        Picks a presence mask with probability proportional to its block's
+        row count, then a count and setting index uniformly per present
+        group -- exactly a uniform draw over configurations.
+        """
+        weights = self._mask_rows / self._mask_rows.sum()
+        mask = self.masks[int(rng.choice(len(self.masks), p=weights))]
+        genome: List[Gene] = []
+        for g in range(self.num_groups):
+            if g in mask:
+                genome.append(
+                    (
+                        int(rng.integers(self.pos[g].size)),
+                        int(rng.integers(len(self.settings[g]))),
+                    )
+                )
+            else:
+                genome.append(ABSENT)
+        return tuple(genome)
+
+    def neighbor(self, genome: Genome, rng: np.random.Generator) -> Genome:
+        """One admissible single-gene move away from ``genome``.
+
+        Moves: nudge a present group's count index or setting index by
+        one step, drop a present group (when another group remains
+        present and its counts admit 0), or wake an absent group at a
+        random gene.  The move is chosen uniformly over the admissible
+        move list, so every neighbor is reachable with positive
+        probability -- what makes the annealing walkers ergodic.
+        """
+        moves: List[Tuple[int, str]] = []
+        present = [g for g, gene in enumerate(genome) if gene != ABSENT]
+        for g, (ci, si) in enumerate(genome):
+            if (ci, si) == ABSENT:
+                if self.pos[g].size:
+                    moves.append((g, "wake"))
+                continue
+            if ci > 0:
+                moves.append((g, "count-"))
+            if ci < self.pos[g].size - 1:
+                moves.append((g, "count+"))
+            if si > 0:
+                moves.append((g, "setting-"))
+            if si < len(self.settings[g]) - 1:
+                moves.append((g, "setting+"))
+            if self.has_zero[g] and len(present) > 1:
+                moves.append((g, "drop"))
+        if not moves:
+            return genome
+        g, move = moves[int(rng.integers(len(moves)))]
+        out = list(genome)
+        ci, si = genome[g]
+        if move == "wake":
+            out[g] = (
+                int(rng.integers(self.pos[g].size)),
+                int(rng.integers(len(self.settings[g]))),
+            )
+        elif move == "drop":
+            out[g] = ABSENT
+        elif move == "count-":
+            out[g] = (ci - 1, si)
+        elif move == "count+":
+            out[g] = (ci + 1, si)
+        elif move == "setting-":
+            out[g] = (ci, si - 1)
+        else:
+            out[g] = (ci, si + 1)
+        return tuple(out)
+
+    def neighbors(self, genome: Genome) -> List[Genome]:
+        """Every single-step count/setting neighbor of ``genome``.
+
+        The deterministic 1-step neighborhood the genetic agent sweeps
+        around its frontier (Pareto local search); presence toggles are
+        included so homogeneous blocks are reachable from heterogeneous
+        frontier points and vice versa.
+        """
+        out: List[Genome] = []
+        present = [g for g, gene in enumerate(genome) if gene != ABSENT]
+        for g, (ci, si) in enumerate(genome):
+            if (ci, si) == ABSENT:
+                if self.pos[g].size:
+                    for s in range(len(self.settings[g])):
+                        out.append(self._with_gene(genome, g, (0, s)))
+                continue
+            if ci > 0:
+                out.append(self._with_gene(genome, g, (ci - 1, si)))
+            if ci < self.pos[g].size - 1:
+                out.append(self._with_gene(genome, g, (ci + 1, si)))
+            if si > 0:
+                out.append(self._with_gene(genome, g, (ci, si - 1)))
+            if si < len(self.settings[g]) - 1:
+                out.append(self._with_gene(genome, g, (ci, si + 1)))
+            if self.has_zero[g] and len(present) > 1:
+                out.append(self._with_gene(genome, g, ABSENT))
+        return out
+
+    @staticmethod
+    def _with_gene(genome: Genome, g: int, gene: Gene) -> Genome:
+        out = list(genome)
+        out[g] = gene
+        return tuple(out)
+
+    def repair(self, genome: Genome, rng: np.random.Generator) -> Genome:
+        """Coerce an arbitrary gene tuple into an admissible genome."""
+        out: List[Gene] = []
+        for g, (ci, si) in enumerate(genome):
+            if (ci, si) == ABSENT:
+                if self.has_zero[g]:
+                    out.append(ABSENT)
+                else:
+                    out.append(
+                        (
+                            int(rng.integers(self.pos[g].size)),
+                            int(rng.integers(len(self.settings[g]))),
+                        )
+                    )
+                continue
+            if not self.pos[g].size:
+                out.append(ABSENT)
+                continue
+            out.append(
+                (
+                    int(np.clip(ci, 0, self.pos[g].size - 1)),
+                    int(np.clip(si, 0, len(self.settings[g]) - 1)),
+                )
+            )
+        if all(gene == ABSENT for gene in out):
+            candidates = [g for g in range(self.num_groups) if self.pos[g].size]
+            g = candidates[int(rng.integers(len(candidates)))]
+            out[g] = (
+                int(rng.integers(self.pos[g].size)),
+                int(rng.integers(len(self.settings[g]))),
+            )
+        return tuple(out)
+
+    # ---- decoding ------------------------------------------------------
+
+    def decode(
+        self, genomes: Sequence[Genome]
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Genomes to candidate ``(n, cores, f)`` column stacks.
+
+        Absent groups follow the evaluator's convention: ``n = 0`` with
+        the spec's maxima for cores/frequency.
+        """
+        b = len(genomes)
+        k = self.num_groups
+        n = np.zeros((k, b), dtype=np.int64)
+        cores = np.empty((k, b), dtype=np.int64)
+        f = np.empty((k, b), dtype=float)
+        for i, genome in enumerate(genomes):
+            for g, (ci, si) in enumerate(genome):
+                if (ci, si) == ABSENT:
+                    cores[g, i] = self.group_specs[g].spec.cores.count
+                    f[g, i] = self.group_specs[g].spec.cores.fmax_ghz
+                else:
+                    n[g, i] = int(self.pos[g][ci])
+                    c, fr = self.settings[g][si]
+                    cores[g, i] = c
+                    f[g, i] = fr
+        return n, cores, f
+
+    def all_genomes(self) -> Iterator[Genome]:
+        """Every genome of the space, in canonical presence-mask order.
+
+        Cheap only on small spaces; the search driver uses it for the
+        completion sweep that guarantees 100% recall when the row budget
+        covers the whole space.
+        """
+        for present in self.masks:
+            axes: List[List[Gene]] = []
+            for g in range(self.num_groups):
+                if g in present:
+                    axes.append(
+                        [
+                            (ci, si)
+                            for ci in range(self.pos[g].size)
+                            for si in range(len(self.settings[g]))
+                        ]
+                    )
+                else:
+                    axes.append([ABSENT])
+            yield from self._product(axes)
+
+    @staticmethod
+    def _product(axes: List[List[Gene]]) -> Iterator[Genome]:
+        import itertools
+
+        for combo in itertools.product(*axes):
+            yield tuple(combo)

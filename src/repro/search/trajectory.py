@@ -1,0 +1,159 @@
+"""Per-round convergence records for search runs.
+
+A :class:`SearchTrajectory` is the audit trail of one search: for every
+propose/evaluate/observe round, how many rows were proposed, how many
+were genuinely new, the cumulative rows evaluated, the running frontier
+size, its 2-D hypervolume, and -- when exhaustive ground truth is
+available -- exact frontier recall.  Round-trips through plain JSON so
+the CLI can write it to ``--trajectory-out`` and the reporting layer can
+table/plot it.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass, field
+from pathlib import Path
+from typing import Any, Dict, List, Mapping, Optional, Set, Tuple
+
+import numpy as np
+
+from repro.core.pareto import ParetoFrontier
+
+
+def frontier_key_set(frontier: Optional[ParetoFrontier]) -> Set[Tuple[float, float]]:
+    """A frontier's exact ``(time, energy)`` point set.
+
+    Search evaluation is bit-identical to exhaustive evaluation for the
+    same configuration (see :mod:`repro.search.evaluator`), so float
+    equality is the *correct* comparison here, not a tolerance.
+    """
+    if frontier is None:
+        return set()
+    return {
+        (float(t), float(e))
+        for t, e in zip(frontier.times_s, frontier.energies_j)
+    }
+
+
+def frontier_recall(
+    found: Optional[ParetoFrontier], best_known: Optional[ParetoFrontier]
+) -> Optional[float]:
+    """Fraction of the best-known frontier's points found so far."""
+    if best_known is None:
+        return None
+    truth = frontier_key_set(best_known)
+    if not truth:
+        return None
+    return len(frontier_key_set(found) & truth) / len(truth)
+
+
+def hypervolume_2d(
+    frontier: Optional[ParetoFrontier],
+    reference: Tuple[float, float],
+) -> float:
+    """Dominated-area hypervolume of a 2-D minimization frontier.
+
+    ``reference`` is the nadir point (worst time, worst energy); points
+    beyond it contribute nothing.  Frontier points arrive sorted by
+    strictly increasing time / strictly decreasing energy, so the
+    dominated region is a staircase of disjoint rectangles.
+    """
+    if frontier is None or len(frontier) == 0:
+        return 0.0
+    ref_t, ref_e = float(reference[0]), float(reference[1])
+    t = np.minimum(np.asarray(frontier.times_s, dtype=float), ref_t)
+    e = np.minimum(np.asarray(frontier.energies_j, dtype=float), ref_e)
+    # Right edge of each point's rectangle: the next point's time.
+    edges = np.append(t[1:], ref_t)
+    widths = np.maximum(edges - t, 0.0)
+    heights = np.maximum(ref_e - e, 0.0)
+    return float(np.sum(widths * heights))
+
+
+@dataclass(frozen=True)
+class SearchRound:
+    """One propose/evaluate/observe round of a search run."""
+
+    index: int
+    batch_rows: int
+    new_rows: int
+    rows_evaluated: int
+    frontier_points: int
+    hypervolume: float
+    recall: Optional[float] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return asdict(self)
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchRound":
+        return cls(
+            index=int(data["index"]),
+            batch_rows=int(data["batch_rows"]),
+            new_rows=int(data["new_rows"]),
+            rows_evaluated=int(data["rows_evaluated"]),
+            frontier_points=int(data["frontier_points"]),
+            hypervolume=float(data["hypervolume"]),
+            recall=None if data.get("recall") is None else float(data["recall"]),
+        )
+
+
+@dataclass
+class SearchTrajectory:
+    """The full convergence record of one search run."""
+
+    strategy: str
+    seed: int
+    budget_rows: int
+    space_rows: int
+    rounds: List[SearchRound] = field(default_factory=list)
+
+    @property
+    def rows_evaluated(self) -> int:
+        return self.rounds[-1].rows_evaluated if self.rounds else 0
+
+    @property
+    def final_recall(self) -> Optional[float]:
+        return self.rounds[-1].recall if self.rounds else None
+
+    @property
+    def coverage(self) -> float:
+        """Fraction of the space's rows actually evaluated."""
+        if not self.space_rows:
+            return 0.0
+        return self.rows_evaluated / self.space_rows
+
+    def add_round(self, round_: SearchRound) -> None:
+        self.rounds.append(round_)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "strategy": self.strategy,
+            "seed": self.seed,
+            "budget_rows": self.budget_rows,
+            "space_rows": self.space_rows,
+            "rows_evaluated": self.rows_evaluated,
+            "coverage": self.coverage,
+            "final_recall": self.final_recall,
+            "rounds": [r.to_dict() for r in self.rounds],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Mapping[str, Any]) -> "SearchTrajectory":
+        out = cls(
+            strategy=str(data["strategy"]),
+            seed=int(data["seed"]),
+            budget_rows=int(data["budget_rows"]),
+            space_rows=int(data["space_rows"]),
+        )
+        for entry in data.get("rounds", ()):
+            out.add_round(SearchRound.from_dict(entry))
+        return out
+
+    def to_json(self, path) -> None:
+        Path(path).write_text(json.dumps(self.to_dict(), indent=2) + "\n")
+
+    @classmethod
+    def from_json(cls, path) -> "SearchTrajectory":
+        return cls.from_dict(json.loads(Path(path).read_text()))

@@ -454,3 +454,81 @@ class ArtifactStore:
         if key is None:
             return None, False
         return self.get(key)
+
+    # ---- garbage collection --------------------------------------------
+
+    def _live_keys(self) -> set:
+        """Artifact keys reachable from any current stage mapping.
+
+        Roots are every ``stages.artifact_key``; reachability walks
+        ``deps`` edges *upward* (child -> parents), so the provenance
+        cone of every live artifact -- superseded calibrations a live
+        space was computed from, spec pseudo-nodes -- survives GC too.
+        """
+        with self._lock:
+            live = {
+                r[0]
+                for r in self._conn.execute("SELECT artifact_key FROM stages")
+            }
+            frontier = list(live)
+            while frontier:
+                placeholders = ",".join("?" * len(frontier))
+                parents = [
+                    r[0]
+                    for r in self._conn.execute(
+                        f"SELECT parent FROM deps WHERE child IN ({placeholders})",
+                        frontier,
+                    )
+                ]
+                frontier = [p for p in parents if p not in live]
+                live.update(frontier)
+        return live
+
+    def gc(self, dry_run: bool = False) -> Dict[str, Any]:
+        """Remove artifact rows unreferenced by any live stage mapping.
+
+        An artifact is *live* when some scenario's current stage mapping
+        points at it, directly or through the dependency cone (see
+        :meth:`_live_keys`); everything else -- superseded identities
+        from edited specs or changed search budgets, stale and
+        quarantined leftovers -- is garbage.  ``dry_run=True`` only
+        counts.  Removal also drops the dead keys' dependency edges and
+        evicts them from the memory tier, and is transactional: a killed
+        GC leaves the store exactly as it was.
+
+        Returns ``{"removed", "kept", "reclaimed_bytes", "dry_run"}``
+        (``removed`` counts the rows deleted -- or, dry-run, deletable).
+        """
+        live = self._live_keys()
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT key, LENGTH(payload) FROM artifacts"
+            ).fetchall()
+        dead = [(key, nbytes) for key, nbytes in rows if key not in live]
+        report = {
+            "removed": len(dead),
+            "kept": len(rows) - len(dead),
+            "reclaimed_bytes": int(sum(n for _, n in dead)),
+            "dry_run": bool(dry_run),
+        }
+        if dry_run or not dead:
+            self._emit("store.gc", **report)
+            return report
+        dead_keys = [key for key, _ in dead]
+        with self._lock, self._conn:
+            for lo in range(0, len(dead_keys), 500):
+                chunk = dead_keys[lo:lo + 500]
+                placeholders = ",".join("?" * len(chunk))
+                self._conn.execute(
+                    f"DELETE FROM artifacts WHERE key IN ({placeholders})",
+                    chunk,
+                )
+                self._conn.execute(
+                    f"DELETE FROM deps WHERE child IN ({placeholders}) "
+                    f"OR parent IN ({placeholders})",
+                    chunk + chunk,
+                )
+        for key in dead_keys:
+            self.memory._memory.pop(key, None)
+        self._emit("store.gc", **report)
+        return report

@@ -1,0 +1,175 @@
+"""Search agents: determinism, state round-trips, and convergence.
+
+Every agent must be seed-deterministic (same seed, same observations,
+same proposals -- what makes searched artifacts cacheable), snapshot/
+restore exactly (what makes them resumable), and reach 100% frontier
+recall when the budget covers the whole space (the completion-sweep
+guarantee).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.configuration import GroupSpec
+from repro.core.evaluate import evaluate_space_groups
+from repro.core.pareto import ParetoFrontier
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.search import (
+    AnnealingSource,
+    GeneticSource,
+    RandomWalkSource,
+    SearchSpace,
+    make_source,
+    run_search,
+)
+from repro.search.trajectory import frontier_key_set
+from repro.workloads.suite import EP
+
+SPECS = (GroupSpec(ARM_CORTEX_A9, 3), GroupSpec(AMD_K10, 3))
+PARAMS = {s.name: ground_truth_params(s, EP) for s in (ARM_CORTEX_A9, AMD_K10)}
+UNITS = 1e6
+
+
+@pytest.fixture(scope="module")
+def truth():
+    full = evaluate_space_groups(SPECS, PARAMS, UNITS)
+    return ParetoFrontier.from_points(full.times_s, full.energies_j)
+
+
+def _space():
+    return SearchSpace(SPECS)
+
+
+AGENTS = {
+    "random": lambda space, seed: RandomWalkSource(space, seed),
+    "ga": lambda space, seed: GeneticSource(space, seed, population=32),
+    "anneal": lambda space, seed: AnnealingSource(space, seed, walkers=4),
+}
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("strategy", sorted(AGENTS))
+    def test_same_seed_same_proposals(self, strategy):
+        batches = []
+        for _ in range(2):
+            space = _space()
+            source = AGENTS[strategy](space, seed=11)
+            batch = source.propose(64)
+            batches.append((batch.n.copy(), batch.cores.copy(), batch.f.copy()))
+        for a, b in zip(batches[0], batches[1]):
+            np.testing.assert_array_equal(a, b)
+
+    @pytest.mark.parametrize("strategy", sorted(AGENTS))
+    def test_different_seeds_diverge(self, strategy):
+        space = _space()
+        a = AGENTS[strategy](space, seed=1).propose(64)
+        b = AGENTS[strategy](_space(), seed=2).propose(64)
+        assert not (
+            a.n.shape == b.n.shape and np.array_equal(a.n, b.n)
+            and np.array_equal(a.f, b.f)
+        )
+
+    @pytest.mark.parametrize("strategy", sorted(AGENTS))
+    def test_state_roundtrip_resumes_identically(self, strategy):
+        def drive(source, rounds):
+            out = []
+            for _ in range(rounds):
+                batch = source.propose(32)
+                t = batch.n.sum(axis=0).astype(float) + 1.0
+                e = batch.f.sum(axis=0) + 1.0
+                source.observe(batch, t, e)
+                out.append(batch)
+            return out
+
+        space = _space()
+        source = AGENTS[strategy](space, seed=5)
+        drive(source, 2)
+        state = source.state_dict()
+        tail_a = drive(source, 2)
+
+        clone = AGENTS[strategy](_space(), seed=5)
+        clone.load_state(state)
+        tail_b = drive(clone, 2)
+        for x, y in zip(tail_a, tail_b):
+            np.testing.assert_array_equal(x.n, y.n)
+            np.testing.assert_array_equal(x.cores, y.cores)
+            np.testing.assert_array_equal(x.f, y.f)
+
+
+class TestRecall:
+    @pytest.mark.parametrize("strategy", sorted(AGENTS))
+    def test_full_budget_reaches_total_recall(self, strategy, truth):
+        space = _space()
+        searched = run_search(
+            SPECS, PARAMS, UNITS,
+            source=AGENTS[strategy](space, seed=0),
+            budget_rows=space.total_rows,
+            batch_rows=256,
+            best_known=truth,
+            space=space,
+        )
+        assert searched.trajectory.final_recall == 1.0
+        assert searched.rows_evaluated == space.total_rows
+        assert frontier_key_set(searched.frontier) == frontier_key_set(truth)
+
+    def test_partial_budget_monotone_rows(self, truth):
+        space = _space()
+        searched = run_search(
+            SPECS, PARAMS, UNITS,
+            source=GeneticSource(space, seed=0, population=32),
+            budget_rows=space.total_rows // 4,
+            batch_rows=128,
+            best_known=truth,
+            space=space,
+        )
+        rows = [r.rows_evaluated for r in searched.trajectory.rounds]
+        assert rows == sorted(rows)
+        assert searched.rows_evaluated <= space.total_rows // 4
+        assert searched.budget_rows == space.total_rows // 4
+
+
+class TestMakeSource:
+    def test_known_strategies(self):
+        space = _space()
+        for strategy, cls in (
+            ("random", RandomWalkSource),
+            ("ga", GeneticSource),
+            ("anneal", AnnealingSource),
+        ):
+            source = make_source(strategy, space, seed=0, options={})
+            assert isinstance(source, cls)
+            assert source.name == strategy
+
+    def test_exhaustive_and_unknown_rejected(self):
+        space = _space()
+        with pytest.raises(ValueError):
+            make_source("exhaustive", space, seed=0, options={})
+        with pytest.raises(ValueError):
+            make_source("tabu", space, seed=0, options={})
+
+    def test_options_forwarded(self):
+        source = make_source("ga", _space(), seed=0, options={"population": 7})
+        assert source.population_size == 7
+
+
+class TestSearchSpace:
+    def test_total_rows_matches_streaming_count(self):
+        from repro.core.streaming import count_space_rows
+
+        assert _space().total_rows == count_space_rows(SPECS)
+
+    def test_all_genomes_cover_the_space_exactly(self):
+        space = _space()
+        genomes = list(space.all_genomes())
+        assert len(genomes) == space.total_rows
+        assert len(set(genomes)) == space.total_rows
+
+    def test_neighbors_are_admissible(self):
+        space = _space()
+        rng = np.random.default_rng(0)
+        for _ in range(50):
+            genome = space.random_genome(rng)
+            assert space.is_admissible(genome)
+            for neighbor in space.neighbors(genome):
+                assert space.is_admissible(neighbor)

@@ -1,0 +1,131 @@
+"""The CandidateSource seam: exhaustive enumeration must be invisible.
+
+``ExhaustiveSource`` is the refactored home of the block planner and
+mask-block expansion; these tests pin that its proposal stream is
+*bit-identical* -- same values, same order, same dtypes -- to the
+monolithic evaluator's row order, and that ``plan_block_tasks`` (now a
+thin delegate) still produces the exact plans the streaming layer and
+the checkpoint fingerprints depend on.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.calibration import ground_truth_params
+from repro.core.candidates import (
+    BlockTask,
+    CandidateBatch,
+    ExhaustiveSource,
+    expand_block_rows,
+)
+from repro.core.configuration import GroupSpec
+from repro.core.evaluate import evaluate_space_groups
+from repro.core.streaming import count_space_rows, plan_block_tasks
+from repro.hardware.catalog import AMD_K10, ARM_CORTEX_A9
+from repro.hardware.extension import INTEL_ATOM
+from repro.workloads.extension import with_atom
+from repro.workloads.suite import EP
+
+EP3 = with_atom(EP)
+PARAMS = {s.name: ground_truth_params(s, EP) for s in (ARM_CORTEX_A9, AMD_K10)}
+PARAMS3 = {
+    s.name: ground_truth_params(s, EP3)
+    for s in (ARM_CORTEX_A9, AMD_K10, INTEL_ATOM)
+}
+UNITS = 1e6
+
+
+def _concat_proposals(source, max_rows):
+    ns, cs, fs = [], [], []
+    while True:
+        batch = source.propose(max_rows)
+        if batch is None:
+            break
+        ns.append(batch.n)
+        cs.append(batch.cores)
+        fs.append(batch.f)
+    return (
+        np.concatenate(ns, axis=1),
+        np.concatenate(cs, axis=1),
+        np.concatenate(fs, axis=1),
+    )
+
+
+class TestExhaustiveBitIdentity:
+    @pytest.mark.parametrize("max_rows", [64, 500, 10**9])
+    def test_two_type_column_order_matches_evaluator(self, max_rows):
+        specs = (GroupSpec(ARM_CORTEX_A9, 4), GroupSpec(AMD_K10, 3))
+        full = evaluate_space_groups(specs, PARAMS, UNITS)
+        n, cores, f = _concat_proposals(ExhaustiveSource(specs), max_rows)
+        np.testing.assert_array_equal(n, full.n)
+        np.testing.assert_array_equal(cores, full.cores)
+        np.testing.assert_array_equal(f, full.f)
+
+    def test_three_type_column_order_matches_evaluator(self):
+        specs = (
+            GroupSpec(ARM_CORTEX_A9, 2),
+            GroupSpec(AMD_K10, 2),
+            GroupSpec(INTEL_ATOM, 2),
+        )
+        full = evaluate_space_groups(specs, PARAMS3, UNITS)
+        n, cores, f = _concat_proposals(ExhaustiveSource(specs), 777)
+        np.testing.assert_array_equal(n, full.n)
+        np.testing.assert_array_equal(cores, full.cores)
+        np.testing.assert_array_equal(f, full.f)
+
+    def test_plan_block_tasks_delegates_unchanged(self):
+        specs = (GroupSpec(ARM_CORTEX_A9, 5), GroupSpec(AMD_K10, 4))
+        via_wrapper = plan_block_tasks(specs, max_block_rows=700, min_chunks=3)
+        via_source = ExhaustiveSource(specs).plan_blocks(
+            max_block_rows=700, min_chunks=3
+        )
+        assert via_wrapper == via_source
+        assert all(isinstance(t, BlockTask) for t in via_wrapper)
+        assert sum(t.rows for t in via_wrapper) == count_space_rows(specs)
+
+    def test_reset_replays_the_same_stream(self):
+        specs = (GroupSpec(ARM_CORTEX_A9, 3), GroupSpec(AMD_K10, 2))
+        source = ExhaustiveSource(specs)
+        first = _concat_proposals(source, 128)
+        assert source.propose(128) is None  # exhausted stays exhausted
+        source.reset()
+        again = _concat_proposals(source, 128)
+        for a, b in zip(first, again):
+            np.testing.assert_array_equal(a, b)
+
+    def test_state_roundtrip_resumes_mid_stream(self):
+        specs = (GroupSpec(ARM_CORTEX_A9, 3), GroupSpec(AMD_K10, 3))
+        source = ExhaustiveSource(specs)
+        source.propose(200)
+        state = source.state_dict()
+        tail_a = _concat_proposals(source, 200)
+        clone = ExhaustiveSource(specs)
+        clone.load_state(state)
+        tail_b = _concat_proposals(clone, 200)
+        for a, b in zip(tail_a, tail_b):
+            np.testing.assert_array_equal(a, b)
+
+
+class TestExpandBlockRows:
+    def test_absent_group_gets_zero_nodes_and_spec_maxima(self):
+        specs = (GroupSpec(ARM_CORTEX_A9, 2), GroupSpec(AMD_K10, 2))
+        task = plan_block_tasks(specs, max_block_rows=10**9)[0]
+        n, cores, f = expand_block_rows(specs, task.counts)
+        assert n.shape == (2, task.rows)
+        present = (n > 0).any(axis=1)
+        for g in range(2):
+            if not present[g]:
+                assert (n[g] == 0).all()
+
+
+class TestCandidateBatch:
+    def test_shape_mismatch_rejected(self):
+        n = np.zeros((2, 3), dtype=np.int64)
+        with pytest.raises(ValueError, match="matching"):
+            CandidateBatch(n=n, cores=np.zeros((2, 4)), f=np.zeros((2, 3)))
+
+    def test_len_and_groups(self):
+        n = np.ones((3, 5), dtype=np.int64)
+        batch = CandidateBatch(n=n, cores=n.copy(), f=n.astype(float))
+        assert len(batch) == 5
+        assert batch.num_groups == 3

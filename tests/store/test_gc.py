@@ -1,0 +1,134 @@
+"""Store garbage collection: unreferenced artifacts go, reachable stay.
+
+The invariant under test: after ``gc()``, every artifact some scenario's
+current stage mapping can reach -- directly or through the dependency
+cone -- still loads bit-for-bit, while superseded identities (spec
+edits, changed search budgets) and orphans are gone.
+"""
+
+import pytest
+
+from repro.engine import ResultCache, RunContext, Scenario, run_scenario
+from repro.store import ArtifactStore
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ArtifactStore(tmp_path / "store") as s:
+        yield s
+
+
+def _populate(store, scenario_id="scn", stage="space", key="live-1", deps=()):
+    store.put(key, {"stage": stage}, kind=stage, scenario_id=scenario_id,
+              stage=stage, deps=deps)
+
+
+class TestGcBasics:
+    def test_empty_store(self, store):
+        report = store.gc()
+        assert report == {
+            "removed": 0, "kept": 0, "reclaimed_bytes": 0, "dry_run": False,
+        }
+
+    def test_orphan_is_removed(self, store):
+        store.put("orphan", 1, kind="space")  # no stage mapping
+        _populate(store, key="live-1")
+        report = store.gc()
+        assert report["removed"] == 1
+        assert report["kept"] == 1
+        assert store.get("orphan") == (None, False)
+        assert store.get("live-1") == ({"stage": "space"}, True)
+
+    def test_dry_run_only_counts(self, store):
+        store.put("orphan", 1, kind="space")
+        report = store.gc(dry_run=True)
+        assert report["removed"] == 1 and report["dry_run"]
+        assert store.get("orphan") == (1, True)  # untouched
+
+    def test_dependency_cone_is_live(self, store):
+        # parent <- mid <- live stage root: the whole provenance chain
+        # survives even though only the root is stage-mapped.
+        store.put("parent", "p", kind="calibrate")
+        store.put("mid", "m", kind="space", deps=["parent"])
+        _populate(store, key="root", deps=["mid"])
+        assert store.gc()["removed"] == 0
+        for key in ("parent", "mid", "root"):
+            assert store.get(key)[1]
+
+    def test_superseded_mapping_is_garbage(self, store):
+        _populate(store, key="old-space")
+        _populate(store, key="new-space")  # same (scenario, stage): supersedes
+        report = store.gc()
+        assert report["removed"] == 1
+        assert store.get("old-space") == (None, False)
+        assert store.get("new-space")[1]
+
+    def test_memory_tier_is_purged(self, store):
+        store.put("orphan", 123, kind="space")
+        store.gc()
+        sentinel = object()
+        assert store.memory.peek("orphan", sentinel) is sentinel
+
+    def test_gc_emits_event(self, tmp_path):
+        events = []
+        with ArtifactStore(
+            tmp_path / "s",
+            on_event=lambda ev, **payload: events.append((ev, payload)),
+        ) as store:
+            store.put("orphan", 1, kind="space")
+            store.gc()
+        assert any(
+            ev == "store.gc" and payload["removed"] == 1
+            for ev, payload in events
+        )
+
+
+class TestGcNeverDeletesReachable:
+    def test_scenario_rerun_after_spec_edit(self, tmp_path):
+        """The canonical GC story: a spec edit supersedes identities;
+        GC removes exactly the superseded rows and the rerun scenario
+        still loads every stage from the store afterwards."""
+        scenario = Scenario(workload="ep", max_a=3, max_b=2)
+        store_dir = tmp_path / "store"
+
+        ctx = RunContext(cache=ResultCache())
+        ctx.store = ArtifactStore(store_dir, memory=ctx.cache)
+        run_scenario(scenario, ctx)
+
+        # Simulate a node-spec edit: re-record with different content.
+        import dataclasses
+
+        spec = ctx.resolve_node("arm-cortex-a9")
+        edited = dataclasses.replace(spec, description="edited for test")
+        staled = ctx.store.record_spec("node", "arm-cortex-a9", edited)
+        assert staled  # downstream artifacts went stale
+
+        # Rerun against the edited catalog: new identities map the stages.
+        ctx2 = RunContext(cache=ResultCache())
+        ctx2.store = ArtifactStore(store_dir, memory=ctx2.cache)
+        ctx2.register_node(edited)
+        run_scenario(scenario, ctx2)
+
+        with ArtifactStore(store_dir) as fresh:
+            live_before = dict(fresh.stage_map(
+                fresh.scenarios()[0]["identity"]
+            ))
+            report = fresh.gc()
+            assert report["removed"] > 0  # the pre-edit cone was collected
+            # Every currently mapped artifact still loads.
+            for key in live_before.values():
+                assert fresh.get(key)[1]
+
+        # The scenario still runs warm off the store: nothing recomputes.
+        ctx3 = RunContext(cache=ResultCache())
+        ctx3.store = ArtifactStore(store_dir, memory=ctx3.cache)
+        ctx3.register_node(edited)
+        result = run_scenario(scenario, ctx3)
+        assert all(v == "stored" for v in result.stage_statuses.values())
+
+    def test_gc_is_idempotent(self, store):
+        store.put("orphan", 1, kind="space")
+        _populate(store, key="live")
+        assert store.gc()["removed"] == 1
+        assert store.gc()["removed"] == 0
+        assert store.get("live")[1]
