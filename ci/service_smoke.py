@@ -35,6 +35,16 @@ def get_json(port: int, path: str) -> dict:
         return json.loads(r.read())
 
 
+def post_json(port: int, path: str, body: dict) -> tuple:
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}",
+        data=json.dumps(body).encode(),
+        method="POST",
+    )
+    with urllib.request.urlopen(req, timeout=10) as r:
+        return r.status, json.loads(r.read())
+
+
 def approx_equal(a, b, tol=1e-12) -> bool:
     return abs(a - b) <= tol * max(1.0, abs(a), abs(b))
 
@@ -57,7 +67,8 @@ def main() -> int:
     # --- serve (the real CLI entry point, ephemeral port) --------------
     proc = subprocess.Popen(
         [sys.executable, "-m", "repro", "serve",
-         "--store-dir", str(store_dir), "--port", "0"],
+         "--store-dir", str(store_dir), "--port", "0",
+         "--runners", "1", "--max-queued", "8"],
         stdout=subprocess.PIPE,
         stderr=subprocess.STDOUT,
         text=True,
@@ -110,6 +121,36 @@ def main() -> int:
         )
         assert body["min_energy_j"]["delta"] == 0.0
         print(f"service on :{port} answered all queries from the store")
+
+        # --- write path: enqueue -> supervised run -> queryable ----------
+        ready = get_json(port, "/ready")
+        assert ready["ready"], ready
+        spec = dict(scenario.to_dict(), name="smoke-enqueued")
+        status, job = post_json(
+            port, "/v1/runs",
+            {"scenario": spec, "idempotency_key": "smoke-1"},
+        )
+        assert status == 202 and job["created"], job
+        status, deduped = post_json(
+            port, "/v1/runs",
+            {"scenario": spec, "idempotency_key": "smoke-1"},
+        )
+        assert status == 200 and not deduped["created"], deduped
+        assert deduped["id"] == job["id"]
+        deadline = time.time() + 120
+        while True:
+            polled = get_json(port, f"/v1/runs/{job['id']}")
+            if polled["state"] in ("done", "failed"):
+                break
+            assert time.time() < deadline, polled
+            time.sleep(0.2)
+        assert polled["state"] == "done", polled.get("error")
+        body = get_json(port, "/v1/query/frontier?scenario=smoke-enqueued")
+        assert body["total_points"] == len(frontier), body
+        print(
+            f"enqueued job {job['id']} ran to done "
+            f"({polled['result']['frontier_points']} frontier points served)"
+        )
     finally:
         proc.terminate()
         proc.wait(timeout=10)

@@ -67,6 +67,73 @@ def _export_series(series_map, path: Path) -> None:
     write_csv(path, ["series", "x", "y"], rows)
 
 
+def _jobs_command(args) -> int:
+    """``repro jobs list|show|retry|cancel`` against a --store-dir queue."""
+    import json as _json
+
+    from repro.service.jobs import JobQueue, UnknownJob
+    from repro.store import ArtifactStore
+
+    if args.store_dir is None:
+        print("jobs requires --store-dir <store>", file=sys.stderr)
+        return 2
+    actions = ("list", "show", "retry", "cancel")
+    if args.action not in actions:
+        print(
+            f"unknown jobs action {args.action!r}; available: "
+            + ", ".join(actions),
+            file=sys.stderr,
+        )
+        return 2
+    if args.action != "list" and args.target is None:
+        print(f"jobs {args.action} requires a job id", file=sys.stderr)
+        return 2
+    with ArtifactStore(args.store_dir) as store:
+        queue = JobQueue(store)
+        try:
+            if args.action == "list":
+                jobs = queue.list_jobs(state=args.state)
+                table = Table(
+                    ["id", "state", "scenario", "attempts", "owner", "error"],
+                    title=f"Run queue ({len(jobs)} job(s); "
+                    + ", ".join(
+                        f"{n} {s}" for s, n in sorted(queue.counts().items())
+                    )
+                    + ")"
+                    if jobs
+                    else "Run queue (empty)",
+                )
+                for job in jobs:
+                    error = job["error"] or {}
+                    table.add_row([
+                        job["id"],
+                        job["state"],
+                        job["scenario_name"] or "-",
+                        f"{job['attempts']}/{job['max_attempts']}",
+                        job["lease_owner"] or "-",
+                        error.get("type", "-"),
+                    ])
+                print(table.render())
+            elif args.action == "show":
+                job = queue.get(args.target)
+                print(_json.dumps(job, indent=2, sort_keys=True))
+            elif args.action == "retry":
+                job = queue.retry(args.target)
+                print(f"job {job['id']} re-queued (state: {job['state']})")
+            elif args.action == "cancel":
+                job = queue.cancel(args.target)
+                verb = (
+                    "cancelled"
+                    if job["state"] == "cancelled"
+                    else f"cancel requested (state: {job['state']})"
+                )
+                print(f"job {job['id']} {verb}")
+        except (UnknownJob, ValueError) as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+    return 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """Entry point; returns a process exit code."""
     parser = argparse.ArgumentParser(
@@ -99,23 +166,31 @@ def main(argv: Optional[List[str]] = None) -> int:
             "scenario",
             "serve",
             "store",
+            "jobs",
         ],
         help="paper artifact to regenerate, or an extension analysis "
         "(reduce = configuration-space reduction; sensitivity = parameter "
         "elasticities; threeway = ARM+AMD+Atom k-way matching demo; "
         "report = full Markdown reproduction report; scenario = run a "
         "declarative experiment from --file through the engine; "
-        "serve = answer planner queries over HTTP from a --store-dir "
-        "populated by earlier scenario runs; store = maintain a "
-        "--store-dir, e.g. 'store gc')",
+        "serve = answer planner queries AND enqueue scenario runs over "
+        "HTTP from a --store-dir populated by earlier scenario runs; "
+        "store = maintain a --store-dir, e.g. 'store gc'; jobs = inspect "
+        "and drive the durable run queue, e.g. 'jobs list')",
     )
     parser.add_argument(
         "action",
         nargs="?",
         default=None,
-        help="sub-action for the store artifact: 'gc' removes artifact "
-        "rows no live stage mapping references (superseded identities, "
-        "stale/quarantined leftovers)",
+        help="sub-action: for store, 'gc' removes artifact rows no live "
+        "stage mapping (or active job) references; for jobs, one of "
+        "'list', 'show', 'retry', 'cancel'",
+    )
+    parser.add_argument(
+        "target",
+        nargs="?",
+        default=None,
+        help="job id for 'jobs show|retry|cancel'",
     )
     parser.add_argument(
         "--dry-run",
@@ -209,6 +284,35 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=8734,
         help="bind port for serve (default: 8734; 0 = ephemeral)",
+    )
+    parser.add_argument(
+        "--runners",
+        type=int,
+        default=1,
+        help="supervisor worker threads executing queued runs inside "
+        "serve (default: 1; 0 = query-only, jobs queue until a worker "
+        "attaches)",
+    )
+    parser.add_argument(
+        "--max-queued",
+        type=int,
+        default=64,
+        help="bound on the queued-run backlog; past it POST /v1/runs "
+        "sheds load with 429 + Retry-After (default: 64)",
+    )
+    parser.add_argument(
+        "--lease-s",
+        type=float,
+        default=30.0,
+        help="job lease duration for serve's supervisors; a crashed "
+        "worker's job is reclaimed this long after its last heartbeat "
+        "(default: 30)",
+    )
+    parser.add_argument(
+        "--state",
+        default=None,
+        help="with 'jobs list', filter by state "
+        "(queued|leased|running|done|failed|cancelled)",
     )
     parser.add_argument(
         "--space-mode",
@@ -339,6 +443,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             host=args.host,
             port=args.port,
             quiet=not args.verbose,
+            runners=args.runners,
+            max_queued=args.max_queued,
+            lease_s=args.lease_s,
         )
         return 0
     if args.artifact == "store":
@@ -356,15 +463,27 @@ def main(argv: Optional[List[str]] = None) -> int:
         with ArtifactStore(args.store_dir) as store:
             report = store.gc(dry_run=args.dry_run)
         verb = "would remove" if args.dry_run else "removed"
-        print(
+        line = (
             f"store gc: {verb} {report['removed']} artifact(s) "
             f"({report['reclaimed_bytes']:,} bytes), "
             f"{report['kept']} live artifact(s) kept"
         )
+        if report["active_jobs"]:
+            line += (
+                f"; {report['job_protected']} artifact(s) protected by "
+                f"{report['active_jobs']} active job(s)"
+            )
+        print(line)
         return 0
+    if args.artifact == "jobs":
+        return _jobs_command(args)
     if args.action is not None:
         parser.error(
             f"the {args.artifact} artifact takes no action argument"
+        )
+    if args.target is not None:
+        parser.error(
+            f"the {args.artifact} artifact takes no target argument"
         )
     if args.resume and args.checkpoint_dir is None:
         parser.error("--resume requires --checkpoint-dir")

@@ -1,15 +1,31 @@
-"""Frontier-as-a-service: the store's planner queries over HTTP/JSON.
+"""Frontier-as-a-service: queries *and* a durable run queue over HTTP.
 
 ``python -m repro serve --store-dir results/store`` starts a small
-stdlib-only (:mod:`http.server`) service answering the paper's planner
-questions -- cheapest configuration meeting a deadline, the
-energy-deadline frontier under a power budget, region lookups, what-if
-deltas between stored scenarios -- from the persistent
-:class:`~repro.store.ArtifactStore` at interactive latency.  The query
-path never touches the evaluator: the heavy enumeration ran when each
-scenario was stored, and every answer is a frontier-sized lookup.
+stdlib-only (:mod:`http.server`) service with two faces:
+
+* **Read path** -- the paper's planner questions (cheapest configuration
+  meeting a deadline, the energy-deadline frontier under a power budget,
+  region lookups, what-if deltas between stored scenarios) answered from
+  the persistent :class:`~repro.store.ArtifactStore` at interactive
+  latency, never touching the evaluator.
+* **Write path** -- ``POST /v1/runs`` enqueues scenario runs into the
+  store's durable job queue (:mod:`repro.service.jobs`); supervisor
+  workers (:mod:`repro.service.supervisor`) lease, execute, checkpoint,
+  and retry them, surviving crashes with bit-identical artifacts.  The
+  queue is bounded: past ``--max-queued`` the service sheds load with
+  429 + ``Retry-After`` instead of falling over.
 """
 
-from repro.service.server import create_server, serve
+from repro.service.jobs import JobQueue, QueueFull, UnknownJob
+from repro.service.server import ServiceState, create_server, serve
+from repro.service.supervisor import Supervisor
 
-__all__ = ["create_server", "serve"]
+__all__ = [
+    "JobQueue",
+    "QueueFull",
+    "ServiceState",
+    "Supervisor",
+    "UnknownJob",
+    "create_server",
+    "serve",
+]

@@ -1,0 +1,358 @@
+"""Supervised job execution: lease, run, checkpoint, classify, retry.
+
+A :class:`Supervisor` is one worker loop over the durable run queue
+(:mod:`repro.service.jobs`): reclaim expired leases, lease the oldest
+runnable job, execute it through :func:`~repro.engine.runner.run_scenario`
+with the store attached, and drive the job's state machine from the
+outcome.  Several supervisors -- threads inside ``repro serve`` or
+separate ``python -m repro.service.supervisor`` processes -- can share
+one store; lease ownership keeps them from treading on each other.
+
+Crash safety is the point:
+
+* Streaming/search scenarios get a **per-job checkpoint directory**
+  (``<store>/jobs/<id>/``), so a supervisor killed mid-reduction leaves
+  a resumable prefix; the worker that reclaims the expired lease resumes
+  from it and produces artifacts *bit-identical* to an uninterrupted
+  run (the PR 5 checkpoint guarantee, now applied per job).
+* A **heartbeat thread** extends the lease while the run is in flight;
+  a SIGKILLed supervisor simply stops beating, the lease expires, and
+  ``reclaim_expired`` re-queues the job.
+* Failures are **classified** with the engine's typed taxonomy
+  (:data:`repro.engine.resilience.RETRYABLE`): worker crashes, broken
+  pools, and OS flakiness re-queue with deterministic backoff; a
+  ``ValueError`` from a malformed scenario parks the job in ``failed``
+  immediately -- no retry budget wasted on a permanent error.
+* **Graceful drain** (:meth:`Supervisor.stop`): stop leasing, give the
+  in-flight job a grace window to finish (its periodic checkpoints
+  bound the lost work), then release the lease unconsumed so the next
+  supervisor resumes it.
+"""
+
+from __future__ import annotations
+
+import json
+import shutil
+import threading
+import time
+import uuid
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.engine.context import RunContext
+from repro.engine.resilience import RETRYABLE
+from repro.engine.runner import run_scenario
+from repro.engine.scenario import Scenario
+from repro.service.jobs import JobQueue
+from repro.store.store import ArtifactStore
+
+__all__ = ["Supervisor", "job_checkpoint_dir"]
+
+
+def job_checkpoint_dir(store: ArtifactStore, job_id: str) -> Path:
+    """Where one job's checkpoint files live (inside the store root)."""
+    return store.directory / "jobs" / job_id
+
+
+class Supervisor:
+    """One worker loop executing queued jobs against a shared store.
+
+    Parameters
+    ----------
+    store:
+        The artifact store holding both the queue and the artifacts.
+    worker_id:
+        Lease-owner identity; generated when omitted.  Two live
+        supervisors must not share one.
+    lease_s:
+        Lease duration; heartbeats extend it at ``lease_s / 3`` cadence,
+        so a worker must miss several beats before its job is reclaimed.
+    poll_s:
+        Idle sleep between queue polls.
+    checkpoint_every:
+        Block cadence for the per-job checkpoints (streaming scenarios).
+    fault_plan:
+        Optional :class:`~repro.engine.faults.FaultPlan` (or path to
+        one) threaded into each job's run context -- the chaos-test
+        hook.
+    on_event:
+        ``on_event(event, **payload)`` reporting callback; job
+        lifecycle events are also mirrored to the store's callback.
+    """
+
+    def __init__(
+        self,
+        store: ArtifactStore,
+        worker_id: Optional[str] = None,
+        lease_s: float = 30.0,
+        poll_s: float = 0.5,
+        checkpoint_every: int = 1,
+        fault_plan: Optional[Any] = None,
+        on_event: Optional[Any] = None,
+    ):
+        self.store = store
+        self.queue = JobQueue(store)
+        self.worker_id = worker_id or f"supervisor-{uuid.uuid4().hex[:8]}"
+        self.lease_s = float(lease_s)
+        self.poll_s = float(poll_s)
+        self.checkpoint_every = int(checkpoint_every)
+        self.fault_plan = fault_plan
+        self.on_event = on_event
+        self.jobs_done = 0
+        self.jobs_failed = 0
+        #: Monotonic timestamp of the last loop iteration; the service's
+        #: ``/ready`` probe calls :meth:`heartbeat_age_s` against it.
+        self._last_beat = time.monotonic()
+        self._stop = threading.Event()
+        self._draining = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        self._current_job: Optional[str] = None
+
+    # ---- liveness ------------------------------------------------------
+
+    def heartbeat_age_s(self) -> float:
+        """Seconds since the loop last made progress."""
+        return time.monotonic() - self._last_beat
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    def _emit(self, event: str, **payload: Any) -> None:
+        if self.on_event is not None:
+            self.on_event(event, **payload)
+
+    # ---- execution -----------------------------------------------------
+
+    def _build_context(self, scenario: Scenario) -> RunContext:
+        return RunContext(
+            seed=scenario.seed,
+            faults=self.fault_plan,
+            sinks=(lambda event, payload: self._emit(event, **payload),)
+            if self.on_event is not None
+            else (),
+        )
+
+    def run_job(self, job: Dict[str, Any]) -> str:
+        """Execute one leased job to a terminal transition; returns the
+        resulting state (``done``/``failed``/``queued``/``cancelled``)."""
+        job_id = job["id"]
+        self._current_job = job_id
+        if not self.queue.mark_running(job_id, self.worker_id):
+            # Cancel won the race, or the lease was already reclaimed.
+            self._current_job = None
+            return self.queue.get(job_id)["state"]
+
+        beat_stop = threading.Event()
+
+        def _beat() -> None:
+            while not beat_stop.wait(self.lease_s / 3.0):
+                if not self.queue.heartbeat(
+                    job_id, self.worker_id, self.lease_s
+                ):
+                    return  # lease lost; the result will be discarded
+
+        beater = threading.Thread(target=_beat, daemon=True)
+        beater.start()
+        try:
+            scenario = Scenario.from_json(job["scenario_json"])
+            ctx = self._build_context(scenario)
+            ckpt_dir = None
+            if scenario.space_mode == "streaming" or scenario.search_active:
+                ckpt_dir = job_checkpoint_dir(self.store, job_id)
+            result = run_scenario(
+                scenario,
+                ctx,
+                store=self.store,
+                checkpoint_dir=ckpt_dir,
+                # Attempt 1 starts clean (no checkpoint file -> no-op);
+                # a reclaimed or re-queued attempt resumes the prefix.
+                resume=ckpt_dir is not None,
+                checkpoint_every=self.checkpoint_every,
+            )
+        except Exception as exc:
+            retryable = isinstance(exc, RETRYABLE)
+            state = self.queue.fail(
+                job_id,
+                self.worker_id,
+                {
+                    "type": type(exc).__name__,
+                    "message": str(exc),
+                    "attempt": job["attempts"],
+                    "worker": self.worker_id,
+                },
+                retryable=retryable,
+            )
+            self.jobs_failed += 1
+            self._emit(
+                "supervisor.job_failed",
+                job=job_id,
+                error=type(exc).__name__,
+                retryable=retryable,
+                state=state,
+            )
+            return state or self.queue.get(job_id)["state"]
+        finally:
+            beat_stop.set()
+            beater.join(timeout=self.lease_s)
+            self._current_job = None
+
+        summary = result.summary()
+        completed = self.queue.complete(
+            job_id,
+            self.worker_id,
+            {
+                "scenario_identity": _scenario_identity(scenario),
+                "configurations": summary.get("configurations"),
+                "frontier_points": summary.get("frontier_points"),
+                "stage_statuses": dict(result.stage_statuses),
+            },
+        )
+        if completed:
+            self.jobs_done += 1
+            # The job's checkpoint prefix is dead weight once the
+            # artifacts are stored; a failed cleanup is harmless.
+            if ckpt_dir is not None:
+                shutil.rmtree(ckpt_dir, ignore_errors=True)
+            self._emit("supervisor.job_done", job=job_id)
+            return "done"
+        # Lease lost mid-run: a healthier worker owns (or finished) the
+        # job now.  The artifacts this run stored are content-addressed
+        # and byte-identical to that worker's, so nothing is wasted --
+        # only the job-state transition is ceded.
+        self._emit("supervisor.result_discarded", job=job_id)
+        return self.queue.get(job_id)["state"]
+
+    # ---- loop ----------------------------------------------------------
+
+    def run_until_idle(self) -> int:
+        """Drain the queue in this thread; returns jobs completed."""
+        done = 0
+        while not self._stop.is_set():
+            self._last_beat = time.monotonic()
+            self.queue.reclaim_expired()
+            job = self.queue.lease(self.worker_id, self.lease_s)
+            if job is None:
+                break
+            if self.run_job(job) == "done":
+                done += 1
+        return done
+
+    def run_forever(self) -> None:
+        while not self._stop.is_set():
+            self._last_beat = time.monotonic()
+            self.queue.reclaim_expired()
+            job = None
+            if not self._draining.is_set():
+                job = self.queue.lease(self.worker_id, self.lease_s)
+            if job is None:
+                self._stop.wait(self.poll_s)
+                continue
+            self.run_job(job)
+
+    def start(self) -> "Supervisor":
+        """Run the loop in a daemon thread (the ``repro serve`` mode)."""
+        if self._thread is not None:
+            raise RuntimeError("supervisor already started")
+        self._thread = threading.Thread(
+            target=self.run_forever, name=self.worker_id, daemon=True
+        )
+        self._thread.start()
+        return self
+
+    @property
+    def alive(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    def stop(self, grace_s: float = 10.0) -> None:
+        """Graceful drain: stop leasing, let the in-flight job finish
+        within ``grace_s``, then release its lease for the next worker.
+
+        Safe to call without :meth:`start` (just sets the flags).  The
+        released job resumes from its last checkpoint, so the grace
+        window bounds *wall-clock* lost to the drain, not correctness.
+        """
+        self._draining.set()
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=grace_s)
+        in_flight = self._current_job
+        if in_flight is not None:
+            self.queue.release(in_flight, self.worker_id)
+            self._emit("supervisor.drain_released", job=in_flight)
+
+
+def _scenario_identity(scenario: Scenario) -> str:
+    from repro.engine.stagegraph import scenario_identity
+
+    return scenario_identity(scenario)
+
+
+def main(argv=None) -> int:
+    """``python -m repro.service.supervisor``: a standalone worker process.
+
+    Used by the chaos CI leg (it is the process that gets SIGKILLed) and
+    for running workers on machines other than the one serving HTTP.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="repro-supervisor",
+        description="Execute queued scenario runs from a repro artifact store",
+    )
+    parser.add_argument("--store-dir", type=Path, required=True)
+    parser.add_argument("--worker-id", default=None)
+    parser.add_argument("--lease-s", type=float, default=30.0)
+    parser.add_argument("--poll-s", type=float, default=0.5)
+    parser.add_argument("--checkpoint-every", type=int, default=1)
+    parser.add_argument(
+        "--until-idle",
+        action="store_true",
+        help="exit once the queue is empty instead of polling forever",
+    )
+    parser.add_argument(
+        "--fault-plan",
+        type=Path,
+        default=None,
+        help="JSON fault plan injected into every job run (chaos tests)",
+    )
+    parser.add_argument("--verbose", action="store_true")
+    args = parser.parse_args(argv)
+
+    fault_plan = None
+    if args.fault_plan is not None:
+        from repro.engine.faults import FaultPlan
+
+        fault_plan = FaultPlan.from_file(args.fault_plan)
+
+    def _log(event: str, **payload: Any) -> None:
+        if args.verbose:
+            print(f"[supervisor] {event}: {json.dumps(payload, default=str)}",
+                  flush=True)
+
+    with ArtifactStore(args.store_dir) as store:
+        supervisor = Supervisor(
+            store,
+            worker_id=args.worker_id,
+            lease_s=args.lease_s,
+            poll_s=args.poll_s,
+            checkpoint_every=args.checkpoint_every,
+            fault_plan=fault_plan,
+            on_event=_log,
+        )
+        print(
+            f"supervisor {supervisor.worker_id} on {store.path}", flush=True
+        )
+        if args.until_idle:
+            done = supervisor.run_until_idle()
+            print(f"queue idle after {done} job(s)", flush=True)
+        else:
+            try:
+                supervisor.run_forever()
+            except KeyboardInterrupt:
+                supervisor.stop()
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

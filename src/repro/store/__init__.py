@@ -20,6 +20,9 @@ re-running the evaluator.
 """
 
 from repro.store.queries import (
+    QueryError,
+    StaleArtifactError,
+    UnknownScenarioError,
     cheapest_for_deadline,
     frontier_points,
     regions_summary,
@@ -30,7 +33,10 @@ from repro.store.store import ArtifactStore, StoreCorrupt
 
 __all__ = [
     "ArtifactStore",
+    "QueryError",
+    "StaleArtifactError",
     "StoreCorrupt",
+    "UnknownScenarioError",
     "cheapest_for_deadline",
     "frontier_points",
     "regions_summary",

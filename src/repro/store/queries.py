@@ -24,20 +24,42 @@ from repro.store.store import ArtifactStore
 
 
 class QueryError(ValueError):
-    """A query referenced something the store does not hold."""
+    """A query referenced something the store does not hold.
+
+    Subclasses carry ``http_status`` so the HTTP layer maps errors by
+    *type*, never by message substring: the base class is a client
+    error (400), :class:`UnknownScenarioError` a 404, and
+    :class:`StaleArtifactError` a 503 (the client should re-run the
+    scenario and retry).
+    """
+
+    http_status = 400
+
+
+class UnknownScenarioError(QueryError):
+    """The referenced scenario is not in the store (HTTP 404)."""
+
+    http_status = 404
+
+
+class StaleArtifactError(QueryError):
+    """A referenced stage artifact is missing, stale, or quarantined;
+    re-running the scenario will heal it (HTTP 503)."""
+
+    http_status = 503
 
 
 def _scenario_for(store: ArtifactStore, ref: str) -> str:
     identity = store.resolve_scenario(ref)
     if identity is None:
-        raise QueryError(f"unknown scenario {ref!r}")
+        raise UnknownScenarioError(f"unknown scenario {ref!r}")
     return identity
 
 
 def _load(store: ArtifactStore, scenario_id: str, stage: str) -> Any:
     value, ok = store.load_stage(scenario_id, stage)
     if not ok:
-        raise QueryError(
+        raise StaleArtifactError(
             f"scenario {scenario_id[:12]} has no stored '{stage}' artifact "
             "(run it with a store attached, or re-run if invalidated)"
         )
@@ -48,7 +70,7 @@ def _groups(store: ArtifactStore, scenario_id: str) -> List[str]:
     """Node-type names in group order, from the stored declaration."""
     spec_json = store.scenario_json(scenario_id)
     if spec_json is None:
-        raise QueryError(f"unknown scenario {scenario_id!r}")
+        raise UnknownScenarioError(f"unknown scenario {scenario_id!r}")
     return [g.node for g in Scenario.from_json(spec_json).groups]
 
 
@@ -58,7 +80,10 @@ def _peak_powers(store: ArtifactStore, node_names: List[str]) -> np.ndarray:
     for name in node_names:
         spec = store.get_spec("node", name)
         if spec is None:
-            raise QueryError(f"store has no recorded spec for node {name!r}")
+            raise StaleArtifactError(
+                f"store has no recorded spec for node {name!r} "
+                "(re-run the scenario with a store attached)"
+            )
         peaks.append(spec.peak_power_w)
     return np.asarray(peaks, dtype=float)
 

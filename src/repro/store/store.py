@@ -1,6 +1,6 @@
 """Sqlite-backed artifact store with dependency-aware invalidation.
 
-Four tables carry the state:
+These tables carry the state:
 
 ``scenarios``
     Every scenario declaration this store has executed, keyed by
@@ -20,6 +20,14 @@ Four tables carry the state:
     the recorded content of every named spec.  Re-recording a spec
     whose content changed walks ``deps`` downstream and marks every
     reachable artifact stale -- the next run recomputes exactly those.
+``jobs``
+    The durable run queue (:mod:`repro.service.jobs`): one row per
+    enqueued scenario run with its state machine (``queued`` ->
+    ``leased`` -> ``running`` -> ``done`` / ``failed`` / ``cancelled``),
+    attempt count, lease owner + expiry, and error record.  Queue rows
+    ride the same sqlite file and transactions as the artifacts they
+    produce, so a crash can never separate a job's state from its
+    output.
 
 Integrity follows the result cache's quarantine discipline
 (:mod:`repro.engine.cache`): every payload read verifies its checksum;
@@ -40,6 +48,7 @@ import pickle
 import sqlite3
 import threading
 import time
+from contextlib import contextmanager
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -92,7 +101,29 @@ CREATE TABLE IF NOT EXISTS specs (
     updated_at REAL NOT NULL,
     PRIMARY KEY (kind, name)
 );
+CREATE TABLE IF NOT EXISTS jobs (
+    id TEXT PRIMARY KEY,
+    idempotency_key TEXT UNIQUE,
+    scenario_json TEXT NOT NULL,
+    scenario_name TEXT,
+    state TEXT NOT NULL DEFAULT 'queued',
+    attempts INTEGER NOT NULL DEFAULT 0,
+    max_attempts INTEGER NOT NULL DEFAULT 3,
+    not_before REAL NOT NULL DEFAULT 0,
+    lease_owner TEXT,
+    lease_expires_at REAL,
+    cancel_requested INTEGER NOT NULL DEFAULT 0,
+    error_json TEXT,
+    result_json TEXT,
+    created_at REAL NOT NULL,
+    updated_at REAL NOT NULL
+);
+CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, not_before, created_at);
 """
+
+#: Job states a run queue row moves through; terminal states never
+#: transition again (except an explicit operator ``retry``).
+JOB_ACTIVE_STATES = ("queued", "leased", "running")
 
 
 class StoreCorrupt(RuntimeError):
@@ -148,6 +179,18 @@ class ArtifactStore:
     def close(self) -> None:
         with self._lock:
             self._conn.close()
+
+    @contextmanager
+    def transaction(self):
+        """The locked sqlite handle inside one atomic transaction.
+
+        The extension point queue/maintenance layers build on
+        (:mod:`repro.service.jobs`): everything executed inside the
+        ``with`` block commits or rolls back as a unit, under the same
+        lock every other store operation takes.
+        """
+        with self._lock, self._conn:
+            yield self._conn
 
     def __enter__(self) -> "ArtifactStore":
         return self
@@ -457,19 +500,54 @@ class ArtifactStore:
 
     # ---- garbage collection --------------------------------------------
 
-    def _live_keys(self) -> set:
+    def _job_roots(self) -> set:
+        """Artifact keys an active (queued/leased/running) job references.
+
+        A job row carries its own scenario spec, so its roots resolve
+        without consulting the ``scenarios`` registry: a pending run
+        keeps its scenario's stage-mapped artifacts live even when the
+        registry row was removed or renamed out from under it.  In a
+        healthy store these roots are a subset of the stage roots
+        (``job_protected`` reports 0); they exist as defense in depth
+        so future maintenance passes that prune scenario registrations
+        can never collect artifacts a pending run is about to reuse.
+        Undecodable job specs are skipped (the supervisor will fail
+        them properly); they protect nothing.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT scenario_json FROM jobs WHERE state IN (?, ?, ?)",
+                JOB_ACTIVE_STATES,
+            ).fetchall()
+        roots: set = set()
+        if not rows:
+            return roots
+        from repro.engine.scenario import Scenario
+        from repro.engine.stagegraph import scenario_identity
+
+        for (spec_json,) in rows:
+            try:
+                identity = scenario_identity(Scenario.from_json(spec_json))
+            except Exception:
+                continue
+            roots.update(self.stage_map(identity).values())
+        return roots
+
+    def _live_keys(self, extra_roots: Sequence[str] = ()) -> set:
         """Artifact keys reachable from any current stage mapping.
 
-        Roots are every ``stages.artifact_key``; reachability walks
-        ``deps`` edges *upward* (child -> parents), so the provenance
-        cone of every live artifact -- superseded calibrations a live
-        space was computed from, spec pseudo-nodes -- survives GC too.
+        Roots are every ``stages.artifact_key`` plus ``extra_roots``
+        (the active-job roots during GC); reachability walks ``deps``
+        edges *upward* (child -> parents), so the provenance cone of
+        every live artifact -- superseded calibrations a live space was
+        computed from, spec pseudo-nodes -- survives GC too.
         """
         with self._lock:
             live = {
                 r[0]
                 for r in self._conn.execute("SELECT artifact_key FROM stages")
             }
+            live.update(extra_roots)
             frontier = list(live)
             while frontier:
                 placeholders = ",".join("?" * len(frontier))
@@ -489,27 +567,44 @@ class ArtifactStore:
 
         An artifact is *live* when some scenario's current stage mapping
         points at it, directly or through the dependency cone (see
-        :meth:`_live_keys`); everything else -- superseded identities
-        from edited specs or changed search budgets, stale and
-        quarantined leftovers -- is garbage.  ``dry_run=True`` only
-        counts.  Removal also drops the dead keys' dependency edges and
-        evicts them from the memory tier, and is transactional: a killed
-        GC leaves the store exactly as it was.
+        :meth:`_live_keys`), or when a queued/leased/running job's
+        scenario references it (:meth:`_job_roots`) -- a pending run's
+        inputs are never collected out from under it.  Everything else
+        -- superseded identities from edited specs or changed search
+        budgets, stale and quarantined leftovers -- is garbage.
+        ``dry_run=True`` only counts.  Removal also drops the dead keys'
+        dependency edges and evicts them from the memory tier, and is
+        transactional: a killed GC leaves the store exactly as it was.
 
-        Returns ``{"removed", "kept", "reclaimed_bytes", "dry_run"}``
-        (``removed`` counts the rows deleted -- or, dry-run, deletable).
+        Returns ``{"removed", "kept", "reclaimed_bytes", "dry_run",
+        "active_jobs", "job_protected"}`` (``removed`` counts the rows
+        deleted -- or, dry-run, deletable; ``job_protected`` counts the
+        artifacts kept *only* because an active job references them).
         """
-        live = self._live_keys()
+        job_roots = self._job_roots()
+        live = self._live_keys(extra_roots=sorted(job_roots))
         with self._lock:
             rows = self._conn.execute(
                 "SELECT key, LENGTH(payload) FROM artifacts"
             ).fetchall()
+            active_jobs = self._conn.execute(
+                "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?, ?)",
+                JOB_ACTIVE_STATES,
+            ).fetchone()[0]
         dead = [(key, nbytes) for key, nbytes in rows if key not in live]
+        job_protected = 0
+        if job_roots:
+            without_jobs = self._live_keys()
+            job_protected = sum(
+                1 for key, _ in rows if key in live and key not in without_jobs
+            )
         report = {
             "removed": len(dead),
             "kept": len(rows) - len(dead),
             "reclaimed_bytes": int(sum(n for _, n in dead)),
             "dry_run": bool(dry_run),
+            "active_jobs": int(active_jobs),
+            "job_protected": int(job_protected),
         }
         if dry_run or not dead:
             self._emit("store.gc", **report)

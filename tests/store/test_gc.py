@@ -28,6 +28,7 @@ class TestGcBasics:
         report = store.gc()
         assert report == {
             "removed": 0, "kept": 0, "reclaimed_bytes": 0, "dry_run": False,
+            "active_jobs": 0, "job_protected": 0,
         }
 
     def test_orphan_is_removed(self, store):
@@ -132,3 +133,75 @@ class TestGcNeverDeletesReachable:
         assert store.gc()["removed"] == 1
         assert store.gc()["removed"] == 0
         assert store.get("live")[1]
+
+
+class TestGcQueueAware:
+    """Artifacts an active job's scenario references are GC roots."""
+
+    def _run_and_enqueue(self, store, state):
+        """Run a tiny scenario into ``store`` and park a job for it."""
+        from repro.service.jobs import JobQueue
+
+        scenario = Scenario(workload="ep", max_a=2, max_b=2)
+        ctx = RunContext(cache=ResultCache())
+        run_scenario(scenario, ctx, store=store)
+        queue = JobQueue(store)
+        job, _ = queue.enqueue(scenario.to_json(), scenario_name="gc-test")
+        if state in ("leased", "running"):
+            leased = queue.lease("gc-worker", lease_s=60)
+            assert leased["id"] == job["id"]
+            if state == "running":
+                assert queue.mark_running(job["id"], "gc-worker")
+        return scenario, queue, job
+
+    def test_active_job_protects_artifacts(self, store):
+        """A queued job's scenario keeps its artifact cone alive, and
+        the gc report says how many jobs were consulted."""
+        self._run_and_enqueue(store, "queued")
+        keys = [r[0] for r in store._conn.execute(
+            "SELECT key FROM artifacts"
+        )]
+        assert keys
+        report = store.gc()
+        assert report["removed"] == 0
+        assert report["active_jobs"] == 1
+        # Healthy store: the stage mapping already roots everything the
+        # job references, so nothing is alive *only* through the job.
+        assert report["job_protected"] == 0
+        for key in keys:
+            assert store.get(key)[1]
+
+    def test_job_roots_resolve_from_the_job_spec(self, store):
+        """Job roots come from the job's own scenario spec -- removing
+        the scenario's registry row does not unanchor them."""
+        scenario, queue, job = self._run_and_enqueue(store, "leased")
+        from repro.engine.stagegraph import scenario_identity
+
+        mapped = set(store.stage_map(scenario_identity(scenario)).values())
+        assert mapped
+        with store._lock, store._conn:
+            store._conn.execute("DELETE FROM scenarios")
+        assert store._job_roots() == mapped
+        report = store.gc(dry_run=True)
+        assert report["active_jobs"] == 1
+        assert report["removed"] == 0
+
+    def test_undecodable_job_spec_protects_nothing(self, store):
+        from repro.service.jobs import JobQueue
+
+        JobQueue(store).enqueue("{not json", scenario_name="broken")
+        assert store._job_roots() == set()
+        report = store.gc()
+        assert report["active_jobs"] == 1
+        assert report["job_protected"] == 0
+
+    def test_done_job_releases_protection(self, store):
+        """Terminal jobs are not roots: orphans collect normally."""
+        _, queue, job = self._run_and_enqueue(store, "running")
+        assert queue.complete(job["id"], "gc-worker", {"ok": True})
+        store.put("orphan", 1, kind="space")
+        report = store.gc()
+        assert report["active_jobs"] == 0
+        assert report["job_protected"] == 0
+        assert report["removed"] == 1  # just the orphan
+        assert store.get("orphan") == (None, False)

@@ -1,0 +1,142 @@
+"""Concurrent reads and writes against one service: no 500s, no lost jobs.
+
+Worker threads hammer the service with a mix of queries, enqueues, and
+cancels while the evaluator entry points are booby-trapped -- any
+request that escaped the store layer would 500 and fail the run.  The
+postconditions are bookkeeping invariants: every acknowledged enqueue
+is present afterwards, the queued depth never exceeded the bound, and
+every job sits in a declared state.
+"""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.engine import RunContext, Scenario, run_scenario
+from repro.service import ServiceState, Supervisor, create_server
+from repro.service.jobs import JOB_STATES
+from repro.store import ArtifactStore
+
+THREADS = 8
+REQUESTS_PER_THREAD = 25
+MAX_QUEUED = 40
+
+
+@pytest.fixture
+def armed_service(tmp_path, monkeypatch):
+    """A populated store served with the evaluator forbidden."""
+    ctx = RunContext(seed=0)
+    store = ArtifactStore(tmp_path / "store", memory=ctx.cache)
+    base = Scenario(workload="ep", max_a=2, max_b=2,
+                    stages=("frontier",), name="base")
+    run_scenario(base, ctx, store=store)
+
+    def forbidden(*args, **kw):  # pragma: no cover - must never fire
+        raise AssertionError("service reached the evaluator")
+
+    import repro.core.calibration as calibration_mod
+    import repro.core.evaluate as evaluate_mod
+    import repro.engine.executor as executor_mod
+
+    monkeypatch.setattr(evaluate_mod, "evaluate_space_groups", forbidden)
+    monkeypatch.setattr(
+        executor_mod, "evaluate_space_groups_chunked", forbidden
+    )
+    monkeypatch.setattr(calibration_mod, "ground_truth_params", forbidden)
+    monkeypatch.setattr(calibration_mod, "calibrate_node", forbidden)
+
+    supervisor = Supervisor(store, worker_id="idle")  # never started
+    state = ServiceState(store, supervisors=[supervisor],
+                         max_queued=MAX_QUEUED)
+    httpd = create_server(store, port=0, state=state)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield httpd.server_address[1], state, base
+    httpd.shutdown()
+    httpd.server_close()
+    thread.join(timeout=5)
+    store.close()
+
+
+def _request(port, path, method="GET", body=None):
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}{path}", data=data, method=method
+    )
+    try:
+        with urllib.request.urlopen(req, timeout=30) as resp:
+            return resp.status, json.loads(resp.read())
+    except urllib.error.HTTPError as exc:
+        return exc.code, json.loads(exc.read())
+
+
+def test_hammering_the_service_keeps_the_books_straight(armed_service):
+    port, state, base = armed_service
+    acknowledged = []  # (thread, op, job_id) for every 202
+    statuses = []
+    errors = []
+    lock = threading.Lock()
+
+    def worker(tid: int) -> None:
+        my_jobs = []
+        try:
+            for i in range(REQUESTS_PER_THREAD):
+                op = i % 5
+                if op == 0:
+                    status, body = _request(
+                        port, "/v1/query/frontier?scenario=base"
+                    )
+                elif op == 1:
+                    status, body = _request(
+                        port,
+                        "/v1/query/cheapest?scenario=base&deadline_s=1e9",
+                    )
+                elif op == 2:
+                    status, body = _request(
+                        port, "/v1/runs", "POST",
+                        {"scenario": dict(base.to_dict(),
+                                          name=f"t{tid}-{i}")},
+                    )
+                    if status == 202:
+                        my_jobs.append(body["id"])
+                elif op == 3 and my_jobs:
+                    status, body = _request(
+                        port, f"/v1/runs/{my_jobs[-1]}/cancel", "POST"
+                    )
+                else:
+                    status, body = _request(port, "/v1/runs")
+                with lock:
+                    statuses.append(status)
+        except Exception as exc:  # noqa: BLE001 - recorded, not raised
+            with lock:
+                errors.append(repr(exc))
+        with lock:
+            acknowledged.extend((tid, jid) for jid in my_jobs)
+
+    threads = [
+        threading.Thread(target=worker, args=(t,)) for t in range(THREADS)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join(timeout=120)
+        assert not t.is_alive(), "worker thread hung"
+
+    assert not errors, errors
+    # Only declared statuses -- and in particular no 500s -- came back.
+    assert set(statuses) <= {200, 202, 429}, sorted(set(statuses))
+    assert statuses.count(202) == len(acknowledged)
+
+    # Every acknowledged job is still in the queue, in a legal state.
+    jobs = state.queue.list_jobs(limit=10_000)
+    by_id = {j["id"]: j for j in jobs}
+    for _, job_id in acknowledged:
+        assert job_id in by_id, f"acknowledged job {job_id} was lost"
+    assert {j["state"] for j in jobs} <= set(JOB_STATES)
+    # No supervisor ran: nothing may have escaped queued/cancelled.
+    assert {j["state"] for j in jobs} <= {"queued", "cancelled"}
+    # The shed bound held at every instant; the final depth respects it.
+    assert state.queue.depth() <= MAX_QUEUED

@@ -1,0 +1,204 @@
+"""The supervisor: leases jobs, runs scenarios, classifies failures.
+
+A real (tiny) scenario exercises the happy path end to end; monkey-
+patched ``run_scenario`` stand-ins drive the failure classification,
+drain, and lease-reclaim paths without burning evaluator time.
+"""
+
+import json
+import threading
+import time
+
+import pytest
+
+from repro.engine import RunContext, Scenario, run_scenario
+from repro.engine.faults import WorkerCrash
+from repro.engine.stagegraph import scenario_identity
+from repro.service.jobs import JobQueue
+from repro.service.supervisor import Supervisor, job_checkpoint_dir
+from repro.store import ArtifactStore
+
+TINY = Scenario(workload="ep", max_a=2, max_b=2, stages=("frontier",),
+                name="tiny")
+
+
+@pytest.fixture
+def store(tmp_path):
+    with ArtifactStore(tmp_path / "store") as s:
+        yield s
+
+
+@pytest.fixture
+def queue(store):
+    return JobQueue(store)
+
+
+class TestExecution:
+    def test_runs_queued_job_to_done(self, store, queue):
+        job, _ = queue.enqueue(TINY.to_json(), scenario_name=TINY.name)
+        done = Supervisor(store, worker_id="w").run_until_idle()
+        assert done == 1
+        finished = queue.get(job["id"])
+        assert finished["state"] == "done"
+        assert finished["result"]["frontier_points"] >= 1
+        assert finished["result"]["scenario_identity"] == scenario_identity(
+            TINY
+        )
+
+    def test_artifacts_match_a_direct_run(self, store, queue, tmp_path):
+        """A supervised run stores the same frontier a direct
+        ``run_scenario`` produces -- the queue adds no nondeterminism."""
+        queue.enqueue(TINY.to_json())
+        Supervisor(store, worker_id="w").run_until_idle()
+        via_queue, ok = store.load_stage(scenario_identity(TINY), "frontier")
+        assert ok
+
+        with ArtifactStore(tmp_path / "direct") as direct:
+            run_scenario(TINY, RunContext(seed=TINY.seed), store=direct)
+            direct_art, ok = direct.load_stage(
+                scenario_identity(TINY), "frontier"
+            )
+            assert ok
+        import numpy as np
+
+        np.testing.assert_array_equal(
+            via_queue.frontier.times_s, direct_art.frontier.times_s
+        )
+        np.testing.assert_array_equal(
+            via_queue.frontier.energies_j, direct_art.frontier.energies_j
+        )
+
+    def test_queryable_after_completion(self, store, queue):
+        from repro.store import frontier_points
+
+        queue.enqueue(TINY.to_json())
+        Supervisor(store, worker_id="w").run_until_idle()
+        body = frontier_points(store, "tiny")
+        assert body["total_points"] >= 1
+
+    def test_cancelled_job_is_not_executed(self, store, queue):
+        job, _ = queue.enqueue(TINY.to_json())
+        queue.cancel(job["id"])
+        assert Supervisor(store, worker_id="w").run_until_idle() == 0
+        assert queue.get(job["id"])["state"] == "cancelled"
+
+
+class TestFailureClassification:
+    def test_malformed_scenario_fails_permanently(self, store, queue):
+        """A spec that cannot even parse burns one attempt, not three."""
+        job, _ = queue.enqueue(json.dumps({"workload": "no-such-workload"}))
+        Supervisor(store, worker_id="w").run_until_idle()
+        failed = queue.get(job["id"])
+        assert failed["state"] == "failed"
+        assert failed["attempts"] == 1
+        assert failed["error"]["retryable"] is False
+
+    def test_retryable_crash_requeues_then_succeeds(
+        self, store, queue, monkeypatch
+    ):
+        """A WorkerCrash consumes an attempt, backs off, and the next
+        lease finishes the job."""
+        attempts = []
+
+        real = run_scenario
+
+        def flaky(scenario, ctx, **kw):
+            attempts.append(1)
+            if len(attempts) == 1:
+                raise WorkerCrash("injected worker death")
+            return real(scenario, ctx, **kw)
+
+        monkeypatch.setattr(
+            "repro.service.supervisor.run_scenario", flaky
+        )
+        job, _ = queue.enqueue(TINY.to_json())
+        supervisor = Supervisor(store, worker_id="w", poll_s=0.01)
+        assert supervisor.run_until_idle() == 0  # crash, then backoff
+        crashed = queue.get(job["id"])
+        assert crashed["state"] == "queued"
+        assert crashed["error"]["type"] == "WorkerCrash"
+        assert crashed["error"]["retryable"] is True
+        # Fast-forward the deterministic backoff and drain again.
+        with store.transaction() as conn:
+            conn.execute("UPDATE jobs SET not_before = 0")
+        assert supervisor.run_until_idle() == 1
+        assert queue.get(job["id"])["state"] == "done"
+        assert len(attempts) == 2
+
+    def test_attempt_budget_bounds_retries(self, store, queue, monkeypatch):
+        def always_crashes(scenario, ctx, **kw):
+            raise WorkerCrash("never succeeds")
+
+        monkeypatch.setattr(
+            "repro.service.supervisor.run_scenario", always_crashes
+        )
+        job, _ = queue.enqueue(TINY.to_json(), max_attempts=2)
+        supervisor = Supervisor(store, worker_id="w")
+        for _ in range(3):
+            with store.transaction() as conn:
+                conn.execute("UPDATE jobs SET not_before = 0")
+            supervisor.run_until_idle()
+        parked = queue.get(job["id"])
+        assert parked["state"] == "failed"
+        assert parked["attempts"] == 2
+
+
+class TestRecovery:
+    def test_reclaims_a_dead_workers_job(self, store, queue):
+        """A lease left behind by a crashed worker is reclaimed and the
+        job completed by the next supervisor."""
+        job, _ = queue.enqueue(TINY.to_json())
+        leased = queue.lease("crashed-worker", lease_s=0.01)
+        assert leased["id"] == job["id"]
+        time.sleep(0.05)
+        done = Supervisor(store, worker_id="rescuer").run_until_idle()
+        assert done == 1
+        finished = queue.get(job["id"])
+        assert finished["state"] == "done"
+        assert finished["attempts"] == 2  # crashed + rescuing attempt
+
+    def test_graceful_stop_releases_the_inflight_job(
+        self, store, queue, monkeypatch
+    ):
+        """stop() within the grace window hands the job back unconsumed
+        and the slow worker's late result is discarded."""
+        release_worker = threading.Event()
+        entered = threading.Event()
+
+        def stuck(scenario, ctx, **kw):
+            entered.set()
+            release_worker.wait(timeout=30)
+            return run_scenario(scenario, ctx, **kw)
+
+        monkeypatch.setattr("repro.service.supervisor.run_scenario", stuck)
+        job, _ = queue.enqueue(TINY.to_json())
+        supervisor = Supervisor(store, worker_id="w", poll_s=0.01,
+                                lease_s=60.0)
+        supervisor.start()
+        assert entered.wait(timeout=10)
+        supervisor.stop(grace_s=0.2)
+        released = queue.get(job["id"])
+        assert released["state"] == "queued"
+        assert released["attempts"] == 0  # the attempt was refunded
+        # Let the stuck worker finish: its complete() must be a no-op.
+        release_worker.set()
+        deadline = time.time() + 30
+        while supervisor.alive and time.time() < deadline:
+            time.sleep(0.05)
+        assert queue.get(job["id"])["state"] == "queued"
+
+    def test_streaming_job_gets_a_checkpoint_dir(self, store, queue):
+        """Streaming scenarios checkpoint under the store's jobs/ tree;
+        the prefix is cleaned up once the job completes."""
+        streaming = Scenario(
+            workload="ep", max_a=3, max_b=3, stages=("frontier",),
+            space_mode="streaming", chunk_rows=4, name="stream",
+        )
+        job, _ = queue.enqueue(streaming.to_json())
+        ckpt = job_checkpoint_dir(store, job["id"])
+        done = Supervisor(
+            store, worker_id="w", checkpoint_every=1
+        ).run_until_idle()
+        assert done == 1
+        assert queue.get(job["id"])["state"] == "done"
+        assert not ckpt.exists()  # cleaned up with the completion
