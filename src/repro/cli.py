@@ -473,6 +473,11 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"; {report['job_protected']} artifact(s) protected by "
                 f"{report['active_jobs']} active job(s)"
             )
+        if report["job_dirs_removed"]:
+            line += (
+                f"; {verb} {report['job_dirs_removed']} orphaned job "
+                "checkpoint dir(s)"
+            )
         print(line)
         return 0
     if args.artifact == "jobs":

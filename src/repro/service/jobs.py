@@ -131,8 +131,12 @@ class JobQueue:
 
     Stateless besides the store handle: any number of queues (HTTP
     handler threads, supervisor workers, CLI invocations, separate
-    processes) may operate on the same store concurrently; sqlite
-    transactions under the store lock serialize every transition.
+    processes) may operate on the same store concurrently.  Within one
+    process the store lock serializes transitions; across processes
+    every transition runs inside ``BEGIN IMMEDIATE`` (see
+    :meth:`repro.store.ArtifactStore.transaction`), so read-then-write
+    transitions take sqlite's write lock up front and wait on the busy
+    handler instead of failing on a WAL snapshot conflict.
     """
 
     def __init__(self, store: ArtifactStore):
@@ -214,12 +218,17 @@ class JobQueue:
             if row is None:
                 return None
             job_id = row[0]
-            conn.execute(
+            claimed = conn.execute(
                 "UPDATE jobs SET state = 'leased', lease_owner = ?, "
                 "lease_expires_at = ?, attempts = attempts + 1, "
-                "updated_at = ? WHERE id = ?",
+                "updated_at = ? WHERE id = ? AND state = 'queued'",
                 (owner, now + lease_s, now, job_id),
             )
+            if not claimed.rowcount:
+                # Defense in depth: the transaction serialization above
+                # should make this unreachable, but if the row moved
+                # under us we must not double-claim it.
+                return None
         job = self.get(job_id)
         self._emit("jobs.leased", job=job_id, owner=owner,
                    attempt=job["attempts"])

@@ -23,10 +23,19 @@ Crash safety is the point:
   pools, and OS flakiness re-queue with deterministic backoff; a
   ``ValueError`` from a malformed scenario parks the job in ``failed``
   immediately -- no retry budget wasted on a permanent error.
-* **Graceful drain** (:meth:`Supervisor.stop`): stop leasing, give the
-  in-flight job a grace window to finish (its periodic checkpoints
-  bound the lost work), then release the lease unconsumed so the next
-  supervisor resumes it.
+* **Graceful drain** (:meth:`Supervisor.stop`): stop leasing, signal
+  the in-flight run to abort at its next event boundary (its periodic
+  checkpoints bound the lost work), and release the lease unconsumed so
+  the next supervisor resumes it.  The lease is released only once the
+  worker thread has actually stopped -- a run that ignores the abort
+  keeps its lease (and its heartbeat), because releasing it would let a
+  rescuer resume from a checkpoint directory this thread is still
+  writing to.  If the process then exits anyway (SIGTERM path), the
+  heartbeat dies with it and lease expiry hands the job over safely.
+* The **worker loop** survives transient store errors (a busy sqlite
+  handle, a disk hiccup): the loop body is guarded, errors are reported
+  as ``supervisor.loop_error`` events, and the loop backs off and
+  retries instead of dying silently under ``repro serve``.
 """
 
 from __future__ import annotations
@@ -46,7 +55,22 @@ from repro.engine.scenario import Scenario
 from repro.service.jobs import JobQueue
 from repro.store.store import ArtifactStore
 
-__all__ = ["Supervisor", "job_checkpoint_dir"]
+__all__ = ["DrainAborted", "Supervisor", "job_checkpoint_dir"]
+
+#: Ceiling on the loop's error backoff; transient store errors retry at
+#: ``poll_s * 2**n`` up to this.
+_ERROR_BACKOFF_MAX_S = 30.0
+
+
+class DrainAborted(Exception):
+    """The supervisor is draining: the in-flight run stopped itself.
+
+    Raised from the run context's reporting sink at the next event the
+    run emits after :meth:`Supervisor.stop` -- block boundaries, stage
+    transitions -- so an aborted streaming run leaves a clean
+    checkpoint prefix behind.  Handled inside the supervisor (the job
+    is released unconsumed); never a job failure.
+    """
 
 
 def job_checkpoint_dir(store: ArtifactStore, job_id: str) -> Path:
@@ -124,24 +148,58 @@ class Supervisor:
 
     # ---- execution -----------------------------------------------------
 
+    def _abort_sink(self, event: str, payload: Dict[str, Any]) -> None:
+        """Cooperative drain: every event the run emits checks the stop
+        flag, so a draining supervisor's in-flight run aborts at its
+        next block/stage boundary instead of running to completion."""
+        if self._stop.is_set():
+            raise DrainAborted(event)
+
     def _build_context(self, scenario: Scenario) -> RunContext:
+        sinks = [self._abort_sink]
+        if self.on_event is not None:
+            sinks.append(lambda event, payload: self._emit(event, **payload))
         return RunContext(
             seed=scenario.seed,
             faults=self.fault_plan,
-            sinks=(lambda event, payload: self._emit(event, **payload),)
-            if self.on_event is not None
-            else (),
+            sinks=sinks,
         )
+
+    def _discard_checkpoints(self, job_id: str) -> None:
+        """Drop a job's checkpoint directory once it can never resume.
+
+        Called on completion and on terminal parking (permanent fail,
+        cancel): the prefix is dead weight.  Retryable/queued jobs keep
+        theirs -- the next attempt resumes from it.  A failed cleanup
+        is harmless (store gc also prunes terminal jobs' directories).
+        """
+        shutil.rmtree(job_checkpoint_dir(self.store, job_id),
+                      ignore_errors=True)
 
     def run_job(self, job: Dict[str, Any]) -> str:
         """Execute one leased job to a terminal transition; returns the
         resulting state (``done``/``failed``/``queued``/``cancelled``)."""
         job_id = job["id"]
         self._current_job = job_id
+        try:
+            return self._run_leased(job)
+        finally:
+            self._current_job = None
+
+    def _run_leased(self, job: Dict[str, Any]) -> str:
+        job_id = job["id"]
+        if self._stop.is_set():
+            # Drain won the race with the lease: hand the job back
+            # before execution starts.
+            self.queue.release(job_id, self.worker_id)
+            self._emit("supervisor.drain_released", job=job_id)
+            return self.queue.get(job_id)["state"]
         if not self.queue.mark_running(job_id, self.worker_id):
             # Cancel won the race, or the lease was already reclaimed.
-            self._current_job = None
-            return self.queue.get(job_id)["state"]
+            state = self.queue.get(job_id)["state"]
+            if state in ("cancelled", "failed"):
+                self._discard_checkpoints(job_id)
+            return state
 
         beat_stop = threading.Event()
 
@@ -170,6 +228,13 @@ class Supervisor:
                 resume=ckpt_dir is not None,
                 checkpoint_every=self.checkpoint_every,
             )
+        except DrainAborted:
+            # The run stopped itself at an event boundary (see
+            # :meth:`stop`); its checkpoint prefix is intact, so the
+            # job goes back unconsumed for the next worker to resume.
+            self.queue.release(job_id, self.worker_id)
+            self._emit("supervisor.drain_released", job=job_id)
+            return self.queue.get(job_id)["state"]
         except Exception as exc:
             retryable = isinstance(exc, RETRYABLE)
             state = self.queue.fail(
@@ -184,6 +249,10 @@ class Supervisor:
                 retryable=retryable,
             )
             self.jobs_failed += 1
+            if state == "failed":
+                # Parked permanently: the checkpoint prefix can never
+                # be resumed (an operator retry starts clean).
+                self._discard_checkpoints(job_id)
             self._emit(
                 "supervisor.job_failed",
                 job=job_id,
@@ -195,7 +264,6 @@ class Supervisor:
         finally:
             beat_stop.set()
             beater.join(timeout=self.lease_s)
-            self._current_job = None
 
         summary = result.summary()
         completed = self.queue.complete(
@@ -225,30 +293,72 @@ class Supervisor:
 
     # ---- loop ----------------------------------------------------------
 
+    def _error_backoff(self, consecutive: int, exc: Exception) -> None:
+        """Report a loop-body error and back off before retrying.
+
+        ``run_job`` already converts *job* failures into state-machine
+        transitions; what lands here is infrastructure trouble -- a
+        busy/locked store, a disk hiccup -- which must never kill the
+        worker loop (under ``repro serve`` the daemon thread would die
+        silently and queued jobs would stall).
+        """
+        self._emit(
+            "supervisor.loop_error",
+            error=type(exc).__name__,
+            message=str(exc),
+            consecutive=consecutive,
+        )
+        backoff = min(
+            max(self.poll_s, 0.05) * 2.0 ** min(consecutive, 10),
+            _ERROR_BACKOFF_MAX_S,
+        )
+        self._stop.wait(backoff)
+
     def run_until_idle(self) -> int:
-        """Drain the queue in this thread; returns jobs completed."""
+        """Drain the queue in this thread; returns jobs completed.
+
+        Transient store errors back off and retry; after five
+        consecutive failures the error propagates (a caller waiting for
+        an idle queue must see a wedged store, not an infinite loop).
+        """
         done = 0
+        errors = 0
         while not self._stop.is_set():
             self._last_beat = time.monotonic()
-            self.queue.reclaim_expired()
-            job = self.queue.lease(self.worker_id, self.lease_s)
-            if job is None:
-                break
-            if self.run_job(job) == "done":
-                done += 1
+            try:
+                self.queue.reclaim_expired()
+                job = self.queue.lease(self.worker_id, self.lease_s)
+                if job is None:
+                    break
+                if self.run_job(job) == "done":
+                    done += 1
+                errors = 0
+            except Exception as exc:
+                errors += 1
+                if errors >= 5:
+                    raise
+                self._error_backoff(errors, exc)
         return done
 
     def run_forever(self) -> None:
+        errors = 0
         while not self._stop.is_set():
             self._last_beat = time.monotonic()
-            self.queue.reclaim_expired()
-            job = None
-            if not self._draining.is_set():
-                job = self.queue.lease(self.worker_id, self.lease_s)
-            if job is None:
-                self._stop.wait(self.poll_s)
+            try:
+                self.queue.reclaim_expired()
+                job = None
+                if not self._draining.is_set():
+                    job = self.queue.lease(self.worker_id, self.lease_s)
+                if job is not None:
+                    self.run_job(job)
+                    errors = 0
+                    continue
+            except Exception as exc:
+                errors += 1
+                self._error_backoff(errors, exc)
                 continue
-            self.run_job(job)
+            errors = 0
+            self._stop.wait(self.poll_s)
 
     def start(self) -> "Supervisor":
         """Run the loop in a daemon thread (the ``repro serve`` mode)."""
@@ -265,19 +375,41 @@ class Supervisor:
         return self._thread is not None and self._thread.is_alive()
 
     def stop(self, grace_s: float = 10.0) -> None:
-        """Graceful drain: stop leasing, let the in-flight job finish
-        within ``grace_s``, then release its lease for the next worker.
+        """Graceful drain: stop leasing and abort the in-flight run.
 
-        Safe to call without :meth:`start` (just sets the flags).  The
-        released job resumes from its last checkpoint, so the grace
-        window bounds *wall-clock* lost to the drain, not correctness.
+        Setting the stop flag makes the in-flight run raise
+        :class:`DrainAborted` at its next event boundary (every run
+        context carries the abort sink), after which the worker thread
+        releases the job's lease unconsumed -- the released job resumes
+        from its last checkpoint, so the grace window bounds
+        *wall-clock* lost to the drain, not correctness.  Safe to call
+        without :meth:`start` (just sets the flags).
+
+        A run that emits no event within ``grace_s`` keeps its lease: a
+        lease must never be released while the thread that owns it may
+        still be writing the job's checkpoint directory (a rescuer
+        would resume from files being mutated under it).  Such a job
+        either finishes normally under its own heartbeat, or -- when
+        the draining process exits -- stops beating, expires, and is
+        reclaimed by the next worker.
         """
         self._draining.set()
         self._stop.set()
-        if self._thread is not None:
-            self._thread.join(timeout=grace_s)
+        thread = self._thread
+        if thread is not None:
+            thread.join(timeout=grace_s)
+            if thread.is_alive():
+                self._emit(
+                    "supervisor.drain_timeout",
+                    job=self._current_job,
+                    grace_s=grace_s,
+                )
+                return
         in_flight = self._current_job
         if in_flight is not None:
+            # Defensive: only reachable if the worker thread died
+            # without running run_job's cleanup; the thread is gone, so
+            # releasing is safe.
             self.queue.release(in_flight, self.worker_id)
             self._emit("supervisor.drain_released", job=in_flight)
 

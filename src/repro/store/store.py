@@ -45,6 +45,7 @@ from __future__ import annotations
 
 import hashlib
 import pickle
+import shutil
 import sqlite3
 import threading
 import time
@@ -125,6 +126,11 @@ CREATE INDEX IF NOT EXISTS jobs_by_state ON jobs (state, not_before, created_at)
 #: transition again (except an explicit operator ``retry``).
 JOB_ACTIVE_STATES = ("queued", "leased", "running")
 
+#: How long a writer waits for a competing process's sqlite lock before
+#: erroring (milliseconds).  Generous: queue transactions are tiny, so
+#: a wait this long means something is genuinely wedged.
+BUSY_TIMEOUT_MS = 30_000
+
 
 class StoreCorrupt(RuntimeError):
     """An artifact row failed integrity verification (internal signal)."""
@@ -162,6 +168,7 @@ class ArtifactStore:
         self._lock = threading.RLock()
         self._conn = sqlite3.connect(str(self.path), check_same_thread=False)
         self._conn.execute("PRAGMA journal_mode=WAL")
+        self._conn.execute(f"PRAGMA busy_timeout={BUSY_TIMEOUT_MS}")
         with self._conn:
             self._conn.executescript(_SCHEMA)
             self._conn.execute(
@@ -182,15 +189,32 @@ class ArtifactStore:
 
     @contextmanager
     def transaction(self):
-        """The locked sqlite handle inside one atomic transaction.
+        """The locked sqlite handle inside one atomic *write* transaction.
 
         The extension point queue/maintenance layers build on
         (:mod:`repro.service.jobs`): everything executed inside the
         ``with`` block commits or rolls back as a unit, under the same
         lock every other store operation takes.
+
+        The transaction opens with ``BEGIN IMMEDIATE``, taking sqlite's
+        write lock *before* the first statement runs.  That matters for
+        the queue's read-then-write transactions when several processes
+        share one store file: a deferred transaction under WAL pins a
+        read snapshot at its first ``SELECT`` and then fails with a
+        non-retryable ``SQLITE_BUSY_SNAPSHOT`` if any other process
+        commits first, whereas an immediate transaction simply waits on
+        the busy handler (``busy_timeout``) and serializes.  Within one
+        process the ``RLock`` serializes threads the same way.
         """
-        with self._lock, self._conn:
-            yield self._conn
+        with self._lock:
+            self._conn.execute("BEGIN IMMEDIATE")
+            try:
+                yield self._conn
+            except BaseException:
+                self._conn.rollback()
+                raise
+            else:
+                self._conn.commit()
 
     def __enter__(self) -> "ArtifactStore":
         return self
@@ -324,7 +348,10 @@ class ArtifactStore:
         staled: List[str] = []
         seen = {root_key}
         frontier = [root_key]
-        with self._lock, self._conn:
+        # Read-then-write walk: take the write lock up front so two
+        # processes invalidating concurrently serialize instead of
+        # failing on a snapshot conflict (see :meth:`transaction`).
+        with self.transaction():
             while frontier:
                 placeholders = ",".join("?" * len(frontier))
                 children = [
@@ -576,10 +603,18 @@ class ArtifactStore:
         dependency edges and evicts them from the memory tier, and is
         transactional: a killed GC leaves the store exactly as it was.
 
+        GC also prunes **orphaned job checkpoint directories**
+        (``<store>/jobs/<id>/``): a directory whose job row is terminal
+        (``done``/``failed``/``cancelled``) or gone will never be
+        resumed, so it is garbage; directories of queued/leased/running
+        jobs are kept -- a pending retry resumes from them.
+
         Returns ``{"removed", "kept", "reclaimed_bytes", "dry_run",
-        "active_jobs", "job_protected"}`` (``removed`` counts the rows
-        deleted -- or, dry-run, deletable; ``job_protected`` counts the
-        artifacts kept *only* because an active job references them).
+        "active_jobs", "job_protected", "job_dirs_removed"}``
+        (``removed`` counts the rows deleted -- or, dry-run, deletable;
+        ``job_protected`` counts the artifacts kept *only* because an
+        active job references them; ``job_dirs_removed`` counts the
+        orphaned checkpoint directories pruned).
         """
         job_roots = self._job_roots()
         live = self._live_keys(extra_roots=sorted(job_roots))
@@ -591,6 +626,24 @@ class ArtifactStore:
                 "SELECT COUNT(*) FROM jobs WHERE state IN (?, ?, ?)",
                 JOB_ACTIVE_STATES,
             ).fetchone()[0]
+            active_ids = {
+                r[0]
+                for r in self._conn.execute(
+                    "SELECT id FROM jobs WHERE state IN (?, ?, ?)",
+                    JOB_ACTIVE_STATES,
+                )
+            }
+        dead_dirs: List[Path] = []
+        jobs_dir = self.directory / "jobs"
+        if jobs_dir.is_dir():
+            dead_dirs = [
+                child
+                for child in sorted(jobs_dir.iterdir())
+                if child.is_dir() and child.name not in active_ids
+            ]
+        if not dry_run:
+            for child in dead_dirs:
+                shutil.rmtree(child, ignore_errors=True)
         dead = [(key, nbytes) for key, nbytes in rows if key not in live]
         job_protected = 0
         if job_roots:
@@ -605,6 +658,7 @@ class ArtifactStore:
             "dry_run": bool(dry_run),
             "active_jobs": int(active_jobs),
             "job_protected": int(job_protected),
+            "job_dirs_removed": len(dead_dirs),
         }
         if dry_run or not dead:
             self._emit("store.gc", **report)

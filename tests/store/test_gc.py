@@ -6,6 +6,8 @@ cone -- still loads bit-for-bit, while superseded identities (spec
 edits, changed search budgets) and orphans are gone.
 """
 
+import json
+
 import pytest
 
 from repro.engine import ResultCache, RunContext, Scenario, run_scenario
@@ -28,7 +30,7 @@ class TestGcBasics:
         report = store.gc()
         assert report == {
             "removed": 0, "kept": 0, "reclaimed_bytes": 0, "dry_run": False,
-            "active_jobs": 0, "job_protected": 0,
+            "active_jobs": 0, "job_protected": 0, "job_dirs_removed": 0,
         }
 
     def test_orphan_is_removed(self, store):
@@ -205,3 +207,49 @@ class TestGcQueueAware:
         assert report["job_protected"] == 0
         assert report["removed"] == 1  # just the orphan
         assert store.get("orphan") == (None, False)
+
+
+class TestGcJobCheckpointDirs:
+    """``<store>/jobs/<id>/`` directories of terminal (or unknown) jobs
+    are garbage; active jobs' directories are resumable and kept."""
+
+    def _ckpt_dir(self, store, name):
+        d = store.directory / "jobs" / name
+        d.mkdir(parents=True, exist_ok=True)
+        (d / "checkpoint-x.ckpt").write_bytes(b"prefix")
+        return d
+
+    def test_orphaned_job_dir_is_pruned(self, store):
+        dead = self._ckpt_dir(store, "no-such-job")
+        report = store.gc()
+        assert report["job_dirs_removed"] == 1
+        assert not dead.exists()
+
+    def test_terminal_job_dir_is_pruned(self, store):
+        from repro.service.jobs import JobQueue
+
+        queue = JobQueue(store)
+        job, _ = queue.enqueue(json.dumps({"workload": "ep"}))
+        queue.lease("w")
+        queue.fail(job["id"], "w", {"type": "E"}, retryable=False)
+        dead = self._ckpt_dir(store, job["id"])
+        report = store.gc()
+        assert report["job_dirs_removed"] == 1
+        assert not dead.exists()
+
+    def test_active_job_dir_is_kept(self, store):
+        from repro.service.jobs import JobQueue
+
+        queue = JobQueue(store)
+        job, _ = queue.enqueue(json.dumps({"workload": "ep"}))
+        live = self._ckpt_dir(store, job["id"])
+        report = store.gc()
+        assert report["job_dirs_removed"] == 0
+        assert live.exists()
+        assert (live / "checkpoint-x.ckpt").read_bytes() == b"prefix"
+
+    def test_dry_run_only_counts_dirs(self, store):
+        dead = self._ckpt_dir(store, "no-such-job")
+        report = store.gc(dry_run=True)
+        assert report["job_dirs_removed"] == 1
+        assert dead.exists()  # untouched

@@ -7,6 +7,7 @@ killed process left behind.
 """
 
 import json
+import threading
 import time
 
 import pytest
@@ -298,6 +299,71 @@ class TestReadSide:
         assert set(JOB_STATES) == {
             "queued", "leased", "running", "done", "failed", "cancelled",
         }
+
+
+class TestCrossProcessSerialization:
+    """Two store handles on one sqlite file stand in for two worker
+    processes sharing a store.  Queue transactions open with ``BEGIN
+    IMMEDIATE``, so read-then-write transitions serialize on sqlite's
+    write lock (busy handler) instead of failing with a non-retryable
+    ``SQLITE_BUSY_SNAPSHOT`` under WAL -- the multi-worker deployment
+    must survive ordinary concurrency without 500s or crashed loops.
+    """
+
+    def test_concurrent_enqueue_from_two_handles(self, tmp_path):
+        path = tmp_path / "store"
+        with ArtifactStore(path) as a, ArtifactStore(path) as b:
+            queues = [JobQueue(a), JobQueue(b)]
+            errors = []
+
+            def hammer(q, tag):
+                try:
+                    for j in range(10):
+                        q.enqueue(SPEC, idempotency_key=f"{tag}-{j}")
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=hammer, args=(q, i))
+                for i, q in enumerate(queues)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert errors == []
+            assert queues[0].depth() == 20
+
+    def test_concurrent_lease_never_double_claims(self, tmp_path):
+        path = tmp_path / "store"
+        with ArtifactStore(path) as a, ArtifactStore(path) as b:
+            qa, qb = JobQueue(a), JobQueue(b)
+            for _ in range(10):
+                qa.enqueue(SPEC)
+            claimed = []
+            errors = []
+
+            def drain(q, owner):
+                try:
+                    while True:
+                        job = q.lease(owner, lease_s=60)
+                        if job is None:
+                            return
+                        claimed.append(job["id"])
+                except Exception as exc:  # pragma: no cover - the bug
+                    errors.append(exc)
+
+            threads = [
+                threading.Thread(target=drain, args=(qa, "w1")),
+                threading.Thread(target=drain, args=(qb, "w2")),
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join(timeout=60)
+            assert errors == []
+            assert sorted(claimed) == sorted(set(claimed))
+            assert len(claimed) == 10
 
 
 class TestDurability:

@@ -6,8 +6,10 @@ drain, and lease-reclaim paths without burning evaluator time.
 """
 
 import json
+import sqlite3
 import threading
 import time
+from pathlib import Path
 
 import pytest
 
@@ -160,15 +162,49 @@ class TestRecovery:
     def test_graceful_stop_releases_the_inflight_job(
         self, store, queue, monkeypatch
     ):
-        """stop() within the grace window hands the job back unconsumed
-        and the slow worker's late result is discarded."""
-        release_worker = threading.Event()
+        """stop() aborts the in-flight run at its next event boundary
+        (the context's drain sink) and hands the job back unconsumed."""
         entered = threading.Event()
 
         def stuck(scenario, ctx, **kw):
             entered.set()
-            release_worker.wait(timeout=30)
-            return run_scenario(scenario, ctx, **kw)
+            for _ in range(600):  # ~30s unless the drain abort fires
+                ctx.emit("test.tick")
+                time.sleep(0.05)
+            raise AssertionError("drain abort never fired")
+
+        monkeypatch.setattr("repro.service.supervisor.run_scenario", stuck)
+        job, _ = queue.enqueue(TINY.to_json())
+        supervisor = Supervisor(store, worker_id="w", poll_s=0.01,
+                                lease_s=60.0)
+        supervisor.start()
+        assert entered.wait(timeout=10)
+        supervisor.stop(grace_s=10.0)
+        assert not supervisor.alive  # the run aborted within the grace
+        released = queue.get(job["id"])
+        assert released["state"] == "queued"
+        assert released["attempts"] == 0  # the attempt was refunded
+
+    def test_drain_timeout_never_releases_a_live_workers_lease(
+        self, store, queue, monkeypatch
+    ):
+        """A run that ignores the abort keeps its lease past the grace
+        window -- a lease is never released while the thread that owns
+        it may still be writing -- and its eventual completion wins."""
+        release_worker = threading.Event()
+        entered = threading.Event()
+
+        class _StubResult:
+            stage_statuses = {}
+
+            @staticmethod
+            def summary():
+                return {"configurations": 1, "frontier_points": 1}
+
+        def stuck(scenario, ctx, **kw):
+            entered.set()
+            assert release_worker.wait(timeout=30)
+            return _StubResult()
 
         monkeypatch.setattr("repro.service.supervisor.run_scenario", stuck)
         job, _ = queue.enqueue(TINY.to_json())
@@ -177,15 +213,58 @@ class TestRecovery:
         supervisor.start()
         assert entered.wait(timeout=10)
         supervisor.stop(grace_s=0.2)
-        released = queue.get(job["id"])
-        assert released["state"] == "queued"
-        assert released["attempts"] == 0  # the attempt was refunded
-        # Let the stuck worker finish: its complete() must be a no-op.
+        still_running = queue.get(job["id"])
+        assert still_running["state"] == "running"
+        assert still_running["lease_owner"] == "w"
+        # The worker finishes on its own; holding the lease, it wins.
         release_worker.set()
         deadline = time.time() + 30
         while supervisor.alive and time.time() < deadline:
             time.sleep(0.05)
+        assert not supervisor.alive
+        assert queue.get(job["id"])["state"] == "done"
+
+    def test_permanent_failure_discards_checkpoints(
+        self, store, queue, monkeypatch
+    ):
+        """A job parked in ``failed`` leaves no checkpoint directory
+        behind -- it can never resume (an operator retry starts clean)."""
+        def doomed(scenario, ctx, checkpoint_dir=None, **kw):
+            ckpt = Path(checkpoint_dir)
+            ckpt.mkdir(parents=True, exist_ok=True)
+            (ckpt / "checkpoint-x.ckpt").write_bytes(b"partial")
+            raise ValueError("malformed somewhere deep")
+
+        monkeypatch.setattr("repro.service.supervisor.run_scenario", doomed)
+        streaming = Scenario(
+            workload="ep", max_a=3, max_b=3, stages=("frontier",),
+            space_mode="streaming", chunk_rows=4, name="doomed",
+        )
+        job, _ = queue.enqueue(streaming.to_json(), max_attempts=1)
+        Supervisor(store, worker_id="w").run_until_idle()
+        assert queue.get(job["id"])["state"] == "failed"
+        assert not job_checkpoint_dir(store, job["id"]).exists()
+
+    def test_retryable_failure_keeps_checkpoints(
+        self, store, queue, monkeypatch
+    ):
+        """A re-queued job keeps its checkpoint prefix: the next
+        attempt resumes from it."""
+        def crashes(scenario, ctx, checkpoint_dir=None, **kw):
+            ckpt = Path(checkpoint_dir)
+            ckpt.mkdir(parents=True, exist_ok=True)
+            (ckpt / "checkpoint-x.ckpt").write_bytes(b"prefix")
+            raise WorkerCrash("injected worker death")
+
+        monkeypatch.setattr("repro.service.supervisor.run_scenario", crashes)
+        streaming = Scenario(
+            workload="ep", max_a=3, max_b=3, stages=("frontier",),
+            space_mode="streaming", chunk_rows=4, name="crashy",
+        )
+        job, _ = queue.enqueue(streaming.to_json(), max_attempts=3)
+        Supervisor(store, worker_id="w").run_until_idle()
         assert queue.get(job["id"])["state"] == "queued"
+        assert job_checkpoint_dir(store, job["id"]).exists()
 
     def test_streaming_job_gets_a_checkpoint_dir(self, store, queue):
         """Streaming scenarios checkpoint under the store's jobs/ tree;
@@ -202,3 +281,40 @@ class TestRecovery:
         assert done == 1
         assert queue.get(job["id"])["state"] == "done"
         assert not ckpt.exists()  # cleaned up with the completion
+
+
+class TestLoopResilience:
+    def test_transient_store_errors_do_not_kill_the_loop(
+        self, store, queue, monkeypatch
+    ):
+        """A busy/locked store backs off and retries instead of
+        silently killing the worker loop."""
+        events = []
+        supervisor = Supervisor(
+            store, worker_id="w", poll_s=0.01,
+            on_event=lambda event, **p: events.append(event),
+        )
+        real = supervisor.queue.reclaim_expired
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            if len(calls) <= 2:
+                raise sqlite3.OperationalError("database is locked")
+            return real()
+
+        monkeypatch.setattr(supervisor.queue, "reclaim_expired", flaky)
+        queue.enqueue(TINY.to_json())
+        assert supervisor.run_until_idle() == 1
+        assert events.count("supervisor.loop_error") == 2
+
+    def test_persistent_store_errors_surface(self, store, monkeypatch):
+        """run_until_idle must not spin forever on a wedged store."""
+        supervisor = Supervisor(store, worker_id="w", poll_s=0.01)
+
+        def broken():
+            raise sqlite3.OperationalError("disk I/O error")
+
+        monkeypatch.setattr(supervisor.queue, "reclaim_expired", broken)
+        with pytest.raises(sqlite3.OperationalError):
+            supervisor.run_until_idle()
